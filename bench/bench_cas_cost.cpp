@@ -1,0 +1,105 @@
+// E2 — Theorem 2's cost claim: an uninstrumented TM must write back with
+// CAS ("potentially expensive read-modify-write instructions"), not plain
+// stores.  This bench quantifies that premium on the host machine:
+//
+//   * raw primitive latency: load, store, CAS (hit/miss), fetch_add;
+//   * commit cost of a K-write transaction under each TM (the global-lock
+//     designs pay one CAS per written variable at commit; TL2-family pay
+//     lock + store + release per variable plus a clock bump).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "tm/runtime.hpp"
+
+namespace {
+
+using namespace jungle;
+
+// ------------------------------------------------------- raw primitives
+
+void BM_RawLoad(benchmark::State& state) {
+  std::atomic<Word> cell{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.load(std::memory_order_seq_cst));
+  }
+}
+BENCHMARK(BM_RawLoad);
+
+void BM_RawStore(benchmark::State& state) {
+  std::atomic<Word> cell{0};
+  Word v = 0;
+  for (auto _ : state) {
+    cell.store(++v, std::memory_order_seq_cst);
+  }
+}
+BENCHMARK(BM_RawStore);
+
+void BM_RawCasHit(benchmark::State& state) {
+  std::atomic<Word> cell{0};
+  Word v = 0;
+  for (auto _ : state) {
+    Word expect = v;
+    benchmark::DoNotOptimize(
+        cell.compare_exchange_strong(expect, ++v, std::memory_order_seq_cst));
+  }
+}
+BENCHMARK(BM_RawCasHit);
+
+void BM_RawCasMiss(benchmark::State& state) {
+  std::atomic<Word> cell{42};
+  for (auto _ : state) {
+    Word expect = 7;  // never matches
+    benchmark::DoNotOptimize(
+        cell.compare_exchange_strong(expect, 9, std::memory_order_seq_cst));
+  }
+}
+BENCHMARK(BM_RawCasMiss);
+
+void BM_RawFetchAdd(benchmark::State& state) {
+  std::atomic<Word> cell{0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cell.fetch_add(1, std::memory_order_seq_cst));
+  }
+}
+BENCHMARK(BM_RawFetchAdd);
+
+// --------------------------------------------- commit cost per TM design
+
+constexpr std::size_t kVars = 64;
+
+void BM_CommitKWrites(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  NativeMemory mem(runtimeMemoryWords(kind, kVars));
+  auto tm = makeNativeRuntime(kind, mem, kVars, 1);
+  for (auto _ : state) {
+    tm->transaction(0, [&](TxContext& tx) {
+      for (std::size_t i = 0; i < k; ++i) {
+        tx.write(static_cast<ObjectId>(i), 5);
+      }
+    });
+  }
+  state.SetLabel(std::string(tmKindName(kind)) + "/writes=" +
+                 std::to_string(k));
+  state.SetItemsProcessed(state.iterations() * k);
+}
+
+void registerCommit() {
+  for (TmKind kind : allTmKinds()) {
+    for (long k : {1, 4, 16}) {
+      benchmark::RegisterBenchmark("CommitKWrites", BM_CommitKWrites)
+          ->Args({static_cast<long>(kind), k});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  registerCommit();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E7 (extension) — systematic-testing throughput: schedules/second and
+// state-space sizes for the exhaustive explorer on the Figure-1 program,
+// per TM (the cost of the model-checking methodology the paper's companion
+// work applies to TM algorithms).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "sim/schedule.hpp"
+#include "tm/global_lock_tm.hpp"
+#include "tm/strong_atomicity_tm.hpp"
+#include "tm/versioned_write_tm.hpp"
+
+namespace {
+
+using namespace jungle;
+
+template <template <class> class TmT>
+Program figure1Program() {
+  return [](ScheduledMemory& mem) {
+    auto tm = std::make_shared<TmT<ScheduledMemory>>(mem, 2);
+    std::vector<ThreadScript> scripts;
+    scripts.push_back([tm] {
+      auto t = tm->makeThread(0);
+      tm->txStart(t);
+      tm->txWrite(t, 0, 1);
+      tm->txWrite(t, 1, 1);
+      tm->txCommit(t);
+    });
+    scripts.push_back([tm] {
+      auto t = tm->makeThread(1);
+      (void)tm->ntRead(t, 0);
+      (void)tm->ntRead(t, 1);
+    });
+    return scripts;
+  };
+}
+
+template <template <class> class TmT>
+void BM_ExhaustiveExplore(benchmark::State& state) {
+  ExploreOptions opts;
+  opts.maxSteps = 120;
+  opts.maxRuns = 5000;
+  std::size_t schedules = 0;
+  for (auto _ : state) {
+    auto stats = exploreExhaustive(
+        2, TmT<ScheduledMemory>::memoryWords(2), figure1Program<TmT>(),
+        [](const RunOutcome&) { return true; }, opts);
+    schedules = stats.runs;
+    benchmark::DoNotOptimize(stats.failures);
+  }
+  state.SetLabel("state space: " + std::to_string(schedules) +
+                 " schedules");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(schedules));
+}
+
+void BM_RandomExplore(benchmark::State& state) {
+  ExploreOptions opts;
+  opts.maxSteps = 120;
+  opts.samples = 32;
+  for (auto _ : state) {
+    auto stats = exploreRandom(
+        2, GlobalLockTm<ScheduledMemory>::memoryWords(2),
+        figure1Program<GlobalLockTm>(), [](const RunOutcome&) { return true; },
+        opts);
+    benchmark::DoNotOptimize(stats.completedRuns);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+
+BENCHMARK(BM_ExhaustiveExplore<GlobalLockTm>)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExhaustiveExplore<VersionedWriteTm>)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExhaustiveExplore<StrongAtomicityTm>)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RandomExplore)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

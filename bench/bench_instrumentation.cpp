@@ -1,0 +1,98 @@
+// E1 — the paper's headline efficiency claim (§6.1): the cost of a
+// non-transactional read / write under each TM design.
+//
+//   * tl2-weak         : uninstrumented reads + writes (but weak atomicity)
+//   * global-lock      : uninstrumented reads + writes (Theorem 3's model
+//                        class only)
+//   * versioned-write  : uninstrumented reads, ONE extra-wide store per
+//                        write (Theorem 5 — Alpha-class models)
+//   * write-as-tx      : uninstrumented reads, lock-protected writes
+//                        (Theorem 4 — non-M_rr models; unbounded under
+//                        contention)
+//   * strong-atomicity : instrumented reads AND writes (SC / Shpeisman)
+//
+// Expected shape: plain-read cost is flat for every design except
+// strong-atomicity (which pays the record-check on every read); plain-write
+// cost ranks uninstrumented < versioned (constant) < lock-based < record-
+// acquire + clock-bump.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "tm/runtime.hpp"
+
+namespace {
+
+using namespace jungle;
+
+constexpr std::size_t kVars = 256;
+
+struct Env {
+  explicit Env(TmKind kind)
+      : mem(runtimeMemoryWords(kind, kVars)),
+        tm(makeNativeRuntime(kind, mem, kVars, 8)) {}
+  NativeMemory mem;
+  std::unique_ptr<TmRuntime> tm;
+};
+
+void BM_NtRead(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  Env env(kind);
+  env.tm->ntWrite(0, 0, 42);
+  ObjectId x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.tm->ntRead(0, x));
+    x = (x + 1) & (kVars - 1);
+  }
+  state.SetLabel(tmKindName(kind));
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_NtWrite(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  Env env(kind);
+  ObjectId x = 0;
+  Word v = 1;
+  for (auto _ : state) {
+    env.tm->ntWrite(0, x, v & 0xffff);
+    x = (x + 1) & (kVars - 1);
+    ++v;
+  }
+  state.SetLabel(tmKindName(kind));
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Mixed plain workload: 90% reads / 10% writes — the ratio §5.2 motivates
+// ("a history contains more read operations than write operations").
+void BM_NtMixed90R(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  Env env(kind);
+  std::uint64_t rng = 0x2545f491;
+  for (auto _ : state) {
+    const ObjectId x = static_cast<ObjectId>(splitmix64(rng) & (kVars - 1));
+    if ((splitmix64(rng) % 10) == 0) {
+      env.tm->ntWrite(0, x, 7);
+    } else {
+      benchmark::DoNotOptimize(env.tm->ntRead(0, x));
+    }
+  }
+  state.SetLabel(tmKindName(kind));
+  state.SetItemsProcessed(state.iterations());
+}
+
+void registerAll() {
+  for (TmKind kind : allTmKinds()) {
+    const auto arg = static_cast<long>(kind);
+    benchmark::RegisterBenchmark("NtRead", BM_NtRead)->Arg(arg);
+    benchmark::RegisterBenchmark("NtWrite", BM_NtWrite)->Arg(arg);
+    benchmark::RegisterBenchmark("NtMixed90R", BM_NtMixed90R)->Arg(arg);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

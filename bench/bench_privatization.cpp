@@ -1,0 +1,95 @@
+// E5 — the introduction's motivating trade-off: batch-update a region of
+// shared data (a) staying transactional per element, versus (b) privatize →
+// plain accesses → publish.  The privatized path pays two transactions per
+// batch but its per-element cost is the TM's plain-access cost — i.e., the
+// instrumentation level (the subject of Theorems 3–5) decides the crossover
+// batch size.
+#include <benchmark/benchmark.h>
+
+#include "tm/runtime.hpp"
+#include "tm/txvar.hpp"
+
+namespace {
+
+using namespace jungle;
+
+constexpr std::size_t kRegionSize = 64;
+
+struct Env {
+  explicit Env(TmKind kind)
+      : mem(runtimeMemoryWords(kind, kRegionSize + 1)),
+        tm(makeNativeRuntime(kind, mem, kRegionSize + 1, 2)),
+        region(*tm, /*ownerSlot=*/kRegionSize, slots()) {}
+
+  static std::vector<ObjectId> slots() {
+    std::vector<ObjectId> s;
+    for (std::size_t i = 0; i < kRegionSize; ++i) {
+      s.push_back(static_cast<ObjectId>(i));
+    }
+    return s;
+  }
+
+  NativeMemory mem;
+  std::unique_ptr<TmRuntime> tm;
+  PrivatizableRegion region;
+};
+
+void BM_TransactionalBatch(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  Env env(kind);
+  for (auto _ : state) {
+    // One transaction per element — the fully-transactional baseline.
+    for (std::size_t i = 0; i < batch; ++i) {
+      env.tm->transaction(0, [&](TxContext& tx) {
+        const std::size_t idx = i % kRegionSize;
+        env.region.txWrite(tx, idx, env.region.txRead(tx, idx) + 1);
+      });
+    }
+  }
+  state.SetLabel(std::string(tmKindName(kind)) + "/batch=" +
+                 std::to_string(batch));
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void BM_PrivatizedBatch(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  Env env(kind);
+  for (auto _ : state) {
+    const bool owned = env.region.privatize(0);
+    benchmark::DoNotOptimize(owned);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::size_t idx = i % kRegionSize;
+      env.region.write(0, idx, env.region.read(0, idx) + 1);
+    }
+    env.region.publish(0);
+  }
+  state.SetLabel(std::string(tmKindName(kind)) + "/batch=" +
+                 std::to_string(batch));
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void registerAll() {
+  // tl2-weak is excluded: mixing plain accesses with its transactions is
+  // unsafe (see examples/weak_vs_strong), so the comparison is meaningless.
+  for (TmKind kind : {TmKind::kGlobalLock, TmKind::kWriteAsTx,
+                      TmKind::kVersionedWrite, TmKind::kStrongAtomicity}) {
+    for (long batch : {4, 16, 64, 256}) {
+      benchmark::RegisterBenchmark("TransactionalBatch",
+                                   BM_TransactionalBatch)
+          ->Args({static_cast<long>(kind), batch});
+      benchmark::RegisterBenchmark("PrivatizedBatch", BM_PrivatizedBatch)
+          ->Args({static_cast<long>(kind), batch});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

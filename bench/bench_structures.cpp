@@ -1,0 +1,138 @@
+// E6 (extension) — transactional data-structure throughput per TM design:
+// how the per-access TM overhead (the theorems' instrumentation/CAS costs)
+// compounds through structure operations of different sizes (counter: 1-2
+// accesses; queue op: ~3; map op: ~2-4 probes × 2).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "tm/structures.hpp"
+
+namespace {
+
+using namespace jungle;
+
+constexpr std::size_t kVars = 2048;
+
+struct Env {
+  explicit Env(TmKind kind)
+      : mem(runtimeMemoryWords(kind, kVars)),
+        tm(makeNativeRuntime(kind, mem, kVars, 4)),
+        slots(kVars),
+        counter(*tm, slots),
+        stack(*tm, slots, 128),
+        queue(*tm, slots, 128),
+        map(*tm, slots, 256),
+        list(*tm, slots, 256) {}
+
+  NativeMemory mem;
+  std::unique_ptr<TmRuntime> tm;
+  SlotAllocator slots;
+  TxCounter counter;
+  TxStack stack;
+  TxQueue queue;
+  TxMap map;
+  TxSortedList list;
+};
+
+void BM_CounterAdd(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  Env env(kind);
+  for (auto _ : state) {
+    env.counter.addAtomic(0, 1);
+  }
+  state.SetLabel(tmKindName(kind));
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_QueuePingPong(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  Env env(kind);
+  for (auto _ : state) {
+    env.tm->transaction(0, [&](TxContext& tx) { env.queue.enqueue(tx, 7); });
+    env.tm->transaction(0, [&](TxContext& tx) {
+      benchmark::DoNotOptimize(env.queue.dequeue(tx));
+    });
+  }
+  state.SetLabel(tmKindName(kind));
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void BM_StackPushPop(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  Env env(kind);
+  for (auto _ : state) {
+    env.tm->transaction(0, [&](TxContext& tx) {
+      env.stack.push(tx, 3);
+      benchmark::DoNotOptimize(env.stack.pop(tx));
+    });
+  }
+  state.SetLabel(tmKindName(kind));
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void BM_MapMixed(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  Env env(kind);
+  // Pre-populate half the key space.
+  env.tm->transaction(0, [&](TxContext& tx) {
+    for (Word k = 1; k <= 128; k += 2) env.map.put(tx, k, k);
+  });
+  Rng rng(7);
+  for (auto _ : state) {
+    const Word k = 1 + rng.below(256);
+    env.tm->transaction(0, [&](TxContext& tx) {
+      if (rng.chance(1, 4)) {
+        env.map.put(tx, k, k);
+      } else {
+        benchmark::DoNotOptimize(env.map.get(tx, k));
+      }
+    });
+  }
+  state.SetLabel(tmKindName(kind));
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The classic long-read-set workload: membership lookups against a sorted
+// list of `len` elements — transaction read-set size grows linearly, which
+// is where TL2-style validation costs show.
+void BM_ListLookup(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  const auto len = static_cast<Word>(state.range(1));
+  Env env(kind);
+  env.tm->transaction(0, [&](TxContext& tx) {
+    for (Word k = 1; k <= len; ++k) env.list.insert(tx, 2 * k);
+  });
+  Rng rng(3);
+  for (auto _ : state) {
+    const Word probe = 1 + rng.below(2 * len);  // ~50% hits
+    env.tm->transaction(0, [&](TxContext& tx) {
+      benchmark::DoNotOptimize(env.list.contains(tx, probe));
+    });
+  }
+  state.SetLabel(std::string(tmKindName(kind)) + "/len=" +
+                 std::to_string(len));
+  state.SetItemsProcessed(state.iterations());
+}
+
+void registerAll() {
+  for (TmKind kind : allTmKinds()) {
+    const auto arg = static_cast<long>(kind);
+    benchmark::RegisterBenchmark("CounterAdd", BM_CounterAdd)->Arg(arg);
+    benchmark::RegisterBenchmark("QueuePingPong", BM_QueuePingPong)->Arg(arg);
+    benchmark::RegisterBenchmark("StackPushPop", BM_StackPushPop)->Arg(arg);
+    benchmark::RegisterBenchmark("MapMixed", BM_MapMixed)->Arg(arg);
+    for (long len : {8, 64, 200}) {
+      benchmark::RegisterBenchmark("ListLookup", BM_ListLookup)
+          ->Args({arg, len});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

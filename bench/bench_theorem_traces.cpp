@@ -1,0 +1,82 @@
+// F5 — the proof artifacts as a benchmark: time to decide each Figure 5
+// adversarial trace (enumerate corresponding histories × run the checker),
+// for the model class each theorem targets and for a model outside it.
+// The printed verdict column regenerates the theorems' qualitative table.
+#include <benchmark/benchmark.h>
+
+#include "memmodel/models.hpp"
+#include "sim/trace_history.hpp"
+#include "theorems/figure5.hpp"
+
+namespace {
+
+using namespace jungle;
+using namespace jungle::theorems;
+
+struct Case {
+  const char* name;
+  Trace (*make)();
+  const MemoryModel* inClass;   // theorem applies: expect NO
+  const MemoryModel* outClass;  // hypothesis fails: expect yes
+};
+
+Trace makeL1Bad() { return lemma1BadTrace(1); }
+Trace makeC1() { return thm1Case1Trace(); }
+Trace makeC2() { return thm1Case2Trace(); }
+Trace makeC3() { return thm1Case3Trace(); }
+Trace makeC3d() { return thm1Case3DependentTrace(); }
+Trace makeC4() { return thm1Case4Trace(); }
+Trace makeT2s() { return thm2StoreBasedTrace(); }
+Trace makeT2c() { return thm2CasBasedTrace(); }
+
+const Case kCases[] = {
+    {"lemma1", makeL1Bad, &scModel(), nullptr},
+    {"thm1c1_rr", makeC1, &scModel(), &rmoModel()},
+    {"thm1c2_wr", makeC2, &scModel(), &tsoModel()},
+    {"thm1c3_rw", makeC3, &tsoModel(), &alphaModel()},
+    {"thm1c3d_rw", makeC3d, &alphaModel(), &idealizedModel()},
+    {"thm1c4_ww", makeC4, &tsoModel(), &psoModel()},
+    {"thm2_store", makeT2s, &idealizedModel(), nullptr},
+    {"thm2_cas", makeT2c, nullptr, &scModel()},
+};
+
+void BM_TheoremTrace(benchmark::State& state) {
+  const Case& c = kCases[static_cast<std::size_t>(state.range(0))];
+  const bool inside = state.range(1) == 0;
+  const MemoryModel* m = inside ? c.inClass : c.outClass;
+  if (m == nullptr) {
+    state.SkipWithError("no model for this side of the case");
+    return;
+  }
+  const Trace r = c.make();
+  SpecMap specs;
+  bool satisfied = false;
+  for (auto _ : state) {
+    satisfied = traceEnsuresParametrizedOpacity(r, *m, specs).satisfied;
+    benchmark::DoNotOptimize(satisfied);
+  }
+  state.SetLabel(std::string(c.name) + "/" + m->name() + "/" +
+                 (satisfied ? "explainable" : "IMPOSSIBLE"));
+}
+
+void registerAll() {
+  for (std::size_t i = 0; i < std::size(kCases); ++i) {
+    if (kCases[i].inClass != nullptr) {
+      benchmark::RegisterBenchmark("TheoremTrace", BM_TheoremTrace)
+          ->Args({static_cast<long>(i), 0});
+    }
+    if (kCases[i].outClass != nullptr) {
+      benchmark::RegisterBenchmark("TheoremTrace", BM_TheoremTrace)
+          ->Args({static_cast<long>(i), 1});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E3 — end-to-end transactional throughput for every TM implementation,
+// across read/write mixes and thread counts.
+//
+// Expected shape: the global-lock family serializes all transactions, so
+// it is flat (or degrades) with threads; the TL2 family scales on disjoint
+// working sets but pays validation; abort rates grow with write share.
+// (On the single-core CI machine thread rows show scheduling overhead, not
+// parallel speedup — the per-op cost ordering is the reproducible signal.)
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "tm/runtime.hpp"
+
+namespace {
+
+using namespace jungle;
+
+constexpr std::size_t kVars = 512;
+constexpr std::size_t kTxLen = 4;
+
+struct Env {
+  explicit Env(TmKind kind)
+      : mem(runtimeMemoryWords(kind, kVars)),
+        tm(makeNativeRuntime(kind, mem, kVars, 16)) {}
+  NativeMemory mem;
+  std::unique_ptr<TmRuntime> tm;
+};
+
+// One benchmark iteration = one committed transaction of kTxLen accesses.
+void BM_Transactions(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  const auto writePct = static_cast<unsigned>(state.range(1));
+  static Env* env = nullptr;
+  if (state.thread_index() == 0) {
+    env = new Env(kind);
+  }
+  // Barrier semantics: google-benchmark starts threads together after the
+  // first thread's setup runs in program order for Threads(1); for
+  // multi-thread runs we allocate eagerly below instead.
+  Rng rng(0x1234 + state.thread_index());
+  const auto pid = static_cast<ProcessId>(state.thread_index());
+  for (auto _ : state) {
+    env->tm->transaction(pid, [&](TxContext& tx) {
+      for (std::size_t i = 0; i < kTxLen; ++i) {
+        const auto x = static_cast<ObjectId>(rng.below(kVars));
+        if (rng.chance(writePct, 100)) {
+          tx.write(x, rng.below(1 << 16));
+        } else {
+          benchmark::DoNotOptimize(tx.read(x));
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kTxLen);
+  if (state.thread_index() == 0) {
+    state.SetLabel(std::string(tmKindName(kind)) + "/wr%=" +
+                   std::to_string(writePct) +
+                   "/aborts=" + std::to_string(env->tm->abortCount()));
+    delete env;
+    env = nullptr;
+  }
+}
+
+void registerAll() {
+  for (TmKind kind : allTmKinds()) {
+    for (long writePct : {0, 20, 50, 100}) {
+      for (int threads : {1, 2, 4}) {
+        benchmark::RegisterBenchmark("Tx", BM_Transactions)
+            ->Args({static_cast<long>(kind), writePct})
+            ->Threads(threads)
+            ->UseRealTime();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Model checking a TM implementation, in the spirit of the paper's
+// companion work on TM verification: exhaustively interleave a small mixed
+// program on a chosen TM, checking every completed schedule's trace against
+// a chosen memory model's parametrized opacity.
+//
+//   build/examples/model_check [tm-name] [model-name]
+//
+// Try:  model_check global-lock Idealized   → all schedules pass (Thm 3)
+//       model_check global-lock SC          → violations found (Thm 1)
+//       model_check strong-atomicity SC     → all schedules pass (§6.1)
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "memmodel/models.hpp"
+#include "sim/schedule.hpp"
+#include "theorems/conformance.hpp"
+#include "tm/global_lock_tm.hpp"
+#include "tm/strong_atomicity_tm.hpp"
+#include "tm/tl2_tm.hpp"
+#include "tm/versioned_write_tm.hpp"
+#include "tm/write_as_tx_tm.hpp"
+
+namespace {
+
+using namespace jungle;
+
+// The Figure-1 program: one transaction writing x and y; one thread
+// reading both with plain loads.
+template <template <class> class TmT>
+Program figure1Program() {
+  return [](ScheduledMemory& mem) {
+    auto tm = std::make_shared<TmT<ScheduledMemory>>(mem, 2);
+    std::vector<ThreadScript> scripts;
+    scripts.push_back([tm] {
+      auto t = tm->makeThread(0);
+      tm->txStart(t);
+      tm->txWrite(t, 0, 1);
+      tm->txWrite(t, 1, 1);
+      tm->txCommit(t);
+    });
+    scripts.push_back([tm] {
+      auto t = tm->makeThread(1);
+      (void)tm->ntRead(t, 0);
+      (void)tm->ntRead(t, 1);
+    });
+    return scripts;
+  };
+}
+
+Program programFor(const std::string& tmName) {
+  if (tmName == "global-lock") return figure1Program<GlobalLockTm>();
+  if (tmName == "write-as-tx") return figure1Program<WriteAsTxTm>();
+  if (tmName == "versioned-write") return figure1Program<VersionedWriteTm>();
+  if (tmName == "strong-atomicity")
+    return figure1Program<StrongAtomicityTm>();
+  if (tmName == "tl2-weak") return figure1Program<Tl2Tm>();
+  std::fprintf(stderr, "unknown TM '%s', using global-lock\n",
+               tmName.c_str());
+  return figure1Program<GlobalLockTm>();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string tmName = argc > 1 ? argv[1] : "global-lock";
+  const std::string modelName = argc > 2 ? argv[2] : "Idealized";
+  const MemoryModel* model = modelByName(modelName);
+  if (model == nullptr) {
+    std::fprintf(stderr, "unknown model '%s'\n", modelName.c_str());
+    return 2;
+  }
+
+  std::printf("model-checking the Figure 1 program on %s against "
+              "opacity(%s)\n",
+              tmName.c_str(), model->name());
+
+  SpecMap specs;
+  std::size_t shown = 0;
+  ExploreOptions opts;
+  opts.maxSteps = 120;
+  opts.maxRuns = 3000;
+  auto stats = exploreExhaustive(
+      2, 16, programFor(tmName),
+      [&](const RunOutcome& out) {
+        auto res = theorems::checkTracePopacity(out.trace, *model, specs);
+        if (!res.ok && shown < 2) {
+          ++shown;
+          std::printf("\nviolating schedule (thread ids per step): ");
+          for (ProcessId p : out.schedule) std::printf("%u", p);
+          std::printf("\ncanonical corresponding history:\n%s",
+                      res.canonical.toString().c_str());
+        }
+        return res.ok;
+      },
+      opts);
+
+  std::printf("\nschedules explored: %zu (completed %zu, cut %zu)\n",
+              stats.runs, stats.completedRuns, stats.cutRuns);
+  std::printf("violations: %zu\n", stats.failures);
+  std::printf(stats.failures == 0
+                  ? "VERIFIED for this program up to the bounds.\n"
+                  : "NOT opaque under this model — exactly what the "
+                    "impossibility theorems predict for this pairing.\n");
+  return 0;
+}

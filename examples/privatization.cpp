@@ -1,0 +1,118 @@
+// Privatization (§1's motivating pattern): make shared data private to a
+// thread, operate on it with cheap plain accesses, then publish it back.
+//
+// A worker privatizes a region of a shared buffer, runs a batch of plain
+// updates on it (no transactional overhead per element), then publishes.
+// Meanwhile other threads keep transacting on regions they own.  The final
+// audit shows no update was lost — the mixed transactional/plain protocol
+// is exactly what parametrized opacity makes precise.
+//
+//   build/examples/privatization [tm-name]
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tm/runtime.hpp"
+#include "tm/txvar.hpp"
+
+namespace {
+
+using namespace jungle;
+
+constexpr std::size_t kRegions = 4;
+constexpr std::size_t kRegionSize = 8;
+constexpr std::size_t kThreads = 4;
+constexpr std::size_t kBatches = 300;
+constexpr std::size_t kPlainUpdatesPerBatch = 50;
+
+TmKind parseKind(int argc, char** argv) {
+  if (argc < 2) return TmKind::kVersionedWrite;
+  const std::string name = argv[1];
+  for (TmKind k : allTmKinds()) {
+    if (name == tmKindName(k)) return k;
+  }
+  return TmKind::kVersionedWrite;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const TmKind kind = parseKind(argc, argv);
+  // Layout: kRegions owner words, then kRegions * kRegionSize data words.
+  const std::size_t numVars = kRegions + kRegions * kRegionSize;
+  NativeMemory mem(runtimeMemoryWords(kind, numVars));
+  auto tm = makeNativeRuntime(kind, mem, numVars, kThreads);
+
+  std::vector<PrivatizableRegion> regions;
+  for (std::size_t r = 0; r < kRegions; ++r) {
+    std::vector<ObjectId> slots;
+    for (std::size_t i = 0; i < kRegionSize; ++i) {
+      slots.push_back(
+          static_cast<ObjectId>(kRegions + r * kRegionSize + i));
+    }
+    regions.emplace_back(*tm, static_cast<ObjectId>(r), std::move(slots));
+  }
+
+  std::printf("privatization demo — TM: %s\n", tm->name());
+
+  std::vector<std::thread> workers;
+  std::vector<std::uint64_t> applied(kThreads, 0);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const auto pid = static_cast<ProcessId>(t);
+      std::uint64_t state = 0x9e37 + t;
+      for (std::size_t b = 0; b < kBatches; ++b) {
+        const std::size_t r = splitmix64(state) % kRegions;
+        if (!regions[r].privatize(pid)) {
+          // Region busy: do a transactional increment somewhere instead.
+          const std::size_t r2 = splitmix64(state) % kRegions;
+          const std::size_t idx = splitmix64(state) % kRegionSize;
+          tm->transaction(pid, [&](TxContext& tx) {
+            // Only touch the region transactionally if it is shared.
+            if (tx.read(static_cast<ObjectId>(r2)) !=
+                PrivatizableRegion::kShared) {
+              return;
+            }
+            const Word v = regions[r2].txRead(tx, idx);
+            regions[r2].txWrite(tx, idx, v + 1);
+          });
+          continue;
+        }
+        // Private phase: plain accesses only — this is the fast path the
+        // paper's intro motivates.
+        for (std::size_t i = 0; i < kPlainUpdatesPerBatch; ++i) {
+          const std::size_t idx = splitmix64(state) % kRegionSize;
+          const Word v = regions[r].read(pid, idx);
+          regions[r].write(pid, idx, v + 1);
+          ++applied[t];
+        }
+        regions[r].publish(pid);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Audit: the sum of all cells equals the total increments applied
+  // (plain-phase increments counted exactly; transactional fallbacks add
+  // on top, so audit with a transactional sweep).
+  Word total = 0;
+  tm->transaction(0, [&](TxContext& tx) {
+    total = 0;
+    for (std::size_t r = 0; r < kRegions; ++r) {
+      for (std::size_t i = 0; i < kRegionSize; ++i) {
+        total += regions[r].txRead(tx, i);
+      }
+    }
+  });
+  std::uint64_t plainTotal = 0;
+  for (auto a : applied) plainTotal += a;
+  std::printf("cells sum to %llu; plain-phase increments %llu; "
+              "transactional fallbacks account for the rest\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(plainTotal));
+  const bool ok = total >= plainTotal;
+  std::printf("no lost plain update: %s\n", ok ? "OK" : "VIOLATION");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Theorem tour: the paper's proofs, executed.
+//
+// Walks every Figure 5 construction, prints the adversarial instruction
+// trace, and reports — per memory model — whether ANY corresponding history
+// ensures parametrized opacity.  "no" rows are the impossibility results
+// (Lemma 1, Theorem 1 cases 1–4, Theorem 2); "yes" rows show the theorems'
+// hypotheses are tight.
+//
+//   build/examples/theorem_tour [-v]   (-v prints the full traces)
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "memmodel/models.hpp"
+#include "sim/trace_history.hpp"
+#include "theorems/figure5.hpp"
+
+namespace {
+
+using namespace jungle;
+using namespace jungle::theorems;
+
+void show(const char* title, const char* claim, const Trace& r,
+          bool verbose) {
+  std::printf("\n=== %s ===\n%s\n", title, claim);
+  if (verbose) std::printf("%s", r.toString().c_str());
+  SpecMap specs;
+  std::printf("  exists parametrized-opaque corresponding history?\n");
+  const std::vector<const MemoryModel*> models{
+      &scModel(),    &tsoModel(),  &psoModel(),
+      &rmoModel(),   &alphaModel(), &idealizedModel()};
+  for (const MemoryModel* m : models) {
+    auto res = traceEnsuresParametrizedOpacity(r, *m, specs);
+    std::printf("    %-10s %s\n", m->name(), res.satisfied ? "yes" : "NO");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool verbose = argc > 1 && std::strcmp(argv[1], "-v") == 0;
+  std::printf("jungle-tm theorem tour — the Figure 5 constructions\n");
+
+  show("Lemma 1 (bad)",
+       "A committed transaction wrote x but issued no update instruction;\n"
+       "a later uninstrumented read sees 0.  No model can explain this.",
+       lemma1BadTrace(), verbose);
+  show("Lemma 1 (good)",
+       "Same schedule, but the commit stores the value: explainable.",
+       lemma1GoodTrace(), verbose);
+
+  show("Theorem 1, case 1 (M_rr)",
+       "Two plain reads slip between a transaction's two updates.\n"
+       "Models that keep independent reads ordered (SC/TSO/PSO) fail;\n"
+       "read-reordering models explain it.",
+       thm1Case1Trace(), verbose);
+  show("Theorem 1, case 2 (M_wr)",
+       "A plain write-then-read pair straddles the transaction.  Only\n"
+       "models ordering W->R (SC) fail; store-buffer models survive.",
+       thm1Case2Trace(), verbose);
+  show("Theorem 1, case 3 (M_rw, independent)",
+       "A plain read between the updates, then two writes restoring y.",
+       thm1Case3Trace(), verbose);
+  show("Theorem 1, case 3 (M_rw, data-dependent)",
+       "Same, but the writes are data-dependent on the read: now RMO and\n"
+       "Alpha fail too (they are in M^d_rw).",
+       thm1Case3DependentTrace(), verbose);
+  show("Theorem 1, case 4 (M_ww)",
+       "Three plain stores straddle the updates; W->W order (SC/TSO) is\n"
+       "unsatisfiable.",
+       thm1Case4Trace(), verbose);
+
+  show("Theorem 2 (store-based write-back)",
+       "The transaction writes back with a plain store, silently killing a\n"
+       "racy plain write.  NO memory model explains the result: read-write\n"
+       "transactions need CAS.",
+       thm2StoreBasedTrace(), verbose);
+  show("Theorem 2 (CAS-based write-back)",
+       "With CAS the racy write defeats the write-back, which is\n"
+       "equivalent to it landing after the transaction: explainable\n"
+       "everywhere.",
+       thm2CasBasedTrace(), verbose);
+
+  std::printf(
+      "\nPositive counterparts (Theorems 3-5, 7) are exercised as\n"
+      "conformance tests over live TM implementations; see\n"
+      "tests/test_tm_conformance.cpp and bench/bench_theorem_traces.cpp.\n");
+  return 0;
+}

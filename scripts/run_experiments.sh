@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates every experiment of EXPERIMENTS.md: full test suite, all
+# benchmark binaries, and the table-producing examples.  Outputs land in
+# the given directory (default: ./results).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="${1:-$ROOT/results}"
+mkdir -p "$OUT"
+
+echo "== configure & build =="
+cmake -B "$BUILD" -S "$ROOT" -G Ninja
+cmake --build "$BUILD"
+
+echo "== tests =="
+ctest --test-dir "$BUILD" 2>&1 | tee "$OUT/test_output.txt"
+
+echo "== benches =="
+: > "$OUT/bench_output.txt"
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] || continue
+  echo "=== $(basename "$b") ===" | tee -a "$OUT/bench_output.txt"
+  "$b" 2>&1 | tee -a "$OUT/bench_output.txt"
+done
+
+echo "== figure tables =="
+"$BUILD/examples/litmus_explorer" | tee "$OUT/litmus_tables.txt"
+"$BUILD/examples/theorem_tour" | tee "$OUT/theorem_tour.txt"
+"$BUILD/examples/weak_vs_strong" | tee "$OUT/weak_vs_strong.txt"
+"$BUILD/examples/model_check" global-lock SC | tee "$OUT/model_check_sc.txt"
+"$BUILD/examples/model_check" global-lock Idealized \
+  | tee "$OUT/model_check_idealized.txt"
+
+echo "all outputs in $OUT"

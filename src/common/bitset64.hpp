@@ -1,0 +1,85 @@
+// Small fixed-capacity bitset over uint64_t words.
+//
+// The opacity checkers memoize search configurations keyed by the set of
+// already-scheduled units; histories in the decision procedures are small
+// (tens of units), so a couple of words suffice and the key hashes in a few
+// cycles.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace jungle {
+
+template <std::size_t Words>
+class BitsetN {
+ public:
+  static constexpr std::size_t kCapacity = Words * 64;
+
+  constexpr BitsetN() = default;
+
+  constexpr void set(std::size_t i) {
+    JUNGLE_DCHECK(i < kCapacity);
+    w_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  constexpr void reset(std::size_t i) {
+    JUNGLE_DCHECK(i < kCapacity);
+    w_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  constexpr bool test(std::size_t i) const {
+    JUNGLE_DCHECK(i < kCapacity);
+    return (w_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  constexpr std::size_t count() const {
+    std::size_t n = 0;
+    for (auto w : w_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  constexpr bool none() const {
+    for (auto w : w_)
+      if (w) return false;
+    return true;
+  }
+
+  /// True if every bit set in `other` is also set in *this.
+  constexpr bool contains(const BitsetN& other) const {
+    for (std::size_t i = 0; i < Words; ++i)
+      if ((other.w_[i] & ~w_[i]) != 0) return false;
+    return true;
+  }
+
+  constexpr bool intersects(const BitsetN& other) const {
+    for (std::size_t i = 0; i < Words; ++i)
+      if ((other.w_[i] & w_[i]) != 0) return true;
+    return false;
+  }
+
+  friend constexpr bool operator==(const BitsetN&, const BitsetN&) = default;
+
+  constexpr std::uint64_t hash() const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (auto w : w_) {
+      h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+  constexpr std::uint64_t word(std::size_t i) const { return w_[i]; }
+
+ private:
+  std::array<std::uint64_t, Words> w_{};
+};
+
+/// Default unit-set size for checker configurations: 128 units is far above
+/// anything the exponential search could complete on anyway.
+using UnitSet = BitsetN<2>;
+
+}  // namespace jungle

@@ -1,0 +1,40 @@
+// Lightweight invariant checking.
+//
+// JUNGLE_CHECK is always on (used to guard API misuse and internal
+// invariants in the formal-framework code, where silent corruption would
+// invalidate theorem tests).  JUNGLE_DCHECK compiles out in release builds
+// and guards hot paths in the TM runtimes.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace jungle::detail {
+
+[[noreturn]] inline void checkFailed(const char* cond, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "jungle: check failed: %s at %s:%d%s%s\n", cond, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace jungle::detail
+
+#define JUNGLE_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) ::jungle::detail::checkFailed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define JUNGLE_CHECK_MSG(cond, msg)                                      \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::jungle::detail::checkFailed(#cond, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+#ifdef NDEBUG
+#define JUNGLE_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define JUNGLE_DCHECK(cond) JUNGLE_CHECK(cond)
+#endif

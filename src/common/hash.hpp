@@ -1,0 +1,22 @@
+// Hash combinators used by the checkers' memo tables.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace jungle {
+
+/// boost::hash_combine-style mixing with a 64-bit golden-ratio constant.
+inline void hashCombine(std::uint64_t& seed, std::uint64_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+}
+
+template <class... Ts>
+std::uint64_t hashAll(const Ts&... vals) {
+  std::uint64_t seed = 0x2545f4914f6cdd1dULL;
+  (hashCombine(seed, std::hash<Ts>{}(vals)), ...);
+  return seed;
+}
+
+}  // namespace jungle

@@ -1,0 +1,77 @@
+// Low-level synchronization helpers for the native TM runtimes and the
+// benchmark harness.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace jungle {
+
+/// Destination-size cache line; used to pad hot shared atomics so unrelated
+/// variables never share a line (false sharing ruins per-op cost
+/// measurements the benchmarks rely on).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Exponential backoff for CAS retry loops (per CP.free guidance: bounded
+/// spinning, then yield to the scheduler — essential on the single-core CI
+/// machine where pure spinning would livelock against the lock holder).
+class Backoff {
+ public:
+  void pause() {
+    if (spins_ < kSpinLimit) {
+      for (std::uint32_t i = 0; i < (1u << spins_); ++i) cpuRelax();
+      ++spins_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { spins_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kSpinLimit = 6;
+
+  static void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+  std::uint32_t spins_ = 0;
+};
+
+/// Cache-line padded atomic word.
+struct alignas(kCacheLine) PaddedAtomicWord {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Simple sense-reversing barrier for benchmark thread fleets.  std::barrier
+/// exists but its completion-function machinery is overhead we do not want
+/// inside timed regions.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t parties) : parties_(parties) {}
+
+  void arriveAndWait() {
+    const bool mySense = !sense_.load(std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(mySense, std::memory_order_release);
+    } else {
+      Backoff backoff;
+      while (sense_.load(std::memory_order_acquire) != mySense) {
+        backoff.pause();
+      }
+    }
+  }
+
+ private:
+  const std::uint32_t parties_;
+  std::atomic<std::uint32_t> count_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace jungle

@@ -1,0 +1,43 @@
+// Fundamental value types shared across the jungle-tm library.
+//
+// The paper ("Transactions in the Jungle", Guerraoui et al., SPAA 2010)
+// models a shared-memory system of processes issuing commands on shared
+// objects; at the implementation level, operations compile down to
+// load/store/cas instructions on memory addresses.  These aliases pin the
+// vocabulary used by every layer of the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace jungle {
+
+/// Machine word: the unit of value stored in a shared variable and moved by
+/// a single load/store/cas instruction.
+using Word = std::uint64_t;
+
+/// Identifier of a process (thread) p in the set P.
+using ProcessId = std::uint32_t;
+
+/// Identifier of a shared object x in Obj.
+using ObjectId = std::uint32_t;
+
+/// Unique identifier k of an operation instance within a history.
+using OpId = std::uint64_t;
+
+/// Memory address at the instruction level (index into simulated memory).
+using Addr = std::uint64_t;
+
+/// Sentinel for "no operation".
+inline constexpr OpId kNoOp = std::numeric_limits<OpId>::max();
+
+/// Sentinel for "no process".
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+/// Sentinel for "no object".
+inline constexpr ObjectId kNoObject = std::numeric_limits<ObjectId>::max();
+
+/// Sentinel for "no address".
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+}  // namespace jungle

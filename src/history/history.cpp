@@ -1,0 +1,290 @@
+#include "history/history.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace jungle {
+
+const char* opTypeName(OpType t) {
+  switch (t) {
+    case OpType::kStart:
+      return "start";
+    case OpType::kCommit:
+      return "commit";
+    case OpType::kAbort:
+      return "abort";
+    case OpType::kCommand:
+      return "command";
+  }
+  return "?";
+}
+
+std::string OpInstance::toString() const {
+  std::string s = "((";
+  if (isCommand()) {
+    s += cmdKindName(cmd.kind);
+    s += ", x";
+    s += std::to_string(obj);
+    s += ", ";
+    s += (cmd.kind == CmdKind::kDequeue && cmd.value == kQueueEmpty)
+             ? "empty"
+             : std::to_string(cmd.value);
+    if (!cmd.deps.empty()) {
+      s += ", {";
+      for (std::size_t i = 0; i < cmd.deps.size(); ++i) {
+        if (i) s += ",";
+        s += std::to_string(cmd.deps[i]);
+      }
+      s += "}";
+    }
+  } else {
+    s += opTypeName(type);
+  }
+  s += "), p";
+  s += std::to_string(pid);
+  s += ", ";
+  s += std::to_string(id);
+  s += ")";
+  return s;
+}
+
+History::History(std::vector<OpInstance> ops) : ops_(std::move(ops)) {
+  idToPos_.reserve(ops_.size());
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    auto [it, inserted] = idToPos_.emplace(ops_[i].id, i);
+    JUNGLE_CHECK_MSG(inserted, "duplicate operation identifier in history");
+  }
+}
+
+std::size_t History::positionOf(OpId id) const {
+  auto it = idToPos_.find(id);
+  JUNGLE_CHECK_MSG(it != idToPos_.end(), "unknown operation identifier");
+  return it->second;
+}
+
+History History::subsequence(const std::vector<std::size_t>& positions) const {
+  std::vector<OpInstance> out;
+  out.reserve(positions.size());
+  for (std::size_t pos : positions) {
+    JUNGLE_CHECK(pos < ops_.size());
+    out.push_back(ops_[pos]);
+  }
+  return History(std::move(out));
+}
+
+History History::projectProcess(ProcessId p) const {
+  std::vector<OpInstance> out;
+  for (const auto& inst : ops_) {
+    if (inst.pid == p) out.push_back(inst);
+  }
+  return History(std::move(out));
+}
+
+std::vector<ProcessId> History::processes() const {
+  std::vector<ProcessId> out;
+  std::unordered_set<ProcessId> seen;
+  for (const auto& inst : ops_) {
+    if (seen.insert(inst.pid).second) out.push_back(inst.pid);
+  }
+  return out;
+}
+
+std::vector<ObjectId> History::objects() const {
+  std::vector<ObjectId> out;
+  std::unordered_set<ObjectId> seen;
+  for (const auto& inst : ops_) {
+    if (inst.isCommand() && seen.insert(inst.obj).second)
+      out.push_back(inst.obj);
+  }
+  return out;
+}
+
+std::string History::toString() const {
+  std::string s;
+  for (const auto& inst : ops_) {
+    s += inst.toString();
+    s += "\n";
+  }
+  return s;
+}
+
+HistoryBuilder& HistoryBuilder::append(OpInstance inst) {
+  nextAuto_ = std::max<OpId>(nextAuto_, inst.id + 1);
+  ops_.push_back(std::move(inst));
+  return *this;
+}
+
+OpId HistoryBuilder::resolveId(OpId requested) {
+  if (requested != 0) {
+    nextAuto_ = std::max<OpId>(nextAuto_, requested + 1);
+    return requested;
+  }
+  return nextAuto_++;
+}
+
+HistoryBuilder& HistoryBuilder::start(ProcessId p, OpId id) {
+  ops_.push_back(opStart(p, resolveId(id)));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::commit(ProcessId p, OpId id) {
+  ops_.push_back(opCommit(p, resolveId(id)));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::abort(ProcessId p, OpId id) {
+  ops_.push_back(opAbort(p, resolveId(id)));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::read(ProcessId p, ObjectId x, Word v,
+                                     OpId id) {
+  ops_.push_back(opRead(p, x, v, resolveId(id)));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::write(ProcessId p, ObjectId x, Word v,
+                                      OpId id) {
+  ops_.push_back(opWrite(p, x, v, resolveId(id)));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::cmd(ProcessId p, ObjectId x, Command c,
+                                    OpId id) {
+  ops_.push_back(opCmd(p, x, std::move(c), resolveId(id)));
+  return *this;
+}
+
+History HistoryBuilder::build() {
+  // Copies so the builder stays usable (tests frequently build variants).
+  return History(ops_);
+}
+
+HistoryAnalysis::HistoryAnalysis(const History& h) : h_(&h) { analyze(); }
+
+void HistoryAnalysis::analyze() {
+  const History& h = *h_;
+  txOf_.assign(h.size(), -1);
+
+  // Per-process scan building transactions and flagging nesting errors.
+  std::unordered_map<ProcessId, int> openTx;  // pid -> index into txns_
+  for (std::size_t pos = 0; pos < h.size(); ++pos) {
+    const OpInstance& inst = h[pos];
+    auto it = openTx.find(inst.pid);
+    const bool inside = it != openTx.end();
+    switch (inst.type) {
+      case OpType::kStart:
+        if (inside) {
+          wellFormed_ = false;
+          error_ = "nested transaction: start inside a transaction (op " +
+                   std::to_string(inst.id) + ")";
+          return;
+        }
+        txns_.push_back(Transaction{inst.pid, {pos}, false, false});
+        openTx[inst.pid] = static_cast<int>(txns_.size()) - 1;
+        txOf_[pos] = static_cast<int>(txns_.size()) - 1;
+        break;
+      case OpType::kCommit:
+      case OpType::kAbort:
+        if (!inside) {
+          wellFormed_ = false;
+          error_ = "unmatched " +
+                   std::string(opTypeName(inst.type)) + " (op " +
+                   std::to_string(inst.id) + ")";
+          return;
+        }
+        txns_[it->second].positions.push_back(pos);
+        (inst.type == OpType::kCommit ? txns_[it->second].committed
+                                      : txns_[it->second].aborted) = true;
+        txOf_[pos] = it->second;
+        openTx.erase(it);
+        break;
+      case OpType::kCommand:
+        if (inside) {
+          txns_[it->second].positions.push_back(pos);
+          txOf_[pos] = it->second;
+        }
+        break;
+    }
+  }
+
+  // Dependence well-formedness: every dependency of an operation must be an
+  // earlier operation of the same process (§3.1).
+  for (std::size_t pos = 0; pos < h.size(); ++pos) {
+    const OpInstance& inst = h[pos];
+    if (!inst.isCommand()) continue;
+    for (OpId dep : inst.cmd.deps) {
+      if (!h.hasOp(dep) || h.positionOf(dep) >= pos ||
+          h[h.positionOf(dep)].pid != inst.pid) {
+        wellFormed_ = false;
+        error_ = "operation " + std::to_string(inst.id) +
+                 " depends on op " + std::to_string(dep) +
+                 " which does not precede it in the same process";
+        return;
+      }
+    }
+  }
+}
+
+std::optional<std::size_t> HistoryAnalysis::transactionOf(
+    std::size_t pos) const {
+  JUNGLE_CHECK(pos < txOf_.size());
+  if (txOf_[pos] < 0) return std::nullopt;
+  return static_cast<std::size_t>(txOf_[pos]);
+}
+
+bool HistoryAnalysis::realTimePrecedes(std::size_t i, std::size_t j) const {
+  JUNGLE_CHECK(i < h_->size() && j < h_->size());
+  const int ti = txOf_[i];
+  const int tj = txOf_[j];
+  // Clause 1: i ∈ T, j ∈ T', T completed, T's last instance precedes T''s
+  // first instance.
+  if (ti >= 0 && tj >= 0 && ti != tj) {
+    const Transaction& a = txns_[static_cast<std::size_t>(ti)];
+    const Transaction& b = txns_[static_cast<std::size_t>(tj)];
+    if (a.completed() && a.lastPos() < b.firstPos()) return true;
+  }
+  // Clause 2: same process, program order, at least one transactional.
+  if (h_->at(i).pid == h_->at(j).pid && i < j && (ti >= 0 || tj >= 0)) {
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<OpId, OpId>> HistoryAnalysis::realTimePairs() const {
+  // ≺h is a partial order, hence transitively closed; the two clauses of
+  // realTimePrecedes are its generators (the paper's Fig. 3 lists (1, 9),
+  // which only arises by transitivity through p1's transaction).
+  const std::size_t n = h_->size();
+  std::vector<std::vector<bool>> rel(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && realTimePrecedes(i, j)) rel[i][j] = true;
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!rel[i][k]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (rel[k][j]) rel[i][j] = true;
+      }
+    }
+  }
+  std::vector<std::pair<OpId, OpId>> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rel[i][j]) out.emplace_back(h_->at(i).id, h_->at(j).id);
+    }
+  }
+  return out;
+}
+
+std::size_t HistoryAnalysis::countCommitted() const {
+  std::size_t n = 0;
+  for (const auto& t : txns_) n += t.committed ? 1 : 0;
+  return n;
+}
+
+}  // namespace jungle

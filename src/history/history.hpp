@@ -1,0 +1,136 @@
+// Histories (§2): finite sequences of operation instances with unique
+// identifiers, plus the structural analysis used throughout the library —
+// well-formedness, transaction extraction, the transactional/
+// non-transactional distinction, and the real-time partial order ≺h.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "history/op_instance.hpp"
+
+namespace jungle {
+
+/// Immutable sequence of operation instances.  Use HistoryBuilder for
+/// convenient construction with auto-assigned identifiers.
+class History {
+ public:
+  History() = default;
+  explicit History(std::vector<OpInstance> ops);
+
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  const OpInstance& at(std::size_t pos) const { return ops_[pos]; }
+  const OpInstance& operator[](std::size_t pos) const { return ops_[pos]; }
+  const std::vector<OpInstance>& ops() const { return ops_; }
+
+  auto begin() const { return ops_.begin(); }
+  auto end() const { return ops_.end(); }
+
+  bool hasOp(OpId id) const { return idToPos_.contains(id); }
+  /// Position of the instance with identifier `id`; CHECKs presence.
+  std::size_t positionOf(OpId id) const;
+  const OpInstance& op(OpId id) const { return ops_[positionOf(id)]; }
+
+  /// New history containing only the given positions, in order.
+  History subsequence(const std::vector<std::size_t>& positions) const;
+
+  /// h|p: longest subsequence of instances issued by process p.
+  History projectProcess(ProcessId p) const;
+
+  /// All distinct process ids, in order of first appearance.
+  std::vector<ProcessId> processes() const;
+
+  /// All distinct object ids appearing in commands.
+  std::vector<ObjectId> objects() const;
+
+  std::string toString() const;
+
+  friend bool operator==(const History& a, const History& b) {
+    return a.ops_ == b.ops_;
+  }
+
+ private:
+  std::vector<OpInstance> ops_;
+  std::unordered_map<OpId, std::size_t> idToPos_;
+};
+
+/// Fluent construction; identifiers auto-assigned from 1 unless given.
+class HistoryBuilder {
+ public:
+  HistoryBuilder& append(OpInstance inst);
+  HistoryBuilder& start(ProcessId p, OpId id = 0);
+  HistoryBuilder& commit(ProcessId p, OpId id = 0);
+  HistoryBuilder& abort(ProcessId p, OpId id = 0);
+  HistoryBuilder& read(ProcessId p, ObjectId x, Word v, OpId id = 0);
+  HistoryBuilder& write(ProcessId p, ObjectId x, Word v, OpId id = 0);
+  HistoryBuilder& cmd(ProcessId p, ObjectId x, Command c, OpId id = 0);
+
+  /// Builds a history from the instances appended so far.  Non-destructive:
+  /// the builder can keep extending and build again.
+  History build();
+
+ private:
+  OpId resolveId(OpId requested);
+
+  std::vector<OpInstance> ops_;
+  OpId nextAuto_ = 1;
+};
+
+/// A transaction of a process (§2): a maximal start-delimited subsequence.
+struct Transaction {
+  ProcessId pid = 0;
+  /// Positions of the transaction's instances in the history, ascending.
+  std::vector<std::size_t> positions;
+  bool committed = false;
+  bool aborted = false;
+
+  bool completed() const { return committed || aborted; }
+  std::size_t firstPos() const { return positions.front(); }
+  std::size_t lastPos() const { return positions.back(); }
+};
+
+/// Index of transactional structure and the real-time order over a history.
+/// Construction never fails; query wellFormed() before trusting the rest.
+class HistoryAnalysis {
+ public:
+  explicit HistoryAnalysis(const History& h);
+
+  const History& history() const { return *h_; }
+
+  bool wellFormed() const { return wellFormed_; }
+  const std::string& wellFormednessError() const { return error_; }
+
+  const std::vector<Transaction>& transactions() const { return txns_; }
+
+  /// Index into transactions() for the instance at `pos`, or nullopt if the
+  /// instance is non-transactional.
+  std::optional<std::size_t> transactionOf(std::size_t pos) const;
+
+  bool isTransactional(std::size_t pos) const {
+    return txOf_[pos] >= 0;
+  }
+
+  /// i ≺h j on positions (§2): (1) whole-transaction real-time precedence,
+  /// or (2) same-process program order with at least one transactional op.
+  bool realTimePrecedes(std::size_t i, std::size_t j) const;
+
+  /// All ≺h pairs as (identifier, identifier); mirrors the paper's examples.
+  std::vector<std::pair<OpId, OpId>> realTimePairs() const;
+
+  std::size_t countCommitted() const;
+
+ private:
+  void analyze();
+
+  const History* h_;
+  bool wellFormed_ = true;
+  std::string error_;
+  std::vector<Transaction> txns_;
+  std::vector<int> txOf_;  // per position; -1 = non-transactional
+};
+
+}  // namespace jungle

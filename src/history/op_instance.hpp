@@ -1,0 +1,63 @@
+// Operation instances (§2).
+//
+// An operation instance (o, p, k) is an operation o ∈ Ô = O ∪ {start,
+// commit, abort} issued by process p with unique identifier k.  Operations
+// in O are command-object pairs; the special operations delimit
+// transactions and carry no command.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "spec/command.hpp"
+
+namespace jungle {
+
+enum class OpType : std::uint8_t { kStart, kCommit, kAbort, kCommand };
+
+const char* opTypeName(OpType t);
+
+struct OpInstance {
+  OpType type = OpType::kCommand;
+  /// Object the command acts on; kNoObject for start/commit/abort.
+  ObjectId obj = kNoObject;
+  /// The command; meaningful only when type == kCommand.
+  Command cmd;
+  ProcessId pid = 0;
+  OpId id = 0;
+
+  bool isCommand() const { return type == OpType::kCommand; }
+  bool isStart() const { return type == OpType::kStart; }
+  bool isCommit() const { return type == OpType::kCommit; }
+  bool isAbort() const { return type == OpType::kAbort; }
+
+  /// Paper notation, e.g. "((wr, x, 1), p0, 1)" or "((start), p1, 2)".
+  std::string toString() const;
+
+  friend bool operator==(const OpInstance& a, const OpInstance& b) {
+    return a.type == b.type && a.obj == b.obj && a.pid == b.pid &&
+           a.id == b.id && (!a.isCommand() || a.cmd == b.cmd);
+  }
+};
+
+/// Factories mirroring the paper's notation.
+inline OpInstance opStart(ProcessId p, OpId k) {
+  return {OpType::kStart, kNoObject, {}, p, k};
+}
+inline OpInstance opCommit(ProcessId p, OpId k) {
+  return {OpType::kCommit, kNoObject, {}, p, k};
+}
+inline OpInstance opAbort(ProcessId p, OpId k) {
+  return {OpType::kAbort, kNoObject, {}, p, k};
+}
+inline OpInstance opCmd(ProcessId p, ObjectId x, Command c, OpId k) {
+  return {OpType::kCommand, x, std::move(c), p, k};
+}
+inline OpInstance opRead(ProcessId p, ObjectId x, Word v, OpId k) {
+  return opCmd(p, x, cmdRead(v), k);
+}
+inline OpInstance opWrite(ProcessId p, ObjectId x, Word v, OpId k) {
+  return opCmd(p, x, cmdWrite(v), k);
+}
+
+}  // namespace jungle

@@ -1,0 +1,90 @@
+#include "history/sequential.hpp"
+
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace jungle {
+
+bool isSequential(const History& s) {
+  HistoryAnalysis a(s);
+  if (!a.wellFormed()) return false;
+  for (const Transaction& t : a.transactions()) {
+    // Contiguity: the transaction's instances occupy consecutive positions.
+    if (t.lastPos() - t.firstPos() + 1 != t.positions.size()) return false;
+  }
+  return true;
+}
+
+bool isTransactionallySequential(const History& s) {
+  HistoryAnalysis a(s);
+  if (!a.wellFormed()) return false;
+  const auto& txns = a.transactions();
+  for (std::size_t ti = 0; ti < txns.size(); ++ti) {
+    const Transaction& t = txns[ti];
+    for (std::size_t pos = t.firstPos(); pos <= t.lastPos(); ++pos) {
+      auto owner = a.transactionOf(pos);
+      // Between start and last instance of T: either T's own instance or a
+      // non-transactional one — never another transaction's instance.
+      if (owner.has_value() && *owner != ti) return false;
+    }
+  }
+  return true;
+}
+
+History visible(const History& s) {
+  HistoryAnalysis a(s);
+  std::vector<std::size_t> keep;
+  for (std::size_t pos = 0; pos < s.size(); ++pos) {
+    auto tx = a.transactionOf(pos);
+    if (!tx.has_value()) {
+      keep.push_back(pos);
+      continue;
+    }
+    const Transaction& t = a.transactions()[*tx];
+    if (t.committed) {
+      keep.push_back(pos);
+      continue;
+    }
+    // Non-committed T survives only if nothing follows its last instance.
+    if (t.lastPos() == s.size() - 1) keep.push_back(pos);
+  }
+  return s.subsequence(keep);
+}
+
+bool isLegalHistory(const History& s, const SpecMap& specs) {
+  // Replay each object's command subsequence against its spec.
+  std::unordered_map<ObjectId, std::unique_ptr<SpecState>> states;
+  for (const OpInstance& inst : s) {
+    if (!inst.isCommand()) continue;
+    auto it = states.find(inst.obj);
+    if (it == states.end()) {
+      it = states.emplace(inst.obj, specs.specFor(inst.obj).initial()).first;
+    }
+    if (!it->second->apply(inst.cmd)) return false;
+  }
+  return true;
+}
+
+bool everyOperationLegal(const History& s, const SpecMap& specs) {
+  // Direct transcription of the definition: for each prefix ending at k,
+  // visible(prefix) must be legal.  O(n^2 · cost(legal)); oracle use only.
+  std::vector<std::size_t> prefixPositions;
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    prefixPositions.push_back(k);
+    History prefix = s.subsequence(prefixPositions);
+    if (!isLegalHistory(visible(prefix), specs)) return false;
+  }
+  return true;
+}
+
+bool respectsOrder(const History& s,
+                   const std::vector<std::pair<OpId, OpId>>& order) {
+  for (const auto& [i, j] : order) {
+    if (!s.hasOp(i) || !s.hasOp(j)) continue;
+    if (s.positionOf(i) >= s.positionOf(j)) return false;
+  }
+  return true;
+}
+
+}  // namespace jungle

@@ -1,0 +1,41 @@
+// Sequential histories, visible(), and legality (§2).
+//
+// These are the *reference* (oracle) implementations: direct transcriptions
+// of the paper's definitions, quadratic where the definitions are.  The
+// opacity checkers use a faster incremental scheme and are property-tested
+// against these oracles.
+#pragma once
+
+#include <vector>
+
+#include "history/history.hpp"
+#include "spec/spec_map.hpp"
+
+namespace jungle {
+
+/// A history s is sequential if no transaction overlaps another transaction
+/// or a non-transactional operation instance.
+bool isSequential(const History& s);
+
+/// SGLA's weaker notion (§6.2): transactions execute sequentially w.r.t.
+/// each other, but non-transactional instances may interleave with them.
+bool isTransactionallySequential(const History& s);
+
+/// visible(s): longest subsequence of s without instances of non-committed
+/// transactions, except a non-committed transaction followed by nothing.
+History visible(const History& s);
+
+/// s|x ∈ [[x]] for every object x.
+bool isLegalHistory(const History& s, const SpecMap& specs);
+
+/// Operation k is legal in s iff visible(prefix of s ending at k) is legal.
+/// This checks that *every* operation is legal in s (condition 3 of
+/// parametrized opacity).
+bool everyOperationLegal(const History& s, const SpecMap& specs);
+
+/// s respects a (partial) order given as identifier pairs: whenever
+/// (i, j) is in `order` and both appear in s, i precedes j in s.
+bool respectsOrder(const History& s,
+                   const std::vector<std::pair<OpId, OpId>>& order);
+
+}  // namespace jungle

@@ -1,0 +1,110 @@
+#include "litmus/figures.hpp"
+
+namespace jungle::litmus {
+
+History fig1History(Word r1, Word r2) {
+  // The reads run concurrently with the transaction: interleave them
+  // between the transaction's operations so no real-time edge forms.
+  HistoryBuilder b;
+  b.start(0);
+  b.write(0, kX, 1);
+  b.read(1, kX, r1);  // non-transactional, concurrent
+  b.write(0, kY, 1);
+  b.read(1, kY, r2);
+  b.commit(0);
+  return b.build();
+}
+
+History fig2aHistory(Word a, Word b, bool p1Commits) {
+  HistoryBuilder h;
+  h.start(0);       // atomic { x := 1; x := 2 }
+  h.start(1);       // p1's transaction overlaps both of p0's
+  h.write(0, kX, 1);
+  h.write(0, kX, 2);
+  h.read(1, kX, a);
+  h.commit(0);
+  h.start(0);       // atomic { y := 2 }
+  h.write(0, kY, 2);
+  h.read(1, kY, b);
+  h.commit(0);
+  h.write(1, kZ, a - b);
+  if (p1Commits) {
+    h.commit(1);
+  } else {
+    h.abort(1);
+  }
+  return h.build();
+}
+
+History fig2bHistory(Word r1, Word r2) {
+  HistoryBuilder b;
+  b.write(0, kX, 1);
+  b.read(1, kY, r1);
+  b.write(0, kY, 1);
+  b.read(1, kX, r2);
+  return b.build();
+}
+
+History fig2cHistory(Word a, Word r1, Word r2) {
+  HistoryBuilder b;
+  b.start(0);
+  b.write(0, kX, 1);
+  b.read(1, kX, a);   // z := x, concurrent with the transaction
+  b.write(1, kZ, a);
+  b.write(0, kX, 2);
+  b.commit(0);
+  b.start(0);         // atomic { r1 := z; r2 := z }
+  b.read(0, kZ, r1);
+  b.read(0, kZ, r2);
+  b.commit(0);
+  return b.build();
+}
+
+History fig3History(Word v, Word vprime) {
+  HistoryBuilder b;
+  b.write(1, kX, 1, /*id=*/1);
+  b.start(1, /*id=*/2);
+  b.read(2, kY, 1, /*id=*/3);
+  b.write(1, kY, 1, /*id=*/4);
+  b.commit(1, /*id=*/5);
+  b.read(2, kX, v, /*id=*/6);
+  b.start(3, /*id=*/7);
+  b.commit(3, /*id=*/8);
+  b.read(3, kX, vprime, /*id=*/9);
+  return b.build();
+}
+
+History storeBufferHistory(Word r1, Word r2) {
+  HistoryBuilder b;
+  b.write(0, kX, 1);
+  b.write(1, kY, 1);
+  b.read(0, kY, r1);
+  b.read(1, kX, r2);
+  return b.build();
+}
+
+History iriwHistory(Word a, Word b, Word c, Word d) {
+  HistoryBuilder h;
+  h.write(0, kX, 1);
+  h.write(1, kY, 1);
+  h.read(2, kX, a);
+  h.read(2, kY, b);
+  h.read(3, kY, c);
+  h.read(3, kX, d);
+  return h.build();
+}
+
+History dependentReadHistory(Word r1, Word r2) {
+  // The writer chains x := 1 → (rd x) → data-dependent y := 1 so that the
+  // writes stay ordered under both RMO and Alpha; the reader's second read
+  // is data-dependent on the first, which only RMO keeps ordered.
+  HistoryBuilder b;
+  b.write(0, kX, 1, /*id=*/1);
+  b.read(0, kX, 1, /*id=*/2);
+  b.cmd(0, kY, cmdDdWrite(1, {2}), /*id=*/3);
+  b.read(1, kY, r1, /*id=*/4);
+  b.cmd(1, kX, cmdDdRead(r2, {4}), /*id=*/5);
+  return b.build();
+}
+
+}  // namespace jungle::litmus

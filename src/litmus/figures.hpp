@@ -1,0 +1,56 @@
+// The paper's litmus examples (Figures 1–3) plus classic hardware litmus
+// shapes, as parameterized history builders.  Each builder takes the values
+// the observing reads returned and produces the corresponding history; the
+// checkers then decide whether that outcome is allowed under a model.
+//
+// Conventions: objects x, y, z are ids 0, 1, 2; all variables start at 0;
+// identifiers follow the paper's figures where the paper fixes them.
+#pragma once
+
+#include "history/history.hpp"
+
+namespace jungle::litmus {
+
+inline constexpr ObjectId kX = 0;
+inline constexpr ObjectId kY = 1;
+inline constexpr ObjectId kZ = 2;
+
+/// Figure 1: p0 runs atomic { x := 1; y := 1 }, p1 reads r1 := x, r2 := y
+/// non-transactionally, concurrently with the transaction.
+History fig1History(Word r1, Word r2);
+
+/// Figure 2(a): p0 runs atomic { x := 1; x := 2 } then atomic { y := 2 };
+/// p1 runs atomic { a := x; b := y; z := a − b }, concurrent with both.
+/// `p1Commits` switches p1's transaction between commit and abort — opacity
+/// constrains aborted transactions equally.
+History fig2aHistory(Word a, Word b, bool p1Commits = true);
+
+/// Figure 2(b): purely non-transactional message passing — p0: x := 1;
+/// y := 1.  p1: r1 := y; r2 := x.
+History fig2bHistory(Word r1, Word r2);
+
+/// Figure 2(c): p1 non-transactionally runs z := x (read x = a, write z = a)
+/// concurrently with p0's atomic { x := 1; x := 2 }; afterwards p0 runs
+/// atomic { r1 := z; r2 := z }.
+History fig2cHistory(Word a, Word r1, Word r2);
+
+/// Figure 3(a): the paper's worked example, exactly as printed.
+/// p1: (wr x 1) then transaction {start, wr y 1, commit} (ids 1, 2, 4, 5);
+/// p2: (rd y 1) id 3, (rd x v) id 6; p3: empty transaction {7, 8} then
+/// (rd x v') id 9.
+History fig3History(Word v, Word vprime);
+
+/// Store buffering: p0: x := 1; r1 := y.  p1: y := 1; r2 := x.
+/// (r1, r2) = (0, 0) distinguishes TSO from SC.
+History storeBufferHistory(Word r1, Word r2);
+
+/// Independent reads of independent writes: p0: x := 1.  p1: y := 1.
+/// p2: a := x; b := y.  p3: c := y; d := x.
+History iriwHistory(Word a, Word b, Word c, Word d);
+
+/// Dependent-read message passing: p0: x := 1; y := 1.  p1: r1 := y;
+/// r2 := x where the second read is *data-dependent* on the first.
+/// Distinguishes RMO (ordered) from Alpha (may reorder).
+History dependentReadHistory(Word r1, Word r2);
+
+}  // namespace jungle::litmus

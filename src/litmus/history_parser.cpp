@@ -1,0 +1,260 @@
+#include "litmus/history_parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+namespace jungle::litmus {
+
+namespace {
+
+struct Cursor {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  void skipSpace() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t')) ++pos;
+  }
+  bool done() {
+    skipSpace();
+    return pos >= s.size();
+  }
+  bool literal(std::string_view lit) {
+    skipSpace();
+    if (s.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+  std::optional<std::uint64_t> number() {
+    skipSpace();
+    std::uint64_t v = 0;
+    const auto* first = s.data() + pos;
+    const auto* last = s.data() + s.size();
+    auto [p, ec] = std::from_chars(first, last, v);
+    if (ec != std::errc{} || p == first) return std::nullopt;
+    pos += static_cast<std::size_t>(p - first);
+    return v;
+  }
+  std::string word() {
+    skipSpace();
+    std::size_t start = pos;
+    while (pos < s.size() && std::isalpha(static_cast<unsigned char>(s[pos])))
+      ++pos;
+    return std::string(s.substr(start, pos - start));
+  }
+};
+
+std::optional<ObjectId> parseVar(Cursor& c) {
+  c.skipSpace();
+  if (c.pos >= c.s.size()) return std::nullopt;
+  const char letter = c.s[c.pos];
+  ObjectId base;
+  switch (letter) {
+    case 'x':
+      base = 0;
+      break;
+    case 'y':
+      base = 1;
+      break;
+    case 'z':
+      base = 2;
+      break;
+    default:
+      return std::nullopt;
+  }
+  ++c.pos;
+  // 'x' may carry an explicit object number ("x7" = object 7).
+  if (c.pos < c.s.size() && std::isdigit(static_cast<unsigned char>(c.s[c.pos]))) {
+    if (letter != 'x') return std::nullopt;
+    auto n = c.number();
+    if (!n.has_value()) return std::nullopt;
+    return static_cast<ObjectId>(*n);
+  }
+  return base;
+}
+
+std::optional<std::vector<OpId>> parseDeps(Cursor& c) {
+  if (!c.literal("deps")) return std::nullopt;
+  if (!c.literal("=")) return std::nullopt;
+  std::vector<OpId> deps;
+  for (;;) {
+    auto n = c.number();
+    if (!n.has_value()) return std::nullopt;
+    deps.push_back(*n);
+    if (!c.literal(",")) break;
+  }
+  return deps;
+}
+
+}  // namespace
+
+ParseResult parseHistory(const std::string& text) {
+  HistoryBuilder builder;
+  std::istringstream in(text);
+  std::string rawLine;
+  std::size_t lineNo = 0;
+
+  auto fail = [&](const std::string& msg) {
+    ParseResult r;
+    r.error = "line " + std::to_string(lineNo) + ": " + msg;
+    return r;
+  };
+
+  while (std::getline(in, rawLine)) {
+    ++lineNo;
+    if (auto hash = rawLine.find('#'); hash != std::string::npos) {
+      rawLine.resize(hash);
+    }
+    Cursor c{rawLine};
+    if (c.done()) continue;
+
+    if (!c.literal("p")) return fail("expected 'p<N>:'");
+    auto pid = c.number();
+    if (!pid.has_value()) return fail("bad process id");
+    if (!c.literal(":")) return fail("expected ':' after process id");
+
+    const std::string op = c.word();
+    OpId id = 0;
+    ObjectId obj = kNoObject;
+    std::optional<Command> cmd;
+    bool special = false;
+    OpType type = OpType::kCommand;
+
+    if (op == "start" || op == "commit" || op == "abort") {
+      special = true;
+      type = op == "start" ? OpType::kStart
+             : op == "commit" ? OpType::kCommit
+                              : OpType::kAbort;
+    } else {
+      auto var = parseVar(c);
+      if (!var.has_value()) return fail("bad variable after '" + op + "'");
+      obj = *var;
+      if (op == "deq" && c.literal("empty")) {
+        cmd = cmdDequeue(kQueueEmpty);
+      } else {
+        auto val = c.number();
+        if (!val.has_value()) return fail("missing value");
+        if (op == "rd") {
+          cmd = cmdRead(*val);
+        } else if (op == "wr") {
+          cmd = cmdWrite(*val);
+        } else if (op == "inc") {
+          cmd = cmdCtrInc(*val);
+        } else if (op == "ctrrd") {
+          cmd = cmdCtrRead(*val);
+        } else if (op == "enq") {
+          cmd = cmdEnqueue(*val);
+        } else if (op == "deq") {
+          cmd = cmdDequeue(*val);
+        } else if (op == "cdrd" || op == "ddrd" || op == "cdwr" ||
+                   op == "ddwr") {
+          auto deps = parseDeps(c);
+          if (!deps.has_value()) return fail("missing deps=... for " + op);
+          if (op == "cdrd") cmd = cmdCdRead(*val, *deps);
+          if (op == "ddrd") cmd = cmdDdRead(*val, *deps);
+          if (op == "cdwr") cmd = cmdCdWrite(*val, *deps);
+          if (op == "ddwr") cmd = cmdDdWrite(*val, *deps);
+        } else {
+          return fail("unknown operation '" + op + "'");
+        }
+      }
+    }
+
+    if (c.literal("@")) {
+      auto n = c.number();
+      if (!n.has_value()) return fail("bad '@id'");
+      id = *n;
+    }
+    if (!c.done()) return fail("trailing input");
+
+    const auto p = static_cast<ProcessId>(*pid);
+    if (special) {
+      switch (type) {
+        case OpType::kStart:
+          builder.start(p, id);
+          break;
+        case OpType::kCommit:
+          builder.commit(p, id);
+          break;
+        case OpType::kAbort:
+          builder.abort(p, id);
+          break;
+        default:
+          break;
+      }
+    } else {
+      builder.cmd(p, obj, std::move(*cmd), id);
+    }
+  }
+
+  ParseResult r;
+  r.history = builder.build();
+  return r;
+}
+
+std::string formatHistory(const History& h) {
+  std::string out;
+  for (const OpInstance& inst : h) {
+    out += "p" + std::to_string(inst.pid) + ": ";
+    if (!inst.isCommand()) {
+      out += opTypeName(inst.type);
+    } else {
+      const char* mnemonic = nullptr;
+      switch (inst.cmd.kind) {
+        case CmdKind::kRead:
+          mnemonic = "rd";
+          break;
+        case CmdKind::kWrite:
+          mnemonic = "wr";
+          break;
+        case CmdKind::kCdRead:
+          mnemonic = "cdrd";
+          break;
+        case CmdKind::kDdRead:
+          mnemonic = "ddrd";
+          break;
+        case CmdKind::kCdWrite:
+          mnemonic = "cdwr";
+          break;
+        case CmdKind::kDdWrite:
+          mnemonic = "ddwr";
+          break;
+        case CmdKind::kCtrInc:
+          mnemonic = "inc";
+          break;
+        case CmdKind::kCtrRead:
+          mnemonic = "ctrrd";
+          break;
+        case CmdKind::kEnqueue:
+          mnemonic = "enq";
+          break;
+        case CmdKind::kDequeue:
+          mnemonic = "deq";
+          break;
+        case CmdKind::kHavoc:
+          mnemonic = "havoc";  // not parseable; diagnostic output only
+          break;
+      }
+      out += mnemonic;
+      out += " x" + std::to_string(inst.obj);
+      if (inst.cmd.kind == CmdKind::kDequeue &&
+          inst.cmd.value == kQueueEmpty) {
+        out += " empty";
+      } else if (inst.cmd.kind != CmdKind::kHavoc) {
+        out += " " + std::to_string(inst.cmd.value);
+      }
+      if (!inst.cmd.deps.empty()) {
+        out += " deps=";
+        for (std::size_t i = 0; i < inst.cmd.deps.size(); ++i) {
+          if (i) out += ",";
+          out += std::to_string(inst.cmd.deps[i]);
+        }
+      }
+    }
+    out += " @" + std::to_string(inst.id) + "\n";
+  }
+  return out;
+}
+
+}  // namespace jungle::litmus

@@ -1,0 +1,47 @@
+// Textual history format and parser — the checkers as a standalone tool.
+//
+// Grammar (one operation instance per line; '#' starts a comment):
+//
+//   line    := 'p' NUM ':' op ['@' NUM]          (optional explicit id)
+//   op      := 'start' | 'commit' | 'abort'
+//            | 'rd'   var NUM | 'wr'   var NUM
+//            | 'cdrd' var NUM deps | 'ddrd' var NUM deps
+//            | 'cdwr' var NUM deps | 'ddwr' var NUM deps
+//            | 'inc'  var NUM | 'ctrrd' var NUM
+//            | 'enq'  var NUM | 'deq'  var (NUM | 'empty')
+//   deps    := 'deps' '=' NUM (',' NUM)*
+//   var     := 'x' | 'y' | 'z' (objects 0, 1, 2) | 'x' NUM (object NUM)
+//
+// Example (the paper's Figure 3(a)):
+//
+//   p1: wr x 1        @1
+//   p1: start         @2
+//   p2: rd y 1        @3
+//   p1: wr y 1        @4
+//   p1: commit        @5
+//   p2: rd x 1        @6
+//   p3: start         @7
+//   p3: commit        @8
+//   p3: rd x 1        @9
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "history/history.hpp"
+
+namespace jungle::litmus {
+
+struct ParseResult {
+  std::optional<History> history;
+  std::string error;  // non-empty iff !history
+
+  explicit operator bool() const { return history.has_value(); }
+};
+
+ParseResult parseHistory(const std::string& text);
+
+/// Renders a history in the same format (round-trips through the parser).
+std::string formatHistory(const History& h);
+
+}  // namespace jungle::litmus

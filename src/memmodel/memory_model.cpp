@@ -1,0 +1,80 @@
+#include "memmodel/memory_model.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace jungle {
+
+std::vector<std::pair<OpId, OpId>> requiredViewPairs(
+    const MemoryModel& m, const History& h,
+    const HistoryAnalysis& analysis) {
+  JUNGLE_CHECK(&analysis.history() == &h);
+  const std::size_t n = h.size();
+
+  // Collect non-transactional command positions per process.
+  std::vector<std::size_t> nt;
+  nt.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (h[i].isCommand() && !analysis.isTransactional(i)) nt.push_back(i);
+  }
+
+  // Pairwise required edges (program order, same process).
+  std::vector<std::vector<bool>> edge(nt.size(),
+                                      std::vector<bool>(nt.size(), false));
+  for (std::size_t a = 0; a < nt.size(); ++a) {
+    for (std::size_t b = a + 1; b < nt.size(); ++b) {
+      if (h[nt[a]].pid != h[nt[b]].pid) continue;
+      if (m.requiresOrder(h, nt[a], nt[b])) edge[a][b] = true;
+    }
+  }
+
+  // A view is a partial order; the minimal member of R(h) is the transitive
+  // closure of the required pairs.
+  for (std::size_t k = 0; k < nt.size(); ++k) {
+    for (std::size_t a = 0; a < nt.size(); ++a) {
+      if (!edge[a][k]) continue;
+      for (std::size_t b = 0; b < nt.size(); ++b) {
+        if (edge[k][b]) edge[a][b] = true;
+      }
+    }
+  }
+
+  std::vector<std::pair<OpId, OpId>> pairs;
+  for (std::size_t a = 0; a < nt.size(); ++a) {
+    for (std::size_t b = 0; b < nt.size(); ++b) {
+      if (edge[a][b]) pairs.emplace_back(h[nt[a]].id, h[nt[b]].id);
+    }
+  }
+  return pairs;
+}
+
+namespace {
+
+/// Builds a two-instance non-transactional history for one process and asks
+/// the model whether the pair must stay ordered.
+bool probePair(const MemoryModel& m, Command first, Command second) {
+  // Objects differ (x=0, y=1) as all class definitions require x ≠ y.
+  HistoryBuilder b;
+  b.cmd(/*p=*/0, /*x=*/0, std::move(first), /*id=*/1);
+  b.cmd(/*p=*/0, /*x=*/1, std::move(second), /*id=*/2);
+  History h = b.build();
+  return m.requiresOrder(h, 0, 1);
+}
+
+}  // namespace
+
+Classification probeClassification(const MemoryModel& m) {
+  Classification c;
+  c.rr_independent = probePair(m, cmdRead(0), cmdRead(0));
+  c.rr_control = probePair(m, cmdRead(0), cmdCdRead(0, {1}));
+  c.rr_data = probePair(m, cmdRead(0), cmdDdRead(0, {1}));
+  c.rw_independent = probePair(m, cmdRead(0), cmdWrite(1));
+  c.rw_control = probePair(m, cmdRead(0), cmdCdWrite(1, {1}));
+  c.rw_data = probePair(m, cmdRead(0), cmdDdWrite(1, {1}));
+  c.wr = probePair(m, cmdWrite(1), cmdRead(0));
+  c.ww = probePair(m, cmdWrite(1), cmdWrite(1));
+  return c;
+}
+
+}  // namespace jungle

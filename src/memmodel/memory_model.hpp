@@ -1,0 +1,90 @@
+// Memory models (§3.1): M = (τ, R), a transformation function on operations
+// plus a reordering function mapping histories to sets of per-process views.
+//
+// Representation choice (see DESIGN.md §5): every concrete model in the
+// paper defines R(h) as "all well-formed views containing these *required*
+// pairs".  Existence questions (does some view in R admit a legal sequential
+// history?) are therefore decided against the **minimal view** — the
+// transitive closure of the required pairs — because any larger view only
+// adds constraints.  A MemoryModel consequently exposes:
+//   * transform(h)            — τ lifted to histories,
+//   * requiresOrder(h, a, b)  — is (a, b) a required pair of every view,
+//                               for same-process non-transactional a before
+//                               b in program order,
+//   * identicalViews()        — whether R only contains views identical
+//                               across processes (false for IA-32-style
+//                               non-atomic stores),
+//   * classification()        — membership in the M_rr/M_rw/M_wr/M_ww
+//                               restriction classes of §3.2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "history/history.hpp"
+
+namespace jungle {
+
+/// Membership in the restriction classes of §3.2.  The *_independent /
+/// *_control / *_data flags correspond to M^i, M^c, M^d sub-variants; a
+/// model is in M_rr iff any rr flag is set (M^i ⊆ M^c ∩ M^d noted in the
+/// paper holds at the flag level: independent restriction implies the
+/// dependent ones are also enforced by requiresOrder).
+struct Classification {
+  bool rr_independent = false;
+  bool rr_control = false;
+  bool rr_data = false;
+  bool rw_independent = false;
+  bool rw_control = false;
+  bool rw_data = false;
+  bool wr = false;
+  bool ww = false;
+
+  bool inMrr() const { return rr_independent || rr_control || rr_data; }
+  bool inMrw() const { return rw_independent || rw_control || rw_data; }
+  bool inMwr() const { return wr; }
+  bool inMww() const { return ww; }
+  /// In the union of Theorem 1's four classes ⇒ uninstrumented
+  /// parametrized opacity is impossible.
+  bool restrictive() const {
+    return inMrr() || inMrw() || inMwr() || inMww();
+  }
+};
+
+class MemoryModel {
+ public:
+  virtual ~MemoryModel() = default;
+
+  virtual const char* name() const = 0;
+
+  /// τ lifted to histories (identity by default).  Inserted instances
+  /// receive fresh identifiers; an inserted instance inherits the process
+  /// (and hence transactional context) of the instance it expands.
+  virtual History transform(const History& h) const { return h; }
+
+  /// Required-view predicate.  Preconditions (checked by callers): the
+  /// instances at posA and posB are non-transactional commands of the same
+  /// process and posA < posB.  Returns true iff every view in R(h) must
+  /// order a before b.
+  virtual bool requiresOrder(const History& h, std::size_t posA,
+                             std::size_t posB) const = 0;
+
+  /// Whether views are identical across processes (condition (a) of the
+  /// concrete models).  Models with non-atomic stores return false.
+  virtual bool identicalViews() const { return true; }
+
+  virtual Classification classification() const = 0;
+};
+
+/// Computes the minimal view of `h` under `m` as identifier pairs:
+/// transitive closure of all required same-process program-order pairs of
+/// non-transactional instances.  `analysis` must be over `h`.
+std::vector<std::pair<OpId, OpId>> requiredViewPairs(
+    const MemoryModel& m, const History& h, const HistoryAnalysis& analysis);
+
+/// Behavioral probes that re-derive a model's classification from its
+/// requiresOrder predicate using synthetic two-operation histories.  Used
+/// by tests to prove the declared classification() matches behavior.
+Classification probeClassification(const MemoryModel& m);
+
+}  // namespace jungle

@@ -1,0 +1,242 @@
+#include "memmodel/models.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace jungle {
+
+namespace {
+
+/// True iff the read at position `pos` obtained its value from the same
+/// process's latest preceding write to the same object (store-buffer
+/// forwarding, the TSO clause of §3.2).
+bool readForwardedFromOwnStore(const History& h, std::size_t pos) {
+  const OpInstance& rd = h[pos];
+  JUNGLE_DCHECK(rd.isCommand() && rd.cmd.isReadLike());
+  for (std::size_t i = pos; i-- > 0;) {
+    const OpInstance& prev = h[i];
+    if (!prev.isCommand() || prev.pid != rd.pid || prev.obj != rd.obj)
+      continue;
+    if (prev.cmd.isWriteLike()) {
+      return prev.cmd.value == rd.cmd.value;
+    }
+  }
+  return false;
+}
+
+/// Shared TSO/IA-32 ordering predicate.
+bool tsoRequiresOrder(const History& h, std::size_t a, std::size_t b) {
+  const Command& ca = h[a].cmd;
+  const Command& cb = h[b].cmd;
+  if (h[a].obj == h[b].obj) return true;
+  if (cb.isWriteLike()) return true;  // R→W and W→W preserved
+  if (ca.isWriteLike()) return false;  // W→R relaxed (store buffer)
+  // R→R: preserved unless the first read was satisfied by forwarding.
+  return !readForwardedFromOwnStore(h, a);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- SC
+
+bool ScModel::requiresOrder(const History&, std::size_t,
+                            std::size_t) const {
+  return true;
+}
+
+Classification ScModel::classification() const {
+  Classification c;
+  c.rr_independent = c.rr_control = c.rr_data = true;
+  c.rw_independent = c.rw_control = c.rw_data = true;
+  c.wr = true;
+  c.ww = true;
+  return c;
+}
+
+// ---------------------------------------------------------------- TSO
+
+bool TsoModel::requiresOrder(const History& h, std::size_t a,
+                             std::size_t b) const {
+  return tsoRequiresOrder(h, a, b);
+}
+
+Classification TsoModel::classification() const {
+  Classification c;
+  c.rr_independent = c.rr_control = c.rr_data = true;
+  c.rw_independent = c.rw_control = c.rw_data = true;
+  c.ww = true;
+  c.wr = false;
+  return c;
+}
+
+// ---------------------------------------------------------------- PSO
+
+bool PsoModel::requiresOrder(const History& h, std::size_t a,
+                             std::size_t b) const {
+  if (h[a].obj == h[b].obj) return true;
+  // Reads are not reordered with anything that follows them; writes may
+  // pass both later reads and later writes to other variables.
+  if (h[a].cmd.isReadLike()) {
+    if (h[b].cmd.isReadLike()) return !readForwardedFromOwnStore(h, a);
+    return true;
+  }
+  return false;
+}
+
+Classification PsoModel::classification() const {
+  Classification c;
+  c.rr_independent = c.rr_control = c.rr_data = true;
+  c.rw_independent = c.rw_control = c.rw_data = true;
+  c.wr = false;
+  c.ww = false;
+  return c;
+}
+
+// ---------------------------------------------------------------- RMO
+
+bool RmoModel::requiresOrder(const History& h, std::size_t a,
+                             std::size_t b) const {
+  if (h[a].obj == h[b].obj) return true;
+  const Command& ca = h[a].cmd;
+  const Command& cb = h[b].cmd;
+  if (!ca.isReadLike()) return false;
+  // read → control/data-dependent write, or read → data-dependent read,
+  // when the dependence is on this very read.
+  if ((cb.isControlDependent() || cb.isDataDependent()) &&
+      cb.isWriteLike() && cb.dependsOn(h[a].id)) {
+    return true;
+  }
+  if (cb.kind == CmdKind::kDdRead && cb.dependsOn(h[a].id)) return true;
+  return false;
+}
+
+Classification RmoModel::classification() const {
+  Classification c;
+  c.rr_data = true;  // data-dependent reads stay ordered
+  c.rw_control = c.rw_data = true;
+  return c;
+}
+
+// ---------------------------------------------------------------- Alpha
+
+bool AlphaModel::requiresOrder(const History& h, std::size_t a,
+                               std::size_t b) const {
+  if (h[a].obj == h[b].obj) return true;
+  const Command& ca = h[a].cmd;
+  const Command& cb = h[b].cmd;
+  // Alpha forbids out-of-thin-air stores: a write dependent on a read may
+  // not retire before it — but even data-dependent reads may reorder.
+  if (ca.isReadLike() && cb.isWriteLike() &&
+      (cb.isControlDependent() || cb.isDataDependent()) &&
+      cb.dependsOn(h[a].id)) {
+    return true;
+  }
+  return false;
+}
+
+Classification AlphaModel::classification() const {
+  Classification c;
+  c.rw_control = c.rw_data = true;
+  return c;
+}
+
+// ---------------------------------------------------------------- Junk-SC
+
+History JunkScModel::transform(const History& h) const {
+  // τ(wr, x, v) = havoc(x) · (wr, x, v); identity elsewhere.  Fresh
+  // identifiers for inserted instances start above the maximum in h.
+  OpId next = 0;
+  for (const OpInstance& inst : h) next = std::max(next, inst.id);
+  ++next;
+  std::vector<OpInstance> out;
+  out.reserve(h.size() * 2);
+  for (const OpInstance& inst : h) {
+    if (inst.isCommand() && inst.cmd.kind == CmdKind::kWrite) {
+      out.push_back(opCmd(inst.pid, inst.obj, cmdHavoc(), next++));
+    }
+    out.push_back(inst);
+  }
+  return History(std::move(out));
+}
+
+bool JunkScModel::requiresOrder(const History&, std::size_t,
+                                std::size_t) const {
+  return true;  // SC ordering
+}
+
+Classification JunkScModel::classification() const {
+  return ScModel{}.classification();
+}
+
+// ---------------------------------------------------------------- IA-32
+
+bool Ia32Model::requiresOrder(const History& h, std::size_t a,
+                              std::size_t b) const {
+  return tsoRequiresOrder(h, a, b);
+}
+
+Classification Ia32Model::classification() const {
+  return TsoModel{}.classification();
+}
+
+// ---------------------------------------------------------------- Idealized
+
+bool IdealizedModel::requiresOrder(const History& h, std::size_t a,
+                                   std::size_t b) const {
+  return h[a].obj == h[b].obj;
+}
+
+Classification IdealizedModel::classification() const {
+  return Classification{};  // outside every restriction class
+}
+
+// ---------------------------------------------------------------- registry
+
+const ScModel& scModel() {
+  static const ScModel m;
+  return m;
+}
+const TsoModel& tsoModel() {
+  static const TsoModel m;
+  return m;
+}
+const PsoModel& psoModel() {
+  static const PsoModel m;
+  return m;
+}
+const RmoModel& rmoModel() {
+  static const RmoModel m;
+  return m;
+}
+const AlphaModel& alphaModel() {
+  static const AlphaModel m;
+  return m;
+}
+const JunkScModel& junkScModel() {
+  static const JunkScModel m;
+  return m;
+}
+const Ia32Model& ia32Model() {
+  static const Ia32Model m;
+  return m;
+}
+const IdealizedModel& idealizedModel() {
+  static const IdealizedModel m;
+  return m;
+}
+
+std::vector<const MemoryModel*> allModels() {
+  return {&scModel(),    &tsoModel(),   &psoModel(),
+          &rmoModel(),   &alphaModel(), &junkScModel(),
+          &ia32Model(),  &idealizedModel()};
+}
+
+const MemoryModel* modelByName(const std::string& name) {
+  for (const MemoryModel* m : allModels()) {
+    if (name == m->name()) return m;
+  }
+  return nullptr;
+}
+
+}  // namespace jungle

@@ -1,0 +1,112 @@
+// Concrete memory models (§3.2): SC, TSO, PSO, RMO, Alpha, Junk-SC, an
+// IA-32-style model with non-atomic stores, and the idealized fully-relaxed
+// model used by Theorem 3.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "memmodel/memory_model.hpp"
+
+namespace jungle {
+
+/// Sequential consistency: program order fully preserved, identical views.
+class ScModel final : public MemoryModel {
+ public:
+  const char* name() const override { return "SC"; }
+  bool requiresOrder(const History& h, std::size_t a,
+                     std::size_t b) const override;
+  Classification classification() const override;
+};
+
+/// Total store order: write→read to a different variable may reorder;
+/// a read satisfied from the process's own store buffer may reorder with a
+/// subsequent read of a different variable (§3.2's forwarding clause; see
+/// DESIGN.md §5 on the paper's typo — we implement the stated intuition).
+class TsoModel final : public MemoryModel {
+ public:
+  const char* name() const override { return "TSO"; }
+  bool requiresOrder(const History& h, std::size_t a,
+                     std::size_t b) const override;
+  Classification classification() const override;
+};
+
+/// Partial store order: TSO plus write→write relaxation.
+class PsoModel final : public MemoryModel {
+ public:
+  const char* name() const override { return "PSO"; }
+  bool requiresOrder(const History& h, std::size_t a,
+                     std::size_t b) const override;
+  Classification classification() const override;
+};
+
+/// Relaxed memory order: everything to different variables may reorder
+/// except read → {data-dependent read, control- or data-dependent write}.
+class RmoModel final : public MemoryModel {
+ public:
+  const char* name() const override { return "RMO"; }
+  bool requiresOrder(const History& h, std::size_t a,
+                     std::size_t b) const override;
+  Classification classification() const override;
+};
+
+/// Alpha: only same-variable order and read → dependent-write order are
+/// preserved; famously even data-dependent reads may reorder.
+class AlphaModel final : public MemoryModel {
+ public:
+  const char* name() const override { return "Alpha"; }
+  bool requiresOrder(const History& h, std::size_t a,
+                     std::size_t b) const override;
+  Classification classification() const override;
+};
+
+/// Junk-SC (§3.2): sequentially consistent reordering, but τ maps every
+/// plain write (wr,x,v) to havoc(x)·(wr,x,v), modeling out-of-thin-air
+/// values for racy accesses.
+class JunkScModel final : public MemoryModel {
+ public:
+  const char* name() const override { return "Junk-SC"; }
+  History transform(const History& h) const override;
+  bool requiresOrder(const History& h, std::size_t a,
+                     std::size_t b) const override;
+  Classification classification() const override;
+};
+
+/// IA-32-style model: TSO-like ordering restrictions but views need not be
+/// identical across processes (non-atomic stores).
+class Ia32Model final : public MemoryModel {
+ public:
+  const char* name() const override { return "IA-32"; }
+  bool requiresOrder(const History& h, std::size_t a,
+                     std::size_t b) const override;
+  bool identicalViews() const override { return false; }
+  Classification classification() const override;
+};
+
+/// Idealized fully-relaxed model of Theorem 3: only same-variable program
+/// order is preserved; outside all four restriction classes.
+class IdealizedModel final : public MemoryModel {
+ public:
+  const char* name() const override { return "Idealized"; }
+  bool requiresOrder(const History& h, std::size_t a,
+                     std::size_t b) const override;
+  Classification classification() const override;
+};
+
+/// All models above, for parameterized tests and benches.
+std::vector<const MemoryModel*> allModels();
+
+/// Lookup by name(); nullptr if unknown.
+const MemoryModel* modelByName(const std::string& name);
+
+/// Singletons (models are stateless).
+const ScModel& scModel();
+const TsoModel& tsoModel();
+const PsoModel& psoModel();
+const RmoModel& rmoModel();
+const AlphaModel& alphaModel();
+const JunkScModel& junkScModel();
+const Ia32Model& ia32Model();
+const IdealizedModel& idealizedModel();
+
+}  // namespace jungle

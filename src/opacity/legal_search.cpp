@@ -1,0 +1,204 @@
+#include "opacity/legal_search.hpp"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "opacity/state_table.hpp"
+
+namespace jungle {
+
+namespace {
+
+class Searcher {
+ public:
+  Searcher(const UnitGraph& g, const SpecMap& specs,
+           const SearchLimits& limits)
+      : g_(g), limits_(limits), table_(specs) {
+    // Precompute per-unit touched objects and whether the unit commits.
+    const auto& h = g.history();
+    touched_.resize(g.unitCount());
+    commits_.resize(g.unitCount(), false);
+    for (std::size_t u = 0; u < g.unitCount(); ++u) {
+      const Unit& unit = g.unit(u);
+      std::unordered_set<ObjectId> seen;
+      for (std::size_t pos : unit.positions) {
+        const OpInstance& inst = h[pos];
+        if (inst.isCommand() && seen.insert(inst.obj).second) {
+          touched_[u].push_back(inst.obj);
+        }
+        if (inst.isCommit()) commits_[u] = true;
+      }
+      if (!unit.isTx) commits_[u] = true;  // non-tx ops are always visible
+    }
+  }
+
+  SearchOutcome run() {
+    SearchOutcome out;
+    out.found = dfs();
+    out.exhaustedBudget = budgetExhausted_;
+    if (out.found) {
+      out.order = order_;
+    } else {
+      out.bestPrefix = bestPrefix_;
+      out.blockers = bestBlockers_;
+    }
+    return out;
+  }
+
+ private:
+  bool dfs() {
+    if (order_.size() == g_.unitCount()) return true;
+    if (limits_.maxExpansions && expansions_ >= limits_.maxExpansions) {
+      budgetExhausted_ = true;
+      return false;
+    }
+    ++expansions_;
+
+    const std::uint64_t memoKey =
+        scheduled_.hash() ^ (table_.digest() * 0x9e3779b97f4a7c15ULL);
+    if (limits_.useMemo) {
+      if (auto it = failed_.find(memoKey); it != failed_.end()) {
+        for (const auto& [mask, digest] : it->second) {
+          if (mask == scheduled_ && digest == table_.digest()) return false;
+        }
+      }
+    }
+
+    bool progressed = false;
+    for (std::size_t u = 0; u < g_.unitCount(); ++u) {
+      if (scheduled_.test(u)) continue;
+      if (!scheduled_.contains(g_.preds(u))) continue;
+      if (!tryUnit(u)) continue;
+      progressed = true;
+      if (dfs()) return true;
+      popUnit();
+      if (budgetExhausted_) return false;
+    }
+    if (!progressed && order_.size() >= bestPrefix_.size()) {
+      recordDeadEnd();
+    }
+
+    if (limits_.useMemo) {
+      failed_[memoKey].emplace_back(scheduled_, table_.digest());
+    }
+    return false;
+  }
+
+  /// Captures why this dead-end configuration cannot extend (diagnostics).
+  void recordDeadEnd() {
+    bestPrefix_ = order_;
+    bestBlockers_.clear();
+    const auto& h = g_.history();
+    for (std::size_t u = 0; u < g_.unitCount(); ++u) {
+      if (scheduled_.test(u)) continue;
+      std::string why;
+      if (!scheduled_.contains(g_.preds(u))) {
+        why = "waits for constraint predecessors";
+      } else {
+        // Re-run the unit to find its first illegal instance.
+        auto snap = table_.snapshot(touched_[u]);
+        for (std::size_t pos : g_.unit(u).positions) {
+          const OpInstance& inst = h[pos];
+          if (!inst.isCommand()) continue;
+          if (!table_.apply(inst.obj, inst.cmd)) {
+            why = "operation " + inst.toString() +
+                  " is illegal in the current state";
+            break;
+          }
+        }
+        table_.restore(std::move(snap));
+        if (why.empty()) why = "unexpectedly schedulable";  // defensive
+      }
+      const OpInstance& head = h[g_.unit(u).positions.front()];
+      bestBlockers_.push_back(
+          (g_.unit(u).isTx ? "transaction starting at op " +
+                                 std::to_string(head.id)
+                           : "operation " + std::to_string(head.id)) +
+          ": " + why);
+    }
+  }
+
+  /// Attempts to schedule unit u.  Returns false with the table unchanged
+  /// if some instance of the unit is illegal at this point; returns true
+  /// with the unit applied and an undo snapshot queued (popUnit reverses).
+  bool tryUnit(std::size_t u) {
+    const auto& h = g_.history();
+    const Unit& unit = g_.unit(u);
+    auto snap = table_.snapshot(touched_[u]);
+
+    bool legal = true;
+    for (std::size_t pos : unit.positions) {
+      const OpInstance& inst = h[pos];
+      if (!inst.isCommand()) continue;
+      if (!table_.apply(inst.obj, inst.cmd)) {
+        legal = false;
+        break;
+      }
+    }
+    if (!legal) {
+      table_.restore(std::move(snap));
+      return false;
+    }
+
+    if (!commits_[u]) {
+      // Aborted or incomplete transaction: its effects are never visible to
+      // later instances (visible() drops it once anything follows).
+      table_.restore(std::move(snap));
+      undo_.emplace_back();  // nothing further to undo on backtrack
+    } else {
+      undo_.push_back(std::move(snap));
+    }
+    scheduled_.set(u);
+    order_.push_back(u);
+    return true;
+  }
+
+  void popUnit() {
+    const std::size_t u = order_.back();
+    order_.pop_back();
+    scheduled_.reset(u);
+    if (!undo_.back().empty()) table_.restore(std::move(undo_.back()));
+    undo_.pop_back();
+  }
+
+  const UnitGraph& g_;
+  SearchLimits limits_;
+  StateTable table_;
+
+  std::vector<std::vector<ObjectId>> touched_;
+  std::vector<bool> commits_;
+
+  UnitSet scheduled_;
+  std::vector<std::size_t> order_;
+  std::vector<std::size_t> bestPrefix_;
+  std::vector<std::string> bestBlockers_;
+  std::vector<StateTable::Snapshot> undo_;
+  std::uint64_t expansions_ = 0;
+  bool budgetExhausted_ = false;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<UnitSet, std::uint64_t>>>
+      failed_;
+};
+
+}  // namespace
+
+SearchOutcome findLegalOrder(const UnitGraph& g, const SpecMap& specs,
+                             const SearchLimits& limits) {
+  Searcher s(g, specs, limits);
+  return s.run();
+}
+
+History sequentialHistoryFromOrder(const UnitGraph& g,
+                                   const std::vector<std::size_t>& order) {
+  std::vector<std::size_t> positions;
+  for (std::size_t u : order) {
+    for (std::size_t pos : g.unit(u).positions) positions.push_back(pos);
+  }
+  return g.history().subsequence(positions);
+}
+
+}  // namespace jungle

@@ -1,0 +1,55 @@
+// Legality-directed topological search (the checker's inner engine).
+//
+// Given a unit graph with all constraints installed (≺h, minimal view,
+// serialization chain), decides whether some topological order of units
+// yields a sequential history in which every operation is legal (§2's
+// prefix-visible legality).  The incremental evaluation exploits
+// contiguity: a transaction's commands run against a snapshot of the
+// object states; committed transactions merge their snapshot back, aborted
+// and incomplete ones discard it — exactly visible()'s semantics for
+// sequential histories.
+//
+// Failed configurations (scheduled-unit set + object-state digest) are
+// memoized; a digest collision can at worst suppress a retry of a state we
+// believe failed, with probability ~2^-64 per pair (documented in
+// DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "opacity/unit_graph.hpp"
+#include "spec/spec_map.hpp"
+
+namespace jungle {
+
+struct SearchLimits {
+  /// Upper bound on DFS node expansions; 0 = unlimited.
+  std::uint64_t maxExpansions = 20'000'000;
+  /// Failed-configuration memoization (ablatable; see bench_checker).
+  bool useMemo = true;
+};
+
+struct SearchOutcome {
+  bool found = false;
+  /// True if the budget ran out before the space was exhausted; a negative
+  /// answer is then inconclusive.
+  bool exhaustedBudget = false;
+  /// Unit order of the witness, when found.
+  std::vector<std::size_t> order;
+  /// On failure: the deepest prefix any branch scheduled, and why each
+  /// remaining candidate was rejected there (diagnostics for explain()).
+  std::vector<std::size_t> bestPrefix;
+  std::vector<std::string> blockers;
+};
+
+/// Runs the search.  The graph must be acyclic (callers check).
+SearchOutcome findLegalOrder(const UnitGraph& g, const SpecMap& specs,
+                             const SearchLimits& limits = {});
+
+/// Reconstructs the witness sequential history from a unit order.
+History sequentialHistoryFromOrder(const UnitGraph& g,
+                                   const std::vector<std::size_t>& order);
+
+}  // namespace jungle

@@ -1,0 +1,52 @@
+// Parametrized opacity (§3.3) and related correctness conditions.
+//
+// A history h ensures opacity parametrized by M = (τ, R) iff there exist a
+// total order ≪ on transactional operations and a view v ∈ R(τ(h)) such
+// that for every process p some sequential permutation s of τ(h) respects
+// ≪ ∪ ≺h ∪ v(p) and makes every operation legal.
+//
+// The checker is exact for finite histories: it enumerates serialization
+// orders consistent with ≺h, uses the model's minimal view (sound and
+// complete — see DESIGN.md §5), and runs the legality-directed search.
+#pragma once
+
+#include <optional>
+
+#include "opacity/legal_search.hpp"
+
+namespace jungle {
+
+struct CheckResult {
+  /// The condition holds.
+  bool satisfied = false;
+  /// The search budget ran out; a false `satisfied` is then inconclusive.
+  bool inconclusive = false;
+  /// Witness sequential history (of τ(h)) when satisfied.
+  std::optional<History> witness;
+  /// On violation: a human-readable account of the deepest dead end the
+  /// search reached — the scheduled prefix and why each remaining unit was
+  /// rejected.  Empty on success (populated by checkParametrizedOpacity;
+  /// the SGLA checker currently reports no explanation).
+  std::string explanation;
+
+  explicit operator bool() const { return satisfied; }
+};
+
+/// Does h ensure opacity parametrized by m?
+CheckResult checkParametrizedOpacity(const History& h, const MemoryModel& m,
+                                     const SpecMap& specs,
+                                     const SearchLimits& limits = {});
+
+/// Classical opacity — the SC-parametrized instance.  For purely
+/// transactional histories this is Guerraoui–Kapalka opacity; with
+/// non-transactional operations it is Larus-style strong atomicity (§1).
+CheckResult checkOpacity(const History& h, const SpecMap& specs,
+                         const SearchLimits& limits = {});
+
+/// Strict serializability baseline: like opacity, but aborted and
+/// incomplete transactions are erased before checking — their reads need
+/// not be consistent.
+CheckResult checkStrictSerializability(const History& h, const SpecMap& specs,
+                                       const SearchLimits& limits = {});
+
+}  // namespace jungle

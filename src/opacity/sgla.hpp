@@ -1,0 +1,36 @@
+// Single global lock atomicity (§6.2), parametrized by a memory model.
+//
+// SGLA weakens parametrized opacity in two ways: the witness history only
+// needs to be *transactionally* sequential (non-transactional instances may
+// interleave with transactions), and the constraint order is the memory
+// model's view extended with lock semantics for start/commit/abort — not
+// the real-time order ≺h.
+//
+// The minimal well-formed extension we check against (DESIGN.md §5):
+//   * the base model's required pairs, applied to all same-process command
+//     instances (inside a critical section the memory model still governs
+//     reorderings);
+//   * roach-motel lock edges per process: start → every later instance of
+//     the process (acquire), every earlier instance → commit/abort
+//     (release) — instances may migrate *into* a critical section but not
+//     out of it, matching extension conditions (ii)/(iii);
+//   * agreement of all processes on the transaction order (condition (i)),
+//     realized by enumerating one total order ≪;
+//   * optionally, real-time order between completed transactions (on by
+//     default; a real global lock enforces it, and keeping it preserves
+//     Theorem 6 since parametrized opacity implies it too).
+#pragma once
+
+#include "opacity/popacity.hpp"
+
+namespace jungle {
+
+struct SglaOptions {
+  bool enforceTxRealTime = true;
+  SearchLimits limits;
+};
+
+CheckResult checkSgla(const History& h, const MemoryModel& m,
+                      const SpecMap& specs, const SglaOptions& opts = {});
+
+}  // namespace jungle

@@ -1,0 +1,90 @@
+// Object-state table with snapshot/restore and an incremental digest —
+// the mutable core of both the opacity and the SGLA searches.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "spec/spec_map.hpp"
+
+namespace jungle {
+
+class StateTable {
+ public:
+  explicit StateTable(const SpecMap& specs) : specs_(&specs) {}
+
+  /// Order-independent digest of all object states (memo keys).
+  std::uint64_t digest() const { return digest_; }
+
+  /// Applies `cmd` on `obj`; returns false if illegal.  On failure the
+  /// object's state is unspecified — callers restore from a snapshot.
+  bool apply(ObjectId obj, const Command& cmd) {
+    SpecState* st = stateFor(obj);
+    removeDigest(obj, *st);
+    const bool ok = st->apply(cmd);
+    addDigest(obj, *st);
+    return ok;
+  }
+
+  using Snapshot = std::vector<std::pair<ObjectId, std::unique_ptr<SpecState>>>;
+
+  /// Snapshot of the named objects' current states.
+  Snapshot snapshot(const std::vector<ObjectId>& objs) {
+    Snapshot snap;
+    snap.reserve(objs.size());
+    for (ObjectId o : objs) snap.emplace_back(o, stateFor(o)->clone());
+    return snap;
+  }
+
+  void restore(Snapshot snap) {
+    for (auto& [obj, st] : snap) {
+      removeDigest(obj, *states_.at(obj));
+      addDigest(obj, *st);
+      states_[obj] = std::move(st);
+    }
+  }
+
+  /// Clone of one object's current state (materializing it if untouched).
+  std::unique_ptr<SpecState> cloneState(ObjectId obj) {
+    return stateFor(obj)->clone();
+  }
+
+  /// Replaces one object's state (used by SGLA's commit merge).
+  void setState(ObjectId obj, std::unique_ptr<SpecState> st) {
+    SpecState* cur = stateFor(obj);
+    removeDigest(obj, *cur);
+    addDigest(obj, *st);
+    states_[obj] = std::move(st);
+  }
+
+ private:
+  SpecState* stateFor(ObjectId obj) {
+    auto it = states_.find(obj);
+    if (it == states_.end()) {
+      it = states_.emplace(obj, specs_->specFor(obj).initial()).first;
+      addDigest(obj, *it->second);
+    }
+    return it->second.get();
+  }
+
+  static std::uint64_t contribution(ObjectId obj, const SpecState& st) {
+    std::uint64_t h = st.digest();
+    hashCombine(h, 0x1000193ULL + obj);
+    return h;
+  }
+
+  void addDigest(ObjectId obj, const SpecState& st) {
+    digest_ ^= contribution(obj, st);
+  }
+  void removeDigest(ObjectId obj, const SpecState& st) {
+    digest_ ^= contribution(obj, st);
+  }
+
+  const SpecMap* specs_;
+  std::unordered_map<ObjectId, std::unique_ptr<SpecState>> states_;
+  std::uint64_t digest_ = 0x811c9dc5a3c1f935ULL;
+};
+
+}  // namespace jungle

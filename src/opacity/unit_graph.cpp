@@ -1,0 +1,130 @@
+#include "opacity/unit_graph.hpp"
+
+#include <functional>
+
+#include "common/check.hpp"
+
+namespace jungle {
+
+UnitGraph::UnitGraph(const History& h, const HistoryAnalysis& analysis)
+    : h_(&h), analysis_(&analysis) {
+  JUNGLE_CHECK(&analysis.history() == &h);
+  JUNGLE_CHECK_MSG(analysis.wellFormed(), "ill-formed history");
+
+  unitOf_.assign(h.size(), 0);
+
+  // One unit per transaction, in order of first instance.
+  const auto& txns = analysis.transactions();
+  std::vector<std::size_t> txUnitIndex(txns.size());
+  for (std::size_t t = 0; t < txns.size(); ++t) {
+    Unit u;
+    u.isTx = true;
+    u.txIndex = t;
+    u.positions = txns[t].positions;
+    txUnitIndex[t] = units_.size();
+    txUnits_.push_back(units_.size());
+    units_.push_back(std::move(u));
+  }
+  // One singleton unit per non-transactional instance.
+  for (std::size_t pos = 0; pos < h.size(); ++pos) {
+    auto tx = analysis.transactionOf(pos);
+    if (tx.has_value()) {
+      unitOf_[pos] = txUnitIndex[*tx];
+    } else {
+      Unit u;
+      u.positions = {pos};
+      unitOf_[pos] = units_.size();
+      units_.push_back(std::move(u));
+    }
+  }
+  JUNGLE_CHECK_MSG(units_.size() <= UnitSet::kCapacity,
+                   "history too large for the decision procedure");
+  preds_.assign(units_.size(), UnitSet{});
+
+  // Lift ≺h to unit edges.
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    for (std::size_t j = 0; j < h.size(); ++j) {
+      if (i == j || unitOf_[i] == unitOf_[j]) continue;
+      if (analysis.realTimePrecedes(i, j)) addEdge(unitOf_[i], unitOf_[j]);
+    }
+  }
+}
+
+void UnitGraph::addEdge(std::size_t from, std::size_t to) {
+  JUNGLE_DCHECK(from < units_.size() && to < units_.size());
+  if (from == to) return;
+  preds_[to].set(from);
+}
+
+void UnitGraph::addViewEdges(
+    const std::vector<std::pair<OpId, OpId>>& pairs) {
+  for (const auto& [i, j] : pairs) {
+    const std::size_t a = unitOf_[h_->positionOf(i)];
+    const std::size_t b = unitOf_[h_->positionOf(j)];
+    if (a != b) addEdge(a, b);
+  }
+}
+
+bool UnitGraph::hasCycle() const {
+  // Kahn's algorithm: the graph is acyclic iff all units can be peeled.
+  UnitSet done;
+  std::size_t remaining = units_.size();
+  bool progress = true;
+  while (progress && remaining > 0) {
+    progress = false;
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+      if (done.test(u)) continue;
+      if (done.contains(preds_[u])) {
+        done.set(u);
+        --remaining;
+        progress = true;
+      }
+    }
+  }
+  return remaining > 0;
+}
+
+UnitGraph UnitGraph::withTxChain(
+    const std::vector<std::size_t>& txOrder) const {
+  UnitGraph g = *this;
+  for (std::size_t i = 0; i + 1 < txOrder.size(); ++i) {
+    g.addEdge(txOrder[i], txOrder[i + 1]);
+  }
+  return g;
+}
+
+bool forEachTxOrder(
+    const UnitGraph& g,
+    const std::function<bool(const std::vector<std::size_t>&)>& fn) {
+  const auto& txs = g.txUnits();
+  // Only tx→tx edges constrain the serialization order directly; indirect
+  // constraints (through non-transactional units) surface as search
+  // failures, so enumerating against direct edges is complete.
+  std::vector<std::size_t> order;
+  std::vector<bool> used(txs.size(), false);
+  std::function<bool()> rec = [&]() -> bool {
+    if (order.size() == txs.size()) return fn(order);
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      if (used[i]) continue;
+      // All tx predecessors of txs[i] must already be placed.
+      bool ready = true;
+      for (std::size_t jIdx = 0; jIdx < txs.size(); ++jIdx) {
+        if (used[jIdx] || jIdx == i) continue;
+        if (g.preds(txs[i]).test(txs[jIdx])) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      used[i] = true;
+      order.push_back(txs[i]);
+      if (rec()) return true;
+      order.pop_back();
+      used[i] = false;
+    }
+    return false;
+  };
+  return rec();
+}
+
+}  // namespace jungle

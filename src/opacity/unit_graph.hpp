@@ -1,0 +1,77 @@
+// Unit decomposition for the opacity search.
+//
+// Condition 2 of parametrized opacity (§3.3) asks for a *sequential*
+// permutation s of τ(h) respecting ≪ ∪ ≺h ∪ v(p).  In a sequential history
+// every transaction is contiguous and its internal order is fixed by ≺h
+// (same-process clause), so the search space is exactly the set of
+// topological orders of *units* — whole transactions and individual
+// non-transactional instances — under unit-lifted constraints.  This file
+// builds the units and the constraint graph.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/bitset64.hpp"
+#include "history/history.hpp"
+#include "memmodel/memory_model.hpp"
+
+namespace jungle {
+
+struct Unit {
+  bool isTx = false;
+  /// Index into HistoryAnalysis::transactions() when isTx.
+  std::size_t txIndex = 0;
+  /// History positions of the unit's instances, in history (program) order.
+  std::vector<std::size_t> positions;
+};
+
+class UnitGraph {
+ public:
+  /// Decomposes `h` into units and installs the ≺h constraints.
+  /// `analysis` must be over `h`.
+  UnitGraph(const History& h, const HistoryAnalysis& analysis);
+
+  const History& history() const { return *h_; }
+  const HistoryAnalysis& analysis() const { return *analysis_; }
+
+  std::size_t unitCount() const { return units_.size(); }
+  const Unit& unit(std::size_t u) const { return units_[u]; }
+  const std::vector<Unit>& units() const { return units_; }
+
+  /// Unit containing the instance at history position `pos`.
+  std::size_t unitOf(std::size_t pos) const { return unitOf_[pos]; }
+
+  /// Indices of transaction units, in history order of their first op.
+  const std::vector<std::size_t>& txUnits() const { return txUnits_; }
+
+  void addEdge(std::size_t from, std::size_t to);
+  /// Adds the view constraints (identifier pairs over non-transactional
+  /// instances) as unit edges.
+  void addViewEdges(const std::vector<std::pair<OpId, OpId>>& pairs);
+
+  const UnitSet& preds(std::size_t u) const { return preds_[u]; }
+
+  bool hasCycle() const;
+
+  /// Deep copy for per-serialization-order augmentation.
+  UnitGraph withTxChain(const std::vector<std::size_t>& txOrder) const;
+
+ private:
+  const History* h_;
+  const HistoryAnalysis* analysis_;
+  std::vector<Unit> units_;
+  std::vector<std::size_t> unitOf_;
+  std::vector<std::size_t> txUnits_;
+  std::vector<UnitSet> preds_;
+};
+
+/// Enumerates all total orders of the graph's transaction units consistent
+/// with the tx→tx edges already present, invoking `fn` with each order
+/// (vector of unit indices).  Stops early when fn returns true; returns
+/// whether any invocation returned true.
+bool forEachTxOrder(const UnitGraph& g,
+                    const std::function<bool(const std::vector<std::size_t>&)>& fn);
+
+}  // namespace jungle

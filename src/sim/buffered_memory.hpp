@@ -1,0 +1,232 @@
+// A TSO store-buffer *memory policy*: the live TM implementations running
+// on simulated weak hardware (§4's remark that "the underlying hardware may
+// execute a relaxed memory model", and the paper's note that a programmer
+// may want opacity(SC) on RMO hardware).
+//
+// Semantics (SPARC-TSO / x86-like):
+//   * store:  enqueued in the issuing thread's FIFO buffer;
+//   * load:   satisfied from the own buffer (newest entry for the address)
+//             or from memory — other threads' buffered stores are
+//             invisible;
+//   * cas:    a locked instruction — drains the own buffer, then operates
+//             on memory;
+//   * drains: happen pseudo-randomly (seeded) on every access, plus
+//             optionally at endOp ("drainOnRespond": a full fence before an
+//             operation responds).
+//
+// The key experimental subtlety this policy exposes: with buffering, a
+// plain write's *logical point* is its drain, not its store.  The policy
+// therefore emits the operation's kPoint marker when its last store drains
+// (overriding the TM's own markPoint for buffered-store ops), so canonical
+// histories stay faithful.  With drainOnRespond=false, an operation's
+// point can land after its respond — outside the §4 interval — modeling
+// precisely the gap between the API-level and hardware-level views; the
+// tests show conformance surviving it for the global-lock family (locked
+// instructions order everything that matters) while the interval-based
+// enumeration would be unsound.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "sim/instruction.hpp"
+
+namespace jungle {
+
+class TsoBufferedMemory {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    /// Probability (percent) of draining one buffered store at each access.
+    unsigned drainChancePct = 40;
+    /// Drain the issuing thread's buffer before every respond marker
+    /// (i.e. fence at the end of each operation).
+    bool drainOnRespond = false;
+    std::size_t maxThreads = 8;
+  };
+
+  TsoBufferedMemory(std::size_t words, Options opts)
+      : mem_(words, 0), opts_(opts), rng_(opts.seed),
+        buffers_(opts.maxThreads), open_(opts.maxThreads, kNoOp) {}
+
+  std::size_t size() const { return mem_.size(); }
+
+  Word load(ProcessId p, Addr a) {
+    std::lock_guard<std::mutex> g(mu_);
+    maybeDrain();
+    Word v;
+    if (const BufferedStore* f = forwarded(p, a)) {
+      v = f->value;
+    } else {
+      v = mem_.at(a);
+    }
+    record(InsnKind::kLoad, p, a, v, 0, false);
+    return v;
+  }
+
+  void store(ProcessId p, Addr a, Word v) {
+    std::lock_guard<std::mutex> g(mu_);
+    maybeDrain();
+    buffers_.at(p).push_back({a, v, open_.at(p)});
+    record(InsnKind::kStore, p, a, v, 0, false);
+  }
+
+  bool cas(ProcessId p, Addr a, Word expect, Word desired) {
+    std::lock_guard<std::mutex> g(mu_);
+    drainThread(p);  // locked instruction: flush own buffer first
+    const bool ok = mem_.at(a) == expect;
+    if (ok) mem_.at(a) = desired;
+    Insn i;
+    i.kind = InsnKind::kCas;
+    i.pid = p;
+    i.opId = open_.at(p);
+    i.addr = a;
+    i.expected = expect;
+    i.value = desired;
+    i.casOk = ok;
+    trace_.insns.push_back(i);
+    maybeDrain();
+    return ok;
+  }
+
+  /// Explicit full fence (drains the calling thread's buffer).
+  void fence(ProcessId p) {
+    std::lock_guard<std::mutex> g(mu_);
+    drainThread(p);
+  }
+
+  OpId beginOp(ProcessId p, OpType t, ObjectId obj, const Command& cmd) {
+    std::lock_guard<std::mutex> g(mu_);
+    const OpId id = nextOp_++;
+    open_.at(p) = id;
+    Insn i;
+    i.kind = InsnKind::kInvoke;
+    i.pid = p;
+    i.opId = id;
+    i.opType = t;
+    i.obj = obj;
+    i.cmd = cmd;
+    trace_.insns.push_back(std::move(i));
+    return id;
+  }
+
+  void endOp(ProcessId p, OpId id, OpType t, ObjectId obj,
+             const Command& cmd) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (opts_.drainOnRespond) drainThread(p);
+    Insn i;
+    i.kind = InsnKind::kRespond;
+    i.pid = p;
+    i.opId = id;
+    i.opType = t;
+    i.obj = obj;
+    i.cmd = cmd;
+    trace_.insns.push_back(std::move(i));
+    open_.at(p) = kNoOp;
+  }
+
+  void markPoint(ProcessId p, OpId id) {
+    std::lock_guard<std::mutex> g(mu_);
+    // If the operation still has buffered stores, its effect is not yet
+    // visible: defer the point to the drain of its last buffered store.
+    for (const BufferedStore& s : buffers_.at(p)) {
+      if (s.op == id) return;  // deferred; emitted by drain below
+    }
+    // A drain may already have emitted this operation's point (its store
+    // left the buffer between the store and this call): don't emit again —
+    // visibility order, not API order, defines the point.
+    if (pointed_.count(id) == 0) emitPoint(p, id);
+  }
+
+  /// Drains everything (end of a run, before extracting the trace).
+  void drainAll() {
+    std::lock_guard<std::mutex> g(mu_);
+    for (std::size_t p = 0; p < buffers_.size(); ++p) {
+      drainThread(static_cast<ProcessId>(p));
+    }
+  }
+
+  Trace trace() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return trace_;
+  }
+
+ private:
+  struct BufferedStore {
+    Addr addr;
+    Word value;
+    OpId op;
+  };
+
+  const BufferedStore* forwarded(ProcessId p, Addr a) const {
+    const auto& buf = buffers_.at(p);
+    for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
+      if (it->addr == a) return &*it;
+    }
+    return nullptr;
+  }
+
+  void drainOne(ProcessId p) {
+    auto& buf = buffers_.at(p);
+    if (buf.empty()) return;
+    const BufferedStore s = buf.front();
+    buf.pop_front();
+    mem_.at(s.addr) = s.value;
+    // Last buffered store of its operation reaching memory = the
+    // operation's deferred logical point.
+    bool more = false;
+    for (const BufferedStore& rest : buf) {
+      if (rest.op == s.op) more = true;
+    }
+    if (!more) emitPoint(p, s.op);
+  }
+
+  void drainThread(ProcessId p) {
+    while (!buffers_.at(p).empty()) drainOne(p);
+  }
+
+  void maybeDrain() {
+    for (std::size_t p = 0; p < buffers_.size(); ++p) {
+      while (!buffers_[p].empty() &&
+             rng_.chance(opts_.drainChancePct, 100)) {
+        drainOne(static_cast<ProcessId>(p));
+      }
+    }
+  }
+
+  void emitPoint(ProcessId p, OpId id) {
+    pointed_.insert(id);
+    Insn i;
+    i.kind = InsnKind::kPoint;
+    i.pid = p;
+    i.opId = id;
+    trace_.insns.push_back(i);
+  }
+
+  void record(InsnKind kind, ProcessId p, Addr a, Word v, Word expect,
+              bool ok) {
+    Insn i;
+    i.kind = kind;
+    i.pid = p;
+    i.opId = open_.at(p);
+    i.addr = a;
+    i.value = v;
+    i.expected = expect;
+    i.casOk = ok;
+    trace_.insns.push_back(i);
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Word> mem_;
+  Options opts_;
+  Rng rng_;
+  std::vector<std::deque<BufferedStore>> buffers_;
+  std::vector<OpId> open_;
+  std::unordered_set<OpId> pointed_;
+  Trace trace_;
+  OpId nextOp_ = 1;
+};
+
+}  // namespace jungle

@@ -1,0 +1,230 @@
+#include "sim/instruction.hpp"
+
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace jungle {
+
+const char* insnKindName(InsnKind k) {
+  switch (k) {
+    case InsnKind::kLoad:
+      return "load";
+    case InsnKind::kStore:
+      return "store";
+    case InsnKind::kCas:
+      return "cas";
+    case InsnKind::kInvoke:
+      return "invoke";
+    case InsnKind::kRespond:
+      return "respond";
+    case InsnKind::kPoint:
+      return "point";
+  }
+  return "?";
+}
+
+std::string Insn::toString() const {
+  std::string s;
+  switch (kind) {
+    case InsnKind::kLoad:
+      s = "<load a" + std::to_string(addr) + ", " + std::to_string(value) +
+          ">";
+      break;
+    case InsnKind::kStore:
+      s = "<store a" + std::to_string(addr) + ", " + std::to_string(value) +
+          ">";
+      break;
+    case InsnKind::kCas:
+      s = "<cas a" + std::to_string(addr) + ", " + std::to_string(expected) +
+          ", " + std::to_string(value) + (casOk ? ">" : "> (failed)");
+      break;
+    case InsnKind::kPoint:
+      s = "(point)";
+      break;
+    case InsnKind::kInvoke:
+    case InsnKind::kRespond:
+      s = kind == InsnKind::kInvoke ? "(>, " : "(<, ";
+      if (opType == OpType::kCommand) {
+        s += cmd.toString() + " on x" + std::to_string(obj);
+      } else {
+        s += opTypeName(opType);
+      }
+      s += ")";
+      break;
+  }
+  s += " p" + std::to_string(pid) + " op" + std::to_string(opId);
+  return s;
+}
+
+Trace Trace::projectProcess(ProcessId p) const {
+  Trace out;
+  for (const Insn& i : insns) {
+    if (i.pid == p) out.insns.push_back(i);
+  }
+  return out;
+}
+
+std::string Trace::toString() const {
+  std::string s;
+  for (const Insn& i : insns) {
+    s += i.toString();
+    s += "\n";
+  }
+  return s;
+}
+
+TraceBuilder& TraceBuilder::invoke(ProcessId p, OpId op, OpType t,
+                                   ObjectId obj, Command cmd) {
+  Insn i;
+  i.kind = InsnKind::kInvoke;
+  i.pid = p;
+  i.opId = op;
+  i.opType = t;
+  i.obj = obj;
+  i.cmd = std::move(cmd);
+  trace_.insns.push_back(std::move(i));
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::respond(ProcessId p, OpId op, OpType t,
+                                    ObjectId obj, Command cmd) {
+  Insn i;
+  i.kind = InsnKind::kRespond;
+  i.pid = p;
+  i.opId = op;
+  i.opType = t;
+  i.obj = obj;
+  i.cmd = std::move(cmd);
+  trace_.insns.push_back(std::move(i));
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::load(ProcessId p, OpId op, Addr a, Word v) {
+  Insn i;
+  i.kind = InsnKind::kLoad;
+  i.pid = p;
+  i.opId = op;
+  i.addr = a;
+  i.value = v;
+  trace_.insns.push_back(i);
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::store(ProcessId p, OpId op, Addr a, Word v) {
+  Insn i;
+  i.kind = InsnKind::kStore;
+  i.pid = p;
+  i.opId = op;
+  i.addr = a;
+  i.value = v;
+  trace_.insns.push_back(i);
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::cas(ProcessId p, OpId op, Addr a, Word expect,
+                                Word desired, bool ok) {
+  Insn i;
+  i.kind = InsnKind::kCas;
+  i.pid = p;
+  i.opId = op;
+  i.addr = a;
+  i.expected = expect;
+  i.value = desired;
+  i.casOk = ok;
+  trace_.insns.push_back(i);
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::point(ProcessId p, OpId op) {
+  Insn i;
+  i.kind = InsnKind::kPoint;
+  i.pid = p;
+  i.opId = op;
+  trace_.insns.push_back(i);
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::ntRead(ProcessId p, OpId op, ObjectId x, Addr a,
+                                   Word v) {
+  invoke(p, op, OpType::kCommand, x, cmdRead(v));
+  load(p, op, a, v);
+  respond(p, op, OpType::kCommand, x, cmdRead(v));
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::ntWrite(ProcessId p, OpId op, ObjectId x, Addr a,
+                                    Word v) {
+  invoke(p, op, OpType::kCommand, x, cmdWrite(v));
+  store(p, op, a, v);
+  respond(p, op, OpType::kCommand, x, cmdWrite(v));
+  return *this;
+}
+
+bool traceWellFormed(const Trace& r, std::string* why) {
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  // Per-process: invoke(op) … instructions of op … respond(op), repeated;
+  // a trailing incomplete operation trace is permitted.
+  std::unordered_map<ProcessId, OpId> openOp;
+  std::unordered_map<ProcessId, bool> hasOpen;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const Insn& in = r[i];
+    const bool open = hasOpen[in.pid];
+    switch (in.kind) {
+      case InsnKind::kInvoke:
+        if (open) return fail("invoke while an operation is open");
+        openOp[in.pid] = in.opId;
+        hasOpen[in.pid] = true;
+        break;
+      case InsnKind::kRespond:
+        if (!open || openOp[in.pid] != in.opId)
+          return fail("respond without a matching invoke");
+        hasOpen[in.pid] = false;
+        break;
+      case InsnKind::kPoint:
+        // Logical-point metadata, not a machine instruction: on weak
+        // hardware a buffered write's point (its drain) can land after the
+        // operation's response, so points are unconstrained here.
+        break;
+      default:
+        if (!open || openOp[in.pid] != in.opId)
+          return fail("memory instruction outside an operation trace");
+        break;
+    }
+  }
+  return true;
+}
+
+bool traceMachineConsistent(const Trace& r, std::string* why) {
+  auto fail = [&](std::size_t i, const std::string& msg) {
+    if (why) *why = "instruction " + std::to_string(i) + ": " + msg;
+    return false;
+  };
+  std::unordered_map<Addr, Word> mem;  // zero-initialized
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const Insn& in = r[i];
+    if (!in.isMemory()) continue;
+    Word& cell = mem[in.addr];
+    switch (in.kind) {
+      case InsnKind::kLoad:
+        if (cell != in.value) return fail(i, "load returned a stale value");
+        break;
+      case InsnKind::kStore:
+        cell = in.value;
+        break;
+      case InsnKind::kCas:
+        if ((cell == in.expected) != in.casOk)
+          return fail(i, "cas outcome inconsistent with memory");
+        if (in.casOk) cell = in.value;
+        break;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace jungle

@@ -1,0 +1,108 @@
+// Instructions and traces (§4).
+//
+// A TM implementation compiles operations into sequences of load/store/cas
+// instructions bracketed by invocation (▷, "invoke") and response (◁,
+// "respond") markers.  A trace is the interleaved sequence of instruction
+// instances the machine executed; histories correspond to traces by picking
+// a logical point for each operation between its invocation and response.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "history/op_instance.hpp"
+
+namespace jungle {
+
+enum class InsnKind : std::uint8_t {
+  kLoad,     // ⟨load a, v⟩ — returned v
+  kStore,    // ⟨store a, v⟩
+  kCas,      // ⟨cas a, v, v'⟩ — expected v, desired v'
+  kInvoke,   // (▷, o)
+  kRespond,  // (◁, o)
+  kPoint,    // logical-point marker: where the operation "takes effect"
+             // (emitted by recording policies; not a machine instruction)
+};
+
+const char* insnKindName(InsnKind k);
+
+struct Insn {
+  InsnKind kind = InsnKind::kLoad;
+  ProcessId pid = 0;
+  /// Identifier of the operation this instruction belongs to.
+  OpId opId = 0;
+
+  // --- load/store/cas fields ---
+  Addr addr = kNoAddr;
+  Word value = 0;     // load result / store value / cas desired value
+  Word expected = 0;  // cas expected value
+  bool casOk = false;  // cas outcome
+
+  // --- invoke/respond fields: the operation (Ô) being delimited ---
+  OpType opType = OpType::kCommand;
+  ObjectId obj = kNoObject;
+  Command cmd;
+
+  bool isMemory() const {
+    return kind == InsnKind::kLoad || kind == InsnKind::kStore ||
+           kind == InsnKind::kCas;
+  }
+  bool isUpdate() const {  // the paper's "update instruction"
+    return kind == InsnKind::kStore || (kind == InsnKind::kCas && casOk);
+  }
+
+  std::string toString() const;
+};
+
+/// A trace: sequence of instruction instances in machine execution order.
+struct Trace {
+  std::vector<Insn> insns;
+
+  std::size_t size() const { return insns.size(); }
+  const Insn& operator[](std::size_t i) const { return insns[i]; }
+
+  /// r|p — the instructions issued by process p, in order.
+  Trace projectProcess(ProcessId p) const;
+
+  std::string toString() const;
+};
+
+/// Fluent construction of handcrafted traces (the Figure 5 constructions).
+/// Operation identifiers are explicit: the theorem traces reference them.
+class TraceBuilder {
+ public:
+  TraceBuilder& invoke(ProcessId p, OpId op, OpType t,
+                       ObjectId obj = kNoObject, Command cmd = {});
+  TraceBuilder& respond(ProcessId p, OpId op, OpType t,
+                        ObjectId obj = kNoObject, Command cmd = {});
+  TraceBuilder& load(ProcessId p, OpId op, Addr a, Word v);
+  TraceBuilder& store(ProcessId p, OpId op, Addr a, Word v);
+  TraceBuilder& cas(ProcessId p, OpId op, Addr a, Word expect, Word desired,
+                    bool ok = true);
+  TraceBuilder& point(ProcessId p, OpId op);
+
+  /// invoke + respond around a command-operation's instruction sequence is
+  /// common enough to warrant shorthands used by the theorem constructions.
+  TraceBuilder& ntRead(ProcessId p, OpId op, ObjectId x, Addr a, Word v);
+  TraceBuilder& ntWrite(ProcessId p, OpId op, ObjectId x, Addr a, Word v);
+
+  Trace build() const { return trace_; }
+
+ private:
+  Trace trace_;
+};
+
+/// Structural well-formedness (§4): for every process, r|p is a sequence of
+/// complete operation traces, possibly ending with one incomplete trace,
+/// and every instruction between an invoke and its respond carries the same
+/// operation identifier.
+bool traceWellFormed(const Trace& r, std::string* why = nullptr);
+
+/// Machine consistency: replaying the trace against a flat word memory
+/// (zero-initialized), every load returns the current value, every cas
+/// outcome matches its expected/current comparison.  Handcrafted theorem
+/// traces are validated with this before any conclusions are drawn.
+bool traceMachineConsistent(const Trace& r, std::string* why = nullptr);
+
+}  // namespace jungle

@@ -1,0 +1,195 @@
+// Memory policies: the machines the TM algorithm templates run on.
+//
+// A policy supplies the three hardware primitives of §4 — load, store, cas
+// — plus operation-delimiter hooks.  Two policies are provided:
+//
+//   * NativeMemory    — std::atomic words, markers compiled out.  Used by
+//                       benchmarks and examples at full speed.
+//   * RecordingMemory — a mutex-serialized machine that logs every
+//                       instruction into a Trace (§4), including invoke/
+//                       respond markers and the operation's logical point.
+//                       Used by the conformance tests, which extract
+//                       corresponding histories and run the checkers.
+//
+// §4's simplifying assumption holds for both: the machine itself is
+// linearizable (every instruction completes when issued); the *programmer-
+// level* memory model is what the checkers parameterize over.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/sync.hpp"
+#include "sim/instruction.hpp"
+
+namespace jungle {
+
+class NativeMemory {
+ public:
+  explicit NativeMemory(std::size_t words)
+      : cells_(std::make_unique<std::atomic<Word>[]>(words)), size_(words) {
+    for (std::size_t i = 0; i < words; ++i)
+      cells_[i].store(0, std::memory_order_relaxed);
+  }
+
+  std::size_t size() const { return size_; }
+
+  Word load(ProcessId, Addr a) {
+    JUNGLE_DCHECK(a < size_);
+    return cells_[a].load(std::memory_order_seq_cst);
+  }
+
+  void store(ProcessId, Addr a, Word v) {
+    JUNGLE_DCHECK(a < size_);
+    cells_[a].store(v, std::memory_order_seq_cst);
+  }
+
+  bool cas(ProcessId, Addr a, Word expect, Word desired) {
+    JUNGLE_DCHECK(a < size_);
+    return cells_[a].compare_exchange_strong(expect, desired,
+                                             std::memory_order_seq_cst);
+  }
+
+  // Marker hooks: no-ops, inlined away.
+  OpId beginOp(ProcessId, OpType, ObjectId, const Command&) { return 0; }
+  void endOp(ProcessId, OpId, OpType, ObjectId, const Command&) {}
+  void markPoint(ProcessId, OpId) {}
+
+ private:
+  std::unique_ptr<std::atomic<Word>[]> cells_;
+  std::size_t size_;
+};
+
+class RecordingMemory {
+ public:
+  explicit RecordingMemory(std::size_t words) : mem_(words, 0) {}
+
+  std::size_t size() const { return mem_.size(); }
+
+  Word load(ProcessId p, Addr a) {
+    std::lock_guard<std::mutex> g(mu_);
+    JUNGLE_CHECK(a < mem_.size());
+    const Word v = mem_[a];
+    Insn i;
+    i.kind = InsnKind::kLoad;
+    i.pid = p;
+    i.opId = currentOp(p);
+    i.addr = a;
+    i.value = v;
+    trace_.insns.push_back(i);
+    return v;
+  }
+
+  void store(ProcessId p, Addr a, Word v) {
+    std::lock_guard<std::mutex> g(mu_);
+    JUNGLE_CHECK(a < mem_.size());
+    mem_[a] = v;
+    Insn i;
+    i.kind = InsnKind::kStore;
+    i.pid = p;
+    i.opId = currentOp(p);
+    i.addr = a;
+    i.value = v;
+    trace_.insns.push_back(i);
+  }
+
+  bool cas(ProcessId p, Addr a, Word expect, Word desired) {
+    std::lock_guard<std::mutex> g(mu_);
+    JUNGLE_CHECK(a < mem_.size());
+    const bool ok = mem_[a] == expect;
+    if (ok) mem_[a] = desired;
+    Insn i;
+    i.kind = InsnKind::kCas;
+    i.pid = p;
+    i.opId = currentOp(p);
+    i.addr = a;
+    i.expected = expect;
+    i.value = desired;
+    i.casOk = ok;
+    trace_.insns.push_back(i);
+    return ok;
+  }
+
+  OpId beginOp(ProcessId p, OpType t, ObjectId obj, const Command& cmd) {
+    std::lock_guard<std::mutex> g(mu_);
+    const OpId id = nextOp_++;
+    setCurrentOp(p, id);
+    Insn i;
+    i.kind = InsnKind::kInvoke;
+    i.pid = p;
+    i.opId = id;
+    i.opType = t;
+    i.obj = obj;
+    i.cmd = cmd;
+    trace_.insns.push_back(std::move(i));
+    return id;
+  }
+
+  void endOp(ProcessId p, OpId id, OpType t, ObjectId obj,
+             const Command& cmd) {
+    std::lock_guard<std::mutex> g(mu_);
+    Insn i;
+    i.kind = InsnKind::kRespond;
+    i.pid = p;
+    i.opId = id;
+    i.opType = t;
+    i.obj = obj;
+    i.cmd = cmd;
+    trace_.insns.push_back(std::move(i));
+    clearCurrentOp(p);
+  }
+
+  void markPoint(ProcessId p, OpId id) {
+    std::lock_guard<std::mutex> g(mu_);
+    Insn i;
+    i.kind = InsnKind::kPoint;
+    i.pid = p;
+    i.opId = id;
+    trace_.insns.push_back(i);
+  }
+
+  Trace trace() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return trace_;
+  }
+
+ private:
+  OpId currentOp(ProcessId p) const {
+    for (const auto& [pid, op] : open_) {
+      if (pid == p) {
+        JUNGLE_CHECK_MSG(op != kNoOp,
+                         "memory instruction outside an operation");
+        return op;
+      }
+    }
+    JUNGLE_CHECK_MSG(false, "memory instruction outside an operation");
+    return 0;
+  }
+
+  void setCurrentOp(ProcessId p, OpId id) {
+    for (auto& [pid, op] : open_) {
+      if (pid == p) {
+        JUNGLE_CHECK_MSG(op == kNoOp, "nested operations on one process");
+        op = id;
+        return;
+      }
+    }
+    open_.emplace_back(p, id);
+  }
+
+  void clearCurrentOp(ProcessId p) {
+    for (auto& [pid, op] : open_)
+      if (pid == p) op = kNoOp;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Word> mem_;
+  Trace trace_;
+  std::vector<std::pair<ProcessId, OpId>> open_;
+  OpId nextOp_ = 1;
+};
+
+}  // namespace jungle

@@ -1,0 +1,150 @@
+// Systematic concurrency testing of TM implementations.
+//
+// The paper's companions [9, 10] model-check TM algorithms; this module
+// brings a bounded form of that to the live implementations.  A
+// ScheduledMemory wraps RecordingMemory and blocks every thread before each
+// instruction until the controller grants it a step; the ScheduleExplorer
+// then drives a multi-threaded program through
+//
+//   * every instruction interleaving up to a step bound (exhaustive mode,
+//     DFS with replay — stateless model checking), or
+//   * N pseudo-random schedules (sampling mode),
+//
+// handing each run's recorded trace to a caller-supplied verifier (e.g.
+// "the canonical history is parametrized-opaque under Alpha").
+//
+// Programs must be deterministic given the schedule (the TM templates are).
+// Lock-acquire spin loops make some schedules unbounded; runs exceeding the
+// step bound are cut and reported separately, never counted as passes.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "sim/memory_policy.hpp"
+
+namespace jungle {
+
+/// Turn-based gate: worker threads call enter(p)/exit(p) around every
+/// instruction; the controller grants one step at a time and observes
+/// quiescence (all live threads parked at the gate or finished).
+class StepGate {
+ public:
+  explicit StepGate(std::size_t numThreads);
+
+  // Worker side.
+  void workerEnter(ProcessId p);  // blocks until granted; then run the insn
+  void workerExit(ProcessId p);   // reports instruction completion
+  void workerDone(ProcessId p);   // thread finished its script
+
+  // Controller side.
+  /// Waits until every live thread is parked or done; returns the parked
+  /// (runnable) thread ids.
+  std::vector<ProcessId> awaitQuiescence();
+  /// Lets thread p execute exactly one instruction (must be parked).
+  void grant(ProcessId p);
+  /// Unblocks every parked thread unconditionally (teardown after a cut
+  /// run); the gate stops enforcing turns.
+  void abandon();
+
+  bool allDone() const;
+
+ private:
+  enum class ThreadState { kRunning, kParked, kGranted, kDone };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<ThreadState> state_;
+  bool abandoned_ = false;
+};
+
+/// Memory policy: RecordingMemory plus gate turns around every instruction.
+class ScheduledMemory {
+ public:
+  ScheduledMemory(std::size_t words, StepGate& gate)
+      : inner_(words), gate_(&gate) {}
+
+  std::size_t size() const { return inner_.size(); }
+
+  Word load(ProcessId p, Addr a) {
+    gate_->workerEnter(p);
+    const Word v = inner_.load(p, a);
+    gate_->workerExit(p);
+    return v;
+  }
+  void store(ProcessId p, Addr a, Word v) {
+    gate_->workerEnter(p);
+    inner_.store(p, a, v);
+    gate_->workerExit(p);
+  }
+  bool cas(ProcessId p, Addr a, Word expect, Word desired) {
+    gate_->workerEnter(p);
+    const bool ok = inner_.cas(p, a, expect, desired);
+    gate_->workerExit(p);
+    return ok;
+  }
+
+  // Markers are metadata, not scheduling points.
+  OpId beginOp(ProcessId p, OpType t, ObjectId obj, const Command& cmd) {
+    return inner_.beginOp(p, t, obj, cmd);
+  }
+  void endOp(ProcessId p, OpId id, OpType t, ObjectId obj,
+             const Command& cmd) {
+    inner_.endOp(p, id, t, obj, cmd);
+  }
+  void markPoint(ProcessId p, OpId id) { inner_.markPoint(p, id); }
+
+  Trace trace() const { return inner_.trace(); }
+
+ private:
+  RecordingMemory inner_;
+  StepGate* gate_;
+};
+
+/// One exploration run's outcome.
+struct RunOutcome {
+  Trace trace;
+  bool completed = false;  // false ⇒ the step bound cut the run
+  std::vector<ProcessId> schedule;
+};
+
+struct ExploreOptions {
+  /// Hard cap on instructions per run (spin loops!).
+  std::size_t maxSteps = 400;
+  /// Exhaustive mode: cap on total runs (DFS leaves).
+  std::size_t maxRuns = 2000;
+  /// Sampling mode: number of random schedules.
+  std::size_t samples = 64;
+  std::uint64_t seed = 1;
+};
+
+struct ExploreStats {
+  std::size_t runs = 0;
+  std::size_t completedRuns = 0;
+  std::size_t cutRuns = 0;
+  std::size_t failures = 0;
+};
+
+/// A program: given the scheduled memory, returns per-thread scripts.
+/// Each script runs on its own OS thread under the gate.
+using ThreadScript = std::function<void()>;
+using Program =
+    std::function<std::vector<ThreadScript>(ScheduledMemory& mem)>;
+
+/// Runs `program` under every schedule (exhaustive DFS up to the caps),
+/// invoking `verify` on each completed run's trace.  Returns statistics;
+/// `verify` returning false counts as a failure (exploration continues).
+ExploreStats exploreExhaustive(std::size_t numThreads, std::size_t words,
+                               const Program& program,
+                               const std::function<bool(const RunOutcome&)>& verify,
+                               const ExploreOptions& opts = {});
+
+/// Runs `program` under `opts.samples` random schedules.
+ExploreStats exploreRandom(std::size_t numThreads, std::size_t words,
+                           const Program& program,
+                           const std::function<bool(const RunOutcome&)>& verify,
+                           const ExploreOptions& opts = {});
+
+}  // namespace jungle

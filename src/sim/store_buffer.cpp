@@ -1,0 +1,162 @@
+#include "sim/store_buffer.hpp"
+
+#include <map>
+
+#include "common/check.hpp"
+
+namespace jungle::sb {
+
+namespace {
+
+struct BufferedStore {
+  Addr addr;
+  Word value;
+};
+
+struct MachineState {
+  std::vector<Word> mem;
+  std::vector<std::size_t> pc;                      // per thread
+  std::vector<std::deque<BufferedStore>> buffers;   // per thread
+  std::vector<std::vector<Word>> regs;              // per thread
+
+  bool operator<(const MachineState& o) const {
+    if (mem != o.mem) return mem < o.mem;
+    if (pc != o.pc) return pc < o.pc;
+    if (regs != o.regs) return regs < o.regs;
+    auto key = [](const std::deque<BufferedStore>& d) {
+      std::vector<std::pair<Addr, Word>> v;
+      for (const auto& s : d) v.emplace_back(s.addr, s.value);
+      return v;
+    };
+    for (std::size_t t = 0; t < buffers.size(); ++t) {
+      auto a = key(buffers[t]);
+      auto b = key(o.buffers[t]);
+      if (a != b) return a < b;
+    }
+    return false;
+  }
+};
+
+class Explorer {
+ public:
+  Explorer(const std::vector<ThreadProgram>& progs, BufferKind kind,
+           std::size_t memoryWords, std::size_t regsPerThread)
+      : progs_(progs), kind_(kind) {
+    init_.mem.assign(memoryWords, 0);
+    init_.pc.assign(progs.size(), 0);
+    init_.buffers.assign(progs.size(), {});
+    init_.regs.assign(progs.size(), std::vector<Word>(regsPerThread, 0));
+  }
+
+  std::set<Outcome> run() {
+    dfs(init_);
+    return outcomes_;
+  }
+
+ private:
+  /// Forwarding lookup: newest buffered store to `a` by thread t, if any.
+  static const BufferedStore* forwarded(
+      const std::deque<BufferedStore>& buf, Addr a) {
+    for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
+      if (it->addr == a) return &*it;
+    }
+    return nullptr;
+  }
+
+  /// Drainable store indices: TSO drains strictly in FIFO order (only the
+  /// head); PSO may drain the oldest store of *any* address, so per-address
+  /// order is kept but cross-address order is not.
+  std::vector<std::size_t> drainable(
+      const std::deque<BufferedStore>& buf) const {
+    std::vector<std::size_t> out;
+    if (buf.empty()) return out;
+    if (kind_ == BufferKind::kTso) {
+      out.push_back(0);
+      return out;
+    }
+    std::set<Addr> seen;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      if (seen.insert(buf[i].addr).second) out.push_back(i);
+    }
+    return out;
+  }
+
+  void dfs(const MachineState& s) {
+    if (!visited_.insert(s).second) return;
+
+    bool anyStep = false;
+    for (std::size_t t = 0; t < progs_.size(); ++t) {
+      // Drain steps.
+      for (std::size_t idx : drainable(s.buffers[t])) {
+        MachineState n = s;
+        const BufferedStore st = n.buffers[t][idx];
+        n.buffers[t].erase(n.buffers[t].begin() +
+                           static_cast<std::ptrdiff_t>(idx));
+        JUNGLE_CHECK(st.addr < n.mem.size());
+        n.mem[st.addr] = st.value;
+        anyStep = true;
+        dfs(n);
+      }
+      // Instruction steps.
+      if (s.pc[t] >= progs_[t].size()) continue;
+      const Stmt& stmt = progs_[t][s.pc[t]];
+      switch (stmt.kind) {
+        case Stmt::kLoad: {
+          MachineState n = s;
+          const BufferedStore* f = forwarded(n.buffers[t], stmt.addr);
+          JUNGLE_CHECK(stmt.addr < n.mem.size());
+          const Word v = f ? f->value : n.mem[stmt.addr];
+          JUNGLE_CHECK(stmt.reg >= 0 &&
+                       static_cast<std::size_t>(stmt.reg) <
+                           n.regs[t].size());
+          n.regs[t][static_cast<std::size_t>(stmt.reg)] = v;
+          ++n.pc[t];
+          anyStep = true;
+          dfs(n);
+          break;
+        }
+        case Stmt::kStore: {
+          MachineState n = s;
+          n.buffers[t].push_back({stmt.addr, stmt.value});
+          ++n.pc[t];
+          anyStep = true;
+          dfs(n);
+          break;
+        }
+        case Stmt::kFence: {
+          if (!s.buffers[t].empty()) break;  // fence waits for drain
+          MachineState n = s;
+          ++n.pc[t];
+          anyStep = true;
+          dfs(n);
+          break;
+        }
+      }
+    }
+
+    if (!anyStep) {
+      // Terminal state (all pcs done, buffers empty — a blocked fence with
+      // a non-empty buffer always has a drain step available).
+      Outcome out;
+      for (const auto& r : s.regs) out.insert(out.end(), r.begin(), r.end());
+      outcomes_.insert(std::move(out));
+    }
+  }
+
+  const std::vector<ThreadProgram>& progs_;
+  BufferKind kind_;
+  MachineState init_;
+  std::set<MachineState> visited_;
+  std::set<Outcome> outcomes_;
+};
+
+}  // namespace
+
+std::set<Outcome> enumerateOutcomes(const std::vector<ThreadProgram>& progs,
+                                    BufferKind kind, std::size_t memoryWords,
+                                    std::size_t regsPerThread) {
+  Explorer e(progs, kind, memoryWords, regsPerThread);
+  return e.run();
+}
+
+}  // namespace jungle::sb

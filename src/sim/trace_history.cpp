@@ -1,0 +1,157 @@
+#include "sim/trace_history.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace jungle {
+
+std::vector<TraceOp> traceOperations(const Trace& r) {
+  std::string why;
+  JUNGLE_CHECK_MSG(traceWellFormed(r, &why), "ill-formed trace");
+  std::vector<TraceOp> ops;
+  std::unordered_map<OpId, std::size_t> index;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const Insn& in = r[i];
+    switch (in.kind) {
+      case InsnKind::kInvoke: {
+        TraceOp op;
+        op.pid = in.pid;
+        op.id = in.opId;
+        op.type = in.opType;
+        op.obj = in.obj;
+        op.cmd = in.cmd;
+        op.invokeIdx = i;
+        index[in.opId] = ops.size();
+        ops.push_back(std::move(op));
+        break;
+      }
+      case InsnKind::kRespond: {
+        TraceOp& op = ops[index.at(in.opId)];
+        op.respondIdx = i;
+        // Responses carry the operation's outcome: final return values, and
+        // possibly a changed type (a transactional read that fails
+        // validation responds as the transaction's abort).
+        op.cmd = in.cmd;
+        op.obj = in.obj;
+        op.type = in.opType;
+        break;
+      }
+      case InsnKind::kPoint: {
+        ops[index.at(in.opId)].pointIdx = i;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return ops;
+}
+
+namespace {
+
+History historyFromOpOrder(const std::vector<TraceOp>& ops,
+                           const std::vector<std::size_t>& order) {
+  std::vector<OpInstance> insts;
+  insts.reserve(order.size());
+  for (std::size_t idx : order) {
+    const TraceOp& op = ops[idx];
+    OpInstance inst;
+    inst.type = op.type;
+    inst.obj = op.obj;
+    inst.cmd = op.cmd;
+    inst.pid = op.pid;
+    inst.id = op.id;
+    insts.push_back(std::move(inst));
+  }
+  return History(std::move(insts));
+}
+
+}  // namespace
+
+EnumerationResult forEachCorrespondingHistory(
+    const Trace& r, const std::function<bool(const History&)>& fn,
+    std::uint64_t maxHistories) {
+  const std::vector<TraceOp> ops = traceOperations(r);
+  const std::size_t n = ops.size();
+
+  // Interval order: k must precede j iff k's response precedes j's
+  // invocation.  (An incomplete operation extends to the end of the trace
+  // and therefore never forces an order onto later operations.)
+  std::vector<std::vector<bool>> before(n, std::vector<bool>(n, false));
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a != b && ops[a].respondIdx.has_value() &&
+          *ops[a].respondIdx < ops[b].invokeIdx) {
+        before[a][b] = true;
+      }
+    }
+  }
+
+  EnumerationResult result;
+  std::uint64_t visited = 0;
+  std::vector<std::size_t> order;
+  std::vector<bool> used(n, false);
+
+  std::function<bool()> rec = [&]() -> bool {
+    if (order.size() == n) {
+      if (visited++ >= maxHistories) {
+        result.cappedOut = true;
+        return true;  // stop enumerating (result.satisfied stays false)
+      }
+      return fn(historyFromOpOrder(ops, order));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      bool ready = true;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!used[j] && j != i && before[j][i]) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      used[i] = true;
+      order.push_back(i);
+      const bool done = rec();
+      order.pop_back();
+      used[i] = false;
+      if (done) return true;
+    }
+    return false;
+  };
+
+  const bool stopped = rec();
+  result.satisfied = stopped && !result.cappedOut;
+  return result;
+}
+
+History canonicalHistory(const Trace& r) {
+  std::vector<TraceOp> ops = traceOperations(r);
+  std::vector<std::size_t> order(ops.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto pointOf = [&](const TraceOp& op) -> std::size_t {
+    if (op.pointIdx.has_value()) return *op.pointIdx;
+    if (op.respondIdx.has_value()) return *op.respondIdx;
+    return op.invokeIdx;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return pointOf(ops[a]) < pointOf(ops[b]);
+                   });
+  return historyFromOpOrder(ops, order);
+}
+
+EnumerationResult traceEnsuresParametrizedOpacity(
+    const Trace& r, const MemoryModel& m, const SpecMap& specs,
+    std::uint64_t maxHistories) {
+  return forEachCorrespondingHistory(
+      r,
+      [&](const History& h) {
+        return checkParametrizedOpacity(h, m, specs).satisfied;
+      },
+      maxHistories);
+}
+
+}  // namespace jungle

@@ -1,0 +1,62 @@
+// Trace → history correspondence (§4, Figure 4).
+//
+// A history corresponds to a trace when each operation is assigned a
+// logical point between its invocation and response instruction; the
+// induced operation order is a linear extension of the trace's interval
+// order (k before j whenever k's response precedes j's invocation).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "history/history.hpp"
+#include "memmodel/memory_model.hpp"
+#include "opacity/popacity.hpp"
+#include "sim/instruction.hpp"
+
+namespace jungle {
+
+/// One operation of a trace, with its instruction span.
+struct TraceOp {
+  ProcessId pid = 0;
+  OpId id = 0;
+  OpType type = OpType::kCommand;
+  ObjectId obj = kNoObject;
+  Command cmd;
+  std::size_t invokeIdx = 0;
+  /// Index of the respond instruction; nullopt for an incomplete operation.
+  std::optional<std::size_t> respondIdx;
+  /// Index of the logical-point marker, when the implementation emitted
+  /// one (recording policies do; handcrafted traces usually do not).
+  std::optional<std::size_t> pointIdx;
+};
+
+/// Extracts the operations of a well-formed trace, in invocation order.
+/// The operation's command is taken from the respond marker (which carries
+/// return values); for incomplete operations, from the invoke marker.
+std::vector<TraceOp> traceOperations(const Trace& r);
+
+/// Enumerates histories corresponding to `r` (all linear extensions of the
+/// interval order) until `fn` returns true or `maxHistories` have been
+/// visited.  Returns {fn-succeeded, cap-was-hit}.
+struct EnumerationResult {
+  bool satisfied = false;
+  bool cappedOut = false;
+};
+EnumerationResult forEachCorrespondingHistory(
+    const Trace& r, const std::function<bool(const History&)>& fn,
+    std::uint64_t maxHistories = 2'000'000);
+
+/// The canonical corresponding history: operations ordered by their
+/// logical-point markers when present, otherwise by their response (or, if
+/// incomplete, invocation) instruction.  This mirrors the proofs of
+/// Theorems 3–5, which fix logical points per operation kind.
+History canonicalHistory(const Trace& r);
+
+/// ∃ corresponding history ensuring opacity parametrized by `m`?  This is
+/// the per-trace obligation of "I guarantees opacity parametrized by M".
+EnumerationResult traceEnsuresParametrizedOpacity(
+    const Trace& r, const MemoryModel& m, const SpecMap& specs,
+    std::uint64_t maxHistories = 2'000'000);
+
+}  // namespace jungle

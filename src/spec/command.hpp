@@ -1,0 +1,132 @@
+// Commands on shared objects (the set C of the paper, §2).
+//
+// A command carries its arguments and return values; e.g. a register read
+// that returned 3 is the command (rd, 3).  Beyond plain reads/writes we
+// support the paper's dependence-annotated commands (§3.1, "Capturing
+// dependence of operations": cdrd/ddrd/cdwr/ddwr carry the identifiers of
+// the operations they are control-/data-dependent on), the Junk-SC `havoc`
+// command produced by the τ transformation (§3.2), and richer object
+// commands (counter, FIFO queue) exercising the claim that the framework is
+// implementation-agnostic and supports objects with semantics richer than
+// read-write variables (§1, transactional boosting remark).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jungle {
+
+enum class CmdKind : std::uint8_t {
+  kRead,     // (rd, v): register read returning v
+  kWrite,    // (wr, v): register write of v
+  kCdRead,   // control-dependent read
+  kDdRead,   // data-dependent read
+  kCdWrite,  // control-dependent write
+  kDdWrite,  // data-dependent write
+  kHavoc,    // τ-inserted havoc (out-of-thin-air window, Junk-SC)
+  kCtrInc,   // counter += v
+  kCtrRead,  // counter read returning v
+  kEnqueue,  // FIFO enqueue of v
+  kDequeue,  // FIFO dequeue returning v (kQueueEmpty if queue was empty)
+};
+
+/// Return value of a dequeue on an empty queue.
+inline constexpr Word kQueueEmpty = ~0ULL;
+
+struct Command {
+  CmdKind kind = CmdKind::kRead;
+  Word value = 0;
+  /// Identifiers of the operations this command depends on (cd/dd only).
+  std::vector<OpId> deps;
+
+  /// Commands that observe object state (have a constrained return value).
+  bool observes() const {
+    switch (kind) {
+      case CmdKind::kRead:
+      case CmdKind::kCdRead:
+      case CmdKind::kDdRead:
+      case CmdKind::kCtrRead:
+      case CmdKind::kDequeue:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Commands that mutate object state.
+  bool mutates() const {
+    switch (kind) {
+      case CmdKind::kWrite:
+      case CmdKind::kCdWrite:
+      case CmdKind::kDdWrite:
+      case CmdKind::kHavoc:
+      case CmdKind::kCtrInc:
+      case CmdKind::kEnqueue:
+      case CmdKind::kDequeue:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// "Read operation" in the paper's general sense (simple or dependent).
+  bool isReadLike() const {
+    return kind == CmdKind::kRead || kind == CmdKind::kCdRead ||
+           kind == CmdKind::kDdRead || kind == CmdKind::kCtrRead;
+  }
+
+  /// "Write operation" in the paper's general sense (simple or dependent).
+  bool isWriteLike() const {
+    return kind == CmdKind::kWrite || kind == CmdKind::kCdWrite ||
+           kind == CmdKind::kDdWrite || kind == CmdKind::kCtrInc ||
+           kind == CmdKind::kEnqueue;
+  }
+
+  bool isControlDependent() const {
+    return kind == CmdKind::kCdRead || kind == CmdKind::kCdWrite;
+  }
+
+  bool isDataDependent() const {
+    return kind == CmdKind::kDdRead || kind == CmdKind::kDdWrite;
+  }
+
+  bool dependsOn(OpId k) const {
+    for (OpId d : deps)
+      if (d == k) return true;
+    return false;
+  }
+
+  friend bool operator==(const Command& a, const Command& b) {
+    return a.kind == b.kind && a.value == b.value && a.deps == b.deps;
+  }
+
+  std::string toString() const;
+};
+
+/// Convenience factories.
+inline Command cmdRead(Word v) { return {CmdKind::kRead, v, {}}; }
+inline Command cmdWrite(Word v) { return {CmdKind::kWrite, v, {}}; }
+inline Command cmdHavoc() { return {CmdKind::kHavoc, 0, {}}; }
+inline Command cmdCdRead(Word v, std::vector<OpId> deps) {
+  return {CmdKind::kCdRead, v, std::move(deps)};
+}
+inline Command cmdDdRead(Word v, std::vector<OpId> deps) {
+  return {CmdKind::kDdRead, v, std::move(deps)};
+}
+inline Command cmdCdWrite(Word v, std::vector<OpId> deps) {
+  return {CmdKind::kCdWrite, v, std::move(deps)};
+}
+inline Command cmdDdWrite(Word v, std::vector<OpId> deps) {
+  return {CmdKind::kDdWrite, v, std::move(deps)};
+}
+inline Command cmdCtrInc(Word v) { return {CmdKind::kCtrInc, v, {}}; }
+inline Command cmdCtrRead(Word v) { return {CmdKind::kCtrRead, v, {}}; }
+inline Command cmdEnqueue(Word v) { return {CmdKind::kEnqueue, v, {}}; }
+inline Command cmdDequeue(Word v) { return {CmdKind::kDequeue, v, {}}; }
+
+const char* cmdKindName(CmdKind kind);
+
+}  // namespace jungle

@@ -1,0 +1,56 @@
+// Shared counter specification: increments commute, reads return the sum of
+// all preceding increments plus the initial value.  Used to exercise the
+// framework on objects richer than registers (transactional boosting-style
+// semantics, §1).
+#pragma once
+
+#include "spec/sequential_spec.hpp"
+
+namespace jungle {
+
+class CounterSpec final : public SequentialSpec {
+ public:
+  explicit CounterSpec(Word initialValue = 0) : initial_(initialValue) {}
+
+  std::unique_ptr<SpecState> initial() const override;
+  const char* name() const override { return "counter"; }
+
+ private:
+  Word initial_;
+};
+
+class CounterState final : public SpecState {
+ public:
+  explicit CounterState(Word value) : value_(value) {}
+
+  bool apply(const Command& c) override {
+    switch (c.kind) {
+      case CmdKind::kCtrInc:
+        value_ += c.value;
+        return true;
+      case CmdKind::kCtrRead:
+        return c.value == value_;
+      case CmdKind::kHavoc:
+        return true;  // counters ignore havoc: increments stay well-defined
+      default:
+        return false;
+    }
+  }
+
+  std::unique_ptr<SpecState> clone() const override {
+    return std::make_unique<CounterState>(value_);
+  }
+
+  std::uint64_t digest() const override {
+    return value_ * 0xd1342543de82ef95ULL + 0x63;
+  }
+
+ private:
+  Word value_;
+};
+
+inline std::unique_ptr<SpecState> CounterSpec::initial() const {
+  return std::make_unique<CounterState>(initial_);
+}
+
+}  // namespace jungle

@@ -1,0 +1,54 @@
+// Bounded-history FIFO queue specification: dequeue returns the oldest
+// not-yet-dequeued enqueued value, or kQueueEmpty when the queue is empty.
+#pragma once
+
+#include <deque>
+
+#include "spec/sequential_spec.hpp"
+
+namespace jungle {
+
+class QueueSpec final : public SequentialSpec {
+ public:
+  std::unique_ptr<SpecState> initial() const override;
+  const char* name() const override { return "fifo-queue"; }
+};
+
+class QueueState final : public SpecState {
+ public:
+  bool apply(const Command& c) override {
+    switch (c.kind) {
+      case CmdKind::kEnqueue:
+        items_.push_back(c.value);
+        return true;
+      case CmdKind::kDequeue:
+        if (items_.empty()) return c.value == kQueueEmpty;
+        if (c.value != items_.front()) return false;
+        items_.pop_front();
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  std::unique_ptr<SpecState> clone() const override {
+    auto s = std::make_unique<QueueState>();
+    s->items_ = items_;
+    return s;
+  }
+
+  std::uint64_t digest() const override {
+    std::uint64_t h = 0x8f14e45fceea167aULL;
+    for (Word w : items_) h = h * 0x100000001b3ULL + w + 1;
+    return h;
+  }
+
+ private:
+  std::deque<Word> items_;
+};
+
+inline std::unique_ptr<SpecState> QueueSpec::initial() const {
+  return std::make_unique<QueueState>();
+}
+
+}  // namespace jungle

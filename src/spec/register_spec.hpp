@@ -1,0 +1,72 @@
+// Read/write register specification — the paper's running object: a read
+// returns the value of the latest preceding write, or the initial value if
+// none precedes (§2).  Dependence-annotated reads/writes behave like their
+// plain counterparts at the object level; the annotations only matter to
+// memory models.  A `havoc` poisons the register: until the next write,
+// reads may return any value (Junk-SC, §3.2).
+#pragma once
+
+#include "spec/sequential_spec.hpp"
+
+namespace jungle {
+
+class RegisterSpec final : public SequentialSpec {
+ public:
+  explicit RegisterSpec(Word initialValue = 0) : initial_(initialValue) {}
+
+  std::unique_ptr<SpecState> initial() const override;
+  const char* name() const override { return "register"; }
+
+  Word initialValue() const { return initial_; }
+
+ private:
+  Word initial_;
+};
+
+class RegisterState final : public SpecState {
+ public:
+  explicit RegisterState(Word value) : value_(value) {}
+
+  bool apply(const Command& c) override {
+    switch (c.kind) {
+      case CmdKind::kRead:
+      case CmdKind::kCdRead:
+      case CmdKind::kDdRead:
+        return havocked_ || c.value == value_;
+      case CmdKind::kWrite:
+      case CmdKind::kCdWrite:
+      case CmdKind::kDdWrite:
+        value_ = c.value;
+        havocked_ = false;
+        return true;
+      case CmdKind::kHavoc:
+        havocked_ = true;
+        return true;
+      default:
+        return false;  // counter/queue commands are illegal on a register
+    }
+  }
+
+  std::unique_ptr<SpecState> clone() const override {
+    auto s = std::make_unique<RegisterState>(value_);
+    s->havocked_ = havocked_;
+    return s;
+  }
+
+  std::uint64_t digest() const override {
+    return value_ * 0x9e3779b97f4a7c15ULL + (havocked_ ? 0x5851f42d4c957f2dULL : 0);
+  }
+
+  Word value() const { return value_; }
+  bool havocked() const { return havocked_; }
+
+ private:
+  Word value_;
+  bool havocked_ = false;
+};
+
+inline std::unique_ptr<SpecState> RegisterSpec::initial() const {
+  return std::make_unique<RegisterState>(initial_);
+}
+
+}  // namespace jungle

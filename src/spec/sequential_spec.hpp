@@ -1,0 +1,49 @@
+// Sequential specifications [[x]] of shared objects (§2, "Object
+// semantics").
+//
+// [[x]] ⊆ C* is the set of command sequences a single process could
+// generate on x.  We represent a specification by an initial state plus a
+// transition predicate: a sequence is in [[x]] iff every command is
+// applicable in the state reached by its predecessors.  All specs here are
+// prefix-closed, which the legality machinery relies on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "spec/command.hpp"
+
+namespace jungle {
+
+/// Mutable state of one object while replaying a command sequence.
+class SpecState {
+ public:
+  virtual ~SpecState() = default;
+
+  /// Applies `c`; returns false iff `c` is not legal in the current state
+  /// (in which case the state is unspecified and must be discarded).
+  virtual bool apply(const Command& c) = 0;
+
+  virtual std::unique_ptr<SpecState> clone() const = 0;
+
+  /// Cheap structural digest for checker memo keys.  Two states with equal
+  /// digests are treated as interchangeable by the search caches; a
+  /// collision can only cause extra work, never wrong answers, because the
+  /// caches store failure sets keyed by (scheduled-units, digest).
+  virtual std::uint64_t digest() const = 0;
+};
+
+/// Immutable description of an object's sequential semantics.
+class SequentialSpec {
+ public:
+  virtual ~SequentialSpec() = default;
+  virtual std::unique_ptr<SpecState> initial() const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// True iff `cmds` ∈ [[spec]] (replays from the initial state).
+bool isLegalSequence(const SequentialSpec& spec,
+                     std::span<const Command> cmds);
+
+}  // namespace jungle

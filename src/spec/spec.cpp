@@ -1,0 +1,65 @@
+#include "spec/sequential_spec.hpp"
+
+#include <string>
+
+#include "spec/command.hpp"
+
+namespace jungle {
+
+const char* cmdKindName(CmdKind kind) {
+  switch (kind) {
+    case CmdKind::kRead:
+      return "rd";
+    case CmdKind::kWrite:
+      return "wr";
+    case CmdKind::kCdRead:
+      return "cdrd";
+    case CmdKind::kDdRead:
+      return "ddrd";
+    case CmdKind::kCdWrite:
+      return "cdwr";
+    case CmdKind::kDdWrite:
+      return "ddwr";
+    case CmdKind::kHavoc:
+      return "havoc";
+    case CmdKind::kCtrInc:
+      return "ctr-inc";
+    case CmdKind::kCtrRead:
+      return "ctr-rd";
+    case CmdKind::kEnqueue:
+      return "enq";
+    case CmdKind::kDequeue:
+      return "deq";
+  }
+  return "?";
+}
+
+std::string Command::toString() const {
+  std::string s = "(";
+  s += cmdKindName(kind);
+  s += ", ";
+  s += (kind == CmdKind::kDequeue && value == kQueueEmpty)
+           ? "empty"
+           : std::to_string(value);
+  if (!deps.empty()) {
+    s += ", {";
+    for (std::size_t i = 0; i < deps.size(); ++i) {
+      if (i) s += ",";
+      s += std::to_string(deps[i]);
+    }
+    s += "}";
+  }
+  s += ")";
+  return s;
+}
+
+bool isLegalSequence(const SequentialSpec& spec,
+                     std::span<const Command> cmds) {
+  auto state = spec.initial();
+  for (const Command& c : cmds) {
+    if (!state->apply(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace jungle

@@ -1,0 +1,37 @@
+// Mapping from object identifiers to their sequential specifications.
+//
+// Most histories use registers throughout; SpecMap defaults every object to
+// a shared RegisterSpec(0) and lets tests override individual objects with
+// richer semantics.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "spec/register_spec.hpp"
+
+namespace jungle {
+
+class SpecMap {
+ public:
+  SpecMap() : defaultSpec_(std::make_shared<RegisterSpec>(0)) {}
+
+  explicit SpecMap(std::shared_ptr<const SequentialSpec> defaultSpec)
+      : defaultSpec_(std::move(defaultSpec)) {}
+
+  void assign(ObjectId obj, std::shared_ptr<const SequentialSpec> spec) {
+    overrides_[obj] = std::move(spec);
+  }
+
+  const SequentialSpec& specFor(ObjectId obj) const {
+    auto it = overrides_.find(obj);
+    return it != overrides_.end() ? *it->second : *defaultSpec_;
+  }
+
+ private:
+  std::shared_ptr<const SequentialSpec> defaultSpec_;
+  std::unordered_map<ObjectId, std::shared_ptr<const SequentialSpec>>
+      overrides_;
+};
+
+}  // namespace jungle

@@ -1,0 +1,91 @@
+#include "theorems/conformance.hpp"
+
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace jungle::theorems {
+
+ConformanceResult checkTracePopacity(const Trace& r, const MemoryModel& m,
+                                     const SpecMap& specs) {
+  ConformanceResult res;
+  res.canonical = canonicalHistory(r);
+  if (checkParametrizedOpacity(res.canonical, m, specs).satisfied) {
+    res.ok = true;
+    res.viaCanonical = true;
+    return res;
+  }
+  EnumerationResult e = traceEnsuresParametrizedOpacity(r, m, specs);
+  res.ok = e.satisfied;
+  res.inconclusive = !e.satisfied && e.cappedOut;
+  return res;
+}
+
+ConformanceResult checkTraceSgla(const Trace& r, const MemoryModel& m,
+                                 const SpecMap& specs,
+                                 const SglaOptions& opts) {
+  ConformanceResult res;
+  res.canonical = canonicalHistory(r);
+  if (checkSgla(res.canonical, m, specs, opts).satisfied) {
+    res.ok = true;
+    res.viaCanonical = true;
+    return res;
+  }
+  EnumerationResult e = forEachCorrespondingHistory(r, [&](const History& h) {
+    return checkSgla(h, m, specs, opts).satisfied;
+  });
+  res.ok = e.satisfied;
+  res.inconclusive = !e.satisfied && e.cappedOut;
+  return res;
+}
+
+Trace runStressWorkload(TmRuntime& tm, RecordingMemory& mem,
+                        const StressOptions& opts) {
+  auto worker = [&](ProcessId pid) {
+    Rng rng(opts.seed * 0x9e3779b97f4a7c15ULL + pid + 1);
+    for (std::size_t a = 0; a < opts.actionsPerProc; ++a) {
+      const bool tx = rng.chance(opts.pctTx, 100);
+      if (tx) {
+        const std::size_t len = 1 + rng.below(opts.txLen);
+        // Pre-draw the access pattern so retries replay the same body.
+        struct Access {
+          bool write;
+          ObjectId obj;
+          Word val;
+        };
+        std::vector<Access> accesses;
+        for (std::size_t i = 0; i < len; ++i) {
+          accesses.push_back({rng.chance(opts.pctWrite, 100),
+                              static_cast<ObjectId>(rng.below(opts.numVars)),
+                              1 + rng.below(9)});
+        }
+        tm.transaction(pid, [&](TxContext& ctx) {
+          for (const Access& acc : accesses) {
+            if (acc.write) {
+              ctx.write(acc.obj, acc.val);
+            } else {
+              (void)ctx.read(acc.obj);
+            }
+          }
+        });
+      } else {
+        const ObjectId obj = static_cast<ObjectId>(rng.below(opts.numVars));
+        if (rng.chance(opts.pctWrite, 100)) {
+          tm.ntWrite(pid, obj, 1 + rng.below(9));
+        } else {
+          (void)tm.ntRead(pid, obj);
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(opts.numProcs);
+  for (std::size_t p = 0; p < opts.numProcs; ++p) {
+    threads.emplace_back(worker, static_cast<ProcessId>(p));
+  }
+  for (auto& t : threads) t.join();
+  return mem.trace();
+}
+
+}  // namespace jungle::theorems

@@ -1,0 +1,60 @@
+// Conformance checking of live TM implementations (Theorems 3, 4, 5, 7).
+//
+// A TM implementation I guarantees opacity parametrized by M iff every
+// trace in L(I) has SOME corresponding history ensuring parametrized
+// opacity (§4).  We sample L(I) two ways — scripted workloads covering the
+// interesting interleavings, and randomized concurrent stress — record the
+// traces on RecordingMemory, and check:
+//
+//   1. the canonical corresponding history (logical-point extraction, the
+//      proofs' construction) first, and
+//   2. on failure, fall back to enumerating corresponding histories.
+#pragma once
+
+#include "memmodel/memory_model.hpp"
+#include "opacity/sgla.hpp"
+#include "sim/trace_history.hpp"
+#include "tm/runtime.hpp"
+
+namespace jungle::theorems {
+
+struct ConformanceResult {
+  bool ok = false;
+  /// The canonical (logical-point) history sufficed.
+  bool viaCanonical = false;
+  /// Enumeration hit its cap without a verdict (treat as inconclusive).
+  bool inconclusive = false;
+  /// The canonical history, for diagnostics.
+  History canonical;
+};
+
+/// ∃ corresponding history of `r` ensuring opacity parametrized by `m`.
+ConformanceResult checkTracePopacity(const Trace& r, const MemoryModel& m,
+                                     const SpecMap& specs);
+
+/// ∃ corresponding history of `r` ensuring SGLA parametrized by `m`.
+ConformanceResult checkTraceSgla(const Trace& r, const MemoryModel& m,
+                                 const SpecMap& specs,
+                                 const SglaOptions& opts = {});
+
+/// Randomized concurrent workload on a recording runtime.
+struct StressOptions {
+  std::size_t numProcs = 3;
+  std::size_t numVars = 3;
+  /// Top-level actions per process; a transactional action contains up to
+  /// `txLen` reads/writes.
+  std::size_t actionsPerProc = 4;
+  std::size_t txLen = 3;
+  /// Percent of top-level actions that are transactions.
+  unsigned pctTx = 50;
+  /// Percent of accesses that are writes.
+  unsigned pctWrite = 50;
+  std::uint64_t seed = 1;
+};
+
+/// Runs the workload with one OS thread per process and returns the
+/// recorded trace.
+Trace runStressWorkload(TmRuntime& tm, RecordingMemory& mem,
+                        const StressOptions& opts);
+
+}  // namespace jungle::theorems

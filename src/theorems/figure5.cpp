@@ -1,0 +1,230 @@
+#include "theorems/figure5.hpp"
+
+namespace jungle::theorems {
+
+namespace {
+constexpr ProcessId kP1 = 1;
+constexpr ProcessId kP2 = 2;
+}  // namespace
+
+Trace lemma1BadTrace(Word v) {
+  TraceBuilder b;
+  // T = start; (wr, x, v); commit — no update instruction to a_x at all.
+  b.invoke(kP1, 1, OpType::kStart);
+  b.cas(kP1, 1, kG, 0, kP1, true);
+  b.respond(kP1, 1, OpType::kStart);
+  b.invoke(kP1, 2, OpType::kCommand, kX, cmdWrite(v));
+  b.respond(kP1, 2, OpType::kCommand, kX, cmdWrite(v));
+  b.invoke(kP1, 3, OpType::kCommit);
+  b.store(kP1, 3, kG, 0);
+  b.respond(kP1, 3, OpType::kCommit);
+  // Uninstrumented read after the commit's response: loads the initial 0.
+  b.ntRead(kP1, 4, kX, kAx, 0);
+  return b.build();
+}
+
+Trace lemma1GoodTrace(Word v) {
+  TraceBuilder b;
+  b.invoke(kP1, 1, OpType::kStart);
+  b.cas(kP1, 1, kG, 0, kP1, true);
+  b.respond(kP1, 1, OpType::kStart);
+  b.invoke(kP1, 2, OpType::kCommand, kX, cmdWrite(v));
+  b.respond(kP1, 2, OpType::kCommand, kX, cmdWrite(v));
+  b.invoke(kP1, 3, OpType::kCommit);
+  b.store(kP1, 3, kAx, v);  // the update Lemma 1 requires
+  b.store(kP1, 3, kG, 0);
+  b.respond(kP1, 3, OpType::kCommit);
+  b.ntRead(kP1, 4, kX, kAx, v);
+  return b.build();
+}
+
+Trace thm1Case1Trace(Word v1, Word v2) {
+  TraceBuilder b;
+  // T of p1 writes x := v1 and y := v2; updates happen inside the commit.
+  b.invoke(kP1, 1, OpType::kStart);
+  b.cas(kP1, 1, kG, 0, kP1, true);
+  b.respond(kP1, 1, OpType::kStart);
+  b.invoke(kP1, 2, OpType::kCommand, kX, cmdWrite(v1));
+  b.respond(kP1, 2, OpType::kCommand, kX, cmdWrite(v1));
+  b.invoke(kP1, 3, OpType::kCommand, kY, cmdWrite(v2));
+  b.respond(kP1, 3, OpType::kCommand, kY, cmdWrite(v2));
+  b.invoke(kP1, 4, OpType::kCommit);
+  b.cas(kP1, 4, kAx, 0, v1, true);  // ⟨update a_x, v1⟩
+  // p2's uninstrumented reads slip between the two updates.
+  b.ntRead(kP2, 5, kX, kAx, v1);  // sees the new x…
+  b.ntRead(kP2, 6, kY, kAy, 0);   // …but the old y
+  b.cas(kP1, 4, kAy, 0, v2, true);  // ⟨update a_y, v2⟩
+  b.store(kP1, 4, kG, 0);
+  b.respond(kP1, 4, OpType::kCommit);
+  return b.build();
+}
+
+Trace thm1Case2Trace(Word v2, Word v3) {
+  TraceBuilder b;
+  // T of p1: (rd, x, 0); (wr, y, v2).  v3 ≠ 0 (the transaction's read).
+  b.invoke(kP1, 1, OpType::kStart);
+  b.cas(kP1, 1, kG, 0, kP1, true);
+  b.respond(kP1, 1, OpType::kStart);
+  b.invoke(kP1, 2, OpType::kCommand, kX, cmdRead(0));
+  b.load(kP1, 2, kAx, 0);
+  b.respond(kP1, 2, OpType::kCommand, kX, cmdRead(0));
+  b.invoke(kP1, 3, OpType::kCommand, kY, cmdWrite(v2));
+  b.respond(kP1, 3, OpType::kCommand, kY, cmdWrite(v2));
+  b.invoke(kP1, 4, OpType::kCommit);
+  // p2's uninstrumented write-then-read land just before the update of a_y.
+  b.ntWrite(kP2, 5, kX, kAx, v3);
+  b.ntRead(kP2, 6, kY, kAy, 0);
+  b.cas(kP1, 4, kAy, 0, v2, true);
+  b.store(kP1, 4, kG, 0);
+  b.respond(kP1, 4, OpType::kCommit);
+  return b.build();
+}
+
+namespace {
+
+Trace case3Common(Word v1, Word v2, Word v4, bool dependentWrites) {
+  TraceBuilder b;
+  // T of p1 writes x := v1, y := v2.
+  b.invoke(kP1, 1, OpType::kStart);
+  b.cas(kP1, 1, kG, 0, kP1, true);
+  b.respond(kP1, 1, OpType::kStart);
+  b.invoke(kP1, 2, OpType::kCommand, kX, cmdWrite(v1));
+  b.respond(kP1, 2, OpType::kCommand, kX, cmdWrite(v1));
+  b.invoke(kP1, 3, OpType::kCommand, kY, cmdWrite(v2));
+  b.respond(kP1, 3, OpType::kCommand, kY, cmdWrite(v2));
+  b.invoke(kP1, 4, OpType::kCommit);
+  b.cas(kP1, 4, kAx, 0, v1, true);
+  // p2: read x (sees v1), write y := v4, write y := 0 — restoring y so the
+  // transaction's CAS of a_y still succeeds.
+  b.ntRead(kP2, 5, kX, kAx, v1);
+  const Command w1 =
+      dependentWrites ? cmdDdWrite(v4, {5}) : cmdWrite(v4);
+  const Command w2 = dependentWrites ? cmdDdWrite(0, {5}) : cmdWrite(0);
+  b.invoke(kP2, 6, OpType::kCommand, kY, w1);
+  b.store(kP2, 6, kAy, v4);
+  b.respond(kP2, 6, OpType::kCommand, kY, w1);
+  b.invoke(kP2, 7, OpType::kCommand, kY, w2);
+  b.store(kP2, 7, kAy, 0);
+  b.respond(kP2, 7, OpType::kCommand, kY, w2);
+  b.cas(kP1, 4, kAy, 0, v2, true);  // y was restored: the CAS succeeds
+  b.store(kP1, 4, kG, 0);
+  b.respond(kP1, 4, OpType::kCommit);
+  // p2: empty transaction T' (pins real-time order), then the final reads.
+  b.invoke(kP2, 8, OpType::kStart);
+  b.cas(kP2, 8, kG, 0, kP2, true);
+  b.respond(kP2, 8, OpType::kStart);
+  b.invoke(kP2, 9, OpType::kCommit);
+  b.store(kP2, 9, kG, 0);
+  b.respond(kP2, 9, OpType::kCommit);
+  b.ntRead(kP2, 10, kX, kAx, v1);
+  b.ntRead(kP2, 11, kY, kAy, v2);
+  return b.build();
+}
+
+}  // namespace
+
+Trace thm1Case3Trace(Word v1, Word v2, Word v4) {
+  return case3Common(v1, v2, v4, /*dependentWrites=*/false);
+}
+
+Trace thm1Case3DependentTrace(Word v1, Word v2, Word v4) {
+  return case3Common(v1, v2, v4, /*dependentWrites=*/true);
+}
+
+Trace thm1Case4Trace(Word v3, Word v4, Word v5, Word v6) {
+  TraceBuilder b;
+  // T of p1: rd x 0; rd y 0; wr x v3; wr y v4.
+  b.invoke(kP1, 1, OpType::kStart);
+  b.cas(kP1, 1, kG, 0, kP1, true);
+  b.respond(kP1, 1, OpType::kStart);
+  b.invoke(kP1, 2, OpType::kCommand, kX, cmdRead(0));
+  b.load(kP1, 2, kAx, 0);
+  b.respond(kP1, 2, OpType::kCommand, kX, cmdRead(0));
+  b.invoke(kP1, 3, OpType::kCommand, kY, cmdRead(0));
+  b.load(kP1, 3, kAy, 0);
+  b.respond(kP1, 3, OpType::kCommand, kY, cmdRead(0));
+  b.invoke(kP1, 4, OpType::kCommand, kX, cmdWrite(v3));
+  b.respond(kP1, 4, OpType::kCommand, kX, cmdWrite(v3));
+  b.invoke(kP1, 5, OpType::kCommand, kY, cmdWrite(v4));
+  b.respond(kP1, 5, OpType::kCommand, kY, cmdWrite(v4));
+  b.invoke(kP1, 6, OpType::kCommit);
+  b.cas(kP1, 6, kAx, 0, v3, true);
+  // p2's three uninstrumented stores before the update of a_y: x := v5,
+  // y := v6, y := 0 (restored).
+  b.ntWrite(kP2, 7, kX, kAx, v5);
+  b.ntWrite(kP2, 8, kY, kAy, v6);
+  b.ntWrite(kP2, 9, kY, kAy, 0);
+  b.cas(kP1, 6, kAy, 0, v4, true);
+  b.store(kP1, 6, kG, 0);
+  b.respond(kP1, 6, OpType::kCommit);
+  // Empty transaction of p2, then the pinned final reads: x = v5 (p2's
+  // store overwrote the transaction's CAS), y = v4.
+  b.invoke(kP2, 10, OpType::kStart);
+  b.cas(kP2, 10, kG, 0, kP2, true);
+  b.respond(kP2, 10, OpType::kStart);
+  b.invoke(kP2, 11, OpType::kCommit);
+  b.store(kP2, 11, kG, 0);
+  b.respond(kP2, 11, OpType::kCommit);
+  b.ntRead(kP2, 12, kX, kAx, v5);
+  b.ntRead(kP2, 13, kY, kAy, v4);
+  return b.build();
+}
+
+Trace thm2StoreBasedTrace(Word vPrime, Word v1) {
+  TraceBuilder b;
+  // T of p1: rd x 0; wr x v'.  Write-back is a plain store.
+  b.invoke(kP1, 1, OpType::kStart);
+  b.cas(kP1, 1, kG, 0, kP1, true);
+  b.respond(kP1, 1, OpType::kStart);
+  b.invoke(kP1, 2, OpType::kCommand, kX, cmdRead(0));
+  b.load(kP1, 2, kAx, 0);
+  b.respond(kP1, 2, OpType::kCommand, kX, cmdRead(0));
+  b.invoke(kP1, 3, OpType::kCommand, kX, cmdWrite(vPrime));
+  b.respond(kP1, 3, OpType::kCommand, kX, cmdWrite(vPrime));
+  b.invoke(kP1, 4, OpType::kCommit);
+  // p2's racy write lands just before the store-back and is silently lost.
+  b.ntWrite(kP2, 5, kX, kAx, v1);
+  b.store(kP1, 4, kAx, vPrime);
+  b.ntRead(kP2, 6, kX, kAx, vPrime);
+  b.store(kP1, 4, kG, 0);
+  b.respond(kP1, 4, OpType::kCommit);
+  // Empty transaction of p2 pins the final read after T.
+  b.invoke(kP2, 7, OpType::kStart);
+  b.cas(kP2, 7, kG, 0, kP2, true);
+  b.respond(kP2, 7, OpType::kStart);
+  b.invoke(kP2, 8, OpType::kCommit);
+  b.store(kP2, 8, kG, 0);
+  b.respond(kP2, 8, OpType::kCommit);
+  b.ntRead(kP2, 9, kX, kAx, vPrime);
+  return b.build();
+}
+
+Trace thm2CasBasedTrace(Word vPrime, Word v1) {
+  TraceBuilder b;
+  b.invoke(kP1, 1, OpType::kStart);
+  b.cas(kP1, 1, kG, 0, kP1, true);
+  b.respond(kP1, 1, OpType::kStart);
+  b.invoke(kP1, 2, OpType::kCommand, kX, cmdRead(0));
+  b.load(kP1, 2, kAx, 0);
+  b.respond(kP1, 2, OpType::kCommand, kX, cmdRead(0));
+  b.invoke(kP1, 3, OpType::kCommand, kX, cmdWrite(vPrime));
+  b.respond(kP1, 3, OpType::kCommand, kX, cmdWrite(vPrime));
+  b.invoke(kP1, 4, OpType::kCommit);
+  b.ntWrite(kP2, 5, kX, kAx, v1);
+  // The CAS expected 0 but finds v1: it fails — equivalent to the
+  // transaction's write being immediately overwritten by p2's write.
+  b.cas(kP1, 4, kAx, 0, vPrime, false);
+  b.ntRead(kP2, 6, kX, kAx, v1);
+  b.store(kP1, 4, kG, 0);
+  b.respond(kP1, 4, OpType::kCommit);
+  b.invoke(kP2, 7, OpType::kStart);
+  b.cas(kP2, 7, kG, 0, kP2, true);
+  b.respond(kP2, 7, OpType::kStart);
+  b.invoke(kP2, 8, OpType::kCommit);
+  b.store(kP2, 8, kG, 0);
+  b.respond(kP2, 8, OpType::kCommit);
+  b.ntRead(kP2, 9, kX, kAx, v1);
+  return b.build();
+}
+
+}  // namespace jungle::theorems

@@ -1,0 +1,69 @@
+// Executable versions of the paper's proof constructions (Figure 5).
+//
+// Each function builds the adversarial instruction trace from the proof of
+// Lemma 1 / Theorem 1 (cases 1–4) / Theorem 2, machine-consistent by
+// construction (validated in tests with traceMachineConsistent).  The
+// theorem tests then verify the paper's claims mechanically:
+//
+//   * "bad" traces — producible by an uninstrumented TM lacking the
+//     required instruction — admit NO corresponding parametrized-opaque
+//     history for any model in the theorem's class;
+//   * "good" counterpart traces — with the update/CAS the theorems demand,
+//     or checked against models outside the class — DO admit one.
+//
+// Conventions: variable x is object 0 at address 0, y object 1 address 1;
+// the global lock g lives at address 7; process ids and operation ids are
+// chosen to match the figures where the paper fixes them.
+#pragma once
+
+#include "sim/instruction.hpp"
+
+namespace jungle::theorems {
+
+inline constexpr ObjectId kX = 0;
+inline constexpr ObjectId kY = 1;
+inline constexpr Addr kAx = 0;
+inline constexpr Addr kAy = 1;
+inline constexpr Addr kG = 7;  // global lock
+
+/// Figure 5(a): committed transaction writes (wr, x, v) but executes NO
+/// update instruction to a_x; a later uninstrumented read loads 0.
+Trace lemma1BadTrace(Word v = 1);
+
+/// Counterpart: the commit stores v to a_x; the read loads v.
+Trace lemma1GoodTrace(Word v = 1);
+
+/// Figure 5(b), Theorem 1 case 1 (M ∈ M^i_rr): p2's two independent reads
+/// land between the transaction's updates of a_x and a_y.
+Trace thm1Case1Trace(Word v1 = 1, Word v2 = 1);
+
+/// Figure 5(c), Theorem 1 case 2 (M ∈ M_wr): p2's write of x then read of
+/// y land between the transaction's read of x and its update of a_y.
+Trace thm1Case2Trace(Word v2 = 7, Word v3 = 5);
+
+/// Figure 5(d), Theorem 1 case 3 (M ∈ M^i_rw): p2 reads x between the
+/// updates, then writes y twice (value, then 0) restoring it before the
+/// transaction's CAS of a_y; afterwards an empty transaction and two reads
+/// pin the final values.
+Trace thm1Case3Trace(Word v1 = 3, Word v2 = 4, Word v4 = 9);
+
+/// Dependence-annotated variant of case 3: p2's writes of y are
+/// data-dependent on its read of x, extending the impossibility to
+/// M^d_rw models (RMO, Alpha).
+Trace thm1Case3DependentTrace(Word v1 = 3, Word v2 = 4, Word v4 = 9);
+
+/// Theorem 1 case 4 (M ∈ M_ww): as case 3, but the transaction reads
+/// x and y before writing them, and p2's first operation is a write of x.
+Trace thm1Case4Trace(Word v3 = 3, Word v4 = 4, Word v5 = 5, Word v6 = 9);
+
+/// Figure 5(e), Theorem 2: the transaction reads and writes x, writing
+/// back with a plain STORE; p2's racy write of x is silently lost, and no
+/// memory model can explain the outcome.
+Trace thm2StoreBasedTrace(Word vPrime = 2, Word v1 = 5);
+
+/// Counterpart: the write-back is a CAS, which fails against the racy
+/// write — equivalent to the transaction's write being overwritten, which
+/// is explainable.
+Trace thm2CasBasedTrace(Word vPrime = 2, Word v1 = 5);
+
+}  // namespace jungle::theorems

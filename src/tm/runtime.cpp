@@ -1,0 +1,197 @@
+#include "tm/runtime.hpp"
+
+#include <optional>
+
+#include "common/check.hpp"
+#include "common/sync.hpp"
+#include "tm/global_lock_tm.hpp"
+#include "tm/strong_atomicity_tm.hpp"
+#include "tm/tl2_tm.hpp"
+#include "tm/versioned_write_tm.hpp"
+#include "tm/write_as_tx_tm.hpp"
+
+namespace jungle {
+
+const char* tmKindName(TmKind kind) {
+  switch (kind) {
+    case TmKind::kGlobalLock:
+      return "global-lock";
+    case TmKind::kWriteAsTx:
+      return "write-as-tx";
+    case TmKind::kVersionedWrite:
+      return "versioned-write";
+    case TmKind::kStrongAtomicity:
+      return "strong-atomicity";
+    case TmKind::kTl2Weak:
+      return "tl2-weak";
+  }
+  return "?";
+}
+
+std::vector<TmKind> allTmKinds() {
+  return {TmKind::kGlobalLock, TmKind::kWriteAsTx, TmKind::kVersionedWrite,
+          TmKind::kStrongAtomicity, TmKind::kTl2Weak};
+}
+
+namespace {
+
+/// Thrown when the TM aborted the transaction mid-body (retry), or the user
+/// requested an abort (no retry).
+struct AbortSignal {
+  bool userRequested = false;
+};
+
+template <template <class> class TmT, class Mem>
+class RuntimeAdapter final : public TmRuntime {
+  using Tm = TmT<Mem>;
+  using Thread = typename Tm::Thread;
+
+ public:
+  RuntimeAdapter(TmKind kind, Mem& mem, std::size_t numVars,
+                 std::size_t maxProcs)
+      : kind_(kind), tm_(mem, numVars) {
+    threads_.reserve(maxProcs);
+    for (std::size_t p = 0; p < maxProcs; ++p) {
+      threads_.push_back(tm_.makeThread(static_cast<ProcessId>(p)));
+    }
+  }
+
+  const char* name() const override { return Tm::kName; }
+  TmKind kind() const override { return kind_; }
+  bool instrumentsNtReads() const override {
+    return Tm::kInstrumentsNtReads;
+  }
+  bool instrumentsNtWrites() const override {
+    return Tm::kInstrumentsNtWrites;
+  }
+
+  bool transaction(ProcessId p,
+                   const std::function<void(TxContext&)>& body) override {
+    Thread& t = thread(p);
+    Backoff backoff;
+    for (;;) {
+      tm_.txStart(t);
+      Ctx ctx(*this, t);
+      try {
+        body(ctx);
+      } catch (const AbortSignal& sig) {
+        if (sig.userRequested) return false;
+        aborts_.fetch_add(1, std::memory_order_relaxed);
+        backoff.pause();
+        continue;  // conflict: retry
+      }
+      if (tm_.txCommit(t)) return true;
+      aborts_.fetch_add(1, std::memory_order_relaxed);
+      backoff.pause();
+    }
+  }
+
+  Word ntRead(ProcessId p, ObjectId x) override {
+    return tm_.ntRead(thread(p), x);
+  }
+
+  void ntWrite(ProcessId p, ObjectId x, Word v) override {
+    tm_.ntWrite(thread(p), x, v);
+  }
+
+  std::uint64_t abortCount() const override {
+    return aborts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class Ctx final : public TxContext {
+   public:
+    Ctx(RuntimeAdapter& rt, Thread& t) : rt_(rt), t_(t) {}
+
+    Word read(ObjectId x) override {
+      // TL2-family reads signal aborts by returning nullopt; global-lock
+      // reads return plainly.  Normalize at compile time.
+      if constexpr (std::is_same_v<decltype(rt_.tm_.txRead(t_, x)),
+                                   std::optional<Word>>) {
+        std::optional<Word> v = rt_.tm_.txRead(t_, x);
+        if (!v.has_value()) throw AbortSignal{false};
+        return *v;
+      } else {
+        return rt_.tm_.txRead(t_, x);
+      }
+    }
+
+    void write(ObjectId x, Word v) override { rt_.tm_.txWrite(t_, x, v); }
+
+    [[noreturn]] void abort() override {
+      rt_.tm_.txAbort(t_);
+      throw AbortSignal{true};
+    }
+
+   private:
+    RuntimeAdapter& rt_;
+    Thread& t_;
+  };
+
+  Thread& thread(ProcessId p) {
+    JUNGLE_CHECK(p < threads_.size());
+    return threads_[p];
+  }
+
+  TmKind kind_;
+  Tm tm_;
+  std::vector<Thread> threads_;
+  std::atomic<std::uint64_t> aborts_{0};
+};
+
+template <class Mem>
+std::unique_ptr<TmRuntime> makeRuntime(TmKind kind, Mem& mem,
+                                       std::size_t numVars,
+                                       std::size_t maxProcs) {
+  switch (kind) {
+    case TmKind::kGlobalLock:
+      return std::make_unique<RuntimeAdapter<GlobalLockTm, Mem>>(
+          kind, mem, numVars, maxProcs);
+    case TmKind::kWriteAsTx:
+      return std::make_unique<RuntimeAdapter<WriteAsTxTm, Mem>>(
+          kind, mem, numVars, maxProcs);
+    case TmKind::kVersionedWrite:
+      return std::make_unique<RuntimeAdapter<VersionedWriteTm, Mem>>(
+          kind, mem, numVars, maxProcs);
+    case TmKind::kStrongAtomicity:
+      return std::make_unique<RuntimeAdapter<StrongAtomicityTm, Mem>>(
+          kind, mem, numVars, maxProcs);
+    case TmKind::kTl2Weak:
+      return std::make_unique<RuntimeAdapter<Tl2Tm, Mem>>(kind, mem, numVars,
+                                                          maxProcs);
+  }
+  JUNGLE_CHECK_MSG(false, "unknown TM kind");
+  return nullptr;
+}
+
+}  // namespace
+
+std::size_t runtimeMemoryWords(TmKind kind, std::size_t numVars) {
+  switch (kind) {
+    case TmKind::kGlobalLock:
+    case TmKind::kWriteAsTx:
+      return GlobalLockTm<NativeMemory>::memoryWords(numVars);
+    case TmKind::kVersionedWrite:
+      return VersionedWriteTm<NativeMemory>::memoryWords(numVars);
+    case TmKind::kStrongAtomicity:
+    case TmKind::kTl2Weak:
+      return VersionedClockTmBase<NativeMemory>::memoryWords(numVars);
+  }
+  JUNGLE_CHECK_MSG(false, "unknown TM kind");
+  return 0;
+}
+
+std::unique_ptr<TmRuntime> makeNativeRuntime(TmKind kind, NativeMemory& mem,
+                                             std::size_t numVars,
+                                             std::size_t maxProcs) {
+  return makeRuntime(kind, mem, numVars, maxProcs);
+}
+
+std::unique_ptr<TmRuntime> makeRecordingRuntime(TmKind kind,
+                                                RecordingMemory& mem,
+                                                std::size_t numVars,
+                                                std::size_t maxProcs) {
+  return makeRuntime(kind, mem, numVars, maxProcs);
+}
+
+}  // namespace jungle

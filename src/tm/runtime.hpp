@@ -1,0 +1,82 @@
+// Type-erased TM runtime: a uniform retry-on-abort API over every TM
+// implementation in the library, instantiable on the native (benchmark) or
+// recording (conformance) memory policy.
+//
+// Usage:
+//   NativeMemory mem(runtimeMemoryWords(TmKind::kVersionedWrite, 1024));
+//   auto tm = makeNativeRuntime(TmKind::kVersionedWrite, mem, 1024, 8);
+//   tm->transaction(pid, [&](TxContext& tx) {
+//     Word v = tx.read(0);
+//     tx.write(1, v + 1);
+//   });
+//   Word w = tm->ntRead(pid, 1);
+//
+// Each ProcessId must be driven by at most one OS thread at a time.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/memory_policy.hpp"
+
+namespace jungle {
+
+enum class TmKind {
+  kGlobalLock,       // Figure 6 / Theorem 3 (and Theorem 7's SGLA object)
+  kWriteAsTx,        // Theorem 4
+  kVersionedWrite,   // Theorem 5
+  kStrongAtomicity,  // §6.1 (Shpeisman-style), SC-parametrized
+  kTl2Weak,          // opacity-only baseline, weak atomicity
+};
+
+const char* tmKindName(TmKind kind);
+std::vector<TmKind> allTmKinds();
+
+/// Handle passed to transaction bodies.
+class TxContext {
+ public:
+  virtual ~TxContext() = default;
+  virtual Word read(ObjectId x) = 0;
+  virtual void write(ObjectId x, Word v) = 0;
+  /// Explicitly aborts the transaction; the body is NOT retried.
+  [[noreturn]] virtual void abort() = 0;
+};
+
+class TmRuntime {
+ public:
+  virtual ~TmRuntime() = default;
+
+  virtual const char* name() const = 0;
+  virtual TmKind kind() const = 0;
+  virtual bool instrumentsNtReads() const = 0;
+  virtual bool instrumentsNtWrites() const = 0;
+
+  /// Runs `body` transactionally; re-executes it until a commit succeeds.
+  /// Returns false iff the body called TxContext::abort().
+  virtual bool transaction(ProcessId p,
+                           const std::function<void(TxContext&)>& body) = 0;
+
+  virtual Word ntRead(ProcessId p, ObjectId x) = 0;
+  virtual void ntWrite(ProcessId p, ObjectId x, Word v) = 0;
+
+  /// Conflict-aborts observed so far (explicit aborts not counted).
+  virtual std::uint64_t abortCount() const = 0;
+};
+
+/// Memory footprint (in words) a TM kind needs for `numVars` variables.
+std::size_t runtimeMemoryWords(TmKind kind, std::size_t numVars);
+
+std::unique_ptr<TmRuntime> makeNativeRuntime(TmKind kind, NativeMemory& mem,
+                                             std::size_t numVars,
+                                             std::size_t maxProcs);
+
+std::unique_ptr<TmRuntime> makeRecordingRuntime(TmKind kind,
+                                                RecordingMemory& mem,
+                                                std::size_t numVars,
+                                                std::size_t maxProcs);
+
+}  // namespace jungle

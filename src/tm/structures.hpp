@@ -1,0 +1,352 @@
+// Transactional data structures built on the public TmRuntime API.
+//
+// Every structure is a thin layout over TM variables and performs its
+// operations through TxContext reads/writes, so it inherits whichever
+// parametrized-opacity guarantee the chosen TM implementation provides —
+// the composability story the paper's coarse-grained-blocks intuition
+// promises (§1).  Operations compose: several structure operations inside
+// one transaction() body commit or abort together.
+//
+// Capacities are fixed at construction (the TM variable space is flat);
+// value/key 0 is reserved as the empty sentinel where noted.
+#pragma once
+
+#include <optional>
+
+#include "common/check.hpp"
+#include "tm/runtime.hpp"
+
+namespace jungle {
+
+/// Contiguous slot allocator for structure layouts.
+class SlotAllocator {
+ public:
+  explicit SlotAllocator(std::size_t capacity, ObjectId base = 0)
+      : next_(base), end_(base + capacity) {}
+
+  ObjectId take(std::size_t n) {
+    JUNGLE_CHECK_MSG(next_ + n <= end_, "TM variable space exhausted");
+    const ObjectId at = static_cast<ObjectId>(next_);
+    next_ += n;
+    return at;
+  }
+
+  std::size_t used() const { return next_; }
+
+ private:
+  std::size_t next_;
+  std::size_t end_;
+};
+
+/// Shared counter.
+class TxCounter {
+ public:
+  TxCounter(TmRuntime& tm, SlotAllocator& slots)
+      : tm_(&tm), slot_(slots.take(1)) {}
+
+  void add(TxContext& tx, Word delta) const {
+    tx.write(slot_, tx.read(slot_) + delta);
+  }
+  Word get(TxContext& tx) const { return tx.read(slot_); }
+
+  /// Whole-operation conveniences (one transaction each).
+  void addAtomic(ProcessId p, Word delta) const {
+    tm_->transaction(p, [&](TxContext& tx) { add(tx, delta); });
+  }
+  Word readAtomic(ProcessId p) const {
+    Word v = 0;
+    tm_->transaction(p, [&](TxContext& tx) { v = get(tx); });
+    return v;
+  }
+
+ private:
+  TmRuntime* tm_;
+  ObjectId slot_;
+};
+
+/// Bounded stack of words.
+class TxStack {
+ public:
+  TxStack(TmRuntime& tm, SlotAllocator& slots, std::size_t capacity)
+      : tm_(&tm),
+        topSlot_(slots.take(1)),
+        cellBase_(slots.take(capacity)),
+        capacity_(capacity) {}
+
+  bool push(TxContext& tx, Word v) const {
+    const Word top = tx.read(topSlot_);
+    if (top >= capacity_) return false;  // full
+    tx.write(static_cast<ObjectId>(cellBase_ + top), v);
+    tx.write(topSlot_, top + 1);
+    return true;
+  }
+
+  std::optional<Word> pop(TxContext& tx) const {
+    const Word top = tx.read(topSlot_);
+    if (top == 0) return std::nullopt;
+    const Word v = tx.read(static_cast<ObjectId>(cellBase_ + top - 1));
+    tx.write(topSlot_, top - 1);
+    return v;
+  }
+
+  Word size(TxContext& tx) const { return tx.read(topSlot_); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  TmRuntime* tm_;
+  ObjectId topSlot_;
+  ObjectId cellBase_;
+  std::size_t capacity_;
+};
+
+/// Bounded FIFO queue (ring buffer).
+class TxQueue {
+ public:
+  TxQueue(TmRuntime& tm, SlotAllocator& slots, std::size_t capacity)
+      : tm_(&tm),
+        headSlot_(slots.take(1)),
+        tailSlot_(slots.take(1)),
+        cellBase_(slots.take(capacity)),
+        capacity_(capacity) {}
+
+  bool enqueue(TxContext& tx, Word v) const {
+    const Word head = tx.read(headSlot_);
+    const Word tail = tx.read(tailSlot_);
+    if (tail - head >= capacity_) return false;  // full
+    tx.write(static_cast<ObjectId>(cellBase_ + tail % capacity_), v);
+    tx.write(tailSlot_, tail + 1);
+    return true;
+  }
+
+  std::optional<Word> dequeue(TxContext& tx) const {
+    const Word head = tx.read(headSlot_);
+    const Word tail = tx.read(tailSlot_);
+    if (head == tail) return std::nullopt;  // empty
+    const Word v = tx.read(static_cast<ObjectId>(cellBase_ + head % capacity_));
+    tx.write(headSlot_, head + 1);
+    return v;
+  }
+
+  Word size(TxContext& tx) const {
+    return tx.read(tailSlot_) - tx.read(headSlot_);
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  TmRuntime* tm_;
+  ObjectId headSlot_;
+  ObjectId tailSlot_;
+  ObjectId cellBase_;
+  std::size_t capacity_;
+};
+
+/// Fixed-capacity open-addressing hash map (word keys ≠ 0).
+///
+/// Layout: `capacity` key slots + `capacity` value slots.  Linear probing;
+/// erasure uses tombstones (key = kTombstone) that insert may recycle.
+class TxMap {
+ public:
+  static constexpr Word kEmpty = 0;
+  /// Fits in 32 bits so the map also works on VersionedWriteTm, whose
+  /// packed words cap values at PackedVar::kMaxValue.
+  static constexpr Word kTombstone = 0xffffffffULL;
+
+  TxMap(TmRuntime& tm, SlotAllocator& slots, std::size_t capacity)
+      : tm_(&tm),
+        keyBase_(slots.take(capacity)),
+        valBase_(slots.take(capacity)),
+        capacity_(capacity) {}
+
+  /// Inserts or updates; false iff the table is full.
+  bool put(TxContext& tx, Word key, Word value) const {
+    JUNGLE_CHECK(key != kEmpty && key != kTombstone);
+    std::optional<std::size_t> firstFree;
+    for (std::size_t probe = 0; probe < capacity_; ++probe) {
+      const std::size_t i = indexOf(key, probe);
+      const Word k = tx.read(static_cast<ObjectId>(keyBase_ + i));
+      if (k == key) {
+        tx.write(static_cast<ObjectId>(valBase_ + i), value);
+        return true;
+      }
+      if (k == kTombstone && !firstFree.has_value()) {
+        firstFree = i;
+        continue;  // key may still appear later in the chain
+      }
+      if (k == kEmpty) {
+        const std::size_t at = firstFree.value_or(i);
+        tx.write(static_cast<ObjectId>(keyBase_ + at), key);
+        tx.write(static_cast<ObjectId>(valBase_ + at), value);
+        return true;
+      }
+    }
+    if (firstFree.has_value()) {
+      tx.write(static_cast<ObjectId>(keyBase_ + *firstFree), key);
+      tx.write(static_cast<ObjectId>(valBase_ + *firstFree), value);
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Word> get(TxContext& tx, Word key) const {
+    JUNGLE_CHECK(key != kEmpty && key != kTombstone);
+    for (std::size_t probe = 0; probe < capacity_; ++probe) {
+      const std::size_t i = indexOf(key, probe);
+      const Word k = tx.read(static_cast<ObjectId>(keyBase_ + i));
+      if (k == key) return tx.read(static_cast<ObjectId>(valBase_ + i));
+      if (k == kEmpty) return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  bool erase(TxContext& tx, Word key) const {
+    JUNGLE_CHECK(key != kEmpty && key != kTombstone);
+    for (std::size_t probe = 0; probe < capacity_; ++probe) {
+      const std::size_t i = indexOf(key, probe);
+      const Word k = tx.read(static_cast<ObjectId>(keyBase_ + i));
+      if (k == key) {
+        tx.write(static_cast<ObjectId>(keyBase_ + i), kTombstone);
+        return true;
+      }
+      if (k == kEmpty) return false;
+    }
+    return false;
+  }
+
+  bool contains(TxContext& tx, Word key) const {
+    return get(tx, key).has_value();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t indexOf(Word key, std::size_t probe) const {
+    // Fibonacci hashing then linear probing.
+    const Word h = key * 0x9e3779b97f4a7c15ULL;
+    return (static_cast<std::size_t>(h >> 32) + probe) % capacity_;
+  }
+
+  TmRuntime* tm_;
+  ObjectId keyBase_;
+  ObjectId valBase_;
+  std::size_t capacity_;
+};
+
+/// Transactional sorted singly-linked list (set semantics) — the classic
+/// STM microbenchmark shape: traversals build long read sets, so abort
+/// rates grow with list length and write share (measured by
+/// bench_structures).
+///
+/// Layout: head slot (node index + 1, 0 = null), allocation cursor, and a
+/// fixed pool of nodes, each a (key, next) slot pair.  Unlinked nodes are
+/// not recycled (a bump allocator keeps the transactional logic simple and
+/// allocation O(1)); capacity bounds the total number of inserts.
+class TxSortedList {
+ public:
+  TxSortedList(TmRuntime& tm, SlotAllocator& slots, std::size_t capacity)
+      : tm_(&tm),
+        headSlot_(slots.take(1)),
+        cursorSlot_(slots.take(1)),
+        nodeBase_(slots.take(2 * capacity)),
+        capacity_(capacity) {}
+
+  /// Inserts `key` keeping the list sorted; false if present or pool full.
+  bool insert(TxContext& tx, Word key) const {
+    auto [prev, cur] = locate(tx, key);
+    if (cur != 0 && keyOf(tx, cur) == key) return false;
+    const Word cursor = tx.read(cursorSlot_);
+    if (cursor >= capacity_) return false;  // pool exhausted
+    tx.write(cursorSlot_, cursor + 1);
+    const Word node = cursor + 1;  // 1-based node handle
+    tx.write(keySlot(node), key);
+    tx.write(nextSlot(node), cur);
+    if (prev == 0) {
+      tx.write(headSlot_, node);
+    } else {
+      tx.write(nextSlot(prev), node);
+    }
+    return true;
+  }
+
+  /// Removes `key`; false if absent.
+  bool erase(TxContext& tx, Word key) const {
+    auto [prev, cur] = locate(tx, key);
+    if (cur == 0 || keyOf(tx, cur) != key) return false;
+    const Word next = tx.read(nextSlot(cur));
+    if (prev == 0) {
+      tx.write(headSlot_, next);
+    } else {
+      tx.write(nextSlot(prev), next);
+    }
+    return true;
+  }
+
+  bool contains(TxContext& tx, Word key) const {
+    auto [prev, cur] = locate(tx, key);
+    (void)prev;
+    return cur != 0 && keyOf(tx, cur) == key;
+  }
+
+  /// In-order key traversal (the long-read-set operation).
+  std::vector<Word> keys(TxContext& tx) const {
+    std::vector<Word> out;
+    for (Word cur = tx.read(headSlot_); cur != 0;
+         cur = tx.read(nextSlot(cur))) {
+      out.push_back(keyOf(tx, cur));
+    }
+    return out;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  ObjectId keySlot(Word node) const {
+    JUNGLE_DCHECK(node >= 1 && node <= capacity_);
+    return static_cast<ObjectId>(nodeBase_ + 2 * (node - 1));
+  }
+  ObjectId nextSlot(Word node) const {
+    JUNGLE_DCHECK(node >= 1 && node <= capacity_);
+    return static_cast<ObjectId>(nodeBase_ + 2 * (node - 1) + 1);
+  }
+  Word keyOf(TxContext& tx, Word node) const {
+    return tx.read(keySlot(node));
+  }
+
+  /// Returns (predecessor, first node with key ≥ `key`), 0 = null.
+  std::pair<Word, Word> locate(TxContext& tx, Word key) const {
+    Word prev = 0;
+    Word cur = tx.read(headSlot_);
+    while (cur != 0 && keyOf(tx, cur) < key) {
+      prev = cur;
+      cur = tx.read(nextSlot(cur));
+    }
+    return {prev, cur};
+  }
+
+  TmRuntime* tm_;
+  ObjectId headSlot_;
+  ObjectId cursorSlot_;
+  ObjectId nodeBase_;
+  std::size_t capacity_;
+};
+
+/// Fixed-capacity set: a TxMap with unit values.
+class TxSet {
+ public:
+  TxSet(TmRuntime& tm, SlotAllocator& slots, std::size_t capacity)
+      : map_(tm, slots, capacity) {}
+
+  bool insert(TxContext& tx, Word key) const {
+    if (map_.contains(tx, key)) return false;
+    JUNGLE_CHECK_MSG(map_.put(tx, key, 1), "TxSet full");
+    return true;
+  }
+  bool erase(TxContext& tx, Word key) const { return map_.erase(tx, key); }
+  bool contains(TxContext& tx, Word key) const {
+    return map_.contains(tx, key);
+  }
+
+ private:
+  TxMap map_;
+};
+
+}  // namespace jungle

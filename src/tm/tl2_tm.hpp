@@ -1,0 +1,236 @@
+// TL2-style versioned-clock STM core [Dice, Shalev, Shavit, DISC'06 — the
+// paper's reference [7] for opacity-satisfying TMs], plus the plain-access
+// baseline Tl2Tm.
+//
+// Layout: values at [0, n), one versioned lock record per variable at
+// [n, 2n) (encoding version << 1 | locked), global version clock at 2n.
+//
+// Transactions are opaque: reads validate against the start-time clock
+// sample and abort on inconsistency; commits lock the write set in
+// ascending variable order (deadlock-free), bump the clock, validate the
+// read set, write back, and release with the new version.
+//
+// Tl2Tm leaves non-transactional accesses as bare load/store — the classic
+// *weak atomicity* design.  It intentionally does NOT guarantee
+// parametrized opacity for mixed histories; the theorem tests exhibit
+// violations, which is the paper's motivation for instrumented designs.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+
+#include "common/check.hpp"
+#include "common/sync.hpp"
+#include "history/op_instance.hpp"
+#include "tm/global_lock_tm.hpp"  // VarMap
+
+namespace jungle {
+
+template <class Mem>
+class VersionedClockTmBase {
+ public:
+  static std::size_t memoryWords(std::size_t numVars) {
+    return 2 * numVars + 1;
+  }
+
+  VersionedClockTmBase(Mem& mem, std::size_t numVars)
+      : mem_(mem), numVars_(numVars), clockAddr_(2 * numVars) {
+    JUNGLE_CHECK(mem.size() >= memoryWords(numVars));
+  }
+
+  struct Thread {
+    ProcessId pid = 0;
+    Word rv = 0;  // start-time clock sample
+    VarMap readset;   // obj -> record version observed
+    VarMap writeset;  // obj -> new value
+    bool inTx = false;
+    std::uint64_t aborts = 0;
+  };
+
+  Thread makeThread(ProcessId pid) const {
+    Thread t;
+    t.pid = pid;
+    return t;
+  }
+
+  void txStart(Thread& t) {
+    JUNGLE_CHECK(!t.inTx);
+    const OpId op = mem_.beginOp(t.pid, OpType::kStart, kNoObject, {});
+    t.rv = mem_.load(t.pid, clockAddr_);
+    mem_.markPoint(t.pid, op);
+    mem_.endOp(t.pid, op, OpType::kStart, kNoObject, {});
+    t.inTx = true;
+  }
+
+  /// nullopt ⇒ the transaction aborted (the read responds as the abort).
+  std::optional<Word> txRead(Thread& t, ObjectId x) {
+    JUNGLE_CHECK(t.inTx && x < numVars_);
+    const OpId op = mem_.beginOp(t.pid, OpType::kCommand, x, cmdRead(0));
+    if (const Word* w = t.writeset.find(x)) {
+      mem_.markPoint(t.pid, op);
+      mem_.endOp(t.pid, op, OpType::kCommand, x, cmdRead(*w));
+      return *w;
+    }
+    const Word r1 = mem_.load(t.pid, recordAddr(x));
+    const Word v = mem_.load(t.pid, x);
+    const Word r2 = mem_.load(t.pid, recordAddr(x));
+    if ((r1 & 1) != 0 || r1 != r2 || (r1 >> 1) > t.rv) {
+      abortInsideOp(t, op);
+      return std::nullopt;
+    }
+    t.readset.put(x, r1);
+    mem_.markPoint(t.pid, op);
+    mem_.endOp(t.pid, op, OpType::kCommand, x, cmdRead(v));
+    return v;
+  }
+
+  void txWrite(Thread& t, ObjectId x, Word v) {
+    JUNGLE_CHECK(t.inTx && x < numVars_);
+    const OpId op = mem_.beginOp(t.pid, OpType::kCommand, x, cmdWrite(v));
+    t.writeset.put(x, v);
+    mem_.markPoint(t.pid, op);
+    mem_.endOp(t.pid, op, OpType::kCommand, x, cmdWrite(v));
+  }
+
+  bool txCommit(Thread& t) {
+    JUNGLE_CHECK(t.inTx);
+    const OpId op = mem_.beginOp(t.pid, OpType::kCommit, kNoObject, {});
+    if (t.writeset.empty()) {
+      // Read-only fast path: reads were validated as they happened.
+      mem_.markPoint(t.pid, op);
+      mem_.endOp(t.pid, op, OpType::kCommit, kNoObject, {});
+      finish(t);
+      return true;
+    }
+
+    // Lock the write set in ascending variable order.
+    std::vector<std::pair<ObjectId, Word>> locked;  // obj -> pre-lock record
+    std::vector<ObjectId> order;
+    for (const auto& [x, v] : t.writeset) order.push_back(x);
+    std::sort(order.begin(), order.end());
+    for (ObjectId x : order) {
+      const Word r = mem_.load(t.pid, recordAddr(x));
+      if ((r & 1) != 0 || (r >> 1) > t.rv ||
+          !mem_.cas(t.pid, recordAddr(x), r, r | 1)) {
+        releaseLocks(t, locked);
+        abortInsideOp(t, op);
+        return false;
+      }
+      locked.emplace_back(x, r);
+    }
+
+    // Bump the global clock.
+    Word wv;
+    for (;;) {
+      const Word c = mem_.load(t.pid, clockAddr_);
+      if (mem_.cas(t.pid, clockAddr_, c, c + 1)) {
+        wv = c + 1;
+        break;
+      }
+    }
+
+    // Validate the read set (skippable when nothing moved since rv).
+    // Variables we hold write locks on were validated at lock time.
+    if (t.rv + 1 != wv) {
+      for (const auto& [x, seen] : t.readset) {
+        if (t.writeset.find(x) != nullptr) continue;
+        const Word r = mem_.load(t.pid, recordAddr(x));
+        if ((r & 1) != 0 || (r >> 1) > t.rv) {
+          releaseLocks(t, locked);
+          abortInsideOp(t, op);
+          return false;
+        }
+      }
+    }
+
+    // Write back and release with the new version.
+    for (const auto& [x, v] : t.writeset) {
+      mem_.store(t.pid, x, v);
+    }
+    mem_.markPoint(t.pid, op);
+    for (ObjectId x : order) {
+      mem_.store(t.pid, recordAddr(x), wv << 1);
+    }
+    mem_.endOp(t.pid, op, OpType::kCommit, kNoObject, {});
+    finish(t);
+    return true;
+  }
+
+  void txAbort(Thread& t) {
+    JUNGLE_CHECK(t.inTx);
+    const OpId op = mem_.beginOp(t.pid, OpType::kAbort, kNoObject, {});
+    mem_.markPoint(t.pid, op);
+    mem_.endOp(t.pid, op, OpType::kAbort, kNoObject, {});
+    finish(t);
+  }
+
+  std::uint64_t abortCount(const Thread& t) const { return t.aborts; }
+
+ protected:
+  Addr recordAddr(ObjectId x) const { return numVars_ + x; }
+
+  void releaseLocks(Thread& t,
+                    const std::vector<std::pair<ObjectId, Word>>& locked) {
+    for (const auto& [x, r] : locked) {
+      mem_.store(t.pid, recordAddr(x), r);
+    }
+  }
+
+  /// Ends the currently open operation as the transaction's abort: the
+  /// operation's response carries OpType::kAbort, so extracted histories
+  /// show a well-formed aborted transaction.
+  void abortInsideOp(Thread& t, OpId op) {
+    mem_.markPoint(t.pid, op);
+    mem_.endOp(t.pid, op, OpType::kAbort, kNoObject, {});
+    ++t.aborts;
+    finish(t);
+  }
+
+  void finish(Thread& t) {
+    t.readset.clear();
+    t.writeset.clear();
+    t.inTx = false;
+  }
+
+  Mem& mem_;
+  std::size_t numVars_;
+  Addr clockAddr_;
+};
+
+/// The weak-atomicity baseline: opaque transactions, bare non-transactional
+/// accesses.
+template <class Mem>
+class Tl2Tm : public VersionedClockTmBase<Mem> {
+  using Base = VersionedClockTmBase<Mem>;
+
+ public:
+  static constexpr bool kInstrumentsNtReads = false;
+  static constexpr bool kInstrumentsNtWrites = false;
+  static constexpr const char* kName = "tl2-weak";
+
+  using Base::Base;
+  using typename Base::Thread;
+
+  Word ntRead(Thread& t, ObjectId x) {
+    JUNGLE_CHECK(!t.inTx && x < this->numVars_);
+    const OpId op = this->mem_.beginOp(t.pid, OpType::kCommand, x, cmdRead(0));
+    const Word v = this->mem_.load(t.pid, x);
+    this->mem_.markPoint(t.pid, op);
+    this->mem_.endOp(t.pid, op, OpType::kCommand, x, cmdRead(v));
+    return v;
+  }
+
+  /// Bare store: does NOT touch the record — concurrent transactions can
+  /// miss it entirely.  This is the unsafety the paper's instrumented
+  /// designs exist to fix.
+  void ntWrite(Thread& t, ObjectId x, Word v) {
+    JUNGLE_CHECK(!t.inTx && x < this->numVars_);
+    const OpId op =
+        this->mem_.beginOp(t.pid, OpType::kCommand, x, cmdWrite(v));
+    this->mem_.store(t.pid, x, v);
+    this->mem_.markPoint(t.pid, op);
+    this->mem_.endOp(t.pid, op, OpType::kCommand, x, cmdWrite(v));
+  }
+};
+
+}  // namespace jungle

@@ -1,0 +1,149 @@
+// Typed convenience layer over TmRuntime: TxVar<T> named variables and the
+// privatization idiom from the paper's introduction ("a programmer may wish
+// to make shared data local to a thread, operate non-transactionally upon
+// it for a while, and make it shared again").
+//
+// A VarSpace hands out TxVar<T> slots backed by runtime variables.  T must
+// be trivially convertible to/from Word (64-bit).  Privatization is
+// expressed with an ownership variable per region: a transaction flips the
+// owner, after which the owning thread may use plain (non-transactional)
+// accesses on the region's variables — exactly the mixed workload whose
+// correctness parametrized opacity governs.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tm/runtime.hpp"
+
+namespace jungle {
+
+template <class T>
+Word toWord(T value) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(Word));
+  Word w = 0;
+  std::memcpy(&w, &value, sizeof(T));
+  return w;
+}
+
+template <class T>
+T fromWord(Word w) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(Word));
+  T value{};
+  std::memcpy(&value, &w, sizeof(T));
+  return value;
+}
+
+/// A typed handle to one TM variable.
+template <class T>
+class TxVar {
+ public:
+  TxVar() = default;
+  TxVar(TmRuntime* tm, ObjectId slot) : tm_(tm), slot_(slot) {}
+
+  ObjectId slot() const { return slot_; }
+
+  /// Transactional access, inside a TmRuntime::transaction body.
+  T get(TxContext& tx) const { return fromWord<T>(tx.read(slot_)); }
+  void set(TxContext& tx, T value) const { tx.write(slot_, toWord(value)); }
+
+  /// Non-transactional (plain) access; subject to the TM's guarantee and
+  /// the platform memory model — the whole point of parametrized opacity.
+  T load(ProcessId p) const { return fromWord<T>(tm_->ntRead(p, slot_)); }
+  void store(ProcessId p, T value) const {
+    tm_->ntWrite(p, slot_, toWord(value));
+  }
+
+ private:
+  TmRuntime* tm_ = nullptr;
+  ObjectId slot_ = kNoObject;
+};
+
+/// Allocates named typed variables out of a runtime's variable space.
+class VarSpace {
+ public:
+  VarSpace(TmRuntime& tm, std::size_t numVars) : tm_(&tm), capacity_(numVars) {}
+
+  template <class T>
+  TxVar<T> alloc(std::string name = {}) {
+    JUNGLE_CHECK_MSG(next_ < capacity_, "variable space exhausted");
+    names_.push_back(std::move(name));
+    return TxVar<T>(tm_, static_cast<ObjectId>(next_++));
+  }
+
+  const std::string& nameOf(ObjectId slot) const { return names_.at(slot); }
+  std::size_t used() const { return next_; }
+
+ private:
+  TmRuntime* tm_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::vector<std::string> names_;
+};
+
+/// A privatizable region: a set of variable slots plus an owner word.
+/// Owner 0 = shared (all access transactional); owner p+1 = private to
+/// process p (plain access allowed for p).
+class PrivatizableRegion {
+ public:
+  PrivatizableRegion(TmRuntime& tm, ObjectId ownerSlot,
+                     std::vector<ObjectId> slots)
+      : tm_(&tm), ownerSlot_(ownerSlot), slots_(std::move(slots)) {}
+
+  static constexpr Word kShared = 0;
+
+  /// Transactionally claims the region for `p`.  Returns false if another
+  /// process already owns it.  After success, `p` may use plain accesses.
+  bool privatize(ProcessId p) {
+    bool won = false;
+    tm_->transaction(p, [&](TxContext& tx) {
+      const Word owner = tx.read(ownerSlot_);
+      won = owner == kShared;
+      if (won) tx.write(ownerSlot_, static_cast<Word>(p) + 1);
+    });
+    return won;
+  }
+
+  /// Transactionally publishes the region back to shared state.
+  void publish(ProcessId p) {
+    tm_->transaction(p, [&](TxContext& tx) {
+      JUNGLE_CHECK_MSG(tx.read(ownerSlot_) == static_cast<Word>(p) + 1,
+                       "publish by a non-owner");
+      tx.write(ownerSlot_, kShared);
+    });
+  }
+
+  bool ownedBy(ProcessId p) const {
+    return tm_->ntRead(p, ownerSlot_) == static_cast<Word>(p) + 1;
+  }
+
+  /// Plain accesses; caller must own the region.
+  Word read(ProcessId p, std::size_t idx) const {
+    JUNGLE_DCHECK(ownedBy(p));
+    return tm_->ntRead(p, slots_.at(idx));
+  }
+  void write(ProcessId p, std::size_t idx, Word v) {
+    JUNGLE_DCHECK(ownedBy(p));
+    tm_->ntWrite(p, slots_.at(idx), v);
+  }
+
+  /// Transactional access while shared.
+  Word txRead(TxContext& tx, std::size_t idx) const {
+    return tx.read(slots_.at(idx));
+  }
+  void txWrite(TxContext& tx, std::size_t idx, Word v) {
+    tx.write(slots_.at(idx), v);
+  }
+
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  TmRuntime* tm_;
+  ObjectId ownerSlot_;
+  std::vector<ObjectId> slots_;
+};
+
+}  // namespace jungle

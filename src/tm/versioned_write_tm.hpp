@@ -1,0 +1,228 @@
+// Theorem 5's construction: **constant-time** instrumentation of
+// non-transactional writes (a single wide store of ⟨value, pid, per-process
+// version⟩), **no** instrumentation of non-transactional reads, global-lock
+// transactions with CAS write-back.  Guarantees opacity parametrized by any
+// memory model outside M_rr ∪ M_wr — e.g. Alpha — and, with dependence-
+// aware fencing for data-dependent reads, RMO/Java-class models (§5.2).
+//
+// Why the version tag: it makes every non-transactional write produce a
+// word the memory has never held, so a transaction's commit-time CAS can
+// never be fooled by an A-B-A pattern of racy writes — a CAS beaten by a
+// tagged write is exactly "the write landed after the transaction", which
+// the proof places after T in the witness history.
+//
+// Packing (64-bit word): [ value:32 | pid:8 | version:24 ].  Values are
+// truncated to 32 bits at the API boundary (checked).
+#pragma once
+
+#include "tm/global_lock_tm.hpp"
+
+namespace jungle {
+
+struct PackedVar {
+  static constexpr unsigned kValueBits = 32;
+  static constexpr unsigned kPidBits = 8;
+  static constexpr unsigned kVersionBits = 24;
+  static constexpr Word kMaxValue = (Word{1} << kValueBits) - 1;
+
+  static Word pack(Word value, ProcessId pid, std::uint32_t version) {
+    JUNGLE_DCHECK(value <= kMaxValue);
+    return (value << (kPidBits + kVersionBits)) |
+           (static_cast<Word>(pid & 0xff) << kVersionBits) |
+           (version & ((1u << kVersionBits) - 1));
+  }
+  static Word value(Word packed) {
+    return packed >> (kPidBits + kVersionBits);
+  }
+};
+
+template <class Mem>
+class VersionedWriteTm {
+ public:
+  static constexpr bool kInstrumentsNtReads = false;
+  static constexpr bool kInstrumentsNtWrites = true;
+  static constexpr const char* kName = "versioned-write";
+
+  static std::size_t memoryWords(std::size_t numVars) { return numVars + 1; }
+
+  VersionedWriteTm(Mem& mem, std::size_t numVars)
+      : mem_(mem), numVars_(numVars), lockAddr_(numVars) {
+    JUNGLE_CHECK(mem.size() >= memoryWords(numVars));
+  }
+
+  struct Thread {
+    ProcessId pid = 0;
+    VarMap readset;   // original *packed* words
+    VarMap writeset;  // new values (unpacked)
+    std::uint32_t version = 0;  // per-process, thread-local: no memory cost
+    bool inTx = false;
+    /// Identifier of this thread's previous operation (for marking
+    /// data-dependent reads); meaningful under recording policies.
+    OpId lastOp = kNoOp;
+  };
+
+  Thread makeThread(ProcessId pid) const {
+    Thread t;
+    t.pid = pid;
+    return t;
+  }
+
+  void txStart(Thread& t) {
+    JUNGLE_CHECK(!t.inTx);
+    const OpId op = mem_.beginOp(t.pid, OpType::kStart, kNoObject, {});
+    Backoff backoff;
+    for (;;) {
+      const Word lg = mem_.load(t.pid, lockAddr_);
+      if (lg == 0 && mem_.cas(t.pid, lockAddr_, 0, t.pid + 1)) break;
+      backoff.pause();
+    }
+    mem_.markPoint(t.pid, op);
+    mem_.endOp(t.pid, op, OpType::kStart, kNoObject, {});
+    t.inTx = true;
+  }
+
+  Word txRead(Thread& t, ObjectId x) {
+    JUNGLE_CHECK(t.inTx && x < numVars_);
+    const OpId op = mem_.beginOp(t.pid, OpType::kCommand, x, cmdRead(0));
+    mem_.markPoint(t.pid, op);
+    const Word v = readThroughSets(t, x);
+    mem_.endOp(t.pid, op, OpType::kCommand, x, cmdRead(v));
+    return v;
+  }
+
+  void txWrite(Thread& t, ObjectId x, Word v) {
+    JUNGLE_CHECK(t.inTx && x < numVars_ && v <= PackedVar::kMaxValue);
+    const OpId op = mem_.beginOp(t.pid, OpType::kCommand, x, cmdWrite(v));
+    mem_.markPoint(t.pid, op);
+    if (t.readset.find(x) == nullptr) {
+      t.readset.put(x, mem_.load(t.pid, x));  // packed original
+    }
+    t.writeset.put(x, v);
+    mem_.endOp(t.pid, op, OpType::kCommand, x, cmdWrite(v));
+  }
+
+  bool txCommit(Thread& t) {
+    JUNGLE_CHECK(t.inTx);
+    const OpId op = mem_.beginOp(t.pid, OpType::kCommit, kNoObject, {});
+    for (const auto& [x, vNew] : t.writeset) {
+      const Word* packedOld = t.readset.find(x);
+      JUNGLE_CHECK(packedOld != nullptr);
+      ++t.version;
+      mem_.cas(t.pid, x, *packedOld,
+               PackedVar::pack(vNew, t.pid, t.version));
+    }
+    mem_.markPoint(t.pid, op);
+    mem_.store(t.pid, lockAddr_, 0);
+    mem_.endOp(t.pid, op, OpType::kCommit, kNoObject, {});
+    finish(t);
+    return true;
+  }
+
+  void txAbort(Thread& t) {
+    JUNGLE_CHECK(t.inTx);
+    const OpId op = mem_.beginOp(t.pid, OpType::kAbort, kNoObject, {});
+    mem_.markPoint(t.pid, op);
+    mem_.store(t.pid, lockAddr_, 0);
+    mem_.endOp(t.pid, op, OpType::kAbort, kNoObject, {});
+    finish(t);
+  }
+
+  /// Uninstrumented read: one load (unpacking is local computation).
+  Word ntRead(Thread& t, ObjectId x) {
+    JUNGLE_CHECK(!t.inTx && x < numVars_);
+    const OpId op = mem_.beginOp(t.pid, OpType::kCommand, x, cmdRead(0));
+    const Word v = PackedVar::value(mem_.load(t.pid, x));
+    mem_.markPoint(t.pid, op);
+    mem_.endOp(t.pid, op, OpType::kCommand, x, cmdRead(v));
+    t.lastOp = op;
+    return v;
+  }
+
+  /// A plain read that the program declares *data-dependent* on this
+  /// thread's previous operation (pointer-chasing and the like).  Still a
+  /// single load — which is exactly why it is UNSAFE under M^d_rr models
+  /// (RMO, Java): the dependence forbids the reordering Theorem 5's proof
+  /// needs.  The conformance tests exhibit the failure; ntReadVolatile is
+  /// the §5.2 fix.  The previous operation must be a command operation of
+  /// this thread (recording policies enforce dependence well-formedness
+  /// downstream).
+  Word ntReadDependent(Thread& t, ObjectId x) {
+    JUNGLE_CHECK(!t.inTx && x < numVars_);
+    JUNGLE_CHECK_MSG(t.lastOp != kNoOp,
+                     "dependent read needs a preceding operation");
+    const Command announce = cmdDdRead(0, {t.lastOp});
+    const OpId op = mem_.beginOp(t.pid, OpType::kCommand, x, announce);
+    const Word v = PackedVar::value(mem_.load(t.pid, x));
+    mem_.markPoint(t.pid, op);
+    mem_.endOp(t.pid, op, OpType::kCommand, x, cmdDdRead(v, {t.lastOp}));
+    t.lastOp = op;
+    return v;
+  }
+
+  /// §5.2's adaptation for M^d_rr models (RMO, Java): data-dependent plain
+  /// reads must not reorder, so they get "volatile" treatment — the
+  /// footnote's "a volatile access may be considered as a single operation
+  /// transaction".  One lock acquire + load + release; use only for the
+  /// rare dependence-carrying reads, plain ntRead everywhere else.
+  /// `dependentOnPrevious` records the dependence in the trace so the
+  /// checkers apply the M^d_rr ordering to it.
+  Word ntReadVolatile(Thread& t, ObjectId x,
+                      bool dependentOnPrevious = false) {
+    JUNGLE_CHECK(!t.inTx && x < numVars_);
+    std::vector<OpId> deps;
+    if (dependentOnPrevious) {
+      JUNGLE_CHECK_MSG(t.lastOp != kNoOp,
+                       "dependent read needs a preceding operation");
+      deps.push_back(t.lastOp);
+    }
+    const Command announce =
+        deps.empty() ? cmdRead(0) : cmdDdRead(0, deps);
+    const OpId op = mem_.beginOp(t.pid, OpType::kCommand, x, announce);
+    Backoff backoff;
+    for (;;) {
+      const Word lg = mem_.load(t.pid, lockAddr_);
+      if (lg == 0 && mem_.cas(t.pid, lockAddr_, 0, t.pid + 1)) break;
+      backoff.pause();
+    }
+    const Word v = PackedVar::value(mem_.load(t.pid, x));
+    mem_.markPoint(t.pid, op);
+    mem_.store(t.pid, lockAddr_, 0);
+    mem_.endOp(t.pid, op, OpType::kCommand, x,
+               deps.empty() ? cmdRead(v) : cmdDdRead(v, deps));
+    t.lastOp = op;
+    return v;
+  }
+
+  /// Constant-time instrumented write: exactly one store; the version
+  /// increment is thread-local.
+  void ntWrite(Thread& t, ObjectId x, Word v) {
+    JUNGLE_CHECK(!t.inTx && x < numVars_ && v <= PackedVar::kMaxValue);
+    const OpId op = mem_.beginOp(t.pid, OpType::kCommand, x, cmdWrite(v));
+    ++t.version;
+    mem_.store(t.pid, x, PackedVar::pack(v, t.pid, t.version));
+    mem_.markPoint(t.pid, op);
+    mem_.endOp(t.pid, op, OpType::kCommand, x, cmdWrite(v));
+    t.lastOp = op;
+  }
+
+ private:
+  Word readThroughSets(Thread& t, ObjectId x) {
+    if (const Word* w = t.writeset.find(x)) return *w;
+    if (const Word* r = t.readset.find(x)) return PackedVar::value(*r);
+    const Word packed = mem_.load(t.pid, x);
+    t.readset.put(x, packed);
+    return PackedVar::value(packed);
+  }
+
+  void finish(Thread& t) {
+    t.readset.clear();
+    t.writeset.clear();
+    t.inTx = false;
+  }
+
+  Mem& mem_;
+  std::size_t numVars_;
+  Addr lockAddr_;
+};
+
+}  // namespace jungle

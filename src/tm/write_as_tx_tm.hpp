@@ -1,0 +1,50 @@
+// Theorem 4's construction: uninstrumented non-transactional *reads*, and
+// every non-transactional *write* executed as a transaction in itself —
+// acquire the global lock, store, release.  Guarantees opacity parametrized
+// by any memory model outside M_rr.
+//
+// The paper's own caveat applies and is measured by bench_instrumentation:
+// the write instrumentation is not constant-time — lock acquisition may
+// take arbitrarily long under contention ((⟨load g, 0⟩)* ∈ I_N(wr)).
+#pragma once
+
+#include "tm/global_lock_tm.hpp"
+
+namespace jungle {
+
+template <class Mem>
+class WriteAsTxTm : public GlobalLockTm<Mem> {
+  using Base = GlobalLockTm<Mem>;
+
+ public:
+  static constexpr bool kInstrumentsNtReads = false;
+  static constexpr bool kInstrumentsNtWrites = true;
+  static constexpr const char* kName = "write-as-tx";
+
+  using Base::Base;
+  using typename Base::Thread;
+
+  /// Instrumented write: a one-operation transaction.  The logical point is
+  /// the store, which happens while the lock is held.
+  void ntWrite(Thread& t, ObjectId x, Word v) {
+    JUNGLE_CHECK(!t.inTx && x < this->numVars_);
+    const OpId op =
+        this->mem_.beginOp(t.pid, OpType::kCommand, x, cmdWrite(v));
+    Backoff backoff;
+    for (;;) {
+      const Word lg = this->mem_.load(t.pid, this->lockAddr_);
+      if (lg == Base::kFree &&
+          this->mem_.cas(t.pid, this->lockAddr_, Base::kFree,
+                         this->ownerWord(t))) {
+        break;
+      }
+      backoff.pause();
+    }
+    this->mem_.store(t.pid, x, v);
+    this->mem_.markPoint(t.pid, op);
+    this->mem_.store(t.pid, this->lockAddr_, Base::kFree);
+    this->mem_.endOp(t.pid, op, OpType::kCommand, x, cmdWrite(v));
+  }
+};
+
+}  // namespace jungle

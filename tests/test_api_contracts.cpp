@@ -1,0 +1,89 @@
+// API-contract enforcement: misuse of the TM and framework APIs must trip
+// the always-on checks rather than corrupt state (death tests).
+#include <gtest/gtest.h>
+
+#include "sim/memory_policy.hpp"
+#include "tm/global_lock_tm.hpp"
+#include "tm/runtime.hpp"
+#include "tm/txvar.hpp"
+#include "tm/versioned_write_tm.hpp"
+
+namespace jungle {
+namespace {
+
+using GLock = GlobalLockTm<NativeMemory>;
+
+TEST(ApiContracts, TxReadOutsideTransactionDies) {
+  NativeMemory mem(GLock::memoryWords(2));
+  GLock tm(mem, 2);
+  auto t = tm.makeThread(0);
+  EXPECT_DEATH((void)tm.txRead(t, 0), "check failed");
+}
+
+TEST(ApiContracts, NestedStartDies) {
+  NativeMemory mem(GLock::memoryWords(2));
+  GLock tm(mem, 2);
+  auto t = tm.makeThread(0);
+  tm.txStart(t);
+  EXPECT_DEATH(tm.txStart(t), "check failed");
+}
+
+TEST(ApiContracts, NtWriteInsideTransactionDies) {
+  NativeMemory mem(GLock::memoryWords(2));
+  GLock tm(mem, 2);
+  auto t = tm.makeThread(0);
+  tm.txStart(t);
+  EXPECT_DEATH(tm.ntWrite(t, 0, 1), "check failed");
+}
+
+TEST(ApiContracts, OutOfRangeVariableDies) {
+  NativeMemory mem(GLock::memoryWords(2));
+  GLock tm(mem, 2);
+  auto t = tm.makeThread(0);
+  EXPECT_DEATH((void)tm.ntRead(t, 7), "check failed");
+}
+
+TEST(ApiContracts, CommitWithoutStartDies) {
+  NativeMemory mem(GLock::memoryWords(2));
+  GLock tm(mem, 2);
+  auto t = tm.makeThread(0);
+  EXPECT_DEATH((void)tm.txCommit(t), "check failed");
+}
+
+TEST(ApiContracts, VersionedWriteValueRangeEnforced) {
+  using VW = VersionedWriteTm<NativeMemory>;
+  NativeMemory mem(VW::memoryWords(2));
+  VW tm(mem, 2);
+  auto t = tm.makeThread(0);
+  EXPECT_DEATH(tm.ntWrite(t, 0, PackedVar::kMaxValue + 1), "check failed");
+}
+
+TEST(ApiContracts, InsufficientMemoryDies) {
+  NativeMemory mem(1);  // needs numVars + 1
+  EXPECT_DEATH((GLock{mem, 2}), "check failed");
+}
+
+TEST(ApiContracts, RuntimeRejectsUnknownProcess) {
+  NativeMemory mem(runtimeMemoryWords(TmKind::kGlobalLock, 2));
+  auto tm = makeNativeRuntime(TmKind::kGlobalLock, mem, 2, 2);
+  EXPECT_DEATH((void)tm->ntRead(5, 0), "check failed");
+}
+
+TEST(ApiContracts, VarSpaceExhaustionDies) {
+  NativeMemory mem(runtimeMemoryWords(TmKind::kGlobalLock, 1));
+  auto tm = makeNativeRuntime(TmKind::kGlobalLock, mem, 1, 1);
+  VarSpace space(*tm, 1);
+  (void)space.alloc<Word>("only");
+  EXPECT_DEATH((void)space.alloc<Word>("too-many"), "exhausted");
+}
+
+TEST(ApiContracts, PublishByNonOwnerDies) {
+  NativeMemory mem(runtimeMemoryWords(TmKind::kGlobalLock, 3));
+  auto tm = makeNativeRuntime(TmKind::kGlobalLock, mem, 3, 2);
+  PrivatizableRegion region(*tm, 2, {0, 1});
+  ASSERT_TRUE(region.privatize(0));
+  EXPECT_DEATH(region.publish(1), "non-owner");
+}
+
+}  // namespace
+}  // namespace jungle

@@ -1,0 +1,148 @@
+// Tests for the common utilities: RNG determinism, bitsets, hashing, and
+// synchronization helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/bitset64.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/sync.hpp"
+
+namespace jungle {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = r.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0, 100));
+    EXPECT_TRUE(r.chance(100, 100));
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 1000, 0.5, 0.05);
+}
+
+TEST(Splitmix, DeterministicSequence) {
+  std::uint64_t s1 = 5, s2 = 5;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Bitset, SetResetTestCount) {
+  BitsetN<2> b;
+  EXPECT_TRUE(b.none());
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(127);
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_FALSE(b.test(62));
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitset, ContainsAndIntersects) {
+  BitsetN<2> a, b;
+  a.set(1);
+  a.set(100);
+  b.set(100);
+  EXPECT_TRUE(a.contains(b));
+  EXPECT_FALSE(b.contains(a));
+  EXPECT_TRUE(a.intersects(b));
+  BitsetN<2> c;
+  c.set(2);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(a.contains(BitsetN<2>{}));  // empty set always contained
+}
+
+TEST(Bitset, EqualityAndHash) {
+  BitsetN<2> a, b;
+  a.set(5);
+  b.set(5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(70);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  EXPECT_NE(hashAll(1, 2), hashAll(2, 1));
+  EXPECT_EQ(hashAll(1, 2, 3), hashAll(1, 2, 3));
+}
+
+TEST(SpinBarrier, SynchronizesThreads) {
+  constexpr int kThreads = 4;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase0{0};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&] {
+      phase0.fetch_add(1);
+      barrier.arriveAndWait();
+      // After the barrier, every thread must observe all arrivals.
+      if (phase0.load() != kThreads) ok = false;
+      barrier.arriveAndWait();  // reusable
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Backoff, PauseAndResetDoNotBlock) {
+  Backoff b;
+  for (int i = 0; i < 20; ++i) b.pause();
+  b.reset();
+  b.pause();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace jungle

@@ -1,0 +1,118 @@
+// §5.2's dependent-read adaptation, verified mechanically.
+//
+// Theorem 5's TM (VersionedWriteTm) targets models outside M_rr ∪ M_wr.
+// RMO and Java are in M^d_rr: *data-dependent* plain reads may not reorder,
+// so the proof's read-shuffling breaks exactly when the program carries a
+// dependence.  The paper's fix (footnote 4): treat such reads as volatile —
+// a single-operation transaction.  Here the schedule explorer shows
+//
+//   * plain dependent reads   → some interleaving violates RMO-opacity,
+//   * volatile dependent reads → every interleaving conforms,
+//   * the same plain dependent reads under Alpha (∉ M_rr) stay fine.
+#include <gtest/gtest.h>
+
+#include "memmodel/models.hpp"
+#include "sim/schedule.hpp"
+#include "theorems/conformance.hpp"
+#include "tm/versioned_write_tm.hpp"
+
+namespace jungle {
+namespace {
+
+SpecMap kRegisters;
+
+/// p0 transactionally writes x then y (commit updates a_x before a_y); p1
+/// reads x and then performs a read of y that is DATA-DEPENDENT on it
+/// (e.g. y's address was loaded from x).  The Theorem-1-case-1 shape:
+/// between the two updates, rd x sees the new value while the dependent rd
+/// y still sees the old one — and M^d_rr forbids reordering them.
+/// `useVolatile` switches the dependent read between the unsafe plain load
+/// and the §5.2 volatile treatment.
+Program dependentChainProgram(bool useVolatile) {
+  return [useVolatile](ScheduledMemory& mem) {
+    auto tm = std::make_shared<VersionedWriteTm<ScheduledMemory>>(mem, 2);
+    std::vector<ThreadScript> scripts;
+    scripts.push_back([tm] {
+      auto t = tm->makeThread(0);
+      tm->txStart(t);
+      tm->txWrite(t, 0, 1);
+      tm->txWrite(t, 1, 1);
+      tm->txCommit(t);
+    });
+    scripts.push_back([tm, useVolatile] {
+      auto t = tm->makeThread(1);
+      (void)tm->ntRead(t, 0);  // rd x
+      if (useVolatile) {
+        (void)tm->ntReadVolatile(t, 1, /*dependentOnPrevious=*/true);
+      } else {
+        (void)tm->ntReadDependent(t, 1);  // plain ddrd y
+      }
+    });
+    return scripts;
+  };
+}
+
+ExploreStats explore(bool useVolatile, const MemoryModel& model) {
+  ExploreOptions opts;
+  opts.maxSteps = 120;
+  opts.maxRuns = 1800;
+  return exploreExhaustive(
+      2, VersionedWriteTm<ScheduledMemory>::memoryWords(2),
+      dependentChainProgram(useVolatile),
+      [&](const RunOutcome& out) {
+        return theorems::checkTracePopacity(out.trace, model, kRegisters).ok;
+      },
+      opts);
+}
+
+TEST(DependentReads, PlainDependentReadViolatesRmoOnSomeSchedule) {
+  auto stats = explore(/*useVolatile=*/false, rmoModel());
+  EXPECT_GT(stats.completedRuns, 5u);
+  EXPECT_GT(stats.failures, 0u)
+      << "the M^d_rr violation should be discoverable";
+}
+
+TEST(DependentReads, SameProgramIsFineUnderAlpha) {
+  // Alpha reorders even data-dependent reads: Theorem 5 applies unchanged.
+  auto stats = explore(/*useVolatile=*/false, alphaModel());
+  EXPECT_GT(stats.completedRuns, 5u);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST(DependentReads, VolatileTreatmentRestoresRmoOpacity) {
+  auto stats = explore(/*useVolatile=*/true, rmoModel());
+  EXPECT_GT(stats.completedRuns, 5u);
+  EXPECT_EQ(stats.failures, 0u)
+      << "footnote 4's single-operation-transaction fix must close the gap";
+}
+
+TEST(DependentReads, VolatileReadReturnsCurrentValue) {
+  NativeMemory mem(VersionedWriteTm<NativeMemory>::memoryWords(4));
+  VersionedWriteTm<NativeMemory> tm(mem, 4);
+  auto t = tm.makeThread(0);
+  tm.ntWrite(t, 1, 9);
+  EXPECT_EQ(tm.ntReadVolatile(t, 1), 9u);
+  EXPECT_EQ(tm.ntReadVolatile(t, 1, /*dependentOnPrevious=*/true), 9u);
+  EXPECT_EQ(tm.ntReadDependent(t, 1), 9u);
+}
+
+TEST(DependentReads, DependenceIsRecordedInTheTrace) {
+  RecordingMemory mem(VersionedWriteTm<RecordingMemory>::memoryWords(4));
+  VersionedWriteTm<RecordingMemory> tm(mem, 4);
+  auto t = tm.makeThread(0);
+  (void)tm.ntRead(t, 0);
+  (void)tm.ntReadDependent(t, 1);
+  History h = canonicalHistory(mem.trace());
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[1].cmd.kind, CmdKind::kDdRead);
+  EXPECT_EQ(h[1].cmd.deps, (std::vector<OpId>{h[0].id}));
+  HistoryAnalysis a(h);
+  EXPECT_TRUE(a.wellFormed());
+  // The RMO minimal view must order the pair.
+  auto pairs = requiredViewPairs(rmoModel(), h, a);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(h[0].id, h[1].id));
+}
+
+}  // namespace
+}  // namespace jungle

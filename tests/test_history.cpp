@@ -1,0 +1,253 @@
+// Unit tests for histories, transactions, well-formedness, and the
+// real-time order ≺h (§2), including the paper's Figure 3 example.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "history/history.hpp"
+
+namespace jungle {
+namespace {
+
+bool hasPair(const std::vector<std::pair<OpId, OpId>>& pairs, OpId a,
+             OpId b) {
+  return std::find(pairs.begin(), pairs.end(), std::make_pair(a, b)) !=
+         pairs.end();
+}
+
+History fig3(Word v, Word vprime) {
+  HistoryBuilder b;
+  b.write(1, 0, 1, 1);   // ((wr, x, 1), p1, 1)
+  b.start(1, 2);         // ((start), p1, 2)
+  b.read(2, 1, 1, 3);    // ((rd, y, 1), p2, 3)
+  b.write(1, 1, 1, 4);   // ((wr, y, 1), p1, 4)
+  b.commit(1, 5);        // ((commit), p1, 5)
+  b.read(2, 0, v, 6);    // ((rd, x, v), p2, 6)
+  b.start(3, 7);
+  b.commit(3, 8);
+  b.read(3, 0, vprime, 9);
+  return b.build();
+}
+
+// ---------------------------------------------------------------- builder
+
+TEST(HistoryBuilder, AutoAssignsSequentialIds) {
+  HistoryBuilder b;
+  b.write(0, 0, 1).read(0, 0, 1).start(1).commit(1);
+  History h = b.build();
+  ASSERT_EQ(h.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(h[i].id, i + 1);
+}
+
+TEST(HistoryBuilder, ExplicitIdsBumpTheCounter) {
+  HistoryBuilder b;
+  b.write(0, 0, 1, /*id=*/10).read(0, 0, 1);  // auto id must be 11
+  History h = b.build();
+  EXPECT_EQ(h[1].id, 11u);
+}
+
+TEST(History, DuplicateIdsAreRejected) {
+  std::vector<OpInstance> ops{opWrite(0, 0, 1, 5), opRead(0, 0, 1, 5)};
+  EXPECT_DEATH(History{std::move(ops)}, "duplicate");
+}
+
+TEST(History, PositionOfAndLookup) {
+  History h = fig3(1, 1);
+  EXPECT_EQ(h.positionOf(3), 2u);
+  EXPECT_EQ(h.op(4).obj, 1u);
+  EXPECT_TRUE(h.hasOp(9));
+  EXPECT_FALSE(h.hasOp(99));
+}
+
+TEST(History, ProjectProcessKeepsOrder) {
+  History h = fig3(0, 1);
+  History p1 = h.projectProcess(1);
+  ASSERT_EQ(p1.size(), 4u);
+  EXPECT_EQ(p1[0].id, 1u);
+  EXPECT_EQ(p1[1].id, 2u);
+  EXPECT_EQ(p1[2].id, 4u);
+  EXPECT_EQ(p1[3].id, 5u);
+}
+
+TEST(History, ProcessesAndObjects) {
+  History h = fig3(0, 1);
+  EXPECT_EQ(h.processes(), (std::vector<ProcessId>{1, 2, 3}));
+  auto objs = h.objects();
+  std::sort(objs.begin(), objs.end());
+  EXPECT_EQ(objs, (std::vector<ObjectId>{0, 1}));
+}
+
+// ------------------------------------------------------- well-formedness
+
+TEST(WellFormedness, Fig3IsWellFormed) {
+  HistoryAnalysis a(fig3(1, 1));
+  EXPECT_TRUE(a.wellFormed());
+}
+
+TEST(WellFormedness, NestedStartIsIllFormed) {
+  HistoryBuilder b;
+  b.start(0).start(0);
+  HistoryAnalysis a(b.build());
+  EXPECT_FALSE(a.wellFormed());
+  EXPECT_NE(a.wellFormednessError().find("nested"), std::string::npos);
+}
+
+TEST(WellFormedness, UnmatchedCommitIsIllFormed) {
+  HistoryBuilder b;
+  b.write(0, 0, 1).commit(0);
+  HistoryAnalysis a(b.build());
+  EXPECT_FALSE(a.wellFormed());
+  EXPECT_NE(a.wellFormednessError().find("unmatched"), std::string::npos);
+}
+
+TEST(WellFormedness, UnmatchedAbortIsIllFormed) {
+  HistoryBuilder b;
+  b.abort(0);
+  HistoryAnalysis a(b.build());
+  EXPECT_FALSE(a.wellFormed());
+}
+
+TEST(WellFormedness, StartOfAnotherProcessDoesNotNest) {
+  HistoryBuilder b;
+  b.start(0).start(1).commit(1).commit(0);
+  HistoryAnalysis a(b.build());
+  EXPECT_TRUE(a.wellFormed());
+  EXPECT_EQ(a.transactions().size(), 2u);
+}
+
+TEST(WellFormedness, DependenceMustPrecedeInSameProcess) {
+  {
+    HistoryBuilder b;
+    b.read(0, 0, 0, 1);
+    b.cmd(0, 1, cmdDdRead(0, {1}), 2);
+    EXPECT_TRUE(HistoryAnalysis(b.build()).wellFormed());
+  }
+  {
+    HistoryBuilder b;  // dependency on a later op
+    b.cmd(0, 1, cmdDdRead(0, {2}), 1);
+    b.read(0, 0, 0, 2);
+    EXPECT_FALSE(HistoryAnalysis(b.build()).wellFormed());
+  }
+  {
+    HistoryBuilder b;  // dependency across processes
+    b.read(1, 0, 0, 1);
+    b.cmd(0, 1, cmdDdRead(0, {1}), 2);
+    EXPECT_FALSE(HistoryAnalysis(b.build()).wellFormed());
+  }
+}
+
+// ----------------------------------------------------------- transactions
+
+TEST(Transactions, Fig3Structure) {
+  History h = fig3(1, 1);
+  HistoryAnalysis a(h);
+  ASSERT_EQ(a.transactions().size(), 2u);
+  const Transaction& t1 = a.transactions()[0];
+  EXPECT_EQ(t1.pid, 1u);
+  EXPECT_TRUE(t1.committed);
+  EXPECT_EQ(t1.positions, (std::vector<std::size_t>{1, 3, 4}));
+  const Transaction& t3 = a.transactions()[1];
+  EXPECT_EQ(t3.pid, 3u);
+  EXPECT_TRUE(t3.committed);
+}
+
+TEST(Transactions, LiveTransactionIsNotCompleted) {
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1);
+  HistoryAnalysis a(b.build());
+  ASSERT_EQ(a.transactions().size(), 1u);
+  EXPECT_FALSE(a.transactions()[0].completed());
+}
+
+TEST(Transactions, AbortedTransaction) {
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1).abort(0);
+  HistoryAnalysis a(b.build());
+  ASSERT_EQ(a.transactions().size(), 1u);
+  EXPECT_TRUE(a.transactions()[0].aborted);
+  EXPECT_TRUE(a.transactions()[0].completed());
+  EXPECT_FALSE(a.transactions()[0].committed);
+}
+
+TEST(Transactions, TransactionOfClassifiesPositions) {
+  History h = fig3(1, 1);
+  HistoryAnalysis a(h);
+  EXPECT_FALSE(a.transactionOf(0).has_value());  // op 1: non-transactional
+  EXPECT_TRUE(a.transactionOf(1).has_value());   // op 2: start
+  EXPECT_FALSE(a.transactionOf(2).has_value());  // op 3: p2, non-tx
+  EXPECT_TRUE(a.isTransactional(4));
+  EXPECT_FALSE(a.isTransactional(5));
+}
+
+// --------------------------------------------------------- real-time order
+
+TEST(RealTimeOrder, Fig3MatchesThePaper) {
+  History h = fig3(1, 1);
+  HistoryAnalysis a(h);
+  auto pairs = a.realTimePairs();
+  // The paper: ≺h contains (1,2), (5,7), and (1,9)…
+  EXPECT_TRUE(hasPair(pairs, 1, 2));
+  EXPECT_TRUE(hasPair(pairs, 5, 7));
+  EXPECT_TRUE(hasPair(pairs, 1, 9));  // via transitivity through both txns
+  // …but not (1,6) or (6,9).
+  EXPECT_FALSE(hasPair(pairs, 1, 6));
+  EXPECT_FALSE(hasPair(pairs, 6, 9));
+}
+
+TEST(RealTimeOrder, NonTransactionalSameProcessOpsAreUnordered) {
+  HistoryBuilder b;
+  b.write(0, 0, 1).read(0, 1, 0);
+  History h = b.build();
+  HistoryAnalysis a(h);
+  EXPECT_FALSE(a.realTimePrecedes(0, 1));
+  EXPECT_FALSE(a.realTimePrecedes(1, 0));
+}
+
+TEST(RealTimeOrder, CompletedTransactionPrecedesLaterTransaction) {
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1).commit(0);
+  b.start(1).read(1, 0, 1).commit(1);
+  History h = b.build();
+  HistoryAnalysis a(h);
+  // Every op of T0 precedes every op of T1.
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 3; j < 6; ++j)
+      EXPECT_TRUE(a.realTimePrecedes(i, j)) << i << "," << j;
+}
+
+TEST(RealTimeOrder, OverlappingTransactionsAreUnordered) {
+  HistoryBuilder b;
+  b.start(0).start(1).write(0, 0, 1).commit(0).read(1, 0, 1).commit(1);
+  History h = b.build();
+  HistoryAnalysis a(h);
+  EXPECT_FALSE(a.realTimePrecedes(0, 1));
+  EXPECT_FALSE(a.realTimePrecedes(1, 0));
+  // But the same-process clause still orders within each transaction.
+  EXPECT_TRUE(a.realTimePrecedes(0, 2));
+  EXPECT_TRUE(a.realTimePrecedes(1, 4));
+}
+
+TEST(RealTimeOrder, MixedClauseOrdersNtAroundOwnTransactions) {
+  HistoryBuilder b;
+  b.write(0, 0, 1);   // pos 0, nt
+  b.start(0);         // pos 1
+  b.commit(0);        // pos 2
+  b.read(0, 0, 1);    // pos 3, nt
+  History h = b.build();
+  HistoryAnalysis a(h);
+  EXPECT_TRUE(a.realTimePrecedes(0, 1));  // nt before own tx op
+  EXPECT_TRUE(a.realTimePrecedes(2, 3));  // tx op before own later nt
+  EXPECT_FALSE(a.realTimePrecedes(0, 3));  // both nt: unordered directly
+}
+
+TEST(RealTimeOrder, AbortedTransactionStillOrdersInRealTime) {
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1).abort(0);
+  b.start(1).read(1, 0, 0).commit(1);
+  History h = b.build();
+  HistoryAnalysis a(h);
+  EXPECT_TRUE(a.realTimePrecedes(2, 3));  // completed (aborted) ≺ next tx
+}
+
+}  // namespace
+}  // namespace jungle

@@ -1,0 +1,119 @@
+// Tests for the textual history format: parsing, error reporting, and
+// round-tripping through formatHistory.
+#include <gtest/gtest.h>
+
+#include "litmus/figures.hpp"
+#include "litmus/history_parser.hpp"
+#include "memmodel/models.hpp"
+#include "opacity/popacity.hpp"
+
+namespace jungle {
+namespace {
+
+using litmus::formatHistory;
+using litmus::parseHistory;
+
+TEST(Parser, ParsesFigure3) {
+  auto r = parseHistory(R"(
+# Figure 3(a)
+p1: wr x 1   @1
+p1: start    @2
+p2: rd y 1   @3
+p1: wr y 1   @4
+p1: commit   @5
+p2: rd x 1   @6
+p3: start    @7
+p3: commit   @8
+p3: rd x 1   @9
+)");
+  ASSERT_TRUE(r) << r.error;
+  EXPECT_EQ(*r.history, litmus::fig3History(1, 1))
+      << "parsed history differs from the builder's";
+}
+
+TEST(Parser, AutoIdsWhenOmitted) {
+  auto r = parseHistory("p0: wr x 1\np0: rd x 1\n");
+  ASSERT_TRUE(r) << r.error;
+  EXPECT_EQ(r.history->at(0).id, 1u);
+  EXPECT_EQ(r.history->at(1).id, 2u);
+}
+
+TEST(Parser, VariableSpellings) {
+  auto r = parseHistory("p0: wr x 1\np0: wr y 2\np0: wr z 3\np0: wr x7 4\n");
+  ASSERT_TRUE(r) << r.error;
+  EXPECT_EQ(r.history->at(0).obj, 0u);
+  EXPECT_EQ(r.history->at(1).obj, 1u);
+  EXPECT_EQ(r.history->at(2).obj, 2u);
+  EXPECT_EQ(r.history->at(3).obj, 7u);
+}
+
+TEST(Parser, DependentOpsAndDeps) {
+  auto r = parseHistory("p0: rd x 0 @1\np0: ddrd y 0 deps=1 @2\n");
+  ASSERT_TRUE(r) << r.error;
+  const auto& cmd = r.history->at(1).cmd;
+  EXPECT_EQ(cmd.kind, CmdKind::kDdRead);
+  EXPECT_EQ(cmd.deps, (std::vector<OpId>{1}));
+}
+
+TEST(Parser, CounterAndQueueCommands) {
+  auto r = parseHistory(
+      "p0: inc x 5\np0: ctrrd x 5\np1: enq y 3\np1: deq y 3\np1: deq y "
+      "empty\n");
+  ASSERT_TRUE(r) << r.error;
+  EXPECT_EQ(r.history->at(0).cmd.kind, CmdKind::kCtrInc);
+  EXPECT_EQ(r.history->at(4).cmd.value, kQueueEmpty);
+}
+
+TEST(Parser, ReportsErrorsWithLineNumbers) {
+  auto r1 = parseHistory("p0: frobnicate x 1\n");
+  EXPECT_FALSE(r1);
+  EXPECT_NE(r1.error.find("line 1"), std::string::npos);
+  EXPECT_NE(r1.error.find("frobnicate"), std::string::npos);
+
+  auto r2 = parseHistory("p0: wr x 1\nq0: wr x 1\n");
+  EXPECT_FALSE(r2);
+  EXPECT_NE(r2.error.find("line 2"), std::string::npos);
+
+  auto r3 = parseHistory("p0: rd x\n");
+  EXPECT_FALSE(r3);
+  EXPECT_NE(r3.error.find("value"), std::string::npos);
+
+  auto r4 = parseHistory("p0: ddrd x 1\n");
+  EXPECT_FALSE(r4);
+  EXPECT_NE(r4.error.find("deps"), std::string::npos);
+
+  auto r5 = parseHistory("p0: wr x 1 junk\n");
+  EXPECT_FALSE(r5);
+  EXPECT_NE(r5.error.find("trailing"), std::string::npos);
+}
+
+TEST(Parser, RoundTripsTheFigures) {
+  const std::vector<History> hs{
+      litmus::fig1History(1, 0),  litmus::fig2aHistory(2, 0),
+      litmus::fig2bHistory(0, 1), litmus::fig2cHistory(2, 0, 2),
+      litmus::fig3History(0, 1),  litmus::dependentReadHistory(1, 0),
+  };
+  for (const History& h : hs) {
+    auto r = parseHistory(formatHistory(h));
+    ASSERT_TRUE(r) << r.error;
+    EXPECT_EQ(*r.history, h) << formatHistory(h);
+  }
+}
+
+TEST(Parser, ParsedHistoriesDriveTheChecker) {
+  // End-to-end: text → parse → checker, reproducing a Figure 3 verdict.
+  auto r = parseHistory(formatHistory(litmus::fig3History(0, 1)));
+  ASSERT_TRUE(r);
+  SpecMap specs;
+  EXPECT_FALSE(checkParametrizedOpacity(*r.history, scModel(), specs));
+  EXPECT_TRUE(checkParametrizedOpacity(*r.history, rmoModel(), specs));
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnored) {
+  auto r = parseHistory("\n  # full comment\np0: wr x 1  # trailing\n\n");
+  ASSERT_TRUE(r) << r.error;
+  EXPECT_EQ(r.history->size(), 1u);
+}
+
+}  // namespace
+}  // namespace jungle

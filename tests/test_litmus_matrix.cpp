@@ -1,0 +1,151 @@
+// Golden outcome matrices: for each litmus shape, the complete
+// allowed-outcome set under every memory model, pinned as a regression net.
+// The tables also document the model lattice: allowed sets grow
+// monotonically as models weaken.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "litmus/figures.hpp"
+#include "memmodel/models.hpp"
+#include "opacity/popacity.hpp"
+
+namespace jungle {
+namespace {
+
+SpecMap kRegisters;
+
+using Outcome = std::pair<Word, Word>;
+using OutcomeSet = std::set<Outcome>;
+
+OutcomeSet allowedSet(const MemoryModel& m,
+                      History (*make)(Word, Word)) {
+  OutcomeSet out;
+  for (Word a : {0, 1}) {
+    for (Word b : {0, 1}) {
+      if (checkParametrizedOpacity(make(a, b), m, kRegisters).satisfied) {
+        out.insert({a, b});
+      }
+    }
+  }
+  return out;
+}
+
+const OutcomeSet kAllFour{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+
+// ---------------------------------------------------------------- Fig 1
+
+TEST(Matrix, Figure1) {
+  const OutcomeSet strong{{0, 0}, {0, 1}, {1, 1}};
+  EXPECT_EQ(allowedSet(scModel(), litmus::fig1History), strong);
+  EXPECT_EQ(allowedSet(tsoModel(), litmus::fig1History), strong);
+  EXPECT_EQ(allowedSet(psoModel(), litmus::fig1History), strong);
+  EXPECT_EQ(allowedSet(ia32Model(), litmus::fig1History), strong);
+  EXPECT_EQ(allowedSet(junkScModel(), litmus::fig1History), strong);
+  EXPECT_EQ(allowedSet(rmoModel(), litmus::fig1History), kAllFour);
+  EXPECT_EQ(allowedSet(alphaModel(), litmus::fig1History), kAllFour);
+  EXPECT_EQ(allowedSet(idealizedModel(), litmus::fig1History), kAllFour);
+}
+
+// ---------------------------------------------------------------- Fig 2b
+
+TEST(Matrix, MessagePassing) {
+  const OutcomeSet strong{{0, 0}, {0, 1}, {1, 1}};
+  EXPECT_EQ(allowedSet(scModel(), litmus::fig2bHistory), strong);
+  EXPECT_EQ(allowedSet(tsoModel(), litmus::fig2bHistory), strong);
+  EXPECT_EQ(allowedSet(ia32Model(), litmus::fig2bHistory), strong);
+  EXPECT_EQ(allowedSet(psoModel(), litmus::fig2bHistory), kAllFour);
+  EXPECT_EQ(allowedSet(rmoModel(), litmus::fig2bHistory), kAllFour);
+  EXPECT_EQ(allowedSet(alphaModel(), litmus::fig2bHistory), kAllFour);
+  EXPECT_EQ(allowedSet(idealizedModel(), litmus::fig2bHistory), kAllFour);
+}
+
+// --------------------------------------------------------- store buffering
+
+TEST(Matrix, StoreBuffering) {
+  const OutcomeSet sc{{0, 1}, {1, 0}, {1, 1}};
+  EXPECT_EQ(allowedSet(scModel(), litmus::storeBufferHistory), sc);
+  EXPECT_EQ(allowedSet(junkScModel(), litmus::storeBufferHistory), sc);
+  // TSO and everything weaker admits (0, 0).
+  for (const MemoryModel* m :
+       std::vector<const MemoryModel*>{&tsoModel(), &psoModel(),
+                                       &rmoModel(), &alphaModel(),
+                                       &ia32Model(), &idealizedModel()}) {
+    EXPECT_EQ(allowedSet(*m, litmus::storeBufferHistory), kAllFour)
+        << m->name();
+  }
+}
+
+// ------------------------------------------------------ dependent MP
+
+TEST(Matrix, DependentMessagePassing) {
+  const OutcomeSet ordered{{0, 0}, {0, 1}, {1, 1}};
+  // The writer side is dependence-chained, the reader's second read is
+  // data-dependent: only models relaxing *dependent* reads admit (1, 0).
+  EXPECT_EQ(allowedSet(scModel(), litmus::dependentReadHistory), ordered);
+  EXPECT_EQ(allowedSet(tsoModel(), litmus::dependentReadHistory), ordered);
+  EXPECT_EQ(allowedSet(psoModel(), litmus::dependentReadHistory), ordered);
+  EXPECT_EQ(allowedSet(rmoModel(), litmus::dependentReadHistory), ordered);
+  EXPECT_EQ(allowedSet(alphaModel(), litmus::dependentReadHistory),
+            kAllFour);
+  EXPECT_EQ(allowedSet(idealizedModel(), litmus::dependentReadHistory),
+            kAllFour);
+}
+
+// --------------------------------------------------------------- lattice
+
+TEST(Matrix, AllowedSetsGrowAsModelsWeaken) {
+  // View-inclusion chains: SC ⊒ TSO ⊒ PSO ⊒ RMO ⊒ Idealized and
+  // SC ⊒ TSO ⊒ PSO ⊒ Alpha ⊒ Idealized (required-pair containment) imply
+  // allowed-set inclusion for every identity-τ litmus.
+  const std::vector<History (*)(Word, Word)> shapes{
+      litmus::fig1History, litmus::fig2bHistory, litmus::storeBufferHistory,
+      litmus::dependentReadHistory};
+  const std::vector<const MemoryModel*> chain1{
+      &scModel(), &tsoModel(), &psoModel(), &rmoModel(), &idealizedModel()};
+  const std::vector<const MemoryModel*> chain2{
+      &scModel(), &tsoModel(), &psoModel(), &alphaModel(),
+      &idealizedModel()};
+  for (auto make : shapes) {
+    for (const auto& chain : {chain1, chain2}) {
+      for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+        const OutcomeSet stronger = allowedSet(*chain[i], make);
+        const OutcomeSet weaker = allowedSet(*chain[i + 1], make);
+        EXPECT_TRUE(std::includes(weaker.begin(), weaker.end(),
+                                  stronger.begin(), stronger.end()))
+            << chain[i]->name() << " vs " << chain[i + 1]->name();
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- IRIW
+
+TEST(Matrix, IriwNeedsReadReordering) {
+  auto allowed4 = [&](const MemoryModel& m, Word a, Word b, Word c,
+                      Word d) {
+    return checkParametrizedOpacity(litmus::iriwHistory(a, b, c, d), m,
+                                    kRegisters)
+        .satisfied;
+  };
+  // The contradictory observation.
+  for (const MemoryModel* m :
+       std::vector<const MemoryModel*>{&scModel(), &tsoModel(),
+                                       &psoModel()}) {
+    EXPECT_FALSE(allowed4(*m, 1, 0, 1, 0)) << m->name();
+  }
+  for (const MemoryModel* m :
+       std::vector<const MemoryModel*>{&rmoModel(), &alphaModel(),
+                                       &idealizedModel()}) {
+    EXPECT_TRUE(allowed4(*m, 1, 0, 1, 0)) << m->name();
+  }
+  // Consistent observations are allowed everywhere.
+  for (const MemoryModel* m : allModels()) {
+    EXPECT_TRUE(allowed4(*m, 1, 1, 1, 1)) << m->name();
+    EXPECT_TRUE(allowed4(*m, 0, 0, 0, 0)) << m->name();
+  }
+}
+
+}  // namespace
+}  // namespace jungle

@@ -1,0 +1,245 @@
+// Tests for the memory-model framework (§3.1–3.2): required views,
+// classification, the τ transformation, and the per-model ordering rules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "litmus/figures.hpp"
+#include "memmodel/models.hpp"
+
+namespace jungle {
+namespace {
+
+bool hasPair(const std::vector<std::pair<OpId, OpId>>& pairs, OpId a,
+             OpId b) {
+  return std::find(pairs.begin(), pairs.end(), std::make_pair(a, b)) !=
+         pairs.end();
+}
+
+// Two non-transactional ops of one process, different objects.
+History twoOps(Command first, Command second) {
+  HistoryBuilder b;
+  b.cmd(0, 0, std::move(first), 1);
+  b.cmd(0, 1, std::move(second), 2);
+  return b.build();
+}
+
+// --------------------------------------------------- declared vs probed
+
+class ClassificationTest
+    : public ::testing::TestWithParam<const MemoryModel*> {};
+
+TEST_P(ClassificationTest, DeclaredMatchesBehavior) {
+  const MemoryModel& m = *GetParam();
+  const Classification want = m.classification();
+  const Classification got = probeClassification(m);
+  EXPECT_EQ(want.rr_independent, got.rr_independent) << m.name();
+  EXPECT_EQ(want.rr_control, got.rr_control) << m.name();
+  EXPECT_EQ(want.rr_data, got.rr_data) << m.name();
+  EXPECT_EQ(want.rw_independent, got.rw_independent) << m.name();
+  EXPECT_EQ(want.rw_control, got.rw_control) << m.name();
+  EXPECT_EQ(want.rw_data, got.rw_data) << m.name();
+  EXPECT_EQ(want.wr, got.wr) << m.name();
+  EXPECT_EQ(want.ww, got.ww) << m.name();
+}
+
+TEST_P(ClassificationTest, SameObjectOrderAlwaysRequired) {
+  const MemoryModel& m = *GetParam();
+  HistoryBuilder b;
+  b.write(0, 0, 1, 1);
+  b.read(0, 0, 1, 2);
+  History h = b.build();
+  EXPECT_TRUE(m.requiresOrder(h, 0, 1)) << m.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ClassificationTest,
+                         ::testing::ValuesIn(allModels()),
+                         [](const auto& info) {
+                           std::string n = info.param->name();
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+// --------------------------------------------------- §3.2's class table
+
+TEST(ClassTable, MatchesThePaper) {
+  // SC ∈ M^i_rr ∩ M^i_rw ∩ M_wr ∩ M_ww.
+  auto sc = scModel().classification();
+  EXPECT_TRUE(sc.rr_independent && sc.rw_independent && sc.wr && sc.ww);
+  // TSO ∈ M^i_rr ∩ M^i_rw ∩ M_ww, TSO ∉ M_wr.
+  auto tso = tsoModel().classification();
+  EXPECT_TRUE(tso.rr_independent && tso.rw_independent && tso.ww);
+  EXPECT_FALSE(tso.wr);
+  // PSO ∈ M^i_rr ∩ M^i_rw, PSO ∉ M_ww ∪ M_wr.
+  auto pso = psoModel().classification();
+  EXPECT_TRUE(pso.rr_independent && pso.rw_independent);
+  EXPECT_FALSE(pso.ww || pso.wr);
+  // RMO ∈ M^d_rr ∩ M_rw, RMO ∉ M_ww ∪ M_wr, RMO ∉ M^i_rr, RMO ∉ M^i_rw.
+  auto rmo = rmoModel().classification();
+  EXPECT_TRUE(rmo.rr_data);
+  EXPECT_TRUE(rmo.inMrw());
+  EXPECT_FALSE(rmo.ww || rmo.wr);
+  EXPECT_FALSE(rmo.rr_independent);
+  EXPECT_FALSE(rmo.rw_independent);
+  // Alpha ∈ M_rw, Alpha ∉ M_rr ∪ M_wr ∪ M_ww.
+  auto alpha = alphaModel().classification();
+  EXPECT_TRUE(alpha.inMrw());
+  EXPECT_FALSE(alpha.inMrr() || alpha.wr || alpha.ww);
+  // IA-32 classifies like TSO.
+  auto ia32 = ia32Model().classification();
+  EXPECT_EQ(ia32.wr, tso.wr);
+  EXPECT_EQ(ia32.ww, tso.ww);
+  EXPECT_FALSE(ia32Model().identicalViews());
+  // The idealized model is outside every class (Theorem 3's hypothesis).
+  EXPECT_FALSE(idealizedModel().classification().restrictive());
+}
+
+// --------------------------------------------------- TSO specifics
+
+TEST(Tso, ForwardedReadMayReorderWithLaterRead) {
+  // p0: wr x 1; rd x 1 (forwarded); rd y 0 — the forwarded read may pass
+  // the later read of y.
+  HistoryBuilder b;
+  b.write(0, 0, 1, 1);
+  b.read(0, 0, 1, 2);
+  b.read(0, 1, 0, 3);
+  History h = b.build();
+  EXPECT_FALSE(tsoModel().requiresOrder(h, 1, 2));
+}
+
+TEST(Tso, NonForwardedReadStaysOrderedWithLaterRead) {
+  // The read's value does not match the process's last write to x.
+  HistoryBuilder b;
+  b.write(0, 0, 1, 1);
+  b.write(1, 0, 2, 2);
+  b.read(0, 0, 2, 3);  // value came from p1, not the store buffer
+  b.read(0, 1, 0, 4);
+  History h = b.build();
+  EXPECT_TRUE(tsoModel().requiresOrder(h, 2, 3));
+}
+
+TEST(Tso, WriteReadToSameObjectOrdered) {
+  HistoryBuilder b;
+  b.write(0, 0, 1, 1);
+  b.read(0, 0, 1, 2);
+  History h = b.build();
+  EXPECT_TRUE(tsoModel().requiresOrder(h, 0, 1));
+}
+
+// --------------------------------------------------- RMO/Alpha dependence
+
+TEST(Rmo, DataDependentReadOrdered) {
+  History h = twoOps(cmdRead(0), cmdDdRead(0, {1}));
+  EXPECT_TRUE(rmoModel().requiresOrder(h, 0, 1));
+  EXPECT_FALSE(alphaModel().requiresOrder(h, 0, 1));
+}
+
+TEST(Rmo, ControlDependentReadMayReorder) {
+  History h = twoOps(cmdRead(0), cmdCdRead(0, {1}));
+  EXPECT_FALSE(rmoModel().requiresOrder(h, 0, 1));
+}
+
+TEST(Rmo, DependenceOnADifferentOpDoesNotOrder) {
+  // The dd-read depends on op 5, not on op 1: no required order vs op 1.
+  HistoryBuilder b;
+  b.read(0, 2, 0, 5);
+  b.read(0, 0, 0, 1);
+  b.cmd(0, 1, cmdDdRead(0, {5}), 2);
+  History h = b.build();
+  EXPECT_FALSE(rmoModel().requiresOrder(h, 1, 2));
+}
+
+TEST(Alpha, DependentWriteOrdered) {
+  History hd = twoOps(cmdRead(0), cmdDdWrite(1, {1}));
+  EXPECT_TRUE(alphaModel().requiresOrder(hd, 0, 1));
+  History hc = twoOps(cmdRead(0), cmdCdWrite(1, {1}));
+  EXPECT_TRUE(alphaModel().requiresOrder(hc, 0, 1));
+  History hi = twoOps(cmdRead(0), cmdWrite(1));
+  EXPECT_FALSE(alphaModel().requiresOrder(hi, 0, 1));
+}
+
+// --------------------------------------------------- Junk-SC transform
+
+TEST(JunkSc, TransformInsertsHavocBeforeEveryWrite) {
+  History h = litmus::fig2bHistory(0, 0);  // two writes, two reads
+  History t = junkScModel().transform(h);
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_EQ(t[0].cmd.kind, CmdKind::kHavoc);
+  EXPECT_EQ(t[1].cmd.kind, CmdKind::kWrite);
+  EXPECT_EQ(t[0].obj, t[1].obj);
+  EXPECT_EQ(t[0].pid, t[1].pid);
+}
+
+TEST(JunkSc, TransformAssignsFreshUniqueIds) {
+  History h = litmus::fig2bHistory(0, 0);
+  History t = junkScModel().transform(h);
+  // History's constructor CHECKs uniqueness; verify originals survive.
+  for (const OpInstance& inst : h) EXPECT_TRUE(t.hasOp(inst.id));
+}
+
+TEST(JunkSc, TransformPreservesWellFormedness) {
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1).commit(0);
+  History t = junkScModel().transform(b.build());
+  HistoryAnalysis a(t);
+  EXPECT_TRUE(a.wellFormed());
+  // The inserted havoc lands inside the transaction.
+  ASSERT_EQ(a.transactions().size(), 1u);
+  EXPECT_EQ(a.transactions()[0].positions.size(), 4u);
+}
+
+TEST(OtherModels, TransformIsIdentity) {
+  History h = litmus::fig2bHistory(1, 0);
+  for (const MemoryModel* m : allModels()) {
+    if (m == &junkScModel()) continue;
+    EXPECT_EQ(m->transform(h).size(), h.size()) << m->name();
+  }
+}
+
+// --------------------------------------------------- minimal views
+
+TEST(RequiredView, ScOrdersAllSameProcessNtPairs) {
+  History h = litmus::fig2bHistory(1, 0);
+  HistoryAnalysis a(h);
+  auto pairs = requiredViewPairs(scModel(), h, a);
+  EXPECT_TRUE(hasPair(pairs, 1, 3));  // p0's two writes
+  EXPECT_TRUE(hasPair(pairs, 2, 4));  // p1's two reads
+  EXPECT_FALSE(hasPair(pairs, 1, 2));  // cross-process: never required
+}
+
+TEST(RequiredView, PsoRelaxesTheWrites) {
+  History h = litmus::fig2bHistory(1, 0);
+  HistoryAnalysis a(h);
+  auto pairs = requiredViewPairs(psoModel(), h, a);
+  EXPECT_FALSE(hasPair(pairs, 1, 3));  // W→W to different objects relaxed
+  EXPECT_TRUE(hasPair(pairs, 2, 4));   // R→R still ordered
+}
+
+TEST(RequiredView, RmoRelaxesEverythingHere) {
+  History h = litmus::fig2bHistory(1, 0);
+  HistoryAnalysis a(h);
+  EXPECT_TRUE(requiredViewPairs(rmoModel(), h, a).empty());
+}
+
+TEST(RequiredView, ViewsNeverOrderTransactionalOps) {
+  History h = litmus::fig1History(1, 1);
+  HistoryAnalysis a(h);
+  auto pairs = requiredViewPairs(scModel(), h, a);
+  for (const auto& [i, j] : pairs) {
+    EXPECT_FALSE(a.isTransactional(h.positionOf(i)));
+    EXPECT_FALSE(a.isTransactional(h.positionOf(j)));
+  }
+}
+
+TEST(RequiredView, TransitivityIsApplied) {
+  // p0: rd a; rd b; rd c under SC — closure must contain (1,3).
+  HistoryBuilder b;
+  b.read(0, 0, 0, 1).read(0, 1, 0, 2).read(0, 2, 0, 3);
+  History h = b.build();
+  HistoryAnalysis a(h);
+  auto pairs = requiredViewPairs(scModel(), h, a);
+  EXPECT_TRUE(hasPair(pairs, 1, 3));
+}
+
+}  // namespace
+}  // namespace jungle

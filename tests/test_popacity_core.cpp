@@ -1,0 +1,252 @@
+// Core semantics of the opacity / parametrized-opacity / strict-
+// serializability checkers, cross-validated against the reference oracles
+// of history/sequential.hpp.
+#include <gtest/gtest.h>
+
+#include "history/sequential.hpp"
+#include "memmodel/models.hpp"
+#include "opacity/popacity.hpp"
+#include "spec/counter_spec.hpp"
+#include "spec/queue_spec.hpp"
+
+namespace jungle {
+namespace {
+
+SpecMap kRegisters;
+
+// ------------------------------------------------------------ pure opacity
+
+TEST(Opacity, EmptyHistoryIsOpaque) {
+  EXPECT_TRUE(checkOpacity(History{}, kRegisters).satisfied);
+}
+
+TEST(Opacity, SingleCommittedTransaction) {
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1).read(0, 0, 1).commit(0);
+  EXPECT_TRUE(checkOpacity(b.build(), kRegisters).satisfied);
+}
+
+TEST(Opacity, TransactionReadingItsOwnStaleValueIsNotOpaque) {
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1).read(0, 0, 0).commit(0);
+  EXPECT_FALSE(checkOpacity(b.build(), kRegisters).satisfied);
+}
+
+TEST(Opacity, RealTimeOrderBetweenTransactionsIsEnforced) {
+  // T0 commits x := 1 strictly before T1 starts; T1 must not read x = 0.
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1).commit(0);
+  b.start(1).read(1, 0, 0).commit(1);
+  EXPECT_FALSE(checkOpacity(b.build(), kRegisters).satisfied);
+
+  HistoryBuilder good;
+  good.start(0).write(0, 0, 1).commit(0);
+  good.start(1).read(1, 0, 1).commit(1);
+  EXPECT_TRUE(checkOpacity(good.build(), kRegisters).satisfied);
+}
+
+TEST(Opacity, OverlappingTransactionsMaySerializeEitherWay) {
+  HistoryBuilder b;
+  b.start(0).start(1).write(0, 0, 1).commit(0).read(1, 0, 0).commit(1);
+  // T1 read x = 0: serialize T1 before T0.
+  EXPECT_TRUE(checkOpacity(b.build(), kRegisters).satisfied);
+}
+
+TEST(Opacity, AbortedTransactionMustSeeConsistentState) {
+  // The classic opacity motivation: an aborted transaction that observed
+  // x = 1, y = 0 where x and y are only ever written together.
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1).write(0, 1, 1).commit(0);
+  b.start(1).read(1, 0, 1).read(1, 1, 0).abort(1);
+  EXPECT_FALSE(checkOpacity(b.build(), kRegisters).satisfied);
+  // Strict serializability ignores the aborted observer.
+  EXPECT_TRUE(checkStrictSerializability(b.build(), kRegisters).satisfied);
+}
+
+TEST(Opacity, AbortedWritesAreInvisible) {
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 9).abort(0);
+  b.start(1).read(1, 0, 9).commit(1);
+  EXPECT_FALSE(checkOpacity(b.build(), kRegisters).satisfied);
+
+  HistoryBuilder good;
+  good.start(0).write(0, 0, 9).abort(0);
+  good.start(1).read(1, 0, 0).commit(1);
+  EXPECT_TRUE(checkOpacity(good.build(), kRegisters).satisfied);
+}
+
+TEST(Opacity, LiveTransactionSeesItsOwnWrites) {
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 3).read(0, 0, 3);
+  EXPECT_TRUE(checkOpacity(b.build(), kRegisters).satisfied);
+}
+
+TEST(Opacity, TwoLiveTransactionsCannotBothSeeEachOther) {
+  // T0 reads T1's write and vice versa: no serialization explains both.
+  HistoryBuilder b;
+  b.start(0).start(1);
+  b.write(0, 0, 1).write(1, 1, 1);
+  b.read(0, 1, 1).read(1, 0, 1);
+  b.commit(0).commit(1);
+  EXPECT_FALSE(checkOpacity(b.build(), kRegisters).satisfied);
+}
+
+TEST(Opacity, WriteSkewIsOpaqueForRegisters) {
+  // Snapshot-isolation-style write skew *is* serializable when each
+  // transaction writes a different variable it did not read… here both
+  // read both vars; with register semantics one order must explain reads.
+  HistoryBuilder b;
+  b.start(0).start(1);
+  b.read(0, 0, 0).read(1, 1, 0);
+  b.write(0, 1, 1).write(1, 0, 1);
+  b.commit(0).commit(1);
+  // T0 reads x=0 writes y=1; T1 reads y=0 writes x=1.  Any order makes the
+  // second transaction's read stale: not opaque.
+  EXPECT_FALSE(checkOpacity(b.build(), kRegisters).satisfied);
+}
+
+// ------------------------------------------------- witness cross-checking
+
+TEST(Witness, SatisfiesTheOracleDefinitions) {
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1).commit(0);
+  b.read(1, 0, 1);
+  b.start(1).read(1, 0, 1).commit(1);
+  History h = b.build();
+  CheckResult r = checkParametrizedOpacity(h, scModel(), kRegisters);
+  ASSERT_TRUE(r.satisfied);
+  ASSERT_TRUE(r.witness.has_value());
+  const History& s = *r.witness;
+  EXPECT_EQ(s.size(), h.size());
+  EXPECT_TRUE(isSequential(s));
+  EXPECT_TRUE(everyOperationLegal(s, kRegisters));
+  HistoryAnalysis a(h);
+  EXPECT_TRUE(respectsOrder(s, a.realTimePairs()));
+  EXPECT_TRUE(respectsOrder(s, requiredViewPairs(scModel(), h, a)));
+}
+
+TEST(Witness, JunkScWitnessContainsTheHavocs) {
+  HistoryBuilder b;
+  b.write(0, 0, 1);
+  b.read(1, 0, 1);
+  History h = b.build();
+  CheckResult r = checkParametrizedOpacity(h, junkScModel(), kRegisters);
+  ASSERT_TRUE(r.satisfied);
+  EXPECT_EQ(r.witness->size(), 3u);  // havoc + write + read
+}
+
+// ------------------------------------------------- richer object semantics
+
+TEST(RicherObjects, CounterIncrementsCommute) {
+  SpecMap specs;
+  specs.assign(0, std::make_shared<CounterSpec>(0));
+  // Two overlapping transactions increment; a later one reads the sum.
+  HistoryBuilder b;
+  b.start(0).start(1);
+  b.cmd(0, 0, cmdCtrInc(2)).cmd(1, 0, cmdCtrInc(3));
+  b.commit(0).commit(1);
+  b.start(2).cmd(2, 0, cmdCtrRead(5)).commit(2);
+  EXPECT_TRUE(checkOpacity(b.build(), specs).satisfied);
+}
+
+TEST(RicherObjects, CounterWrongSumRejected) {
+  SpecMap specs;
+  specs.assign(0, std::make_shared<CounterSpec>(0));
+  HistoryBuilder b;
+  b.start(0).cmd(0, 0, cmdCtrInc(2)).commit(0);
+  b.start(2).cmd(2, 0, cmdCtrRead(5)).commit(2);
+  EXPECT_FALSE(checkOpacity(b.build(), specs).satisfied);
+}
+
+TEST(RicherObjects, QueueTransactionsSerialize) {
+  SpecMap specs;
+  specs.assign(0, std::make_shared<QueueSpec>());
+  HistoryBuilder b;
+  b.start(0).cmd(0, 0, cmdEnqueue(1)).cmd(0, 0, cmdEnqueue(2)).commit(0);
+  b.start(1).cmd(1, 0, cmdDequeue(1)).commit(1);
+  b.start(2).cmd(2, 0, cmdDequeue(2)).commit(2);
+  EXPECT_TRUE(checkOpacity(b.build(), specs).satisfied);
+
+  HistoryBuilder bad;
+  bad.start(0).cmd(0, 0, cmdEnqueue(1)).cmd(0, 0, cmdEnqueue(2)).commit(0);
+  bad.start(1).cmd(1, 0, cmdDequeue(2)).commit(1);
+  EXPECT_FALSE(checkOpacity(bad.build(), specs).satisfied);
+}
+
+// ------------------------------------------------- strict serializability
+
+TEST(StrictSerializability, WeakerThanOpacityNeverStronger) {
+  // Property: on a set of structured random-ish histories, opacity implies
+  // strict serializability.
+  for (int seed = 0; seed < 30; ++seed) {
+    HistoryBuilder b;
+    // Two transactions and a non-transactional observer with values chosen
+    // from the seed — a small deterministic family.
+    const Word w1 = seed % 3;
+    const Word r1 = (seed / 3) % 3;
+    const Word r2 = (seed / 9) % 3;
+    b.start(0).write(0, 0, w1).commit(0);
+    b.start(1).read(1, 0, r1);
+    (seed % 2 == 0 ? b.commit(1) : b.abort(1));
+    b.read(2, 0, r2);
+    History h = b.build();
+    const bool opaque = checkOpacity(h, kRegisters).satisfied;
+    const bool ss = checkStrictSerializability(h, kRegisters).satisfied;
+    if (opaque) {
+      EXPECT_TRUE(ss) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(StrictSerializability, IgnoresLiveTransactions) {
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1).commit(0);
+  b.start(1).read(1, 0, 7);  // live transaction with an impossible read
+  EXPECT_FALSE(checkOpacity(b.build(), kRegisters).satisfied);
+  EXPECT_TRUE(checkStrictSerializability(b.build(), kRegisters).satisfied);
+}
+
+// ------------------------------------------------- parametrized monotonic
+
+TEST(Monotonicity, ScOpacityImpliesWeakerModelOpacity) {
+  // SC's required view is a superset of every other model's: any history
+  // opaque under SC must be opaque under every model (τ-identity models).
+  for (int v1 = 0; v1 <= 1; ++v1) {
+    for (int v2 = 0; v2 <= 1; ++v2) {
+      HistoryBuilder b;
+      b.write(0, 0, 1);
+      b.read(1, 0, static_cast<Word>(v1));
+      b.write(0, 1, 1);
+      b.read(1, 1, static_cast<Word>(v2));
+      History h = b.build();
+      const bool underSc =
+          checkParametrizedOpacity(h, scModel(), kRegisters).satisfied;
+      const std::vector<const MemoryModel*> weaker{
+          &tsoModel(), &psoModel(), &rmoModel(), &alphaModel()};
+      for (const MemoryModel* m : weaker) {
+        const bool underM =
+            checkParametrizedOpacity(h, *m, kRegisters).satisfied;
+        if (underSc) {
+          EXPECT_TRUE(underM) << m->name();
+        }
+      }
+    }
+  }
+}
+
+TEST(Inconclusive, TinyBudgetIsReported) {
+  HistoryBuilder b;
+  for (int i = 0; i < 6; ++i) {
+    b.write(0, static_cast<ObjectId>(i), 1);
+    b.read(1, static_cast<ObjectId>(i), 0);
+  }
+  SearchLimits limits;
+  limits.maxExpansions = 1;
+  CheckResult r =
+      checkParametrizedOpacity(b.build(), rmoModel(), kRegisters, limits);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_TRUE(r.inconclusive);
+}
+
+}  // namespace
+}  // namespace jungle

@@ -1,0 +1,249 @@
+// Parametrized opacity on the paper's figures (§1 Figures 1–2, §3.3's
+// Figure 3 discussion): the checker must reproduce every allowed/forbidden
+// outcome the paper states.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "litmus/figures.hpp"
+#include "memmodel/models.hpp"
+#include "opacity/popacity.hpp"
+
+namespace jungle {
+namespace {
+
+using litmus::fig1History;
+using litmus::fig2aHistory;
+using litmus::fig2bHistory;
+using litmus::fig2cHistory;
+using litmus::fig3History;
+
+bool allowed(const History& h, const MemoryModel& m) {
+  SpecMap specs;
+  CheckResult r = checkParametrizedOpacity(h, m, specs);
+  EXPECT_FALSE(r.inconclusive);
+  return r.satisfied;
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+TEST(Fig3, OpaqueWrtScIffVEqualsOne) {
+  // "h is parametrized opaque with respect to MSC if v = 1."
+  EXPECT_TRUE(allowed(fig3History(1, 1), scModel()));
+  EXPECT_FALSE(allowed(fig3History(0, 1), scModel()));
+  EXPECT_FALSE(allowed(fig3History(2, 1), scModel()));
+}
+
+TEST(Fig3, OpaqueWrtRmoForVZeroOrOne) {
+  // "h is parametrized opaque with respect to Mrmo if v = 0 or v = 1."
+  EXPECT_TRUE(allowed(fig3History(0, 1), rmoModel()));
+  EXPECT_TRUE(allowed(fig3History(1, 1), rmoModel()));
+  EXPECT_FALSE(allowed(fig3History(2, 1), rmoModel()));
+}
+
+TEST(Fig3, VPrimeIsForcedToOneEverywhere) {
+  // Op 9 follows p3's transaction, which follows p1's transaction, which
+  // follows the only write of x: v' = 1 under every model.
+  for (const MemoryModel* m : allModels()) {
+    EXPECT_FALSE(allowed(fig3History(1, 0), *m)) << m->name();
+    EXPECT_FALSE(allowed(fig3History(1, 7), *m)) << m->name();
+  }
+}
+
+TEST(Fig3, JunkScMatchesScWhenReadsAreClean) {
+  // "h is parametrized opaque with respect to Mjunk if v = 1."
+  EXPECT_TRUE(allowed(fig3History(1, 1), junkScModel()));
+  EXPECT_FALSE(allowed(fig3History(0, 1), junkScModel()));
+}
+
+TEST(Fig3, JunkScAllowsAnyVWhenYReadReturnsZero) {
+  // "if operation 3 read y as 0, then opacity parametrized by Mjunk allows
+  // operation 6 to read any value."  Variant of fig3 with op 3 = (rd,y,0):
+  // op 6 can race into the havoc window of op 1's write.
+  auto variant = [](Word v) {
+    HistoryBuilder b;
+    b.write(1, 0, 1, 1);
+    b.start(1, 2);
+    b.read(2, 1, 0, 3);  // y read as 0
+    b.write(1, 1, 1, 4);
+    b.commit(1, 5);
+    b.read(2, 0, v, 6);
+    return b.build();
+  };
+  EXPECT_TRUE(allowed(variant(0), junkScModel()));
+  EXPECT_TRUE(allowed(variant(1), junkScModel()));
+  EXPECT_TRUE(allowed(variant(424242), junkScModel()));
+  // Under plain SC the same variant pins v to 0 or 1.
+  EXPECT_FALSE(allowed(variant(424242), scModel()));
+}
+
+// ---------------------------------------------------------------- Figure 1
+
+TEST(Fig1, ScForbidsR1OneR2Zero) {
+  // Larus-style strong atomicity (= opacity parametrized by SC): no.
+  EXPECT_FALSE(allowed(fig1History(1, 0), scModel()));
+}
+
+TEST(Fig1, RmoAllowsR1OneR2Zero) {
+  // Martin et al. strong atomicity (= opacity parametrized by RMO): yes.
+  EXPECT_TRUE(allowed(fig1History(1, 0), rmoModel()));
+}
+
+TEST(Fig1, CommonOutcomesAllowedEverywhere) {
+  for (const MemoryModel* m : allModels()) {
+    EXPECT_TRUE(allowed(fig1History(0, 0), *m)) << m->name();
+    EXPECT_TRUE(allowed(fig1History(1, 1), *m)) << m->name();
+    EXPECT_TRUE(allowed(fig1History(0, 1), *m)) << m->name();
+  }
+}
+
+TEST(Fig1, TransactionNeverTearsRegardlessOfModel) {
+  // r1 = 1, r2 = 0 under TSO/PSO also stays forbidden (reads are ordered);
+  // the transaction's atomicity itself is model-independent.
+  EXPECT_FALSE(allowed(fig1History(1, 0), tsoModel()));
+  EXPECT_FALSE(allowed(fig1History(1, 0), psoModel()));
+  // Junk values cannot appear: x was never written with 7.
+  EXPECT_FALSE(allowed(fig1History(7, 0), rmoModel()));
+}
+
+// ---------------------------------------------------------------- Figure 2a
+
+class Fig2aTest : public ::testing::TestWithParam<const MemoryModel*> {};
+
+TEST_P(Fig2aTest, ZIsNeverNegativeAndIntermediateStateInvisible) {
+  const MemoryModel& m = *GetParam();
+  // Allowed (a, b) pairs: (0,0), (2,0), (2,2) — transactions are atomic and
+  // real-time ordered regardless of the memory model.
+  const std::set<std::pair<Word, Word>> expectAllowed{{0, 0}, {2, 0}, {2, 2}};
+  for (Word a : {0, 1, 2}) {
+    for (Word b : {0, 1, 2}) {
+      const bool want = expectAllowed.count({a, b}) > 0;
+      EXPECT_EQ(allowed(fig2aHistory(a, b, true), m), want)
+          << m.name() << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_P(Fig2aTest, AbortedObserverIsConstrainedEqually) {
+  const MemoryModel& m = *GetParam();
+  // "even if thread 2 aborts, opacity requires that z is 0 or 2."
+  EXPECT_TRUE(allowed(fig2aHistory(2, 0, false), m)) << m.name();
+  EXPECT_FALSE(allowed(fig2aHistory(0, 2, false), m)) << m.name();
+  EXPECT_FALSE(allowed(fig2aHistory(1, 0, false), m)) << m.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, Fig2aTest,
+                         ::testing::Values(&scModel(), &tsoModel(),
+                                           &rmoModel(), &alphaModel(),
+                                           &idealizedModel()),
+                         [](const auto& info) {
+                           std::string n = info.param->name();
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+// ---------------------------------------------------------------- Figure 2b
+
+TEST(Fig2b, PurelyNonTransactionalBehaviorFollowsTheModel) {
+  // (r1, r2) = (1, 0): message-passing violation.  Requires relaxing W→W
+  // or R→R — so PSO, RMO, Alpha, Idealized allow; SC and TSO forbid.
+  EXPECT_FALSE(allowed(fig2bHistory(1, 0), scModel()));
+  EXPECT_FALSE(allowed(fig2bHistory(1, 0), tsoModel()));
+  EXPECT_TRUE(allowed(fig2bHistory(1, 0), psoModel()));
+  EXPECT_TRUE(allowed(fig2bHistory(1, 0), rmoModel()));
+  EXPECT_TRUE(allowed(fig2bHistory(1, 0), alphaModel()));
+  EXPECT_TRUE(allowed(fig2bHistory(1, 0), idealizedModel()));
+}
+
+TEST(Fig2b, UncontroversialOutcomesAllowedEverywhere) {
+  for (const MemoryModel* m : allModels()) {
+    for (auto [r1, r2] :
+         {std::pair<Word, Word>{0, 0}, {0, 1}, {1, 1}}) {
+      EXPECT_TRUE(allowed(fig2bHistory(r1, r2), *m))
+          << m->name() << " (" << r1 << "," << r2 << ")";
+    }
+  }
+}
+
+TEST(Fig2b, JunkScAllowsThinAirHere) {
+  // Under Junk-SC a racy read may fall into a havoc window and return any
+  // value.  (7, 7) is still impossible even here: SC views order p1's
+  // reads, and once the y-read passed y's havoc, x's havoc window — which
+  // precedes it in p0's program order — has already been closed by x := 1.
+  EXPECT_TRUE(allowed(fig2bHistory(0, 7), junkScModel()));
+  EXPECT_TRUE(allowed(fig2bHistory(7, 1), junkScModel()));
+  EXPECT_FALSE(allowed(fig2bHistory(7, 7), junkScModel()));
+  EXPECT_FALSE(allowed(fig2bHistory(0, 7), scModel()));
+  EXPECT_FALSE(allowed(fig2bHistory(7, 1), scModel()));
+}
+
+// ---------------------------------------------------------------- Figure 2c
+
+class Fig2cTest : public ::testing::TestWithParam<const MemoryModel*> {};
+
+TEST_P(Fig2cTest, IntermediateStateInvisibleToNonTransactionalCode) {
+  const MemoryModel& m = *GetParam();
+  // "Thread 2 cannot observe an intermediate state … thus z ≠ 1."
+  EXPECT_FALSE(allowed(fig2cHistory(1, 0, 0), m)) << m.name();
+  EXPECT_FALSE(allowed(fig2cHistory(1, 1, 1), m)) << m.name();
+  EXPECT_TRUE(allowed(fig2cHistory(0, 0, 0), m)) << m.name();
+  EXPECT_TRUE(allowed(fig2cHistory(2, 2, 2), m)) << m.name();
+  EXPECT_TRUE(allowed(fig2cHistory(2, 0, 0), m)) << m.name();
+}
+
+TEST_P(Fig2cTest, NonTransactionalWriteCannotSplitATransaction) {
+  const MemoryModel& m = *GetParam();
+  // "the effect of a non-transactional operation cannot show up in the
+  // middle of a transaction.  Thus, r1 = r2."
+  EXPECT_FALSE(allowed(fig2cHistory(2, 0, 2), m)) << m.name();
+  EXPECT_FALSE(allowed(fig2cHistory(2, 2, 0), m)) << m.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, Fig2cTest,
+                         ::testing::Values(&scModel(), &tsoModel(),
+                                           &psoModel(), &rmoModel(),
+                                           &alphaModel(), &idealizedModel()),
+                         [](const auto& info) {
+                           std::string n = info.param->name();
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+// ---------------------------------------------------------------- litmus
+
+TEST(StoreBuffer, TsoAllowsWhatScForbids) {
+  using litmus::storeBufferHistory;
+  EXPECT_FALSE(allowed(storeBufferHistory(0, 0), scModel()));
+  EXPECT_TRUE(allowed(storeBufferHistory(0, 0), tsoModel()));
+  EXPECT_TRUE(allowed(storeBufferHistory(0, 0), psoModel()));
+  // Non-racy outcomes allowed everywhere.
+  EXPECT_TRUE(allowed(storeBufferHistory(1, 1), scModel()));
+  EXPECT_TRUE(allowed(storeBufferHistory(0, 1), scModel()));
+  EXPECT_TRUE(allowed(storeBufferHistory(1, 0), scModel()));
+}
+
+TEST(Iriw, ContradictoryObservationsNeedReadReordering) {
+  using litmus::iriwHistory;
+  // a=1,b=0 (p2: x then y), c=1,d=0 (p3: y then x): forbidden while reads
+  // stay ordered, allowed once R→R relaxes.
+  EXPECT_FALSE(allowed(iriwHistory(1, 0, 1, 0), scModel()));
+  EXPECT_FALSE(allowed(iriwHistory(1, 0, 1, 0), tsoModel()));
+  EXPECT_TRUE(allowed(iriwHistory(1, 0, 1, 0), rmoModel()));
+  EXPECT_TRUE(allowed(iriwHistory(1, 0, 1, 0), alphaModel()));
+  EXPECT_TRUE(allowed(iriwHistory(1, 1, 1, 1), scModel()));
+}
+
+TEST(DependentReads, RmoOrdersThemAlphaDoesNot) {
+  using litmus::dependentReadHistory;
+  // Message passing where the second read is data-dependent: RMO keeps the
+  // (1, 0) outcome forbidden; Alpha allows it (its defining relaxation).
+  EXPECT_FALSE(allowed(dependentReadHistory(1, 0), rmoModel()));
+  EXPECT_TRUE(allowed(dependentReadHistory(1, 0), alphaModel()));
+  EXPECT_FALSE(allowed(dependentReadHistory(1, 0), scModel()));
+  EXPECT_TRUE(allowed(dependentReadHistory(1, 1), rmoModel()));
+}
+
+}  // namespace
+}  // namespace jungle

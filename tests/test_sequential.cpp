@@ -1,0 +1,192 @@
+// Tests for sequential histories, visible(), and legality (§2), including
+// the paper's Figure 3 sequential histories s1 and s2.
+#include <gtest/gtest.h>
+
+#include "history/sequential.hpp"
+#include "spec/counter_spec.hpp"
+
+namespace jungle {
+namespace {
+
+// Figure 3(b)/(c) sequential permutations of h, parameterized by v, v'.
+History fig3s1(Word v, Word vprime) {
+  HistoryBuilder b;
+  b.write(1, 0, 1, 1);
+  b.start(1, 2);
+  b.write(1, 1, 1, 4);
+  b.commit(1, 5);
+  b.read(2, 1, 1, 3);
+  b.read(2, 0, v, 6);
+  b.start(3, 7);
+  b.commit(3, 8);
+  b.read(3, 0, vprime, 9);
+  return b.build();
+}
+
+History fig3s2(Word v, Word vprime) {
+  HistoryBuilder b;
+  b.read(2, 0, v, 6);
+  b.write(1, 0, 1, 1);
+  b.start(1, 2);
+  b.write(1, 1, 1, 4);
+  b.commit(1, 5);
+  b.read(2, 1, 1, 3);
+  b.start(3, 7);
+  b.commit(3, 8);
+  b.read(3, 0, vprime, 9);
+  return b.build();
+}
+
+// ------------------------------------------------------------- sequential
+
+TEST(Sequential, S1AndS2AreSequential) {
+  EXPECT_TRUE(isSequential(fig3s1(1, 1)));
+  EXPECT_TRUE(isSequential(fig3s2(0, 1)));
+}
+
+TEST(Sequential, InterleavedTransactionIsNotSequential) {
+  HistoryBuilder b;
+  b.start(0).read(1, 0, 0).commit(0);  // nt op inside the transaction span
+  EXPECT_FALSE(isSequential(b.build()));
+  EXPECT_TRUE(isTransactionallySequential(b.build()));
+}
+
+TEST(Sequential, OverlappingTransactionsAreNeither) {
+  HistoryBuilder b;
+  b.start(0).start(1).commit(0).commit(1);
+  EXPECT_FALSE(isSequential(b.build()));
+  EXPECT_FALSE(isTransactionallySequential(b.build()));
+}
+
+TEST(Sequential, SequentialImpliesTransactionallySequential) {
+  History s = fig3s1(1, 1);
+  EXPECT_TRUE(isSequential(s));
+  EXPECT_TRUE(isTransactionallySequential(s));
+}
+
+// ---------------------------------------------------------------- visible
+
+TEST(Visible, CommittedTransactionsAreKept) {
+  History s = fig3s1(1, 1);
+  EXPECT_EQ(visible(s).size(), s.size());
+}
+
+TEST(Visible, AbortedTransactionFollowedByAnythingIsDropped) {
+  HistoryBuilder b;
+  b.start(0, 1).write(0, 0, 5, 2).abort(0, 3);
+  b.read(1, 0, 0, 4);  // follows the aborted transaction
+  History v = visible(b.build());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].id, 4u);
+}
+
+TEST(Visible, TrailingAbortedTransactionIsKept) {
+  HistoryBuilder b;
+  b.read(1, 0, 0, 1);
+  b.start(0, 2).write(0, 0, 5, 3).abort(0, 4);
+  History v = visible(b.build());
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(Visible, TrailingLiveTransactionIsKept) {
+  HistoryBuilder b;
+  b.start(0, 1).write(0, 0, 5, 2);
+  History v = visible(b.build());
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(Visible, LiveTransactionFollowedByNtOpIsDropped) {
+  // In a transactionally sequential history an nt op can follow a live
+  // transaction's instances; the transaction then becomes invisible.
+  HistoryBuilder b;
+  b.start(0, 1).write(0, 0, 5, 2);
+  b.read(1, 0, 0, 3);
+  History v = visible(b.build());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].id, 3u);
+}
+
+// ---------------------------------------------------------------- legality
+
+TEST(Legality, S1LegalIffBothReadsReturnOne) {
+  SpecMap specs;
+  EXPECT_TRUE(isLegalHistory(fig3s1(1, 1), specs));
+  EXPECT_FALSE(isLegalHistory(fig3s1(0, 1), specs));
+  EXPECT_FALSE(isLegalHistory(fig3s1(1, 0), specs));
+  EXPECT_FALSE(isLegalHistory(fig3s1(0, 0), specs));
+}
+
+TEST(Legality, S2LegalIffVZeroAndVPrimeOne) {
+  SpecMap specs;
+  EXPECT_TRUE(isLegalHistory(fig3s2(0, 1), specs));
+  EXPECT_FALSE(isLegalHistory(fig3s2(1, 1), specs));
+  EXPECT_FALSE(isLegalHistory(fig3s2(0, 0), specs));
+}
+
+TEST(Legality, EveryOperationLegalCatchesAbortedTransactionReads) {
+  // An aborted transaction reading an inconsistent value is illegal even
+  // though the plain history legality (which drops it) would pass.
+  HistoryBuilder b;
+  b.write(0, 0, 1, 1);                           // x := 1, nt
+  b.start(1, 2).read(1, 0, 7, 3).abort(1, 4);    // aborted tx reads x = 7
+  b.read(0, 0, 1, 5);
+  History s = b.build();
+  SpecMap specs;
+  ASSERT_TRUE(isSequential(s));
+  EXPECT_TRUE(isLegalHistory(visible(s), specs));  // abort is invisible…
+  EXPECT_FALSE(everyOperationLegal(s, specs));     // …but prefix-checked
+}
+
+TEST(Legality, EveryOperationLegalAcceptsConsistentAbort) {
+  HistoryBuilder b;
+  b.write(0, 0, 1, 1);
+  b.start(1, 2).read(1, 0, 1, 3).abort(1, 4);
+  b.read(0, 0, 1, 5);
+  SpecMap specs;
+  EXPECT_TRUE(everyOperationLegal(b.build(), specs));
+}
+
+TEST(Legality, AbortedWritesAreInvisibleToLaterOps) {
+  HistoryBuilder b;
+  b.start(0, 1).write(0, 0, 9, 2).abort(0, 3);
+  b.read(1, 0, 0, 4);  // must read the initial value, not 9
+  SpecMap specs;
+  EXPECT_TRUE(everyOperationLegal(b.build(), specs));
+
+  HistoryBuilder bad;
+  bad.start(0, 1).write(0, 0, 9, 2).abort(0, 3);
+  bad.read(1, 0, 9, 4);
+  EXPECT_FALSE(everyOperationLegal(bad.build(), specs));
+}
+
+TEST(Legality, LiveTransactionSeesItsOwnWrites) {
+  HistoryBuilder b;
+  b.start(0, 1).write(0, 0, 9, 2).read(0, 0, 9, 3);
+  SpecMap specs;
+  EXPECT_TRUE(everyOperationLegal(b.build(), specs));
+}
+
+TEST(Legality, RicherObjectsParticipate) {
+  SpecMap specs;
+  specs.assign(5, std::make_shared<CounterSpec>(0));
+  HistoryBuilder b;
+  b.cmd(0, 5, cmdCtrInc(2), 1);
+  b.start(1, 2);
+  b.cmd(1, 5, cmdCtrInc(3), 3);
+  b.cmd(1, 5, cmdCtrRead(5), 4);
+  b.commit(1, 5);
+  EXPECT_TRUE(everyOperationLegal(b.build(), specs));
+}
+
+// ------------------------------------------------------------ respects
+
+TEST(RespectsOrder, DetectsViolations) {
+  History s = fig3s1(1, 1);
+  EXPECT_TRUE(respectsOrder(s, {{1, 2}, {5, 7}, {1, 9}}));
+  EXPECT_FALSE(respectsOrder(s, {{6, 3}}));  // 3 precedes 6 in s1
+  // Pairs mentioning absent identifiers are vacuously satisfied.
+  EXPECT_TRUE(respectsOrder(s, {{100, 200}}));
+}
+
+}  // namespace
+}  // namespace jungle

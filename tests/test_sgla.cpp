@@ -1,0 +1,213 @@
+// Tests for single global lock atomicity (§6.2): SGLA is weaker than
+// parametrized opacity (Theorem 6) and admits behaviors — non-transactional
+// operations observing a transaction's intermediate state — that
+// parametrized opacity forbids.
+#include <gtest/gtest.h>
+
+#include "litmus/figures.hpp"
+#include "memmodel/models.hpp"
+#include "opacity/popacity.hpp"
+#include "opacity/sgla.hpp"
+
+namespace jungle {
+namespace {
+
+SpecMap kRegisters;
+
+bool sgla(const History& h, const MemoryModel& m,
+          bool enforceRealTime = true) {
+  SglaOptions opts;
+  opts.enforceTxRealTime = enforceRealTime;
+  CheckResult r = checkSgla(h, m, kRegisters, opts);
+  EXPECT_FALSE(r.inconclusive);
+  return r.satisfied;
+}
+
+bool popaque(const History& h, const MemoryModel& m) {
+  return checkParametrizedOpacity(h, m, kRegisters).satisfied;
+}
+
+// -------------------------------------------------------------- basics
+
+TEST(Sgla, EmptyAndTrivialHistories) {
+  EXPECT_TRUE(sgla(History{}, scModel()));
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1).read(0, 0, 1).commit(0);
+  EXPECT_TRUE(sgla(b.build(), scModel()));
+}
+
+TEST(Sgla, TransactionsRemainAtomicToEachOther) {
+  // T1 observes T0's intermediate state: forbidden even under SGLA.
+  HistoryBuilder b;
+  b.start(0).start(1);
+  b.write(0, 0, 1);
+  b.read(1, 0, 1);  // transactional read of the intermediate value
+  b.write(0, 1, 1);
+  b.read(1, 1, 0);
+  b.commit(0).commit(1);
+  EXPECT_FALSE(sgla(b.build(), scModel()));
+  EXPECT_FALSE(sgla(b.build(), rmoModel()));
+}
+
+TEST(Sgla, NonTransactionalWriteMaySplitATransactionsReads) {
+  // Figure 2(c) with (a, r1, r2) = (2, 0, 2): the non-transactional
+  // z := x lands *between* the transaction's two reads of z.  Parametrized
+  // opacity forbids r1 ≠ r2 (§1, requirement 3); SGLA allows it — the
+  // write simply enters the critical section.
+  History h = litmus::fig2cHistory(2, 0, 2);
+  EXPECT_FALSE(popaque(h, scModel()));
+  EXPECT_TRUE(sgla(h, scModel()));
+  EXPECT_TRUE(sgla(h, rmoModel()));
+}
+
+TEST(Sgla, UncommittedEffectsStayInvisibleToNtReads) {
+  // Figure 6's TM defers all updates to commit, and the formal semantics
+  // agrees: a non-transactional read inside the critical section still
+  // observes committed state, so Figure 1's (1, 0) and Figure 2(c)'s a = 1
+  // stay forbidden even under SGLA.
+  EXPECT_FALSE(sgla(litmus::fig1History(1, 0), scModel()));
+  EXPECT_FALSE(sgla(litmus::fig2cHistory(1, 1, 1), scModel()));
+}
+
+TEST(Sgla, NtWriteSplitsTwoTransactionalReadsMinimal) {
+  // Minimal witness of SGLA's extra behavior: T reads x = 0 then x = 5
+  // because p1's plain write x := 5 ran inside the section.
+  HistoryBuilder b;
+  b.start(0).read(0, 0, 0);
+  b.write(1, 0, 5);
+  b.read(0, 0, 5).commit(0);
+  History h = b.build();
+  EXPECT_FALSE(popaque(h, scModel()));
+  EXPECT_TRUE(sgla(h, scModel()));
+}
+
+TEST(Sgla, StillRejectsImpossibleValues) {
+  // x only ever takes values 0, 1, 2 — a read of 7 has no explanation.
+  History h = litmus::fig2cHistory(7, 0, 0);
+  EXPECT_FALSE(sgla(h, scModel()));
+  EXPECT_FALSE(sgla(h, rmoModel()));
+}
+
+TEST(Sgla, AbortedTransactionWritesInvisibleOutside) {
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 9).abort(0);
+  b.read(1, 0, 9);  // after the abort — must not see 9
+  EXPECT_FALSE(sgla(b.build(), scModel()));
+
+  HistoryBuilder ok;
+  ok.start(0).write(0, 0, 9).abort(0);
+  ok.read(1, 0, 0);
+  EXPECT_TRUE(sgla(ok.build(), scModel()));
+}
+
+TEST(Sgla, NtWriteVisibleInsideOpenTransaction) {
+  // p1 writes x non-transactionally while p0's transaction is open; the
+  // transaction may then read that value (the write entered the section).
+  HistoryBuilder b;
+  b.start(0);
+  b.write(1, 0, 5);
+  b.read(0, 0, 5);
+  b.commit(0);
+  EXPECT_TRUE(sgla(b.build(), scModel()));
+}
+
+TEST(Sgla, MemoryModelStillGovernsNtOps) {
+  // Figure 2(b) message passing, purely non-transactional: SGLA inherits
+  // the model's verdicts exactly (there are no transactions).
+  EXPECT_FALSE(sgla(litmus::fig2bHistory(1, 0), scModel()));
+  EXPECT_FALSE(sgla(litmus::fig2bHistory(1, 0), tsoModel()));
+  EXPECT_TRUE(sgla(litmus::fig2bHistory(1, 0), psoModel()));
+  EXPECT_TRUE(sgla(litmus::fig2bHistory(1, 0), rmoModel()));
+  EXPECT_TRUE(sgla(litmus::fig2bHistory(0, 0), scModel()));
+}
+
+// ------------------------------------------------------- lock semantics
+
+TEST(Sgla, ReleaseFencesPriorOps) {
+  // p1's nt write of y precedes p1's transaction; it may move into the
+  // critical section but not past it: p0's later transaction must see it.
+  HistoryBuilder b;
+  b.write(1, 1, 3);                      // nt y := 3
+  b.start(1).write(1, 0, 1).commit(1);   // T of p1
+  b.start(0).read(0, 1, 0).commit(0);    // later T reads y = 0?
+  // With real-time order T(p1) ≺ T(p0), y = 0 is unreadable: the nt write
+  // cannot move past p1's commit.
+  EXPECT_FALSE(sgla(b.build(), rmoModel()));
+
+  HistoryBuilder ok;
+  ok.write(1, 1, 3);
+  ok.start(1).write(1, 0, 1).commit(1);
+  ok.start(0).read(0, 1, 3).commit(0);
+  EXPECT_TRUE(sgla(ok.build(), rmoModel()));
+}
+
+TEST(Sgla, AcquireFencesLaterOps) {
+  // p1's nt read follows p1's transaction; it cannot move before the
+  // transaction's start, so it must see what the transaction wrote.
+  HistoryBuilder b;
+  b.start(1).write(1, 0, 4).commit(1);
+  b.read(1, 0, 0);  // nt read of x after own transaction
+  EXPECT_FALSE(sgla(b.build(), rmoModel()));
+
+  HistoryBuilder ok;
+  ok.start(1).write(1, 0, 4).commit(1);
+  ok.read(1, 0, 4);
+  EXPECT_TRUE(sgla(ok.build(), rmoModel()));
+}
+
+TEST(Sgla, RealTimeOptionControlsCrossProcessOrder) {
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1).commit(0);
+  b.start(1).read(1, 0, 0).commit(1);  // stale read, strictly later
+  EXPECT_FALSE(sgla(b.build(), scModel(), /*enforceRealTime=*/true));
+  EXPECT_TRUE(sgla(b.build(), scModel(), /*enforceRealTime=*/false));
+}
+
+// ------------------------------------------------------------ Theorem 6
+
+TEST(Theorem6, ParametrizedOpacityImpliesSgla) {
+  // Over a deterministic family of small histories and several models:
+  // whenever parametrized opacity holds, SGLA holds.
+  std::vector<History> family;
+  for (Word v = 0; v <= 2; ++v) {
+    family.push_back(litmus::fig3History(v, 1));
+    for (Word r = 0; r <= 2; ++r) {
+      family.push_back(litmus::fig1History(v, r));
+      family.push_back(litmus::fig2bHistory(v, r));
+      family.push_back(litmus::fig2cHistory(v, r, r));
+      family.push_back(litmus::fig2aHistory(v, r));
+    }
+  }
+  int implications = 0;
+  const std::vector<const MemoryModel*> models{&scModel(), &tsoModel(),
+                                               &rmoModel(), &alphaModel()};
+  for (const History& h : family) {
+    for (const MemoryModel* m : models) {
+      if (popaque(h, *m)) {
+        EXPECT_TRUE(sgla(h, *m)) << m->name();
+        ++implications;
+      }
+    }
+  }
+  EXPECT_GT(implications, 20);  // the family must actually exercise this
+}
+
+TEST(Theorem6, SglaStrictlyWeaker) {
+  // At least one (history, model) pair is SGLA but not parametrized-opaque.
+  History h = litmus::fig2cHistory(2, 0, 2);
+  EXPECT_TRUE(sgla(h, scModel()));
+  EXPECT_FALSE(popaque(h, scModel()));
+}
+
+// ------------------------------------------------------------- witness
+
+TEST(SglaWitness, IsTransactionallySequentialAndLegal) {
+  History h = litmus::fig2cHistory(2, 0, 2);
+  CheckResult r = checkSgla(h, scModel(), kRegisters);
+  ASSERT_TRUE(r.satisfied);
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_EQ(r.witness->size(), h.size());
+}
+
+}  // namespace
+}  // namespace jungle

@@ -1,0 +1,138 @@
+// Direct tests of the memory policies (native and recording): primitive
+// semantics, marker bookkeeping, and trace extraction.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sim/memory_policy.hpp"
+#include "sim/trace_history.hpp"
+
+namespace jungle {
+namespace {
+
+// --------------------------------------------------------------- native
+
+TEST(NativeMemory, LoadStoreCasSemantics) {
+  NativeMemory mem(4);
+  EXPECT_EQ(mem.load(0, 0), 0u);
+  mem.store(0, 0, 7);
+  EXPECT_EQ(mem.load(1, 0), 7u);
+  EXPECT_FALSE(mem.cas(0, 0, 3, 9));  // expected mismatch
+  EXPECT_EQ(mem.load(0, 0), 7u);
+  EXPECT_TRUE(mem.cas(0, 0, 7, 9));
+  EXPECT_EQ(mem.load(0, 0), 9u);
+}
+
+TEST(NativeMemory, CellsAreIndependent) {
+  NativeMemory mem(8);
+  for (Addr a = 0; a < 8; ++a) mem.store(0, a, a * 10);
+  for (Addr a = 0; a < 8; ++a) EXPECT_EQ(mem.load(0, a), a * 10);
+}
+
+TEST(NativeMemory, ConcurrentCasIsAtomic) {
+  NativeMemory mem(1);
+  constexpr int kThreads = 4, kIncrements = 2000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        for (;;) {
+          const Word cur = mem.load(0, 0);
+          if (mem.cas(0, 0, cur, cur + 1)) break;
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(mem.load(0, 0), static_cast<Word>(kThreads * kIncrements));
+}
+
+// ------------------------------------------------------------- recording
+
+TEST(RecordingMemory, RecordsEveryInstructionInOrder) {
+  RecordingMemory mem(4);
+  const OpId w = mem.beginOp(0, OpType::kCommand, 0, cmdWrite(5));
+  mem.store(0, 0, 5);
+  mem.markPoint(0, w);
+  mem.endOp(0, w, OpType::kCommand, 0, cmdWrite(5));
+  const OpId r = mem.beginOp(1, OpType::kCommand, 0, cmdRead(0));
+  EXPECT_EQ(mem.load(1, 0), 5u);
+  mem.endOp(1, r, OpType::kCommand, 0, cmdRead(5));
+
+  Trace t = mem.trace();
+  // write op: invoke/store/point/respond; read op: invoke/load/respond.
+  ASSERT_EQ(t.size(), 7u);
+  EXPECT_EQ(t[0].kind, InsnKind::kInvoke);
+  EXPECT_EQ(t[1].kind, InsnKind::kStore);
+  EXPECT_EQ(t[2].kind, InsnKind::kPoint);
+  EXPECT_EQ(t[3].kind, InsnKind::kRespond);
+  EXPECT_TRUE(traceWellFormed(t));
+  EXPECT_TRUE(traceMachineConsistent(t));
+}
+
+TEST(RecordingMemory, AssignsFreshOperationIds) {
+  RecordingMemory mem(2);
+  const OpId a = mem.beginOp(0, OpType::kStart, kNoObject, {});
+  mem.endOp(0, a, OpType::kStart, kNoObject, {});
+  const OpId b = mem.beginOp(1, OpType::kCommand, 0, cmdRead(0));
+  mem.endOp(1, b, OpType::kCommand, 0, cmdRead(0));
+  EXPECT_NE(a, b);
+  EXPECT_GT(a, 0u);
+}
+
+TEST(RecordingMemory, CasOutcomeIsRecorded) {
+  RecordingMemory mem(2);
+  const OpId op = mem.beginOp(0, OpType::kStart, kNoObject, {});
+  EXPECT_TRUE(mem.cas(0, 0, 0, 4));
+  EXPECT_FALSE(mem.cas(0, 0, 0, 9));
+  mem.endOp(0, op, OpType::kStart, kNoObject, {});
+  Trace t = mem.trace();
+  EXPECT_TRUE(t[1].casOk);
+  EXPECT_FALSE(t[2].casOk);
+  EXPECT_TRUE(traceMachineConsistent(t));
+}
+
+TEST(RecordingMemory, InstructionOutsideOperationDies) {
+  RecordingMemory mem(2);
+  EXPECT_DEATH(mem.store(0, 0, 1), "outside an operation");
+}
+
+TEST(RecordingMemory, NestedOperationsOnOneProcessDie) {
+  RecordingMemory mem(2);
+  (void)mem.beginOp(0, OpType::kStart, kNoObject, {});
+  EXPECT_DEATH((void)mem.beginOp(0, OpType::kCommit, kNoObject, {}),
+               "nested");
+}
+
+TEST(RecordingMemory, HistoryExtractionEndToEnd) {
+  RecordingMemory mem(2);
+  const OpId w = mem.beginOp(0, OpType::kCommand, 0, cmdWrite(3));
+  mem.store(0, 0, 3);
+  mem.markPoint(0, w);
+  mem.endOp(0, w, OpType::kCommand, 0, cmdWrite(3));
+  const OpId r = mem.beginOp(0, OpType::kCommand, 0, cmdRead(0));
+  const Word v = mem.load(0, 0);
+  mem.markPoint(0, r);
+  mem.endOp(0, r, OpType::kCommand, 0, cmdRead(v));
+
+  History h = canonicalHistory(mem.trace());
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0].cmd.kind, CmdKind::kWrite);
+  EXPECT_EQ(h[1].cmd.value, 3u);
+}
+
+TEST(RecordingMemory, TraceSnapshotIsStable) {
+  RecordingMemory mem(2);
+  const OpId a = mem.beginOp(0, OpType::kCommand, 0, cmdWrite(1));
+  mem.store(0, 0, 1);
+  mem.endOp(0, a, OpType::kCommand, 0, cmdWrite(1));
+  Trace snap = mem.trace();
+  const OpId b = mem.beginOp(0, OpType::kCommand, 0, cmdWrite(2));
+  mem.store(0, 0, 2);
+  mem.endOp(0, b, OpType::kCommand, 0, cmdWrite(2));
+  EXPECT_EQ(snap.size(), 3u);        // unchanged
+  EXPECT_EQ(mem.trace().size(), 6u);  // grew
+}
+
+}  // namespace
+}  // namespace jungle

@@ -1,0 +1,189 @@
+// Unit tests for sequential object specifications (§2, "Object semantics").
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "spec/counter_spec.hpp"
+#include "spec/queue_spec.hpp"
+#include "spec/register_spec.hpp"
+#include "spec/spec_map.hpp"
+
+namespace jungle {
+namespace {
+
+// ---------------------------------------------------------------- register
+
+TEST(RegisterSpec, ReadOfInitialValueIsLegal) {
+  RegisterSpec spec(0);
+  std::vector<Command> seq{cmdRead(0)};
+  EXPECT_TRUE(isLegalSequence(spec, seq));
+}
+
+TEST(RegisterSpec, ReadOfWrongInitialValueIsIllegal) {
+  RegisterSpec spec(0);
+  std::vector<Command> seq{cmdRead(7)};
+  EXPECT_FALSE(isLegalSequence(spec, seq));
+}
+
+TEST(RegisterSpec, NonZeroInitialValue) {
+  RegisterSpec spec(42);
+  std::vector<Command> good{cmdRead(42)};
+  std::vector<Command> bad{cmdRead(0)};
+  EXPECT_TRUE(isLegalSequence(spec, good));
+  EXPECT_FALSE(isLegalSequence(spec, bad));
+}
+
+TEST(RegisterSpec, ReadReturnsLatestWrite) {
+  RegisterSpec spec(0);
+  std::vector<Command> seq{cmdWrite(1), cmdWrite(2), cmdRead(2)};
+  EXPECT_TRUE(isLegalSequence(spec, seq));
+}
+
+TEST(RegisterSpec, ReadOfOverwrittenValueIsIllegal) {
+  RegisterSpec spec(0);
+  std::vector<Command> seq{cmdWrite(1), cmdWrite(2), cmdRead(1)};
+  EXPECT_FALSE(isLegalSequence(spec, seq));
+}
+
+TEST(RegisterSpec, DependentVariantsBehaveLikePlainOps) {
+  RegisterSpec spec(0);
+  std::vector<Command> seq{cmdDdWrite(5, {1}), cmdCdRead(5, {1}),
+                           cmdDdRead(5, {2})};
+  EXPECT_TRUE(isLegalSequence(spec, seq));
+  std::vector<Command> bad{cmdCdWrite(5, {1}), cmdDdRead(6, {1})};
+  EXPECT_FALSE(isLegalSequence(spec, bad));
+}
+
+TEST(RegisterSpec, HavocAllowsAnyRead) {
+  RegisterSpec spec(0);
+  std::vector<Command> seq{cmdHavoc(), cmdRead(12345), cmdRead(0),
+                           cmdRead(7)};
+  EXPECT_TRUE(isLegalSequence(spec, seq));
+}
+
+TEST(RegisterSpec, WriteClearsHavoc) {
+  RegisterSpec spec(0);
+  std::vector<Command> seq{cmdHavoc(), cmdWrite(3), cmdRead(9)};
+  EXPECT_FALSE(isLegalSequence(spec, seq));
+  std::vector<Command> good{cmdHavoc(), cmdWrite(3), cmdRead(3)};
+  EXPECT_TRUE(isLegalSequence(spec, good));
+}
+
+TEST(RegisterSpec, CounterCommandIllegalOnRegister) {
+  RegisterSpec spec(0);
+  std::vector<Command> seq{cmdCtrInc(1)};
+  EXPECT_FALSE(isLegalSequence(spec, seq));
+}
+
+TEST(RegisterSpec, DigestDistinguishesValuesAndHavoc) {
+  RegisterState a(1), b(2);
+  EXPECT_NE(a.digest(), b.digest());
+  RegisterState c(1);
+  EXPECT_EQ(a.digest(), c.digest());
+  c.apply(cmdHavoc());
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(RegisterSpec, CloneIsIndependent) {
+  RegisterState a(1);
+  auto b = a.clone();
+  b->apply(cmdWrite(9));
+  EXPECT_TRUE(a.apply(cmdRead(1)));
+  EXPECT_TRUE(b->apply(cmdRead(9)));
+}
+
+// ---------------------------------------------------------------- counter
+
+TEST(CounterSpec, IncrementsAccumulate) {
+  CounterSpec spec(0);
+  std::vector<Command> seq{cmdCtrInc(3), cmdCtrInc(4), cmdCtrRead(7)};
+  EXPECT_TRUE(isLegalSequence(spec, seq));
+}
+
+TEST(CounterSpec, WrongSumIsIllegal) {
+  CounterSpec spec(0);
+  std::vector<Command> seq{cmdCtrInc(3), cmdCtrRead(4)};
+  EXPECT_FALSE(isLegalSequence(spec, seq));
+}
+
+TEST(CounterSpec, InitialValueCounts) {
+  CounterSpec spec(10);
+  std::vector<Command> seq{cmdCtrInc(1), cmdCtrRead(11)};
+  EXPECT_TRUE(isLegalSequence(spec, seq));
+}
+
+TEST(CounterSpec, RegisterCommandIllegalOnCounter) {
+  CounterSpec spec(0);
+  std::vector<Command> seq{cmdWrite(1)};
+  EXPECT_FALSE(isLegalSequence(spec, seq));
+}
+
+// ---------------------------------------------------------------- queue
+
+TEST(QueueSpec, FifoOrder) {
+  QueueSpec spec;
+  std::vector<Command> seq{cmdEnqueue(1), cmdEnqueue(2), cmdDequeue(1),
+                           cmdDequeue(2)};
+  EXPECT_TRUE(isLegalSequence(spec, seq));
+}
+
+TEST(QueueSpec, LifoOrderIsIllegal) {
+  QueueSpec spec;
+  std::vector<Command> seq{cmdEnqueue(1), cmdEnqueue(2), cmdDequeue(2)};
+  EXPECT_FALSE(isLegalSequence(spec, seq));
+}
+
+TEST(QueueSpec, EmptyDequeueReturnsSentinel) {
+  QueueSpec spec;
+  std::vector<Command> seq{cmdDequeue(kQueueEmpty), cmdEnqueue(5),
+                           cmdDequeue(5), cmdDequeue(kQueueEmpty)};
+  EXPECT_TRUE(isLegalSequence(spec, seq));
+}
+
+TEST(QueueSpec, SentinelWhenNonEmptyIsIllegal) {
+  QueueSpec spec;
+  std::vector<Command> seq{cmdEnqueue(5), cmdDequeue(kQueueEmpty)};
+  EXPECT_FALSE(isLegalSequence(spec, seq));
+}
+
+TEST(QueueSpec, DigestTracksContents) {
+  QueueState a, b;
+  EXPECT_EQ(a.digest(), b.digest());
+  a.apply(cmdEnqueue(1));
+  EXPECT_NE(a.digest(), b.digest());
+  b.apply(cmdEnqueue(1));
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+// ---------------------------------------------------------------- spec map
+
+TEST(SpecMap, DefaultsToRegisterAndSupportsOverrides) {
+  SpecMap m;
+  EXPECT_STREQ(m.specFor(0).name(), "register");
+  m.assign(3, std::make_shared<CounterSpec>(0));
+  EXPECT_STREQ(m.specFor(3).name(), "counter");
+  EXPECT_STREQ(m.specFor(4).name(), "register");
+}
+
+// Property sweep: a register accepts exactly the read of the value most
+// recently written, for arbitrary write/read interleavings.
+class RegisterPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegisterPropertyTest, LastWriteWins) {
+  const int n = GetParam();
+  RegisterSpec spec(0);
+  auto st = spec.initial();
+  Word last = 0;
+  for (int i = 1; i <= n; ++i) {
+    ASSERT_TRUE(st->apply(cmdWrite(static_cast<Word>(i * 17 % 5))));
+    last = static_cast<Word>(i * 17 % 5);
+    ASSERT_TRUE(st->apply(cmdRead(last)));
+    ASSERT_FALSE(st->clone()->apply(cmdRead(last + 1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RegisterPropertyTest,
+                         ::testing::Values(1, 2, 5, 16, 64));
+
+}  // namespace
+}  // namespace jungle

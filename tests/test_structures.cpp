@@ -1,0 +1,374 @@
+// Tests for the transactional data structures: sequential semantics,
+// composability (multiple structures in one transaction), and concurrent
+// invariants under every TM implementation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "common/rng.hpp"
+
+#include "tm/structures.hpp"
+
+namespace jungle {
+namespace {
+
+struct World {
+  explicit World(TmKind kind, std::size_t vars = 256, std::size_t procs = 4)
+      : mem(runtimeMemoryWords(kind, vars)),
+        tm(makeNativeRuntime(kind, mem, vars, procs)),
+        slots(vars) {}
+
+  NativeMemory mem;
+  std::unique_ptr<TmRuntime> tm;
+  SlotAllocator slots;
+};
+
+class StructuresTest : public ::testing::TestWithParam<TmKind> {};
+
+// ---------------------------------------------------------------- counter
+
+TEST_P(StructuresTest, CounterAccumulates) {
+  World w(GetParam());
+  TxCounter c(*w.tm, w.slots);
+  c.addAtomic(0, 5);
+  c.addAtomic(1, 7);
+  EXPECT_EQ(c.readAtomic(0), 12u);
+}
+
+TEST_P(StructuresTest, ConcurrentCounterIsExact) {
+  World w(GetParam());
+  TxCounter c(*w.tm, w.slots);
+  constexpr int kThreads = 4, kIncrements = 500;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kIncrements; ++i) {
+        c.addAtomic(static_cast<ProcessId>(t), 1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.readAtomic(0), static_cast<Word>(kThreads * kIncrements));
+}
+
+// ------------------------------------------------------------------ stack
+
+TEST_P(StructuresTest, StackLifoOrder) {
+  World w(GetParam());
+  TxStack s(*w.tm, w.slots, 8);
+  w.tm->transaction(0, [&](TxContext& tx) {
+    EXPECT_TRUE(s.push(tx, 1));
+    EXPECT_TRUE(s.push(tx, 2));
+    EXPECT_TRUE(s.push(tx, 3));
+  });
+  w.tm->transaction(0, [&](TxContext& tx) {
+    EXPECT_EQ(s.pop(tx), std::optional<Word>(3));
+    EXPECT_EQ(s.pop(tx), std::optional<Word>(2));
+    EXPECT_EQ(s.pop(tx), std::optional<Word>(1));
+    EXPECT_EQ(s.pop(tx), std::nullopt);
+  });
+}
+
+TEST_P(StructuresTest, StackRespectsCapacity) {
+  World w(GetParam());
+  TxStack s(*w.tm, w.slots, 2);
+  w.tm->transaction(0, [&](TxContext& tx) {
+    EXPECT_TRUE(s.push(tx, 1));
+    EXPECT_TRUE(s.push(tx, 2));
+    EXPECT_FALSE(s.push(tx, 3));
+    EXPECT_EQ(s.size(tx), 2u);
+  });
+}
+
+// ------------------------------------------------------------------ queue
+
+TEST_P(StructuresTest, QueueFifoOrderAndWraparound) {
+  World w(GetParam());
+  TxQueue q(*w.tm, w.slots, 3);
+  for (Word round = 0; round < 4; ++round) {  // forces ring wraparound
+    w.tm->transaction(0, [&](TxContext& tx) {
+      EXPECT_TRUE(q.enqueue(tx, 10 * round + 1));
+      EXPECT_TRUE(q.enqueue(tx, 10 * round + 2));
+    });
+    w.tm->transaction(0, [&](TxContext& tx) {
+      EXPECT_EQ(q.dequeue(tx), std::optional<Word>(10 * round + 1));
+      EXPECT_EQ(q.dequeue(tx), std::optional<Word>(10 * round + 2));
+      EXPECT_EQ(q.dequeue(tx), std::nullopt);
+    });
+  }
+}
+
+TEST_P(StructuresTest, QueueFullAndEmpty) {
+  World w(GetParam());
+  TxQueue q(*w.tm, w.slots, 2);
+  w.tm->transaction(0, [&](TxContext& tx) {
+    EXPECT_TRUE(q.enqueue(tx, 1));
+    EXPECT_TRUE(q.enqueue(tx, 2));
+    EXPECT_FALSE(q.enqueue(tx, 3));  // full
+    EXPECT_EQ(q.size(tx), 2u);
+  });
+}
+
+TEST_P(StructuresTest, ProducerConsumerConservesItems) {
+  World w(GetParam());
+  TxQueue q(*w.tm, w.slots, 16);
+  constexpr Word kItems = 400;
+  Word consumedSum = 0;
+  std::thread producer([&] {
+    for (Word i = 1; i <= kItems; ++i) {
+      bool ok = false;
+      while (!ok) {
+        w.tm->transaction(0, [&](TxContext& tx) { ok = q.enqueue(tx, i); });
+        if (!ok) std::this_thread::yield();
+      }
+    }
+  });
+  std::thread consumer([&] {
+    Word got = 0;
+    Word expectNext = 1;
+    while (got < kItems) {
+      std::optional<Word> v;
+      w.tm->transaction(1, [&](TxContext& tx) { v = q.dequeue(tx); });
+      if (v.has_value()) {
+        EXPECT_EQ(*v, expectNext);  // FIFO per single producer
+        ++expectNext;
+        consumedSum += *v;
+        ++got;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(consumedSum, kItems * (kItems + 1) / 2);
+}
+
+// -------------------------------------------------------------------- map
+
+TEST_P(StructuresTest, MapPutGetEraseRoundTrip) {
+  World w(GetParam());
+  TxMap m(*w.tm, w.slots, 16);
+  w.tm->transaction(0, [&](TxContext& tx) {
+    EXPECT_TRUE(m.put(tx, 100, 1));
+    EXPECT_TRUE(m.put(tx, 200, 2));
+    EXPECT_EQ(m.get(tx, 100), std::optional<Word>(1));
+    EXPECT_TRUE(m.put(tx, 100, 11));  // update
+    EXPECT_EQ(m.get(tx, 100), std::optional<Word>(11));
+    EXPECT_TRUE(m.erase(tx, 100));
+    EXPECT_FALSE(m.contains(tx, 100));
+    EXPECT_EQ(m.get(tx, 200), std::optional<Word>(2));
+  });
+}
+
+TEST_P(StructuresTest, MapTombstonesAreRecycled) {
+  World w(GetParam());
+  TxMap m(*w.tm, w.slots, 4);
+  w.tm->transaction(0, [&](TxContext& tx) {
+    for (Word k = 1; k <= 4; ++k) EXPECT_TRUE(m.put(tx, k, k));
+    EXPECT_FALSE(m.put(tx, 5, 5));  // full
+    EXPECT_TRUE(m.erase(tx, 2));
+    EXPECT_TRUE(m.put(tx, 5, 5));  // recycles the tombstone
+    EXPECT_EQ(m.get(tx, 5), std::optional<Word>(5));
+    EXPECT_FALSE(m.contains(tx, 2));
+    // Keys colliding past the tombstone are still reachable.
+    for (Word k : {1, 3, 4}) EXPECT_TRUE(m.contains(tx, k));
+  });
+}
+
+TEST_P(StructuresTest, SetSemantics) {
+  World w(GetParam());
+  TxSet s(*w.tm, w.slots, 8);
+  w.tm->transaction(0, [&](TxContext& tx) {
+    EXPECT_TRUE(s.insert(tx, 7));
+    EXPECT_FALSE(s.insert(tx, 7));  // duplicate
+    EXPECT_TRUE(s.contains(tx, 7));
+    EXPECT_TRUE(s.erase(tx, 7));
+    EXPECT_FALSE(s.contains(tx, 7));
+    EXPECT_FALSE(s.erase(tx, 7));
+  });
+}
+
+// ----------------------------------------------------------- composition
+
+TEST_P(StructuresTest, CrossStructureTransactionIsAtomic) {
+  // Move an item from the queue into the map and bump a counter — all in
+  // one transaction; an abort mid-way must leave no partial effects.
+  World w(GetParam());
+  TxQueue q(*w.tm, w.slots, 4);
+  TxMap m(*w.tm, w.slots, 8);
+  TxCounter c(*w.tm, w.slots);
+  w.tm->transaction(0, [&](TxContext& tx) { q.enqueue(tx, 42); });
+
+  // Aborted attempt: nothing moves.
+  const bool committed = w.tm->transaction(0, [&](TxContext& tx) {
+    auto v = q.dequeue(tx);
+    ASSERT_TRUE(v.has_value());
+    m.put(tx, *v, 1);
+    c.add(tx, 1);
+    tx.abort();
+  });
+  EXPECT_FALSE(committed);
+  w.tm->transaction(0, [&](TxContext& tx) {
+    EXPECT_EQ(q.size(tx), 1u);  // still queued
+    EXPECT_FALSE(m.contains(tx, 42));
+    EXPECT_EQ(c.get(tx), 0u);
+  });
+
+  // Committed attempt: everything moves together.
+  w.tm->transaction(0, [&](TxContext& tx) {
+    auto v = q.dequeue(tx);
+    ASSERT_TRUE(v.has_value());
+    m.put(tx, *v, 1);
+    c.add(tx, 1);
+  });
+  w.tm->transaction(0, [&](TxContext& tx) {
+    EXPECT_EQ(q.size(tx), 0u);
+    EXPECT_TRUE(m.contains(tx, 42));
+    EXPECT_EQ(c.get(tx), 1u);
+  });
+}
+
+TEST_P(StructuresTest, ConcurrentSetInsertsAreLinearizable) {
+  World w(GetParam());
+  TxSet s(*w.tm, w.slots, 64);
+  TxCounter wins(*w.tm, w.slots);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      const auto pid = static_cast<ProcessId>(t);
+      for (Word k = 1; k <= 20; ++k) {
+        w.tm->transaction(pid, [&](TxContext& tx) {
+          if (s.insert(tx, k)) wins.add(tx, 1);
+        });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  // Each key inserted exactly once across all threads.
+  EXPECT_EQ(wins.readAtomic(0), 20u);
+  w.tm->transaction(0, [&](TxContext& tx) {
+    for (Word k = 1; k <= 20; ++k) EXPECT_TRUE(s.contains(tx, k));
+  });
+}
+
+
+// ------------------------------------------------------------ sorted list
+
+TEST_P(StructuresTest, SortedListKeepsOrder) {
+  World w(GetParam());
+  TxSortedList l(*w.tm, w.slots, 16);
+  w.tm->transaction(0, [&](TxContext& tx) {
+    for (Word k : {5, 1, 9, 3, 7}) EXPECT_TRUE(l.insert(tx, k));
+    EXPECT_EQ(l.keys(tx), (std::vector<Word>{1, 3, 5, 7, 9}));
+  });
+}
+
+TEST_P(StructuresTest, SortedListSetSemantics) {
+  World w(GetParam());
+  TxSortedList l(*w.tm, w.slots, 16);
+  w.tm->transaction(0, [&](TxContext& tx) {
+    EXPECT_TRUE(l.insert(tx, 4));
+    EXPECT_FALSE(l.insert(tx, 4));  // duplicate
+    EXPECT_TRUE(l.contains(tx, 4));
+    EXPECT_FALSE(l.contains(tx, 5));
+    EXPECT_TRUE(l.erase(tx, 4));
+    EXPECT_FALSE(l.erase(tx, 4));
+    EXPECT_FALSE(l.contains(tx, 4));
+  });
+}
+
+TEST_P(StructuresTest, SortedListEraseRelinksEnds) {
+  World w(GetParam());
+  TxSortedList l(*w.tm, w.slots, 16);
+  w.tm->transaction(0, [&](TxContext& tx) {
+    for (Word k : {1, 2, 3}) l.insert(tx, k);
+    EXPECT_TRUE(l.erase(tx, 1));  // head
+    EXPECT_TRUE(l.erase(tx, 3));  // tail
+    EXPECT_EQ(l.keys(tx), (std::vector<Word>{2}));
+    EXPECT_TRUE(l.insert(tx, 1));
+    EXPECT_EQ(l.keys(tx), (std::vector<Word>{1, 2}));
+  });
+}
+
+TEST_P(StructuresTest, SortedListCapacityBound) {
+  World w(GetParam());
+  TxSortedList l(*w.tm, w.slots, 2);
+  w.tm->transaction(0, [&](TxContext& tx) {
+    EXPECT_TRUE(l.insert(tx, 1));
+    EXPECT_TRUE(l.insert(tx, 2));
+    EXPECT_FALSE(l.insert(tx, 3));  // pool exhausted (no recycling)
+  });
+}
+
+TEST_P(StructuresTest, SortedListMatchesStdSetOracle) {
+  World w(GetParam(), /*vars=*/512);
+  TxSortedList l(*w.tm, w.slots, 128);
+  std::set<Word> oracle;
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const Word key = 1 + rng.below(32);
+    const auto action = rng.below(3);
+    w.tm->transaction(0, [&](TxContext& tx) {
+      switch (action) {
+        case 0: {
+          const bool inserted = l.insert(tx, key);
+          if (inserted != (oracle.count(key) == 0)) {
+            // Pool exhaustion makes insert fail even when absent.
+            EXPECT_FALSE(inserted);
+          } else if (inserted) {
+            oracle.insert(key);
+          }
+          break;
+        }
+        case 1:
+          EXPECT_EQ(l.erase(tx, key), oracle.erase(key) > 0);
+          break;
+        default:
+          EXPECT_EQ(l.contains(tx, key), oracle.count(key) > 0);
+          break;
+      }
+    });
+  }
+  w.tm->transaction(0, [&](TxContext& tx) {
+    std::vector<Word> expect(oracle.begin(), oracle.end());
+    EXPECT_EQ(l.keys(tx), expect);
+  });
+}
+
+TEST_P(StructuresTest, SortedListConcurrentDisjointInserts) {
+  World w(GetParam(), /*vars=*/512);
+  TxSortedList l(*w.tm, w.slots, 128);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 3; ++t) {
+    ts.emplace_back([&, t] {
+      const auto pid = static_cast<ProcessId>(t);
+      for (Word k = 1; k <= 20; ++k) {
+        w.tm->transaction(pid, [&](TxContext& tx) {
+          l.insert(tx, static_cast<Word>(t) * 100 + k);
+        });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  w.tm->transaction(0, [&](TxContext& tx) {
+    auto keys = l.keys(tx);
+    EXPECT_EQ(keys.size(), 60u);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTms, StructuresTest,
+                         ::testing::ValuesIn(allTmKinds()),
+                         [](const auto& info) {
+                           std::string n = tmKindName(info.param);
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace jungle

@@ -1,0 +1,186 @@
+// Mechanical verification of the paper's theorems (§5) on the executable
+// Figure 5 trace constructions.
+#include <gtest/gtest.h>
+
+#include "memmodel/models.hpp"
+#include "theorems/figure5.hpp"
+#include "sim/trace_history.hpp"
+
+namespace jungle {
+namespace {
+
+using namespace jungle::theorems;
+
+SpecMap kRegisters;
+
+/// ∃ corresponding history ensuring opacity parametrized by m.
+bool somePopaqueHistory(const Trace& r, const MemoryModel& m) {
+  auto res = traceEnsuresParametrizedOpacity(r, m, kRegisters);
+  EXPECT_FALSE(res.cappedOut);
+  return res.satisfied;
+}
+
+std::vector<const MemoryModel*> identityModels() {
+  // All models with identity τ (the theorem traces use plain commands).
+  return {&scModel(),    &tsoModel(),  &psoModel(),     &rmoModel(),
+          &alphaModel(), &ia32Model(), &idealizedModel()};
+}
+
+// ---------------------------------------------------- structural sanity
+
+TEST(Figure5, AllTracesAreWellFormedAndMachineConsistent) {
+  const std::vector<std::pair<const char*, Trace>> traces{
+      {"lemma1-bad", lemma1BadTrace()},
+      {"lemma1-good", lemma1GoodTrace()},
+      {"thm1-case1", thm1Case1Trace()},
+      {"thm1-case2", thm1Case2Trace()},
+      {"thm1-case3", thm1Case3Trace()},
+      {"thm1-case3-dep", thm1Case3DependentTrace()},
+      {"thm1-case4", thm1Case4Trace()},
+      {"thm2-store", thm2StoreBasedTrace()},
+      {"thm2-cas", thm2CasBasedTrace()},
+  };
+  for (const auto& [name, r] : traces) {
+    std::string why;
+    EXPECT_TRUE(traceWellFormed(r, &why)) << name << ": " << why;
+    EXPECT_TRUE(traceMachineConsistent(r, &why)) << name << ": " << why;
+  }
+}
+
+// ------------------------------------------------------------- Lemma 1
+
+TEST(Lemma1, MissingUpdateInstructionBreaksEveryModel) {
+  const Trace bad = lemma1BadTrace();
+  for (const MemoryModel* m : identityModels()) {
+    EXPECT_FALSE(somePopaqueHistory(bad, *m)) << m->name();
+  }
+}
+
+TEST(Lemma1, WithTheUpdateTheTraceIsExplainable) {
+  const Trace good = lemma1GoodTrace();
+  for (const MemoryModel* m : identityModels()) {
+    EXPECT_TRUE(somePopaqueHistory(good, *m)) << m->name();
+  }
+}
+
+// ------------------------------------------------------------ Theorem 1
+
+TEST(Theorem1Case1, ReadReadRestrictiveModelsFail) {
+  const Trace r = thm1Case1Trace();
+  // M ∈ M^i_rr: SC, TSO, PSO (and IA-32).
+  EXPECT_FALSE(somePopaqueHistory(r, scModel()));
+  EXPECT_FALSE(somePopaqueHistory(r, tsoModel()));
+  EXPECT_FALSE(somePopaqueHistory(r, psoModel()));
+  EXPECT_FALSE(somePopaqueHistory(r, ia32Model()));
+}
+
+TEST(Theorem1Case1, ReadReorderingModelsExplainTheTrace) {
+  const Trace r = thm1Case1Trace();
+  // The trace's reads are independent: RMO (∈ M^d_rr only), Alpha and the
+  // idealized model may reorder them.
+  EXPECT_TRUE(somePopaqueHistory(r, rmoModel()));
+  EXPECT_TRUE(somePopaqueHistory(r, alphaModel()));
+  EXPECT_TRUE(somePopaqueHistory(r, idealizedModel()));
+}
+
+TEST(Theorem1Case2, WriteReadRestrictiveModelsFail) {
+  const Trace r = thm1Case2Trace();
+  EXPECT_FALSE(somePopaqueHistory(r, scModel()));  // SC ∈ M_wr
+}
+
+TEST(Theorem1Case2, StoreBufferModelsExplainTheTrace) {
+  const Trace r = thm1Case2Trace();
+  // W→R relaxation suffices: TSO, PSO, RMO, Alpha, Idealized.
+  EXPECT_TRUE(somePopaqueHistory(r, tsoModel()));
+  EXPECT_TRUE(somePopaqueHistory(r, psoModel()));
+  EXPECT_TRUE(somePopaqueHistory(r, rmoModel()));
+  EXPECT_TRUE(somePopaqueHistory(r, alphaModel()));
+  EXPECT_TRUE(somePopaqueHistory(r, idealizedModel()));
+}
+
+TEST(Theorem1Case3, ReadWriteRestrictiveModelsFail) {
+  const Trace r = thm1Case3Trace();
+  // Independent read→write restriction: SC, TSO, PSO.
+  EXPECT_FALSE(somePopaqueHistory(r, scModel()));
+  EXPECT_FALSE(somePopaqueHistory(r, tsoModel()));
+  EXPECT_FALSE(somePopaqueHistory(r, psoModel()));
+}
+
+TEST(Theorem1Case3, IndependentWritesEscapeRmoAndAlpha) {
+  const Trace r = thm1Case3Trace();
+  EXPECT_TRUE(somePopaqueHistory(r, rmoModel()));
+  EXPECT_TRUE(somePopaqueHistory(r, alphaModel()));
+  EXPECT_TRUE(somePopaqueHistory(r, idealizedModel()));
+}
+
+TEST(Theorem1Case3, DependentVariantCatchesRmoAndAlpha) {
+  const Trace r = thm1Case3DependentTrace();
+  // RMO, Alpha ∈ M^d_rw: the data-dependent writes must stay ordered
+  // after the read, so the construction defeats them too.
+  EXPECT_FALSE(somePopaqueHistory(r, rmoModel()));
+  EXPECT_FALSE(somePopaqueHistory(r, alphaModel()));
+  // The idealized model is outside M_rw entirely.
+  EXPECT_TRUE(somePopaqueHistory(r, idealizedModel()));
+}
+
+TEST(Theorem1Case4, WriteWriteRestrictiveModelsFail) {
+  const Trace r = thm1Case4Trace();
+  EXPECT_FALSE(somePopaqueHistory(r, scModel()));
+  EXPECT_FALSE(somePopaqueHistory(r, tsoModel()));
+}
+
+TEST(Theorem1Case4, WriteReorderingModelsExplainTheTrace) {
+  const Trace r = thm1Case4Trace();
+  EXPECT_TRUE(somePopaqueHistory(r, psoModel()));
+  EXPECT_TRUE(somePopaqueHistory(r, rmoModel()));
+  EXPECT_TRUE(somePopaqueHistory(r, alphaModel()));
+  EXPECT_TRUE(somePopaqueHistory(r, idealizedModel()));
+}
+
+TEST(Theorem1, EveryRestrictiveModelFallsToSomeCase) {
+  // The theorem's statement: for every M ∈ M_rr ∪ M_rw ∪ M_wr ∪ M_ww, some
+  // adversarial trace defeats an uninstrumented TM.  Map each restrictive
+  // model to its witnessing construction.
+  struct Row {
+    const MemoryModel* m;
+    Trace witness;
+  };
+  const std::vector<Row> rows{
+      {&scModel(), thm1Case1Trace()},
+      {&tsoModel(), thm1Case1Trace()},
+      {&psoModel(), thm1Case1Trace()},
+      {&ia32Model(), thm1Case1Trace()},
+      {&rmoModel(), thm1Case3DependentTrace()},
+      {&alphaModel(), thm1Case3DependentTrace()},
+  };
+  for (const Row& row : rows) {
+    ASSERT_TRUE(row.m->classification().restrictive()) << row.m->name();
+    EXPECT_FALSE(somePopaqueHistory(row.witness, *row.m)) << row.m->name();
+  }
+  // And the hypothesis matters: the idealized model is non-restrictive and
+  // explains every Theorem 1 trace.
+  ASSERT_FALSE(idealizedModel().classification().restrictive());
+  for (const Trace& r : {thm1Case1Trace(), thm1Case2Trace(),
+                         thm1Case3Trace(), thm1Case4Trace()}) {
+    EXPECT_TRUE(somePopaqueHistory(r, idealizedModel()));
+  }
+}
+
+// ------------------------------------------------------------ Theorem 2
+
+TEST(Theorem2, StoreBasedWriteBackFailsEveryModel) {
+  const Trace r = thm2StoreBasedTrace();
+  for (const MemoryModel* m : identityModels()) {
+    EXPECT_FALSE(somePopaqueHistory(r, *m)) << m->name();
+  }
+}
+
+TEST(Theorem2, CasBasedWriteBackIsExplainableEverywhere) {
+  const Trace r = thm2CasBasedTrace();
+  for (const MemoryModel* m : identityModels()) {
+    EXPECT_TRUE(somePopaqueHistory(r, *m)) << m->name();
+  }
+}
+
+}  // namespace
+}  // namespace jungle

@@ -1,0 +1,237 @@
+// Conformance of the live TM implementations with their theorems: traces
+// recorded from deterministic scripts and randomized concurrent stress are
+// checked against the parametrized-opacity / SGLA decision procedures.
+//
+//   Theorem 3: GlobalLockTm  → parametrized opacity for the idealized model
+//   Theorem 4: WriteAsTxTm   → parametrized opacity for M ∉ M_rr (Alpha)
+//   Theorem 5: VersionedWriteTm → parametrized opacity for M ∉ M_rr ∪ M_wr
+//   Theorem 7: GlobalLockTm  → SGLA for EVERY memory model
+//   §6.1:      StrongAtomicityTm → parametrized opacity for SC
+//   Baseline:  Tl2Tm (weak) → opaque when purely transactional; violated
+//              by racy non-transactional writes.
+#include <gtest/gtest.h>
+
+#include "memmodel/models.hpp"
+#include "opacity/sgla.hpp"
+#include "sim/memory_policy.hpp"
+#include "theorems/conformance.hpp"
+#include "tm/strong_atomicity_tm.hpp"
+#include "tm/tl2_tm.hpp"
+#include "tm/versioned_write_tm.hpp"
+
+namespace jungle {
+namespace {
+
+using theorems::checkTracePopacity;
+using theorems::checkTraceSgla;
+using theorems::runStressWorkload;
+using theorems::StressOptions;
+
+SpecMap kRegisters;
+
+Trace recordStress(TmKind kind, const StressOptions& opts) {
+  RecordingMemory mem(runtimeMemoryWords(kind, opts.numVars));
+  auto tm = makeRecordingRuntime(kind, mem, opts.numVars, opts.numProcs);
+  return runStressWorkload(*tm, mem, opts);
+}
+
+// ---------------------------------------------------------- stress-based
+
+struct StressCase {
+  TmKind kind;
+  const MemoryModel* model;
+};
+
+class StressConformanceTest : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(StressConformanceTest, RandomTracesAdmitAnOpaqueHistory) {
+  const auto& [kind, model] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    StressOptions opts;
+    opts.seed = seed;
+    opts.numProcs = 3;
+    opts.numVars = 3;
+    opts.actionsPerProc = 3;
+    Trace r = recordStress(kind, opts);
+    ASSERT_TRUE(traceWellFormed(r));
+    auto res = checkTracePopacity(r, *model, kRegisters);
+    EXPECT_FALSE(res.inconclusive) << "seed " << seed;
+    EXPECT_TRUE(res.ok) << tmKindName(kind) << " vs " << model->name()
+                        << " seed " << seed << "\ncanonical:\n"
+                        << res.canonical.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TheoremMatrix, StressConformanceTest,
+    ::testing::Values(
+        // Theorem 3 / 7 object.
+        StressCase{TmKind::kGlobalLock, &idealizedModel()},
+        // Theorem 4: M ∉ M_rr.
+        StressCase{TmKind::kWriteAsTx, &alphaModel()},
+        StressCase{TmKind::kWriteAsTx, &idealizedModel()},
+        // Theorem 5: M ∉ M_rr ∪ M_wr.
+        StressCase{TmKind::kVersionedWrite, &alphaModel()},
+        StressCase{TmKind::kVersionedWrite, &idealizedModel()},
+        // RMO ∈ M^d_rr, but the stress workload issues only *independent*
+        // plain reads, so the dd-restriction never binds (§5.2's point:
+        // only dependence-carrying reads need the volatile treatment).
+        StressCase{TmKind::kVersionedWrite, &rmoModel()},
+        // §6.1: strong atomicity = opacity parametrized by SC.  SC-opaque
+        // traces are opaque under every weaker model as well.
+        StressCase{TmKind::kStrongAtomicity, &scModel()},
+        StressCase{TmKind::kStrongAtomicity, &tsoModel()},
+        StressCase{TmKind::kStrongAtomicity, &rmoModel()}),
+    [](const auto& info) {
+      std::string n = std::string(tmKindName(info.param.kind)) + "_" +
+                      info.param.model->name();
+      for (auto& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+TEST(StressWidth, FourProcessTracesStillConform) {
+  // A wider interleaving surface (4 processes) for the two key theorems.
+  StressOptions opts;
+  opts.numProcs = 4;
+  opts.numVars = 3;
+  opts.actionsPerProc = 2;
+  for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+    opts.seed = seed;
+    Trace glock = recordStress(TmKind::kGlobalLock, opts);
+    EXPECT_TRUE(checkTracePopacity(glock, idealizedModel(), kRegisters).ok)
+        << "seed " << seed;
+    Trace vw = recordStress(TmKind::kVersionedWrite, opts);
+    EXPECT_TRUE(checkTracePopacity(vw, alphaModel(), kRegisters).ok)
+        << "seed " << seed;
+  }
+}
+
+TEST(Theorem7, GlobalLockStressTracesAreSglaForEveryModel) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    StressOptions opts;
+    opts.seed = seed;
+    opts.numProcs = 3;
+    opts.numVars = 3;
+    opts.actionsPerProc = 3;
+    Trace r = recordStress(TmKind::kGlobalLock, opts);
+    for (const MemoryModel* m :
+         std::vector<const MemoryModel*>{&scModel(), &tsoModel(),
+                                         &rmoModel(), &alphaModel(),
+                                         &idealizedModel()}) {
+      auto res = checkTraceSgla(r, *m, kRegisters);
+      EXPECT_TRUE(res.ok) << m->name() << " seed " << seed;
+    }
+  }
+}
+
+TEST(Baseline, Tl2PurelyTransactionalStressIsOpaque) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    StressOptions opts;
+    opts.seed = seed;
+    opts.pctTx = 100;  // no non-transactional operations
+    opts.numProcs = 3;
+    opts.numVars = 3;
+    opts.actionsPerProc = 3;
+    Trace r = recordStress(TmKind::kTl2Weak, opts);
+    auto res = checkTracePopacity(r, scModel(), kRegisters);
+    EXPECT_TRUE(res.ok) << "seed " << seed;
+  }
+}
+
+// ------------------------------------------------------- scripted races
+
+TEST(Baseline, Tl2LostUpdateViolatesEveryParametrizedOpacity) {
+  // Deterministic schedule: a plain write races a transaction and is lost.
+  // No corresponding history of the recorded trace is parametrized-opaque
+  // under ANY model — uninstrumented plain accesses break the TL2 design.
+  constexpr std::size_t kVars = 2;
+  RecordingMemory mem(Tl2Tm<RecordingMemory>::memoryWords(kVars));
+  Tl2Tm<RecordingMemory> tm(mem, kVars);
+  auto t0 = tm.makeThread(0);
+  auto t1 = tm.makeThread(1);
+
+  tm.txStart(t0);
+  ASSERT_EQ(tm.txRead(t0, 0).value_or(99), 0u);
+  tm.ntWrite(t1, 0, 5);  // plain store: invisible to validation
+  tm.txWrite(t0, 0, 1);
+  ASSERT_TRUE(tm.txCommit(t0));
+  ASSERT_EQ(tm.ntRead(t1, 0), 1u);  // the 5 was lost
+
+  Trace r = mem.trace();
+  for (const MemoryModel* m :
+       std::vector<const MemoryModel*>{&scModel(), &tsoModel(), &rmoModel(),
+                                       &alphaModel(), &idealizedModel()}) {
+    auto res = checkTracePopacity(r, *m, kRegisters);
+    EXPECT_FALSE(res.ok) << m->name();
+    EXPECT_FALSE(res.inconclusive) << m->name();
+  }
+}
+
+TEST(StrongAtomicity, SameScheduleStaysOpaque) {
+  constexpr std::size_t kVars = 2;
+  RecordingMemory mem(StrongAtomicityTm<RecordingMemory>::memoryWords(kVars));
+  StrongAtomicityTm<RecordingMemory> tm(mem, kVars);
+  auto t0 = tm.makeThread(0);
+  auto t1 = tm.makeThread(1);
+
+  tm.txStart(t0);
+  ASSERT_EQ(tm.txRead(t0, 0).value_or(99), 0u);
+  tm.ntWrite(t1, 0, 5);  // instrumented: bumps the record
+  tm.txWrite(t0, 0, 1);
+  ASSERT_FALSE(tm.txCommit(t0));  // detected; transaction aborts
+  ASSERT_EQ(tm.ntRead(t1, 0), 5u);
+
+  Trace r = mem.trace();
+  auto res = checkTracePopacity(r, scModel(), kRegisters);
+  EXPECT_TRUE(res.ok) << res.canonical.toString();
+}
+
+TEST(Theorem5, RacyWriteAgainstCommitStaysExplainable) {
+  // The VersionedWriteTm schedule where the commit CAS is beaten: the
+  // recorded trace still has an Alpha-opaque corresponding history.
+  constexpr std::size_t kVars = 2;
+  RecordingMemory mem(VersionedWriteTm<RecordingMemory>::memoryWords(kVars));
+  VersionedWriteTm<RecordingMemory> tm(mem, kVars);
+  auto t0 = tm.makeThread(0);
+  auto t1 = tm.makeThread(1);
+
+  tm.txStart(t0);
+  tm.txWrite(t0, 0, 1);
+  tm.ntWrite(t1, 0, 5);
+  ASSERT_TRUE(tm.txCommit(t0));
+  ASSERT_EQ(tm.ntRead(t1, 0), 5u);
+
+  Trace r = mem.trace();
+  EXPECT_TRUE(checkTracePopacity(r, alphaModel(), kRegisters).ok);
+  EXPECT_TRUE(checkTracePopacity(r, idealizedModel(), kRegisters).ok);
+}
+
+TEST(Theorem4, WriteAsTxHandlesWriteHeavyRaces) {
+  StressOptions opts;
+  opts.seed = 11;
+  opts.numProcs = 3;
+  opts.numVars = 2;
+  opts.actionsPerProc = 3;
+  opts.pctTx = 30;
+  opts.pctWrite = 80;  // mostly plain writes — the instrumented path
+  Trace r = recordStress(TmKind::kWriteAsTx, opts);
+  EXPECT_TRUE(checkTracePopacity(r, alphaModel(), kRegisters).ok);
+}
+
+// -------------------------------------------------- recorded trace sanity
+
+TEST(Recording, TracesAreWellFormedAndMachineConsistent) {
+  StressOptions opts;
+  opts.seed = 3;
+  for (TmKind kind : allTmKinds()) {
+    Trace r = recordStress(kind, opts);
+    std::string why;
+    EXPECT_TRUE(traceWellFormed(r, &why)) << tmKindName(kind) << ": " << why;
+    EXPECT_TRUE(traceMachineConsistent(r, &why))
+        << tmKindName(kind) << ": " << why;
+  }
+}
+
+}  // namespace
+}  // namespace jungle

@@ -1,0 +1,347 @@
+// Single-threaded unit tests for every TM implementation: transactional
+// semantics (read-your-writes, isolation until commit, abort rollback), the
+// instrumentation properties each theorem requires, and the runtime
+// adapter.  Thread contexts are interleaved deterministically from one OS
+// thread — the TM templates are plain objects, so this drives exact
+// schedules without real concurrency.
+#include <gtest/gtest.h>
+
+#include "sim/memory_policy.hpp"
+#include "tm/global_lock_tm.hpp"
+#include "tm/runtime.hpp"
+#include "tm/strong_atomicity_tm.hpp"
+#include "tm/tl2_tm.hpp"
+#include "tm/versioned_write_tm.hpp"
+#include "tm/write_as_tx_tm.hpp"
+
+namespace jungle {
+namespace {
+
+constexpr std::size_t kVars = 4;
+
+// ---------------------------------------------------------------- VarMap
+
+TEST(VarMap, PutFindOverwriteClear) {
+  VarMap m;
+  EXPECT_EQ(m.find(1), nullptr);
+  m.put(1, 10);
+  m.put(2, 20);
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 10u);
+  m.put(1, 11);
+  EXPECT_EQ(*m.find(1), 11u);
+  EXPECT_EQ(m.size(), 2u);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+}
+
+// ------------------------------------------------------------ PackedVar
+
+TEST(PackedVar, RoundTripsValuePidVersion) {
+  const Word p = PackedVar::pack(0xdeadbeef, 37, 12345);
+  EXPECT_EQ(PackedVar::value(p), 0xdeadbeefULL);
+  EXPECT_NE(PackedVar::pack(1, 2, 3), PackedVar::pack(1, 2, 4));
+  EXPECT_NE(PackedVar::pack(1, 2, 3), PackedVar::pack(1, 3, 3));
+  EXPECT_EQ(PackedVar::pack(0, 0, 0), 0u);  // zero-init memory reads as 0
+}
+
+// ------------------------------------------------ generic TM behaviors
+
+template <class Tm>
+class TmFixture : public ::testing::Test {
+ protected:
+  TmFixture()
+      : mem_(Tm::memoryWords(kVars)),
+        tm_(mem_, kVars),
+        t0_(tm_.makeThread(0)),
+        t1_(tm_.makeThread(1)) {}
+
+  Word readTx(typename Tm::Thread& t, ObjectId x) {
+    auto v = tm_.txRead(t, x);
+    if constexpr (std::is_same_v<decltype(v), std::optional<Word>>) {
+      EXPECT_TRUE(v.has_value());
+      return v.value_or(0);
+    } else {
+      return v;
+    }
+  }
+
+  NativeMemory mem_;
+  Tm tm_;
+  typename Tm::Thread t0_;
+  typename Tm::Thread t1_;
+};
+
+using AllTms =
+    ::testing::Types<GlobalLockTm<NativeMemory>, WriteAsTxTm<NativeMemory>,
+                     VersionedWriteTm<NativeMemory>, Tl2Tm<NativeMemory>,
+                     StrongAtomicityTm<NativeMemory>>;
+
+TYPED_TEST_SUITE(TmFixture, AllTms);
+
+TYPED_TEST(TmFixture, CommittedWritesBecomeVisible) {
+  this->tm_.txStart(this->t0_);
+  this->tm_.txWrite(this->t0_, 0, 5);
+  this->tm_.txWrite(this->t0_, 1, 6);
+  EXPECT_TRUE(this->tm_.txCommit(this->t0_));
+  EXPECT_EQ(this->tm_.ntRead(this->t1_, 0), 5u);
+  EXPECT_EQ(this->tm_.ntRead(this->t1_, 1), 6u);
+}
+
+TYPED_TEST(TmFixture, ReadYourOwnWrites) {
+  this->tm_.txStart(this->t0_);
+  this->tm_.txWrite(this->t0_, 0, 7);
+  EXPECT_EQ(this->readTx(this->t0_, 0), 7u);
+  this->tm_.txWrite(this->t0_, 0, 8);
+  EXPECT_EQ(this->readTx(this->t0_, 0), 8u);
+  EXPECT_TRUE(this->tm_.txCommit(this->t0_));
+  EXPECT_EQ(this->tm_.ntRead(this->t0_, 0), 8u);
+}
+
+TYPED_TEST(TmFixture, AbortDiscardsWrites) {
+  this->tm_.txStart(this->t0_);
+  this->tm_.txWrite(this->t0_, 0, 9);
+  this->tm_.txAbort(this->t0_);
+  EXPECT_EQ(this->tm_.ntRead(this->t1_, 0), 0u);
+}
+
+TYPED_TEST(TmFixture, ReadsSeePriorNtWrites) {
+  this->tm_.ntWrite(this->t1_, 2, 4);
+  this->tm_.txStart(this->t0_);
+  EXPECT_EQ(this->readTx(this->t0_, 2), 4u);
+  EXPECT_TRUE(this->tm_.txCommit(this->t0_));
+}
+
+TYPED_TEST(TmFixture, NtRoundTrip) {
+  this->tm_.ntWrite(this->t0_, 3, 11);
+  EXPECT_EQ(this->tm_.ntRead(this->t0_, 3), 11u);
+  EXPECT_EQ(this->tm_.ntRead(this->t1_, 3), 11u);
+}
+
+TYPED_TEST(TmFixture, SequentialTransactionsCompose) {
+  for (Word i = 1; i <= 5; ++i) {
+    this->tm_.txStart(this->t0_);
+    const Word cur = this->readTx(this->t0_, 0);
+    this->tm_.txWrite(this->t0_, 0, cur + i);
+    EXPECT_TRUE(this->tm_.txCommit(this->t0_));
+  }
+  EXPECT_EQ(this->tm_.ntRead(this->t1_, 0), 15u);
+}
+
+// ----------------------------------- deferred update (lazy write-back)
+
+TYPED_TEST(TmFixture, UncommittedWritesInvisibleToNtReads) {
+  this->tm_.txStart(this->t0_);
+  this->tm_.txWrite(this->t0_, 0, 42);
+  // All our TMs defer updates at least until commit begins: a plain read
+  // from another thread still sees the old value.
+  EXPECT_EQ(this->tm_.ntRead(this->t1_, 0), 0u);
+  EXPECT_TRUE(this->tm_.txCommit(this->t0_));
+  EXPECT_EQ(this->tm_.ntRead(this->t1_, 0), 42u);
+}
+
+// ------------------------------------------ TL2-specific conflict logic
+
+TEST(Tl2, ConflictingCommitAbortsReader) {
+  NativeMemory mem(Tl2Tm<NativeMemory>::memoryWords(kVars));
+  Tl2Tm<NativeMemory> tm(mem, kVars);
+  auto t0 = tm.makeThread(0);
+  auto t1 = tm.makeThread(1);
+
+  tm.txStart(t0);
+  ASSERT_TRUE(tm.txRead(t0, 0).has_value());
+  // t1 commits a write to var 0, bumping its version past t0's rv.
+  tm.txStart(t1);
+  tm.txWrite(t1, 0, 5);
+  ASSERT_TRUE(tm.txCommit(t1));
+  // t0's commit-time validation must now fail its read set.
+  tm.txWrite(t0, 1, 9);
+  EXPECT_FALSE(tm.txCommit(t0));
+  EXPECT_EQ(tm.ntRead(t1, 1), 0u);  // t0's write never landed
+}
+
+TEST(Tl2, StaleReadAbortsImmediately) {
+  NativeMemory mem(Tl2Tm<NativeMemory>::memoryWords(kVars));
+  Tl2Tm<NativeMemory> tm(mem, kVars);
+  auto t0 = tm.makeThread(0);
+  auto t1 = tm.makeThread(1);
+
+  tm.txStart(t0);  // rv sampled now
+  tm.txStart(t1);
+  tm.txWrite(t1, 0, 5);
+  ASSERT_TRUE(tm.txCommit(t1));
+  // Var 0's version now exceeds t0's rv: the read itself aborts.
+  EXPECT_FALSE(tm.txRead(t0, 0).has_value());
+  EXPECT_EQ(tm.abortCount(t0), 1u);
+  EXPECT_FALSE(t0.inTx);
+}
+
+TEST(Tl2, ReadOnlyTransactionCommitsWithoutLocks) {
+  NativeMemory mem(Tl2Tm<NativeMemory>::memoryWords(kVars));
+  Tl2Tm<NativeMemory> tm(mem, kVars);
+  auto t0 = tm.makeThread(0);
+  tm.txStart(t0);
+  EXPECT_TRUE(tm.txRead(t0, 0).has_value());
+  EXPECT_TRUE(tm.txRead(t0, 1).has_value());
+  EXPECT_TRUE(tm.txCommit(t0));
+}
+
+TEST(StrongAtomicity, NtWriteAbortsConcurrentTransaction) {
+  NativeMemory mem(StrongAtomicityTm<NativeMemory>::memoryWords(kVars));
+  StrongAtomicityTm<NativeMemory> tm(mem, kVars);
+  auto t0 = tm.makeThread(0);
+  auto t1 = tm.makeThread(1);
+
+  tm.txStart(t0);
+  ASSERT_TRUE(tm.txRead(t0, 0).has_value());
+  tm.ntWrite(t1, 0, 5);  // instrumented: bumps var 0's version
+  tm.txWrite(t0, 1, 7);
+  EXPECT_FALSE(tm.txCommit(t0));  // read-set validation fails
+  EXPECT_EQ(tm.ntRead(t1, 0), 5u);
+  EXPECT_EQ(tm.ntRead(t1, 1), 0u);
+}
+
+TEST(Tl2Weak, LostNtWriteDemonstratesWeakAtomicity) {
+  // The motivating unsafety: an uninstrumented write racing a transaction
+  // is silently lost because it does not touch the record.
+  NativeMemory mem(Tl2Tm<NativeMemory>::memoryWords(kVars));
+  Tl2Tm<NativeMemory> tm(mem, kVars);
+  auto t0 = tm.makeThread(0);
+  auto t1 = tm.makeThread(1);
+
+  tm.txStart(t0);
+  ASSERT_EQ(tm.txRead(t0, 0).value_or(99), 0u);
+  tm.ntWrite(t1, 0, 5);      // plain store, invisible to validation
+  tm.txWrite(t0, 0, 1);
+  EXPECT_TRUE(tm.txCommit(t0));  // commits despite the intervening write
+  EXPECT_EQ(tm.ntRead(t1, 0), 1u);  // the 5 is gone
+}
+
+TEST(StrongAtomicity, SameRaceIsDetected) {
+  NativeMemory mem(StrongAtomicityTm<NativeMemory>::memoryWords(kVars));
+  StrongAtomicityTm<NativeMemory> tm(mem, kVars);
+  auto t0 = tm.makeThread(0);
+  auto t1 = tm.makeThread(1);
+
+  tm.txStart(t0);
+  ASSERT_EQ(tm.txRead(t0, 0).value_or(99), 0u);
+  tm.ntWrite(t1, 0, 5);  // instrumented
+  tm.txWrite(t0, 0, 1);
+  EXPECT_FALSE(tm.txCommit(t0));  // detected, transaction aborts
+  EXPECT_EQ(tm.ntRead(t1, 0), 5u);  // the plain write survives
+}
+
+// ------------------------------------- VersionedWriteTm specific checks
+
+TEST(VersionedWrite, RacyNtWriteBeatsTheCommitCas) {
+  // Theorem 5's key situation: a plain write lands between the
+  // transaction's read and its commit CAS.  The CAS fails, which is
+  // equivalent to the write being ordered after the transaction.
+  NativeMemory mem(VersionedWriteTm<NativeMemory>::memoryWords(kVars));
+  VersionedWriteTm<NativeMemory> tm(mem, kVars);
+  auto t0 = tm.makeThread(0);
+  auto t1 = tm.makeThread(1);
+
+  tm.txStart(t0);
+  tm.txWrite(t0, 0, 1);      // readset snapshot of var 0 taken here
+  tm.ntWrite(t1, 0, 5);      // tagged store wins
+  EXPECT_TRUE(tm.txCommit(t0));
+  EXPECT_EQ(tm.ntRead(t1, 0), 5u);  // nt write ordered after the tx
+}
+
+TEST(VersionedWrite, AbaPatternCannotFoolTheCas) {
+  // Two racy writes restore the same value; without tags the commit CAS
+  // would succeed and effectively reorder the transaction between them.
+  // With (pid, version) tags the CAS fails.
+  NativeMemory mem(VersionedWriteTm<NativeMemory>::memoryWords(kVars));
+  VersionedWriteTm<NativeMemory> tm(mem, kVars);
+  auto t0 = tm.makeThread(0);
+  auto t1 = tm.makeThread(1);
+
+  tm.ntWrite(t1, 0, 3);
+  tm.txStart(t0);
+  tm.txWrite(t0, 0, 1);
+  tm.ntWrite(t1, 0, 9);
+  tm.ntWrite(t1, 0, 3);  // same value as the snapshot, different tag
+  EXPECT_TRUE(tm.txCommit(t0));
+  EXPECT_EQ(tm.ntRead(t1, 0), 3u);  // the transaction's CAS failed
+}
+
+TEST(VersionedWrite, ValuesRoundTripThroughPacking) {
+  NativeMemory mem(VersionedWriteTm<NativeMemory>::memoryWords(kVars));
+  VersionedWriteTm<NativeMemory> tm(mem, kVars);
+  auto t0 = tm.makeThread(0);
+  tm.ntWrite(t0, 0, PackedVar::kMaxValue);
+  EXPECT_EQ(tm.ntRead(t0, 0), PackedVar::kMaxValue);
+}
+
+// ------------------------------------------------------ runtime adapter
+
+class RuntimeTest : public ::testing::TestWithParam<TmKind> {};
+
+TEST_P(RuntimeTest, TransactionalTransferPreservesTotal) {
+  const TmKind kind = GetParam();
+  NativeMemory mem(runtimeMemoryWords(kind, kVars));
+  auto tm = makeNativeRuntime(kind, mem, kVars, 2);
+  tm->ntWrite(0, 0, 100);
+  for (int i = 0; i < 10; ++i) {
+    tm->transaction(0, [&](TxContext& tx) {
+      const Word a = tx.read(0);
+      const Word b = tx.read(1);
+      tx.write(0, a - 7);
+      tx.write(1, b + 7);
+    });
+  }
+  EXPECT_EQ(tm->ntRead(1, 0), 30u);
+  EXPECT_EQ(tm->ntRead(1, 1), 70u);
+}
+
+TEST_P(RuntimeTest, UserAbortRollsBackAndDoesNotRetry) {
+  const TmKind kind = GetParam();
+  NativeMemory mem(runtimeMemoryWords(kind, kVars));
+  auto tm = makeNativeRuntime(kind, mem, kVars, 1);
+  int attempts = 0;
+  const bool committed = tm->transaction(0, [&](TxContext& tx) {
+    ++attempts;
+    tx.write(0, 99);
+    tx.abort();
+  });
+  EXPECT_FALSE(committed);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(tm->ntRead(0, 0), 0u);
+}
+
+TEST_P(RuntimeTest, InstrumentationFlagsMatchTheDesign) {
+  const TmKind kind = GetParam();
+  NativeMemory mem(runtimeMemoryWords(kind, kVars));
+  auto tm = makeNativeRuntime(kind, mem, kVars, 1);
+  switch (kind) {
+    case TmKind::kGlobalLock:
+    case TmKind::kTl2Weak:
+      EXPECT_FALSE(tm->instrumentsNtReads());
+      EXPECT_FALSE(tm->instrumentsNtWrites());
+      break;
+    case TmKind::kWriteAsTx:
+    case TmKind::kVersionedWrite:
+      EXPECT_FALSE(tm->instrumentsNtReads());
+      EXPECT_TRUE(tm->instrumentsNtWrites());
+      break;
+    case TmKind::kStrongAtomicity:
+      EXPECT_TRUE(tm->instrumentsNtReads());
+      EXPECT_TRUE(tm->instrumentsNtWrites());
+      break;
+  }
+  EXPECT_STREQ(tm->name(), tmKindName(kind));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, RuntimeTest,
+                         ::testing::ValuesIn(allTmKinds()),
+                         [](const auto& info) {
+                           std::string n = tmKindName(info.param);
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace jungle

@@ -1,0 +1,219 @@
+// Tests for the instruction/trace layer (§4) and the trace → history
+// correspondence of Figure 4.
+#include <gtest/gtest.h>
+
+#include "sim/trace_history.hpp"
+
+namespace jungle {
+namespace {
+
+// ------------------------------------------------------------ structure
+
+TEST(Trace, BuilderAndProjection) {
+  TraceBuilder b;
+  b.ntWrite(1, 1, 0, 0, 5);
+  b.ntRead(2, 2, 0, 0, 5);
+  Trace r = b.build();
+  EXPECT_EQ(r.size(), 6u);
+  EXPECT_EQ(r.projectProcess(1).size(), 3u);
+  EXPECT_EQ(r.projectProcess(2).size(), 3u);
+  EXPECT_EQ(r.projectProcess(9).size(), 0u);
+}
+
+TEST(Trace, WellFormedAcceptsInterleavedProcesses) {
+  TraceBuilder b;
+  b.invoke(1, 1, OpType::kCommand, 0, cmdWrite(1));
+  b.invoke(2, 2, OpType::kCommand, 0, cmdRead(0));
+  b.store(1, 1, 0, 1);
+  b.load(2, 2, 0, 0);
+  b.respond(2, 2, OpType::kCommand, 0, cmdRead(0));
+  b.respond(1, 1, OpType::kCommand, 0, cmdWrite(1));
+  EXPECT_TRUE(traceWellFormed(b.build()));
+}
+
+TEST(Trace, WellFormedRejectsNestedInvokes) {
+  TraceBuilder b;
+  b.invoke(1, 1, OpType::kCommand, 0, cmdRead(0));
+  b.invoke(1, 2, OpType::kCommand, 0, cmdRead(0));
+  std::string why;
+  EXPECT_FALSE(traceWellFormed(b.build(), &why));
+  EXPECT_NE(why.find("invoke"), std::string::npos);
+}
+
+TEST(Trace, WellFormedRejectsStrayInstructions) {
+  TraceBuilder b;
+  b.load(1, 1, 0, 0);
+  EXPECT_FALSE(traceWellFormed(b.build()));
+}
+
+TEST(Trace, WellFormedAllowsTrailingIncompleteOp) {
+  TraceBuilder b;
+  b.invoke(1, 1, OpType::kCommand, 0, cmdRead(0));
+  b.load(1, 1, 0, 0);
+  EXPECT_TRUE(traceWellFormed(b.build()));
+}
+
+// --------------------------------------------------- machine consistency
+
+TEST(Trace, MachineConsistencyAcceptsFaithfulReplay) {
+  TraceBuilder b;
+  b.ntWrite(1, 1, 0, 0, 5);
+  b.ntRead(2, 2, 0, 0, 5);
+  EXPECT_TRUE(traceMachineConsistent(b.build()));
+}
+
+TEST(Trace, MachineConsistencyRejectsStaleLoad) {
+  TraceBuilder b;
+  b.ntWrite(1, 1, 0, 0, 5);
+  b.ntRead(2, 2, 0, 0, 3);  // memory holds 5
+  std::string why;
+  EXPECT_FALSE(traceMachineConsistent(b.build(), &why));
+  EXPECT_NE(why.find("stale"), std::string::npos);
+}
+
+TEST(Trace, MachineConsistencyChecksCasOutcome) {
+  {
+    TraceBuilder b;
+    b.invoke(1, 1, OpType::kStart);
+    b.cas(1, 1, 0, 0, 7, true);
+    b.respond(1, 1, OpType::kStart);
+    EXPECT_TRUE(traceMachineConsistent(b.build()));
+  }
+  {
+    TraceBuilder b;  // claims success but expected value is wrong
+    b.invoke(1, 1, OpType::kStart);
+    b.cas(1, 1, 0, 9, 7, true);
+    b.respond(1, 1, OpType::kStart);
+    EXPECT_FALSE(traceMachineConsistent(b.build()));
+  }
+  {
+    TraceBuilder b;  // failed CAS must not write
+    b.invoke(1, 1, OpType::kStart);
+    b.cas(1, 1, 0, 9, 7, false);
+    b.respond(1, 1, OpType::kStart);
+    b.invoke(1, 2, OpType::kCommand, 0, cmdRead(0));
+    b.load(1, 2, 0, 0);
+    b.respond(1, 2, OpType::kCommand, 0, cmdRead(0));
+    EXPECT_TRUE(traceMachineConsistent(b.build()));
+  }
+}
+
+// --------------------------------------------------------- correspondence
+
+// Figure 4's situation: two operations overlap, so both orders correspond.
+Trace overlappingOpsTrace() {
+  TraceBuilder b;
+  b.invoke(1, 1, OpType::kCommand, 0, cmdWrite(1));   // p1 wr x 1 …
+  b.invoke(2, 2, OpType::kCommand, 0, cmdRead(0));    // p2 rd x overlaps
+  b.load(2, 2, 0, 0);
+  b.respond(2, 2, OpType::kCommand, 0, cmdRead(0));
+  b.store(1, 1, 0, 1);
+  b.respond(1, 1, OpType::kCommand, 0, cmdWrite(1));
+  return b.build();
+}
+
+TEST(Correspondence, OverlappingOpsYieldBothOrders) {
+  int count = 0;
+  auto res = forEachCorrespondingHistory(overlappingOpsTrace(),
+                                         [&](const History& h) {
+                                           EXPECT_EQ(h.size(), 2u);
+                                           ++count;
+                                           return false;
+                                         });
+  EXPECT_FALSE(res.satisfied);
+  EXPECT_FALSE(res.cappedOut);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Correspondence, SeparatedOpsYieldOneOrder) {
+  TraceBuilder b;
+  b.ntWrite(1, 1, 0, 0, 5);
+  b.ntRead(2, 2, 0, 0, 5);
+  int count = 0;
+  forEachCorrespondingHistory(b.build(), [&](const History& h) {
+    EXPECT_EQ(h[0].id, 1u);
+    EXPECT_EQ(h[1].id, 2u);
+    ++count;
+    return false;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Correspondence, EarlyExitStopsEnumeration) {
+  int count = 0;
+  auto res = forEachCorrespondingHistory(overlappingOpsTrace(),
+                                         [&](const History&) {
+                                           ++count;
+                                           return true;
+                                         });
+  EXPECT_TRUE(res.satisfied);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Correspondence, RespectsResponseBeforeInvokeOrderOnly) {
+  // Three ops: A [0..1], B [2..3], C overlapping B: A<B, A<C forced; B,C
+  // free: 2 extensions.
+  TraceBuilder b;
+  b.ntWrite(1, 1, 0, 0, 1);                          // A
+  b.invoke(1, 2, OpType::kCommand, 1, cmdWrite(2));  // B
+  b.invoke(2, 3, OpType::kCommand, 0, cmdRead(1));   // C
+  b.load(2, 3, 0, 1);
+  b.respond(2, 3, OpType::kCommand, 0, cmdRead(1));
+  b.store(1, 2, 1, 2);
+  b.respond(1, 2, OpType::kCommand, 1, cmdWrite(2));
+  int count = 0;
+  forEachCorrespondingHistory(b.build(), [&](const History& h) {
+    EXPECT_EQ(h[0].id, 1u);
+    ++count;
+    return false;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Correspondence, CanonicalUsesPointsWhenPresent) {
+  // Op 1 invokes first but its point is late; op 2 is nested inside with
+  // an early point: canonical order = (2, 1).
+  TraceBuilder b;
+  b.invoke(1, 1, OpType::kCommand, 0, cmdWrite(1));
+  b.invoke(2, 2, OpType::kCommand, 1, cmdWrite(2));
+  b.point(2, 2);
+  b.respond(2, 2, OpType::kCommand, 1, cmdWrite(2));
+  b.store(1, 1, 0, 1);
+  b.point(1, 1);
+  b.respond(1, 1, OpType::kCommand, 0, cmdWrite(1));
+  History h = canonicalHistory(b.build());
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0].id, 2u);
+  EXPECT_EQ(h[1].id, 1u);
+}
+
+TEST(Correspondence, ReadValueComesFromResponse) {
+  // The invoke carries a placeholder 0; the respond carries the real value.
+  TraceBuilder b;
+  b.invoke(1, 1, OpType::kCommand, 0, cmdRead(0));
+  b.load(1, 1, 0, 0);
+  b.respond(1, 1, OpType::kCommand, 0, cmdRead(42));
+  History h = canonicalHistory(b.build());
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0].cmd.value, 42u);
+}
+
+TEST(Correspondence, AbortRespondMorphsTheOperation) {
+  // A transactional read that fails validation responds as the abort.
+  TraceBuilder b;
+  b.invoke(1, 1, OpType::kStart);
+  b.respond(1, 1, OpType::kStart);
+  b.invoke(1, 2, OpType::kCommand, 0, cmdRead(0));
+  b.load(1, 2, 0, 0);
+  b.respond(1, 2, OpType::kAbort);
+  History h = canonicalHistory(b.build());
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_TRUE(h[1].isAbort());
+  HistoryAnalysis a(h);
+  EXPECT_TRUE(a.wellFormed());
+  ASSERT_EQ(a.transactions().size(), 1u);
+  EXPECT_TRUE(a.transactions()[0].aborted);
+}
+
+}  // namespace
+}  // namespace jungle
