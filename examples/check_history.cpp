@@ -1,13 +1,22 @@
 // check_history: the decision procedures as a command-line tool.
 //
-//   build/examples/check_history <file.hist> [--verbose]
+//   build/examples/check_history <file.hist> [--verbose] [--threads=N]
+//                                [--timeout-ms=N] [--stats]
 //   build/examples/check_history --demo
 //
 // Reads a history in the textual format of src/litmus/history_parser.hpp,
 // then reports well-formedness, the transactional structure, the real-time
 // order, and — per memory model — whether the history ensures parametrized
 // opacity, SGLA, and strict serializability.
+//
+//   --threads=N     portfolio workers for the serialization-order search
+//                   (default 1: the exact sequential search)
+//   --timeout-ms=N  wall-clock deadline per check; expired searches report
+//                   "inconclusive" rather than "violated"
+//   --stats         print search telemetry (expansions, memo hits, depth,
+//                   branches, elapsed) after each check
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -35,7 +44,30 @@ p3: commit   @8
 p3: rd x 1   @9
 )";
 
-int run(const std::string& text, bool verbose) {
+struct Options {
+  bool verbose = false;
+  bool stats = false;
+  SearchLimits limits;
+};
+
+void printStats(const char* what, const SearchStats& s) {
+  std::printf(
+      "  [%s] expansions=%llu memo=%llu/%llu hit/miss depth=%llu "
+      "branches=%llu threads=%u elapsed=%lldus\n",
+      what, static_cast<unsigned long long>(s.expansions),
+      static_cast<unsigned long long>(s.memoHits),
+      static_cast<unsigned long long>(s.memoMisses),
+      static_cast<unsigned long long>(s.maxDepth),
+      static_cast<unsigned long long>(s.branchesExplored), s.threadsUsed,
+      static_cast<long long>(s.elapsed.count()));
+}
+
+const char* verdict(const CheckResult& r) {
+  return r.inconclusive ? "inconclusive" : r.satisfied ? "SATISFIED"
+                                                       : "violated";
+}
+
+int run(const std::string& text, const Options& opts) {
   auto parsed = litmus::parseHistory(text);
   if (!parsed) {
     std::fprintf(stderr, "parse error: %s\n", parsed.error.c_str());
@@ -51,7 +83,7 @@ int run(const std::string& text, bool verbose) {
   }
   std::printf("well-formed; %zu transactions (%zu committed)\n",
               analysis.transactions().size(), analysis.countCommitted());
-  if (verbose) {
+  if (opts.verbose) {
     std::printf("\n%s", litmus::formatHistory(h).c_str());
     std::printf("\nreal-time order (≺h, transitively closed):\n  ");
     for (const auto& [i, j] : analysis.realTimePairs()) {
@@ -62,25 +94,26 @@ int run(const std::string& text, bool verbose) {
   }
 
   SpecMap specs;
+  SglaOptions sglaOpts;
+  sglaOpts.limits = opts.limits;
   std::printf("\n%-11s %-22s %-12s\n", "model", "parametrized opacity",
               "SGLA");
   for (const MemoryModel* m : allModels()) {
-    const CheckResult po = checkParametrizedOpacity(h, *m, specs);
-    const CheckResult sg = checkSgla(h, *m, specs);
-    std::printf("%-11s %-22s %-12s\n", m->name(),
-                po.inconclusive ? "inconclusive"
-                : po.satisfied  ? "SATISFIED"
-                                : "violated",
-                sg.inconclusive ? "inconclusive"
-                : sg.satisfied  ? "SATISFIED"
-                                : "violated");
+    const CheckResult po = checkParametrizedOpacity(h, *m, specs, opts.limits);
+    const CheckResult sg = checkSgla(h, *m, specs, sglaOpts);
+    std::printf("%-11s %-22s %-12s\n", m->name(), verdict(po), verdict(sg));
+    if (opts.stats) {
+      printStats("popacity", po.stats);
+      printStats("sgla", sg.stats);
+    }
   }
-  const CheckResult ss = checkStrictSerializability(h, specs);
-  std::printf("\nstrict serializability (committed only): %s\n",
-              ss.satisfied ? "SATISFIED" : "violated");
+  const CheckResult ss = checkStrictSerializability(h, specs, opts.limits);
+  std::printf("\nstrict serializability (committed only): %s\n", verdict(ss));
+  if (opts.stats) printStats("strict-ser", ss.stats);
 
-  if (verbose) {
-    const CheckResult po = checkParametrizedOpacity(h, scModel(), specs);
+  if (opts.verbose) {
+    const CheckResult po =
+        checkParametrizedOpacity(h, scModel(), specs, opts.limits);
     if (po.satisfied && po.witness.has_value()) {
       std::printf("\nwitness sequential history under SC:\n%s",
                   litmus::formatHistory(*po.witness).c_str());
@@ -92,15 +125,34 @@ int run(const std::string& text, bool verbose) {
   return 0;
 }
 
+/// Parses "--flag=value" or "--flag value" forms; returns nullptr when
+/// argv[i] is not `flag`.
+const char* flagValue(int argc, char** argv, int& i, const char* flag) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(argv[i], flag, len) != 0) return nullptr;
+  if (argv[i][len] == '=') return argv[i] + len + 1;
+  if (argv[i][len] == '\0' && i + 1 < argc) return argv[++i];
+  return nullptr;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool verbose = false;
+  Options opts;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--verbose") == 0 ||
         std::strcmp(argv[i], "-v") == 0) {
-      verbose = true;
+      opts.verbose = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      opts.stats = true;
+    } else if (const char* v = flagValue(argc, argv, i, "--threads")) {
+      opts.limits.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      if (opts.limits.threads == 0) opts.limits.threads = 1;
+    } else if (const char* v = flagValue(argc, argv, i, "--timeout-ms")) {
+      opts.limits.timeout =
+          std::chrono::milliseconds(std::strtoll(v, nullptr, 10));
+      opts.limits.maxExpansions = 0;  // the deadline is the budget now
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       path = "-demo-";
     } else {
@@ -109,12 +161,13 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) {
     std::fprintf(stderr,
-                 "usage: check_history <file.hist> [--verbose] | --demo\n");
+                 "usage: check_history <file.hist> [--verbose] [--threads=N] "
+                 "[--timeout-ms=N] [--stats] | --demo\n");
     return 2;
   }
   if (path == "-demo-") {
     std::printf("(running the built-in Figure 3 demo)\n\n");
-    return run(kDemo, verbose);
+    return run(kDemo, opts);
   }
   std::ifstream in(path);
   if (!in) {
@@ -123,5 +176,5 @@ int main(int argc, char** argv) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return run(buf.str(), verbose);
+  return run(buf.str(), opts);
 }

@@ -21,7 +21,14 @@ echo "== benches =="
 for b in "$BUILD"/bench/*; do
   [ -x "$b" ] || continue
   echo "=== $(basename "$b") ===" | tee -a "$OUT/bench_output.txt"
-  "$b" 2>&1 | tee -a "$OUT/bench_output.txt"
+  if [ "$(basename "$b")" = "bench_checker" ]; then
+    # Machine-readable scaling data (incl. the portfolio thread sweep) for
+    # EXPERIMENTS.md E4; the console copy still lands in bench_output.txt.
+    "$b" --benchmark_out="$OUT/BENCH_checker.json" \
+         --benchmark_out_format=json 2>&1 | tee -a "$OUT/bench_output.txt"
+  else
+    "$b" 2>&1 | tee -a "$OUT/bench_output.txt"
+  fi
 done
 
 echo "== figure tables =="

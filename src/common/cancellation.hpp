@@ -1,0 +1,53 @@
+// Cooperative cancellation and wall-clock deadlines for the parallel
+// decision-engine search.
+//
+// A StopFlag is shared by every worker of one portfolio search: the first
+// worker to find a witness (or to observe an expired deadline / exhausted
+// budget) raises it, and the others unwind at their next check.  Raising
+// the flag is a release store and checking it a relaxed load — workers only
+// need to *eventually* observe it; the search result itself is published
+// under a mutex.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace jungle {
+
+class StopFlag {
+ public:
+  void requestStop() { stopped_.store(true, std::memory_order_release); }
+  bool stopRequested() const {
+    return stopped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> stopped_{false};
+};
+
+/// A wall-clock deadline (steady clock, so immune to time-of-day jumps).
+/// Default-constructed deadlines never expire.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline after(std::chrono::milliseconds d) {
+    Deadline dl;
+    dl.enabled_ = true;
+    dl.at_ = std::chrono::steady_clock::now() + d;
+    return dl;
+  }
+
+  bool enabled() const { return enabled_; }
+
+  bool expired() const {
+    return enabled_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+}  // namespace jungle

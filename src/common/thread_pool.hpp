@@ -1,0 +1,88 @@
+// A small fixed-size worker pool for the decision engine's portfolio
+// search.
+//
+// Deliberately minimal: FIFO task queue, blocking submit-side wait().  The
+// engine submits one task per top-level branch of the serialization-order
+// enumeration; tasks are claimed in submission order, which keeps the
+// parallel search's branch-visit order a prefix-parallel version of the
+// sequential one.  Tasks must not throw.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace jungle {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned workers) {
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { workerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has finished executing.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown with a drained queue
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_;
+  std::size_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace jungle

@@ -1,0 +1,758 @@
+#include "opacity/engine.hpp"
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/bitset64.hpp"
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/thread_pool.hpp"
+#include "memmodel/models.hpp"
+
+namespace jungle {
+
+ConditionPolicy ConditionPolicy::parametrizedOpacity(const MemoryModel& m) {
+  ConditionPolicy p;
+  p.name = "parametrized opacity";
+  p.model = &m;
+  return p;
+}
+
+ConditionPolicy ConditionPolicy::opacity() {
+  ConditionPolicy p;
+  p.name = "opacity";
+  p.model = &scModel();
+  return p;
+}
+
+ConditionPolicy ConditionPolicy::strictSerializability() {
+  ConditionPolicy p;
+  p.name = "strict serializability";
+  p.model = &scModel();
+  p.eraseNonCommitted = true;
+  return p;
+}
+
+ConditionPolicy ConditionPolicy::sgla(const MemoryModel& m,
+                                      bool enforceTxRealTime) {
+  ConditionPolicy p;
+  p.name = "SGLA";
+  p.model = &m;
+  p.txOnlySequential = true;
+  p.enforceTxRealTime = enforceTxRealTime;
+  return p;
+}
+
+namespace {
+
+constexpr std::uint64_t kSuffixSeed = 0x2545f4914f6cdd1dULL;
+constexpr std::uint64_t kBudgetChunk = 1024;
+constexpr std::uint64_t kDeadlineMask = 1023;
+
+/// Hash of each suffix of a serialization order: suffixes[k] identifies
+/// order[k..].  Mixed into memo keys so failed configurations transfer
+/// between orders that agree on the not-yet-scheduled tail.
+std::vector<std::uint64_t> suffixHashes(const std::vector<std::size_t>& order) {
+  std::vector<std::uint64_t> suf(order.size() + 1);
+  suf[order.size()] = kSuffixSeed;
+  for (std::size_t k = order.size(); k-- > 0;) {
+    std::uint64_t s = suf[k + 1];
+    hashCombine(s, order[k]);
+    suf[k] = s;
+  }
+  return suf;
+}
+
+// ------------------------------------------------ ≪-enumeration portfolio
+
+/// The precedence constraints the ≪-enumeration must respect, over dense
+/// transaction indices 0..n-1.
+struct TxPrecedence {
+  std::size_t n = 0;
+  std::vector<bool> before;  // row-major: before[i*n+j] ⇔ i must precede j
+
+  bool mustPrecede(std::size_t i, std::size_t j) const {
+    return before[i * n + j];
+  }
+
+  bool ready(std::size_t i, const std::vector<bool>& used) const {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!used[j] && j != i && mustPrecede(j, i)) return false;
+    }
+    return true;
+  }
+};
+
+/// Enumerates, in lexicographic index order, every completion of `order`
+/// to a full linear extension, invoking fn(order) for each.  Checks the
+/// stop flag between orders so a found witness halts the enumeration.
+template <class Fn>
+void forEachCompletion(const TxPrecedence& p, std::vector<std::size_t>& order,
+                       std::vector<bool>& used, SearchContext& ctx,
+                       const Fn& fn) {
+  if (ctx.stop().stopRequested()) return;
+  if (order.size() == p.n) {
+    // The per-searcher expansion counter may never reach the in-search poll
+    // interval on instances with many cheap orders, so the deadline is also
+    // polled here, once per serialization order.
+    if (ctx.deadline().expired()) {
+      ctx.noteDeadlineExpired();
+      return;
+    }
+    fn(order);
+    return;
+  }
+  for (std::size_t i = 0; i < p.n; ++i) {
+    if (used[i] || !p.ready(i, used)) continue;
+    used[i] = true;
+    order.push_back(i);
+    forEachCompletion(p, order, used, ctx, fn);
+    order.pop_back();
+    used[i] = false;
+  }
+}
+
+/// Expands the enumeration tree breadth-first (in lexicographic order)
+/// until at least `target` top-level branches exist — the work items the
+/// portfolio distributes over its workers.
+std::vector<std::vector<std::size_t>> topLevelBranches(const TxPrecedence& p,
+                                                       std::size_t target) {
+  std::vector<std::vector<std::size_t>> prefixes{{}};
+  bool grew = true;
+  while (grew && prefixes.size() < target) {
+    grew = false;
+    std::vector<std::vector<std::size_t>> next;
+    for (const auto& pre : prefixes) {
+      if (pre.size() == p.n) {
+        next.push_back(pre);
+        continue;
+      }
+      std::vector<bool> used(p.n, false);
+      for (std::size_t i : pre) used[i] = true;
+      for (std::size_t i = 0; i < p.n; ++i) {
+        if (used[i] || !p.ready(i, used)) continue;
+        auto ext = pre;
+        ext.push_back(i);
+        next.push_back(std::move(ext));
+        grew = true;
+      }
+    }
+    prefixes = std::move(next);
+  }
+  return prefixes;
+}
+
+/// Drives fn over every linear extension of `p`.  With one thread this is
+/// the exact sequential enumeration; with more, top-level branches are
+/// distributed over a worker pool in submission (= lexicographic) order.
+template <class Fn>
+void runPortfolio(const TxPrecedence& p, SearchContext& ctx, unsigned threads,
+                  const Fn& fn) {
+  const std::size_t target =
+      threads <= 1 ? 1 : static_cast<std::size_t>(threads) * 8;
+  auto branches = topLevelBranches(p, target);
+  if (threads > 1 && branches.size() > 1) {
+    // First-move diversity: interleave the branch queue round-robin over the
+    // top-level choice, so workers claim one branch from each first-move
+    // subtree before returning to any of them.  An adversarial lexicographic
+    // ordering (every early order barren, the witness behind a later first
+    // move) can then pin at most one worker per barren cone; the first
+    // witness raises the stop flag and cancels the rest.  Sequential runs
+    // (threads <= 1) never reorder, keeping them bit-identical to the
+    // pre-portfolio enumeration.
+    std::vector<std::vector<std::vector<std::size_t>>> groups(p.n);
+    std::size_t rounds = 0;
+    for (auto& b : branches) {
+      auto& g = groups[b.front()];
+      g.push_back(std::move(b));
+      rounds = g.size() > rounds ? g.size() : rounds;
+    }
+    branches.clear();
+    for (std::size_t off = 0; off < rounds; ++off) {
+      for (auto& g : groups) {
+        if (off < g.size()) branches.push_back(std::move(g[off]));
+      }
+    }
+  }
+  auto runBranch = [&](const std::vector<std::size_t>& prefix) {
+    std::vector<bool> used(p.n, false);
+    std::vector<std::size_t> order;
+    order.reserve(p.n);
+    for (std::size_t i : prefix) {
+      used[i] = true;
+      order.push_back(i);
+    }
+    forEachCompletion(p, order, used, ctx, fn);
+  };
+  if (threads <= 1) {
+    for (const auto& b : branches) {
+      if (ctx.stop().stopRequested()) break;
+      runBranch(b);
+    }
+    return;
+  }
+  ThreadPool pool(threads);
+  for (const auto& b : branches) {
+    pool.submit([&runBranch, &ctx, b] {
+      if (!ctx.stop().stopRequested()) runBranch(b);
+    });
+  }
+  pool.wait();
+}
+
+/// Witness / explanation accumulator shared by the portfolio's workers.
+struct PortfolioState {
+  std::mutex mu;
+  bool found = false;
+  std::optional<History> witness;
+  std::size_t bestDepth = 0;
+  std::string bestText;
+};
+
+void mergeExplanation(PortfolioState& ps, const SearchOutcome& out,
+                      const char* noun, std::size_t total) {
+  // A search aborted by the stop flag before reaching any dead end has
+  // nothing to report (a failed one always records ≥ 1 blocker).
+  if (out.blockers.empty()) return;
+  const std::size_t depth = out.bestPrefix.size() + 1;
+  std::lock_guard<std::mutex> lock(ps.mu);
+  if (depth <= ps.bestDepth) return;
+  ps.bestDepth = depth;
+  std::string e = "deepest dead end scheduled " +
+                  std::to_string(out.bestPrefix.size()) + "/" +
+                  std::to_string(total) + " " + noun + "; blocked:";
+  for (const std::string& b : out.blockers) e += "\n  - " + b;
+  ps.bestText = std::move(e);
+}
+
+void finishResult(PortfolioState& ps, SearchContext& ctx, CheckResult& result,
+                  const char* defaultExplanation) {
+  result.satisfied = ps.found;
+  result.inconclusive = !ps.found && ctx.resourceStop();
+  if (ps.found) {
+    result.witness = std::move(ps.witness);
+  } else {
+    result.explanation =
+        ps.bestDepth > 0 ? std::move(ps.bestText) : defaultExplanation;
+  }
+}
+
+// ------------------------------------------------------- SGLA inner search
+
+using PosSet = BitsetN<2>;
+
+/// Per-check immutable inputs of the SGLA search, computed once and shared
+/// by every serialization order and worker: the constraint edges (memory
+/// model inside critical sections, roach-motel lock edges), the objects
+/// each transaction touches, and its instance count.
+struct SglaStatics {
+  std::vector<PosSet> preds;
+  std::vector<std::vector<ObjectId>> touched;
+  std::vector<std::size_t> opCount;
+
+  SglaStatics(const History& h, const HistoryAnalysis& analysis,
+              const MemoryModel& m) {
+    const std::size_t n = h.size();
+    JUNGLE_CHECK_MSG(n <= PosSet::kCapacity,
+                     "history too large for the SGLA decision procedure");
+    preds.assign(n, PosSet{});
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (h[i].pid != h[j].pid) continue;
+        const bool iSpecial = !h[i].isCommand();
+        const bool jSpecial = !h[j].isCommand();
+        bool edge = false;
+        if (iSpecial && jSpecial) {
+          edge = true;  // lock operations stay in program order
+        } else if (h[i].isStart()) {
+          edge = true;  // acquire: nothing moves before the start
+        } else if (h[j].isCommit() || h[j].isAbort()) {
+          edge = true;  // release: nothing moves past the commit/abort
+        } else if (!iSpecial && !jSpecial) {
+          edge = m.requiresOrder(h, i, j);
+        }
+        if (edge) preds[j].set(i);
+      }
+    }
+
+    const auto& txns = analysis.transactions();
+    touched.resize(txns.size());
+    opCount.resize(txns.size());
+    for (std::size_t t = 0; t < txns.size(); ++t) {
+      opCount[t] = txns[t].positions.size();
+      std::unordered_map<ObjectId, bool> seen;
+      for (std::size_t pos : txns[t].positions) {
+        const OpInstance& inst = h[pos];
+        if (inst.isCommand() && !seen.count(inst.obj)) {
+          seen.emplace(inst.obj, true);
+          touched[t].push_back(inst.obj);
+        }
+      }
+    }
+  }
+};
+
+/// Op-granularity search for a transactionally sequential, everywhere-legal
+/// permutation respecting the extended view and one transaction order ≪.
+class SglaSearcher {
+ public:
+  SglaSearcher(const History& h, const HistoryAnalysis& analysis,
+               const SglaStatics& st, const SpecMap& specs,
+               const std::vector<std::size_t>& txOrder,
+               const std::vector<std::uint64_t>& suffixes, SearchContext& ctx)
+      : h_(h),
+        analysis_(analysis),
+        st_(st),
+        txOrder_(txOrder),
+        suffixes_(suffixes),
+        ctx_(ctx),
+        base_(specs),
+        remaining_(st.opCount) {}
+
+  SearchOutcome run() {
+    SearchOutcome out;
+    out.found = dfs() == Dfs::kFound;
+    out.exhaustedBudget = ctx_.resourceStop();
+    if (out.found) {
+      out.order = order_;
+    } else {
+      out.bestPrefix = bestPrefix_;
+      out.blockers = bestBlockers_;
+    }
+    ctx_.addExpansions(expansions_);
+    ctx_.addMemoCounts(memoHits_, memoMisses_);
+    ctx_.noteDepth(maxDepth_);
+    ctx_.returnExpansions(grant_);
+    return out;
+  }
+
+ private:
+  enum class Dfs { kFound, kFail, kAborted };
+
+  struct Undo {
+    StateTable::Snapshot baseSnap;
+    std::vector<std::pair<ObjectId, std::unique_ptr<SpecState>>> overlaySnap;
+    std::unordered_map<ObjectId, std::unique_ptr<SpecState>> overlaySaved;
+    int prevOpen = -1;
+    std::size_t prevNextTx = 0;
+    /// The op completed a live (never-committing) transaction, closing its
+    /// critical section with abort semantics (its effects become invisible
+    /// once anything follows — visible()'s rule for non-committed
+    /// transactions).
+    bool autoClosed = false;
+  };
+
+  bool chargeExpansion() {
+    if (grant_ == 0) {
+      grant_ = ctx_.claimExpansions(kBudgetChunk);
+      if (grant_ == 0) return false;
+    }
+    --grant_;
+    ++expansions_;
+    if ((expansions_ & kDeadlineMask) == 0 && ctx_.deadline().expired()) {
+      ctx_.noteDeadlineExpired();
+      return false;
+    }
+    return true;
+  }
+
+  std::uint64_t overlayDigest() const {
+    std::uint64_t d = 0x6a09e667f3bcc909ULL;
+    for (const auto& [obj, st] : overlay_) {
+      std::uint64_t c = st->digest();
+      hashCombine(c, obj + 0x85ebca6bULL);
+      d ^= c;
+    }
+    return d;
+  }
+
+  Dfs dfs() {
+    if (order_.size() > maxDepth_) maxDepth_ = order_.size();
+    if (order_.size() == h_.size()) return Dfs::kFound;
+    if (ctx_.stop().stopRequested()) return Dfs::kAborted;
+    if (!chargeExpansion()) return Dfs::kAborted;
+
+    const bool useMemo = ctx_.limits().useMemo;
+    ShardedMemoTable::Key key{};
+    if (useMemo) {
+      const std::uint64_t stateDigest =
+          base_.digest() ^ overlayDigest() ^
+          (static_cast<std::uint64_t>(open_ + 2) * 0xff51afd7ed558ccdULL);
+      key = {{scheduled_.word(0), scheduled_.word(1)},
+             stateDigest,
+             suffixes_[nextTx_]};
+      if (ctx_.memo().containsFailed(key)) {
+        ++memoHits_;
+        return Dfs::kFail;
+      }
+      ++memoMisses_;
+    }
+
+    bool progressed = false;
+    bool aborted = false;
+    for (std::size_t pos = 0; pos < h_.size(); ++pos) {
+      if (scheduled_.test(pos)) continue;
+      if (!scheduled_.contains(st_.preds[pos])) continue;
+      if (!structurallyReady(pos)) continue;
+      Undo undo;
+      if (!apply(pos, undo)) continue;
+      progressed = true;
+      scheduled_.set(pos);
+      order_.push_back(pos);
+      const Dfs r = dfs();
+      if (r == Dfs::kFound) return r;
+      order_.pop_back();
+      scheduled_.reset(pos);
+      revert(pos, std::move(undo));
+      if (r == Dfs::kAborted) {
+        aborted = true;
+        break;
+      }
+    }
+    if (!progressed && order_.size() >= bestPrefix_.size()) {
+      recordDeadEnd();
+    }
+    if (aborted) return Dfs::kAborted;
+
+    if (useMemo) ctx_.memo().insertFailed(key);
+    return Dfs::kFail;
+  }
+
+  /// Captures why this dead-end configuration cannot extend — SGLA's share
+  /// of CheckResult::explanation.
+  void recordDeadEnd() {
+    bestPrefix_ = order_;
+    bestBlockers_.clear();
+    for (std::size_t pos = 0; pos < h_.size(); ++pos) {
+      if (scheduled_.test(pos)) continue;
+      std::string why;
+      if (!scheduled_.contains(st_.preds[pos])) {
+        why = "waits for its program-order and lock predecessors";
+      } else if (!structurallyReady(pos)) {
+        why = h_[pos].isStart()
+                  ? "its transaction is not next in the order ≪ (or another "
+                    "critical section is open)"
+                  : "its transaction's critical section is not open";
+      } else {
+        Undo undo;
+        if (apply(pos, undo)) {
+          revert(pos, std::move(undo));
+          why = "unexpectedly schedulable";  // defensive
+        } else {
+          why = "operation " + h_[pos].toString() +
+                " is illegal in the current state";
+        }
+      }
+      bestBlockers_.push_back("instance " + std::to_string(h_[pos].id) + ": " +
+                              why);
+    }
+  }
+
+  bool structurallyReady(std::size_t pos) const {
+    auto tx = analysis_.transactionOf(pos);
+    if (!tx.has_value()) return true;  // non-transactional: anywhere
+    if (h_[pos].isStart()) {
+      return open_ < 0 && nextTx_ < txOrder_.size() &&
+             txOrder_[nextTx_] == *tx;
+    }
+    return open_ >= 0 && static_cast<std::size_t>(open_) == *tx;
+  }
+
+  bool apply(std::size_t pos, Undo& undo) {
+    const OpInstance& inst = h_[pos];
+    auto tx = analysis_.transactionOf(pos);
+    undo.prevOpen = open_;
+    undo.prevNextTx = nextTx_;
+
+    if (inst.isStart()) {
+      // Open the critical section with a snapshot of its touched objects.
+      open_ = static_cast<int>(*tx);
+      ++nextTx_;
+      JUNGLE_DCHECK(overlay_.empty());
+      for (ObjectId obj : st_.touched[*tx]) {
+        overlay_.emplace(obj, base_.cloneState(obj));
+      }
+      --remaining_[*tx];
+      maybeAutoClose(*tx, undo);
+      return true;
+    }
+    if (inst.isCommit()) {
+      // Merge: the visible prefix at the commit is base ∪ overlay, already
+      // validated op by op; publish the overlay into the base.
+      undo.baseSnap = base_.snapshot(st_.touched[*tx]);
+      for (auto& [obj, st] : overlay_) {
+        base_.setState(obj, st->clone());
+      }
+      undo.overlaySaved = std::move(overlay_);
+      overlay_.clear();
+      open_ = -1;
+      --remaining_[*tx];
+      return true;
+    }
+    if (inst.isAbort()) {
+      undo.overlaySaved = std::move(overlay_);
+      overlay_.clear();
+      open_ = -1;
+      --remaining_[*tx];
+      return true;
+    }
+
+    // Command instance.
+    if (tx.has_value()) {
+      auto it = overlay_.find(inst.obj);
+      JUNGLE_DCHECK(it != overlay_.end());
+      undo.overlaySnap.emplace_back(inst.obj, it->second->clone());
+      if (!it->second->apply(inst.cmd)) {
+        revertOverlay(undo);
+        return false;
+      }
+      --remaining_[*tx];
+      maybeAutoClose(*tx, undo);
+      return true;
+    }
+
+    // Non-transactional command: legal in its own prefix (base, where an
+    // open transaction is invisible) and, if the open transaction touches
+    // the object, also inside the critical-section interleaving (overlay).
+    undo.baseSnap = base_.snapshot({inst.obj});
+    if (!base_.apply(inst.obj, inst.cmd)) {
+      base_.restore(std::move(undo.baseSnap));
+      undo.baseSnap.clear();
+      return false;
+    }
+    if (open_ >= 0) {
+      auto it = overlay_.find(inst.obj);
+      if (it != overlay_.end()) {
+        undo.overlaySnap.emplace_back(inst.obj, it->second->clone());
+        if (!it->second->apply(inst.cmd)) {
+          revertOverlay(undo);
+          base_.restore(std::move(undo.baseSnap));
+          undo.baseSnap.clear();
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void revertOverlay(Undo& undo) {
+    for (auto& [obj, st] : undo.overlaySnap) {
+      overlay_[obj] = std::move(st);
+    }
+    undo.overlaySnap.clear();
+  }
+
+  /// Closes the critical section of a live transaction whose instances are
+  /// all scheduled: nothing will commit it, so once anything follows, its
+  /// effects are invisible (abort semantics).  Keeping it "open" would
+  /// wrongly block other transactions from ever being scheduled.
+  void maybeAutoClose(std::size_t tx, Undo& undo) {
+    if (remaining_[tx] != 0 || analysis_.transactions()[tx].completed()) {
+      return;
+    }
+    undo.autoClosed = true;
+    undo.overlaySaved = std::move(overlay_);
+    overlay_.clear();
+    open_ = -1;
+  }
+
+  void revert(std::size_t pos, Undo undo) {
+    const OpInstance& inst = h_[pos];
+    auto tx = analysis_.transactionOf(pos);
+    if (tx.has_value()) ++remaining_[*tx];
+    if (undo.autoClosed) {
+      overlay_ = std::move(undo.overlaySaved);
+    }
+    if (inst.isStart()) {
+      overlay_.clear();
+    } else if (inst.isCommit()) {
+      base_.restore(std::move(undo.baseSnap));
+      overlay_ = std::move(undo.overlaySaved);
+    } else if (inst.isAbort()) {
+      overlay_ = std::move(undo.overlaySaved);
+    } else {
+      revertOverlay(undo);
+      if (!undo.baseSnap.empty()) base_.restore(std::move(undo.baseSnap));
+    }
+    open_ = undo.prevOpen;
+    nextTx_ = undo.prevNextTx;
+  }
+
+  const History& h_;
+  const HistoryAnalysis& analysis_;
+  const SglaStatics& st_;
+  const std::vector<std::size_t>& txOrder_;
+  const std::vector<std::uint64_t>& suffixes_;
+  SearchContext& ctx_;
+  StateTable base_;
+  std::unordered_map<ObjectId, std::unique_ptr<SpecState>> overlay_;
+  std::vector<std::size_t> remaining_;
+  PosSet scheduled_;
+  std::vector<std::size_t> order_;
+  std::vector<std::size_t> bestPrefix_;
+  std::vector<std::string> bestBlockers_;
+  int open_ = -1;
+  std::size_t nextTx_ = 0;
+  std::uint64_t expansions_ = 0;
+  std::uint64_t memoHits_ = 0;
+  std::uint64_t memoMisses_ = 0;
+  std::uint64_t maxDepth_ = 0;
+  std::uint64_t grant_ = 0;
+};
+
+/// Strict serializability's erasure: drop aborted and incomplete
+/// transactions before checking.
+History eraseNonCommitted(const History& h) {
+  HistoryAnalysis analysis(h);
+  JUNGLE_CHECK_MSG(analysis.wellFormed(), "ill-formed history");
+  std::vector<std::size_t> keep;
+  for (std::size_t pos = 0; pos < h.size(); ++pos) {
+    auto tx = analysis.transactionOf(pos);
+    if (!tx.has_value() || analysis.transactions()[*tx].committed) {
+      keep.push_back(pos);
+    }
+  }
+  return h.subsequence(keep);
+}
+
+}  // namespace
+
+DecisionEngine::DecisionEngine(const ConditionPolicy& policy,
+                               const SpecMap& specs,
+                               const SearchLimits& limits)
+    : policy_(policy), specs_(&specs), limits_(limits) {
+  JUNGLE_CHECK_MSG(policy_.model != nullptr,
+                   "a ConditionPolicy needs a memory model");
+}
+
+CheckResult DecisionEngine::check(const History& h) const {
+  const auto start = std::chrono::steady_clock::now();
+
+  History ht = policy_.eraseNonCommitted ? eraseNonCommitted(h) : h;
+  ht = policy_.model->transform(ht);
+  HistoryAnalysis analysis(ht);
+  JUNGLE_CHECK_MSG(analysis.wellFormed(), "ill-formed history");
+
+  SearchContext ctx(limits_);
+  CheckResult result;
+  if (policy_.txOnlySequential) {
+    runTxOnly(ht, analysis, ctx, result);
+  } else {
+    runUnitLevel(ht, analysis, ctx, result);
+  }
+
+  result.stats = ctx.stats();
+  result.stats.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  return result;
+}
+
+void DecisionEngine::runUnitLevel(const History& ht,
+                                  const HistoryAnalysis& analysis,
+                                  SearchContext& ctx,
+                                  CheckResult& result) const {
+  UnitGraph base(ht, analysis);
+  base.addViewEdges(requiredViewPairs(*policy_.model, ht, analysis));
+  if (base.hasCycle()) {
+    // ≺h ∪ v already contradictory: definitely violated, no search needed.
+    result.explanation =
+        "the real-time and view constraints are already cyclic";
+    return;
+  }
+
+  const auto& txs = base.txUnits();
+  TxPrecedence prec;
+  prec.n = txs.size();
+  prec.before.assign(prec.n * prec.n, false);
+  for (std::size_t i = 0; i < prec.n; ++i) {
+    for (std::size_t j = 0; j < prec.n; ++j) {
+      if (i != j && base.txMustPrecede(i, j)) prec.before[i * prec.n + j] = true;
+    }
+  }
+
+  PortfolioState ps;
+  runPortfolio(prec, ctx, limits_.threads,
+               [&](const std::vector<std::size_t>& idxOrder) {
+                 std::vector<std::size_t> orderUnits(idxOrder.size());
+                 for (std::size_t k = 0; k < idxOrder.size(); ++k) {
+                   orderUnits[k] = txs[idxOrder[k]];
+                 }
+                 UnitGraph g = base.withTxChain(orderUnits);
+                 if (g.hasCycle()) return;
+                 ctx.noteBranch();
+                 // The minimal view is identical for every process (see
+                 // requiredViewPairs), so one per-order search answers the
+                 // for-all-processes quantifier.
+                 const auto suf = suffixHashes(orderUnits);
+                 SearchOutcome out = findLegalOrder(g, *specs_, ctx, &suf);
+                 if (out.found) {
+                   std::lock_guard<std::mutex> lock(ps.mu);
+                   if (!ps.found) {
+                     ps.found = true;
+                     ps.witness = sequentialHistoryFromOrder(g, out.order);
+                   }
+                   ctx.stop().requestStop();
+                 } else {
+                   mergeExplanation(ps, out, "units", g.unitCount());
+                 }
+               });
+
+  finishResult(ps, ctx, result,
+               "no serialization order is consistent with the real-time and "
+               "view constraints");
+}
+
+void DecisionEngine::runTxOnly(const History& ht,
+                               const HistoryAnalysis& analysis,
+                               SearchContext& ctx, CheckResult& result) const {
+  const SglaStatics statics(ht, analysis, *policy_.model);
+
+  const auto& txns = analysis.transactions();
+  TxPrecedence prec;
+  prec.n = txns.size();
+  prec.before.assign(prec.n * prec.n, false);
+  for (std::size_t a = 0; a < prec.n; ++a) {
+    for (std::size_t b = 0; b < prec.n; ++b) {
+      if (a == b) continue;
+      bool before = txns[a].pid == txns[b].pid &&
+                    txns[a].firstPos() < txns[b].firstPos();
+      if (policy_.enforceTxRealTime && txns[a].completed() &&
+          txns[a].lastPos() < txns[b].firstPos()) {
+        before = true;
+      }
+      if (before) prec.before[a * prec.n + b] = true;
+    }
+  }
+
+  PortfolioState ps;
+  runPortfolio(prec, ctx, limits_.threads,
+               [&](const std::vector<std::size_t>& txOrder) {
+                 ctx.noteBranch();
+                 const auto suf = suffixHashes(txOrder);
+                 SglaSearcher searcher(ht, analysis, statics, *specs_, txOrder,
+                                       suf, ctx);
+                 SearchOutcome out = searcher.run();
+                 if (out.found) {
+                   std::lock_guard<std::mutex> lock(ps.mu);
+                   if (!ps.found) {
+                     ps.found = true;
+                     ps.witness = ht.subsequence(out.order);
+                   }
+                   ctx.stop().requestStop();
+                 } else {
+                   mergeExplanation(ps, out, "instances", ht.size());
+                 }
+               });
+
+  finishResult(ps, ctx, result,
+               "no transaction order ≪ admits a transactionally sequential, "
+               "everywhere-legal permutation");
+}
+
+}  // namespace jungle

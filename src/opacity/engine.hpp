@@ -1,0 +1,76 @@
+// The shared DecisionEngine behind all four correctness conditions.
+//
+// Parametrized opacity (§3.3), classical opacity, strict serializability,
+// and SGLA (§6.2) all have the same decision skeleton: transform the
+// history (τ, plus erasure for strict serializability), install the
+// condition's constraints, enumerate total serialization orders ≪ of the
+// transactions, and run a legality-directed search per order.  A
+// ConditionPolicy captures exactly where the four differ:
+//
+//   condition               | model     | erase non-committed | unit shape
+//   ------------------------+-----------+---------------------+-----------
+//   parametrized opacity    | any M     | no                  | tx blocks
+//   opacity                 | M_SC      | no                  | tx blocks
+//   strict serializability  | M_SC      | yes                 | tx blocks
+//   SGLA                    | any M     | no                  | per-op (tx-
+//                           |           |                     | only seq.)
+//
+// The engine also owns the *portfolio* parallelization: top-level branches
+// of the ≪ enumeration are distributed over a small worker pool, all
+// workers share one failed-configuration memo table (sound because entries
+// are keyed by scheduled set × state digest × order suffix; see
+// DESIGN.md §5) and one cooperative stop flag, so the first witness halts
+// everyone.  With limits.threads == 1 the engine degenerates to the exact
+// sequential enumeration the pre-portfolio checkers performed.
+#pragma once
+
+#include "memmodel/memory_model.hpp"
+#include "opacity/popacity.hpp"
+
+namespace jungle {
+
+/// What makes a correctness condition concrete: which τ/view supplies the
+/// constraints, which instances survive erasure, and whether sequentiality
+/// is required of all instances (opacity family) or only transactions
+/// (SGLA, where non-transactional instances may enter critical sections).
+struct ConditionPolicy {
+  const char* name = "parametrized opacity";
+  const MemoryModel* model = nullptr;
+  /// Strict serializability: drop aborted and incomplete transactions
+  /// before checking — their reads need not be consistent.
+  bool eraseNonCommitted = false;
+  /// SGLA: the witness only needs to be *transactionally* sequential, so
+  /// the unit decomposition relaxes from transaction blocks to single
+  /// instances scheduled under lock (roach-motel) edges.
+  bool txOnlySequential = false;
+  /// SGLA only: keep real-time order between completed transactions.
+  bool enforceTxRealTime = true;
+
+  static ConditionPolicy parametrizedOpacity(const MemoryModel& m);
+  static ConditionPolicy opacity();
+  static ConditionPolicy strictSerializability();
+  static ConditionPolicy sgla(const MemoryModel& m,
+                              bool enforceTxRealTime = true);
+};
+
+class DecisionEngine {
+ public:
+  DecisionEngine(const ConditionPolicy& policy, const SpecMap& specs,
+                 const SearchLimits& limits = {});
+
+  /// Decides the policy's condition for `h`.  Thread-safe (each call owns
+  /// its context); spawns limits.threads - 1 extra workers when > 1.
+  CheckResult check(const History& h) const;
+
+ private:
+  void runUnitLevel(const History& ht, const HistoryAnalysis& analysis,
+                    SearchContext& ctx, CheckResult& result) const;
+  void runTxOnly(const History& ht, const HistoryAnalysis& analysis,
+                 SearchContext& ctx, CheckResult& result) const;
+
+  ConditionPolicy policy_;
+  const SpecMap* specs_;
+  SearchLimits limits_;
+};
+
+}  // namespace jungle

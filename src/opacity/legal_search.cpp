@@ -1,23 +1,29 @@
 #include "opacity/legal_search.hpp"
 
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/hash.hpp"
-#include "opacity/state_table.hpp"
 
 namespace jungle {
 
 namespace {
 
+/// Expansion-budget chunk claimed from the shared context at a time; keeps
+/// the hot path off the shared atomic.  Unused grant is returned, so the
+/// global budget stays exact at threads = 1.
+constexpr std::uint64_t kBudgetChunk = 1024;
+/// Deadline poll interval, in expansions.
+constexpr std::uint64_t kDeadlineMask = 1023;
+
 class Searcher {
  public:
-  Searcher(const UnitGraph& g, const SpecMap& specs,
-           const SearchLimits& limits)
-      : g_(g), limits_(limits), table_(specs) {
+  Searcher(const UnitGraph& g, const SpecMap& specs, SearchContext& ctx,
+           const std::vector<std::uint64_t>* suffixHashes)
+      : g_(g), ctx_(ctx), suffixHashes_(suffixHashes), table_(specs) {
     // Precompute per-unit touched objects and whether the unit commits.
     const auto& h = g.history();
     touched_.resize(g.unitCount());
@@ -38,54 +44,92 @@ class Searcher {
 
   SearchOutcome run() {
     SearchOutcome out;
-    out.found = dfs();
-    out.exhaustedBudget = budgetExhausted_;
+    out.found = dfs() == Dfs::kFound;
+    out.exhaustedBudget = ctx_.resourceStop();
     if (out.found) {
       out.order = order_;
     } else {
       out.bestPrefix = bestPrefix_;
       out.blockers = bestBlockers_;
     }
+    // Flush telemetry and hand back the unused part of the budget grant.
+    ctx_.addExpansions(expansions_);
+    ctx_.addMemoCounts(memoHits_, memoMisses_);
+    ctx_.noteDepth(maxDepth_);
+    ctx_.returnExpansions(grant_);
     return out;
   }
 
  private:
-  bool dfs() {
-    if (order_.size() == g_.unitCount()) return true;
-    if (limits_.maxExpansions && expansions_ >= limits_.maxExpansions) {
-      budgetExhausted_ = true;
+  enum class Dfs {
+    kFound,
+    kFail,     // subtree fully explored without a witness — memoizable
+    kAborted,  // stopped early (budget, deadline, or another worker won)
+  };
+
+  /// Accounts one node expansion; false when the search must stop (budget
+  /// exhausted or deadline expired — both recorded in the context).
+  bool chargeExpansion() {
+    if (grant_ == 0) {
+      grant_ = ctx_.claimExpansions(kBudgetChunk);
+      if (grant_ == 0) return false;
+    }
+    --grant_;
+    ++expansions_;
+    if ((expansions_ & kDeadlineMask) == 0 && ctx_.deadline().expired()) {
+      ctx_.noteDeadlineExpired();
       return false;
     }
-    ++expansions_;
+    return true;
+  }
 
-    const std::uint64_t memoKey =
-        scheduled_.hash() ^ (table_.digest() * 0x9e3779b97f4a7c15ULL);
-    if (limits_.useMemo) {
-      if (auto it = failed_.find(memoKey); it != failed_.end()) {
-        for (const auto& [mask, digest] : it->second) {
-          if (mask == scheduled_ && digest == table_.digest()) return false;
-        }
+  std::uint64_t suffixHash() const {
+    return suffixHashes_ ? (*suffixHashes_)[txScheduled_] : 0;
+  }
+
+  Dfs dfs() {
+    if (order_.size() > maxDepth_) maxDepth_ = order_.size();
+    if (order_.size() == g_.unitCount()) return Dfs::kFound;
+    if (ctx_.stop().stopRequested()) return Dfs::kAborted;
+    if (!chargeExpansion()) return Dfs::kAborted;
+
+    const bool useMemo = ctx_.limits().useMemo;
+    ShardedMemoTable::Key key{};
+    if (useMemo) {
+      key = {{scheduled_.word(0), scheduled_.word(1)},
+             table_.digest(),
+             suffixHash()};
+      if (ctx_.memo().containsFailed(key)) {
+        ++memoHits_;
+        return Dfs::kFail;
       }
+      ++memoMisses_;
     }
 
     bool progressed = false;
+    bool aborted = false;
     for (std::size_t u = 0; u < g_.unitCount(); ++u) {
       if (scheduled_.test(u)) continue;
       if (!scheduled_.contains(g_.preds(u))) continue;
       if (!tryUnit(u)) continue;
       progressed = true;
-      if (dfs()) return true;
+      const Dfs r = dfs();
+      if (r == Dfs::kFound) return r;
       popUnit();
-      if (budgetExhausted_) return false;
+      if (r == Dfs::kAborted) {
+        aborted = true;
+        break;
+      }
     }
     if (!progressed && order_.size() >= bestPrefix_.size()) {
       recordDeadEnd();
     }
+    if (aborted) return Dfs::kAborted;
 
-    if (limits_.useMemo) {
-      failed_[memoKey].emplace_back(scheduled_, table_.digest());
-    }
-    return false;
+    // Only fully explored configurations enter the shared memo: an entry
+    // recorded under an early stop could suppress a live branch later.
+    if (useMemo) ctx_.memo().insertFailed(key);
+    return Dfs::kFail;
   }
 
   /// Captures why this dead-end configuration cannot extend (diagnostics).
@@ -154,6 +198,7 @@ class Searcher {
     }
     scheduled_.set(u);
     order_.push_back(u);
+    if (unit.isTx) ++txScheduled_;
     return true;
   }
 
@@ -161,12 +206,14 @@ class Searcher {
     const std::size_t u = order_.back();
     order_.pop_back();
     scheduled_.reset(u);
+    if (g_.unit(u).isTx) --txScheduled_;
     if (!undo_.back().empty()) table_.restore(std::move(undo_.back()));
     undo_.pop_back();
   }
 
   const UnitGraph& g_;
-  SearchLimits limits_;
+  SearchContext& ctx_;
+  const std::vector<std::uint64_t>* suffixHashes_;
   StateTable table_;
 
   std::vector<std::vector<ObjectId>> touched_;
@@ -177,18 +224,26 @@ class Searcher {
   std::vector<std::size_t> bestPrefix_;
   std::vector<std::string> bestBlockers_;
   std::vector<StateTable::Snapshot> undo_;
+  std::size_t txScheduled_ = 0;
   std::uint64_t expansions_ = 0;
-  bool budgetExhausted_ = false;
-  std::unordered_map<std::uint64_t,
-                     std::vector<std::pair<UnitSet, std::uint64_t>>>
-      failed_;
+  std::uint64_t memoHits_ = 0;
+  std::uint64_t memoMisses_ = 0;
+  std::uint64_t maxDepth_ = 0;
+  std::uint64_t grant_ = 0;
 };
 
 }  // namespace
 
 SearchOutcome findLegalOrder(const UnitGraph& g, const SpecMap& specs,
                              const SearchLimits& limits) {
-  Searcher s(g, specs, limits);
+  SearchContext ctx(limits);
+  return findLegalOrder(g, specs, ctx, nullptr);
+}
+
+SearchOutcome findLegalOrder(
+    const UnitGraph& g, const SpecMap& specs, SearchContext& ctx,
+    const std::vector<std::uint64_t>* chainSuffixHashes) {
+  Searcher s(g, specs, ctx, chainSuffixHashes);
   return s.run();
 }
 

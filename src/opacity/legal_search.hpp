@@ -9,32 +9,158 @@
 // and incomplete ones discard it — exactly visible()'s semantics for
 // sequential histories.
 //
-// Failed configurations (scheduled-unit set + object-state digest) are
-// memoized; a digest collision can at worst suppress a retry of a state we
-// believe failed, with probability ~2^-64 per pair (documented in
-// DESIGN.md).
+// Failed configurations (scheduled-unit set + object-state digest + chain
+// suffix) are memoized in a table shared across every serialization order
+// and every worker of one check (see ShardedMemoTable); a digest collision
+// can at worst suppress a retry of a state we believe failed, with
+// probability ~2^-64 per pair (documented in DESIGN.md).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "common/cancellation.hpp"
+#include "opacity/state_table.hpp"
 #include "opacity/unit_graph.hpp"
 #include "spec/spec_map.hpp"
 
 namespace jungle {
 
 struct SearchLimits {
-  /// Upper bound on DFS node expansions; 0 = unlimited.
+  /// Upper bound on DFS node expansions, shared globally across all
+  /// serialization orders and workers of one check; 0 = unlimited.
   std::uint64_t maxExpansions = 20'000'000;
   /// Failed-configuration memoization (ablatable; see bench_checker).
   bool useMemo = true;
+  /// Worker threads for the portfolio search over serialization orders.
+  /// 1 (the default) runs the branches sequentially on the calling thread,
+  /// visiting them in exactly the order the pre-portfolio checkers did.
+  unsigned threads = 1;
+  /// Wall-clock deadline for the whole check; zero means none.  A negative
+  /// verdict reached after the deadline expires is reported inconclusive.
+  std::chrono::milliseconds timeout{0};
+};
+
+/// Where the search spent its effort; attached to every CheckResult so
+/// benches and the check_history CLI can report where time goes.
+struct SearchStats {
+  std::uint64_t expansions = 0;
+  std::uint64_t memoHits = 0;
+  std::uint64_t memoMisses = 0;
+  /// Deepest scheduled prefix (units or instances) any branch reached.
+  std::uint64_t maxDepth = 0;
+  /// Serialization orders (≪ candidates) actually searched.
+  std::uint64_t branchesExplored = 0;
+  std::chrono::microseconds elapsed{0};
+  unsigned threadsUsed = 1;
+};
+
+/// Shared state of one portfolio search: the failed-configuration memo,
+/// the cooperative stop flag, the global expansion budget, the deadline,
+/// and the telemetry accumulators.  One instance per check() invocation;
+/// referenced by every worker.
+class SearchContext {
+ public:
+  explicit SearchContext(const SearchLimits& limits)
+      : limits_(limits),
+        deadline_(limits.timeout.count() > 0 ? Deadline::after(limits.timeout)
+                                             : Deadline{}),
+        budgetRemaining_(limits.maxExpansions) {}
+
+  const SearchLimits& limits() const { return limits_; }
+  ShardedMemoTable& memo() { return memo_; }
+  StopFlag& stop() { return stop_; }
+  const Deadline& deadline() const { return deadline_; }
+
+  /// Claims up to `want` expansions from the global budget; returns the
+  /// number granted.  0 means the budget is exhausted — the exhaustion is
+  /// recorded and the whole portfolio is asked to stop.
+  std::uint64_t claimExpansions(std::uint64_t want) {
+    if (limits_.maxExpansions == 0) return want;  // unlimited
+    std::uint64_t cur = budgetRemaining_.load(std::memory_order_relaxed);
+    while (cur > 0) {
+      const std::uint64_t grant = want < cur ? want : cur;
+      if (budgetRemaining_.compare_exchange_weak(cur, cur - grant,
+                                                 std::memory_order_relaxed)) {
+        return grant;
+      }
+    }
+    budgetExhausted_.store(true, std::memory_order_relaxed);
+    stop_.requestStop();
+    return 0;
+  }
+
+  /// Hands back the unused part of a claimed chunk, keeping the global
+  /// budget exact for sequential runs.
+  void returnExpansions(std::uint64_t n) {
+    if (limits_.maxExpansions == 0 || n == 0) return;
+    budgetRemaining_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  void noteDeadlineExpired() {
+    deadlineExpired_.store(true, std::memory_order_relaxed);
+    stop_.requestStop();
+  }
+
+  bool budgetExhausted() const {
+    return budgetExhausted_.load(std::memory_order_relaxed);
+  }
+  bool deadlineExpired() const {
+    return deadlineExpired_.load(std::memory_order_relaxed);
+  }
+  /// The search stopped before exhausting the space for a resource reason:
+  /// a false negative is inconclusive.
+  bool resourceStop() const { return budgetExhausted() || deadlineExpired(); }
+
+  void addExpansions(std::uint64_t n) {
+    expansions_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void addMemoCounts(std::uint64_t hits, std::uint64_t misses) {
+    memoHits_.fetch_add(hits, std::memory_order_relaxed);
+    memoMisses_.fetch_add(misses, std::memory_order_relaxed);
+  }
+  void noteDepth(std::uint64_t depth) {
+    std::uint64_t cur = maxDepth_.load(std::memory_order_relaxed);
+    while (depth > cur && !maxDepth_.compare_exchange_weak(
+                              cur, depth, std::memory_order_relaxed)) {
+    }
+  }
+  void noteBranch() { branches_.fetch_add(1, std::memory_order_relaxed); }
+
+  SearchStats stats() const {
+    SearchStats s;
+    s.expansions = expansions_.load(std::memory_order_relaxed);
+    s.memoHits = memoHits_.load(std::memory_order_relaxed);
+    s.memoMisses = memoMisses_.load(std::memory_order_relaxed);
+    s.maxDepth = maxDepth_.load(std::memory_order_relaxed);
+    s.branchesExplored = branches_.load(std::memory_order_relaxed);
+    s.threadsUsed = limits_.threads > 0 ? limits_.threads : 1;
+    return s;
+  }
+
+ private:
+  SearchLimits limits_;
+  Deadline deadline_;
+  ShardedMemoTable memo_;
+  StopFlag stop_;
+  std::atomic<std::uint64_t> budgetRemaining_;
+  std::atomic<bool> budgetExhausted_{false};
+  std::atomic<bool> deadlineExpired_{false};
+  std::atomic<std::uint64_t> expansions_{0};
+  std::atomic<std::uint64_t> memoHits_{0};
+  std::atomic<std::uint64_t> memoMisses_{0};
+  std::atomic<std::uint64_t> maxDepth_{0};
+  std::atomic<std::uint64_t> branches_{0};
 };
 
 struct SearchOutcome {
   bool found = false;
-  /// True if the budget ran out before the space was exhausted; a negative
-  /// answer is then inconclusive.
+  /// True if the search stopped on a resource limit (expansion budget or
+  /// deadline) before the space was exhausted; a negative answer is then
+  /// inconclusive.
   bool exhaustedBudget = false;
   /// Unit order of the witness, when found.
   std::vector<std::size_t> order;
@@ -44,9 +170,20 @@ struct SearchOutcome {
   std::vector<std::string> blockers;
 };
 
-/// Runs the search.  The graph must be acyclic (callers check).
+/// Runs the search with a private context (the graph must be acyclic —
+/// callers check).  Kept for white-box tests and one-shot callers.
 SearchOutcome findLegalOrder(const UnitGraph& g, const SpecMap& specs,
                              const SearchLimits& limits = {});
+
+/// Runs the search against a shared portfolio context.
+/// `chainSuffixHashes`, when given, holds at index k the hash of the
+/// serialization order's suffix once k transactions are scheduled; it is
+/// mixed into memo keys so entries transfer soundly between orders.
+/// Cooperatively stops (without recording unexplored configurations as
+/// failed) when the context's stop flag rises.
+SearchOutcome findLegalOrder(const UnitGraph& g, const SpecMap& specs,
+                             SearchContext& ctx,
+                             const std::vector<std::uint64_t>* chainSuffixHashes);
 
 /// Reconstructs the witness sequential history from a unit order.
 History sequentialHistoryFromOrder(const UnitGraph& g,

@@ -1,78 +1,26 @@
 #include "opacity/popacity.hpp"
 
-#include "common/check.hpp"
-#include "memmodel/models.hpp"
+#include "opacity/engine.hpp"
 
 namespace jungle {
 
 CheckResult checkParametrizedOpacity(const History& h, const MemoryModel& m,
                                      const SpecMap& specs,
                                      const SearchLimits& limits) {
-  CheckResult result;
-
-  const History ht = m.transform(h);
-  HistoryAnalysis analysis(ht);
-  JUNGLE_CHECK_MSG(analysis.wellFormed(),
-                   "parametrized opacity is defined on well-formed histories");
-
-  UnitGraph base(ht, analysis);
-  base.addViewEdges(requiredViewPairs(m, ht, analysis));
-  if (base.hasCycle()) return result;  // ≺h ∪ v already contradictory
-
-  bool sawBudgetExhaustion = false;
-  std::size_t bestDepth = 0;
-  std::string bestExplanation = "no serialization order is consistent with "
-                                "the real-time and view constraints";
-  const bool found = forEachTxOrder(base, [&](const std::vector<std::size_t>&
-                                                  txOrder) {
-    UnitGraph g = base.withTxChain(txOrder);
-    if (g.hasCycle()) return false;
-    // The minimal view is identical for every process (see
-    // requiredViewPairs), so one per-order search answers the
-    // for-all-processes quantifier.
-    SearchOutcome out = findLegalOrder(g, specs, limits);
-    sawBudgetExhaustion |= out.exhaustedBudget;
-    if (!out.found) {
-      if (out.bestPrefix.size() + 1 > bestDepth) {
-        bestDepth = out.bestPrefix.size() + 1;
-        std::string e = "deepest dead end scheduled " +
-                        std::to_string(out.bestPrefix.size()) + "/" +
-                        std::to_string(g.unitCount()) + " units; blocked:";
-        for (const std::string& b : out.blockers) {
-          e += "\n  - " + b;
-        }
-        bestExplanation = std::move(e);
-      }
-      return false;
-    }
-    result.witness = sequentialHistoryFromOrder(g, out.order);
-    return true;
-  });
-
-  result.satisfied = found;
-  result.inconclusive = !found && sawBudgetExhaustion;
-  if (!found) result.explanation = std::move(bestExplanation);
-  return result;
+  return DecisionEngine(ConditionPolicy::parametrizedOpacity(m), specs, limits)
+      .check(h);
 }
 
 CheckResult checkOpacity(const History& h, const SpecMap& specs,
                          const SearchLimits& limits) {
-  return checkParametrizedOpacity(h, scModel(), specs, limits);
+  return DecisionEngine(ConditionPolicy::opacity(), specs, limits).check(h);
 }
 
 CheckResult checkStrictSerializability(const History& h, const SpecMap& specs,
                                        const SearchLimits& limits) {
-  HistoryAnalysis analysis(h);
-  JUNGLE_CHECK_MSG(analysis.wellFormed(), "ill-formed history");
-
-  std::vector<std::size_t> keep;
-  for (std::size_t pos = 0; pos < h.size(); ++pos) {
-    auto tx = analysis.transactionOf(pos);
-    if (!tx.has_value() || analysis.transactions()[*tx].committed) {
-      keep.push_back(pos);
-    }
-  }
-  return checkOpacity(h.subsequence(keep), specs, limits);
+  return DecisionEngine(ConditionPolicy::strictSerializability(), specs,
+                        limits)
+      .check(h);
 }
 
 }  // namespace jungle

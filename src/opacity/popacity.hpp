@@ -19,15 +19,20 @@ namespace jungle {
 struct CheckResult {
   /// The condition holds.
   bool satisfied = false;
-  /// The search budget ran out; a false `satisfied` is then inconclusive.
+  /// The search stopped on a resource limit (expansion budget or wall-clock
+  /// deadline); a false `satisfied` is then inconclusive.  Set uniformly by
+  /// all four entry points (parametrized opacity, opacity, strict
+  /// serializability, SGLA).
   bool inconclusive = false;
   /// Witness sequential history (of τ(h)) when satisfied.
   std::optional<History> witness;
   /// On violation: a human-readable account of the deepest dead end the
-  /// search reached — the scheduled prefix and why each remaining unit was
-  /// rejected.  Empty on success (populated by checkParametrizedOpacity;
-  /// the SGLA checker currently reports no explanation).
+  /// search reached — the scheduled prefix and why each remaining unit (or,
+  /// for SGLA, instance) was rejected.  Empty on success.
   std::string explanation;
+  /// Search telemetry (expansions, memo hits/misses, depth, branches,
+  /// elapsed time, worker count).
+  SearchStats stats;
 
   explicit operator bool() const { return satisfied; }
 };

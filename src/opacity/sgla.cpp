@@ -1,370 +1,14 @@
 #include "opacity/sgla.hpp"
 
-#include <functional>
-#include <unordered_map>
-#include <vector>
-
-#include "common/bitset64.hpp"
-#include "common/check.hpp"
-#include "opacity/state_table.hpp"
+#include "opacity/engine.hpp"
 
 namespace jungle {
 
-namespace {
-
-using PosSet = BitsetN<2>;
-
-/// Op-granularity search for a transactionally sequential, everywhere-legal
-/// permutation respecting the extended view and one transaction order ≪.
-class SglaSearcher {
- public:
-  SglaSearcher(const History& h, const HistoryAnalysis& analysis,
-               const MemoryModel& m, const SpecMap& specs,
-               const std::vector<std::size_t>& txOrder,
-               const SearchLimits& limits)
-      : h_(h),
-        analysis_(analysis),
-        txOrder_(txOrder),
-        limits_(limits),
-        base_(specs) {
-    const std::size_t n = h.size();
-    JUNGLE_CHECK_MSG(n <= PosSet::kCapacity,
-                     "history too large for the SGLA decision procedure");
-    preds_.assign(n, PosSet{});
-    buildEdges(m);
-
-    // Touched objects and op counts per transaction.
-    const auto& txns = analysis.transactions();
-    touched_.resize(txns.size());
-    remaining_.resize(txns.size());
-    for (std::size_t t = 0; t < txns.size(); ++t) {
-      remaining_[t] = txns[t].positions.size();
-      std::unordered_map<ObjectId, bool> seen;
-      for (std::size_t pos : txns[t].positions) {
-        const OpInstance& inst = h[pos];
-        if (inst.isCommand() && !seen.count(inst.obj)) {
-          seen.emplace(inst.obj, true);
-          touched_[t].push_back(inst.obj);
-        }
-      }
-    }
-  }
-
-  SearchOutcome run() {
-    SearchOutcome out;
-    out.found = dfs();
-    out.exhaustedBudget = budgetExhausted_;
-    if (out.found) out.order = order_;
-    return out;
-  }
-
- private:
-  struct Undo {
-    StateTable::Snapshot baseSnap;
-    std::vector<std::pair<ObjectId, std::unique_ptr<SpecState>>> overlaySnap;
-    std::unordered_map<ObjectId, std::unique_ptr<SpecState>> overlaySaved;
-    int prevOpen = -1;
-    std::size_t prevNextTx = 0;
-    /// The op completed a live (never-committing) transaction, closing its
-    /// critical section with abort semantics (its effects become invisible
-    /// once anything follows — visible()'s rule for non-committed
-    /// transactions).
-    bool autoClosed = false;
-  };
-
-  void buildEdges(const MemoryModel& m) {
-    const std::size_t n = h_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        if (h_[i].pid != h_[j].pid) continue;
-        const bool iSpecial = !h_[i].isCommand();
-        const bool jSpecial = !h_[j].isCommand();
-        bool edge = false;
-        if (iSpecial && jSpecial) {
-          edge = true;  // lock operations stay in program order
-        } else if (h_[i].isStart()) {
-          edge = true;  // acquire: nothing moves before the start
-        } else if (h_[j].isCommit() || h_[j].isAbort()) {
-          edge = true;  // release: nothing moves past the commit/abort
-        } else if (!iSpecial && !jSpecial) {
-          edge = m.requiresOrder(h_, i, j);
-        }
-        if (edge) preds_[j].set(i);
-      }
-    }
-  }
-
-  std::uint64_t overlayDigest() const {
-    std::uint64_t d = 0x6a09e667f3bcc909ULL;
-    for (const auto& [obj, st] : overlay_) {
-      std::uint64_t c = st->digest();
-      hashCombine(c, obj + 0x85ebca6bULL);
-      d ^= c;
-    }
-    return d;
-  }
-
-  bool dfs() {
-    if (order_.size() == h_.size()) return true;
-    if (limits_.maxExpansions && expansions_ >= limits_.maxExpansions) {
-      budgetExhausted_ = true;
-      return false;
-    }
-    ++expansions_;
-
-    const std::uint64_t stateDigest =
-        base_.digest() ^ overlayDigest() ^
-        (static_cast<std::uint64_t>(open_ + 2) * 0xff51afd7ed558ccdULL);
-    const std::uint64_t memoKey =
-        scheduled_.hash() ^ (stateDigest * 0x9e3779b97f4a7c15ULL);
-    if (limits_.useMemo) {
-      if (auto it = failed_.find(memoKey); it != failed_.end()) {
-        for (const auto& [mask, digest] : it->second) {
-          if (mask == scheduled_ && digest == stateDigest) return false;
-        }
-      }
-    }
-
-    for (std::size_t pos = 0; pos < h_.size(); ++pos) {
-      if (scheduled_.test(pos)) continue;
-      if (!scheduled_.contains(preds_[pos])) continue;
-      if (!structurallyReady(pos)) continue;
-      Undo undo;
-      if (!apply(pos, undo)) continue;
-      scheduled_.set(pos);
-      order_.push_back(pos);
-      if (dfs()) return true;
-      order_.pop_back();
-      scheduled_.reset(pos);
-      revert(pos, std::move(undo));
-      if (budgetExhausted_) return false;
-    }
-
-    if (limits_.useMemo) {
-      failed_[memoKey].emplace_back(scheduled_, stateDigest);
-    }
-    return false;
-  }
-
-  bool structurallyReady(std::size_t pos) const {
-    auto tx = analysis_.transactionOf(pos);
-    if (!tx.has_value()) return true;  // non-transactional: anywhere
-    if (h_[pos].isStart()) {
-      return open_ < 0 && nextTx_ < txOrder_.size() &&
-             txOrder_[nextTx_] == *tx;
-    }
-    return open_ >= 0 && static_cast<std::size_t>(open_) == *tx;
-  }
-
-  bool apply(std::size_t pos, Undo& undo) {
-    const OpInstance& inst = h_[pos];
-    auto tx = analysis_.transactionOf(pos);
-    undo.prevOpen = open_;
-    undo.prevNextTx = nextTx_;
-
-    if (inst.isStart()) {
-      // Open the critical section with a snapshot of its touched objects.
-      open_ = static_cast<int>(*tx);
-      ++nextTx_;
-      JUNGLE_DCHECK(overlay_.empty());
-      for (ObjectId obj : touched_[*tx]) {
-        overlay_.emplace(obj, base_.cloneState(obj));
-      }
-      --remaining_[*tx];
-      maybeAutoClose(*tx, undo);
-      return true;
-    }
-    if (inst.isCommit()) {
-      // Merge: the visible prefix at the commit is base ∪ overlay, already
-      // validated op by op; publish the overlay into the base.
-      undo.baseSnap = base_.snapshot(touched_[*tx]);
-      for (auto& [obj, st] : overlay_) {
-        base_.setState(obj, st->clone());
-      }
-      undo.overlaySaved = std::move(overlay_);
-      overlay_.clear();
-      open_ = -1;
-      --remaining_[*tx];
-      return true;
-    }
-    if (inst.isAbort()) {
-      undo.overlaySaved = std::move(overlay_);
-      overlay_.clear();
-      open_ = -1;
-      --remaining_[*tx];
-      return true;
-    }
-
-    // Command instance.
-    if (tx.has_value()) {
-      auto it = overlay_.find(inst.obj);
-      JUNGLE_DCHECK(it != overlay_.end());
-      undo.overlaySnap.emplace_back(inst.obj, it->second->clone());
-      if (!it->second->apply(inst.cmd)) {
-        revertOverlay(undo);
-        return false;
-      }
-      --remaining_[*tx];
-      maybeAutoClose(*tx, undo);
-      return true;
-    }
-
-    // Non-transactional command: legal in its own prefix (base, where an
-    // open transaction is invisible) and, if the open transaction touches
-    // the object, also inside the critical-section interleaving (overlay).
-    undo.baseSnap = base_.snapshot({inst.obj});
-    if (!base_.apply(inst.obj, inst.cmd)) {
-      base_.restore(std::move(undo.baseSnap));
-      undo.baseSnap.clear();
-      return false;
-    }
-    if (open_ >= 0) {
-      auto it = overlay_.find(inst.obj);
-      if (it != overlay_.end()) {
-        undo.overlaySnap.emplace_back(inst.obj, it->second->clone());
-        if (!it->second->apply(inst.cmd)) {
-          revertOverlay(undo);
-          base_.restore(std::move(undo.baseSnap));
-          undo.baseSnap.clear();
-          return false;
-        }
-      }
-    }
-    return true;
-  }
-
-  void revertOverlay(Undo& undo) {
-    for (auto& [obj, st] : undo.overlaySnap) {
-      overlay_[obj] = std::move(st);
-    }
-    undo.overlaySnap.clear();
-  }
-
-  /// Closes the critical section of a live transaction whose instances are
-  /// all scheduled: nothing will commit it, so once anything follows, its
-  /// effects are invisible (abort semantics).  Keeping it "open" would
-  /// wrongly block other transactions from ever being scheduled.
-  void maybeAutoClose(std::size_t tx, Undo& undo) {
-    if (remaining_[tx] != 0 ||
-        analysis_.transactions()[tx].completed()) {
-      return;
-    }
-    undo.autoClosed = true;
-    undo.overlaySaved = std::move(overlay_);
-    overlay_.clear();
-    open_ = -1;
-  }
-
-  void revert(std::size_t pos, Undo undo) {
-    const OpInstance& inst = h_[pos];
-    auto tx = analysis_.transactionOf(pos);
-    if (tx.has_value()) ++remaining_[*tx];
-    if (undo.autoClosed) {
-      overlay_ = std::move(undo.overlaySaved);
-    }
-    if (inst.isStart()) {
-      overlay_.clear();
-    } else if (inst.isCommit()) {
-      base_.restore(std::move(undo.baseSnap));
-      overlay_ = std::move(undo.overlaySaved);
-    } else if (inst.isAbort()) {
-      overlay_ = std::move(undo.overlaySaved);
-    } else {
-      revertOverlay(undo);
-      if (!undo.baseSnap.empty()) base_.restore(std::move(undo.baseSnap));
-    }
-    open_ = undo.prevOpen;
-    nextTx_ = undo.prevNextTx;
-  }
-
-  const History& h_;
-  const HistoryAnalysis& analysis_;
-  const std::vector<std::size_t>& txOrder_;
-  SearchLimits limits_;
-  StateTable base_;
-  std::unordered_map<ObjectId, std::unique_ptr<SpecState>> overlay_;
-  std::vector<PosSet> preds_;
-  std::vector<std::vector<ObjectId>> touched_;
-  std::vector<std::size_t> remaining_;
-  PosSet scheduled_;
-  std::vector<std::size_t> order_;
-  int open_ = -1;
-  std::size_t nextTx_ = 0;
-  std::uint64_t expansions_ = 0;
-  bool budgetExhausted_ = false;
-  std::unordered_map<std::uint64_t,
-                     std::vector<std::pair<PosSet, std::uint64_t>>>
-      failed_;
-};
-
-/// Enumerates total orders of transactions consistent with same-process
-/// program order and (optionally) real-time order.
-bool forEachSglaTxOrder(
-    const HistoryAnalysis& analysis, bool enforceRealTime,
-    const std::function<bool(const std::vector<std::size_t>&)>& fn) {
-  const auto& txns = analysis.transactions();
-  const std::size_t n = txns.size();
-  std::vector<std::vector<bool>> before(n, std::vector<bool>(n, false));
-  for (std::size_t a = 0; a < n; ++a) {
-    for (std::size_t b = 0; b < n; ++b) {
-      if (a == b) continue;
-      if (txns[a].pid == txns[b].pid && txns[a].firstPos() < txns[b].firstPos())
-        before[a][b] = true;
-      if (enforceRealTime && txns[a].completed() &&
-          txns[a].lastPos() < txns[b].firstPos())
-        before[a][b] = true;
-    }
-  }
-  std::vector<std::size_t> order;
-  std::vector<bool> used(n, false);
-  std::function<bool()> rec = [&]() -> bool {
-    if (order.size() == n) return fn(order);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (used[i]) continue;
-      bool ready = true;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (!used[j] && j != i && before[j][i]) {
-          ready = false;
-          break;
-        }
-      }
-      if (!ready) continue;
-      used[i] = true;
-      order.push_back(i);
-      if (rec()) return true;
-      order.pop_back();
-      used[i] = false;
-    }
-    return false;
-  };
-  return rec();
-}
-
-}  // namespace
-
 CheckResult checkSgla(const History& h, const MemoryModel& m,
                       const SpecMap& specs, const SglaOptions& opts) {
-  CheckResult result;
-
-  const History ht = m.transform(h);
-  HistoryAnalysis analysis(ht);
-  JUNGLE_CHECK_MSG(analysis.wellFormed(), "ill-formed history");
-
-  bool sawBudgetExhaustion = false;
-  const bool found = forEachSglaTxOrder(
-      analysis, opts.enforceTxRealTime,
-      [&](const std::vector<std::size_t>& txOrder) {
-        SglaSearcher searcher(ht, analysis, m, specs, txOrder, opts.limits);
-        SearchOutcome out = searcher.run();
-        sawBudgetExhaustion |= out.exhaustedBudget;
-        if (!out.found) return false;
-        result.witness = ht.subsequence(out.order);
-        return true;
-      });
-
-  result.satisfied = found;
-  result.inconclusive = !found && sawBudgetExhaustion;
-  return result;
+  return DecisionEngine(ConditionPolicy::sgla(m, opts.enforceTxRealTime),
+                        specs, opts.limits)
+      .check(h);
 }
 
 }  // namespace jungle

@@ -1,8 +1,13 @@
 // Object-state table with snapshot/restore and an incremental digest —
-// the mutable core of both the opacity and the SGLA searches.
+// the mutable core of both the opacity and the SGLA searches — plus the
+// sharded failed-configuration memo table shared by the parallel portfolio
+// search.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -85,6 +90,73 @@ class StateTable {
   const SpecMap* specs_;
   std::unordered_map<ObjectId, std::unique_ptr<SpecState>> states_;
   std::uint64_t digest_ = 0x811c9dc5a3c1f935ULL;
+};
+
+/// Failed-configuration memo shared by every worker of one portfolio
+/// search.  A configuration is (scheduled-unit mask, object-state digest,
+/// hash of the serialization order's remaining suffix): the residual
+/// subproblem is fully determined by those three (DESIGN.md §5), so a
+/// configuration that failed under one serialization order is also dead
+/// under any other order with the same scheduled set, state, and suffix.
+///
+/// Entries are published under per-shard mutexes, so an entry is either
+/// fully visible or not yet visible; a lookup racing an insert may miss it.
+/// That is sound: only *failed* configurations are stored, so a missed
+/// entry costs a re-search, never a wrong verdict.
+class ShardedMemoTable {
+ public:
+  struct Key {
+    std::array<std::uint64_t, 2> mask;
+    std::uint64_t digest;
+    std::uint64_t suffix;
+
+    bool operator==(const Key&) const = default;
+
+    std::uint64_t hash() const {
+      std::uint64_t h = digest;
+      hashCombine(h, mask[0]);
+      hashCombine(h, mask[1]);
+      hashCombine(h, suffix);
+      return h;
+    }
+  };
+
+  bool containsFailed(const Key& key) const {
+    const std::uint64_t h = key.hash();
+    const Shard& shard = shards_[h % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(h);
+    if (it == shard.map.end()) return false;
+    for (const Key& k : it->second) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+
+  void insertFailed(const Key& key) {
+    const std::uint64_t h = key.hash();
+    Shard& shard = shards_[h % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map[h].push_back(key);
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const auto& [h, keys] : shard.map) n += keys.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, std::vector<Key>> map;
+  };
+
+  static constexpr std::size_t kShards = 64;
+  std::array<Shard, kShards> shards_;
 };
 
 }  // namespace jungle

@@ -97,9 +97,6 @@ bool forEachTxOrder(
     const UnitGraph& g,
     const std::function<bool(const std::vector<std::size_t>&)>& fn) {
   const auto& txs = g.txUnits();
-  // Only tx→tx edges constrain the serialization order directly; indirect
-  // constraints (through non-transactional units) surface as search
-  // failures, so enumerating against direct edges is complete.
   std::vector<std::size_t> order;
   std::vector<bool> used(txs.size(), false);
   std::function<bool()> rec = [&]() -> bool {
@@ -110,7 +107,7 @@ bool forEachTxOrder(
       bool ready = true;
       for (std::size_t jIdx = 0; jIdx < txs.size(); ++jIdx) {
         if (used[jIdx] || jIdx == i) continue;
-        if (g.preds(txs[i]).test(txs[jIdx])) {
+        if (g.txMustPrecede(jIdx, i)) {
           ready = false;
           break;
         }

@@ -46,6 +46,14 @@ class UnitGraph {
   /// Indices of transaction units, in history order of their first op.
   const std::vector<std::size_t>& txUnits() const { return txUnits_; }
 
+  /// Must txUnits()[i] precede txUnits()[j] in every serialization order?
+  /// Only direct tx→tx edges constrain the order; indirect constraints
+  /// (through non-transactional units) surface as search failures, so
+  /// enumerating against this relation is complete.
+  bool txMustPrecede(std::size_t i, std::size_t j) const {
+    return preds_[txUnits_[j]].test(txUnits_[i]);
+  }
+
   void addEdge(std::size_t from, std::size_t to);
   /// Adds the view constraints (identifier pairs over non-transactional
   /// instances) as unit edges.

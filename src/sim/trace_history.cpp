@@ -145,13 +145,18 @@ History canonicalHistory(const Trace& r) {
 
 EnumerationResult traceEnsuresParametrizedOpacity(
     const Trace& r, const MemoryModel& m, const SpecMap& specs,
-    std::uint64_t maxHistories) {
-  return forEachCorrespondingHistory(
+    std::uint64_t maxHistories, const SearchLimits& limits) {
+  bool sawInconclusive = false;
+  EnumerationResult e = forEachCorrespondingHistory(
       r,
       [&](const History& h) {
-        return checkParametrizedOpacity(h, m, specs).satisfied;
+        const CheckResult c = checkParametrizedOpacity(h, m, specs, limits);
+        sawInconclusive |= c.inconclusive;
+        return c.satisfied;
       },
       maxHistories);
+  e.checkerInconclusive = sawInconclusive;
+  return e;
 }
 
 }  // namespace jungle

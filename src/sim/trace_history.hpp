@@ -42,6 +42,10 @@ std::vector<TraceOp> traceOperations(const Trace& r);
 struct EnumerationResult {
   bool satisfied = false;
   bool cappedOut = false;
+  /// Some per-history check stopped on a resource limit (expansion budget
+  /// or deadline); a negative verdict is then inconclusive even if the
+  /// enumeration itself ran to completion.
+  bool checkerInconclusive = false;
 };
 EnumerationResult forEachCorrespondingHistory(
     const Trace& r, const std::function<bool(const History&)>& fn,
@@ -55,8 +59,10 @@ History canonicalHistory(const Trace& r);
 
 /// ∃ corresponding history ensuring opacity parametrized by `m`?  This is
 /// the per-trace obligation of "I guarantees opacity parametrized by M".
+/// `limits` is forwarded to every per-history check; resource stops are
+/// reported through EnumerationResult::checkerInconclusive.
 EnumerationResult traceEnsuresParametrizedOpacity(
     const Trace& r, const MemoryModel& m, const SpecMap& specs,
-    std::uint64_t maxHistories = 2'000'000);
+    std::uint64_t maxHistories = 2'000'000, const SearchLimits& limits = {});
 
 }  // namespace jungle

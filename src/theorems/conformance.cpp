@@ -6,18 +6,30 @@
 
 namespace jungle::theorems {
 
+SearchLimits conformanceSearchLimits() {
+  SearchLimits limits;
+  limits.maxExpansions = 0;  // bounded by wall clock, not node counts
+  limits.timeout = std::chrono::milliseconds(10'000);
+  return limits;
+}
+
 ConformanceResult checkTracePopacity(const Trace& r, const MemoryModel& m,
-                                     const SpecMap& specs) {
+                                     const SpecMap& specs,
+                                     const SearchLimits& limits) {
   ConformanceResult res;
   res.canonical = canonicalHistory(r);
-  if (checkParametrizedOpacity(res.canonical, m, specs).satisfied) {
+  const CheckResult canonical =
+      checkParametrizedOpacity(res.canonical, m, specs, limits);
+  if (canonical.satisfied) {
     res.ok = true;
     res.viaCanonical = true;
     return res;
   }
-  EnumerationResult e = traceEnsuresParametrizedOpacity(r, m, specs);
+  EnumerationResult e =
+      traceEnsuresParametrizedOpacity(r, m, specs, 2'000'000, limits);
   res.ok = e.satisfied;
-  res.inconclusive = !e.satisfied && e.cappedOut;
+  res.inconclusive = !e.satisfied && (e.cappedOut || e.checkerInconclusive ||
+                                      canonical.inconclusive);
   return res;
 }
 
@@ -26,16 +38,20 @@ ConformanceResult checkTraceSgla(const Trace& r, const MemoryModel& m,
                                  const SglaOptions& opts) {
   ConformanceResult res;
   res.canonical = canonicalHistory(r);
-  if (checkSgla(res.canonical, m, specs, opts).satisfied) {
+  const CheckResult canonical = checkSgla(res.canonical, m, specs, opts);
+  if (canonical.satisfied) {
     res.ok = true;
     res.viaCanonical = true;
     return res;
   }
+  bool sawInconclusive = canonical.inconclusive;
   EnumerationResult e = forEachCorrespondingHistory(r, [&](const History& h) {
-    return checkSgla(h, m, specs, opts).satisfied;
+    const CheckResult c = checkSgla(h, m, specs, opts);
+    sawInconclusive |= c.inconclusive;
+    return c.satisfied;
   });
   res.ok = e.satisfied;
-  res.inconclusive = !e.satisfied && e.cappedOut;
+  res.inconclusive = !e.satisfied && (e.cappedOut || sawInconclusive);
   return res;
 }
 

@@ -22,20 +22,29 @@ struct ConformanceResult {
   bool ok = false;
   /// The canonical (logical-point) history sufficed.
   bool viaCanonical = false;
-  /// Enumeration hit its cap without a verdict (treat as inconclusive).
+  /// A negative verdict without an exhaustive search: the enumeration hit
+  /// its history cap, or some per-history check stopped on its budget or
+  /// wall-clock deadline.
   bool inconclusive = false;
   /// The canonical history, for diagnostics.
   History canonical;
 };
 
+/// Per-history search limits conformance checking uses by default: no
+/// expansion cap (node counts are machine-independent but meaningless to a
+/// caller waiting on a verdict) and a wall-clock deadline instead.
+SearchLimits conformanceSearchLimits();
+
 /// ∃ corresponding history of `r` ensuring opacity parametrized by `m`.
-ConformanceResult checkTracePopacity(const Trace& r, const MemoryModel& m,
-                                     const SpecMap& specs);
+ConformanceResult checkTracePopacity(
+    const Trace& r, const MemoryModel& m, const SpecMap& specs,
+    const SearchLimits& limits = conformanceSearchLimits());
 
 /// ∃ corresponding history of `r` ensuring SGLA parametrized by `m`.
-ConformanceResult checkTraceSgla(const Trace& r, const MemoryModel& m,
-                                 const SpecMap& specs,
-                                 const SglaOptions& opts = {});
+/// The default options carry conformanceSearchLimits().
+ConformanceResult checkTraceSgla(
+    const Trace& r, const MemoryModel& m, const SpecMap& specs,
+    const SglaOptions& opts = {true, conformanceSearchLimits()});
 
 /// Randomized concurrent workload on a recording runtime.
 struct StressOptions {

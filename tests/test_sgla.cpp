@@ -199,6 +199,51 @@ TEST(Theorem6, SglaStrictlyWeaker) {
   EXPECT_FALSE(popaque(h, scModel()));
 }
 
+// --------------------------------------------------------- explanations
+
+TEST(SglaExplanation, ViolationsCarryANonEmptyExplanation) {
+  // The SGLA checker reports the deepest dead end just like the opacity
+  // family: the explanation names the scheduled prefix and the blockers.
+  HistoryBuilder atomicity;
+  atomicity.start(0).start(1);
+  atomicity.write(0, 0, 1);
+  atomicity.read(1, 0, 1);
+  atomicity.write(0, 1, 1);
+  atomicity.read(1, 1, 0);
+  atomicity.commit(0).commit(1);
+
+  const std::vector<History> violations{
+      atomicity.build(),
+      litmus::fig2cHistory(7, 0, 0),   // impossible value
+      litmus::fig1History(1, 0),       // intermediate state via nt read
+  };
+  for (const History& h : violations) {
+    const CheckResult r = checkSgla(h, scModel(), kRegisters);
+    ASSERT_FALSE(r.satisfied);
+    EXPECT_FALSE(r.inconclusive);
+    EXPECT_FALSE(r.explanation.empty());
+    EXPECT_NE(r.explanation.find("dead end"), std::string::npos)
+        << r.explanation;
+  }
+}
+
+TEST(SglaExplanation, NamesAnIllegalInstance) {
+  // A read of a value nobody ever writes: some blocker must say the
+  // instance is illegal in the current state.
+  const CheckResult r =
+      checkSgla(litmus::fig2cHistory(7, 0, 0), scModel(), kRegisters);
+  ASSERT_FALSE(r.satisfied);
+  EXPECT_NE(r.explanation.find("illegal"), std::string::npos)
+      << r.explanation;
+}
+
+TEST(SglaExplanation, EmptyOnSuccess) {
+  const CheckResult r =
+      checkSgla(litmus::fig2cHistory(2, 0, 2), scModel(), kRegisters);
+  ASSERT_TRUE(r.satisfied);
+  EXPECT_TRUE(r.explanation.empty());
+}
+
 // ------------------------------------------------------------- witness
 
 TEST(SglaWitness, IsTransactionallySequentialAndLegal) {
