@@ -62,9 +62,25 @@ void printStats(const char* what, const SearchStats& s) {
       static_cast<long long>(s.elapsed.count()));
 }
 
-const char* verdict(const CheckResult& r) {
-  return r.inconclusive ? "inconclusive" : r.satisfied ? "SATISFIED"
-                                                       : "violated";
+/// Verdict tallies for the summary line.  An inconclusive check (budget or
+/// deadline stop) is tracked on its own and never counted as a violation.
+struct VerdictCounts {
+  std::size_t satisfied = 0;
+  std::size_t violated = 0;
+  std::size_t inconclusive = 0;
+};
+
+const char* verdict(const CheckResult& r, VerdictCounts& counts) {
+  if (r.inconclusive) {
+    ++counts.inconclusive;
+    return "inconclusive";
+  }
+  if (r.satisfied) {
+    ++counts.satisfied;
+    return "SATISFIED";
+  }
+  ++counts.violated;
+  return "violated";
 }
 
 int run(const std::string& text, const Options& opts) {
@@ -96,20 +112,28 @@ int run(const std::string& text, const Options& opts) {
   SpecMap specs;
   SglaOptions sglaOpts;
   sglaOpts.limits = opts.limits;
+  VerdictCounts counts;
   std::printf("\n%-11s %-22s %-12s\n", "model", "parametrized opacity",
               "SGLA");
   for (const MemoryModel* m : allModels()) {
     const CheckResult po = checkParametrizedOpacity(h, *m, specs, opts.limits);
     const CheckResult sg = checkSgla(h, *m, specs, sglaOpts);
-    std::printf("%-11s %-22s %-12s\n", m->name(), verdict(po), verdict(sg));
+    std::printf("%-11s %-22s %-12s\n", m->name(), verdict(po, counts),
+                verdict(sg, counts));
     if (opts.stats) {
       printStats("popacity", po.stats);
       printStats("sgla", sg.stats);
     }
   }
   const CheckResult ss = checkStrictSerializability(h, specs, opts.limits);
-  std::printf("\nstrict serializability (committed only): %s\n", verdict(ss));
+  std::printf("\nstrict serializability (committed only): %s\n",
+              verdict(ss, counts));
   if (opts.stats) printStats("strict-ser", ss.stats);
+  std::printf(
+      "summary: %zu satisfied, %zu violated, %zu inconclusive "
+      "(inconclusive = search stopped on its budget or deadline; "
+      "not evidence of a violation)\n",
+      counts.satisfied, counts.violated, counts.inconclusive);
 
   if (opts.verbose) {
     const CheckResult po =

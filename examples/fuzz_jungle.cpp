@@ -1,0 +1,87 @@
+// fuzz_jungle: the property-based fuzzing subsystem as a command-line tool.
+//
+//   build/examples/fuzz_jungle [--seed N] [--iters N] [--budget-ms N]
+//                              [--mode histories|traces|engine-diff]
+//                              [--out DIR] [--inject-bug]
+//
+//   --seed N       master seed; the same seed replays the same instances
+//                  (default 1)
+//   --iters N      iteration count (default 500)
+//   --budget-ms N  wall-clock budget for the whole run; 0 = none
+//   --mode M       engine-diff: serial engine vs 4-thread portfolio vs
+//                               brute-force reference on random histories
+//                  histories:   metamorphic properties (witness validation,
+//                               Theorem 6, constraint monotonicity)
+//                  traces:      random workloads on the live TMs, recorded
+//                               traces checked against their theorems
+//   --out DIR      write delta-shrunk .hist repros of any failure to DIR
+//                  (e.g. examples/histories/regressions)
+//   --inject-bug   mutate the portfolio engine's verdict (harness
+//                  self-test: the run must FAIL and shrink the repro)
+//
+// Exit status: 0 = no failures (inconclusive instances are excluded),
+// 1 = at least one disagreement or violation, 2 = usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/fuzz_driver.hpp"
+
+namespace {
+
+using namespace jungle;
+
+/// Parses "--flag=value" or "--flag value" forms; returns nullptr when
+/// argv[i] is not `flag`.
+const char* flagValue(int argc, char** argv, int& i, const char* flag) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(argv[i], flag, len) != 0) return nullptr;
+  if (argv[i][len] == '=') return argv[i] + len + 1;
+  if (argv[i][len] == '\0' && i + 1 < argc) return argv[++i];
+  return nullptr;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fuzz_jungle [--seed N] [--iters N] [--budget-ms N] "
+               "[--mode histories|traces|engine-diff] [--out DIR] "
+               "[--inject-bug]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::FuzzOptions opts;
+  opts.iterations = 500;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = flagValue(argc, argv, i, "--seed")) {
+      opts.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--iters")) {
+      opts.iterations = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--budget-ms")) {
+      opts.budget = std::chrono::milliseconds(std::strtoll(v, nullptr, 10));
+    } else if (const char* v = flagValue(argc, argv, i, "--out")) {
+      opts.reproDir = v;
+    } else if (const char* v = flagValue(argc, argv, i, "--mode")) {
+      if (std::strcmp(v, "engine-diff") == 0) {
+        opts.mode = fuzz::FuzzOptions::Mode::kEngineDiff;
+      } else if (std::strcmp(v, "histories") == 0) {
+        opts.mode = fuzz::FuzzOptions::Mode::kHistories;
+      } else if (std::strcmp(v, "traces") == 0) {
+        opts.mode = fuzz::FuzzOptions::Mode::kTraces;
+      } else {
+        return usage();
+      }
+    } else if (std::strcmp(argv[i], "--inject-bug") == 0) {
+      opts.mutation = fuzz::Mutation::kAcceptAborted;
+    } else {
+      return usage();
+    }
+  }
+
+  const fuzz::FuzzReport report = fuzz::runFuzz(opts);
+  std::printf("%s", fuzz::formatReport(opts, report).c_str());
+  return report.failureCount() > 0 ? 1 : 0;
+}

@@ -1,0 +1,201 @@
+#include "fuzz/differential.hpp"
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "history/sequential.hpp"
+#include "memmodel/models.hpp"
+#include "opacity/popacity.hpp"
+#include "opacity/sgla.hpp"
+
+namespace jungle::fuzz {
+
+namespace {
+
+bool hasAbortedTransaction(const History& h) {
+  HistoryAnalysis analysis(h);
+  for (const Transaction& t : analysis.transactions()) {
+    if (t.aborted) return true;
+  }
+  return false;
+}
+
+const char* verdictName(bool satisfied) {
+  return satisfied ? "satisfied" : "violated";
+}
+
+/// Compares one condition's three verdicts, folding into `out`.  Either
+/// engine being inconclusive voids the whole comparison for this
+/// condition — a resource stop is not evidence.
+void compare(DiffOutcome& out, const std::string& condition,
+             const CheckResult& serial, const CheckResult& parallel,
+             bool parallelSatisfied, RefVerdict ref) {
+  if (serial.inconclusive || parallel.inconclusive) {
+    out.inconclusive = true;
+    return;
+  }
+  if (serial.satisfied != parallelSatisfied) {
+    out.mismatch = true;
+    out.description += condition + ": serial=" + verdictName(serial.satisfied) +
+                       " parallel=" + verdictName(parallelSatisfied) + "\n";
+  }
+  if (ref != RefVerdict::kTooLarge) {
+    out.referenceUsed = true;
+    const bool refSat = ref == RefVerdict::kSatisfied;
+    if (refSat != serial.satisfied) {
+      out.mismatch = true;
+      out.description += condition +
+                         ": reference=" + refVerdictName(ref) +
+                         " serial=" + verdictName(serial.satisfied) + "\n";
+    }
+    if (refSat != parallelSatisfied) {
+      out.mismatch = true;
+      out.description += condition +
+                         ": reference=" + refVerdictName(ref) +
+                         " parallel=" + verdictName(parallelSatisfied) + "\n";
+    }
+  }
+}
+
+}  // namespace
+
+DiffOutcome diffCheckHistory(const GeneratedInstance& gen,
+                             const MemoryModel& m, const DiffOptions& opts) {
+  DiffOutcome out;
+  const History& h = gen.history;
+  const SpecMap& specs = gen.specs;
+
+  // Parametrized opacity under the drawn model — the mutation target.
+  {
+    const CheckResult a = checkParametrizedOpacity(h, m, specs, opts.serial);
+    const CheckResult b = checkParametrizedOpacity(h, m, specs, opts.parallel);
+    bool bSat = b.satisfied;
+    if (opts.mutation == Mutation::kAcceptAborted && hasAbortedTransaction(h)) {
+      bSat = true;
+    }
+    compare(out, std::string("popacity/") + m.name(), a, b, bSat,
+            referencePopacity(h, m, specs, opts.reference));
+  }
+
+  // Classical opacity (SC instance).
+  {
+    const CheckResult a = checkOpacity(h, specs, opts.serial);
+    const CheckResult b = checkOpacity(h, specs, opts.parallel);
+    compare(out, "opacity", a, b, b.satisfied,
+            referenceOpacity(h, specs, opts.reference));
+  }
+
+  // Strict serializability (erasure path).
+  {
+    const CheckResult a = checkStrictSerializability(h, specs, opts.serial);
+    const CheckResult b = checkStrictSerializability(h, specs, opts.parallel);
+    compare(out, "strict-ser", a, b, b.satisfied,
+            referenceStrictSerializability(h, specs, opts.reference));
+  }
+
+  // SGLA under the drawn model (engine-vs-engine only; the brute-force
+  // reference implements the opacity family, not lock-based sequentiality).
+  {
+    SglaOptions sa;
+    sa.limits = opts.serial;
+    SglaOptions sb;
+    sb.limits = opts.parallel;
+    const CheckResult a = checkSgla(h, m, specs, sa);
+    const CheckResult b = checkSgla(h, m, specs, sb);
+    compare(out, std::string("sgla/") + m.name(), a, b, b.satisfied,
+            RefVerdict::kTooLarge);
+  }
+
+  return out;
+}
+
+PropertyOutcome checkHistoryProperties(const GeneratedInstance& gen,
+                                       const MemoryModel& m,
+                                       const SearchLimits& limits) {
+  PropertyOutcome out;
+  const History& h = gen.history;
+  const SpecMap& specs = gen.specs;
+
+  const CheckResult po = checkParametrizedOpacity(h, m, specs, limits);
+  if (po.inconclusive) {
+    out.inconclusive = true;
+    return out;
+  }
+
+  // Witness self-validation: a satisfied verdict must come with a witness
+  // that passes the reference definitions directly.
+  if (po.satisfied) {
+    if (!po.witness.has_value()) {
+      out.violated = true;
+      out.description += "satisfied but no witness\n";
+      return out;
+    }
+    const History ht = m.transform(h);
+    HistoryAnalysis analysis(ht);
+    const History& w = *po.witness;
+    if (!isSequential(w)) {
+      out.violated = true;
+      out.description += "witness is not sequential\n";
+    }
+    if (!everyOperationLegal(w, specs)) {
+      out.violated = true;
+      out.description += "witness has an illegal operation\n";
+    }
+    if (!respectsOrder(w, analysis.realTimePairs())) {
+      out.violated = true;
+      out.description += "witness violates the real-time order\n";
+    }
+    if (!respectsOrder(w, requiredViewPairs(m, ht, analysis))) {
+      out.violated = true;
+      out.description += "witness violates the minimal view\n";
+    }
+  }
+
+  // Theorem 6: parametrized opacity implies SGLA for the same model.
+  SglaOptions sglaOpts;
+  sglaOpts.limits = limits;
+  const CheckResult sg = checkSgla(h, m, specs, sglaOpts);
+  if (po.satisfied && !sg.satisfied) {
+    if (sg.inconclusive) {
+      out.inconclusive = true;
+    } else {
+      out.violated = true;
+      out.description +=
+          std::string("Theorem 6 broken: popacity/") + m.name() +
+          " satisfied but SGLA violated\n";
+    }
+  }
+
+  // Constraint monotonicity: when m's minimal view is a subset of SC's
+  // (and both use the identity τ), an SC witness is an m witness, so
+  // satisfied-under-SC forces satisfied-under-m.
+  if (&m != &scModel() && &m != &junkScModel()) {
+    HistoryAnalysis analysis(h);
+    const auto viewM = requiredViewPairs(m, h, analysis);
+    const auto viewSc = requiredViewPairs(scModel(), h, analysis);
+    std::set<std::pair<OpId, OpId>> scSet(viewSc.begin(), viewSc.end());
+    bool subset = true;
+    for (const auto& pr : viewM) {
+      if (!scSet.count(pr)) {
+        subset = false;
+        break;
+      }
+    }
+    if (subset) {
+      const CheckResult sc = checkOpacity(h, specs, limits);
+      if (sc.inconclusive) {
+        out.inconclusive = true;
+      } else if (sc.satisfied && !po.satisfied) {
+        out.violated = true;
+        out.description += std::string("monotonicity broken: SC satisfied "
+                                       "but weaker model ") +
+                           m.name() + " violated\n";
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace jungle::fuzz

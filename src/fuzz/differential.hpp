@@ -1,0 +1,74 @@
+// The differential oracle: one instance, three independent deciders.
+//
+// For a generated history the oracle cross-checks, per condition, the
+// sequential engine (threads = 1 — the exact pre-portfolio enumeration),
+// the parallel portfolio engine (threads = 4), and — when the instance is
+// small enough — the brute-force reference checker.  Any conclusive
+// disagreement is a bug in one of the three; inconclusive verdicts
+// (budget / deadline stops) void the comparison instead of counting as
+// violations.
+//
+// Histories mode adds metamorphic properties that need no second decider:
+// witness self-validation against the reference definitions, Theorem 6
+// (parametrized opacity ⇒ SGLA for the same model), and constraint
+// monotonicity (fewer required view pairs can only make satisfaction
+// easier).
+#pragma once
+
+#include <string>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/reference_checker.hpp"
+#include "opacity/legal_search.hpp"
+
+namespace jungle::fuzz {
+
+/// Engine-bug mutations for self-testing the fuzz harness: the mutated
+/// verdict emulates a representative defect class, and the harness must
+/// catch and shrink it (see docs/TESTING.md).
+enum class Mutation {
+  kNone,
+  /// The parallel engine wrongly accepts any history containing an aborted
+  /// transaction — the defect class where erasure semantics leak from
+  /// strict serializability into opacity.
+  kAcceptAborted,
+};
+
+struct DiffOptions {
+  /// Per-decider limits; serial must keep threads == 1.
+  SearchLimits serial;
+  SearchLimits parallel;
+  ReferenceLimits reference;
+  Mutation mutation = Mutation::kNone;
+
+  DiffOptions() { parallel.threads = 4; }
+};
+
+struct DiffOutcome {
+  /// Two conclusive deciders disagreed.
+  bool mismatch = false;
+  /// Some decider stopped on a resource limit; the instance proves nothing
+  /// and must never be persisted or counted as a violation.
+  bool inconclusive = false;
+  /// The brute-force reference produced a verdict for ≥ 1 condition.
+  bool referenceUsed = false;
+  std::string description;
+};
+
+/// Cross-checks parametrized opacity (under `m`), opacity, strict
+/// serializability, and SGLA (under `m`) on one instance.
+DiffOutcome diffCheckHistory(const GeneratedInstance& gen,
+                             const MemoryModel& m, const DiffOptions& opts);
+
+struct PropertyOutcome {
+  bool violated = false;
+  bool inconclusive = false;
+  std::string description;
+};
+
+/// Histories-mode metamorphic properties on one instance.
+PropertyOutcome checkHistoryProperties(const GeneratedInstance& gen,
+                                       const MemoryModel& m,
+                                       const SearchLimits& limits);
+
+}  // namespace jungle::fuzz

@@ -1,0 +1,248 @@
+#include "fuzz/fuzz_driver.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/shrinker.hpp"
+#include "litmus/history_parser.hpp"
+#include "memmodel/models.hpp"
+#include "opacity/popacity.hpp"
+#include "sim/memory_policy.hpp"
+#include "tm/runtime.hpp"
+
+namespace jungle::fuzz {
+
+namespace {
+
+const char* mutationName(Mutation m) {
+  switch (m) {
+    case Mutation::kNone:
+      return "none";
+    case Mutation::kAcceptAborted:
+      return "accept-aborted";
+  }
+  return "?";
+}
+
+/// Writes a shrunk repro as a commented .hist file; returns its path.
+std::string persistRepro(const std::string& dir, const std::string& stem,
+                         const History& h, const std::string& description) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + stem + ".hist";
+  std::ofstream out(path);
+  out << "# fuzz_jungle repro (delta-shrunk; regenerate with the header "
+         "below)\n";
+  std::istringstream desc(description);
+  for (std::string line; std::getline(desc, line);) {
+    out << "# " << line << "\n";
+  }
+  out << litmus::printHistory(h);
+  return path;
+}
+
+void recordFailure(FuzzReport& report, const FuzzOptions& opts,
+                   std::uint64_t iter, const std::string& description,
+                   const History& failing, const FailurePredicate& fails) {
+  FuzzFailure f;
+  f.description = description;
+  f.shrunk = shrinkHistory(failing, fails).history;
+  if (!opts.reproDir.empty()) {
+    const std::string stem = std::string(fuzzModeName(opts.mode)) + "-s" +
+                             std::to_string(opts.seed) + "-i" +
+                             std::to_string(iter);
+    f.file = persistRepro(opts.reproDir, stem, f.shrunk, description);
+  }
+  report.failures.push_back(std::move(f));
+}
+
+/// The theorem each live TM is on the hook for (Theorems 3-5, §6.1); the
+/// Tl2 baseline only claims opacity on purely transactional workloads.
+struct TmClaim {
+  TmKind kind;
+  const MemoryModel* model;
+  bool pureTxOnly;
+};
+
+const std::vector<TmClaim>& tmClaims() {
+  static const std::vector<TmClaim> claims{
+      {TmKind::kGlobalLock, &idealizedModel(), false},
+      {TmKind::kWriteAsTx, &alphaModel(), false},
+      {TmKind::kVersionedWrite, &alphaModel(), false},
+      {TmKind::kStrongAtomicity, &scModel(), false},
+      {TmKind::kTl2Weak, &scModel(), true},
+  };
+  return claims;
+}
+
+void runEngineDiffIteration(const FuzzOptions& opts, std::uint64_t iter,
+                            Rng& rng, const DiffOptions& diffOpts,
+                            FuzzReport& report) {
+  const GeneratedInstance gen = randomHistory(rng, randomGenOptions(rng));
+  const MemoryModel& m = randomModel(rng);
+  const DiffOutcome out = diffCheckHistory(gen, m, diffOpts);
+  if (out.referenceUsed) ++report.referenceChecks;
+  if (out.mismatch) {
+    ++report.disagreements;
+    const std::string desc = "mode=engine-diff seed=" +
+                             std::to_string(opts.seed) + " iter=" +
+                             std::to_string(iter) + " model=" + m.name() +
+                             " mutation=" + mutationName(opts.mutation) +
+                             "\n" + out.description;
+    recordFailure(report, opts, iter, desc, gen.history,
+                  [&](const History& cand) {
+                    GeneratedInstance g{cand, gen.specs, gen.counterObjects};
+                    return diffCheckHistory(g, m, diffOpts).mismatch;
+                  });
+  } else if (out.inconclusive) {
+    ++report.inconclusive;
+  }
+}
+
+void runHistoriesIteration(const FuzzOptions& opts, std::uint64_t iter,
+                           Rng& rng, const SearchLimits& limits,
+                           FuzzReport& report) {
+  const GeneratedInstance gen = randomHistory(rng, randomGenOptions(rng));
+  const MemoryModel& m = randomModel(rng);
+  const PropertyOutcome out = checkHistoryProperties(gen, m, limits);
+  if (out.violated) {
+    ++report.propertyViolations;
+    const std::string desc = "mode=histories seed=" +
+                             std::to_string(opts.seed) + " iter=" +
+                             std::to_string(iter) + " model=" + m.name() +
+                             "\n" + out.description;
+    recordFailure(report, opts, iter, desc, gen.history,
+                  [&](const History& cand) {
+                    GeneratedInstance g{cand, gen.specs, gen.counterObjects};
+                    return checkHistoryProperties(g, m, limits).violated;
+                  });
+  } else if (out.inconclusive) {
+    ++report.inconclusive;
+  }
+}
+
+void runTracesIteration(const FuzzOptions& opts, std::uint64_t iter, Rng& rng,
+                        FuzzReport& report) {
+  const auto& claims = tmClaims();
+  const TmClaim& claim = claims[rng.below(claims.size())];
+  theorems::StressOptions stress = randomStressOptions(rng, rng());
+  if (claim.pureTxOnly) stress.pctTx = 100;
+
+  RecordingMemory mem(runtimeMemoryWords(claim.kind, stress.numVars));
+  auto tm = makeRecordingRuntime(claim.kind, mem, stress.numVars,
+                                 stress.numProcs);
+  const Trace r = theorems::runStressWorkload(*tm, mem, stress);
+
+  SearchLimits limits;
+  limits.maxExpansions = 0;
+  limits.timeout = opts.traceCheckTimeout;
+  const SpecMap registers;
+  const theorems::ConformanceResult res =
+      theorems::checkTracePopacity(r, *claim.model, registers, limits);
+  if (res.inconclusive) {
+    // A deadline-stopped conformance check proves nothing either way; it
+    // must not be persisted or counted as a violation.
+    ++report.inconclusive;
+    return;
+  }
+  if (res.ok) return;
+
+  ++report.traceViolations;
+  const std::string desc =
+      "mode=traces seed=" + std::to_string(opts.seed) + " iter=" +
+      std::to_string(iter) + " tm=" + tmKindName(claim.kind) + " model=" +
+      claim.model->name() + " stress-seed=" + std::to_string(stress.seed) +
+      "\nno corresponding history of the recorded trace is opaque; the\n"
+      "shrunk canonical corresponding history below still violates the\n"
+      "model (diagnostic repro; replay the stress seed for the full trace)";
+  // The canonical history is itself a corresponding history, so a negative
+  // trace verdict means it is conclusively violated; shrink that.
+  const MemoryModel& m = *claim.model;
+  auto canonicalFails = [&](const History& cand) {
+    const CheckResult c = checkParametrizedOpacity(cand, m, registers, limits);
+    return !c.satisfied && !c.inconclusive;
+  };
+  if (canonicalFails(res.canonical)) {
+    recordFailure(report, opts, iter, desc, res.canonical, canonicalFails);
+  } else {
+    FuzzFailure f;
+    f.description = desc;
+    f.shrunk = res.canonical;
+    report.failures.push_back(std::move(f));
+  }
+}
+
+}  // namespace
+
+const char* fuzzModeName(FuzzOptions::Mode mode) {
+  switch (mode) {
+    case FuzzOptions::Mode::kEngineDiff:
+      return "engine-diff";
+    case FuzzOptions::Mode::kHistories:
+      return "histories";
+    case FuzzOptions::Mode::kTraces:
+      return "traces";
+  }
+  return "?";
+}
+
+FuzzReport runFuzz(const FuzzOptions& opts) {
+  FuzzReport report;
+
+  DiffOptions diffOpts;
+  diffOpts.serial = opts.checkLimits;
+  diffOpts.serial.threads = 1;
+  diffOpts.parallel = opts.checkLimits;
+  diffOpts.parallel.threads = 4;
+  diffOpts.mutation = opts.mutation;
+  SearchLimits propLimits = opts.checkLimits;
+  propLimits.threads = 1;
+
+  const auto start = std::chrono::steady_clock::now();
+  Rng master(opts.seed);
+  for (std::uint64_t iter = 0; iter < opts.iterations; ++iter) {
+    if (opts.budget.count() > 0 &&
+        std::chrono::steady_clock::now() - start >= opts.budget) {
+      report.budgetExhausted = true;
+      break;
+    }
+    // Each iteration owns an independent, seed-derived stream, so a
+    // failure replays from (seed, iter) without re-running the prefix.
+    Rng rng(master());
+    switch (opts.mode) {
+      case FuzzOptions::Mode::kEngineDiff:
+        runEngineDiffIteration(opts, iter, rng, diffOpts, report);
+        break;
+      case FuzzOptions::Mode::kHistories:
+        runHistoriesIteration(opts, iter, rng, propLimits, report);
+        break;
+      case FuzzOptions::Mode::kTraces:
+        runTracesIteration(opts, iter, rng, report);
+        break;
+    }
+    ++report.iterationsRun;
+  }
+  return report;
+}
+
+std::string formatReport(const FuzzOptions& opts, const FuzzReport& report) {
+  std::ostringstream out;
+  out << "fuzz_jungle mode=" << fuzzModeName(opts.mode) << " seed="
+      << opts.seed << " iterations=" << report.iterationsRun << "/"
+      << opts.iterations;
+  if (report.budgetExhausted) out << " (budget exhausted)";
+  out << "\n  reference checks: " << report.referenceChecks
+      << "\n  inconclusive (excluded): " << report.inconclusive
+      << "\n  disagreements: " << report.disagreements
+      << "\n  property violations: " << report.propertyViolations
+      << "\n  trace violations: " << report.traceViolations << "\n";
+  for (const FuzzFailure& f : report.failures) {
+    out << "\nFAILURE: " << f.description << "\n";
+    if (!f.file.empty()) out << "repro written to " << f.file << "\n";
+    out << "shrunk history (" << f.shrunk.size() << " instances):\n"
+        << litmus::printHistory(f.shrunk);
+  }
+  return out.str();
+}
+
+}  // namespace jungle::fuzz

@@ -1,0 +1,79 @@
+// The fuzz loop: seeded, budgeted, reproducible.
+//
+// Three modes, matching the repo's three correctness surfaces:
+//   * engine-diff — random histories through the differential oracle
+//     (serial engine vs 4-thread portfolio vs brute-force reference);
+//   * histories   — random histories through the metamorphic properties
+//     (witness self-validation, Theorem 6, constraint monotonicity);
+//   * traces      — random TM workloads on the live implementations of
+//     src/tm/, every recorded trace checked through checkTracePopacity
+//     against the memory model its theorem claims (Theorems 3-5, 7, §6.1).
+//
+// Any failure is delta-shrunk (fuzz/shrinker.hpp) and, when a repro
+// directory is configured, persisted as a commented .hist file that
+// round-trips through the parser.  Inconclusive verdicts (budget or
+// deadline stops) are counted separately and are never persisted nor
+// reported as violations.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.hpp"
+
+namespace jungle::fuzz {
+
+struct FuzzOptions {
+  enum class Mode { kEngineDiff, kHistories, kTraces };
+  Mode mode = Mode::kEngineDiff;
+  std::uint64_t seed = 1;
+  std::uint64_t iterations = 100;
+  /// Wall-clock budget for the whole run; zero means iterations only.
+  std::chrono::milliseconds budget{0};
+  /// Where shrunk repros are written (created on demand); empty disables
+  /// persistence.
+  std::string reproDir;
+  /// Engine-bug injection for harness self-tests; see fuzz/differential.hpp.
+  Mutation mutation = Mutation::kNone;
+  /// Per-check limits for both engine runs (threads is overridden: the
+  /// serial decider always runs with 1, the portfolio with 4).
+  SearchLimits checkLimits;
+  /// Deadline per conformance check in traces mode.
+  std::chrono::milliseconds traceCheckTimeout{2000};
+};
+
+const char* fuzzModeName(FuzzOptions::Mode mode);
+
+struct FuzzFailure {
+  std::string description;
+  /// The delta-shrunk failing history (for traces, the shrunk canonical
+  /// corresponding history of the failing trace).
+  History shrunk;
+  /// Path of the persisted .hist repro; empty when persistence is off.
+  std::string file;
+};
+
+struct FuzzReport {
+  std::uint64_t iterationsRun = 0;
+  std::uint64_t referenceChecks = 0;
+  std::uint64_t disagreements = 0;
+  std::uint64_t propertyViolations = 0;
+  std::uint64_t traceViolations = 0;
+  /// Instances voided by a resource-limited verdict — tracked, never
+  /// counted as (or persisted like) violations.
+  std::uint64_t inconclusive = 0;
+  bool budgetExhausted = false;
+  std::vector<FuzzFailure> failures;
+
+  std::uint64_t failureCount() const {
+    return disagreements + propertyViolations + traceViolations;
+  }
+};
+
+FuzzReport runFuzz(const FuzzOptions& opts);
+
+/// Human-readable summary (CLI output; also embedded in test messages).
+std::string formatReport(const FuzzOptions& opts, const FuzzReport& report);
+
+}  // namespace jungle::fuzz

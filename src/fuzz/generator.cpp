@@ -1,0 +1,111 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "memmodel/models.hpp"
+#include "spec/counter_spec.hpp"
+
+namespace jungle::fuzz {
+
+GeneratedInstance randomHistory(Rng& rng, const GenOptions& opts) {
+  GeneratedInstance out;
+
+  // Counter objects are drawn once per instance; the SpecMap must agree
+  // with the commands the generator emits on them.
+  std::vector<bool> isCounter(opts.numObjects, false);
+  for (std::size_t x = 0; x < opts.numObjects; ++x) {
+    if (rng.chance(opts.pctCounter, 100)) {
+      isCounter[x] = true;
+      out.counterObjects.push_back(static_cast<ObjectId>(x));
+      out.specs.assign(static_cast<ObjectId>(x),
+                       std::make_shared<CounterSpec>(0));
+    }
+  }
+
+  // Serial shadow state: the value a fully serial execution in emission
+  // order would hold.  Consistent draws read it; noisy draws don't.
+  std::vector<Word> shadow(opts.numObjects, 0);
+  std::vector<bool> inTx(opts.numProcs, false);
+
+  HistoryBuilder b;
+  for (std::size_t i = 0; i < opts.numOps; ++i) {
+    const auto p = static_cast<ProcessId>(rng.below(opts.numProcs));
+    const auto x = static_cast<ObjectId>(rng.below(opts.numObjects));
+    switch (rng.below(6)) {
+      case 0:
+        if (!inTx[p]) {
+          b.start(p);
+          inTx[p] = true;
+          break;
+        }
+        [[fallthrough]];
+      case 1:
+        if (inTx[p]) {
+          rng.chance(opts.pctAbort, 100) ? b.abort(p) : b.commit(p);
+          inTx[p] = false;
+          break;
+        }
+        [[fallthrough]];
+      default: {
+        const bool mutate = rng.chance(opts.pctWrite, 100);
+        if (isCounter[x]) {
+          if (mutate) {
+            const Word d = 1 + rng.below(2);
+            shadow[x] += d;
+            b.cmd(p, x, cmdCtrInc(d));
+          } else {
+            const Word v =
+                rng.chance(opts.pctConsistent, 100) ? shadow[x] : rng.below(3);
+            b.cmd(p, x, cmdCtrRead(v));
+          }
+        } else {
+          if (mutate) {
+            const Word v = rng.below(2);
+            shadow[x] = v;
+            b.write(p, x, v);
+          } else {
+            const Word v =
+                rng.chance(opts.pctConsistent, 100) ? shadow[x] : rng.below(2);
+            b.read(p, x, v);
+          }
+        }
+        break;
+      }
+    }
+  }
+  out.history = b.build();
+  return out;
+}
+
+GenOptions randomGenOptions(Rng& rng) {
+  GenOptions opts;
+  opts.numProcs = 2 + rng.below(2);     // 2-3
+  opts.numObjects = 1 + rng.below(3);   // 1-3
+  opts.numOps = 5 + rng.below(8);       // 5-12
+  opts.pctCounter = rng.chance(1, 3) ? 50 : 0;
+  opts.pctAbort = static_cast<unsigned>(rng.below(50));
+  opts.pctWrite = 30 + static_cast<unsigned>(rng.below(40));
+  opts.pctConsistent = 40 + static_cast<unsigned>(rng.below(55));
+  return opts;
+}
+
+theorems::StressOptions randomStressOptions(Rng& rng, std::uint64_t seed) {
+  theorems::StressOptions opts;
+  opts.seed = seed;
+  opts.numProcs = 2 + rng.below(2);       // 2-3
+  opts.numVars = 2 + rng.below(2);        // 2-3
+  opts.actionsPerProc = 2 + rng.below(2); // 2-3
+  opts.txLen = 1 + rng.below(3);          // 1-3
+  opts.pctTx = 30 + static_cast<unsigned>(rng.below(70));
+  opts.pctWrite = 30 + static_cast<unsigned>(rng.below(50));
+  return opts;
+}
+
+const MemoryModel& randomModel(Rng& rng) {
+  const auto models = allModels();
+  return *models[rng.below(models.size())];
+}
+
+}  // namespace jungle::fuzz

@@ -1,0 +1,71 @@
+// Random-instance generators for the property-based testing subsystem.
+//
+// Two generator families mirror the paper's two levels:
+//   * random *histories* (§2) — well-formed by construction, over a mix of
+//     register and counter objects (the commutativity knob), with tunable
+//     process count, object count, abort rate, and size; and
+//   * random *TM workloads* — randomized StressOptions for the live TM
+//     implementations of src/tm/, whose recorded traces (§4) are then
+//     checked against the memory model each theorem claims.
+//
+// Everything is seeded and reproducible: the same Rng stream yields the
+// same instance on every platform (see common/rng.hpp), so any failure is
+// replayed from its seed alone.
+#pragma once
+
+#include "common/rng.hpp"
+#include "history/history.hpp"
+#include "memmodel/memory_model.hpp"
+#include "spec/spec_map.hpp"
+#include "theorems/conformance.hpp"
+
+namespace jungle::fuzz {
+
+struct GenOptions {
+  std::size_t numProcs = 3;
+  std::size_t numObjects = 2;
+  /// Target number of operation instances (the generator may emit slightly
+  /// fewer when a draw lands on an inapplicable move).
+  std::size_t numOps = 9;
+  /// Percent of objects given counter semantics (increments commute, so
+  /// more serializations are legal than with registers).
+  unsigned pctCounter = 0;
+  /// Percent of transaction closings that abort instead of committing.
+  unsigned pctAbort = 25;
+  /// Percent of command draws that mutate (write / inc) vs observe.
+  unsigned pctWrite = 50;
+  /// Percent of observing commands that return the value a serial shadow
+  /// execution would produce; the rest return small noise values.  High
+  /// values lean satisfiable, low values lean violating — the differential
+  /// oracle needs a healthy mix of both verdicts.
+  unsigned pctConsistent = 60;
+};
+
+/// A generated instance: the history plus the specification map its
+/// objects were generated against (counters need CounterSpec).
+struct GeneratedInstance {
+  History history;
+  SpecMap specs;
+  std::vector<ObjectId> counterObjects;
+};
+
+/// Draws a well-formed random history.  Never produces nested starts or
+/// unmatched commits; transactions left incomplete at the end are allowed
+/// (the paper's histories are prefixes of executions).
+GeneratedInstance randomHistory(Rng& rng, const GenOptions& opts);
+
+/// Diversifies the generator parameters themselves, so one fuzz run sweeps
+/// many corners of the instance space (sizes, abort-heavy, counter-heavy,
+/// noise-heavy, ...).  Sizes stay small enough that the decision
+/// procedures are exhaustive, which keeps every verdict conclusive.
+GenOptions randomGenOptions(Rng& rng);
+
+/// Randomized TM workload parameters for trace-mode fuzzing.  Sizes are
+/// bounded so the per-trace conformance check completes within the fuzz
+/// loop's deadline.
+theorems::StressOptions randomStressOptions(Rng& rng, std::uint64_t seed);
+
+/// A memory model drawn uniformly from allModels().
+const MemoryModel& randomModel(Rng& rng);
+
+}  // namespace jungle::fuzz

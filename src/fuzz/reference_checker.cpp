@@ -1,0 +1,101 @@
+#include "fuzz/reference_checker.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "history/sequential.hpp"
+#include "memmodel/models.hpp"
+
+namespace jungle::fuzz {
+
+const char* refVerdictName(RefVerdict v) {
+  switch (v) {
+    case RefVerdict::kSatisfied:
+      return "satisfied";
+    case RefVerdict::kViolated:
+      return "violated";
+    case RefVerdict::kTooLarge:
+      return "too-large";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Dependence annotations are program-order metadata of the *original*
+/// history: they feed ≺h and requiredViewPairs, but a serialization that
+/// the model allows to reorder a dependent command ahead of its source is
+/// still a valid witness.  Well-formedness would reject such an order
+/// (deps must reference earlier instances), so once the order constraints
+/// are extracted the annotations are erased — cdrd/ddrd behave as rd,
+/// cdwr/ddwr as wr — before enumerating candidate serializations.
+History eraseDependenceAnnotations(const History& h) {
+  std::vector<OpInstance> ops = h.ops();
+  for (OpInstance& inst : ops) {
+    if (!inst.isCommand()) continue;
+    if (inst.cmd.isReadLike() && !inst.cmd.deps.empty()) {
+      inst.cmd.kind = CmdKind::kRead;
+    } else if (inst.cmd.isWriteLike() && !inst.cmd.deps.empty()) {
+      inst.cmd.kind = CmdKind::kWrite;
+    }
+    inst.cmd.deps.clear();
+  }
+  return History(std::move(ops));
+}
+
+}  // namespace
+
+RefVerdict referencePopacity(const History& h, const MemoryModel& m,
+                             const SpecMap& specs,
+                             const ReferenceLimits& limits) {
+  const History annotated = m.transform(h);
+  HistoryAnalysis analysis(annotated);
+  JUNGLE_CHECK_MSG(analysis.wellFormed(), "ill-formed history");
+  if (annotated.size() > limits.maxOps ||
+      analysis.transactions().size() > limits.maxTransactions) {
+    return RefVerdict::kTooLarge;
+  }
+  const auto rt = analysis.realTimePairs();
+  const auto view = requiredViewPairs(m, annotated, analysis);
+  const History ht = eraseDependenceAnnotations(annotated);
+
+  std::vector<std::size_t> perm(ht.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    History s = ht.subsequence(perm);
+    if (!isSequential(s)) continue;
+    if (!respectsOrder(s, rt)) continue;
+    if (!respectsOrder(s, view)) continue;
+    if (!everyOperationLegal(s, specs)) continue;
+    return RefVerdict::kSatisfied;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return RefVerdict::kViolated;
+}
+
+RefVerdict referenceOpacity(const History& h, const SpecMap& specs,
+                            const ReferenceLimits& limits) {
+  return referencePopacity(h, scModel(), specs, limits);
+}
+
+RefVerdict referenceStrictSerializability(const History& h,
+                                          const SpecMap& specs,
+                                          const ReferenceLimits& limits) {
+  return referenceOpacity(eraseNonCommittedTransactions(h), specs, limits);
+}
+
+History eraseNonCommittedTransactions(const History& h) {
+  HistoryAnalysis analysis(h);
+  JUNGLE_CHECK_MSG(analysis.wellFormed(), "ill-formed history");
+  std::vector<std::size_t> keep;
+  for (std::size_t pos = 0; pos < h.size(); ++pos) {
+    auto tx = analysis.transactionOf(pos);
+    if (!tx.has_value() || analysis.transactions()[*tx].committed) {
+      keep.push_back(pos);
+    }
+  }
+  return h.subsequence(keep);
+}
+
+}  // namespace jungle::fuzz

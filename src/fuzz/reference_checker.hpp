@@ -1,0 +1,56 @@
+// Brute-force reference checker — the differential oracle's third voice.
+//
+// Decides parametrized opacity (and its opacity / strict-serializability
+// instances) by naive enumeration: every permutation of τ(h) is tested
+// against the *reference* definitions of history/sequential.hpp
+// (sequentiality, prefix-visible legality, ≺h, minimal view).  It shares no
+// code with the DecisionEngine's legality-directed search — no unit graph,
+// no memoization, no pruning, no portfolio — so agreement between the two
+// on random instances is evidence about the definitions, not about a shared
+// bug.  Only viable for tiny instances (≤ 4 transactions and a handful of
+// operations); larger inputs report kTooLarge rather than guessing.
+#pragma once
+
+#include "history/history.hpp"
+#include "memmodel/memory_model.hpp"
+#include "spec/spec_map.hpp"
+
+namespace jungle::fuzz {
+
+enum class RefVerdict {
+  kSatisfied,
+  kViolated,
+  /// The instance exceeds the enumeration caps; no verdict.
+  kTooLarge,
+};
+
+const char* refVerdictName(RefVerdict v);
+
+struct ReferenceLimits {
+  /// Enumeration caps: |τ(h)| ≤ maxOps and ≤ maxTransactions transactions.
+  /// 9! ≈ 363k permutations is the most the naive loop should ever chew.
+  std::size_t maxOps = 9;
+  std::size_t maxTransactions = 4;
+};
+
+/// ∃ permutation s of τ(h): sequential, every operation legal, respecting
+/// ≺h and the model's minimal view — parametrized opacity by enumeration.
+RefVerdict referencePopacity(const History& h, const MemoryModel& m,
+                             const SpecMap& specs,
+                             const ReferenceLimits& limits = {});
+
+/// Classical opacity: the SC-parametrized instance.
+RefVerdict referenceOpacity(const History& h, const SpecMap& specs,
+                            const ReferenceLimits& limits = {});
+
+/// Strict serializability: erase aborted and incomplete transactions, then
+/// referenceOpacity on the remainder.
+RefVerdict referenceStrictSerializability(const History& h,
+                                          const SpecMap& specs,
+                                          const ReferenceLimits& limits = {});
+
+/// The erasure shared by the strict-serializability reference and the
+/// engine (reimplemented here from the definition; exposed for tests).
+History eraseNonCommittedTransactions(const History& h);
+
+}  // namespace jungle::fuzz

@@ -1,0 +1,106 @@
+#include "fuzz/shrinker.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace jungle::fuzz {
+
+namespace {
+
+/// The candidate is admissible iff it parses as a well-formed history and
+/// still fails.  Ill-formed candidates (e.g. a dropped start leaving an
+/// unmatched commit) are skipped, not treated as failures.
+bool admissible(const History& candidate, const FailurePredicate& fails,
+                std::size_t& tried) {
+  ++tried;
+  HistoryAnalysis analysis(candidate);
+  if (!analysis.wellFormed()) return false;
+  return fails(candidate);
+}
+
+History dropPositions(const History& h, const std::vector<std::size_t>& drop) {
+  std::vector<std::size_t> keep;
+  keep.reserve(h.size());
+  for (std::size_t pos = 0; pos < h.size(); ++pos) {
+    if (!std::binary_search(drop.begin(), drop.end(), pos)) keep.push_back(pos);
+  }
+  return h.subsequence(keep);
+}
+
+History mergeObjects(const History& h, ObjectId from, ObjectId onto) {
+  std::vector<OpInstance> ops = h.ops();
+  for (OpInstance& inst : ops) {
+    if (inst.isCommand() && inst.obj == from) inst.obj = onto;
+  }
+  return History(std::move(ops));
+}
+
+}  // namespace
+
+ShrinkResult shrinkHistory(const History& h, const FailurePredicate& fails) {
+  JUNGLE_CHECK_MSG(fails(h), "shrinkHistory needs a failing input");
+  ShrinkResult res;
+  res.history = h;
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    ++res.rounds;
+    const History& cur = res.history;
+
+    // 1. Whole transactions, largest first — the biggest single cut.
+    {
+      HistoryAnalysis analysis(cur);
+      std::vector<std::size_t> order(analysis.transactions().size());
+      for (std::size_t t = 0; t < order.size(); ++t) order[t] = t;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return analysis.transactions()[a].positions.size() >
+               analysis.transactions()[b].positions.size();
+      });
+      for (std::size_t t : order) {
+        std::vector<std::size_t> drop = analysis.transactions()[t].positions;
+        std::sort(drop.begin(), drop.end());
+        History candidate = dropPositions(cur, drop);
+        if (admissible(candidate, fails, res.candidatesTried)) {
+          res.history = std::move(candidate);
+          progressed = true;
+          break;
+        }
+      }
+      if (progressed) continue;
+    }
+
+    // 2. Single instances, back to front (later drops disturb less).
+    for (std::size_t pos = cur.size(); pos-- > 0;) {
+      History candidate = dropPositions(cur, {pos});
+      if (admissible(candidate, fails, res.candidatesTried)) {
+        res.history = std::move(candidate);
+        progressed = true;
+        break;
+      }
+    }
+    if (progressed) continue;
+
+    // 3. Object merges: fold the highest object onto a lower one.
+    {
+      const std::vector<ObjectId> objs = cur.objects();
+      for (std::size_t a = 0; a < objs.size() && !progressed; ++a) {
+        for (std::size_t b = a + 1; b < objs.size(); ++b) {
+          const ObjectId lo = std::min(objs[a], objs[b]);
+          const ObjectId hi = std::max(objs[a], objs[b]);
+          History candidate = mergeObjects(cur, hi, lo);
+          if (admissible(candidate, fails, res.candidatesTried)) {
+            res.history = std::move(candidate);
+            progressed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace jungle::fuzz

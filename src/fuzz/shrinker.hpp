@@ -1,0 +1,37 @@
+// Delta-debugging shrinker: minimize a failing history while preserving
+// the failure.
+//
+// Given a history and a predicate "still exhibits the bug", the shrinker
+// greedily applies three reduction moves until a fixpoint:
+//   * drop a whole transaction (all of its instances),
+//   * drop a single instance (command, start, commit, or abort — the
+//     candidate is discarded if removal leaves the history ill-formed), and
+//   * merge two objects (remap every command on the higher-numbered object
+//     onto the lower-numbered one).
+// Every accepted candidate is re-validated through the predicate, so the
+// result is the smallest history this move set can reach that still fails.
+// Predicates should treat inconclusive verdicts as "not failing" — a
+// shrink step must never turn a resource-limited check into evidence.
+#pragma once
+
+#include <functional>
+
+#include "history/history.hpp"
+
+namespace jungle::fuzz {
+
+/// Returns true when the candidate still exhibits the failure under
+/// investigation.  Candidates are always well-formed.
+using FailurePredicate = std::function<bool(const History&)>;
+
+struct ShrinkResult {
+  History history;
+  /// Fixpoint rounds and total predicate evaluations, for telemetry.
+  std::size_t rounds = 0;
+  std::size_t candidatesTried = 0;
+};
+
+/// Minimizes `h` under `fails`.  `fails(h)` must hold on entry (checked).
+ShrinkResult shrinkHistory(const History& h, const FailurePredicate& fails);
+
+}  // namespace jungle::fuzz

@@ -193,7 +193,9 @@ ParseResult parseHistory(const std::string& text) {
   return r;
 }
 
-std::string formatHistory(const History& h) {
+std::string formatHistory(const History& h) { return printHistory(h); }
+
+std::string printHistory(const History& h) {
   std::string out;
   for (const OpInstance& inst : h) {
     out += "p" + std::to_string(inst.pid) + ": ";

@@ -41,7 +41,16 @@ struct ParseResult {
 
 ParseResult parseHistory(const std::string& text);
 
-/// Renders a history in the same format (round-trips through the parser).
+/// Renders a history in the grammar above, one instance per line with its
+/// explicit '@id'.  printHistory is the exact inverse of parseHistory for
+/// every parseable history: parseHistory(printHistory(h)) == h (the fuzz
+/// shrinker relies on this to emit .hist repros; property-tested over the
+/// whole corpus and over generated histories in test_parser_roundtrip).
+/// Histories containing τ-inserted havoc commands render but do not
+/// re-parse — havoc is diagnostic output only.
+std::string printHistory(const History& h);
+
+/// Legacy name for printHistory.
 std::string formatHistory(const History& h);
 
 }  // namespace jungle::litmus

@@ -1,0 +1,239 @@
+// The fuzzing subsystem tested against itself: generator well-formedness
+// and verdict mix, shrinker minimality, the differential oracle's clean
+// run, the injected-engine-bug self-test (the harness must catch and
+// shrink a mutated verdict), the inconclusive-exclusion regression
+// (resource-limited verdicts are never violations), and the CheckResult
+// telemetry contract across all four checker entry points.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "fuzz/fuzz_driver.hpp"
+#include "fuzz/shrinker.hpp"
+#include "litmus/figures.hpp"
+#include "memmodel/models.hpp"
+#include "opacity/popacity.hpp"
+#include "opacity/sgla.hpp"
+#include "sim/memory_policy.hpp"
+#include "theorems/conformance.hpp"
+#include "tm/runtime.hpp"
+
+namespace jungle {
+namespace {
+
+SpecMap kRegisters;
+
+// ------------------------------------------------------------- generator
+
+TEST(Generator, HistoriesAreWellFormedAndBothVerdictsOccur) {
+  Rng rng(2026);
+  int satisfied = 0, violated = 0;
+  for (int i = 0; i < 200; ++i) {
+    const fuzz::GeneratedInstance gen =
+        fuzz::randomHistory(rng, fuzz::randomGenOptions(rng));
+    HistoryAnalysis analysis(gen.history);
+    ASSERT_TRUE(analysis.wellFormed()) << gen.history.toString();
+    if (i < 60) {
+      const CheckResult r =
+          checkParametrizedOpacity(gen.history, scModel(), gen.specs);
+      ASSERT_FALSE(r.inconclusive);
+      (r.satisfied ? satisfied : violated) += 1;
+    }
+  }
+  // The family must exercise both verdicts, or differential fuzzing
+  // proves nothing.
+  EXPECT_GT(satisfied, 5);
+  EXPECT_GT(violated, 5);
+}
+
+// -------------------------------------------------------------- shrinker
+
+TEST(Shrinker, MinimizesAViolatingHistoryToItsCore) {
+  // The violation is one impossible read; everything else is chaff.
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1).read(0, 0, 1).commit(0);
+  b.start(1).read(1, 1, 0).commit(1);
+  b.write(2, 1, 3);
+  b.read(2, 0, 5);  // impossible: nobody writes 5
+  b.read(2, 1, 3);
+  const History h = b.build();
+
+  auto fails = [](const History& cand) {
+    const CheckResult r = checkParametrizedOpacity(cand, scModel(), kRegisters);
+    return !r.satisfied && !r.inconclusive;
+  };
+  ASSERT_TRUE(fails(h));
+
+  const fuzz::ShrinkResult res = fuzz::shrinkHistory(h, fails);
+  EXPECT_TRUE(fails(res.history));
+  EXPECT_TRUE(HistoryAnalysis(res.history).wellFormed());
+  // The single impossible read alone is a violating history.
+  EXPECT_EQ(res.history.size(), 1u) << res.history.toString();
+  EXPECT_GT(res.candidatesTried, 0u);
+}
+
+TEST(Shrinker, MergesObjectsWhenThatPreservesTheFailure) {
+  // Violation: x1's committed writer orders against x0's reader both ways.
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1).write(0, 1, 1).commit(0);
+  b.read(1, 0, 1);
+  b.read(1, 1, 0);  // after x0=1 is observed, x1 must be 1 too
+  const History h = b.build();
+  auto fails = [](const History& cand) {
+    const CheckResult r = checkParametrizedOpacity(cand, scModel(), kRegisters);
+    return !r.satisfied && !r.inconclusive;
+  };
+  ASSERT_TRUE(fails(h));
+  const fuzz::ShrinkResult res = fuzz::shrinkHistory(h, fails);
+  EXPECT_TRUE(fails(res.history));
+  EXPECT_LE(res.history.objects().size(), 1u) << res.history.toString();
+}
+
+// ---------------------------------------------------- differential oracle
+
+TEST(FuzzDriver, EngineDiffCleanRunFindsNoDisagreements) {
+  fuzz::FuzzOptions opts;
+  opts.mode = fuzz::FuzzOptions::Mode::kEngineDiff;
+  opts.seed = 7;
+  opts.iterations = 40;
+  const fuzz::FuzzReport report = fuzz::runFuzz(opts);
+  EXPECT_EQ(report.iterationsRun, 40u);
+  EXPECT_EQ(report.disagreements, 0u) << fuzz::formatReport(opts, report);
+  EXPECT_GT(report.referenceChecks, 10u);  // the third voice must speak
+}
+
+TEST(FuzzDriver, HistoriesModePropertiesHold) {
+  fuzz::FuzzOptions opts;
+  opts.mode = fuzz::FuzzOptions::Mode::kHistories;
+  opts.seed = 7;
+  opts.iterations = 120;
+  const fuzz::FuzzReport report = fuzz::runFuzz(opts);
+  EXPECT_EQ(report.propertyViolations, 0u) << fuzz::formatReport(opts, report);
+}
+
+TEST(FuzzDriver, InjectedEngineBugIsCaughtAndShrunk) {
+  // Mutation self-test: with the portfolio verdict mutated to accept any
+  // history containing an aborted transaction, the differential oracle
+  // must disagree, and the shrinker must reduce the repro to at most 4
+  // transactions (the acceptance bar for counterexample quality).
+  fuzz::FuzzOptions opts;
+  opts.mode = fuzz::FuzzOptions::Mode::kEngineDiff;
+  opts.seed = 42;
+  opts.iterations = 60;
+  opts.mutation = fuzz::Mutation::kAcceptAborted;
+  const fuzz::FuzzReport report = fuzz::runFuzz(opts);
+  ASSERT_GT(report.disagreements, 0u);
+  ASSERT_FALSE(report.failures.empty());
+  for (const fuzz::FuzzFailure& f : report.failures) {
+    HistoryAnalysis analysis(f.shrunk);
+    ASSERT_TRUE(analysis.wellFormed());
+    EXPECT_LE(analysis.transactions().size(), 4u) << f.description;
+    EXPECT_LE(f.shrunk.size(), 8u) << f.description;
+  }
+}
+
+// ----------------------------------------- inconclusive is not a verdict
+
+/// The adversarial family from test_engine_equivalence: a barren
+/// lexicographic cone ahead of the unique witness, so tight deadlines
+/// expire mid-search.
+History hiddenWitnessHistory(std::size_t txs) {
+  HistoryBuilder b;
+  for (std::size_t i = 0; i < txs; ++i) b.start(static_cast<ProcessId>(i));
+  b.read(0, 0, 1).write(0, 1, 9);
+  b.read(1, 0, 0).write(1, 0, 1);
+  for (std::size_t i = 2; i < txs; ++i) {
+    const auto p = static_cast<ProcessId>(i);
+    b.read(p, 0, static_cast<Word>(i - 1));
+    b.write(p, 0, static_cast<Word>(i));
+  }
+  for (std::size_t i = 0; i < txs; ++i) b.commit(static_cast<ProcessId>(i));
+  return b.build();
+}
+
+TEST(Inconclusive, OneMillisecondDeadlineVoidsTheComparison) {
+  // Regression for the verdict-accounting contract: a deadline-stopped
+  // check is neither a mismatch nor a violation — the instance is voided.
+  fuzz::DiffOptions diff;
+  diff.serial.maxExpansions = 0;
+  diff.serial.timeout = std::chrono::milliseconds(1);
+  diff.parallel = diff.serial;
+  diff.parallel.threads = 4;
+  fuzz::GeneratedInstance gen;
+  gen.history = hiddenWitnessHistory(9);
+  const fuzz::DiffOutcome out =
+      fuzz::diffCheckHistory(gen, scModel(), diff);
+  EXPECT_TRUE(out.inconclusive);
+  EXPECT_FALSE(out.mismatch) << out.description;
+}
+
+TEST(Inconclusive, DriverNeverCountsOrPersistsResourceStops) {
+  // With a 1-expansion budget every engine check stops on its budget; the
+  // run must end with zero failures, no repro files, and the voided
+  // instances accounted under `inconclusive`.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "jungle_fuzz_inconclusive")
+          .string();
+  std::filesystem::remove_all(dir);
+  fuzz::FuzzOptions opts;
+  opts.mode = fuzz::FuzzOptions::Mode::kEngineDiff;
+  opts.seed = 5;
+  opts.iterations = 25;
+  opts.reproDir = dir;
+  opts.checkLimits.maxExpansions = 1;
+  const fuzz::FuzzReport report = fuzz::runFuzz(opts);
+  EXPECT_EQ(report.disagreements, 0u) << fuzz::formatReport(opts, report);
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_GT(report.inconclusive, 0u);
+  // Nothing may be persisted for a voided instance; the repro directory is
+  // only ever created for real failures.
+  EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+TEST(Inconclusive, TraceConformanceBudgetStopIsReportedAsSuch) {
+  // The trace-mode analogue: a budget-stopped checkTracePopacity must set
+  // inconclusive so the fuzz loop can exclude it (ConformanceResult's
+  // negative-without-exhaustion contract).
+  theorems::StressOptions stress;
+  stress.seed = 9;
+  RecordingMemory mem(runtimeMemoryWords(TmKind::kVersionedWrite, 3));
+  auto tm = makeRecordingRuntime(TmKind::kVersionedWrite, mem, 3, 3);
+  const Trace r = theorems::runStressWorkload(*tm, mem, stress);
+  SearchLimits tiny;
+  tiny.maxExpansions = 1;
+  const theorems::ConformanceResult res =
+      theorems::checkTracePopacity(r, alphaModel(), kRegisters, tiny);
+  if (!res.ok) {
+    EXPECT_TRUE(res.inconclusive);
+  }
+}
+
+// --------------------------------------------- telemetry contract (stats)
+
+TEST(Telemetry, AllFourEntryPointsPopulateStats) {
+  // The PR 1 stats fields must not silently rot: every entry point reports
+  // real expansions, nonzero elapsed time, and the configured threads.
+  const History h = litmus::fig3History(1, 1);
+  for (unsigned threads : {1u, 3u}) {
+    SearchLimits limits;
+    limits.threads = threads;
+    SglaOptions sglaOpts;
+    sglaOpts.limits = limits;
+    const CheckResult results[] = {
+        checkParametrizedOpacity(h, rmoModel(), kRegisters, limits),
+        checkOpacity(h, kRegisters, limits),
+        checkStrictSerializability(h, kRegisters, limits),
+        checkSgla(h, scModel(), kRegisters, sglaOpts),
+    };
+    const char* names[] = {"popacity", "opacity", "strict-ser", "sgla"};
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_GT(results[i].stats.expansions, 0u) << names[i];
+      EXPECT_GT(results[i].stats.elapsed.count(), 0) << names[i];
+      EXPECT_EQ(results[i].stats.threadsUsed, threads) << names[i];
+      EXPECT_GT(results[i].stats.branchesExplored, 0u) << names[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jungle

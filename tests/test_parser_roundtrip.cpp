@@ -1,0 +1,88 @@
+// printHistory/parseHistory round-trip (the contract the fuzz shrinker's
+// .hist repros rely on): parseHistory(printHistory(h)) == h, property-tested
+// over the shipped corpus, over every grammar form, and over generated
+// random histories.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/generator.hpp"
+#include "litmus/history_parser.hpp"
+
+#ifndef JUNGLE_HISTORIES_DIR
+#error "JUNGLE_HISTORIES_DIR must be defined by the build"
+#endif
+
+namespace jungle {
+namespace {
+
+History roundTrip(const History& h, const std::string& what) {
+  const std::string text = litmus::printHistory(h);
+  auto reparsed = litmus::parseHistory(text);
+  EXPECT_TRUE(reparsed) << what << ": " << reparsed.error << "\n" << text;
+  EXPECT_EQ(*reparsed.history, h) << what << "\n" << text;
+  return *reparsed.history;
+}
+
+TEST(ParserRoundTrip, WholeCorpusIncludingRegressions) {
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(
+           JUNGLE_HISTORIES_DIR)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".hist") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto parsed = litmus::parseHistory(buf.str());
+    ASSERT_TRUE(parsed) << entry.path() << ": " << parsed.error;
+    roundTrip(*parsed.history, entry.path().string());
+    ++files;
+  }
+  EXPECT_GE(files, 7u);  // the shipped corpus
+}
+
+TEST(ParserRoundTrip, EveryGrammarForm) {
+  // One instance of each op kind, with explicit ids, dependence
+  // annotations, named and numbered variables, and a deq-empty.
+  const std::string text =
+      "p0: start @1\n"
+      "p0: wr x 1 @2\n"
+      "p0: rd x 1 @3\n"
+      "p0: cdwr y 2 deps=3 @4\n"
+      "p0: ddrd y 2 deps=3,4 @5\n"
+      "p0: commit @6\n"
+      "p1: start @7\n"
+      "p1: inc z 3 @8\n"
+      "p1: ctrrd z 3 @9\n"
+      "p1: abort @10\n"
+      "p2: enq x4 7 @11\n"
+      "p2: deq x4 7 @12\n"
+      "p2: deq x4 empty @13\n"
+      "p2: cdrd x 1 deps=11 @14\n"
+      "p2: ddwr x 9 deps=14 @15\n";
+  auto parsed = litmus::parseHistory(text);
+  ASSERT_TRUE(parsed) << parsed.error;
+  roundTrip(*parsed.history, "grammar-forms");
+}
+
+TEST(ParserRoundTrip, GeneratedRandomHistories) {
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const fuzz::GeneratedInstance gen =
+        fuzz::randomHistory(rng, fuzz::randomGenOptions(rng));
+    roundTrip(gen.history, "generated #" + std::to_string(i));
+  }
+}
+
+TEST(ParserRoundTrip, FormatHistoryIsTheLegacyAlias) {
+  auto parsed = litmus::parseHistory("p0: wr x 1\np0: rd x 1\n");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(litmus::formatHistory(*parsed.history),
+            litmus::printHistory(*parsed.history));
+}
+
+}  // namespace
+}  // namespace jungle

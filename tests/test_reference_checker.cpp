@@ -1,0 +1,180 @@
+// The brute-force reference checker cross-validated against both engine
+// configurations (S3): the paper's litmus figures, the shipped corpus, and
+// random instances must all produce three-way agreement — the reference
+// shares no search code with the DecisionEngine, so agreement here is
+// evidence about the definitions themselves.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/reference_checker.hpp"
+#include "litmus/figures.hpp"
+#include "litmus/history_parser.hpp"
+#include "memmodel/models.hpp"
+#include "opacity/popacity.hpp"
+#include "spec/counter_spec.hpp"
+
+#ifndef JUNGLE_HISTORIES_DIR
+#error "JUNGLE_HISTORIES_DIR must be defined by the build"
+#endif
+
+namespace jungle {
+namespace {
+
+SpecMap kRegisters;
+
+SearchLimits serialLimits() {
+  SearchLimits l;
+  l.threads = 1;
+  return l;
+}
+
+SearchLimits portfolioLimits() {
+  SearchLimits l;
+  l.threads = 4;
+  return l;
+}
+
+/// Engine (serial + portfolio) vs reference on one (history, model, specs)
+/// triple.  Returns false when the reference declined (too large).
+bool expectThreeWayAgreement(const History& h, const MemoryModel& m,
+                             const SpecMap& specs, const std::string& what) {
+  const fuzz::RefVerdict ref = fuzz::referencePopacity(h, m, specs);
+  if (ref == fuzz::RefVerdict::kTooLarge) return false;
+  const CheckResult serial =
+      checkParametrizedOpacity(h, m, specs, serialLimits());
+  const CheckResult portfolio =
+      checkParametrizedOpacity(h, m, specs, portfolioLimits());
+  EXPECT_FALSE(serial.inconclusive) << what;
+  EXPECT_FALSE(portfolio.inconclusive) << what;
+  const bool refSat = ref == fuzz::RefVerdict::kSatisfied;
+  EXPECT_EQ(serial.satisfied, refSat) << what << " [" << m.name() << "]";
+  EXPECT_EQ(portfolio.satisfied, refSat) << what << " [" << m.name() << "]";
+  return true;
+}
+
+TEST(ReferenceChecker, AgreesWithKnownFigureVerdicts) {
+  // Anchor the reference to verdicts proved in the paper before using it
+  // as an oracle: Figure 1's torn read and Figure 3's pending-commit pair.
+  EXPECT_EQ(fuzz::referencePopacity(litmus::fig1History(1, 0), scModel(),
+                                    kRegisters),
+            fuzz::RefVerdict::kViolated);
+  EXPECT_EQ(fuzz::referencePopacity(litmus::fig1History(1, 0), rmoModel(),
+                                    kRegisters),
+            fuzz::RefVerdict::kSatisfied);
+  EXPECT_EQ(fuzz::referenceOpacity(litmus::storeBufferHistory(0, 0),
+                                   kRegisters),
+            fuzz::RefVerdict::kViolated);
+  // Strict serializability erases the aborted writer: the read of its value
+  // becomes unjustifiable, the read of the initial value becomes trivial.
+  HistoryBuilder leak;
+  leak.start(0).write(0, 0, 1).abort(0);
+  leak.read(1, 0, 1);
+  EXPECT_EQ(fuzz::referenceStrictSerializability(leak.build(), kRegisters),
+            fuzz::RefVerdict::kViolated);
+  HistoryBuilder clean;
+  clean.start(0).write(0, 0, 1).abort(0);
+  clean.read(1, 0, 0);
+  EXPECT_EQ(fuzz::referenceStrictSerializability(clean.build(), kRegisters),
+            fuzz::RefVerdict::kSatisfied);
+}
+
+TEST(ReferenceChecker, ThreeWayAgreementOnTheFigures) {
+  const History figures[] = {
+      litmus::fig1History(1, 0),  litmus::fig1History(1, 1),
+      litmus::fig2aHistory(1, 2), litmus::fig2bHistory(1, 0),
+      litmus::fig2cHistory(1, 1, 0), litmus::storeBufferHistory(0, 0),
+      litmus::storeBufferHistory(1, 0),
+  };
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < std::size(figures); ++i) {
+    for (const MemoryModel* m : allModels()) {
+      if (expectThreeWayAgreement(figures[i], *m, kRegisters,
+                                  "figure #" + std::to_string(i))) {
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 20u);
+}
+
+TEST(ReferenceChecker, ThreeWayAgreementOnTheCorpus) {
+  // Every shipped corpus verdict re-derived by naive enumeration (files the
+  // enumeration caps exclude are skipped, and at least one must survive).
+  std::size_t checked = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(JUNGLE_HISTORIES_DIR)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".hist") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto parsed = litmus::parseHistory(buf.str());
+    ASSERT_TRUE(parsed) << entry.path() << ": " << parsed.error;
+    SpecMap specs;
+    if (entry.path().filename() == "counter.hist") {
+      specs.assign(0, std::make_shared<CounterSpec>(0));
+    }
+    for (const MemoryModel* m : allModels()) {
+      if (expectThreeWayAgreement(*parsed.history, *m, specs,
+                                  entry.path().string())) {
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST(ReferenceChecker, ThreeWayAgreementOnRandomInstances) {
+  Rng rng(123);
+  std::size_t checked = 0;
+  for (int i = 0; i < 150; ++i) {
+    const fuzz::GeneratedInstance gen =
+        fuzz::randomHistory(rng, fuzz::randomGenOptions(rng));
+    const MemoryModel& m = fuzz::randomModel(rng);
+    if (expectThreeWayAgreement(gen.history, m, gen.specs,
+                                "random #" + std::to_string(i))) {
+      ++checked;
+    }
+    // Strict serializability goes through the erasure on both sides.
+    const fuzz::RefVerdict ref =
+        fuzz::referenceStrictSerializability(gen.history, gen.specs);
+    if (ref != fuzz::RefVerdict::kTooLarge) {
+      const CheckResult engine = checkStrictSerializability(
+          gen.history, gen.specs, serialLimits());
+      ASSERT_FALSE(engine.inconclusive);
+      EXPECT_EQ(engine.satisfied, ref == fuzz::RefVerdict::kSatisfied)
+          << "strict-ser random #" << i;
+    }
+  }
+  EXPECT_GT(checked, 40u);  // the caps must not starve the oracle
+}
+
+TEST(ReferenceChecker, ErasureDropsAbortedAndIncompleteTransactions) {
+  HistoryBuilder b;
+  b.start(0).write(0, 0, 1).commit(0);
+  b.start(1).write(1, 0, 2).abort(1);
+  b.start(2).write(2, 0, 3);  // incomplete
+  b.read(3, 0, 1);            // non-transactional: survives
+  const History erased = fuzz::eraseNonCommittedTransactions(b.build());
+  HistoryAnalysis a(erased);
+  ASSERT_TRUE(a.wellFormed());
+  EXPECT_EQ(a.transactions().size(), 1u);
+  EXPECT_EQ(erased.size(), 4u) << erased.toString();
+}
+
+TEST(ReferenceChecker, DeclinesOversizedInstances) {
+  HistoryBuilder b;
+  for (ProcessId p = 0; p < 5; ++p) {
+    b.start(p).write(p, 0, p + 1).commit(p);
+  }
+  EXPECT_EQ(fuzz::referencePopacity(b.build(), scModel(), kRegisters),
+            fuzz::RefVerdict::kTooLarge);  // 5 transactions > cap of 4
+}
+
+}  // namespace
+}  // namespace jungle
