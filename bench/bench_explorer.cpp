@@ -1,12 +1,15 @@
 // E7 (extension) — systematic-testing throughput: schedules/second and
 // state-space sizes for the exhaustive explorer on the Figure-1 program,
 // per TM (the cost of the model-checking methodology the paper's companion
-// work applies to TM algorithms).
+// work applies to TM algorithms), plus the strategy comparison on the
+// reference-reduction program: exhaustive DFS vs sleep-set DPOR (serial
+// and frontier-parallel) over an identical state space.
 #include <benchmark/benchmark.h>
 
 #include <memory>
 
-#include "sim/schedule.hpp"
+#include "sim/exploration.hpp"
+#include "theorems/explorer_workloads.hpp"
 #include "tm/global_lock_tm.hpp"
 #include "tm/strong_atomicity_tm.hpp"
 #include "tm/versioned_write_tm.hpp"
@@ -69,6 +72,63 @@ void BM_RandomExplore(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 32);
 }
 
+/// Strategy comparison on the C(16,8)=12870-schedule reference program;
+/// state->range(0) selects the frontier width (1 = serial).
+void BM_ReferenceStrategy(benchmark::State& state,
+                          ExploreStrategyKind strategy) {
+  const theorems::ExplorerWorkload w = theorems::referenceReductionWorkload();
+  ExploreOptions opts;
+  opts.strategy = strategy;
+  opts.maxSteps = 200;
+  opts.maxRuns = 20000;
+  opts.threads = static_cast<unsigned>(state.range(0));
+  ExplorationStats stats;
+  for (auto _ : state) {
+    stats = exploreSchedules(w.numThreads, w.words, w.program, opts,
+                             [](const RunOutcome&) { return true; });
+    benchmark::DoNotOptimize(stats.failures);
+  }
+  state.counters["schedules"] = static_cast<double>(stats.runs);
+  state.counters["distinct"] = static_cast<double>(stats.distinctHistories);
+  state.counters["pruned"] = static_cast<double>(stats.sleepSetPruned);
+  state.counters["races"] = static_cast<double>(stats.racesReversed);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stats.runs));
+}
+
+void BM_ReferenceDfs(benchmark::State& state) {
+  BM_ReferenceStrategy(state, ExploreStrategyKind::kExhaustiveDfs);
+}
+void BM_ReferenceDpor(benchmark::State& state) {
+  BM_ReferenceStrategy(state, ExploreStrategyKind::kSleepSetDpor);
+}
+
+/// Frontier scaling on a contended generated workload whose DPOR space is
+/// large enough (thousands of schedules) for task distribution to amortize
+/// the spawn overhead; range(0) = worker threads.  Runs block on turn-gate
+/// handoffs for most of their wall time, so extra workers overlap even on
+/// few cores.
+void BM_FrontierDpor(benchmark::State& state) {
+  const theorems::ExplorerWorkload w = theorems::generatedWorkload(30);
+  ExploreOptions opts;
+  opts.strategy = ExploreStrategyKind::kSleepSetDpor;
+  opts.maxSteps = 200;
+  opts.maxRuns = 50000;
+  opts.threads = static_cast<unsigned>(state.range(0));
+  ExplorationStats stats;
+  for (auto _ : state) {
+    stats = exploreSchedules(w.numThreads, w.words, w.program, opts,
+                             [](const RunOutcome&) { return true; });
+    benchmark::DoNotOptimize(stats.failures);
+  }
+  state.counters["schedules"] = static_cast<double>(stats.runs);
+  state.counters["distinct"] = static_cast<double>(stats.distinctHistories);
+  state.counters["donations"] =
+      static_cast<double>(stats.frontierDonations);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stats.runs));
+}
+
 BENCHMARK(BM_ExhaustiveExplore<GlobalLockTm>)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ExhaustiveExplore<VersionedWriteTm>)
@@ -76,6 +136,12 @@ BENCHMARK(BM_ExhaustiveExplore<VersionedWriteTm>)
 BENCHMARK(BM_ExhaustiveExplore<StrongAtomicityTm>)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RandomExplore)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReferenceDfs)->Arg(1)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_ReferenceDpor)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_FrontierDpor)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 

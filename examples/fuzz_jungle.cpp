@@ -12,8 +12,11 @@
 //                               brute-force reference on random histories
 //                  histories:   metamorphic properties (witness validation,
 //                               Theorem 6, constraint monotonicity)
-//                  traces:      random workloads on the live TMs, recorded
-//                               traces checked against their theorems
+//                  traces:      random TM workloads driven through the
+//                               schedule explorer (sampled schedules
+//                               checked against the TMs' theorems, plus a
+//                               DFS-vs-DPOR strategy differential every
+//                               fourth iteration)
 //   --out DIR      write delta-shrunk .hist repros of any failure to DIR
 //                  (e.g. examples/histories/regressions)
 //   --inject-bug   mutate the portfolio engine's verdict (harness

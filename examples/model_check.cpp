@@ -1,106 +1,187 @@
 // Model checking a TM implementation, in the spirit of the paper's
-// companion work on TM verification: exhaustively interleave a small mixed
-// program on a chosen TM, checking every completed schedule's trace against
-// a chosen memory model's parametrized opacity.
+// companion work on TM verification: interleave a small mixed program on a
+// chosen TM, checking every completed schedule's trace against a chosen
+// memory model's parametrized opacity.
 //
 //   build/examples/model_check [tm-name] [model-name]
+//       [--strategy dfs|dpor|sample] [--threads N] [--stats]
+//       [--max-runs N] [--max-steps N] [--samples N] [--timeout-ms N]
+//       [--seed N] [--dedup]
+//
+//   --strategy S    dfs:    exhaustive depth-first enumeration (default)
+//                   dpor:   sleep-set dynamic partial-order reduction —
+//                           same verdict, only race reversals re-explored
+//                   sample: random schedule sampling (use --samples)
+//   --threads N     parallel frontier workers (default 1 = serial)
+//   --stats         print the full ExplorationStats line
+//   --dedup         skip the verifier on schedules whose canonical history
+//                   was already checked
 //
 // Try:  model_check global-lock Idealized   → all schedules pass (Thm 3)
 //       model_check global-lock SC          → violations found (Thm 1)
-//       model_check strong-atomicity SC     → all schedules pass (§6.1)
+//       model_check strong-atomicity SC --strategy dpor --stats
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
 #include "memmodel/models.hpp"
-#include "sim/schedule.hpp"
+#include "sim/exploration.hpp"
 #include "theorems/conformance.hpp"
-#include "tm/global_lock_tm.hpp"
-#include "tm/strong_atomicity_tm.hpp"
-#include "tm/tl2_tm.hpp"
-#include "tm/versioned_write_tm.hpp"
-#include "tm/write_as_tx_tm.hpp"
+#include "theorems/explorer_workloads.hpp"
+#include "tm/runtime.hpp"
 
 namespace {
 
 using namespace jungle;
 
-// The Figure-1 program: one transaction writing x and y; one thread
-// reading both with plain loads.
-template <template <class> class TmT>
-Program figure1Program() {
-  return [](ScheduledMemory& mem) {
-    auto tm = std::make_shared<TmT<ScheduledMemory>>(mem, 2);
-    std::vector<ThreadScript> scripts;
-    scripts.push_back([tm] {
-      auto t = tm->makeThread(0);
-      tm->txStart(t);
-      tm->txWrite(t, 0, 1);
-      tm->txWrite(t, 1, 1);
-      tm->txCommit(t);
-    });
-    scripts.push_back([tm] {
-      auto t = tm->makeThread(1);
-      (void)tm->ntRead(t, 0);
-      (void)tm->ntRead(t, 1);
-    });
-    return scripts;
-  };
+/// Parses "--flag=value" or "--flag value" forms; returns nullptr when
+/// argv[i] is not `flag`.
+const char* flagValue(int argc, char** argv, int& i, const char* flag) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(argv[i], flag, len) != 0) return nullptr;
+  if (argv[i][len] == '=') return argv[i] + len + 1;
+  if (argv[i][len] == '\0' && i + 1 < argc) return argv[++i];
+  return nullptr;
 }
 
-Program programFor(const std::string& tmName) {
-  if (tmName == "global-lock") return figure1Program<GlobalLockTm>();
-  if (tmName == "write-as-tx") return figure1Program<WriteAsTxTm>();
-  if (tmName == "versioned-write") return figure1Program<VersionedWriteTm>();
-  if (tmName == "strong-atomicity")
-    return figure1Program<StrongAtomicityTm>();
-  if (tmName == "tl2-weak") return figure1Program<Tl2Tm>();
-  std::fprintf(stderr, "unknown TM '%s', using global-lock\n",
-               tmName.c_str());
-  return figure1Program<GlobalLockTm>();
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: model_check [tm-name] [model-name] "
+      "[--strategy dfs|dpor|sample] [--threads N] [--stats] [--max-runs N] "
+      "[--max-steps N] [--samples N] [--timeout-ms N] [--seed N] "
+      "[--dedup]\n");
+  return 2;
+}
+
+std::optional<TmKind> tmByName(const std::string& name) {
+  for (TmKind k : allTmKinds()) {
+    if (name == tmKindName(k)) return k;
+  }
+  return std::nullopt;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string tmName = argc > 1 ? argv[1] : "global-lock";
-  const std::string modelName = argc > 2 ? argv[2] : "Idealized";
+  std::string tmName = "global-lock";
+  std::string modelName = "Idealized";
+  ExploreOptions opts;
+  opts.maxSteps = 120;
+  opts.maxRuns = 3000;
+  bool printStats = false;
+  std::size_t positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = flagValue(argc, argv, i, "--strategy")) {
+      const auto k = parseExploreStrategy(v);
+      if (!k.has_value()) {
+        std::fprintf(stderr, "unknown strategy '%s'\n", v);
+        return usage();
+      }
+      opts.strategy = *k;
+    } else if (const char* v = flagValue(argc, argv, i, "--threads")) {
+      opts.threads = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--max-runs")) {
+      opts.maxRuns = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--max-steps")) {
+      opts.maxSteps = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--samples")) {
+      opts.samples = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--timeout-ms")) {
+      opts.timeout = std::chrono::milliseconds(std::strtoll(v, nullptr, 10));
+    } else if (const char* v = flagValue(argc, argv, i, "--seed")) {
+      opts.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      printStats = true;
+    } else if (std::strcmp(argv[i], "--dedup") == 0) {
+      opts.dedupHistories = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return usage();
+    } else if (positional == 0) {
+      tmName = argv[i];
+      ++positional;
+    } else if (positional == 1) {
+      modelName = argv[i];
+      ++positional;
+    } else {
+      return usage();
+    }
+  }
+
   const MemoryModel* model = modelByName(modelName);
   if (model == nullptr) {
     std::fprintf(stderr, "unknown model '%s'\n", modelName.c_str());
     return 2;
   }
+  const auto kind = tmByName(tmName);
+  if (!kind.has_value()) {
+    std::fprintf(stderr, "unknown TM '%s'\n", tmName.c_str());
+    return 2;
+  }
 
-  std::printf("model-checking the Figure 1 program on %s against "
-              "opacity(%s)\n",
-              tmName.c_str(), model->name());
+  std::printf(
+      "model-checking the Figure 1 program on %s against opacity(%s)\n"
+      "strategy=%s threads=%u\n",
+      tmName.c_str(), model->name(), exploreStrategyName(opts.strategy),
+      opts.threads);
+
+  // The Figure-1 program over the live runtime adapter.
+  const Program program = [kind](ScheduledMemory& mem) {
+    std::shared_ptr<TmRuntime> tm = makeScheduledRuntime(*kind, mem, 2, 2);
+    std::vector<ThreadScript> scripts;
+    scripts.push_back([tm] {
+      tm->transaction(0, [](TxContext& ctx) {
+        ctx.write(0, 1);
+        ctx.write(1, 1);
+      });
+    });
+    scripts.push_back([tm] {
+      (void)tm->ntRead(1, 0);
+      (void)tm->ntRead(1, 1);
+    });
+    return scripts;
+  };
+  const std::size_t words = runtimeMemoryWords(*kind, 2);
 
   SpecMap specs;
-  std::size_t shown = 0;
-  ExploreOptions opts;
-  opts.maxSteps = 120;
-  opts.maxRuns = 3000;
-  auto stats = exploreExhaustive(
-      2, 16, programFor(tmName),
-      [&](const RunOutcome& out) {
-        auto res = theorems::checkTracePopacity(out.trace, *model, specs);
-        if (!res.ok && shown < 2) {
-          ++shown;
-          std::printf("\nviolating schedule (thread ids per step): ");
-          for (ProcessId p : out.schedule) std::printf("%u", p);
-          std::printf("\ncanonical corresponding history:\n%s",
-                      res.canonical.toString().c_str());
-        }
-        return res.ok;
-      },
-      opts);
+  const theorems::ModelCheckReport report =
+      theorems::modelCheckProgram(2, words, program, *model, specs, opts);
+
+  for (const auto& [schedule, canonical] : report.violations) {
+    std::printf("\nviolating schedule (thread ids per step): ");
+    for (ProcessId p : schedule) std::printf("%u", p);
+    std::printf("\ncanonical corresponding history:\n%s",
+                canonical.toString().c_str());
+  }
 
   std::printf("\nschedules explored: %zu (completed %zu, cut %zu)\n",
-              stats.runs, stats.completedRuns, stats.cutRuns);
-  std::printf("violations: %zu\n", stats.failures);
-  std::printf(stats.failures == 0
-                  ? "VERIFIED for this program up to the bounds.\n"
-                  : "NOT opaque under this model — exactly what the "
-                    "impossibility theorems predict for this pairing.\n");
+              report.stats.runs, report.stats.completedRuns,
+              report.stats.cutRuns);
+  std::printf("violations: %zu\n", report.stats.failures);
+  if (report.inconclusiveRuns > 0) {
+    std::printf("inconclusive runs (excluded): %zu\n",
+                report.inconclusiveRuns);
+  }
+  if (printStats) {
+    std::printf("stats: %s\n", report.stats.summary().c_str());
+  }
+  if (report.stats.failures > 0) {
+    std::printf("NOT opaque under this model — exactly what the "
+                "impossibility theorems predict for this pairing.\n");
+  } else if (report.stats.deadlineExpired ||
+             report.stats.runBudgetExhausted) {
+    std::printf("NO violation among the schedules explored — but the "
+                "exploration stopped on its %s, so this is not an "
+                "exhaustiveness claim.\n",
+                report.stats.deadlineExpired ? "deadline" : "run budget");
+  } else if (opts.strategy == ExploreStrategyKind::kRandomSampling) {
+    std::printf("NO violation among the sampled schedules (sampling is "
+                "never an exhaustiveness claim).\n");
+  } else {
+    std::printf("VERIFIED for this program up to the bounds.\n");
+  }
   return 0;
 }

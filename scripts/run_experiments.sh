@@ -26,6 +26,13 @@ for b in "$BUILD"/bench/*; do
     # EXPERIMENTS.md E4; the console copy still lands in bench_output.txt.
     "$b" --benchmark_out="$OUT/BENCH_checker.json" \
          --benchmark_out_format=json 2>&1 | tee -a "$OUT/bench_output.txt"
+  elif [ "$(basename "$b")" = "bench_explorer" ]; then
+    # Strategy trajectory: schedules explored + wall time for DFS vs DPOR
+    # vs frontier-parallel DPOR (the Reference*/Frontier* rows).  Note the
+    # frontier only pays off with >= 2 hardware threads; on a single-core
+    # runner the parallel rows record the task-distribution overhead.
+    "$b" --benchmark_out="$OUT/BENCH_explorer.json" \
+         --benchmark_out_format=json 2>&1 | tee -a "$OUT/bench_output.txt"
   else
     "$b" 2>&1 | tee -a "$OUT/bench_output.txt"
   fi
@@ -38,5 +45,7 @@ echo "== figure tables =="
 "$BUILD/examples/model_check" global-lock SC | tee "$OUT/model_check_sc.txt"
 "$BUILD/examples/model_check" global-lock Idealized \
   | tee "$OUT/model_check_idealized.txt"
+"$BUILD/examples/model_check" global-lock Idealized --strategy dpor --stats \
+  | tee "$OUT/model_check_dpor.txt"
 
 echo "all outputs in $OUT"

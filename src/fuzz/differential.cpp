@@ -110,6 +110,113 @@ DiffOutcome diffCheckHistory(const GeneratedInstance& gen,
   return out;
 }
 
+namespace {
+
+/// One exploration leg of the schedule differential.
+struct ScheduleLeg {
+  ExplorationStats stats;
+  std::uint64_t failures = 0;
+  std::uint64_t inconclusiveRuns = 0;
+};
+
+ScheduleLeg exploreLeg(const theorems::ExplorerWorkload& w,
+                       ExploreOptions opts) {
+  ScheduleLeg leg;
+  if (w.passingModel == nullptr) {
+    leg.stats = exploreSchedules(w.numThreads, w.words, w.program, opts,
+                                 [](const RunOutcome&) { return true; });
+    return leg;
+  }
+  const SpecMap registers;
+  const theorems::ModelCheckReport rep = theorems::modelCheckProgram(
+      w.numThreads, w.words, w.program, *w.passingModel, registers, opts,
+      /*maxViolationSamples=*/0);
+  leg.stats = rep.stats;
+  leg.failures = rep.stats.failures;
+  leg.inconclusiveRuns = rep.inconclusiveRuns;
+  return leg;
+}
+
+/// True when the exploration did not cover the whole schedule space, so
+/// set-equality across strategies proves nothing.
+bool partialExploration(const ExplorationStats& s) {
+  return s.runBudgetExhausted || s.deadlineExpired || s.cutRuns > 0;
+}
+
+void compareKeySets(ScheduleDiffOutcome& out, const std::string& name,
+                    const ExplorationStats& dfs, const ExplorationStats& other,
+                    std::uint64_t dfsFailures, std::uint64_t otherFailures) {
+  if ((dfsFailures > 0) != (otherFailures > 0)) {
+    out.mismatch = true;
+    out.description += name + ": verdict differs (dfs failures=" +
+                       std::to_string(dfsFailures) + ", " + name +
+                       " failures=" + std::to_string(otherFailures) + ")\n";
+  }
+  if (dfs.historyKeys == other.historyKeys) return;
+  out.mismatch = true;
+  // Both key lists are sorted; surface the first key present in exactly
+  // one of the two sets as the witness.
+  std::uint64_t witness = 0;
+  std::size_t i = 0, j = 0;
+  while (i < dfs.historyKeys.size() && j < other.historyKeys.size()) {
+    if (dfs.historyKeys[i] == other.historyKeys[j]) {
+      ++i;
+      ++j;
+    } else if (dfs.historyKeys[i] < other.historyKeys[j]) {
+      witness = dfs.historyKeys[i];
+      break;
+    } else {
+      witness = other.historyKeys[j];
+      break;
+    }
+  }
+  if (witness == 0) {
+    witness = i < dfs.historyKeys.size() ? dfs.historyKeys[i]
+                                         : other.historyKeys[j];
+  }
+  out.description += name + ": history sets differ (dfs " +
+                     std::to_string(dfs.historyKeys.size()) + " vs " + name +
+                     " " + std::to_string(other.historyKeys.size()) +
+                     "; first one-sided key " + std::to_string(witness) +
+                     ")\n";
+}
+
+}  // namespace
+
+ScheduleDiffOutcome diffCheckSchedules(const theorems::ExplorerWorkload& w,
+                                       const ExploreOptions& base) {
+  ScheduleDiffOutcome out;
+
+  ExploreOptions dfsOpts = base;
+  dfsOpts.strategy = ExploreStrategyKind::kExhaustiveDfs;
+  dfsOpts.threads = 1;
+  ExploreOptions dporOpts = base;
+  dporOpts.strategy = ExploreStrategyKind::kSleepSetDpor;
+  dporOpts.threads = 1;
+  ExploreOptions dporParOpts = dporOpts;
+  dporParOpts.threads = 2;
+
+  const ScheduleLeg dfs = exploreLeg(w, dfsOpts);
+  const ScheduleLeg dpor = exploreLeg(w, dporOpts);
+  const ScheduleLeg dporPar = exploreLeg(w, dporParOpts);
+  out.dfs = dfs.stats;
+  out.dpor = dpor.stats;
+  out.dporParallel = dporPar.stats;
+
+  if (partialExploration(dfs.stats) || partialExploration(dpor.stats) ||
+      partialExploration(dporPar.stats) || dfs.inconclusiveRuns > 0 ||
+      dpor.inconclusiveRuns > 0 || dporPar.inconclusiveRuns > 0) {
+    out.inconclusive = true;
+    return out;
+  }
+
+  compareKeySets(out, "dpor", dfs.stats, dpor.stats, dfs.failures,
+                 dpor.failures);
+  compareKeySets(out, "dpor-par", dfs.stats, dporPar.stats, dfs.failures,
+                 dporPar.failures);
+  return out;
+}
+
 PropertyOutcome checkHistoryProperties(const GeneratedInstance& gen,
                                        const MemoryModel& m,
                                        const SearchLimits& limits) {

@@ -20,6 +20,7 @@
 #include "fuzz/generator.hpp"
 #include "fuzz/reference_checker.hpp"
 #include "opacity/legal_search.hpp"
+#include "theorems/explorer_workloads.hpp"
 
 namespace jungle::fuzz {
 
@@ -70,5 +71,26 @@ struct PropertyOutcome {
 PropertyOutcome checkHistoryProperties(const GeneratedInstance& gen,
                                        const MemoryModel& m,
                                        const SearchLimits& limits);
+
+struct ScheduleDiffOutcome {
+  /// Conclusive strategy disagreement: different distinct-canonical-history
+  /// sets, or (with a model to check against) different verdicts.
+  bool mismatch = false;
+  /// Some exploration was cut, budget-capped, or deadline-stopped —
+  /// history-set equivalence is only defined for full explorations.
+  bool inconclusive = false;
+  std::string description;
+  ExplorationStats dfs;
+  ExplorationStats dpor;
+  ExplorationStats dporParallel;
+};
+
+/// Explores the workload three ways — exhaustive DFS, serial sleep-set
+/// DPOR, and 2-thread frontier-parallel DPOR — and cross-checks the
+/// distinct-canonical-history sets (and, when `w.passingModel` is set, the
+/// conformance verdicts).  The strategy-equivalence differential oracle:
+/// DPOR prunes schedules, never histories.
+ScheduleDiffOutcome diffCheckSchedules(const theorems::ExplorerWorkload& w,
+                                       const ExploreOptions& base);
 
 }  // namespace jungle::fuzz

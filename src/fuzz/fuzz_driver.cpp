@@ -121,54 +121,109 @@ void runHistoriesIteration(const FuzzOptions& opts, std::uint64_t iter,
   }
 }
 
-void runTracesIteration(const FuzzOptions& opts, std::uint64_t iter, Rng& rng,
-                        FuzzReport& report) {
+/// Explorer-sampled TM stress: random schedules of a live TM workload,
+/// every completed trace checked against the TM's claimed model.
+void runTraceSampleIteration(const FuzzOptions& opts, std::uint64_t iter,
+                             Rng& rng, FuzzReport& report) {
   const auto& claims = tmClaims();
   const TmClaim& claim = claims[rng.below(claims.size())];
   theorems::StressOptions stress = randomStressOptions(rng, rng());
   if (claim.pureTxOnly) stress.pctTx = 100;
 
-  RecordingMemory mem(runtimeMemoryWords(claim.kind, stress.numVars));
-  auto tm = makeRecordingRuntime(claim.kind, mem, stress.numVars,
-                                 stress.numProcs);
-  const Trace r = theorems::runStressWorkload(*tm, mem, stress);
+  ExploreOptions eopts;
+  eopts.strategy = ExploreStrategyKind::kRandomSampling;
+  eopts.samples = 3;
+  eopts.seed = rng();
+  eopts.maxSteps = 2000;  // TM retry loops need headroom
+  eopts.dedupHistories = true;
+  eopts.timeout = opts.traceCheckTimeout * eopts.samples;
 
-  SearchLimits limits;
-  limits.maxExpansions = 0;
-  limits.timeout = opts.traceCheckTimeout;
-  const SpecMap registers;
-  const theorems::ConformanceResult res =
-      theorems::checkTracePopacity(r, *claim.model, registers, limits);
-  if (res.inconclusive) {
-    // A deadline-stopped conformance check proves nothing either way; it
-    // must not be persisted or counted as a violation.
+  const theorems::ModelCheckReport mc = theorems::modelCheckProgram(
+      stress.numProcs, theorems::stressWords(claim.kind, stress),
+      theorems::stressProgram(claim.kind, stress), *claim.model, SpecMap{},
+      eopts);
+  report.schedulesExplored += mc.stats.runs;
+  report.cutRuns += mc.stats.cutRuns;
+  report.dedupHits += mc.stats.dedupHits;
+  if (mc.inconclusiveRuns > 0 || mc.stats.deadlineExpired) {
     ++report.inconclusive;
-    return;
   }
-  if (res.ok) return;
+  if (mc.stats.failures == 0) return;
 
   ++report.traceViolations;
   const std::string desc =
       "mode=traces seed=" + std::to_string(opts.seed) + " iter=" +
       std::to_string(iter) + " tm=" + tmKindName(claim.kind) + " model=" +
       claim.model->name() + " stress-seed=" + std::to_string(stress.seed) +
-      "\nno corresponding history of the recorded trace is opaque; the\n"
+      " explore-seed=" + std::to_string(eopts.seed) +
+      "\nno corresponding history of an explored trace is opaque; the\n"
       "shrunk canonical corresponding history below still violates the\n"
-      "model (diagnostic repro; replay the stress seed for the full trace)";
+      "model (diagnostic repro; replay the seeds for the full schedule)";
+  if (mc.violations.empty()) {
+    FuzzFailure f;
+    f.description = desc;
+    report.failures.push_back(std::move(f));
+    return;
+  }
   // The canonical history is itself a corresponding history, so a negative
   // trace verdict means it is conclusively violated; shrink that.
+  SearchLimits limits;
+  limits.maxExpansions = 0;
+  limits.timeout = opts.traceCheckTimeout;
+  const SpecMap registers;
   const MemoryModel& m = *claim.model;
+  const History& canonical = mc.violations.front().second;
   auto canonicalFails = [&](const History& cand) {
     const CheckResult c = checkParametrizedOpacity(cand, m, registers, limits);
     return !c.satisfied && !c.inconclusive;
   };
-  if (canonicalFails(res.canonical)) {
-    recordFailure(report, opts, iter, desc, res.canonical, canonicalFails);
+  if (canonicalFails(canonical)) {
+    recordFailure(report, opts, iter, desc, canonical, canonicalFails);
   } else {
     FuzzFailure f;
     f.description = desc;
-    f.shrunk = res.canonical;
+    f.shrunk = canonical;
     report.failures.push_back(std::move(f));
+  }
+}
+
+/// Strategy differential: DFS vs serial DPOR vs frontier-parallel DPOR on
+/// a generated raw-marker workload — verdicts and distinct canonical
+/// history sets must match exactly.
+void runScheduleDiffIteration(const FuzzOptions& opts, std::uint64_t iter,
+                              Rng& rng, FuzzReport& report) {
+  const theorems::ExplorerWorkload w = theorems::generatedWorkload(rng());
+  ExploreOptions base;
+  base.maxRuns = 20'000;
+  base.timeout = std::chrono::milliseconds(20'000);
+  const ScheduleDiffOutcome out = diffCheckSchedules(w, base);
+  report.schedulesExplored +=
+      out.dfs.runs + out.dpor.runs + out.dporParallel.runs;
+  report.cutRuns += out.dfs.cutRuns + out.dpor.cutRuns +
+                    out.dporParallel.cutRuns;
+  if (out.inconclusive) {
+    ++report.inconclusive;
+    return;
+  }
+  if (!out.mismatch) return;
+
+  ++report.disagreements;
+  FuzzFailure f;
+  f.description =
+      "mode=traces seed=" + std::to_string(opts.seed) + " iter=" +
+      std::to_string(iter) + " workload=" + w.name +
+      " (strategy differential)\n" + out.description +
+      "dfs: " + out.dfs.summary() + "\ndpor: " + out.dpor.summary() +
+      "\ndpor-par: " + out.dporParallel.summary();
+  report.failures.push_back(std::move(f));
+}
+
+void runTracesIteration(const FuzzOptions& opts, std::uint64_t iter, Rng& rng,
+                        FuzzReport& report) {
+  if (iter % 4 == 3) {
+    runScheduleDiffIteration(opts, iter, rng, report);
+  } else {
+    runTraceSampleIteration(opts, iter, rng, report);
   }
 }
 
@@ -235,7 +290,9 @@ std::string formatReport(const FuzzOptions& opts, const FuzzReport& report) {
       << "\n  inconclusive (excluded): " << report.inconclusive
       << "\n  disagreements: " << report.disagreements
       << "\n  property violations: " << report.propertyViolations
-      << "\n  trace violations: " << report.traceViolations << "\n";
+      << "\n  trace violations: " << report.traceViolations
+      << "\n  schedules explored: " << report.schedulesExplored << " (cut "
+      << report.cutRuns << ", dedup hits " << report.dedupHits << ")\n";
   for (const FuzzFailure& f : report.failures) {
     out << "\nFAILURE: " << f.description << "\n";
     if (!f.file.empty()) out << "repro written to " << f.file << "\n";

@@ -6,8 +6,14 @@
 //   * histories   — random histories through the metamorphic properties
 //     (witness self-validation, Theorem 6, constraint monotonicity);
 //   * traces      — random TM workloads on the live implementations of
-//     src/tm/, every recorded trace checked through checkTracePopacity
-//     against the memory model its theorem claims (Theorems 3-5, 7, §6.1).
+//     src/tm/, driven through the schedule explorer: most iterations
+//     sample schedules of a stress program and check every completed
+//     trace through checkTracePopacity against the memory model its
+//     theorem claims (Theorems 3-5, 7, §6.1); every fourth iteration
+//     cross-checks the exploration strategies themselves (exhaustive DFS
+//     vs sleep-set DPOR, serial and frontier-parallel) on a generated
+//     raw-marker workload — the strategies must agree on the verdict and
+//     on the exact set of distinct canonical histories.
 //
 // Any failure is delta-shrunk (fuzz/shrinker.hpp) and, when a repro
 // directory is configured, persisted as a commented .hist file that
@@ -60,6 +66,12 @@ struct FuzzReport {
   std::uint64_t disagreements = 0;
   std::uint64_t propertyViolations = 0;
   std::uint64_t traceViolations = 0;
+  /// Traces mode: schedules run by the explorer across all iterations,
+  /// runs cut by the step bound, and verifier calls skipped because the
+  /// run's canonical history had already been checked.
+  std::uint64_t schedulesExplored = 0;
+  std::uint64_t cutRuns = 0;
+  std::uint64_t dedupHits = 0;
   /// Instances voided by a resource-limited verdict — tracked, never
   /// counted as (or persisted like) violations.
   std::uint64_t inconclusive = 0;

@@ -1,0 +1,209 @@
+#include "sim/dependence.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "sim/trace_history.hpp"
+
+namespace jungle {
+
+bool turnsDependent(const TurnInfo& a, const TurnInfo& b) {
+  if (a.pid == b.pid) return true;
+  if (a.txMarker && b.txMarker) return true;
+  if (a.addr == b.addr &&
+      !(a.kind == InsnKind::kLoad && b.kind == InsnKind::kLoad)) {
+    return true;
+  }
+  return false;
+}
+
+void TurnScanner::feed(const Insn& insn) {
+  if (insn.isMemory()) {
+    TurnInfo t;
+    t.pid = insn.pid;
+    t.kind = insn.kind;
+    t.addr = insn.addr;
+    turns_.push_back(t);
+    return;
+  }
+  JUNGLE_CHECK(insn.pid < inTx_.size());
+  bool tx = false;
+  switch (insn.kind) {
+    case InsnKind::kInvoke:
+      if (insn.opType == OpType::kStart) {
+        inTx_[insn.pid] = true;
+        tx = true;
+      } else {
+        tx = inTx_[insn.pid];
+      }
+      break;
+    case InsnKind::kRespond:
+      if (insn.opType == OpType::kCommit || insn.opType == OpType::kAbort) {
+        tx = true;
+        inTx_[insn.pid] = false;
+      } else if (insn.opType == OpType::kStart) {
+        tx = true;
+      } else {
+        tx = inTx_[insn.pid];
+      }
+      break;
+    case InsnKind::kPoint:
+      tx = inTx_[insn.pid];
+      break;
+    default:
+      break;
+  }
+  // Pre-block markers (before the first grant) are dropped: every thread's
+  // startup prologue precedes every turn, so its flags constrain nothing a
+  // reordering of turns could change.
+  if (tx && !turns_.empty()) turns_.back().txMarker = true;
+}
+
+namespace {
+
+/// Transactionality per entry of an operation sequence (the per-process
+/// structure is intrinsic: permuting ops across processes cannot change
+/// it).  start/commit/abort count as transactional themselves.
+template <class Seq, class PidOf, class TypeOf>
+std::vector<bool> transactionalFlags(const Seq& seq, PidOf pidOf,
+                                     TypeOf typeOf) {
+  std::vector<bool> tx(seq.size(), false);
+  std::unordered_map<ProcessId, bool> open;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    bool& inTx = open[pidOf(seq[i])];
+    const OpType t = typeOf(seq[i]);
+    if (t == OpType::kStart) {
+      inTx = true;
+      tx[i] = true;
+    } else if (t == OpType::kCommit || t == OpType::kAbort) {
+      tx[i] = true;
+      inTx = false;
+    } else {
+      tx[i] = inTx;
+    }
+  }
+  return tx;
+}
+
+std::uint64_t hashOp(const OpInstance& op, OpId newId) {
+  std::uint64_t h =
+      hashAll(static_cast<std::uint64_t>(op.type),
+              static_cast<std::uint64_t>(op.obj),
+              static_cast<std::uint64_t>(op.pid),
+              static_cast<std::uint64_t>(newId));
+  if (op.isCommand()) {
+    hashCombine(h, hashAll(static_cast<std::uint64_t>(op.cmd.kind),
+                           static_cast<std::uint64_t>(op.cmd.value),
+                           op.cmd.deps.size()));
+  }
+  return h;
+}
+
+}  // namespace
+
+RunAbstraction abstractRun(const Trace& r) {
+  RunAbstraction out;
+
+  // --- commutation normal form of the canonical history ---
+  const History canon = canonicalHistory(r);
+  std::vector<OpInstance> ops(canon.ops().begin(), canon.ops().end());
+  const std::vector<bool> tx = transactionalFlags(
+      ops, [](const OpInstance& o) { return o.pid; },
+      [](const OpInstance& o) { return o.type; });
+
+  // Per-process index: the tiebreak key, stable under any commutation.
+  std::vector<std::size_t> ppi(ops.size(), 0);
+  {
+    std::unordered_map<ProcessId, std::size_t> count;
+    for (std::size_t i = 0; i < ops.size(); ++i) ppi[i] = count[ops[i].pid]++;
+  }
+
+  // History-level dependence: same process, or both transactional (≺h
+  // clause 1 relates transactions across processes; everything else is
+  // verdict-irrelevant cross-process order — see the header comment).
+  auto ordered = [&](std::size_t a, std::size_t b) {
+    return ops[a].pid == ops[b].pid || (tx[a] && tx[b]);
+  };
+
+  // Least linear extension of the induced partial order under (pid, ppi):
+  // the unique normal form of the commutation class.
+  const std::size_t n = ops.size();
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> emitted(n, false);
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (emitted[i]) continue;
+      bool ready = true;
+      for (std::size_t j = 0; j < i && ready; ++j) {
+        if (!emitted[j] && ordered(j, i)) ready = false;
+      }
+      if (!ready) continue;
+      if (best == n || ops[i].pid < ops[best].pid ||
+          (ops[i].pid == ops[best].pid && ppi[i] < ppi[best])) {
+        best = i;
+      }
+    }
+    JUNGLE_CHECK(best < n);
+    emitted[best] = true;
+    order.push_back(best);
+  }
+
+  // Renumber identifiers by first appearance in the normal form (raw OpIds
+  // are assigned in beginOp execution order and thus schedule-dependent).
+  std::unordered_map<OpId, OpId> renumber;
+  std::vector<OpInstance> normal;
+  normal.reserve(n);
+  for (std::size_t i : order) {
+    OpInstance op = ops[i];
+    const OpId newId = static_cast<OpId>(renumber.size() + 1);
+    renumber.emplace(op.id, newId);
+    op.id = newId;
+    normal.push_back(std::move(op));
+  }
+  for (OpInstance& op : normal) {
+    for (OpId& dep : op.cmd.deps) {
+      auto it = renumber.find(dep);
+      dep = it == renumber.end() ? 0 : it->second;
+    }
+  }
+
+  // --- cross-process interval pairs between transactional operations ---
+  const std::vector<TraceOp> traceOps = traceOperations(r);
+  const std::vector<bool> traceTx = transactionalFlags(
+      traceOps, [](const TraceOp& o) { return o.pid; },
+      [](const TraceOp& o) { return o.type; });
+  for (std::size_t i = 0; i < traceOps.size(); ++i) {
+    if (!traceTx[i] || !traceOps[i].respondIdx.has_value()) continue;
+    for (std::size_t j = 0; j < traceOps.size(); ++j) {
+      if (!traceTx[j] || traceOps[j].pid == traceOps[i].pid) continue;
+      if (*traceOps[i].respondIdx < traceOps[j].invokeIdx) {
+        auto a = renumber.find(traceOps[i].id);
+        auto b = renumber.find(traceOps[j].id);
+        out.txIntervalPairs.emplace_back(
+            a == renumber.end() ? 0 : a->second,
+            b == renumber.end() ? 0 : b->second);
+      }
+    }
+  }
+  std::sort(out.txIntervalPairs.begin(), out.txIntervalPairs.end());
+
+  // --- key ---
+  std::uint64_t h = hashAll(normal.size(), out.txIntervalPairs.size());
+  for (const OpInstance& op : normal) {
+    hashCombine(h, hashOp(op, op.id));
+    for (OpId dep : op.cmd.deps) hashCombine(h, dep);
+  }
+  for (const auto& [a, b] : out.txIntervalPairs) {
+    hashCombine(h, hashAll(static_cast<std::uint64_t>(a),
+                           static_cast<std::uint64_t>(b)));
+  }
+  out.normalized = History(std::move(normal));
+  out.key = h;
+  return out;
+}
+
+}  // namespace jungle

@@ -1,0 +1,97 @@
+// Turn-level dependence and run abstraction for partial-order reduction.
+//
+// A *turn* is one granted scheduler step: exactly one memory instruction
+// (load/store/cas) plus the marker trail (invoke/respond/point) the granted
+// thread emits before parking again — markers are not scheduling points, so
+// they ride the turn of the access that preceded them.  Markers emitted
+// before the first grant (every thread's startup prologue) form the
+// pre-block; their mutual order is schedule-independent noise and carries
+// no verdict-relevant information (see below).
+//
+// Two turns of different threads are *dependent* when swapping adjacent
+// occurrences could change anything the conformance checkers compute from
+// the trace:
+//
+//   * both access the same address and at least one can update it (stores
+//     always; cas conservatively even when it fails, since its outcome
+//     still reads the cell), or
+//   * both carry markers of *transactional* operations.  The checkers'
+//     real-time order ≺h relates transactional operations across processes
+//     (HistoryAnalysis::realTimePrecedes clause 1), so swapping such turns
+//     can change the interval order between transactions even when the
+//     accesses themselves commute.
+//
+// Cross-process order of non-transactional operations is never
+// verdict-relevant: ≺h clause 2 and the memory models' required view pairs
+// are same-process-only, and value effects are covered by the address
+// clause.  That observation also powers the *run abstraction*: a completed
+// run is summarized by (a) its canonical corresponding history normalized
+// modulo those verdict-irrelevant commutations and (b) the cross-process
+// interval pairs between transactional operations.  Runs with equal
+// abstractions have equal ∃-corresponding-history verdicts (for any model
+// and spec), so the abstraction's hash is a sound dedup key and the sound
+// comparison key for the DFS-vs-DPOR equivalence tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "history/history.hpp"
+#include "sim/instruction.hpp"
+
+namespace jungle {
+
+/// One scheduler turn: the memory instruction it executed plus whether its
+/// marker trail touched a transactional operation.
+struct TurnInfo {
+  ProcessId pid = 0;
+  InsnKind kind = InsnKind::kLoad;
+  Addr addr = kNoAddr;
+  /// The trail (or, for the access itself, the enclosing operation) belongs
+  /// to a transaction: start/commit/abort markers, or any marker emitted
+  /// between a start and its matching commit/abort.
+  bool txMarker = false;
+};
+
+/// True when adjacent occurrences of `a` then `b` (different turns of one
+/// trace) may not be swapped without changing some checker verdict.
+bool turnsDependent(const TurnInfo& a, const TurnInfo& b);
+
+/// Incremental turn extraction.  Feed the trace's instructions in order
+/// (across multiple calls); turns() grows by one per memory instruction,
+/// and the latest turn's txMarker keeps updating as its trail arrives.
+/// Only feed instructions recorded while the gate was enforcing turns —
+/// the racy tail a cut run records after StepGate::abandon() must not be
+/// fed.
+class TurnScanner {
+ public:
+  explicit TurnScanner(std::size_t numThreads)
+      : inTx_(numThreads, false) {}
+
+  void feed(const Insn& insn);
+
+  const std::vector<TurnInfo>& turns() const { return turns_; }
+
+ private:
+  std::vector<TurnInfo> turns_;
+  std::vector<bool> inTx_;  // per pid: between start and commit/abort
+};
+
+/// The verdict-relevant summary of a completed run (see file comment).
+struct RunAbstraction {
+  /// Canonical corresponding history in commutation normal form: operation
+  /// order is canonical (logical points), then greedily normalized by
+  /// swapping adjacent cross-process pairs with at most one transactional
+  /// member; identifiers are renumbered by first appearance.
+  History normalized;
+  /// Renumbered-id pairs (x, y) of transactional operations on different
+  /// processes with respond(x) before invoke(y) in the trace.
+  std::vector<std::pair<OpId, OpId>> txIntervalPairs;
+  /// Hash of both components (common/hash.hpp); the dedup key.
+  std::uint64_t key = 0;
+};
+
+/// Computes the abstraction of a completed, well-formed run trace.
+RunAbstraction abstractRun(const Trace& r);
+
+}  // namespace jungle

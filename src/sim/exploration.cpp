@@ -1,0 +1,796 @@
+#include "sim/exploration.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/cancellation.hpp"
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/dependence.hpp"
+
+namespace jungle {
+
+const char* exploreStrategyName(ExploreStrategyKind k) {
+  switch (k) {
+    case ExploreStrategyKind::kExhaustiveDfs: return "dfs";
+    case ExploreStrategyKind::kSleepSetDpor: return "dpor";
+    case ExploreStrategyKind::kRandomSampling: return "sample";
+  }
+  return "?";
+}
+
+std::optional<ExploreStrategyKind> parseExploreStrategy(std::string_view s) {
+  if (s == "dfs" || s == "exhaustive") {
+    return ExploreStrategyKind::kExhaustiveDfs;
+  }
+  if (s == "dpor" || s == "sleep-set-dpor") {
+    return ExploreStrategyKind::kSleepSetDpor;
+  }
+  if (s == "sample" || s == "sampling" || s == "random") {
+    return ExploreStrategyKind::kRandomSampling;
+  }
+  return std::nullopt;
+}
+
+std::string ExplorationStats::summary() const {
+  std::ostringstream os;
+  os << "runs " << runs << " (completed " << completedRuns << ", cut "
+     << cutRuns << ") | failures " << failures << " | distinct histories "
+     << distinctHistories << " | dedup hits " << dedupHits
+     << " | sleep-set pruned " << sleepSetPruned << " | races reversed "
+     << racesReversed << " | donations " << frontierDonations << " | wall "
+     << wallSeconds << "s";
+  if (deadlineExpired) os << " | deadline expired";
+  if (runBudgetExhausted) os << " | run budget exhausted";
+  return os.str();
+}
+
+namespace {
+
+constexpr std::uint64_t kPathSeed = 0x6a756e676c65ULL;  // "jungle"
+
+std::uint64_t extendPath(std::uint64_t base, ProcessId p) {
+  std::uint64_t h = base;
+  hashCombine(h, static_cast<std::uint64_t>(p) + 1);
+  return h;
+}
+
+/// Executes the program once under the gate.  At step i the controller
+/// asks `pick`; returning numThreads (an invalid pid) abandons the run
+/// without counting it as cut.  `onInsn` sees every recorded instruction,
+/// in order, before the next scheduling decision.
+RunOutcome runScheduled(
+    std::size_t numThreads, std::size_t words, const Program& program,
+    std::size_t maxSteps,
+    const std::function<ProcessId(std::size_t step,
+                                  const std::vector<ProcessId>&)>& pick,
+    bool* pruned = nullptr,
+    const std::function<void(const Insn&)>& onInsn = {}) {
+  StepGate gate(numThreads);
+  ScheduledMemory mem(words, gate);
+  std::vector<ThreadScript> scripts = program(mem);
+  JUNGLE_CHECK(scripts.size() == numThreads);
+
+  std::vector<std::thread> threads;
+  threads.reserve(numThreads);
+  for (std::size_t p = 0; p < numThreads; ++p) {
+    threads.emplace_back([&gate, p, script = std::move(scripts[p])] {
+      script();
+      gate.workerDone(static_cast<ProcessId>(p));
+    });
+  }
+
+  RunOutcome out;
+  std::size_t fed = 0;
+  auto drainInsns = [&] {
+    const std::size_t n = mem.insnCount();
+    for (; fed < n; ++fed) {
+      if (onInsn) onInsn(mem.insnAt(fed));
+    }
+  };
+
+  std::size_t step = 0;
+  for (;;) {
+    std::vector<ProcessId> runnable = gate.awaitQuiescence();
+    drainInsns();
+    if (runnable.empty()) {
+      out.completed = gate.allDone();
+      break;
+    }
+    if (step >= maxSteps) {
+      out.completed = false;
+      gate.abandon();
+      break;
+    }
+    const ProcessId choice = pick(step, runnable);
+    if (choice >= numThreads) {
+      out.completed = false;
+      if (pruned != nullptr) *pruned = true;
+      gate.abandon();
+      break;
+    }
+    out.schedule.push_back(choice);
+    gate.grant(choice);
+    ++step;
+  }
+  for (auto& t : threads) t.join();
+  if (out.completed) out.trace = mem.trace();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Unified DFS / sleep-set-DPOR engine
+// ---------------------------------------------------------------------------
+
+struct SleepEntry {
+  ProcessId pid;
+  TurnInfo turn;  // the turn this thread executes from the sleeping state
+};
+
+struct Node {
+  std::vector<ProcessId> enabled;  // sorted runnable set at this point
+  std::size_t chosenIdx = 0;       // index into enabled
+  TurnInfo turn;                   // turn the chosen thread executed
+  std::uint64_t pathBase = 0;      // choice-path hash up to (excl.) here
+  std::vector<ProcessId> backtrack;  // candidates worth exploring
+  std::vector<ProcessId> done;       // explored locally or delegated
+  std::vector<SleepEntry> sleep;     // inherited + finished siblings
+};
+
+struct TaskSeed {
+  std::vector<ProcessId> prefix;      // frozen choices, never backtracked
+  std::vector<SleepEntry> sleepSeed;  // donor node's sleep at the boundary
+};
+
+/// Everything the tasks of one exploration share.
+struct Shared {
+  std::size_t numThreads = 0;
+  std::size_t words = 0;
+  const Program* program = nullptr;
+  const RunVerifier* verify = nullptr;
+  ExploreOptions opts;
+  bool dpor = false;
+
+  Deadline deadline;
+  StopFlag stop;
+  std::atomic<std::size_t> budgetUsed{0};
+  std::atomic<bool> budgetExhausted{false};
+  std::atomic<std::size_t> activeTasks{0};
+  ThreadPool* pool = nullptr;  // null ⇒ serial
+
+  std::mutex mu;  // guards everything below
+  std::unordered_map<std::uint64_t, bool> seen;  // history key → verdict
+  std::unordered_set<std::uint64_t> claimed;     // parallel DPOR paths
+  std::size_t runs = 0, completedRuns = 0, cutRuns = 0, failures = 0,
+              sleepSetPruned = 0, racesReversed = 0, dedupHits = 0,
+              frontierDonations = 0;
+  bool deadlineHit = false;
+
+  bool parallel() const { return pool != nullptr; }
+  bool useClaims() const { return parallel() && dpor; }
+
+  bool claimRun() {
+    for (;;) {
+      std::size_t u = budgetUsed.load(std::memory_order_relaxed);
+      if (u >= opts.maxRuns) {
+        budgetExhausted.store(true, std::memory_order_relaxed);
+        stop.requestStop();
+        return false;
+      }
+      if (budgetUsed.compare_exchange_weak(u, u + 1,
+                                           std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  /// True when the path is fresh (or claims are off).  A claimed path is
+  /// being explored by another task and must be skipped.
+  bool claimPath(std::uint64_t pathHash) {
+    if (!useClaims()) return true;
+    std::lock_guard<std::mutex> g(mu);
+    return claimed.insert(pathHash).second;
+  }
+
+  bool shouldStop() {
+    if (stop.stopRequested()) return true;
+    if (deadline.expired()) {
+      {
+        std::lock_guard<std::mutex> g(mu);
+        deadlineHit = true;
+      }
+      stop.requestStop();
+      return true;
+    }
+    return false;
+  }
+
+  /// Accounts one executed (non-pruned) run: dedup, verify, counters.
+  void accountRun(const RunOutcome& out) {
+    if (!out.completed) {
+      std::lock_guard<std::mutex> g(mu);
+      ++runs;
+      ++cutRuns;
+      return;
+    }
+    const RunAbstraction abs = abstractRun(out.trace);
+    bool verdictKnown = false;
+    bool verdict = true;
+    {
+      std::lock_guard<std::mutex> g(mu);
+      ++runs;
+      ++completedRuns;
+      auto it = seen.find(abs.key);
+      if (it != seen.end() && opts.dedupHistories) {
+        ++dedupHits;
+        verdictKnown = true;
+        verdict = it->second;
+      }
+    }
+    // The verifier runs outside the lock; two workers may race to verify
+    // the same fresh key, which is benign (equal keys ⇒ equal verdicts).
+    if (!verdictKnown) verdict = (*verify)(out);
+    std::lock_guard<std::mutex> g(mu);
+    seen.emplace(abs.key, verdict);
+    if (!verdict) ++failures;
+  }
+
+  void spawn(TaskSeed seed);  // defined after Engine
+
+  ExplorationStats finalStats() const {
+    ExplorationStats st;
+    st.runs = runs;
+    st.completedRuns = completedRuns;
+    st.cutRuns = cutRuns;
+    st.failures = failures;
+    st.sleepSetPruned = sleepSetPruned;
+    st.racesReversed = racesReversed;
+    st.dedupHits = dedupHits;
+    st.distinctHistories = seen.size();
+    st.frontierDonations = frontierDonations;
+    st.deadlineExpired = deadlineHit;
+    st.runBudgetExhausted = budgetExhausted.load();
+    st.historyKeys.reserve(seen.size());
+    for (const auto& [k, v] : seen) st.historyKeys.push_back(k);
+    std::sort(st.historyKeys.begin(), st.historyKeys.end());
+    return st;
+  }
+};
+
+bool sleeping(const std::vector<SleepEntry>& sleep, ProcessId p) {
+  return std::any_of(sleep.begin(), sleep.end(),
+                     [p](const SleepEntry& e) { return e.pid == p; });
+}
+
+bool contains(const std::vector<ProcessId>& v, ProcessId p) {
+  return std::find(v.begin(), v.end(), p) != v.end();
+}
+
+/// One task's depth-first exploration behind a frozen schedule prefix.
+class Engine {
+ public:
+  Engine(Shared& sh, TaskSeed seed)
+      : sh_(sh), frozen_(std::move(seed.prefix)),
+        sleepSeed_(std::move(seed.sleepSeed)) {}
+
+  void run() {
+    for (;;) {
+      if (sh_.shouldStop() || !sh_.claimRun()) return;
+      bool pruned = false;
+      scanner_.emplace(sh_.numThreads);
+      const RunOutcome out = executeOneRun(&pruned);
+      lastRunLen_ = out.schedule.size();
+      if (pruned) {
+        std::lock_guard<std::mutex> g(sh_.mu);
+        ++sh_.sleepSetPruned;
+      } else {
+        sh_.accountRun(out);
+      }
+      if (sh_.dpor) detectRaces();
+      maybeDonate();
+      if (!backtrackToNext()) return;
+    }
+  }
+
+ private:
+  static ProcessId chosenOf(const Node& n) { return n.enabled[n.chosenIdx]; }
+
+  /// Sleep set for a node freshly entered at `depth`: the parent's sleep
+  /// filtered by independence with the turn the parent just executed
+  /// (deterministic replay ⇒ a sleeping thread re-executes the turn it
+  /// executed when its subtree was explored).  At a donated task's
+  /// boundary the donor's snapshot stands in for the parent's sleep.
+  std::vector<SleepEntry> childSleep(std::size_t depth) const {
+    if (!sh_.dpor || depth < frozen_.size()) return {};
+    if (depth == 0) return sleepSeed_;
+    const std::vector<SleepEntry>& parentSleep =
+        depth == frozen_.size() ? sleepSeed_ : stack_[depth - 1].sleep;
+    const TurnInfo& parentTurn = stack_[depth - 1].turn;
+    std::vector<SleepEntry> out;
+    for (const SleepEntry& e : parentSleep) {
+      if (!turnsDependent(e.turn, parentTurn)) out.push_back(e);
+    }
+    return out;
+  }
+
+  RunOutcome executeOneRun(bool* pruned) {
+    auto onInsn = [this](const Insn& insn) { scanner_->feed(insn); };
+    auto pick = [this](std::size_t step,
+                       const std::vector<ProcessId>& runnable) -> ProcessId {
+      // Attach the turn the previous grant executed (quiescence has
+      // already drained its trailing markers into the scanner).
+      if (step > 0) attachTurn(step - 1);
+      if (step < stack_.size()) {  // replay
+        Node& n = stack_[step];
+        JUNGLE_CHECK_MSG(n.enabled == runnable,
+                         "schedule replay diverged — program is not "
+                         "deterministic under the forced schedule");
+        return chosenOf(n);
+      }
+      Node n;
+      n.enabled = runnable;
+      n.pathBase = step == 0 ? kPathSeed
+                             : extendPath(stack_[step - 1].pathBase,
+                                          chosenOf(stack_[step - 1]));
+      if (step < frozen_.size()) {
+        // First traversal of the task's frozen prefix: materialize the
+        // node but follow the dictated choice (claimed by our spawner).
+        const auto it =
+            std::find(runnable.begin(), runnable.end(), frozen_[step]);
+        JUNGLE_CHECK_MSG(it != runnable.end(),
+                         "frozen prefix replay diverged");
+        n.chosenIdx = static_cast<std::size_t>(it - runnable.begin());
+        n.backtrack = {frozen_[step]};
+        stack_.push_back(std::move(n));
+        return frozen_[step];
+      }
+      // Free phase: pick the node's first explorable branch.
+      n.sleep = childSleep(step);
+      std::size_t idx = n.enabled.size();
+      for (std::size_t i = 0; i < n.enabled.size(); ++i) {
+        if (sleeping(n.sleep, n.enabled[i])) continue;
+        if (!sh_.claimPath(extendPath(n.pathBase, n.enabled[i]))) continue;
+        idx = i;
+        break;
+      }
+      if (idx == n.enabled.size()) {
+        // Every enabled thread sleeps (or its path is claimed by another
+        // worker): this state is covered; abandon the execution.  The
+        // node is not pushed — the parent's branch is a dead end.
+        return static_cast<ProcessId>(sh_.numThreads);
+      }
+      n.chosenIdx = idx;
+      n.backtrack = sh_.dpor ? std::vector<ProcessId>{n.enabled[idx]}
+                             : n.enabled;
+      stack_.push_back(std::move(n));
+      return chosenOf(stack_.back());
+    };
+    RunOutcome out = runScheduled(sh_.numThreads, sh_.words, *sh_.program,
+                                  sh_.opts.maxSteps, pick, pruned, onInsn);
+    // The final quiescence drained the last step's trailing markers, so
+    // every granted step now has its turn.
+    if (!out.schedule.empty()) attachTurn(out.schedule.size() - 1);
+    return out;
+  }
+
+  void attachTurn(std::size_t step) {
+    JUNGLE_CHECK(step < stack_.size());
+    const auto& turns = scanner_->turns();
+    JUNGLE_CHECK_MSG(step < turns.size(),
+                     "granted step executed no memory instruction");
+    stack_[step].turn = turns[step];
+  }
+
+  // --- dynamic partial-order reduction -----------------------------------
+
+  /// Scans this run's turn sequence for reversible races and plants
+  /// backtrack points (or, for races into the frozen prefix, spawns
+  /// tasks).  Vector-clock formulation: for each step i and each other
+  /// thread q, take q's last dependent step j before i; the race is
+  /// reversible iff j does not happen-before i once the direct j→i edge
+  /// is removed.
+  void detectRaces() {
+    const std::size_t m = lastRunLen_;
+    if (m < 2) return;
+    const std::size_t T = sh_.numThreads;
+    std::vector<std::vector<std::size_t>> clock(
+        m, std::vector<std::size_t>(T, 0));
+    std::vector<std::size_t> idxInThread(m, 0);
+    std::vector<std::size_t> count(T, 0);
+    std::vector<long> lastOfThread(T, -1);
+
+    for (std::size_t i = 0; i < m; ++i) {
+      const ProcessId ti = stack_[i].turn.pid;
+      std::vector<std::size_t>& ci = clock[i];
+      if (lastOfThread[ti] >= 0) {
+        ci = clock[static_cast<std::size_t>(lastOfThread[ti])];
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        if (stack_[j].turn.pid == ti) continue;
+        if (!turnsDependent(stack_[j].turn, stack_[i].turn)) continue;
+        for (std::size_t t = 0; t < T; ++t) {
+          ci[t] = std::max(ci[t], clock[j][t]);
+        }
+      }
+      idxInThread[i] = ++count[ti];
+      ci[ti] = idxInThread[i];
+
+      std::vector<bool> seenThread(T, false);
+      for (std::size_t jj = i; jj-- > 0;) {
+        const ProcessId tj = stack_[jj].turn.pid;
+        if (tj == ti || seenThread[tj]) continue;
+        if (!turnsDependent(stack_[jj].turn, stack_[i].turn)) continue;
+        // q's LAST dependent step: any earlier dependent step of q reaches
+        // i through this one, so only this pair can be a reversible race.
+        seenThread[tj] = true;
+        if (orderedWithout(jj, i, clock, idxInThread, lastOfThread, ti)) {
+          continue;  // ordered through intermediates: not reversible
+        }
+        planBacktrack(jj, i, clock, idxInThread);
+      }
+      lastOfThread[ti] = static_cast<long>(i);
+    }
+  }
+
+  /// Does j happen-before i once the direct dependence edge j→i is
+  /// dropped?  Recomputes i's clock from its other predecessors.
+  bool orderedWithout(std::size_t j, std::size_t i,
+                      const std::vector<std::vector<std::size_t>>& clock,
+                      const std::vector<std::size_t>& idxInThread,
+                      const std::vector<long>& lastOfThread,
+                      ProcessId ti) const {
+    const ProcessId tj = stack_[j].turn.pid;
+    std::vector<std::size_t> c(sh_.numThreads, 0);
+    if (lastOfThread[ti] >= 0) {
+      c = clock[static_cast<std::size_t>(lastOfThread[ti])];
+    }
+    for (std::size_t k = 0; k < i; ++k) {
+      if (k == j || stack_[k].turn.pid == ti) continue;
+      if (!turnsDependent(stack_[k].turn, stack_[i].turn)) continue;
+      for (std::size_t t = 0; t < sh_.numThreads; ++t) {
+        c[t] = std::max(c[t], clock[k][t]);
+      }
+    }
+    return c[tj] >= idxInThread[j];
+  }
+
+  /// Race (j, i): plants a reversal at node j, source-set style (Abdulla
+  /// et al.).  Let v' be the steps of (j, i) that do NOT happen-after j,
+  /// followed by i itself.  The threads that can run first in v' from
+  /// node j — the initials, whose first v' event has no happens-before
+  /// predecessor inside v' — are exactly the first moves of schedules
+  /// realising the reversal.  If one of them is already in the node's
+  /// backtrack set the reversal is provided for; otherwise plant one.
+  /// (Classic "add proc(i)" planting is unsound under sleep sets: the
+  /// planted thread can be sleeping-covered while the class reachable
+  /// only through another initial is lost.)
+  void planBacktrack(std::size_t j, std::size_t i,
+                     const std::vector<std::vector<std::size_t>>& clock,
+                     const std::vector<std::size_t>& idxInThread) {
+    const ProcessId tj = stack_[j].turn.pid;
+    std::vector<std::size_t> seg;  // v' = notdep(j) slice of (j, i), then i
+    for (std::size_t k = j + 1; k < i; ++k) {
+      if (clock[k][tj] >= idxInThread[j]) continue;  // happens-after j
+      seg.push_back(k);
+    }
+    seg.push_back(i);
+
+    std::vector<ProcessId> initials;
+    for (std::size_t p = 0; p < seg.size(); ++p) {
+      const std::size_t f = seg[p];
+      const ProcessId q = stack_[f].turn.pid;
+      if (contains(initials, q)) continue;
+      bool first = true;  // is f its thread's first event in v'?
+      bool initial = true;
+      for (std::size_t r = 0; r < p; ++r) {
+        const std::size_t y = seg[r];
+        if (stack_[y].turn.pid == q) {
+          first = false;
+          break;
+        }
+        if (clock[f][stack_[y].turn.pid] >= idxInThread[y]) {
+          initial = false;  // y happens-before f
+          break;
+        }
+      }
+      if (first && initial) initials.push_back(q);
+    }
+    // The first v' event is vacuously an initial, so the set is non-empty.
+    JUNGLE_CHECK(!initials.empty());
+
+    Node& n = stack_[j];
+    const ProcessId ti = stack_[i].turn.pid;
+    const ProcessId pick =
+        contains(initials, ti) ? ti : initials.front();
+    if (j < frozen_.size()) {
+      // Race into the frozen prefix: this task may not backtrack there.
+      // The frozen choice being an initial means the donor's tree covers
+      // the reversal; otherwise hand it to a fresh task.
+      if (contains(initials, frozen_[j])) return;
+      if (!sh_.claimPath(extendPath(n.pathBase, pick))) return;
+      TaskSeed seed;
+      seed.prefix.assign(frozen_.begin(),
+                         frozen_.begin() + static_cast<long>(j));
+      seed.prefix.push_back(pick);
+      {
+        std::lock_guard<std::mutex> g(sh_.mu);
+        ++sh_.racesReversed;
+      }
+      sh_.spawn(std::move(seed));
+      return;
+    }
+    for (ProcessId c : initials) {
+      if (contains(n.backtrack, c)) return;  // reversal provided for
+    }
+    n.backtrack.push_back(pick);
+    std::lock_guard<std::mutex> g(sh_.mu);
+    ++sh_.racesReversed;
+  }
+
+  // --- parallel frontier -------------------------------------------------
+
+  /// Donates pending backtrack candidates (shallowest first) while the
+  /// pool looks underfed.
+  void maybeDonate() {
+    if (!sh_.parallel()) return;
+    for (std::size_t d = frozen_.size(); d < stack_.size(); ++d) {
+      if (sh_.activeTasks.load(std::memory_order_relaxed) >=
+          2 * sh_.pool->size()) {
+        return;
+      }
+      Node& n = stack_[d];
+      for (ProcessId c : n.backtrack) {
+        if (c == chosenOf(n) || contains(n.done, c) ||
+            sleeping(n.sleep, c)) {
+          continue;
+        }
+        if (!sh_.claimPath(extendPath(n.pathBase, c))) {
+          n.done.push_back(c);
+          continue;
+        }
+        n.done.push_back(c);  // delegated
+        TaskSeed seed;
+        seed.prefix.reserve(d + 1);
+        for (std::size_t k = 0; k < d; ++k) {
+          seed.prefix.push_back(chosenOf(stack_[k]));
+        }
+        seed.prefix.push_back(c);
+        seed.sleepSeed = n.sleep;
+        {
+          std::lock_guard<std::mutex> g(sh_.mu);
+          ++sh_.frontierDonations;
+        }
+        sh_.spawn(std::move(seed));
+        break;  // at most one donation per node per round
+      }
+    }
+  }
+
+  // --- backtracking ------------------------------------------------------
+
+  /// Retires the deepest finished branch and switches the stack to the
+  /// next unexplored candidate.  Returns false when the task is done.
+  bool backtrackToNext() {
+    while (stack_.size() > frozen_.size()) {
+      Node& n = stack_.back();
+      const ProcessId finished = chosenOf(n);
+      if (!contains(n.done, finished)) n.done.push_back(finished);
+      if (sh_.dpor && !sleeping(n.sleep, finished)) {
+        // Its subtree is fully explored (or delegated): siblings may now
+        // skip it.
+        n.sleep.push_back({finished, n.turn});
+      }
+      std::size_t next = n.enabled.size();
+      for (std::size_t i = 0; i < n.enabled.size(); ++i) {
+        const ProcessId c = n.enabled[i];
+        if (!contains(n.backtrack, c) || contains(n.done, c) ||
+            sleeping(n.sleep, c)) {
+          continue;
+        }
+        if (!sh_.claimPath(extendPath(n.pathBase, c))) {
+          n.done.push_back(c);
+          continue;
+        }
+        next = i;
+        break;
+      }
+      if (next < n.enabled.size()) {
+        n.chosenIdx = next;
+        return true;
+      }
+      stack_.pop_back();
+    }
+    return false;
+  }
+
+  Shared& sh_;
+  std::vector<ProcessId> frozen_;
+  std::vector<SleepEntry> sleepSeed_;
+  std::vector<Node> stack_;
+  std::optional<TurnScanner> scanner_;
+  std::size_t lastRunLen_ = 0;
+};
+
+void Shared::spawn(TaskSeed seed) {
+  activeTasks.fetch_add(1, std::memory_order_relaxed);
+  pool->submit([this, seed = std::move(seed)]() mutable {
+    Engine engine(*this, std::move(seed));
+    engine.run();
+    activeTasks.fetch_sub(1, std::memory_order_relaxed);
+  });
+}
+
+ExplorationStats exploreTree(std::size_t numThreads, std::size_t words,
+                             const Program& program,
+                             const ExploreOptions& opts,
+                             const RunVerifier& verify, bool dpor) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Shared sh;
+  sh.numThreads = numThreads;
+  sh.words = words;
+  sh.program = &program;
+  sh.verify = &verify;
+  sh.opts = opts;
+  sh.dpor = dpor;
+  if (opts.timeout.count() > 0) sh.deadline = Deadline::after(opts.timeout);
+
+  if (opts.threads > 1) {
+    ThreadPool pool(opts.threads);
+    sh.pool = &pool;
+    sh.spawn(TaskSeed{});
+    pool.wait();
+    sh.pool = nullptr;
+  } else {
+    Engine engine(sh, TaskSeed{});
+    engine.run();
+  }
+
+  ExplorationStats st = sh.finalStats();
+  st.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Random sampling
+// ---------------------------------------------------------------------------
+
+ExplorationStats exploreSampling(std::size_t numThreads, std::size_t words,
+                                 const Program& program,
+                                 const ExploreOptions& opts,
+                                 const RunVerifier& verify) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Shared sh;
+  sh.numThreads = numThreads;
+  sh.words = words;
+  sh.program = &program;
+  sh.verify = &verify;
+  sh.opts = opts;
+  if (opts.timeout.count() > 0) sh.deadline = Deadline::after(opts.timeout);
+
+  auto sampleOne = [&sh, numThreads, words, &program](std::size_t i) {
+    if (sh.shouldStop()) return;
+    // Per-sample generator: the schedule set is a pure function of
+    // (seed, i), independent of how samples land on workers.
+    Rng rng(hashAll(sh.opts.seed, static_cast<std::uint64_t>(i)));
+    auto pick = [&rng](std::size_t,
+                       const std::vector<ProcessId>& runnable) -> ProcessId {
+      return runnable[rng.below(runnable.size())];
+    };
+    const RunOutcome out = runScheduled(numThreads, words, program,
+                                        sh.opts.maxSteps, pick);
+    sh.accountRun(out);
+  };
+
+  if (opts.threads > 1) {
+    ThreadPool pool(opts.threads);
+    for (std::size_t i = 0; i < opts.samples; ++i) {
+      pool.submit([&sampleOne, i] { sampleOne(i); });
+    }
+    pool.wait();
+  } else {
+    for (std::size_t i = 0; i < opts.samples; ++i) sampleOne(i);
+  }
+
+  ExplorationStats st = sh.finalStats();
+  st.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Strategy objects
+// ---------------------------------------------------------------------------
+
+class DfsStrategy final : public ExplorationStrategy {
+ public:
+  ExploreStrategyKind kind() const override {
+    return ExploreStrategyKind::kExhaustiveDfs;
+  }
+  const char* name() const override { return "dfs"; }
+  ExplorationStats explore(std::size_t numThreads, std::size_t words,
+                           const Program& program, const ExploreOptions& opts,
+                           const RunVerifier& verify) const override {
+    return exploreTree(numThreads, words, program, opts, verify,
+                       /*dpor=*/false);
+  }
+};
+
+class DporStrategy final : public ExplorationStrategy {
+ public:
+  ExploreStrategyKind kind() const override {
+    return ExploreStrategyKind::kSleepSetDpor;
+  }
+  const char* name() const override { return "dpor"; }
+  ExplorationStats explore(std::size_t numThreads, std::size_t words,
+                           const Program& program, const ExploreOptions& opts,
+                           const RunVerifier& verify) const override {
+    return exploreTree(numThreads, words, program, opts, verify,
+                       /*dpor=*/true);
+  }
+};
+
+class SamplingStrategy final : public ExplorationStrategy {
+ public:
+  ExploreStrategyKind kind() const override {
+    return ExploreStrategyKind::kRandomSampling;
+  }
+  const char* name() const override { return "sample"; }
+  ExplorationStats explore(std::size_t numThreads, std::size_t words,
+                           const Program& program, const ExploreOptions& opts,
+                           const RunVerifier& verify) const override {
+    return exploreSampling(numThreads, words, program, opts, verify);
+  }
+};
+
+}  // namespace
+
+const ExplorationStrategy& explorationStrategy(ExploreStrategyKind k) {
+  static const DfsStrategy dfs;
+  static const DporStrategy dpor;
+  static const SamplingStrategy sampling;
+  switch (k) {
+    case ExploreStrategyKind::kSleepSetDpor: return dpor;
+    case ExploreStrategyKind::kRandomSampling: return sampling;
+    case ExploreStrategyKind::kExhaustiveDfs: break;
+  }
+  return dfs;
+}
+
+ExplorationStats exploreSchedules(std::size_t numThreads, std::size_t words,
+                                  const Program& program,
+                                  const ExploreOptions& opts,
+                                  const RunVerifier& verify) {
+  return explorationStrategy(opts.strategy)
+      .explore(numThreads, words, program, opts, verify);
+}
+
+ExploreStats exploreExhaustive(std::size_t numThreads, std::size_t words,
+                               const Program& program,
+                               const RunVerifier& verify,
+                               const ExploreOptions& opts) {
+  ExploreOptions o = opts;
+  o.strategy = ExploreStrategyKind::kExhaustiveDfs;
+  o.threads = 1;
+  return exploreSchedules(numThreads, words, program, o, verify);
+}
+
+ExploreStats exploreRandom(std::size_t numThreads, std::size_t words,
+                           const Program& program, const RunVerifier& verify,
+                           const ExploreOptions& opts) {
+  ExploreOptions o = opts;
+  o.strategy = ExploreStrategyKind::kRandomSampling;
+  o.threads = 1;
+  return exploreSchedules(numThreads, words, program, o, verify);
+}
+
+}  // namespace jungle

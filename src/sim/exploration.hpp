@@ -1,0 +1,167 @@
+// Pluggable schedule-exploration strategies over the StepGate scheduler.
+//
+// Three strategies drive a Program (sim/schedule.hpp) through
+// interleavings and hand every completed run to a caller-supplied
+// verifier:
+//
+//   * kExhaustiveDfs  — every schedule up to the step/run caps, via
+//                       depth-first backtracking over scheduler choices.
+//   * kSleepSetDpor   — dynamic partial-order reduction: records each
+//                       run's turn-level dependence (sim/dependence.hpp),
+//                       adds backtrack points only where reversible races
+//                       occur, and carries Godefroid-style sleep sets so
+//                       an interleaving class is explored once.  Sound for
+//                       the checkers because the dependence relation
+//                       covers both data conflicts and transactional
+//                       interval order.
+//   * kRandomSampling — opts.samples independent random schedules; sample
+//                       i is driven by Rng(hashAll(seed, i)), so the set
+//                       of schedules is invariant under opts.threads.
+//
+// DFS and DPOR accept opts.threads > 1: a parallel frontier distributes
+// independent backtrack points across a common/thread_pool.hpp pool.
+// Each task owns a frozen schedule prefix it never backtracks into;
+// pending backtrack candidates are donated to idle workers, and DPOR
+// races that point into a task's frozen prefix spawn fresh tasks instead
+// of backtracking.  A global path-claim registry keeps two workers from
+// exploring the same schedule prefix.  With threads > 1 the verifier is
+// called concurrently and must be thread-safe.
+//
+// Completed runs are abstracted (dependence.hpp) into a canonical history
+// key; with opts.dedupHistories the verifier is skipped for keys already
+// seen and the cached verdict is reused.  Every exploration returns
+// ExplorationStats telemetry.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/schedule.hpp"
+
+namespace jungle {
+
+enum class ExploreStrategyKind : std::uint8_t {
+  kExhaustiveDfs,
+  kSleepSetDpor,
+  kRandomSampling,
+};
+
+const char* exploreStrategyName(ExploreStrategyKind k);
+/// Parses "dfs", "dpor", or "sample" (also "sampling"/"random").
+std::optional<ExploreStrategyKind> parseExploreStrategy(std::string_view s);
+
+struct ExploreOptions {
+  /// Hard cap on instructions per run (spin loops!).
+  std::size_t maxSteps = 400;
+  /// DFS/DPOR: cap on schedules executed (the shared run budget).
+  std::size_t maxRuns = 2000;
+  /// Sampling mode: number of random schedules.
+  std::size_t samples = 64;
+  std::uint64_t seed = 1;
+  ExploreStrategyKind strategy = ExploreStrategyKind::kExhaustiveDfs;
+  /// Worker threads; > 1 enables the parallel frontier (DFS/DPOR) or
+  /// parallel sampling.  The verifier must then be thread-safe.
+  unsigned threads = 1;
+  /// Wall-clock budget; zero means none.
+  std::chrono::milliseconds timeout{0};
+  /// Skip the verifier for runs whose canonical-history key was already
+  /// seen, reusing the cached verdict.  Off by default: callers that
+  /// count verifier invocations (or record schedules) see every run.
+  bool dedupHistories = false;
+};
+
+struct ExplorationStats {
+  /// Schedules executed to completion or to the step bound.
+  std::size_t runs = 0;
+  std::size_t completedRuns = 0;
+  std::size_t cutRuns = 0;  // hit maxSteps; never verified
+  /// Completed runs whose verdict was "violation" (verifier returned
+  /// false), including verdicts replayed from the dedup cache.
+  std::size_t failures = 0;
+  /// DPOR: executions abandoned because every enabled thread was in the
+  /// sleep set (or, in parallel mode, every candidate path was already
+  /// claimed by another worker).
+  std::size_t sleepSetPruned = 0;
+  /// DPOR: backtrack points added (or spawned) by reversible-race
+  /// detection.
+  std::size_t racesReversed = 0;
+  /// Verifier invocations avoided via the canonical-history cache.
+  std::size_t dedupHits = 0;
+  /// Distinct canonical-history keys among completed runs.
+  std::size_t distinctHistories = 0;
+  /// Parallel frontier: backtrack candidates handed to idle workers.
+  std::size_t frontierDonations = 0;
+  bool deadlineExpired = false;
+  bool runBudgetExhausted = false;
+  double wallSeconds = 0.0;
+  /// Sorted distinct canonical-history keys of completed runs — the
+  /// comparison artifact for strategy-equivalence checks.
+  std::vector<std::uint64_t> historyKeys;
+
+  std::string summary() const;
+};
+
+/// Legacy name used by pre-strategy call sites.
+using ExploreStats = ExplorationStats;
+
+/// Returns true when the run conforms; false counts as a failure.
+using RunVerifier = std::function<bool(const RunOutcome&)>;
+
+class ExplorationStrategy {
+ public:
+  virtual ~ExplorationStrategy() = default;
+  virtual ExploreStrategyKind kind() const = 0;
+  virtual const char* name() const = 0;
+  virtual ExplorationStats explore(std::size_t numThreads, std::size_t words,
+                                   const Program& program,
+                                   const ExploreOptions& opts,
+                                   const RunVerifier& verify) const = 0;
+};
+
+/// The process-wide strategy singleton for `k`.
+const ExplorationStrategy& explorationStrategy(ExploreStrategyKind k);
+
+/// Dispatches to explorationStrategy(opts.strategy).
+ExplorationStats exploreSchedules(std::size_t numThreads, std::size_t words,
+                                  const Program& program,
+                                  const ExploreOptions& opts,
+                                  const RunVerifier& verify);
+
+/// Bound (program, shape) facade for repeated exploration under varying
+/// options — the form the CLI, fuzzer, and benchmarks drive.
+class ScheduleExplorer {
+ public:
+  ScheduleExplorer(std::size_t numThreads, std::size_t words,
+                   Program program)
+      : numThreads_(numThreads), words_(words),
+        program_(std::move(program)) {}
+
+  std::size_t numThreads() const { return numThreads_; }
+  std::size_t words() const { return words_; }
+
+  ExplorationStats explore(const ExploreOptions& opts,
+                           const RunVerifier& verify) const {
+    return exploreSchedules(numThreads_, words_, program_, opts, verify);
+  }
+
+ private:
+  std::size_t numThreads_;
+  std::size_t words_;
+  Program program_;
+};
+
+/// Legacy wrappers: force the strategy, keep the historical signature.
+ExploreStats exploreExhaustive(std::size_t numThreads, std::size_t words,
+                               const Program& program,
+                               const RunVerifier& verify,
+                               const ExploreOptions& opts = {});
+ExploreStats exploreRandom(std::size_t numThreads, std::size_t words,
+                           const Program& program, const RunVerifier& verify,
+                           const ExploreOptions& opts = {});
+
+}  // namespace jungle

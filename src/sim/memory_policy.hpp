@@ -156,6 +156,19 @@ class RecordingMemory {
     return trace_;
   }
 
+  // Incremental trace access: the schedule explorer consumes instructions
+  // as they are recorded (one locked copy per instruction) instead of
+  // snapshotting the whole trace at every scheduling point.
+  std::size_t insnCount() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return trace_.insns.size();
+  }
+  Insn insnAt(std::size_t i) const {
+    std::lock_guard<std::mutex> g(mu_);
+    JUNGLE_CHECK(i < trace_.insns.size());
+    return trace_.insns[i];
+  }
+
  private:
   OpId currentOp(ProcessId p) const {
     for (const auto& [pid, op] : open_) {

@@ -1,10 +1,8 @@
 #include "sim/schedule.hpp"
 
 #include <algorithm>
-#include <thread>
 
 #include "common/check.hpp"
-#include "common/rng.hpp"
 
 namespace jungle {
 
@@ -76,138 +74,6 @@ bool StepGate::allDone() const {
   std::unique_lock<std::mutex> lock(mu_);
   return std::all_of(state_.begin(), state_.end(),
                      [](ThreadState s) { return s == ThreadState::kDone; });
-}
-
-namespace {
-
-/// One decision the controller made during a run.
-struct Decision {
-  std::vector<ProcessId> runnable;  // sorted
-  std::size_t chosen = 0;           // index into runnable
-};
-
-/// Executes the program once.  At step i the controller follows
-/// `prefix[i]` when available, otherwise calls `pick(runnable)`.
-/// Appends every decision to `decisions`.
-RunOutcome runOnce(
-    std::size_t numThreads, std::size_t words, const Program& program,
-    const std::vector<ProcessId>& prefix,
-    const std::function<std::size_t(const std::vector<ProcessId>&)>& pick,
-    std::size_t maxSteps, std::vector<Decision>* decisions) {
-  StepGate gate(numThreads);
-  ScheduledMemory mem(words, gate);
-  std::vector<ThreadScript> scripts = program(mem);
-  JUNGLE_CHECK(scripts.size() == numThreads);
-
-  std::vector<std::thread> threads;
-  threads.reserve(numThreads);
-  for (std::size_t p = 0; p < numThreads; ++p) {
-    threads.emplace_back([&gate, p, script = std::move(scripts[p])] {
-      script();
-      gate.workerDone(static_cast<ProcessId>(p));
-    });
-  }
-
-  RunOutcome out;
-  std::size_t step = 0;
-  for (;;) {
-    std::vector<ProcessId> runnable = gate.awaitQuiescence();
-    if (runnable.empty()) {
-      out.completed = gate.allDone();
-      break;
-    }
-    if (step >= maxSteps) {
-      out.completed = false;
-      gate.abandon();
-      break;
-    }
-    std::size_t idx;
-    if (step < prefix.size()) {
-      auto it = std::find(runnable.begin(), runnable.end(), prefix[step]);
-      JUNGLE_CHECK_MSG(it != runnable.end(),
-                       "schedule replay diverged — program is not "
-                       "deterministic under the forced schedule");
-      idx = static_cast<std::size_t>(it - runnable.begin());
-    } else {
-      idx = pick(runnable);
-      JUNGLE_CHECK(idx < runnable.size());
-    }
-    if (decisions != nullptr) {
-      decisions->push_back({runnable, idx});
-    }
-    out.schedule.push_back(runnable[idx]);
-    gate.grant(runnable[idx]);
-    ++step;
-  }
-  for (auto& t : threads) t.join();
-  out.trace = mem.trace();
-  return out;
-}
-
-}  // namespace
-
-ExploreStats exploreExhaustive(
-    std::size_t numThreads, std::size_t words, const Program& program,
-    const std::function<bool(const RunOutcome&)>& verify,
-    const ExploreOptions& opts) {
-  ExploreStats stats;
-  std::vector<ProcessId> prefix;
-  auto firstChoice = [](const std::vector<ProcessId>&) -> std::size_t {
-    return 0;
-  };
-
-  for (;;) {
-    std::vector<Decision> decisions;
-    RunOutcome out = runOnce(numThreads, words, program, prefix, firstChoice,
-                             opts.maxSteps, &decisions);
-    ++stats.runs;
-    if (out.completed) {
-      ++stats.completedRuns;
-      if (!verify(out)) ++stats.failures;
-    } else {
-      ++stats.cutRuns;
-    }
-    if (stats.runs >= opts.maxRuns) break;
-
-    // Backtrack: deepest decision with an untried alternative.
-    std::size_t depth = decisions.size();
-    while (depth > 0) {
-      const Decision& d = decisions[depth - 1];
-      if (d.chosen + 1 < d.runnable.size()) break;
-      --depth;
-    }
-    if (depth == 0) break;  // space exhausted
-    prefix.clear();
-    for (std::size_t i = 0; i + 1 < depth; ++i) {
-      prefix.push_back(decisions[i].runnable[decisions[i].chosen]);
-    }
-    const Decision& d = decisions[depth - 1];
-    prefix.push_back(d.runnable[d.chosen + 1]);
-  }
-  return stats;
-}
-
-ExploreStats exploreRandom(
-    std::size_t numThreads, std::size_t words, const Program& program,
-    const std::function<bool(const RunOutcome&)>& verify,
-    const ExploreOptions& opts) {
-  ExploreStats stats;
-  Rng rng(opts.seed);
-  for (std::size_t i = 0; i < opts.samples; ++i) {
-    auto pick = [&](const std::vector<ProcessId>& runnable) -> std::size_t {
-      return static_cast<std::size_t>(rng.below(runnable.size()));
-    };
-    RunOutcome out =
-        runOnce(numThreads, words, program, {}, pick, opts.maxSteps, nullptr);
-    ++stats.runs;
-    if (out.completed) {
-      ++stats.completedRuns;
-      if (!verify(out)) ++stats.failures;
-    } else {
-      ++stats.cutRuns;
-    }
-  }
-  return stats;
 }
 
 }  // namespace jungle

@@ -1,17 +1,12 @@
-// Systematic concurrency testing of TM implementations.
+// Turn-based scheduling primitives for systematic concurrency testing.
 //
 // The paper's companions [9, 10] model-check TM algorithms; this module
-// brings a bounded form of that to the live implementations.  A
-// ScheduledMemory wraps RecordingMemory and blocks every thread before each
-// instruction until the controller grants it a step; the ScheduleExplorer
-// then drives a multi-threaded program through
-//
-//   * every instruction interleaving up to a step bound (exhaustive mode,
-//     DFS with replay — stateless model checking), or
-//   * N pseudo-random schedules (sampling mode),
-//
-// handing each run's recorded trace to a caller-supplied verifier (e.g.
-// "the canonical history is parametrized-opaque under Alpha").
+// supplies the machinery that brings a bounded form of that to the live
+// implementations.  A ScheduledMemory wraps RecordingMemory and blocks
+// every thread before each instruction until the controller grants it a
+// step; the exploration strategies in sim/exploration.hpp drive a
+// multi-threaded program through chosen interleavings and hand each run's
+// recorded trace to a caller-supplied verifier.
 //
 // Programs must be deterministic given the schedule (the TM templates are).
 // Lock-acquire spin loops make some schedules unbounded; runs exceeding the
@@ -98,6 +93,11 @@ class ScheduledMemory {
 
   Trace trace() const { return inner_.trace(); }
 
+  // Incremental access for the exploration strategies (see
+  // RecordingMemory::insnCount/insnAt).
+  std::size_t insnCount() const { return inner_.insnCount(); }
+  Insn insnAt(std::size_t i) const { return inner_.insnAt(i); }
+
  private:
   RecordingMemory inner_;
   StepGate* gate_;
@@ -110,41 +110,10 @@ struct RunOutcome {
   std::vector<ProcessId> schedule;
 };
 
-struct ExploreOptions {
-  /// Hard cap on instructions per run (spin loops!).
-  std::size_t maxSteps = 400;
-  /// Exhaustive mode: cap on total runs (DFS leaves).
-  std::size_t maxRuns = 2000;
-  /// Sampling mode: number of random schedules.
-  std::size_t samples = 64;
-  std::uint64_t seed = 1;
-};
-
-struct ExploreStats {
-  std::size_t runs = 0;
-  std::size_t completedRuns = 0;
-  std::size_t cutRuns = 0;
-  std::size_t failures = 0;
-};
-
 /// A program: given the scheduled memory, returns per-thread scripts.
 /// Each script runs on its own OS thread under the gate.
 using ThreadScript = std::function<void()>;
 using Program =
     std::function<std::vector<ThreadScript>(ScheduledMemory& mem)>;
-
-/// Runs `program` under every schedule (exhaustive DFS up to the caps),
-/// invoking `verify` on each completed run's trace.  Returns statistics;
-/// `verify` returning false counts as a failure (exploration continues).
-ExploreStats exploreExhaustive(std::size_t numThreads, std::size_t words,
-                               const Program& program,
-                               const std::function<bool(const RunOutcome&)>& verify,
-                               const ExploreOptions& opts = {});
-
-/// Runs `program` under `opts.samples` random schedules.
-ExploreStats exploreRandom(std::size_t numThreads, std::size_t words,
-                           const Program& program,
-                           const std::function<bool(const RunOutcome&)>& verify,
-                           const ExploreOptions& opts = {});
 
 }  // namespace jungle

@@ -1,5 +1,6 @@
 #include "theorems/conformance.hpp"
 
+#include <mutex>
 #include <thread>
 
 #include "common/rng.hpp"
@@ -102,6 +103,33 @@ Trace runStressWorkload(TmRuntime& tm, RecordingMemory& mem,
   }
   for (auto& t : threads) t.join();
   return mem.trace();
+}
+
+ModelCheckReport modelCheckProgram(std::size_t numThreads, std::size_t words,
+                                   const Program& program,
+                                   const MemoryModel& model,
+                                   const SpecMap& specs,
+                                   const ExploreOptions& opts,
+                                   std::size_t maxViolationSamples) {
+  ModelCheckReport report;
+  std::mutex mu;  // the explorer may call the verifier concurrently
+  report.stats = exploreSchedules(
+      numThreads, words, program, opts, [&](const RunOutcome& out) {
+        const ConformanceResult res =
+            checkTracePopacity(out.trace, model, specs);
+        if (res.ok) return true;
+        std::lock_guard<std::mutex> g(mu);
+        if (res.inconclusive) {
+          // Budget-capped negative: don't claim a violation.
+          ++report.inconclusiveRuns;
+          return true;
+        }
+        if (report.violations.size() < maxViolationSamples) {
+          report.violations.emplace_back(out.schedule, res.canonical);
+        }
+        return false;
+      });
+  return report;
 }
 
 }  // namespace jungle::theorems

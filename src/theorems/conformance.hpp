@@ -13,6 +13,7 @@
 
 #include "memmodel/memory_model.hpp"
 #include "opacity/sgla.hpp"
+#include "sim/exploration.hpp"
 #include "sim/trace_history.hpp"
 #include "tm/runtime.hpp"
 
@@ -65,5 +66,26 @@ struct StressOptions {
 /// recorded trace.
 Trace runStressWorkload(TmRuntime& tm, RecordingMemory& mem,
                         const StressOptions& opts);
+
+/// Schedule exploration with a parametrized-opacity verifier: every
+/// completed run's trace is checked against opacity(model).
+struct ModelCheckReport {
+  ExplorationStats stats;
+  /// Runs whose negative verdict was inconclusive (search budget); they
+  /// are NOT counted as failures.
+  std::size_t inconclusiveRuns = 0;
+  /// Up to `maxViolationSamples` violating (schedule, canonical history)
+  /// pairs, for diagnostics.
+  std::vector<std::pair<std::vector<ProcessId>, History>> violations;
+};
+
+/// Explores `program` under `opts.strategy` and checks each completed
+/// run.  The verifier is thread-safe: opts.threads > 1 is allowed.
+ModelCheckReport modelCheckProgram(std::size_t numThreads, std::size_t words,
+                                   const Program& program,
+                                   const MemoryModel& model,
+                                   const SpecMap& specs,
+                                   const ExploreOptions& opts,
+                                   std::size_t maxViolationSamples = 2);
 
 }  // namespace jungle::theorems

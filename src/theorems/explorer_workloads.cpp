@@ -1,0 +1,274 @@
+#include "theorems/explorer_workloads.hpp"
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "memmodel/models.hpp"
+#include "tm/global_lock_tm.hpp"
+#include "tm/strong_atomicity_tm.hpp"
+#include "tm/versioned_write_tm.hpp"
+#include "tm/write_as_tx_tm.hpp"
+
+namespace jungle::theorems {
+
+namespace {
+
+/// The Figure-1 program: one transaction writing x and y; one thread
+/// reading both with plain loads.
+template <template <class> class TmT>
+Program figure1Program() {
+  return [](ScheduledMemory& mem) {
+    auto tm = std::make_shared<TmT<ScheduledMemory>>(mem, 2);
+    std::vector<ThreadScript> scripts;
+    scripts.push_back([tm] {
+      auto t = tm->makeThread(0);
+      tm->txStart(t);
+      tm->txWrite(t, 0, 1);
+      tm->txWrite(t, 1, 1);
+      tm->txCommit(t);
+    });
+    scripts.push_back([tm] {
+      auto t = tm->makeThread(1);
+      (void)tm->ntRead(t, 0);
+      (void)tm->ntRead(t, 1);
+    });
+    return scripts;
+  };
+}
+
+/// Theorem-1-case-2 shape: the transaction reads x then writes y while an
+/// interferer writes x and reads y non-transactionally.
+Program caseTwoProgram() {
+  return [](ScheduledMemory& mem) {
+    auto tm = std::make_shared<GlobalLockTm<ScheduledMemory>>(mem, 2);
+    std::vector<ThreadScript> scripts;
+    scripts.push_back([tm] {
+      auto t = tm->makeThread(0);
+      tm->txStart(t);
+      (void)tm->txRead(t, 0);
+      tm->txWrite(t, 1, 5);
+      tm->txCommit(t);
+    });
+    scripts.push_back([tm] {
+      auto t = tm->makeThread(1);
+      tm->ntWrite(t, 0, 7);
+      (void)tm->ntRead(t, 1);
+    });
+    return scripts;
+  };
+}
+
+}  // namespace
+
+std::vector<ExplorerWorkload> figure5Workloads() {
+  std::vector<ExplorerWorkload> ws;
+  ws.push_back({"fig1-global-lock", 2, 16, figure1Program<GlobalLockTm>(),
+                &idealizedModel(), /*spinFree=*/true});
+  ws.push_back({"fig1-write-as-tx", 2, 16, figure1Program<WriteAsTxTm>(),
+                &alphaModel(), /*spinFree=*/true});
+  ws.push_back({"fig1-versioned-write", 2, 16,
+                figure1Program<VersionedWriteTm>(), &alphaModel(),
+                /*spinFree=*/true});
+  // Strong atomicity instruments the plain reads as mini-transactions
+  // that retry on conflict, so schedules can spin past any step bound.
+  ws.push_back({"fig1-strong-atomicity", 2, 16,
+                figure1Program<StrongAtomicityTm>(), &scModel(),
+                /*spinFree=*/false});
+  ws.push_back({"case2-global-lock", 2, 16, caseTwoProgram(),
+                &idealizedModel(), /*spinFree=*/true});
+  return ws;
+}
+
+ExplorerWorkload referenceReductionWorkload() {
+  constexpr std::size_t kOpsPerThread = 8;
+  Program program = [](ScheduledMemory& mem) {
+    std::vector<ThreadScript> scripts;
+    for (std::size_t p = 0; p < 2; ++p) {
+      scripts.push_back([&mem, p] {
+        const auto pid = static_cast<ProcessId>(p);
+        for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+          if (i % 4 == 3) {
+            // Shared variable: thread 0 publishes, thread 1 observes —
+            // the only cross-thread dependence in the program.
+            if (p == 0) {
+              const Word v = static_cast<Word>(i);
+              const OpId op = mem.beginOp(pid, OpType::kCommand, 0,
+                                          cmdWrite(v));
+              mem.store(pid, 0, v);
+              mem.endOp(pid, op, OpType::kCommand, 0, cmdWrite(v));
+            } else {
+              const OpId op = mem.beginOp(pid, OpType::kCommand, 0,
+                                          cmdRead(0));
+              const Word v = mem.load(pid, 0);
+              mem.endOp(pid, op, OpType::kCommand, 0, cmdRead(v));
+            }
+          } else {
+            const auto obj = static_cast<ObjectId>(1 + p);
+            const Word v = static_cast<Word>(10 * (p + 1) + i);
+            const OpId op =
+                mem.beginOp(pid, OpType::kCommand, obj, cmdWrite(v));
+            mem.store(pid, static_cast<Addr>(obj), v);
+            mem.endOp(pid, op, OpType::kCommand, obj, cmdWrite(v));
+          }
+        }
+      });
+    }
+    return scripts;
+  };
+  return {"reference-reduction", 2, 4, std::move(program), nullptr,
+          /*spinFree=*/true};
+}
+
+ExplorerWorkload generatedWorkload(std::uint64_t seed) {
+  // Pre-draw every thread's plan so the program is a pure function of the
+  // schedule.  Every operation performs exactly one memory access (starts
+  // and commits touch a per-thread scratch word), so no marker lands in
+  // the racy pre-block after a thread's first grant and runs are
+  // loop-free.
+  struct PlannedOp {
+    enum Kind { kNtWrite, kNtRead, kTxStart, kTxWrite, kTxRead, kTxCommit };
+    Kind kind;
+    ObjectId obj = 0;
+    Word val = 0;
+  };
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5eedULL);
+  const std::size_t numThreads = 2 + rng.below(2);
+  const std::size_t numVars = 1 + rng.below(2);
+
+  std::vector<std::vector<PlannedOp>> plans(numThreads);
+  for (std::size_t p = 0; p < numThreads; ++p) {
+    const std::size_t actions = 2 + rng.below(2);
+    for (std::size_t a = 0; a < actions; ++a) {
+      const auto obj = static_cast<ObjectId>(rng.below(numVars));
+      const Word val = static_cast<Word>(1 + rng.below(9));
+      // The first action is always a plain access, guaranteeing the
+      // thread's first operation carries a memory instruction.
+      if (a > 0 && rng.chance(40, 100)) {
+        plans[p].push_back({PlannedOp::kTxStart});
+        const std::size_t len = 1 + rng.below(2);
+        for (std::size_t i = 0; i < len; ++i) {
+          const auto tobj = static_cast<ObjectId>(rng.below(numVars));
+          const Word tval = static_cast<Word>(1 + rng.below(9));
+          plans[p].push_back(rng.chance(50, 100)
+                                 ? PlannedOp{PlannedOp::kTxWrite, tobj, tval}
+                                 : PlannedOp{PlannedOp::kTxRead, tobj, 0});
+        }
+        plans[p].push_back({PlannedOp::kTxCommit});
+      } else {
+        plans[p].push_back(rng.chance(50, 100)
+                               ? PlannedOp{PlannedOp::kNtWrite, obj, val}
+                               : PlannedOp{PlannedOp::kNtRead, obj, 0});
+      }
+    }
+  }
+
+  const std::size_t words = numVars + numThreads;  // vars, then scratch
+  Program program = [plans, numVars](ScheduledMemory& mem) {
+    std::vector<ThreadScript> scripts;
+    for (std::size_t p = 0; p < plans.size(); ++p) {
+      scripts.push_back([&mem, plan = plans[p], numVars, p] {
+        const auto pid = static_cast<ProcessId>(p);
+        const auto scratch = static_cast<Addr>(numVars + p);
+        for (const PlannedOp& op : plan) {
+          switch (op.kind) {
+            case PlannedOp::kTxStart: {
+              const OpId id =
+                  mem.beginOp(pid, OpType::kStart, kNoObject, {});
+              (void)mem.load(pid, scratch);
+              mem.markPoint(pid, id);
+              mem.endOp(pid, id, OpType::kStart, kNoObject, {});
+              break;
+            }
+            case PlannedOp::kTxCommit: {
+              const OpId id =
+                  mem.beginOp(pid, OpType::kCommit, kNoObject, {});
+              mem.store(pid, scratch, 0);
+              mem.markPoint(pid, id);
+              mem.endOp(pid, id, OpType::kCommit, kNoObject, {});
+              break;
+            }
+            case PlannedOp::kNtWrite:
+            case PlannedOp::kTxWrite: {
+              const Command c = cmdWrite(op.val);
+              const OpId id = mem.beginOp(pid, OpType::kCommand, op.obj, c);
+              mem.store(pid, static_cast<Addr>(op.obj), op.val);
+              mem.markPoint(pid, id);
+              mem.endOp(pid, id, OpType::kCommand, op.obj, c);
+              break;
+            }
+            case PlannedOp::kNtRead:
+            case PlannedOp::kTxRead: {
+              const OpId id =
+                  mem.beginOp(pid, OpType::kCommand, op.obj, cmdRead(0));
+              const Word v = mem.load(pid, static_cast<Addr>(op.obj));
+              mem.markPoint(pid, id);
+              mem.endOp(pid, id, OpType::kCommand, op.obj, cmdRead(v));
+              break;
+            }
+          }
+        }
+      });
+    }
+    return scripts;
+  };
+  return {"gen-" + std::to_string(seed), numThreads, words,
+          std::move(program), nullptr, /*spinFree=*/true};
+}
+
+Program stressProgram(TmKind kind, const StressOptions& opts) {
+  return [kind, opts](ScheduledMemory& mem) {
+    std::shared_ptr<TmRuntime> tm =
+        makeScheduledRuntime(kind, mem, opts.numVars, opts.numProcs);
+    std::vector<ThreadScript> scripts;
+    for (std::size_t p = 0; p < opts.numProcs; ++p) {
+      // Mirrors runStressWorkload's worker exactly (same per-pid seeds),
+      // so a fuzz seed reproduces the same logical workload whether it is
+      // replayed on the recording or the scheduled memory.
+      scripts.push_back([tm, opts, pid = static_cast<ProcessId>(p)] {
+        Rng rng(opts.seed * 0x9e3779b97f4a7c15ULL + pid + 1);
+        for (std::size_t a = 0; a < opts.actionsPerProc; ++a) {
+          const bool tx = rng.chance(opts.pctTx, 100);
+          if (tx) {
+            const std::size_t len = 1 + rng.below(opts.txLen);
+            struct Access {
+              bool write;
+              ObjectId obj;
+              Word val;
+            };
+            std::vector<Access> accesses;
+            for (std::size_t i = 0; i < len; ++i) {
+              accesses.push_back(
+                  {rng.chance(opts.pctWrite, 100),
+                   static_cast<ObjectId>(rng.below(opts.numVars)),
+                   static_cast<Word>(1 + rng.below(9))});
+            }
+            tm->transaction(pid, [&](TxContext& ctx) {
+              for (const Access& acc : accesses) {
+                if (acc.write) {
+                  ctx.write(acc.obj, acc.val);
+                } else {
+                  (void)ctx.read(acc.obj);
+                }
+              }
+            });
+          } else {
+            const ObjectId obj =
+                static_cast<ObjectId>(rng.below(opts.numVars));
+            if (rng.chance(opts.pctWrite, 100)) {
+              tm->ntWrite(pid, obj, static_cast<Word>(1 + rng.below(9)));
+            } else {
+              (void)tm->ntRead(pid, obj);
+            }
+          }
+        }
+      });
+    }
+    return scripts;
+  };
+}
+
+std::size_t stressWords(TmKind kind, const StressOptions& opts) {
+  return runtimeMemoryWords(kind, opts.numVars);
+}
+
+}  // namespace jungle::theorems

@@ -1,0 +1,69 @@
+// Litmus and stress workloads for the schedule-exploration strategies.
+//
+// Three families:
+//
+//   * figure5Workloads() — small fixed programs in the shape of the
+//     paper's Figure 1/5 interference patterns, each paired with the
+//     memory model its TM is proven (or observed) to pass.  These are the
+//     strategy-equivalence litmus set: DFS and DPOR must agree on the
+//     verdict, and — for the spin-free ones — on the exact set of
+//     distinct canonical histories.
+//
+//   * generatedWorkload(seed) — deterministic raw-marker programs (no TM
+//     algorithm, direct begin/point/end instrumentation) with a random
+//     mix of transactional blocks and non-transactional accesses.  Every
+//     operation contains exactly one memory access, so every marker rides
+//     a scheduler turn and runs are loop-free: the run abstraction is a
+//     pure function of the interleaving, which makes these the workhorse
+//     of the DFS-vs-DPOR differential oracle.
+//
+//   * stressProgram(kind, opts) — the conformance stress workload of
+//     theorems/conformance.hpp re-targeted at the scheduled memory, so
+//     the fuzzer can drive real TM runtimes through explored or sampled
+//     schedules.  TM spin loops mean runs may be cut by the step bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memmodel/memory_model.hpp"
+#include "sim/exploration.hpp"
+#include "theorems/conformance.hpp"
+#include "tm/runtime.hpp"
+
+namespace jungle::theorems {
+
+struct ExplorerWorkload {
+  std::string name;
+  std::size_t numThreads = 0;
+  std::size_t words = 0;
+  Program program;
+  /// Model under which every completed schedule must pass.
+  const MemoryModel* passingModel = nullptr;
+  /// No unbounded retry loops: every schedule completes within a modest
+  /// step bound, so exact history-set equivalence across strategies is
+  /// well-defined.
+  bool spinFree = false;
+};
+
+/// The Figure-1/5-shaped litmus set over the live TM implementations.
+std::vector<ExplorerWorkload> figure5Workloads();
+
+/// Two threads, eight single-store operations each, mostly on private
+/// variables with a shared variable every fourth operation.  DFS explores
+/// C(16,8) = 12870 schedules; the dependence relation collapses most of
+/// them, making this the reference program for the reduction-factor
+/// acceptance check.
+ExplorerWorkload referenceReductionWorkload();
+
+/// Deterministic raw-marker program derived from `seed` (2–3 threads,
+/// small variable pool, mixed transactional/non-transactional ops).
+ExplorerWorkload generatedWorkload(std::uint64_t seed);
+
+/// The runStressWorkload body as a schedulable Program over TM `kind`.
+Program stressProgram(TmKind kind, const StressOptions& opts);
+/// Memory words stressProgram(kind, opts) needs.
+std::size_t stressWords(TmKind kind, const StressOptions& opts);
+
+}  // namespace jungle::theorems

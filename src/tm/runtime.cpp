@@ -194,4 +194,11 @@ std::unique_ptr<TmRuntime> makeRecordingRuntime(TmKind kind,
   return makeRuntime(kind, mem, numVars, maxProcs);
 }
 
+std::unique_ptr<TmRuntime> makeScheduledRuntime(TmKind kind,
+                                                ScheduledMemory& mem,
+                                                std::size_t numVars,
+                                                std::size_t maxProcs) {
+  return makeRuntime(kind, mem, numVars, maxProcs);
+}
+
 }  // namespace jungle

@@ -22,6 +22,7 @@
 
 #include "common/types.hpp"
 #include "sim/memory_policy.hpp"
+#include "sim/schedule.hpp"
 
 namespace jungle {
 
@@ -76,6 +77,12 @@ std::unique_ptr<TmRuntime> makeNativeRuntime(TmKind kind, NativeMemory& mem,
 
 std::unique_ptr<TmRuntime> makeRecordingRuntime(TmKind kind,
                                                 RecordingMemory& mem,
+                                                std::size_t numVars,
+                                                std::size_t maxProcs);
+
+/// Runtime over the gate-scheduled memory, for the schedule explorer.
+std::unique_ptr<TmRuntime> makeScheduledRuntime(TmKind kind,
+                                                ScheduledMemory& mem,
                                                 std::size_t numVars,
                                                 std::size_t maxProcs);
 

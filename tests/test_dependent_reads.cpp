@@ -12,7 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "memmodel/models.hpp"
-#include "sim/schedule.hpp"
+#include "sim/exploration.hpp"
 #include "theorems/conformance.hpp"
 #include "tm/versioned_write_tm.hpp"
 

@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "memmodel/models.hpp"
-#include "sim/schedule.hpp"
+#include "sim/exploration.hpp"
 #include "theorems/conformance.hpp"
 #include "tm/global_lock_tm.hpp"
 #include "tm/strong_atomicity_tm.hpp"
