@@ -6,9 +6,26 @@
 // working sets but pays validation; abort rates grow with write share.
 // (On the single-core CI machine thread rows show scheduling overhead, not
 // parallel speedup — the per-op cost ordering is the reproducible signal.)
+//
+// Two row families:
+//   * Tx    — the bare runtime (the historical E3 rows);
+//   * TxMon — the same workload through the runtime monitor's instrumented
+//     wrapper (src/monitor/) with the collector+checker live.  TxMon/Tx at
+//     equal args is the monitoring overhead; the ring_drop_pct counter
+//     keeps the comparison honest (a dropped event was not checked).
+//
+// Every row also reports per-thread fairness: thread_min/max_ops_s are the
+// slowest and fastest thread's own throughput over its measured region
+// (min == max for Threads(1)); a wide spread on the lock-based TMs is
+// expected — the lock holder starves the rest.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "common/rng.hpp"
+#include "monitor/monitor.hpp"
 #include "tm/runtime.hpp"
 
 namespace {
@@ -26,21 +43,46 @@ struct Env {
   std::unique_ptr<TmRuntime> tm;
 };
 
-// One benchmark iteration = one committed transaction of kTxLen accesses.
-void BM_Transactions(benchmark::State& state) {
-  const auto kind = static_cast<TmKind>(state.range(0));
-  const auto writePct = static_cast<unsigned>(state.range(1));
-  static Env* env = nullptr;
-  if (state.thread_index() == 0) {
-    env = new Env(kind);
+struct MonEnv : Env {
+  explicit MonEnv(TmKind kind) : Env(kind) {
+    monitor::MonitorOptions mo;
+    // Bound collector stalls: an escalation that cannot decide quickly is
+    // inconclusive (counted, never a violation) instead of wedging the
+    // consumer for the default two seconds.
+    mo.recheckTimeout = std::chrono::milliseconds(250);
+    mon = std::make_unique<monitor::TmMonitor>(*tm, 16, mo);
   }
-  // Barrier semantics: google-benchmark starts threads together after the
-  // first thread's setup runs in program order for Threads(1); for
-  // multi-thread runs we allocate eagerly below instead.
+  std::unique_ptr<monitor::TmMonitor> mon;
+};
+
+/// Cross-thread min/max of per-thread throughput, plus the finished
+/// counter thread 0 spins on before reading the aggregate.
+struct ThreadAgg {
+  std::atomic<double> minOps{1e300};
+  std::atomic<double> maxOps{0.0};
+  std::atomic<int> finished{0};
+};
+
+void atomicMin(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v)) {
+  }
+}
+
+void atomicMax(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v)) {
+  }
+}
+
+/// The shared benchmark body: one iteration = one committed transaction of
+/// kTxLen accesses against `rt`.  Returns this thread's own ops/s.
+double runLoop(benchmark::State& state, TmRuntime& rt, unsigned writePct) {
   Rng rng(0x1234 + state.thread_index());
   const auto pid = static_cast<ProcessId>(state.thread_index());
+  const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
-    env->tm->transaction(pid, [&](TxContext& tx) {
+    rt.transaction(pid, [&](TxContext& tx) {
       for (std::size_t i = 0; i < kTxLen; ++i) {
         const auto x = static_cast<ObjectId>(rng.below(kVars));
         if (rng.chance(writePct, 100)) {
@@ -51,13 +93,103 @@ void BM_Transactions(benchmark::State& state) {
       }
     });
   }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return secs > 0.0
+             ? static_cast<double>(state.iterations() * kTxLen) / secs
+             : 0.0;
+}
+
+/// Publishes this thread's ops/s and, on thread 0, waits for every thread
+/// and exports the spread as counters.
+void aggregate(benchmark::State& state, ThreadAgg& agg, double ops) {
+  atomicMin(agg.minOps, ops);
+  atomicMax(agg.maxOps, ops);
+  agg.finished.fetch_add(1, std::memory_order_release);
+  if (state.thread_index() != 0) return;
+  while (agg.finished.load(std::memory_order_acquire) < state.threads()) {
+    std::this_thread::yield();
+  }
+  state.counters["thread_min_ops_s"] = agg.minOps.load();
+  state.counters["thread_max_ops_s"] = agg.maxOps.load();
+}
+
+/// Thread 0 publishes the freshly built fixture; the rest spin until they
+/// see it.  The code before the measurement loop runs with NO inter-thread
+/// ordering (google-benchmark's barrier only covers the loop itself), so a
+/// plain static here is a startup race: a non-leader thread can observe
+/// the pointer before — or, across the estimation re-runs of one row,
+/// after — its lifetime.  Teardown nulls the slot before the threads are
+/// joined, so a spin never latches a stale fixture.
+template <typename T>
+T* awaitFixture(std::atomic<T*>& slot) {
+  T* p;
+  while ((p = slot.load(std::memory_order_acquire)) == nullptr) {
+    std::this_thread::yield();
+  }
+  return p;
+}
+
+void BM_Transactions(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  const auto writePct = static_cast<unsigned>(state.range(1));
+  static std::atomic<Env*> envSlot{nullptr};
+  static std::atomic<ThreadAgg*> aggSlot{nullptr};
+  if (state.thread_index() == 0) {
+    aggSlot.store(new ThreadAgg, std::memory_order_release);
+    envSlot.store(new Env(kind), std::memory_order_release);
+  }
+  Env* env = awaitFixture(envSlot);
+  ThreadAgg* agg = awaitFixture(aggSlot);
+  const double ops = runLoop(state, *env->tm, writePct);
   state.SetItemsProcessed(state.iterations() * kTxLen);
+  aggregate(state, *agg, ops);
   if (state.thread_index() == 0) {
     state.SetLabel(std::string(tmKindName(kind)) + "/wr%=" +
                    std::to_string(writePct) +
                    "/aborts=" + std::to_string(env->tm->abortCount()));
+    envSlot.store(nullptr, std::memory_order_release);
+    aggSlot.store(nullptr, std::memory_order_release);
     delete env;
-    env = nullptr;
+    delete agg;
+  }
+}
+
+void BM_TransactionsMonitored(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  const auto writePct = static_cast<unsigned>(state.range(1));
+  static std::atomic<MonEnv*> envSlot{nullptr};
+  static std::atomic<ThreadAgg*> aggSlot{nullptr};
+  if (state.thread_index() == 0) {
+    aggSlot.store(new ThreadAgg, std::memory_order_release);
+    envSlot.store(new MonEnv(kind), std::memory_order_release);
+  }
+  MonEnv* env = awaitFixture(envSlot);
+  ThreadAgg* agg = awaitFixture(aggSlot);
+  const double ops = runLoop(state, env->mon->runtime(), writePct);
+  state.SetItemsProcessed(state.iterations() * kTxLen);
+  aggregate(state, *agg, ops);
+  if (state.thread_index() == 0) {
+    env->mon->stop();
+    const monitor::MonitorStats& ms = env->mon->stats();
+    const double total =
+        static_cast<double>(ms.eventsCaptured + ms.eventsDropped);
+    state.counters["ring_drop_pct"] =
+        total > 0.0 ? 100.0 * static_cast<double>(ms.eventsDropped) / total
+                    : 0.0;
+    state.counters["monitor_violations"] =
+        static_cast<double>(env->mon->violations().size());
+    state.counters["monitor_rechecks"] =
+        static_cast<double>(ms.stream.rechecks);
+    state.SetLabel(std::string(tmKindName(kind)) + "/wr%=" +
+                   std::to_string(writePct) +
+                   "/aborts=" + std::to_string(env->tm->abortCount()) +
+                   "/dropped=" + std::to_string(ms.eventsDropped));
+    envSlot.store(nullptr, std::memory_order_release);
+    aggSlot.store(nullptr, std::memory_order_release);
+    delete env;
+    delete agg;
   }
 }
 
@@ -66,6 +198,17 @@ void registerAll() {
     for (long writePct : {0, 20, 50, 100}) {
       for (int threads : {1, 2, 4}) {
         benchmark::RegisterBenchmark("Tx", BM_Transactions)
+            ->Args({static_cast<long>(kind), writePct})
+            ->Threads(threads)
+            ->UseRealTime();
+      }
+    }
+    // Monitored-vs-bare pairs at the read-only and mixed points (the
+    // extremes of capture volume); compare against the Tx row with equal
+    // args for the overhead factor.
+    for (long writePct : {0, 50}) {
+      for (int threads : {1, 2, 4}) {
+        benchmark::RegisterBenchmark("TxMon", BM_TransactionsMonitored)
             ->Args({static_cast<long>(kind), writePct})
             ->Threads(threads)
             ->UseRealTime();

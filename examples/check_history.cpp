@@ -1,7 +1,7 @@
 // check_history: the decision procedures as a command-line tool.
 //
 //   build/examples/check_history <file.hist> [--verbose] [--threads=N]
-//                                [--timeout-ms=N] [--stats]
+//                                [--timeout-ms=N] [--stats] [--format json]
 //   build/examples/check_history --demo
 //
 // Reads a history in the textual format of src/litmus/history_parser.hpp,
@@ -15,6 +15,11 @@
 //                   "inconclusive" rather than "violated"
 //   --stats         print search telemetry (expansions, memo hits, depth,
 //                   branches, elapsed) after each check
+//   --format json   machine-readable output: one JSON document with the
+//                   structural facts, a per-model/per-condition verdict
+//                   ("satisfied" | "violated" | "inconclusive") with its
+//                   search stats, and the verdict tallies; scripts/
+//                   run_experiments.sh and the CI jobs consume this
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +52,7 @@ p3: rd x 1   @9
 struct Options {
   bool verbose = false;
   bool stats = false;
+  bool json = false;
   SearchLimits limits;
 };
 
@@ -83,7 +89,102 @@ const char* verdict(const CheckResult& r, VerdictCounts& counts) {
   return "violated";
 }
 
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+  }
+  return out;
+}
+
+const char* jsonVerdict(const CheckResult& r, VerdictCounts& counts) {
+  if (r.inconclusive) {
+    ++counts.inconclusive;
+    return "inconclusive";
+  }
+  if (r.satisfied) {
+    ++counts.satisfied;
+    return "satisfied";
+  }
+  ++counts.violated;
+  return "violated";
+}
+
+void jsonCheck(const char* model, const char* condition,
+               const CheckResult& r, VerdictCounts& counts, bool last) {
+  std::printf(
+      "    {\"model\": \"%s\", \"condition\": \"%s\", \"verdict\": \"%s\", "
+      "\"stats\": {\"expansions\": %llu, \"memoHits\": %llu, "
+      "\"memoMisses\": %llu, \"maxDepth\": %llu, \"branches\": %llu, "
+      "\"threads\": %u, \"elapsedUs\": %lld}}%s\n",
+      model, condition, jsonVerdict(r, counts),
+      static_cast<unsigned long long>(r.stats.expansions),
+      static_cast<unsigned long long>(r.stats.memoHits),
+      static_cast<unsigned long long>(r.stats.memoMisses),
+      static_cast<unsigned long long>(r.stats.maxDepth),
+      static_cast<unsigned long long>(r.stats.branchesExplored),
+      r.stats.threadsUsed, static_cast<long long>(r.stats.elapsed.count()),
+      last ? "" : ",");
+}
+
+int runJson(const std::string& text, const Options& opts) {
+  auto parsed = litmus::parseHistory(text);
+  if (!parsed) {
+    std::printf("{\"parseError\": \"%s\"}\n", jsonEscape(parsed.error).c_str());
+    return 2;
+  }
+  const History& h = *parsed.history;
+  HistoryAnalysis analysis(h);
+  if (!analysis.wellFormed()) {
+    std::printf("{\"wellFormed\": false, \"error\": \"%s\"}\n",
+                jsonEscape(analysis.wellFormednessError()).c_str());
+    return 1;
+  }
+  std::printf(
+      "{\n  \"wellFormed\": true,\n  \"instances\": %zu,\n"
+      "  \"processes\": %zu,\n  \"transactions\": %zu,\n"
+      "  \"committed\": %zu,\n  \"checks\": [\n",
+      h.size(), h.processes().size(), analysis.transactions().size(),
+      analysis.countCommitted());
+  SpecMap specs;
+  SglaOptions sglaOpts;
+  sglaOpts.limits = opts.limits;
+  VerdictCounts counts;
+  const auto models = allModels();
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const MemoryModel* m = models[i];
+    const CheckResult po = checkParametrizedOpacity(h, *m, specs, opts.limits);
+    const CheckResult sg = checkSgla(h, *m, specs, sglaOpts);
+    jsonCheck(m->name(), "parametrized-opacity", po, counts, false);
+    jsonCheck(m->name(), "sgla", sg, counts, false);
+  }
+  const CheckResult ss = checkStrictSerializability(h, specs, opts.limits);
+  jsonCheck("committed-only", "strict-serializability", ss, counts, true);
+  std::printf(
+      "  ],\n  \"summary\": {\"satisfied\": %zu, \"violated\": %zu, "
+      "\"inconclusive\": %zu}\n}\n",
+      counts.satisfied, counts.violated, counts.inconclusive);
+  return 0;
+}
+
 int run(const std::string& text, const Options& opts) {
+  if (opts.json) return runJson(text, opts);
   auto parsed = litmus::parseHistory(text);
   if (!parsed) {
     std::fprintf(stderr, "parse error: %s\n", parsed.error.c_str());
@@ -177,6 +278,13 @@ int main(int argc, char** argv) {
       opts.limits.timeout =
           std::chrono::milliseconds(std::strtoll(v, nullptr, 10));
       opts.limits.maxExpansions = 0;  // the deadline is the budget now
+    } else if (const char* v = flagValue(argc, argv, i, "--format")) {
+      if (std::strcmp(v, "json") == 0) {
+        opts.json = true;
+      } else if (std::strcmp(v, "text") != 0) {
+        std::fprintf(stderr, "unknown --format %s (text|json)\n", v);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       path = "-demo-";
     } else {
@@ -186,11 +294,11 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: check_history <file.hist> [--verbose] [--threads=N] "
-                 "[--timeout-ms=N] [--stats] | --demo\n");
+                 "[--timeout-ms=N] [--stats] [--format json] | --demo\n");
     return 2;
   }
   if (path == "-demo-") {
-    std::printf("(running the built-in Figure 3 demo)\n\n");
+    if (!opts.json) std::printf("(running the built-in Figure 3 demo)\n\n");
     return run(kDemo, opts);
   }
   std::ifstream in(path);

@@ -1,0 +1,264 @@
+// monitor_tm: drive a live TM under the always-on runtime monitor.
+//
+//   build/examples/monitor_tm [--tm NAME|all] [--threads N] [--ops N]
+//                             [--vars N] [--seed N] [--tx-pct P]
+//                             [--pace-us N] [--ring-capacity N]
+//                             [--gc-retain N] [--max-drop-pct P]
+//                             [--snapshot-dir DIR] [--inject-bug] [--json]
+//
+// For each selected TM kind the tool attaches a TmMonitor (src/monitor/),
+// runs a random mixed workload on the instrumented wrapper, and reports the
+// monitor's verdict and telemetry: capture rate, ring drops, collector lag,
+// checker window/recheck/GC counters, and any conclusive violations (each
+// persisted as a shrinkable .hist repro when --snapshot-dir is given).
+//
+// Exit status is the contract the CI smoke job relies on:
+//   * default: 0 iff no TM produced a violation and the drop percentage
+//     stayed within --max-drop-pct (default 100 = unlimited);
+//   * --inject-bug: the run is a self-test of the detector — a corrupted
+//     transactional read is spliced into the captured stream, and the tool
+//     exits 0 iff the monitor caught it.  Unless --pace-us is given
+//     explicitly, the self-test paces itself to stay drop-free: under
+//     saturation drops a real corruption is indistinguishable from a
+//     dropped writer's value, and the monitor suppresses the verdict by
+//     design (honesty over sensitivity).
+//
+// --pace-us inserts a per-op sleep in the workload threads; on a one-core
+// CI machine this keeps the collector ahead of the producers so smoke runs
+// stay drop-free (and therefore fully checked).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "monitor/monitor.hpp"
+#include "sim/memory_policy.hpp"
+#include "tm/runtime.hpp"
+
+namespace {
+
+using namespace jungle;
+using namespace jungle::monitor;
+
+struct Options {
+  std::string tm = "all";
+  std::size_t threads = 4;
+  std::uint64_t ops = 1500;
+  std::size_t vars = 12;
+  std::uint64_t seed = 1;
+  unsigned txPercent = 75;
+  std::chrono::microseconds pace{0};
+  bool paceSet = false;
+  std::size_t ringCapacity = 1 << 14;
+  std::size_t gcRetain = 8;
+  double maxDropPct = 100.0;
+  std::string snapshotDir;
+  bool injectBug = false;
+  bool json = false;
+};
+
+struct RunRow {
+  const char* tm;
+  const char* model;
+  WorkloadResult work;
+  MonitorStats stats;
+  std::size_t violations;
+};
+
+RunRow runOne(TmKind kind, const Options& o) {
+  NativeMemory mem(runtimeMemoryWords(kind, o.vars));
+  auto tm = makeNativeRuntime(kind, mem, o.vars, o.threads);
+
+  MonitorOptions mo;
+  mo.capture.ringCapacity = o.ringCapacity;
+  mo.gcRetain = o.gcRetain;
+  mo.snapshotDir = o.snapshotDir;
+  if (o.injectBug) mo.capture.injectBug = InjectedBug::kCorruptTxRead;
+
+  TmMonitor mon(*tm, o.threads, mo);
+
+  WorkloadOptions w;
+  w.threads = o.threads;
+  w.numVars = o.vars;
+  w.opsPerThread = o.ops;
+  w.seed = o.seed;
+  w.txPercent = o.txPercent;
+  w.pace = o.pace;
+  const WorkloadResult work = runMonitoredWorkload(mon.runtime(), w);
+  mon.stop();
+
+  RunRow row{tm->name(), mon.model().name(), work, mon.stats(),
+             mon.violations().size()};
+  if (!o.json) {
+    for (const MonitorViolation& v : mon.violations()) {
+      std::printf("  VIOLATION: %s\n", v.description.c_str());
+      std::printf("    shrunk to %zu instance(s)%s%s\n", v.shrunk.size(),
+                  v.file.empty() ? "" : ", snapshot: ",
+                  v.file.c_str());
+    }
+  }
+  return row;
+}
+
+double dropPct(const MonitorStats& s) {
+  const double total =
+      static_cast<double>(s.eventsCaptured + s.eventsDropped);
+  return total > 0.0 ? 100.0 * static_cast<double>(s.eventsDropped) / total
+                     : 0.0;
+}
+
+void printText(const RunRow& r) {
+  const MonitorStats& s = r.stats;
+  std::printf(
+      "%-17s model=%-10s commits=%llu aborts=%llu nt=%llu | events=%llu "
+      "(%.0f/s) drops=%llu (%.2f%%) lag(peak)=%zu | window(peak)=%zu "
+      "rechecks=%llu (inconclusive=%llu suppressed=%llu) gc=%llu "
+      "resyncs=%llu | violations=%zu\n",
+      r.tm, r.model, static_cast<unsigned long long>(r.work.commits),
+      static_cast<unsigned long long>(r.work.userAborts),
+      static_cast<unsigned long long>(r.work.ntOps),
+      static_cast<unsigned long long>(s.eventsCaptured), s.eventsPerSec,
+      static_cast<unsigned long long>(s.eventsDropped), dropPct(s),
+      s.peakPendingUnits, s.stream.peakWindowUnits,
+      static_cast<unsigned long long>(s.stream.rechecks),
+      static_cast<unsigned long long>(s.stream.inconclusiveRechecks),
+      static_cast<unsigned long long>(s.stream.suppressedVerdicts),
+      static_cast<unsigned long long>(s.stream.gcUnits),
+      static_cast<unsigned long long>(s.stream.resyncs), r.violations);
+}
+
+void printJson(const std::vector<RunRow>& rows, bool ok) {
+  std::printf("{\n  \"ok\": %s,\n  \"runs\": [\n", ok ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RunRow& r = rows[i];
+    const MonitorStats& s = r.stats;
+    std::printf(
+        "    {\"tm\": \"%s\", \"model\": \"%s\", \"commits\": %llu, "
+        "\"userAborts\": %llu, \"ntOps\": %llu, \"events\": %llu, "
+        "\"eventsPerSec\": %.1f, \"eventsDropped\": %llu, \"dropPct\": %.3f, "
+        "\"unitsMerged\": %llu, \"peakPendingUnits\": %zu, "
+        "\"unitsChecked\": %llu, \"opsChecked\": %llu, \"rechecks\": %llu, "
+        "\"inconclusiveRechecks\": %llu, \"suppressedVerdicts\": %llu, "
+        "\"gcUnits\": %llu, "
+        "\"resyncs\": %llu, \"peakWindowUnits\": %zu, "
+        "\"peakWindowEvents\": %zu, \"monitoredForUs\": %lld, "
+        "\"violations\": %zu}%s\n",
+        r.tm, r.model, static_cast<unsigned long long>(r.work.commits),
+        static_cast<unsigned long long>(r.work.userAborts),
+        static_cast<unsigned long long>(r.work.ntOps),
+        static_cast<unsigned long long>(s.eventsCaptured), s.eventsPerSec,
+        static_cast<unsigned long long>(s.eventsDropped), dropPct(s),
+        static_cast<unsigned long long>(s.unitsMerged), s.peakPendingUnits,
+        static_cast<unsigned long long>(s.stream.unitsChecked),
+        static_cast<unsigned long long>(s.stream.opsChecked),
+        static_cast<unsigned long long>(s.stream.rechecks),
+        static_cast<unsigned long long>(s.stream.inconclusiveRechecks),
+        static_cast<unsigned long long>(s.stream.suppressedVerdicts),
+        static_cast<unsigned long long>(s.stream.gcUnits),
+        static_cast<unsigned long long>(s.stream.resyncs),
+        s.stream.peakWindowUnits, s.stream.peakWindowEvents,
+        static_cast<long long>(s.monitoredFor.count()), r.violations,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+const char* flagValue(int argc, char** argv, int& i, const char* flag) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(argv[i], flag, len) != 0) return nullptr;
+  if (argv[i][len] == '=') return argv[i] + len + 1;
+  if (argv[i][len] == '\0' && i + 1 < argc) return argv[++i];
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = flagValue(argc, argv, i, "--tm")) {
+      o.tm = v;
+    } else if (const char* v = flagValue(argc, argv, i, "--threads")) {
+      o.threads = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--ops")) {
+      o.ops = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--vars")) {
+      o.vars = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--seed")) {
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--tx-pct")) {
+      o.txPercent = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = flagValue(argc, argv, i, "--pace-us")) {
+      o.pace = std::chrono::microseconds(std::strtoll(v, nullptr, 10));
+      o.paceSet = true;
+    } else if (const char* v = flagValue(argc, argv, i, "--ring-capacity")) {
+      o.ringCapacity = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--gc-retain")) {
+      o.gcRetain = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--max-drop-pct")) {
+      o.maxDropPct = std::strtod(v, nullptr);
+    } else if (const char* v = flagValue(argc, argv, i, "--snapshot-dir")) {
+      o.snapshotDir = v;
+    } else if (std::strcmp(argv[i], "--inject-bug") == 0) {
+      o.injectBug = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      o.json = true;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: monitor_tm [--tm NAME|all] [--threads N] [--ops N] "
+          "[--vars N] [--seed N] [--tx-pct P] [--pace-us N] "
+          "[--ring-capacity N] [--gc-retain N] [--max-drop-pct P] "
+          "[--snapshot-dir DIR] [--inject-bug] [--json]\n");
+      return 2;
+    }
+  }
+  if (o.threads < 1) o.threads = 1;
+  if (o.injectBug && !o.paceSet) {
+    // Self-test default: stay drop-free so a conviction is honestly
+    // publishable — under saturation drops the corrupted read is
+    // indistinguishable from a dropped writer's value and the monitor
+    // suppresses the verdict by design (see stream_checker.hpp).
+    o.pace = std::chrono::microseconds(5);
+  }
+
+  std::vector<TmKind> kinds;
+  for (TmKind k : allTmKinds()) {
+    if (o.tm == "all" || o.tm == tmKindName(k)) kinds.push_back(k);
+  }
+  if (kinds.empty()) {
+    std::fprintf(stderr, "unknown --tm %s\n", o.tm.c_str());
+    return 2;
+  }
+
+  std::vector<RunRow> rows;
+  rows.reserve(kinds.size());
+  std::size_t totalViolations = 0;
+  bool dropsOk = true;
+  for (TmKind k : kinds) {
+    RunRow row = runOne(k, o);
+    totalViolations += row.violations;
+    if (dropPct(row.stats) > o.maxDropPct) dropsOk = false;
+    if (!o.json) printText(row);
+    rows.push_back(row);
+  }
+
+  bool ok;
+  if (o.injectBug) {
+    // Detector self-test: success means the corrupted read was caught.
+    ok = totalViolations > 0;
+    if (!o.json) {
+      std::printf("self-test: injected bug %s\n",
+                  ok ? "CAUGHT" : "MISSED (this is a monitor failure)");
+    }
+  } else {
+    ok = totalViolations == 0 && dropsOk;
+    if (!o.json && !dropsOk) {
+      std::printf("drop budget exceeded (--max-drop-pct %.2f)\n",
+                  o.maxDropPct);
+    }
+  }
+  if (o.json) printJson(rows, ok);
+  return ok ? 0 : 1;
+}

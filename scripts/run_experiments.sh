@@ -26,6 +26,12 @@ for b in "$BUILD"/bench/*; do
     # EXPERIMENTS.md E4; the console copy still lands in bench_output.txt.
     "$b" --benchmark_out="$OUT/BENCH_checker.json" \
          --benchmark_out_format=json 2>&1 | tee -a "$OUT/bench_output.txt"
+  elif [ "$(basename "$b")" = "bench_tm_throughput" ]; then
+    # Monitored-vs-bare throughput (the TxMon/Tx pairs) with per-thread
+    # min/max ops/s and the ring_drop_pct honesty counter — the runtime
+    # monitor's overhead experiment.
+    "$b" --benchmark_out="$OUT/BENCH_monitor.json" \
+         --benchmark_out_format=json 2>&1 | tee -a "$OUT/bench_output.txt"
   elif [ "$(basename "$b")" = "bench_explorer" ]; then
     # Strategy trajectory: schedules explored + wall time for DFS vs DPOR
     # vs frontier-parallel DPOR (the Reference*/Frontier* rows).  Note the
@@ -47,5 +53,13 @@ echo "== figure tables =="
   | tee "$OUT/model_check_idealized.txt"
 "$BUILD/examples/model_check" global-lock Idealized --strategy dpor --stats \
   | tee "$OUT/model_check_dpor.txt"
+
+echo "== runtime monitor =="
+# Paced so the one-core runner stays drop-free (fully checked); any
+# violation of a stock TM makes monitor_tm exit non-zero and fails the run.
+"$BUILD/examples/monitor_tm" --tm all --threads 4 --ops 400 --pace-us 40 \
+  --max-drop-pct 0 --json | tee "$OUT/monitor_tm.json"
+"$BUILD/examples/check_history" --demo --format json \
+  | tee "$OUT/check_history_demo.json"
 
 echo "all outputs in $OUT"

@@ -7,6 +7,7 @@
 #include "fuzz/shrinker.hpp"
 #include "litmus/history_parser.hpp"
 #include "memmodel/models.hpp"
+#include "monitor/monitor.hpp"
 #include "opacity/popacity.hpp"
 #include "sim/memory_policy.hpp"
 #include "tm/runtime.hpp"
@@ -218,10 +219,65 @@ void runScheduleDiffIteration(const FuzzOptions& opts, std::uint64_t iter,
   report.failures.push_back(std::move(f));
 }
 
+/// Monitor leg: the same TMs on real OS threads under the always-on
+/// runtime monitor (src/monitor/) — the fourth differential surface.  The
+/// explorer legs check simulated interleavings; this one checks genuinely
+/// concurrent executions, so the verdicts must agree: any conclusive
+/// monitor violation of a stock TM is a bug in the TM or in the monitor,
+/// and its already-shrunk window is the repro.
+void runMonitorIteration(const FuzzOptions& opts, std::uint64_t iter,
+                         Rng& rng, FuzzReport& report) {
+  const auto& claims = tmClaims();
+  const TmClaim& claim = claims[rng.below(claims.size())];
+
+  monitor::WorkloadOptions w;
+  w.threads = 2 + rng.below(3);
+  w.numVars = 4 + rng.below(6);  // few variables = real contention
+  w.opsPerThread = 100 + rng.below(200);
+  w.seed = rng();
+  w.txPercent = 50 + rng.below(45);
+  w.txOpsMax = 1 + rng.below(4);
+
+  NativeMemory mem(runtimeMemoryWords(claim.kind, w.numVars));
+  const auto tm = makeNativeRuntime(claim.kind, mem, w.numVars, w.threads);
+  monitor::MonitorOptions mo;
+  mo.recheckTimeout = opts.traceCheckTimeout;
+  monitor::TmMonitor mon(*tm, w.threads, mo);
+  monitor::runMonitoredWorkload(mon.runtime(), w);
+  mon.stop();
+
+  ++report.monitorRuns;
+  report.monitorEvents += mon.stats().eventsCaptured;
+  if (mon.stats().stream.inconclusiveRechecks > 0) ++report.inconclusive;
+  if (mon.ok()) return;
+
+  ++report.monitorViolations;
+  // The checker already delta-shrunk each violation window; record the
+  // first (the rest are usually echoes of the same defect).
+  const monitor::MonitorViolation& v = mon.violations().front();
+  FuzzFailure f;
+  f.description = "mode=traces seed=" + std::to_string(opts.seed) +
+                  " iter=" + std::to_string(iter) + " tm=" +
+                  tmKindName(claim.kind) + " model=" +
+                  mon.model().name() + " workload-seed=" +
+                  std::to_string(w.seed) + " (monitor leg)\n" +
+                  v.description;
+  f.shrunk = v.shrunk;
+  if (!opts.reproDir.empty()) {
+    const std::string stem = std::string(fuzzModeName(opts.mode)) + "-s" +
+                             std::to_string(opts.seed) + "-i" +
+                             std::to_string(iter);
+    f.file = persistRepro(opts.reproDir, stem, f.shrunk, f.description);
+  }
+  report.failures.push_back(std::move(f));
+}
+
 void runTracesIteration(const FuzzOptions& opts, std::uint64_t iter, Rng& rng,
                         FuzzReport& report) {
   if (iter % 4 == 3) {
     runScheduleDiffIteration(opts, iter, rng, report);
+  } else if (iter % 4 == 1) {
+    runMonitorIteration(opts, iter, rng, report);
   } else {
     runTraceSampleIteration(opts, iter, rng, report);
   }
@@ -292,7 +348,10 @@ std::string formatReport(const FuzzOptions& opts, const FuzzReport& report) {
       << "\n  property violations: " << report.propertyViolations
       << "\n  trace violations: " << report.traceViolations
       << "\n  schedules explored: " << report.schedulesExplored << " (cut "
-      << report.cutRuns << ", dedup hits " << report.dedupHits << ")\n";
+      << report.cutRuns << ", dedup hits " << report.dedupHits << ")"
+      << "\n  monitor runs: " << report.monitorRuns << " ("
+      << report.monitorEvents << " events, " << report.monitorViolations
+      << " violations)\n";
   for (const FuzzFailure& f : report.failures) {
     out << "\nFAILURE: " << f.description << "\n";
     if (!f.file.empty()) out << "repro written to " << f.file << "\n";

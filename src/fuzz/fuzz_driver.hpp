@@ -13,7 +13,11 @@
 //     cross-checks the exploration strategies themselves (exhaustive DFS
 //     vs sleep-set DPOR, serial and frontier-parallel) on a generated
 //     raw-marker workload — the strategies must agree on the verdict and
-//     on the exact set of distinct canonical histories.
+//     on the exact set of distinct canonical histories; and another
+//     quarter of the iterations is the monitor leg: the same TMs on real
+//     OS threads under the runtime monitor (src/monitor/), whose verdict
+//     must agree with the other surfaces — any conclusive monitor
+//     violation of a stock TM is a bug in the TM or the monitor.
 //
 // Any failure is delta-shrunk (fuzz/shrinker.hpp) and, when a repro
 // directory is configured, persisted as a commented .hist file that
@@ -72,6 +76,11 @@ struct FuzzReport {
   std::uint64_t schedulesExplored = 0;
   std::uint64_t cutRuns = 0;
   std::uint64_t dedupHits = 0;
+  /// Traces mode, monitor leg: monitored native runs, the events their
+  /// captures recorded, and runs ending in a conclusive monitor violation.
+  std::uint64_t monitorRuns = 0;
+  std::uint64_t monitorEvents = 0;
+  std::uint64_t monitorViolations = 0;
   /// Instances voided by a resource-limited verdict — tracked, never
   /// counted as (or persisted like) violations.
   std::uint64_t inconclusive = 0;
@@ -79,7 +88,8 @@ struct FuzzReport {
   std::vector<FuzzFailure> failures;
 
   std::uint64_t failureCount() const {
-    return disagreements + propertyViolations + traceViolations;
+    return disagreements + propertyViolations + traceViolations +
+           monitorViolations;
   }
 };
 

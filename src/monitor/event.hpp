@@ -1,0 +1,86 @@
+// Monitor events: what the instrumented runtime captures per operation.
+//
+// Tickets come from one global atomic counter and are claimed twice per
+// unit, not per event: once when the transaction's body begins (the start
+// event — the unit's *merge epoch*, the key the collector orders
+// per-thread streams by) and once at the flush (the closing event).  The
+// start ticket is the merge key because it is claimed before any of the
+// unit's writes can be visible to another thread, so start order never
+// feeds a reader ahead of the writer it read from; the closing ticket is
+// claimed after the TM's internal commit point and can be arbitrarily
+// late under preemption, but together the two endpoints bound the unit's
+// real-time interval, which is what the escalation history needs.
+// Interior reads and writes inherit the start event's ticket at flush
+// time; a stable sort of a window's events by ticket therefore yields an
+// interleaving whose per-process projections are the real executions and
+// whose unit endpoints are in true claim order — the history the
+// escalation path hands to the DecisionEngine.  (Interior placement
+// between the endpoints is semantically free: transactional real-time
+// precedence only depends on where units begin and end.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jungle::monitor {
+
+enum class EventKind : std::uint8_t {
+  kTxStart,
+  kTxRead,
+  kTxWrite,
+  kTxCommit,
+  kTxAbort,
+  kNtRead,
+  kNtWrite,
+  /// Producer-pushed one-event unit marking the exact ring position where
+  /// at least one unit was dropped (`value` = the ring's total dropped
+  /// units up to that gap, exact because the producer is the counter's
+  /// only writer).  A consumer-side read of the drop counter cannot place
+  /// a gap: it may observe drops that happen after the unit it is
+  /// assembling, mis-attributing the gap and leaving its true successor
+  /// unmarked.  Never becomes a StreamUnit.
+  kGapMarker,
+};
+
+const char* eventKindName(EventKind k);
+
+struct MonitorEvent {
+  std::uint64_t ticket = 0;
+  ObjectId obj = kNoObject;  // kNoObject for start/commit/abort
+  EventKind kind = EventKind::kTxStart;
+  Word value = 0;  // read result or written value; 0 for delimiters
+};
+
+inline bool endsUnit(EventKind k) {
+  return k == EventKind::kTxCommit || k == EventKind::kTxAbort ||
+         k == EventKind::kNtRead || k == EventKind::kNtWrite;
+}
+
+/// One merge unit of the stream: a whole transaction (start..commit/abort)
+/// or a single non-transactional access.  Units are flushed to the ring
+/// atomically, so the collector always sees them intact.
+struct StreamUnit {
+  enum class Kind : std::uint8_t { kCommittedTx, kAbortedTx, kNonTx };
+
+  Kind kind = Kind::kCommittedTx;
+  ProcessId pid = 0;
+  /// Merge epoch: the START ticket (first event); the collector emits
+  /// units to the checker in ascending epoch order across all threads.
+  std::uint64_t epoch = 0;
+  /// The producer dropped at least one unit between this unit and its ring
+  /// predecessor (set by the collector from the kGapMarker the producer
+  /// pushed at the gap's exact ring position): the checker must
+  /// resynchronize exactly here, not merely "soon", or the missing writes
+  /// masquerade as corrupt reads.
+  bool gapBefore = false;
+  /// When gapBefore: the marker's drop count — the ring's total dropped
+  /// units up to this gap.  Once this unit is fed, every drop the counter
+  /// showed up to that value is accounted for (collector bookkeeping for
+  /// verdict suppression).
+  std::uint64_t dropsCovered = 0;
+  std::vector<MonitorEvent> events;
+};
+
+}  // namespace jungle::monitor

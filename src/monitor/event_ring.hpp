@@ -1,0 +1,164 @@
+// Lock-free SPSC event ring: one producer (an instrumented application
+// thread), one consumer (the collector).
+//
+// Fixed power-of-two capacity; head and tail live on their own cache lines
+// and each side keeps a cached copy of the other's index so the hot path
+// touches a shared line only when its cached view runs out.  A full ring
+// never blocks the producer: the whole unit is dropped and counted
+// (dropped()/droppedUnits()), and the producer later pushes a kGapMarker
+// unit at the exact ring position of the loss (instrumented_runtime.cpp)
+// so the collector can resynchronize the checker precisely there.  Units
+// are pushed all-or-nothing so the stream stays unit-aligned across drops.
+//
+// The flush-epoch slot implements the collector's merge frontier.  Before
+// a unit claims ANY ticket — and before the TM can make any of its writes
+// visible — the producer *announces* a lower bound (the counter's current
+// value), and clears the announcement only after the unit's events are
+// published:
+//
+//   announceFlush(counter.load());      // at operation entry, <= every
+//                                       //   ticket this unit will claim
+//   s = counter.fetch_add(1);           // start ticket = the merge epoch
+//   ... TM runs; commit point; flush ...
+//   e = counter.fetch_add(1);           // closing-event ticket
+//   tryPushUnit(events);                // publish
+//   clearFlush();
+//
+// The collector reads the counter, then every ring's announcement, then
+// drains; any unit it has not yet seen either has a merge epoch >= the
+// counter snapshot or is covered by a still-set announcement, so emitting
+// pending units with epochs below the minimum is safe.  Holding the
+// announcement across the whole operation (not just the flush) is what
+// bounds merge skew: a thread preempted between the TM's commit point and
+// its flush stalls the frontier, so readers of its writes — whose merge
+// epochs are necessarily above the writer's announcement — cannot be
+// emitted ahead of it.  The announcement is never raised mid-unit: once
+// the start ticket is claimed, a higher bound would let the frontier pass
+// it before the push lands.  All accesses are seq_cst: the argument needs
+// the single total order (a published unit whose announcement was already
+// cleared must be visible to the drain that follows the clear's
+// observation).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/sync.hpp"
+#include "monitor/event.hpp"
+
+namespace jungle::monitor {
+
+inline constexpr std::uint64_t kNoEpoch = ~0ULL;
+
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity)
+      : capacity_(roundUpPow2(capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<MonitorEvent[]>(capacity_)) {}
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Producer: publishes all `n` events or none.  On failure the unit is
+  /// counted dropped (unless it is meta-traffic: a gap marker's own push
+  /// failure must not inflate the lost-unit count) and the ring untouched.
+  bool tryPushUnit(const MonitorEvent* events, std::size_t n,
+                   bool countDrop = true) {
+    const std::uint64_t tail = tail_.value.load(std::memory_order_relaxed);
+    if (capacity_ - (tail - cachedHead_) < n) {
+      cachedHead_ = head_.value.load(std::memory_order_acquire);
+      if (capacity_ - (tail - cachedHead_) < n) {
+        if (countDrop) {
+          dropped_.value.fetch_add(n, std::memory_order_relaxed);
+          droppedUnits_.value.fetch_add(1, std::memory_order_relaxed);
+        }
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[(tail + i) & mask_] = events[i];
+    }
+    tail_.value.store(tail + n, std::memory_order_release);
+    pushed_.value.fetch_add(n, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer: true when no events are waiting (fresh tail read; used by
+  /// the collector's quiescence check, so it must not trust the cache).
+  bool empty() const {
+    return head_.value.load(std::memory_order_relaxed) ==
+           tail_.value.load(std::memory_order_acquire);
+  }
+
+  /// Consumer: pops one event; false when the ring is empty.
+  bool tryPop(MonitorEvent& out) {
+    const std::uint64_t head = head_.value.load(std::memory_order_relaxed);
+    if (head == cachedTail_) {
+      cachedTail_ = tail_.value.load(std::memory_order_acquire);
+      if (head == cachedTail_) return false;
+    }
+    out = slots_[head & mask_];
+    head_.value.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer-side flush announcement (see file comment).  The announce
+  /// must be seq_cst (the frontier argument needs it ordered before the
+  /// ticket claim in the single total order); the clear only needs
+  /// release — a collector that acquire-reads the cleared slot
+  /// synchronizes with it and therefore sees the push sequenced before.
+  void announceFlush(std::uint64_t lowerBound) {
+    flushEpoch_.value.store(lowerBound, std::memory_order_seq_cst);
+  }
+  void clearFlush() {
+    flushEpoch_.value.store(kNoEpoch, std::memory_order_release);
+  }
+  /// Collector: kNoEpoch when no flush is in flight.
+  std::uint64_t flushEpoch() const {
+    return flushEpoch_.value.load(std::memory_order_seq_cst);
+  }
+
+  std::uint64_t pushed() const {
+    return pushed_.value.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.value.load(std::memory_order_relaxed);
+  }
+  std::uint64_t droppedUnits() const {
+    return droppedUnits_.value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::size_t roundUpPow2(std::size_t n) {
+    JUNGLE_CHECK(n >= 2);
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<MonitorEvent[]> slots_;
+
+  alignas(kCacheLine) PaddedAtomicWord head_;  // consumer-owned
+  alignas(kCacheLine) PaddedAtomicWord tail_;  // producer-owned
+  alignas(kCacheLine) PaddedAtomicWord pushed_;
+  PaddedAtomicWord dropped_;
+  PaddedAtomicWord droppedUnits_;
+  struct alignas(kCacheLine) {
+    std::atomic<std::uint64_t> value{kNoEpoch};
+  } flushEpoch_;
+
+  // Side-local index caches (unshared; false sharing avoided by padding
+  // the atomics above).
+  alignas(kCacheLine) std::uint64_t cachedHead_ = 0;  // producer-owned
+  alignas(kCacheLine) std::uint64_t cachedTail_ = 0;  // consumer-owned
+};
+
+}  // namespace jungle::monitor

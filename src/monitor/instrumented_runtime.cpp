@@ -1,0 +1,242 @@
+#include "monitor/instrumented_runtime.hpp"
+
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace jungle::monitor {
+
+const char* eventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kTxStart:
+      return "tx-start";
+    case EventKind::kTxRead:
+      return "tx-read";
+    case EventKind::kTxWrite:
+      return "tx-write";
+    case EventKind::kTxCommit:
+      return "tx-commit";
+    case EventKind::kTxAbort:
+      return "tx-abort";
+    case EventKind::kNtRead:
+      return "nt-read";
+    case EventKind::kNtWrite:
+      return "nt-write";
+    case EventKind::kGapMarker:
+      return "gap-marker";
+  }
+  return "?";
+}
+
+EventCapture::EventCapture(std::size_t maxProcs, const CaptureOptions& opts)
+    : opts_(opts), gapFlags_(maxProcs) {
+  JUNGLE_CHECK(maxProcs > 0);
+  rings_.reserve(maxProcs);
+  for (std::size_t p = 0; p < maxProcs; ++p) {
+    rings_.push_back(std::make_unique<EventRing>(opts.ringCapacity));
+  }
+}
+
+void EventCapture::maybePushGapMarker(ProcessId p) {
+  if (!gapFlags_[p].armed) return;
+  EventRing& r = *rings_[p];
+  // The producer is the drop counter's only writer, so this relaxed read
+  // is the *exact* number of units this ring lost before the gap — the
+  // collector cannot compute that itself (its counter reads may already
+  // include drops that happen after whatever unit it is assembling,
+  // mis-attributing the gap and leaving its true successor unmarked).
+  const MonitorEvent marker{0, kNoObject, EventKind::kGapMarker,
+                            r.droppedUnits()};
+  if (r.tryPushUnit(&marker, 1, /*countDrop=*/false)) {
+    gapFlags_[p].armed = false;
+  }
+}
+
+void EventCapture::flushUnit(ProcessId p, std::vector<MonitorEvent>& buf,
+                             EventKind endKind) {
+  // beginUnit's announcement is still active and must not be raised here:
+  // the unit's merge key (the start ticket) is already claimed, so a newer
+  // — higher — bound would let the frontier pass it before the push lands.
+  EventRing& r = *rings_[p];
+  maybePushGapMarker(p);
+  const std::uint64_t closing =
+      ticket_.fetch_add(1, std::memory_order_seq_cst);
+  // Interior reads/writes recorded with a zero placeholder inherit the
+  // start event's ticket (event.hpp): two counter RMWs per unit total,
+  // which is most of what keeps the capture hot path cheap.
+  const std::uint64_t startTicket = buf.front().ticket;
+  for (MonitorEvent& e : buf) {
+    if (e.ticket == 0) e.ticket = startTicket;
+  }
+  buf.push_back({closing, kNoObject, endKind, 0});
+  if (!r.tryPushUnit(buf.data(), buf.size())) gapFlags_[p].armed = true;
+  r.clearFlush();
+  buf.clear();
+}
+
+void EventCapture::flushSingle(ProcessId p, EventKind kind, ObjectId obj,
+                               Word value) {
+  EventRing& r = *rings_[p];
+  maybePushGapMarker(p);
+  const std::uint64_t t = ticket_.fetch_add(1, std::memory_order_seq_cst);
+  const MonitorEvent ev{t, obj, kind, value};
+  if (!r.tryPushUnit(&ev, 1)) gapFlags_[p].armed = true;
+  r.clearFlush();
+}
+
+Word EventCapture::maybeCorrupt(Word v) {
+  if (opts_.injectBug != InjectedBug::kCorruptTxRead) return v;
+  if (bugFired_.load(std::memory_order_relaxed)) return v;
+  // The ticket counter (two claims per unit) is the trigger's coarse
+  // progress proxy.
+  if (ticket_.load(std::memory_order_relaxed) < opts_.injectAfterEvents) {
+    return v;
+  }
+  bool expected = false;
+  if (bugFired_.compare_exchange_strong(expected, true,
+                                        std::memory_order_relaxed)) {
+    return v + 1;
+  }
+  return v;
+}
+
+std::uint64_t EventCapture::totalPushed() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) n += r->pushed();
+  return n;
+}
+
+std::uint64_t EventCapture::totalDropped() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) n += r->dropped();
+  return n;
+}
+
+std::uint64_t EventCapture::totalDroppedUnits() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) n += r->droppedUnits();
+  return n;
+}
+
+namespace {
+
+class MonitoredRuntime final : public TmRuntime {
+ public:
+  MonitoredRuntime(TmRuntime& inner, EventCapture& cap)
+      : inner_(inner), cap_(cap), perProc_(cap.procs()) {}
+
+  const char* name() const override { return inner_.name(); }
+  TmKind kind() const override { return inner_.kind(); }
+  bool instrumentsNtReads() const override {
+    return inner_.instrumentsNtReads();
+  }
+  bool instrumentsNtWrites() const override {
+    return inner_.instrumentsNtWrites();
+  }
+  std::uint64_t abortCount() const override { return inner_.abortCount(); }
+
+  bool transaction(ProcessId p,
+                   const std::function<void(TxContext&)>& body) override {
+    JUNGLE_CHECK(p < perProc_.size());
+    PerProc& s = perProc_[p];
+    // The announcement must be live before the TM can make any of this
+    // transaction's writes visible: it stalls the merge frontier so no
+    // reader of those writes is fed ahead of this unit, no matter how long
+    // the gap between the TM's internal commit point and our flush (a
+    // preempted thread can be thousands of tickets late).
+    cap_.beginUnit(p);
+    std::uint64_t attempts = 0;
+    const bool ok = inner_.transaction(p, [&](TxContext& tx) {
+      ++attempts;
+      s.buf.clear();
+      s.record(EventKind::kTxStart, kNoObject, 0, cap_.claimTicket());
+      Shim shim(tx, *this, p);
+      body(shim);
+    });
+    if (attempts > 1) cap_.noteRetries(attempts - 1);
+    if (ok) {
+      cap_.flushUnit(p, s.buf, EventKind::kTxCommit);
+    } else if (cap_.options().recordUserAborts) {
+      cap_.flushUnit(p, s.buf, EventKind::kTxAbort);
+    } else {
+      s.buf.clear();
+      cap_.discardUnit(p);
+    }
+    return ok;
+  }
+
+  Word ntRead(ProcessId p, ObjectId x) override {
+    if (!cap_.options().recordNonTx) return inner_.ntRead(p, x);
+    cap_.beginUnit(p);
+    const Word v = inner_.ntRead(p, x);
+    cap_.flushSingle(p, EventKind::kNtRead, x, v);
+    return v;
+  }
+
+  void ntWrite(ProcessId p, ObjectId x, Word v) override {
+    if (!cap_.options().recordNonTx) {
+      inner_.ntWrite(p, x, v);
+      return;
+    }
+    cap_.beginUnit(p);
+    inner_.ntWrite(p, x, v);
+    cap_.flushSingle(p, EventKind::kNtWrite, x, v);
+  }
+
+ private:
+  /// Per-process attempt buffer; each entry is owned by the single OS
+  /// thread driving that ProcessId.
+  struct alignas(kCacheLine) PerProc {
+    std::vector<MonitorEvent> buf;
+
+    void record(EventKind kind, ObjectId obj, Word value,
+                std::uint64_t ticket) {
+      buf.push_back({ticket, obj, kind, value});
+    }
+  };
+
+  class Shim final : public TxContext {
+   public:
+    Shim(TxContext& tx, MonitoredRuntime& rt, ProcessId p)
+        : tx_(tx), rt_(rt), p_(p) {}
+
+    Word read(ObjectId x) override {
+      // Interior events carry a placeholder ticket; the flush rewrites it
+      // to the start event's (claiming a ticket per access would put a
+      // seq_cst RMW on every read of the application's hot path).
+      const Word v = rt_.cap_.maybeCorrupt(tx_.read(x));
+      rt_.perProc_[p_].record(EventKind::kTxRead, x, v, 0);
+      return v;
+    }
+
+    void write(ObjectId x, Word v) override {
+      tx_.write(x, v);
+      rt_.perProc_[p_].record(EventKind::kTxWrite, x, v, 0);
+    }
+
+    [[noreturn]] void abort() override {
+      tx_.abort();
+      // tx_.abort() is itself [[noreturn]]; the compiler cannot see that
+      // through the virtual call.
+      std::terminate();
+    }
+
+   private:
+    TxContext& tx_;
+    MonitoredRuntime& rt_;
+    ProcessId p_;
+  };
+
+  TmRuntime& inner_;
+  EventCapture& cap_;
+  std::vector<PerProc> perProc_;
+};
+
+}  // namespace
+
+std::unique_ptr<TmRuntime> makeMonitoredRuntime(TmRuntime& inner,
+                                                EventCapture& capture) {
+  return std::make_unique<MonitoredRuntime>(inner, capture);
+}
+
+}  // namespace jungle::monitor

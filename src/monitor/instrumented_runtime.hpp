@@ -1,0 +1,143 @@
+// Instrumented TmRuntime wrapper: the producer half of the monitor.
+//
+// MonitoredRuntime delegates every call to the wrapped runtime and records
+// what the application actually observed — transactional reads with the
+// values the TM returned, writes, commits/aborts, and (optionally)
+// non-transactional accesses — into per-thread lock-free SPSC rings
+// (monitor/event_ring.hpp).  Recording never blocks the application: a
+// full ring drops the unit and counts it.
+//
+// A transaction attempt buffers its events thread-locally and flushes to
+// the ring only when the attempt completes (commit or user abort), so
+// conflict-aborted retries — whose reads the TM itself already vetoed —
+// never enter the stream; they are counted in retriesDiscarded().  The
+// merge announcement spans the whole call (beginUnit at entry, cleared by
+// the flush or discardUnit), not just the flush: a thread preempted
+// between the TM's internal commit point and its flush must keep the
+// collector's frontier stalled, or other threads' reads of its writes are
+// fed — and convicted — arbitrarily far ahead of the writer's unit (see
+// event_ring.hpp for the protocol).
+//
+// Bug injection (InjectedBug) corrupts the *captured* stream, not the TM:
+// it emulates a TM returning a wrong value, giving the end-to-end
+// "monitor catches a broken TM" self-test a deterministic defect
+// (mirroring the fuzz harness's --inject-bug; see docs/TESTING.md).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "monitor/event_ring.hpp"
+#include "tm/runtime.hpp"
+
+namespace jungle::monitor {
+
+enum class InjectedBug : std::uint8_t {
+  kNone,
+  /// One transactional read event, once the ticket counter (a coarse
+  /// progress proxy: two claims per captured unit) reaches
+  /// injectAfterEvents, reports value+1 — the defect class of a TM serving
+  /// a torn or stale read.
+  kCorruptTxRead,
+};
+
+struct CaptureOptions {
+  /// Events per per-thread ring (rounded up to a power of two).
+  std::size_t ringCapacity = 1 << 14;
+  /// Capture ntRead/ntWrite (off for TMs that only claim transactional
+  /// correctness, e.g. tl2-weak).
+  bool recordNonTx = true;
+  /// Capture user-aborted transactions (their reads escaped to the
+  /// application, so opacity constrains them too).
+  bool recordUserAborts = true;
+  InjectedBug injectBug = InjectedBug::kNone;
+  std::uint64_t injectAfterEvents = 64;
+};
+
+/// The shared producer/consumer surface: one ring per process plus the
+/// global ticket counter.  Owned by TmMonitor; referenced by every
+/// MonitoredRuntime attached to it.
+class EventCapture {
+ public:
+  EventCapture(std::size_t maxProcs, const CaptureOptions& opts);
+
+  const CaptureOptions& options() const { return opts_; }
+  std::size_t procs() const { return rings_.size(); }
+  EventRing& ring(std::size_t p) { return *rings_[p]; }
+
+  /// Collector: snapshot of the ticket counter (seq_cst; the merge
+  /// frontier's upper bound).
+  std::uint64_t ticketWatermark() const {
+    return ticket_.load(std::memory_order_seq_cst);
+  }
+
+  /// Producer: unit-endpoint ticket (claimed when a transaction's body
+  /// begins — the unit's merge key — and again at the flush for the
+  /// closing event).
+  std::uint64_t claimTicket() {
+    return ticket_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// Producer, at the start of any operation that will flush a unit:
+  /// announces a lower bound on every ticket the unit will claim, stalling
+  /// the collector's frontier until the flush (or discardUnit) clears it.
+  void beginUnit(ProcessId p) {
+    rings_[p]->announceFlush(ticket_.load(std::memory_order_seq_cst));
+  }
+
+  /// Producer: the begun unit will not be flushed (conflict-aborted
+  /// transaction with recordUserAborts off); release the frontier.
+  void discardUnit(ProcessId p) { rings_[p]->clearFlush(); }
+
+  /// Producer: closes `buf` with `endKind`, claims the closing-event
+  /// ticket, publishes the whole unit, and clears the announcement.  A
+  /// failed publish arms a gap: the next successful flush is preceded by a
+  /// kGapMarker unit placed exactly where the loss happened.
+  void flushUnit(ProcessId p, std::vector<MonitorEvent>& buf,
+                 EventKind endKind);
+
+  /// Producer: single-event non-transactional unit (beginUnit must be
+  /// active; the event's ticket is claimed here).
+  void flushSingle(ProcessId p, EventKind kind, ObjectId obj, Word value);
+
+  /// Applies the configured bug injection to a transactional read value.
+  Word maybeCorrupt(Word v);
+
+  void noteRetries(std::uint64_t n) {
+    retriesDiscarded_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t retriesDiscarded() const {
+    return retriesDiscarded_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t totalPushed() const;
+  std::uint64_t totalDropped() const;
+  std::uint64_t totalDroppedUnits() const;
+
+ private:
+  /// Pushes the armed gap marker for ring `p`, if any (see flushUnit).
+  void maybePushGapMarker(ProcessId p);
+
+  /// One per ring, producer-owned (padded: neighbours belong to other
+  /// threads): set when a unit push fails, cleared once the marker that
+  /// records the gap's exact ring position lands.
+  struct alignas(kCacheLine) GapFlag {
+    bool armed = false;
+  };
+
+  CaptureOptions opts_;
+  std::vector<std::unique_ptr<EventRing>> rings_;
+  std::vector<GapFlag> gapFlags_;
+  alignas(kCacheLine) std::atomic<std::uint64_t> ticket_{1};
+  alignas(kCacheLine) std::atomic<bool> bugFired_{false};
+  std::atomic<std::uint64_t> retriesDiscarded_{0};
+};
+
+/// TmRuntime wrapper recording into `capture`.  The wrapped runtime must
+/// outlive the wrapper; each ProcessId must be driven by at most one OS
+/// thread at a time (the contract TmRuntime already imposes).
+std::unique_ptr<TmRuntime> makeMonitoredRuntime(TmRuntime& inner,
+                                                EventCapture& capture);
+
+}  // namespace jungle::monitor

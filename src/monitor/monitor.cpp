@@ -1,0 +1,362 @@
+#include "monitor/monitor.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/sync.hpp"
+#include "litmus/history_parser.hpp"
+#include "memmodel/models.hpp"
+
+namespace jungle::monitor {
+
+MonitorClaim monitorModelFor(TmKind kind) {
+  // Mirrors fuzz_driver.cpp's tmClaims(): the theorem each TM is on the
+  // hook for (Theorems 3-5, §6.1; tl2-weak only claims opacity on purely
+  // transactional workloads).
+  switch (kind) {
+    case TmKind::kGlobalLock:
+      return {&idealizedModel(), false};
+    case TmKind::kWriteAsTx:
+      return {&alphaModel(), false};
+    case TmKind::kVersionedWrite:
+      return {&alphaModel(), false};
+    case TmKind::kStrongAtomicity:
+      return {&scModel(), false};
+    case TmKind::kTl2Weak:
+      return {&scModel(), true};
+  }
+  return {&scModel(), false};
+}
+
+namespace {
+
+CaptureOptions captureOptsFor(const MonitorOptions& o, TmKind kind) {
+  CaptureOptions c = o.capture;
+  if (monitorModelFor(kind).pureTxOnly) c.recordNonTx = false;
+  return c;
+}
+
+StreamOptions streamOptsFor(const MonitorOptions& o, const MemoryModel* m) {
+  StreamOptions s;
+  s.model = m;
+  s.gcRetain = o.gcRetain;
+  s.settleUnits = o.settleUnits;
+  s.recheckTimeout = o.recheckTimeout;
+  s.recheckMaxExpansions = o.recheckMaxExpansions;
+  s.recheckThreads = o.recheckThreads;
+  return s;
+}
+
+StreamUnit::Kind unitKindFor(EventKind end) {
+  switch (end) {
+    case EventKind::kTxCommit:
+      return StreamUnit::Kind::kCommittedTx;
+    case EventKind::kTxAbort:
+      return StreamUnit::Kind::kAbortedTx;
+    default:
+      return StreamUnit::Kind::kNonTx;
+  }
+}
+
+struct EpochAfter {
+  bool operator()(const StreamUnit& a, const StreamUnit& b) const {
+    return a.epoch > b.epoch;  // min-heap on epoch
+  }
+};
+
+}  // namespace
+
+TmMonitor::TmMonitor(TmRuntime& inner, std::size_t maxProcs,
+                     const MonitorOptions& opts)
+    : opts_(opts),
+      model_(opts.modelOverride ? opts.modelOverride
+                                : monitorModelFor(inner.kind()).model),
+      tmName_(inner.name()),
+      capture_(maxProcs, captureOptsFor(opts, inner.kind())),
+      monitored_(makeMonitoredRuntime(inner, capture_)),
+      checker_(streamOptsFor(opts, model_)),
+      startedAt_(std::chrono::steady_clock::now()) {
+  collector_ = std::thread([this] { collectorLoop(); });
+}
+
+TmMonitor::~TmMonitor() { stop(); }
+
+void TmMonitor::collectorLoop() {
+  const std::size_t procs = capture_.procs();
+  // Per-producer unit assembly (units are ring-aligned: pushes are
+  // all-or-nothing, so an assembly is only ever partial mid-drain).
+  std::vector<std::vector<MonitorEvent>> assembly(procs);
+  // Parsed units above the merge frontier, min-heap by epoch.
+  std::vector<StreamUnit> pending;
+  // Gap bookkeeping (all from the producers' kGapMarker units, which carry
+  // the exact drop count at the gap's ring position — consumer-side
+  // counter reads cannot place a gap, they may already include later
+  // drops).  A popped marker arms `ringGapPending`; the next real unit
+  // from that ring is marked gapBefore and carries the marker's count;
+  // feeding it records the count in `ringDropsCovered`.
+  std::vector<std::uint8_t> ringGapPending(procs, 0);
+  std::vector<std::uint64_t> ringPendingCover(procs, 0);
+  std::vector<std::uint64_t> ringDropsCovered(procs, 0);
+  // Gap-marked units sitting in `pending`; while any exist (or a drop has
+  // no fed gap-marked successor yet) violation verdicts are suppressed.
+  std::size_t gapsInFlight = 0;
+  std::uint64_t dropsSeen = 0;
+  std::uint64_t idleRounds = 0;
+
+  const auto emit = [&] {
+    std::pop_heap(pending.begin(), pending.end(), EpochAfter{});
+    StreamUnit u = std::move(pending.back());
+    pending.pop_back();
+    if (u.gapBefore) {
+      --gapsInFlight;
+      ringDropsCovered[u.pid] = u.dropsCovered;
+    }
+    ++stats_.unitsMerged;
+    checker_.feed(std::move(u));
+  };
+
+  const auto unresolvedDrops = [&] {
+    if (gapsInFlight > 0) return true;
+    for (std::size_t p = 0; p < procs; ++p) {
+      // Drops beyond the covered count have no fed gap unit yet — either
+      // their marker is still in flight, or the ring went quiet right
+      // after the drop and it never gets one.
+      if (ringGapPending[p]) return true;
+      if (capture_.ring(p).droppedUnits() != ringDropsCovered[p]) return true;
+    }
+    return false;
+  };
+
+  while (true) {
+    // Protocol order matters (event_ring.hpp): counter snapshot, then the
+    // announcements, then the drain — any unit invisible to this round's
+    // drain has an epoch >= this frontier.
+    std::uint64_t frontier = capture_.ticketWatermark();
+    for (std::size_t p = 0; p < procs; ++p) {
+      const std::uint64_t a = capture_.ring(p).flushEpoch();
+      if (a != kNoEpoch && a < frontier) frontier = a;
+    }
+    bool progress = false;
+    for (std::size_t p = 0; p < procs; ++p) {
+      EventRing& ring = capture_.ring(p);
+      MonitorEvent ev;
+      while (ring.tryPop(ev)) {
+        progress = true;
+        if (ev.kind == EventKind::kGapMarker) {
+          // Standalone meta-unit: never fed, only remembered.  Markers are
+          // pushed between real units, so the assembly must be empty.
+          JUNGLE_CHECK(assembly[p].empty());
+          ringGapPending[p] = 1;
+          ringPendingCover[p] = ev.value;
+          continue;
+        }
+        assembly[p].push_back(ev);
+        if (endsUnit(ev.kind)) {
+          StreamUnit u;
+          u.kind = unitKindFor(ev.kind);
+          u.pid = static_cast<ProcessId>(p);
+          // Merge key: the START ticket (first event), not the closing
+          // one.  The closing ticket is claimed after the TM's internal
+          // commit point and can be arbitrarily late (preemption), whereas
+          // the start ticket is claimed before the unit's writes can be
+          // visible to anyone — so start order never feeds a reader ahead
+          // of the writer it read from.
+          u.epoch = assembly[p].front().ticket;
+          if (ringGapPending[p]) {
+            ringGapPending[p] = 0;
+            u.gapBefore = true;
+            u.dropsCovered = ringPendingCover[p];
+            ++gapsInFlight;
+          }
+          u.events = std::move(assembly[p]);
+          assembly[p].clear();
+          pending.push_back(std::move(u));
+          std::push_heap(pending.begin(), pending.end(), EpochAfter{});
+        }
+      }
+    }
+    stats_.peakPendingUnits = std::max(stats_.peakPendingUnits, pending.size());
+    const std::uint64_t drops = capture_.totalDroppedUnits();
+    if (drops != dropsSeen) {
+      dropsSeen = drops;
+      checker_.noteDrops();
+    }
+    checker_.setDropSuspect(unresolvedDrops());
+    while (!pending.empty() && pending.front().epoch < frontier) {
+      emit();
+      progress = true;
+    }
+    if (progress) {
+      idleRounds = 0;
+      continue;
+    }
+    if (stopRequested_.load(std::memory_order_acquire)) break;
+    ++idleRounds;
+    // A confirmed conviction is only published at a quiescent instant:
+    // merge heap empty, every assembly empty, no gap uncovered, no flush
+    // announcement active, and — re-checked *after* the announcement
+    // reads, so a push racing the drain is caught either by its still-set
+    // announcement or by the ring no longer being empty — every ring still
+    // empty with all drops covered.  At such an instant every write any
+    // fed read could have observed belongs to a unit that was fed or
+    // gap-covered; in particular no in-flight unit can still be doomed to
+    // drop (the hole counter-based gating cannot see, stream_checker.hpp).
+    if (checker_.hasPendingConviction()) {
+      const auto quiescent = [&] {
+        if (!pending.empty() || gapsInFlight > 0) return false;
+        for (std::size_t p = 0; p < procs; ++p) {
+          if (!assembly[p].empty() || ringGapPending[p]) return false;
+        }
+        for (std::size_t p = 0; p < procs; ++p) {
+          if (capture_.ring(p).flushEpoch() != kNoEpoch) return false;
+        }
+        for (std::size_t p = 0; p < procs; ++p) {
+          const EventRing& r = capture_.ring(p);
+          if (!r.empty()) return false;
+          if (r.droppedUnits() != ringDropsCovered[p]) return false;
+        }
+        return true;
+      };
+      if (quiescent()) checker_.onQuiescent();
+    }
+    // A long-idle stream with an escalation pending will not get more
+    // units soon: let the checker decide on what it has.  The spacing
+    // (once after ~20 polls, then every ~200) keeps the confirmation run
+    // well separated in time from the first.
+    if (idleRounds == 20 || (idleRounds > 20 && (idleRounds - 20) % 200 == 0)) {
+      checker_.onIdle();
+    }
+    std::this_thread::sleep_for(opts_.pollInterval);
+  }
+
+  // Producers are quiescent: no announcement is in flight and the counter
+  // is final, so everything parsed can be emitted in epoch order.
+  while (!pending.empty()) emit();
+  for (std::size_t p = 0; p < procs; ++p) JUNGLE_CHECK(assembly[p].empty());
+  // Trailing drops with no successor unit stay unresolved forever: the
+  // final escalation must not convict a window that may be missing them.
+  checker_.setDropSuspect(unresolvedDrops());
+  checker_.finish();
+}
+
+void TmMonitor::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  stopRequested_.store(true, std::memory_order_release);
+  if (collector_.joinable()) collector_.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - startedAt_);
+  stats_.eventsCaptured = capture_.totalPushed();
+  stats_.eventsDropped = capture_.totalDropped();
+  stats_.unitsDropped = capture_.totalDroppedUnits();
+  stats_.retriesDiscarded = capture_.retriesDiscarded();
+  stats_.monitoredFor = elapsed;
+  stats_.eventsPerSec =
+      elapsed.count() > 0
+          ? static_cast<double>(stats_.eventsCaptured) * 1e6 /
+                static_cast<double>(elapsed.count())
+          : 0.0;
+  stats_.stream = checker_.stats();
+  violations_ = checker_.violations();
+  persistViolations();
+}
+
+void TmMonitor::persistViolations() {
+  if (opts_.snapshotDir.empty() || violations_.empty()) return;
+  std::filesystem::create_directories(opts_.snapshotDir);
+  for (std::size_t i = 0; i < violations_.size(); ++i) {
+    MonitorViolation& v = violations_[i];
+    const std::string path = opts_.snapshotDir + "/monitor-" +
+                             std::string(tmName_) + "-v" + std::to_string(i) +
+                             ".hist";
+    std::ofstream out(path);
+    out << "# monitor violation snapshot (delta-shrunk window; replay with "
+           "check_history)\n";
+    out << "# tm=" << tmName_ << " model=" << model_->name() << "\n";
+    std::istringstream desc(v.description);
+    for (std::string line; std::getline(desc, line);) {
+      out << "# " << line << "\n";
+    }
+    out << litmus::printHistory(v.shrunk);
+    v.file = path;
+  }
+}
+
+WorkloadResult runMonitoredWorkload(TmRuntime& rt, const WorkloadOptions& w) {
+  JUNGLE_CHECK(w.threads >= 1);
+  JUNGLE_CHECK(w.numVars >= 1);
+  JUNGLE_CHECK(w.txOpsMax >= 1);
+  // A pure-tx-only TM (tl2-weak) makes no claim about workloads with
+  // non-transactional accesses; running them would produce real — but
+  // unclaimed — violations.
+  const bool allowNonTx =
+      w.allowNonTx && !monitorModelFor(rt.kind()).pureTxOnly;
+  std::vector<WorkloadResult> per(w.threads);
+  SpinBarrier barrier(static_cast<std::uint32_t>(w.threads));
+  std::vector<std::thread> threads;
+  threads.reserve(w.threads);
+  for (std::size_t t = 0; t < w.threads; ++t) {
+    threads.emplace_back([&, t] {
+      const ProcessId p = static_cast<ProcessId>(t);
+      Rng rng(w.seed + 0x9e3779b97f4a7c15ULL * (t + 1));
+      barrier.arriveAndWait();
+      for (std::uint64_t i = 0; i < w.opsPerThread; ++i) {
+        if (w.pace.count() > 0) std::this_thread::sleep_for(w.pace);
+        if (!allowNonTx || rng.chance(w.txPercent, 100)) {
+          // Pre-draw the plan so retried attempts replay identical bodies.
+          struct PlannedOp {
+            bool write;
+            ObjectId x;
+            Word v;
+          };
+          std::vector<PlannedOp> plan(1 + rng.below(w.txOpsMax));
+          for (PlannedOp& op : plan) {
+            op.write = rng.chance(w.writePercent, 100);
+            op.x = static_cast<ObjectId>(rng.below(w.numVars));
+            // 16-bit payloads: the versioned-write TM packs value+version
+            // into one word.
+            op.v = rng.below(1u << 16);
+          }
+          const bool doAbort = rng.chance(w.abortPercent, 100);
+          const bool ok = rt.transaction(p, [&](TxContext& tx) {
+            for (const PlannedOp& op : plan) {
+              if (op.write) {
+                tx.write(op.x, op.v);
+              } else {
+                (void)tx.read(op.x);
+              }
+            }
+            if (doAbort) tx.abort();
+          });
+          if (ok) {
+            ++per[t].commits;
+          } else {
+            ++per[t].userAborts;
+          }
+        } else {
+          ++per[t].ntOps;
+          const ObjectId x = static_cast<ObjectId>(rng.below(w.numVars));
+          if (rng.chance(w.writePercent, 100)) {
+            rt.ntWrite(p, x, rng.below(1u << 16));
+          } else {
+            (void)rt.ntRead(p, x);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  WorkloadResult total;
+  for (const WorkloadResult& r : per) {
+    total.commits += r.commits;
+    total.userAborts += r.userAborts;
+    total.ntOps += r.ntOps;
+  }
+  return total;
+}
+
+}  // namespace jungle::monitor

@@ -1,0 +1,158 @@
+// TmMonitor: always-on runtime verification for live TM runtimes.
+//
+// Attach a monitor to any TmRuntime and drive the monitored wrapper it
+// hands back; while the workload runs, a collector thread merges the
+// per-thread event rings into one epoch-ordered stream and an incremental
+// checker (stream_checker.hpp) verifies it against the model the TM kind
+// claims — the same claims the fuzz harness and the conformance theorems
+// use (Theorems 3-5, §6.1).  On a conclusive violation the window is
+// delta-shrunk and persisted as a .hist repro that check_history and the
+// litmus tooling can replay.
+//
+// The monitor never blocks or slows the application beyond the wrapper's
+// ring pushes: full rings drop units (counted in MonitorStats and answered
+// with a checker resync), and all checking happens on the collector
+// thread.  Pipeline: instrumented_runtime.hpp (producers) → event_ring.hpp
+// (SPSC rings) → collector (this file) → stream_checker.hpp (incremental
+// engine) → snapshot persistence.  See DESIGN.md §9.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monitor/instrumented_runtime.hpp"
+#include "monitor/stream_checker.hpp"
+#include "tm/runtime.hpp"
+
+namespace jungle::monitor {
+
+/// What a TM kind is on the hook for at runtime — mirrors the fuzz
+/// harness's tmClaims() (fuzz_driver.cpp) and the conformance theorems.
+struct MonitorClaim {
+  const MemoryModel* model = nullptr;
+  /// The TM only claims correctness of purely transactional workloads
+  /// (tl2-weak): the capture skips non-transactional accesses.
+  bool pureTxOnly = false;
+};
+
+MonitorClaim monitorModelFor(TmKind kind);
+
+struct MonitorOptions {
+  CaptureOptions capture;
+  /// Checker knobs (stream_checker.hpp).
+  std::size_t gcRetain = 8;
+  std::size_t settleUnits = 4;
+  std::chrono::milliseconds recheckTimeout{2000};
+  std::uint64_t recheckMaxExpansions = 0;
+  unsigned recheckThreads = 1;
+  /// Collector sleep when a full round found nothing to do.
+  std::chrono::microseconds pollInterval{50};
+  /// Directory for violation .hist snapshots; empty disables persistence.
+  std::string snapshotDir;
+  /// Override the claimed model (tests and the fuzz differential leg);
+  /// nullptr = monitorModelFor(kind).model.
+  const MemoryModel* modelOverride = nullptr;
+};
+
+struct MonitorStats {
+  // Capture side (producers).
+  std::uint64_t eventsCaptured = 0;
+  std::uint64_t eventsDropped = 0;
+  std::uint64_t unitsDropped = 0;
+  std::uint64_t retriesDiscarded = 0;
+  // Collector side.
+  std::uint64_t unitsMerged = 0;
+  /// Largest epoch-reorder backlog (units parsed but above the merge
+  /// frontier): the collector-lag gauge.
+  std::size_t peakPendingUnits = 0;
+  std::chrono::microseconds monitoredFor{0};
+  double eventsPerSec = 0.0;
+  // Checker side (window size, rechecks, GC'd prefix, violations).
+  StreamStats stream;
+};
+
+/// One monitor per runtime: construction starts the collector; stop()
+/// (or destruction) drains the stream, finalizes the checker, and makes
+/// stats()/violations() valid.
+class TmMonitor {
+ public:
+  TmMonitor(TmRuntime& inner, std::size_t maxProcs,
+            const MonitorOptions& opts = {});
+  ~TmMonitor();
+
+  TmMonitor(const TmMonitor&) = delete;
+  TmMonitor& operator=(const TmMonitor&) = delete;
+
+  /// The instrumented wrapper the workload must drive.  Same threading
+  /// contract as any TmRuntime: one OS thread per ProcessId at a time.
+  TmRuntime& runtime() { return *monitored_; }
+
+  const MemoryModel& model() const { return *model_; }
+
+  /// Stops the collector after draining every ring (call only once the
+  /// workload threads are joined).  Idempotent.
+  void stop();
+
+  /// Valid after stop().
+  const MonitorStats& stats() const { return stats_; }
+  const std::vector<MonitorViolation>& violations() const {
+    return violations_;
+  }
+  bool ok() const { return violations_.empty(); }
+
+ private:
+  void collectorLoop();
+  void persistViolations();
+
+  MonitorOptions opts_;
+  const MemoryModel* model_;
+  const char* tmName_;
+  EventCapture capture_;
+  std::unique_ptr<TmRuntime> monitored_;
+  StreamChecker checker_;
+  std::thread collector_;
+  std::atomic<bool> stopRequested_{false};
+  bool stopped_ = false;
+  std::chrono::steady_clock::time_point startedAt_;
+  MonitorStats stats_;
+  std::vector<MonitorViolation> violations_;
+};
+
+/// Random mixed workload against a (typically monitored) runtime: the
+/// shared driver behind examples/monitor_tm, the monitor tests, and the
+/// fuzz harness's monitor leg.  Threads run transactions (reads/writes
+/// with occasional user aborts) and non-transactional accesses over a
+/// small variable set; values fit in 32 bits (the versioned-write TM's
+/// payload limit).
+struct WorkloadOptions {
+  std::size_t threads = 4;
+  std::size_t numVars = 12;
+  std::uint64_t opsPerThread = 1000;
+  std::uint64_t seed = 1;
+  /// Percent of top-level ops that are transactions (rest non-transactional,
+  /// skipped entirely for pure-tx-only TMs).
+  unsigned txPercent = 75;
+  unsigned writePercent = 50;
+  /// Ops per transaction: 1..txOpsMax.
+  std::size_t txOpsMax = 4;
+  /// Percent of transactions the body aborts explicitly.
+  unsigned abortPercent = 4;
+  bool allowNonTx = true;
+  /// Sleep between top-level ops; lets CI smoke runs stay drop-free on one
+  /// core (0 = full speed).
+  std::chrono::microseconds pace{0};
+};
+
+struct WorkloadResult {
+  std::uint64_t commits = 0;
+  std::uint64_t userAborts = 0;
+  std::uint64_t ntOps = 0;
+};
+
+WorkloadResult runMonitoredWorkload(TmRuntime& rt, const WorkloadOptions& w);
+
+}  // namespace jungle::monitor

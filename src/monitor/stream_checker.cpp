@@ -1,0 +1,405 @@
+#include "monitor/stream_checker.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.hpp"
+#include "fuzz/shrinker.hpp"
+
+namespace jungle::monitor {
+
+namespace {
+
+bool isReadEvent(EventKind k) {
+  return k == EventKind::kTxRead || k == EventKind::kNtRead;
+}
+
+bool isWriteEvent(EventKind k) {
+  return k == EventKind::kTxWrite || k == EventKind::kNtWrite;
+}
+
+std::size_t commandEvents(const StreamUnit& u) {
+  std::size_t n = 0;
+  for (const MonitorEvent& e : u.events) {
+    if (isReadEvent(e.kind) || isWriteEvent(e.kind)) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+StreamChecker::StreamChecker(const StreamOptions& opts) : opts_(opts) {
+  JUNGLE_CHECK(opts_.model != nullptr);
+  JUNGLE_CHECK(opts_.gcRetain >= 1);
+  JUNGLE_CHECK(opts_.settleUnits >= 1);
+}
+
+void StreamChecker::feed(StreamUnit unit) {
+  if (unit.gapBefore) {
+    // The ring dropped unit(s) exactly between this unit and its
+    // predecessor: everything decided so far still stands, but the running
+    // state and any pending escalation window end here.  The cooldown
+    // keeps convictions off while any unit whose claim window could
+    // overlap the dropped unit's can still appear in an escalation window
+    // (a dropped write stays the TM's current value until overwritten, and
+    // a neighbour that linearized across the gap is indistinguishable from
+    // a corrupt read).
+    resync();
+    convictionCooldown_ = cooldownSpan();
+    discardPending();
+  }
+  if (convictionCooldown_ > 0) --convictionCooldown_;
+  ++stats_.unitsChecked;
+  if (mode_ == Mode::kBuffering) {
+    // Fast path is suspended until the pending escalation decides the
+    // window; the engine run covers these units too, so nothing is skipped.
+    windowEvents_ += unit.events.size();
+    window_.push_back(std::move(unit));
+    notePeaks();
+    if (settleLeft_ > 0) --settleLeft_;
+    if (settleLeft_ == 0) runEscalation(false);
+    return;
+  }
+  if (fastPathAccepts(unit)) {
+    stats_.opsChecked += commandEvents(unit);
+    admit(std::move(unit));
+    return;
+  }
+  // Mismatch: the unit joins the window undecided and the running state is
+  // frozen until the engine rules.  Buffer settleUnits more units first so
+  // a competitor that linearized early but claimed its epoch late can
+  // arrive (see the file comment of stream_checker.hpp).
+  windowEvents_ += unit.events.size();
+  window_.push_back(std::move(unit));
+  notePeaks();
+  mode_ = Mode::kBuffering;
+  settleLeft_ = opts_.settleUnits;
+  confirming_ = false;
+}
+
+void StreamChecker::noteDrops() {
+  // Units are missing: neither the running state nor a pending escalation
+  // window can be trusted any more.
+  resync();
+  convictionCooldown_ = cooldownSpan();
+  discardPending();
+}
+
+void StreamChecker::discardPending() {
+  if (!pending_) return;
+  ++stats_.suppressedVerdicts;
+  pending_.reset();
+}
+
+std::size_t StreamChecker::cooldownSpan() const {
+  // A window escalating at feed N reaches back gcRetain retained units
+  // plus up to two settle extensions (initial + confirmation), so a
+  // gap-adjacent unit leaves every possible escalation window only after
+  // this many subsequent feeds.
+  return opts_.gcRetain + 2 * opts_.settleUnits + 1;
+}
+
+void StreamChecker::onIdle() {
+  if (mode_ == Mode::kBuffering) runEscalation(false);
+}
+
+void StreamChecker::finish() {
+  if (mode_ == Mode::kBuffering) runEscalation(true);
+  // The drained stream is quiescent by definition — unless a trailing drop
+  // was never gap-covered (the ring went quiet right after losing a unit),
+  // in which case the dropped unit could be the pending window's missing
+  // explanation.
+  if (pending_ && dropSuspect_) discardPending();
+  onQuiescent();
+}
+
+void StreamChecker::onQuiescent() {
+  if (!pending_) return;
+  reportViolation(std::move(pending_->window), std::move(pending_->description));
+  pending_.reset();
+}
+
+bool StreamChecker::fastPathAccepts(const StreamUnit& u) {
+  // Own-writes overlay (read-own-write inside one transaction) as a
+  // backward scan over the unit's earlier events: units are a handful of
+  // operations, so this beats a per-unit hash map on the hot path.
+  const MonitorEvent* const evs = u.events.data();
+  for (std::size_t i = 0; i < u.events.size(); ++i) {
+    const MonitorEvent& e = evs[i];
+    if (!isReadEvent(e.kind)) continue;
+    if (e.kind == EventKind::kTxRead) {
+      bool ownWrite = false;
+      for (std::size_t j = i; j-- > 0;) {
+        if (isWriteEvent(evs[j].kind) && evs[j].obj == e.obj) {
+          if (evs[j].value != e.value) return false;
+          ownWrite = true;
+          break;
+        }
+      }
+      if (ownWrite) continue;
+    }
+    auto it = state_.find(e.obj);
+    if (it != state_.end()) {
+      if (it->second != e.value) return false;
+      continue;
+    }
+    if (allKnown_) {
+      // Never written since the runtime started: initial value.
+      if (e.value != 0) return false;
+      continue;
+    }
+    // Post-resync: the object's value is unknown — adopt what was read.
+    // Goes into both maps so a later escalation's initializer agrees.
+    state_.emplace(e.obj, e.value);
+    prefixState_.emplace(e.obj, e.value);
+  }
+  return true;
+}
+
+void StreamChecker::applyWrites(
+    const StreamUnit& u, std::unordered_map<ObjectId, Word>& state) const {
+  // Aborted transactions install nothing; reads install nothing.
+  if (u.kind == StreamUnit::Kind::kAbortedTx) return;
+  for (const MonitorEvent& e : u.events) {
+    if (isWriteEvent(e.kind)) state[e.obj] = e.value;
+  }
+}
+
+void StreamChecker::admit(StreamUnit unit) {
+  applyWrites(unit, state_);
+  windowEvents_ += unit.events.size();
+  window_.push_back(std::move(unit));
+  gc();
+  notePeaks();
+}
+
+void StreamChecker::gc() {
+  while (window_.size() > opts_.gcRetain) {
+    const StreamUnit& front = window_.front();
+    applyWrites(front, prefixState_);
+    windowEvents_ -= front.events.size();
+    ++stats_.gcUnits;
+    window_.pop_front();
+  }
+}
+
+void StreamChecker::runEscalation(bool final) {
+  ++stats_.rechecks;
+  if (!allKnown_) {
+    // Post-resync windows may read objects whose pre-window value was never
+    // learned.  Adopt the first read of each such object into the prefix,
+    // so the initializer pins it instead of the engine assuming the initial
+    // zero — even when a window write to the object precedes the read by
+    // epoch: the reader may have linearized before that writer (epochs are
+    // claim order), and the engine's real-time edges already separate that
+    // benign inversion (units overlap, witness exists) from a genuinely
+    // stale read (real-time-separated, still convicts).
+    for (const StreamUnit& u : window_) {
+      std::unordered_set<ObjectId> own;
+      for (const MonitorEvent& e : u.events) {
+        if (isWriteEvent(e.kind)) {
+          own.insert(e.obj);
+        } else if (isReadEvent(e.kind) && !own.contains(e.obj)) {
+          prefixState_.emplace(e.obj, e.value);
+        }
+      }
+    }
+  }
+  History h = windowHistory(nullptr);
+  SearchLimits limits;
+  limits.maxExpansions = opts_.recheckMaxExpansions;
+  limits.timeout = opts_.recheckTimeout;
+  limits.threads = opts_.recheckThreads;
+  const CheckResult r =
+      checkParametrizedOpacity(h, *opts_.model, specs_, limits);
+  if (r.satisfied) {
+    collapse(r.witness ? *r.witness : History{});
+    return;
+  }
+  if (r.inconclusive) {
+    // Honesty rule: a deadline is never evidence.  Start over.
+    ++stats_.inconclusiveRechecks;
+    resync();
+    return;
+  }
+  if (dropSuspect_ || convictionCooldown_ > 0) {
+    // A drop is unresolved somewhere in the stream, or the window is still
+    // within a gap's claim-inversion reach: the unit that explains this
+    // window may be the one that was dropped.  Discard the verdict.
+    ++stats_.suppressedVerdicts;
+    resync();
+    return;
+  }
+  if (!final && !confirming_) {
+    // Conclusive on what we have, but a producer could still be mid-flush
+    // with the unit that explains everything.  Require a second run over a
+    // later window (or the drained stream) before believing it.
+    confirming_ = true;
+    settleLeft_ = opts_.settleUnits;
+    return;
+  }
+  // Confirmed.  Publication still waits for a quiescent instant: an
+  // optimistic TM publishes writes at its internal commit point but counts
+  // the unit's loss only when the flush fails, arbitrarily later — the
+  // explaining writer may be in flight *and doomed* right now, invisible
+  // to every counter-based gate (see stream_checker.hpp).
+  std::string desc = "window of " + std::to_string(window_.size()) +
+                     " unit(s) conclusively violates opacity parametrized " +
+                     "by " + opts_.model->name();
+  if (final) {
+    reportViolation(std::move(h), std::move(desc));
+  } else {
+    discardPending();  // a newer confirmed window supersedes an unpublished one
+    pending_ = PendingConviction{std::move(h), std::move(desc)};
+  }
+  resync();
+}
+
+void StreamChecker::collapse(const History& witness) {
+  // The engine accepted the window: everything in it is decided.  The new
+  // prefix state is the witness's final object state (committed and
+  // non-transactional mutations in witness order — the initializer's writes
+  // re-install the old prefix).  An empty witness (defensive: satisfied
+  // results always carry one) falls back to epoch-order folding.
+  std::unordered_map<ObjectId, Word> st = prefixState_;
+  if (witness.empty()) {
+    for (const StreamUnit& u : window_) applyWrites(u, st);
+  } else {
+    HistoryAnalysis wa(witness);
+    bool sawHavoc = false;
+    for (std::size_t pos = 0; pos < witness.size(); ++pos) {
+      const OpInstance& op = witness.at(pos);
+      if (!op.isCommand() || !op.cmd.mutates()) continue;
+      const auto t = wa.transactionOf(pos);
+      if (t && !wa.transactions()[*t].committed) continue;
+      if (op.cmd.kind == CmdKind::kHavoc) {
+        st.erase(op.obj);
+        sawHavoc = true;
+        continue;
+      }
+      st[op.obj] = op.cmd.value;
+    }
+    if (sawHavoc) allKnown_ = false;
+  }
+  stats_.gcUnits += window_.size();
+  window_.clear();
+  windowEvents_ = 0;
+  prefixState_ = std::move(st);
+  state_ = prefixState_;
+  mode_ = Mode::kFast;
+  settleLeft_ = 0;
+  confirming_ = false;
+  notePeaks();
+}
+
+void StreamChecker::resync() {
+  ++stats_.resyncs;
+  window_.clear();
+  windowEvents_ = 0;
+  prefixState_.clear();
+  state_.clear();
+  allKnown_ = false;
+  mode_ = Mode::kFast;
+  settleLeft_ = 0;
+  confirming_ = false;
+  notePeaks();
+}
+
+void StreamChecker::reportViolation(History window, std::string description) {
+  ++stats_.violations;
+  SearchLimits limits;
+  limits.maxExpansions = opts_.recheckMaxExpansions;
+  limits.timeout = opts_.recheckTimeout;
+  limits.threads = opts_.recheckThreads;
+  const MemoryModel& m = *opts_.model;
+  const SpecMap& specs = specs_;
+  const fuzz::FailurePredicate fails = [&](const History& cand) {
+    const CheckResult r = checkParametrizedOpacity(cand, m, specs, limits);
+    return !r.satisfied && !r.inconclusive;
+  };
+  MonitorViolation v;
+  v.description = std::move(description);
+  v.shrunk = fuzz::shrinkHistory(window, fails).history;
+  v.window = std::move(window);
+  violations_.push_back(std::move(v));
+}
+
+History StreamChecker::windowHistory(const StreamUnit* extra) const {
+  struct Ref {
+    const MonitorEvent* ev;
+    ProcessId pid;
+  };
+  std::vector<Ref> evs;
+  evs.reserve(windowEvents_ + (extra ? extra->events.size() : 0));
+  for (const StreamUnit& u : window_) {
+    for (const MonitorEvent& e : u.events) evs.push_back({&e, u.pid});
+  }
+  if (extra) {
+    for (const MonitorEvent& e : extra->events) evs.push_back({&e, extra->pid});
+  }
+  // Interior events share their unit's start ticket (event.hpp), so the
+  // sort must be stable: ties are intra-unit and the flatten order above
+  // is the recorded program order.
+  std::stable_sort(
+      evs.begin(), evs.end(),
+      [](const Ref& a, const Ref& b) { return a.ev->ticket < b.ev->ticket; });
+
+  ProcessId maxPid = 0;
+  std::unordered_set<ObjectId> referenced;
+  for (const Ref& r : evs) {
+    maxPid = std::max(maxPid, r.pid);
+    if (r.ev->obj != kNoObject) referenced.insert(r.ev->obj);
+  }
+
+  HistoryBuilder b;
+  // Synthetic initializer: installs the GC'd prefix's values for every
+  // object the window touches (zero-valued entries match the engine's
+  // initial state and are skipped).
+  std::vector<std::pair<ObjectId, Word>> init;
+  for (const auto& [obj, val] : prefixState_) {
+    if (val != 0 && referenced.contains(obj)) init.emplace_back(obj, val);
+  }
+  if (!init.empty()) {
+    std::sort(init.begin(), init.end());
+    const ProcessId initPid = maxPid + 1;
+    b.start(initPid);
+    for (const auto& [obj, val] : init) b.write(initPid, obj, val);
+    b.commit(initPid);
+  }
+
+  for (const Ref& r : evs) {
+    const MonitorEvent& e = *r.ev;
+    switch (e.kind) {
+      case EventKind::kTxStart:
+        b.start(r.pid);
+        break;
+      case EventKind::kTxRead:
+      case EventKind::kNtRead:
+        b.read(r.pid, e.obj, e.value);
+        break;
+      case EventKind::kTxWrite:
+      case EventKind::kNtWrite:
+        b.write(r.pid, e.obj, e.value);
+        break;
+      case EventKind::kTxCommit:
+        b.commit(r.pid);
+        break;
+      case EventKind::kTxAbort:
+        b.abort(r.pid);
+        break;
+      case EventKind::kGapMarker:
+        break;  // meta-unit, never reaches the checker
+    }
+  }
+  return b.build();
+}
+
+void StreamChecker::notePeaks() {
+  stats_.windowUnits = window_.size();
+  stats_.windowEvents = windowEvents_;
+  stats_.peakWindowUnits = std::max(stats_.peakWindowUnits, window_.size());
+  stats_.peakWindowEvents = std::max(stats_.peakWindowEvents, windowEvents_);
+}
+
+}  // namespace jungle::monitor

@@ -1,0 +1,232 @@
+// Streaming incremental opacity checker: the consumer half of the monitor.
+//
+// The collector feeds StreamUnits in ascending merge-epoch (start-ticket)
+// order.  Two tiers keep the cost proportional to the event rate:
+//
+//   * Fast path — replay the unit against the running object state (the
+//     state after the window's units in epoch order).  A committed or
+//     aborted transaction's reads must see that state (modulo its own
+//     writes); a non-transactional read must see it exactly.  One hash-map
+//     lookup per operation.
+//
+//   * Escalation — on any fast-path mismatch, materialize the retained
+//     window as a real concurrent history (events interleaved by capture
+//     ticket, prefix state installed by a synthetic initializer
+//     transaction) and ask the existing DecisionEngine whether the TM's
+//     claimed memory model admits a witness.  This is where benign
+//     reorderings (a transaction that linearized before a competitor but
+//     claimed its epoch later) are told apart from real violations.
+//
+// Escalation is deferred, not immediate: the unit that explains a
+// mismatched read may have linearized already but not yet claimed its
+// epoch (the capture claims epochs a few instructions after the TM's
+// internal commit point), so the checker buffers settleUnits more units
+// before running the engine, and a violated verdict must be confirmed by
+// a second run over a later window — or by any run once the stream is
+// drained (finish()) — before it is reported.  Satisfied escalations
+// collapse the whole window into the GC summary via the witness's final
+// object state.
+//
+// The decided committed prefix is garbage-collected: once the window
+// exceeds gcRetain units, the oldest units fold their committed writes
+// into the prefix state and are dropped, so memory stays bounded on
+// arbitrarily long runs (peakWindowEvents in the stats is the proof).
+//
+// Honesty rules: an inconclusive escalation (deadline) is never reported
+// as a violation — it resynchronizes the window instead; after ring drops
+// the object state is unknown, so the checker resyncs and re-learns state
+// from the first read of each object (drop-free runs are fully checked).
+// Drops are handled position-exactly: the producer pushes a gap marker at
+// the exact ring position of the loss, the collector marks the next real
+// unit (StreamUnit::gapBefore), and the checker resyncs at that unit's
+// feed — resyncing merely "when the drop was noticed" lets units
+// straddling the gap share one window, where the dropped unit's writes
+// masquerade as corrupt reads.  Convictions are gated three ways: while
+// any drop has no fed gap-marked successor (setDropSuspect); for a
+// cooldown of gcRetain + 2*settleUnits + 1 feeds after every gap (a
+// dropped write stays the TM's current value until overwritten, so a unit
+// whose claim window overlapped the gap can read it and, inside an
+// escalation window, be indistinguishable from corruption); and — the
+// decisive one — a confirmed conviction is only *published* at a
+// quiescent instant (onQuiescent(): every ring drained, no flush in
+// flight, every drop gap-covered) or at finish().  The barrier exists
+// because an optimistic TM publishes writes at its internal commit point
+// but the unit records the loss only when its flush fails, arbitrarily
+// later: a reader of the doomed write can be fed, escalated, and
+// convicted before the drop is even counted, and no counter-based gate
+// can see a drop that has not happened yet.  At a quiescent instant every
+// write any fed read could have observed belongs to a unit that was
+// either fed (the engine saw it) or gap-marked (the marker's feed
+// discards the pending conviction).  Discarded verdicts are counted in
+// suppressedVerdicts, never reported.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "memmodel/memory_model.hpp"
+#include "monitor/event.hpp"
+#include "opacity/popacity.hpp"
+
+namespace jungle::monitor {
+
+struct StreamOptions {
+  /// Memory model the TM claims (monitorModelFor(kind)); required.
+  const MemoryModel* model = nullptr;
+  /// Units kept after the decided prefix is folded away.
+  std::size_t gcRetain = 8;
+  /// Units buffered after a fast-path mismatch before the engine runs, so
+  /// the competitor that explains a benign reordering can arrive.
+  std::size_t settleUnits = 4;
+  /// Per-escalation engine deadline; an expired recheck is inconclusive.
+  std::chrono::milliseconds recheckTimeout{2000};
+  /// Per-escalation engine expansion budget (0 = unlimited): the other way
+  /// to bound checking cost per window; an exhausted run is inconclusive.
+  std::uint64_t recheckMaxExpansions = 0;
+  unsigned recheckThreads = 1;
+};
+
+struct MonitorViolation {
+  std::string description;
+  /// The escalated window history that conclusively violates the model.
+  History window;
+  /// Delta-shrunk repro (fuzz/shrinker.hpp over the same predicate).
+  History shrunk;
+  /// Path of the persisted .hist snapshot; empty when persistence is off.
+  std::string file;
+};
+
+struct StreamStats {
+  std::uint64_t unitsChecked = 0;
+  std::uint64_t opsChecked = 0;
+  std::uint64_t rechecks = 0;
+  std::uint64_t inconclusiveRechecks = 0;
+  /// Committed-prefix units folded into the GC summary.
+  std::uint64_t gcUnits = 0;
+  /// Drop- or inconclusive-triggered window resets.
+  std::uint64_t resyncs = 0;
+  /// Conclusive violated verdicts discarded because ring drops overlapped
+  /// the window (the missing unit could explain them).
+  std::uint64_t suppressedVerdicts = 0;
+  std::uint64_t violations = 0;
+  std::size_t windowUnits = 0;
+  std::size_t windowEvents = 0;
+  std::size_t peakWindowUnits = 0;
+  std::size_t peakWindowEvents = 0;
+};
+
+class StreamChecker {
+ public:
+  explicit StreamChecker(const StreamOptions& opts);
+
+  /// Units must arrive in ascending epoch order (the collector's merge
+  /// guarantees it).  A unit with gapBefore set resyncs first: the drop it
+  /// records sits exactly between this unit and its ring predecessor.
+  void feed(StreamUnit unit);
+
+  /// The capture dropped events since the last call: the running state can
+  /// no longer be trusted, resync.
+  void noteDrops();
+
+  /// Collector each round: true while some observed drop has not yet been
+  /// resolved by feeding its gap-marked successor unit (or never will be —
+  /// the ring went quiet after the drop).  Gates violation reporting.
+  void setDropSuspect(bool suspect) { dropSuspect_ = suspect; }
+
+  /// The collector certified a quiescent instant: every ring drained and
+  /// fed, no flush announcement active, every drop gap-covered.  A pending
+  /// (confirmed but unpublished) conviction becomes reportable — no unit
+  /// whose writes the window could have read is still in flight or
+  /// unaccounted for (see the file comment).
+  void onQuiescent();
+
+  /// True while a confirmed conviction awaits publication (lets the
+  /// collector skip the quiescence check when there is nothing to publish).
+  bool hasPendingConviction() const { return pending_.has_value(); }
+
+  /// The stream went idle (collector drained everything and slept): if an
+  /// escalation is pending, run it now instead of waiting for more units.
+  void onIdle();
+
+  /// The stream is fully drained and the producers are done; a pending
+  /// escalation's verdict is now final (no explaining unit can still be in
+  /// flight).  Call exactly once, after the last feed().
+  void finish();
+
+  const StreamStats& stats() const { return stats_; }
+  const std::vector<MonitorViolation>& violations() const {
+    return violations_;
+  }
+
+  /// The escalation history for the current window plus `extra` (exposed
+  /// for white-box tests; the synthetic initializer's pid is one past the
+  /// largest pid appearing in the window).
+  History windowHistory(const StreamUnit* extra) const;
+
+ private:
+  enum class Mode : std::uint8_t {
+    kFast,       // fast path live; window is a decided suffix
+    kBuffering,  // mismatch seen; buffering units toward an engine run
+  };
+
+  /// Reads see the running state (plus the unit's own writes); unknown
+  /// objects (post-resync) adopt the value read into both state maps.
+  /// Returns false on the first mismatch.
+  bool fastPathAccepts(const StreamUnit& u);
+  void applyWrites(const StreamUnit& u,
+                   std::unordered_map<ObjectId, Word>& state) const;
+  void admit(StreamUnit unit);
+  void gc();
+  /// Runs the engine over the whole window.  `final` means the stream is
+  /// drained, so a violated verdict needs no confirmation run.
+  void runEscalation(bool final);
+  /// Window decided satisfiable: fold everything into the prefix summary
+  /// using the witness's final object state.
+  void collapse(const History& witness);
+  void resync();
+  void reportViolation(History window, std::string description);
+  /// Drop evidence arrived (gap or counter): a pending conviction's
+  /// missing explanation may be the dropped unit — discard it.
+  void discardPending();
+  void notePeaks();
+  /// Feeds a gap-adjacent unit can still appear in an escalation window.
+  std::size_t cooldownSpan() const;
+
+  StreamOptions opts_;
+  SpecMap specs_;
+  std::deque<StreamUnit> window_;
+  /// State before the window (the GC summary) and after it (epoch order).
+  std::unordered_map<ObjectId, Word> prefixState_;
+  std::unordered_map<ObjectId, Word> state_;
+  /// False after the first resync: objects absent from state_ are unknown
+  /// (adopt on first read) rather than implicitly zero.
+  bool allKnown_ = true;
+  Mode mode_ = Mode::kFast;
+  /// Units still to buffer before the pending escalation runs.
+  std::size_t settleLeft_ = 0;
+  /// A previous (non-final) run of this window's escalation came back
+  /// violated; the next run confirms or retracts it.
+  bool confirming_ = false;
+  /// See setDropSuspect().
+  bool dropSuspect_ = false;
+  /// Feeds remaining before convictions are trusted again after a gap
+  /// (claim-inversion reach of a dropped unit's writes; see file comment).
+  std::size_t convictionCooldown_ = 0;
+  /// A confirmed conviction awaiting a quiescent instant to be published
+  /// (or discarded by intervening drop evidence).  Shrinking is deferred
+  /// to publication so discarded verdicts cost nothing.
+  struct PendingConviction {
+    History window;
+    std::string description;
+  };
+  std::optional<PendingConviction> pending_;
+  std::size_t windowEvents_ = 0;
+  StreamStats stats_;
+  std::vector<MonitorViolation> violations_;
+};
+
+}  // namespace jungle::monitor
