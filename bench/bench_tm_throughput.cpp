@@ -7,12 +7,16 @@
 // (On the single-core CI machine thread rows show scheduling overhead, not
 // parallel speedup — the per-op cost ordering is the reproducible signal.)
 //
-// Two row families:
+// Three row families:
 //   * Tx    — the bare runtime (the historical E3 rows);
 //   * TxMon — the same workload through the runtime monitor's instrumented
 //     wrapper (src/monitor/) with the collector+checker live.  TxMon/Tx at
 //     equal args is the monitoring overhead; the ring_drop_pct counter
-//     keeps the comparison honest (a dropped event was not checked).
+//     keeps the comparison honest (a dropped event was not checked);
+//   * TxMonShard — TxMon with the checker sharded K ways (third arg;
+//     sharded_checker.hpp).  TxMonShard/K=1 vs TxMon is the routing tax;
+//     K=2,4 vs K=1 is the shard win.  cross_shard_join_pct reports how
+//     many merged units touched more than one shard at this workload.
 //
 // Every row also reports per-thread fairness: thread_min/max_ops_s are the
 // slowest and fastest thread's own throughput over its measured region
@@ -22,6 +26,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <thread>
 
 #include "common/rng.hpp"
@@ -44,12 +49,13 @@ struct Env {
 };
 
 struct MonEnv : Env {
-  explicit MonEnv(TmKind kind) : Env(kind) {
+  explicit MonEnv(TmKind kind, std::size_t shards = 1) : Env(kind) {
     monitor::MonitorOptions mo;
     // Bound collector stalls: an escalation that cannot decide quickly is
     // inconclusive (counted, never a violation) instead of wedging the
     // consumer for the default two seconds.
     mo.recheckTimeout = std::chrono::milliseconds(250);
+    mo.shards = shards;
     mon = std::make_unique<monitor::TmMonitor>(*tm, 16, mo);
   }
   std::unique_ptr<monitor::TmMonitor> mon;
@@ -86,7 +92,7 @@ double runLoop(benchmark::State& state, TmRuntime& rt, unsigned writePct) {
       for (std::size_t i = 0; i < kTxLen; ++i) {
         const auto x = static_cast<ObjectId>(rng.below(kVars));
         if (rng.chance(writePct, 100)) {
-          tx.write(x, rng.below(1 << 16));
+          tx.write(x, rng() | (Word{1} << 63));
         } else {
           benchmark::DoNotOptimize(tx.read(x));
         }
@@ -193,6 +199,59 @@ void BM_TransactionsMonitored(benchmark::State& state) {
   }
 }
 
+void BM_TransactionsMonitoredSharded(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  const auto writePct = static_cast<unsigned>(state.range(1));
+  const auto shards = static_cast<std::size_t>(state.range(2));
+  static std::atomic<MonEnv*> envSlot{nullptr};
+  static std::atomic<ThreadAgg*> aggSlot{nullptr};
+  if (state.thread_index() == 0) {
+    aggSlot.store(new ThreadAgg, std::memory_order_release);
+    envSlot.store(new MonEnv(kind, shards), std::memory_order_release);
+  }
+  MonEnv* env = awaitFixture(envSlot);
+  ThreadAgg* agg = awaitFixture(aggSlot);
+  const double ops = runLoop(state, env->mon->runtime(), writePct);
+  state.SetItemsProcessed(state.iterations() * kTxLen);
+  aggregate(state, *agg, ops);
+  if (state.thread_index() == 0) {
+    env->mon->stop();
+    const monitor::MonitorStats& ms = env->mon->stats();
+    const double total =
+        static_cast<double>(ms.eventsCaptured + ms.eventsDropped);
+    state.counters["ring_drop_pct"] =
+        total > 0.0 ? 100.0 * static_cast<double>(ms.eventsDropped) / total
+                    : 0.0;
+    state.counters["monitor_violations"] =
+        static_cast<double>(env->mon->violations().size());
+    state.counters["monitor_rechecks"] =
+        static_cast<double>(ms.stream.rechecks);
+    std::uint64_t routed = 0;
+    std::uint64_t joins = 0;
+    std::uint64_t taintSkips = 0;
+    for (const monitor::ShardStats& sh : ms.shards) {
+      routed += sh.unitsRouted;
+      joins += sh.crossShardJoins;
+      taintSkips += sh.stream.taintedWindowSkips;
+    }
+    // Share of per-shard deliveries that were one leg of a multi-shard
+    // unit (0 at K=1 by construction).
+    state.counters["cross_shard_join_pct"] =
+        routed > 0 ? 100.0 * static_cast<double>(joins) /
+                         static_cast<double>(routed)
+                   : 0.0;
+    state.counters["taint_skips"] = static_cast<double>(taintSkips);
+    state.SetLabel(std::string(tmKindName(kind)) + "/wr%=" +
+                   std::to_string(writePct) + "/K=" +
+                   std::to_string(shards) +
+                   "/dropped=" + std::to_string(ms.eventsDropped));
+    envSlot.store(nullptr, std::memory_order_release);
+    aggSlot.store(nullptr, std::memory_order_release);
+    delete env;
+    delete agg;
+  }
+}
+
 void registerAll() {
   for (TmKind kind : allTmKinds()) {
     for (long writePct : {0, 20, 50, 100}) {
@@ -211,6 +270,19 @@ void registerAll() {
         benchmark::RegisterBenchmark("TxMon", BM_TransactionsMonitored)
             ->Args({static_cast<long>(kind), writePct})
             ->Threads(threads)
+            ->UseRealTime();
+      }
+    }
+    // Shard sweep at a fixed producer count: K=1 isolates the routing
+    // layer's cost, K=2/4 the parallel-checking win (serial-vs-sharded
+    // verdict equivalence over these rows is asserted by the driver
+    // script and the regression suite).
+    for (long writePct : {0, 50}) {
+      for (long shardCount : {1, 2, 4}) {
+        benchmark::RegisterBenchmark("TxMonShard",
+                                     BM_TransactionsMonitoredSharded)
+            ->Args({static_cast<long>(kind), writePct, shardCount})
+            ->Threads(2)
             ->UseRealTime();
       }
     }

@@ -3,8 +3,15 @@
 //   build/examples/monitor_tm [--tm NAME|all] [--threads N] [--ops N]
 //                             [--vars N] [--seed N] [--tx-pct P]
 //                             [--pace-us N] [--ring-capacity N]
-//                             [--gc-retain N] [--max-drop-pct P]
+//                             [--gc-retain N] [--shards K]
+//                             [--recheck-threads N] [--max-drop-pct P]
 //                             [--snapshot-dir DIR] [--inject-bug] [--json]
+//
+// --shards K checks the stream on K per-variable-group sub-checkers
+// (sharded_checker.hpp; K must divide 64); --recheck-threads N runs each
+// escalation's engine portfolio on N threads.  --json reports per-shard
+// telemetry (units routed, cross-shard joins, taint skips, escalation
+// latency) alongside the aggregate counters.
 //
 // For each selected TM kind the tool attaches a TmMonitor (src/monitor/),
 // runs a random mixed workload on the instrumented wrapper, and reports the
@@ -52,6 +59,8 @@ struct Options {
   bool paceSet = false;
   std::size_t ringCapacity = 1 << 14;
   std::size_t gcRetain = 8;
+  std::size_t shards = 1;
+  unsigned recheckThreads = 1;
   double maxDropPct = 100.0;
   std::string snapshotDir;
   bool injectBug = false;
@@ -73,6 +82,8 @@ RunRow runOne(TmKind kind, const Options& o) {
   MonitorOptions mo;
   mo.capture.ringCapacity = o.ringCapacity;
   mo.gcRetain = o.gcRetain;
+  mo.shards = o.shards;
+  mo.recheckThreads = o.recheckThreads;
   mo.snapshotDir = o.snapshotDir;
   if (o.injectBug) mo.capture.injectBug = InjectedBug::kCorruptTxRead;
 
@@ -126,6 +137,23 @@ void printText(const RunRow& r) {
       static_cast<unsigned long long>(s.stream.suppressedVerdicts),
       static_cast<unsigned long long>(s.stream.gcUnits),
       static_cast<unsigned long long>(s.stream.resyncs), r.violations);
+  if (s.shards.size() > 1) {
+    for (std::size_t k = 0; k < s.shards.size(); ++k) {
+      const ShardStats& sh = s.shards[k];
+      std::printf(
+          "  shard %zu/%zu: routed=%llu joins=%llu gaps=%llu "
+          "taint-skips=%llu rechecks=%llu suppressed=%llu "
+          "violations=%llu\n",
+          k, s.shards.size(),
+          static_cast<unsigned long long>(sh.unitsRouted),
+          static_cast<unsigned long long>(sh.crossShardJoins),
+          static_cast<unsigned long long>(sh.gapSignals),
+          static_cast<unsigned long long>(sh.stream.taintedWindowSkips),
+          static_cast<unsigned long long>(sh.stream.rechecks),
+          static_cast<unsigned long long>(sh.stream.suppressedVerdicts),
+          static_cast<unsigned long long>(sh.stream.violations));
+    }
+  }
 }
 
 void printJson(const std::vector<RunRow>& rows, bool ok) {
@@ -142,8 +170,10 @@ void printJson(const std::vector<RunRow>& rows, bool ok) {
         "\"inconclusiveRechecks\": %llu, \"suppressedVerdicts\": %llu, "
         "\"gcUnits\": %llu, "
         "\"resyncs\": %llu, \"peakWindowUnits\": %zu, "
-        "\"peakWindowEvents\": %zu, \"monitoredForUs\": %lld, "
-        "\"violations\": %zu}%s\n",
+        "\"peakWindowEvents\": %zu, \"taintedWindowSkips\": %llu, "
+        "\"escalationUsTotal\": %llu, \"escalationUsMin\": %llu, "
+        "\"escalationUsMax\": %llu, \"monitoredForUs\": %lld, "
+        "\"violations\": %zu,\n     \"shards\": [",
         r.tm, r.model, static_cast<unsigned long long>(r.work.commits),
         static_cast<unsigned long long>(r.work.userAborts),
         static_cast<unsigned long long>(r.work.ntOps),
@@ -158,8 +188,31 @@ void printJson(const std::vector<RunRow>& rows, bool ok) {
         static_cast<unsigned long long>(s.stream.gcUnits),
         static_cast<unsigned long long>(s.stream.resyncs),
         s.stream.peakWindowUnits, s.stream.peakWindowEvents,
-        static_cast<long long>(s.monitoredFor.count()), r.violations,
-        i + 1 < rows.size() ? "," : "");
+        static_cast<unsigned long long>(s.stream.taintedWindowSkips),
+        static_cast<unsigned long long>(s.stream.escalationUsTotal),
+        static_cast<unsigned long long>(s.stream.escalationUsMin),
+        static_cast<unsigned long long>(s.stream.escalationUsMax),
+        static_cast<long long>(s.monitoredFor.count()), r.violations);
+    for (std::size_t k = 0; k < s.shards.size(); ++k) {
+      const ShardStats& sh = s.shards[k];
+      std::printf(
+          "%s{\"unitsRouted\": %llu, \"crossShardJoins\": %llu, "
+          "\"gapSignals\": %llu, \"taintedWindowSkips\": %llu, "
+          "\"rechecks\": %llu, \"suppressedVerdicts\": %llu, "
+          "\"escalationUsTotal\": %llu, \"escalationUsMax\": %llu, "
+          "\"violations\": %llu}",
+          k == 0 ? "" : ", ",
+          static_cast<unsigned long long>(sh.unitsRouted),
+          static_cast<unsigned long long>(sh.crossShardJoins),
+          static_cast<unsigned long long>(sh.gapSignals),
+          static_cast<unsigned long long>(sh.stream.taintedWindowSkips),
+          static_cast<unsigned long long>(sh.stream.rechecks),
+          static_cast<unsigned long long>(sh.stream.suppressedVerdicts),
+          static_cast<unsigned long long>(sh.stream.escalationUsTotal),
+          static_cast<unsigned long long>(sh.stream.escalationUsMax),
+          static_cast<unsigned long long>(sh.stream.violations));
+    }
+    std::printf("]}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::printf("  ]\n}\n");
 }
@@ -196,6 +249,11 @@ int main(int argc, char** argv) {
       o.ringCapacity = std::strtoul(v, nullptr, 10);
     } else if (const char* v = flagValue(argc, argv, i, "--gc-retain")) {
       o.gcRetain = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--shards")) {
+      o.shards = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--recheck-threads")) {
+      o.recheckThreads =
+          static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = flagValue(argc, argv, i, "--max-drop-pct")) {
       o.maxDropPct = std::strtod(v, nullptr);
     } else if (const char* v = flagValue(argc, argv, i, "--snapshot-dir")) {
@@ -209,12 +267,18 @@ int main(int argc, char** argv) {
           stderr,
           "usage: monitor_tm [--tm NAME|all] [--threads N] [--ops N] "
           "[--vars N] [--seed N] [--tx-pct P] [--pace-us N] "
-          "[--ring-capacity N] [--gc-retain N] [--max-drop-pct P] "
+          "[--ring-capacity N] [--gc-retain N] [--shards K] "
+          "[--recheck-threads N] [--max-drop-pct P] "
           "[--snapshot-dir DIR] [--inject-bug] [--json]\n");
       return 2;
     }
   }
   if (o.threads < 1) o.threads = 1;
+  if (o.shards < 1 || 64 % o.shards != 0) {
+    std::fprintf(stderr, "--shards must divide 64 (got %zu)\n", o.shards);
+    return 2;
+  }
+  if (o.recheckThreads < 1) o.recheckThreads = 1;
   if (o.injectBug && !o.paceSet) {
     // Self-test default: stay drop-free so a conviction is honestly
     // publishable — under saturation drops the corrupted read is

@@ -59,6 +59,19 @@ echo "== runtime monitor =="
 # violation of a stock TM makes monitor_tm exit non-zero and fails the run.
 "$BUILD/examples/monitor_tm" --tm all --threads 4 --ops 400 --pace-us 40 \
   --max-drop-pct 0 --json | tee "$OUT/monitor_tm.json"
+
+echo "== monitor shard sweep =="
+# EXPERIMENTS.md §5b: the same paced workload at K = 1, 2, 4 checker
+# shards (per-shard routing/taint/escalation telemetry in each JSON), plus
+# the sharded injected-bug self-test — the detector must stay live with
+# the collector split four ways.
+for K in 1 2 4; do
+  "$BUILD/examples/monitor_tm" --tm all --threads 4 --ops 400 --pace-us 40 \
+    --max-drop-pct 0 --shards "$K" --recheck-threads 2 --json \
+    | tee "$OUT/monitor_tm_shards_$K.json"
+done
+"$BUILD/examples/monitor_tm" --tm global-lock --ops 2000 --shards 4 \
+  --inject-bug | tee "$OUT/monitor_tm_shards_selftest.txt"
 "$BUILD/examples/check_history" --demo --format json \
   | tee "$OUT/check_history_demo.json"
 

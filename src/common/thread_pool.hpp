@@ -1,11 +1,15 @@
-// A small fixed-size worker pool for the decision engine's portfolio
-// search.
+// A small fixed-size worker pool (decision-engine portfolio search,
+// explorer frontier, sharded monitor).
 //
 // Deliberately minimal: FIFO task queue, blocking submit-side wait().  The
 // engine submits one task per top-level branch of the serialization-order
 // enumeration; tasks are claimed in submission order, which keeps the
 // parallel search's branch-visit order a prefix-parallel version of the
-// sequential one.  Tasks must not throw.
+// sequential one.  The sharded monitor submits one drain task per shard
+// per collector round and uses wait() as the round barrier (tasks may
+// themselves run engine checks that spin up their own pools; pools do not
+// nest work-stealing, so that is just independent threads).  Tasks must
+// not throw.
 #pragma once
 
 #include <condition_variable>

@@ -225,31 +225,23 @@ void runScheduleDiffIteration(const FuzzOptions& opts, std::uint64_t iter,
 /// concurrent executions, so the verdicts must agree: any conclusive
 /// monitor violation of a stock TM is a bug in the TM or in the monitor,
 /// and its already-shrunk window is the repro.
-void runMonitorIteration(const FuzzOptions& opts, std::uint64_t iter,
-                         Rng& rng, FuzzReport& report) {
-  const auto& claims = tmClaims();
-  const TmClaim& claim = claims[rng.below(claims.size())];
-
-  monitor::WorkloadOptions w;
-  w.threads = 2 + rng.below(3);
-  w.numVars = 4 + rng.below(6);  // few variables = real contention
-  w.opsPerThread = 100 + rng.below(200);
-  w.seed = rng();
-  w.txPercent = 50 + rng.below(45);
-  w.txOpsMax = 1 + rng.below(4);
-
+/// One monitored run at a given shard count; returns true when the
+/// monitor convicted and a failure was recorded.
+bool runMonitorOnce(const FuzzOptions& opts, std::uint64_t iter,
+                    const TmClaim& claim, const monitor::WorkloadOptions& w,
+                    std::size_t shards, FuzzReport& report) {
   NativeMemory mem(runtimeMemoryWords(claim.kind, w.numVars));
   const auto tm = makeNativeRuntime(claim.kind, mem, w.numVars, w.threads);
   monitor::MonitorOptions mo;
   mo.recheckTimeout = opts.traceCheckTimeout;
+  mo.shards = shards;
   monitor::TmMonitor mon(*tm, w.threads, mo);
   monitor::runMonitoredWorkload(mon.runtime(), w);
   mon.stop();
 
-  ++report.monitorRuns;
   report.monitorEvents += mon.stats().eventsCaptured;
   if (mon.stats().stream.inconclusiveRechecks > 0) ++report.inconclusive;
-  if (mon.ok()) return;
+  if (mon.ok()) return false;
 
   ++report.monitorViolations;
   // The checker already delta-shrunk each violation window; record the
@@ -260,15 +252,73 @@ void runMonitorIteration(const FuzzOptions& opts, std::uint64_t iter,
                   " iter=" + std::to_string(iter) + " tm=" +
                   tmKindName(claim.kind) + " model=" +
                   mon.model().name() + " workload-seed=" +
-                  std::to_string(w.seed) + " (monitor leg)\n" +
+                  std::to_string(w.seed) + " shards=" +
+                  std::to_string(shards) + " (monitor leg)\n" +
                   v.description;
   f.shrunk = v.shrunk;
   if (!opts.reproDir.empty()) {
     const std::string stem = std::string(fuzzModeName(opts.mode)) + "-s" +
                              std::to_string(opts.seed) + "-i" +
-                             std::to_string(iter);
+                             std::to_string(iter) + "-k" +
+                             std::to_string(shards);
     f.file = persistRepro(opts.reproDir, stem, f.shrunk, f.description);
   }
+  report.failures.push_back(std::move(f));
+  return true;
+}
+
+void runMonitorIteration(const FuzzOptions& opts, std::uint64_t iter,
+                         Rng& rng, FuzzReport& report) {
+  const auto& claims = tmClaims();
+  const TmClaim& claim = claims[rng.below(claims.size())];
+
+  // Per-iteration workload diversity: the old leg pinned vars to 4..9,
+  // the tx mix to 50..94% and never paced or user-aborted — a narrow
+  // slice of the capture paths.  Each dimension now draws independently
+  // so low-contention, abort-heavy and bursty (paced) schedules all
+  // appear in the corpus.
+  monitor::WorkloadOptions w;
+  w.threads = 2 + rng.below(3);
+  w.numVars = 2 + rng.below(15);  // 2 = maximal contention, 16 = sparse
+  w.opsPerThread = 100 + rng.below(300);
+  w.seed = rng();
+  w.txPercent = 30 + rng.below(70);
+  w.txOpsMax = 1 + rng.below(6);
+  w.abortPercent = rng.below(3) == 0 ? 15 : 2;
+  w.pace = std::chrono::microseconds(rng.below(4) == 0 ? rng.below(3) : 0);
+
+  // Shard-count sampling: half the runs stay serial (K=1, the reference
+  // configuration), half draw K in {2,4} and double as a differential —
+  // the same workload replayed serially must reach the same verdict, so
+  // a sharded conviction without a serial one (or vice versa) is a bug
+  // in the routing/taint/join layer itself.
+  const std::size_t shards = rng.below(2) == 0 ? 1 : (rng.below(2) == 0 ? 2 : 4);
+
+  ++report.monitorRuns;
+  const bool shardedConvicted =
+      runMonitorOnce(opts, iter, claim, w, shards, report);
+  if (shards == 1) return;
+
+  ++report.monitorShardedRuns;
+  const bool serialConvicted =
+      runMonitorOnce(opts, iter, claim, w, /*shards=*/1, report);
+  if (shardedConvicted == serialConvicted) return;
+
+  // Verdict disagreement between the sharded and serial checkers on the
+  // same workload configuration.  (The two runs observe different real
+  // interleavings, so this records context rather than auto-failing:
+  // for stock TMs both verdicts should be "clean", and either conviction
+  // was already counted and persisted above.)
+  ++report.disagreements;
+  FuzzFailure f;
+  f.description = "mode=traces seed=" + std::to_string(opts.seed) +
+                  " iter=" + std::to_string(iter) + " tm=" +
+                  tmKindName(claim.kind) + " workload-seed=" +
+                  std::to_string(w.seed) +
+                  " (monitor sharded-vs-serial disagreement: shards=" +
+                  std::to_string(shards) + " convicted=" +
+                  (shardedConvicted ? "yes" : "no") + ", serial convicted=" +
+                  (serialConvicted ? "yes" : "no") + ")";
   report.failures.push_back(std::move(f));
 }
 
@@ -351,7 +401,8 @@ std::string formatReport(const FuzzOptions& opts, const FuzzReport& report) {
       << report.cutRuns << ", dedup hits " << report.dedupHits << ")"
       << "\n  monitor runs: " << report.monitorRuns << " ("
       << report.monitorEvents << " events, " << report.monitorViolations
-      << " violations)\n";
+      << " violations, " << report.monitorShardedRuns
+      << " sharded-vs-serial)\n";
   for (const FuzzFailure& f : report.failures) {
     out << "\nFAILURE: " << f.description << "\n";
     if (!f.file.empty()) out << "repro written to " << f.file << "\n";

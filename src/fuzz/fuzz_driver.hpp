@@ -81,6 +81,9 @@ struct FuzzReport {
   std::uint64_t monitorRuns = 0;
   std::uint64_t monitorEvents = 0;
   std::uint64_t monitorViolations = 0;
+  /// Monitor-leg runs that drew shards > 1 and therefore also exercised
+  /// the sharded routing/join path against the serial verdict.
+  std::uint64_t monitorShardedRuns = 0;
   /// Instances voided by a resource-limited verdict — tracked, never
   /// counted as (or persisted like) violations.
   std::uint64_t inconclusive = 0;

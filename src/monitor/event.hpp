@@ -37,7 +37,9 @@ enum class EventKind : std::uint8_t {
   /// Producer-pushed one-event unit marking the exact ring position where
   /// at least one unit was dropped (`value` = the ring's total dropped
   /// units up to that gap, exact because the producer is the counter's
-  /// only writer).  A consumer-side read of the drop counter cannot place
+  /// only writer; `ticket` = the ring's cumulative drop-taint mask — see
+  /// varTaintBit — so the collector knows which variables the losses could
+  /// have touched).  A consumer-side read of the drop counter cannot place
   /// a gap: it may observe drops that happen after the unit it is
   /// assembling, mis-attributing the gap and leaving its true successor
   /// unmarked.  Never becomes a StreamUnit.
@@ -56,6 +58,18 @@ struct MonitorEvent {
 inline bool endsUnit(EventKind k) {
   return k == EventKind::kTxCommit || k == EventKind::kTxAbort ||
          k == EventKind::kNtRead || k == EventKind::kNtWrite;
+}
+
+/// Drop-taint footprints are 64-bit variable masks: variable v owns bit
+/// v mod 64.  Shard counts that divide 64 (the supported 1/2/4/8/...)
+/// make the mapping exact per shard: shard s = v mod K owns exactly the
+/// bits {b : b mod K == s}, so a taint mask intersects a shard's bits iff
+/// some possibly-dropped access hashed into that shard.
+inline std::uint64_t varTaintBit(ObjectId x) { return 1ULL << (x & 63); }
+
+/// Footprint of one event for taint purposes (delimiters carry none).
+inline std::uint64_t eventTaintBits(const MonitorEvent& e) {
+  return e.obj == kNoObject ? 0 : varTaintBit(e.obj);
 }
 
 /// One merge unit of the stream: a whole transaction (start..commit/abort)
@@ -80,6 +94,13 @@ struct StreamUnit {
   /// showed up to that value is accounted for (collector bookkeeping for
   /// verdict suppression).
   std::uint64_t dropsCovered = 0;
+  /// When gapBefore: the producing ring's cumulative drop-taint mask as
+  /// snapshotted by the gap marker (varTaintBit per possibly-lost access).
+  /// Checkers whose variables miss the mask entirely may keep convicting;
+  /// a set bit inside a checker's footprint forces the usual resync +
+  /// cooldown there.  Cumulative (never reset) so late marker pushes stay
+  /// conservative.
+  std::uint64_t taintMask = 0;
   std::vector<MonitorEvent> events;
 };
 

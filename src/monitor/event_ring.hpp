@@ -68,15 +68,21 @@ class EventRing {
   /// Producer: publishes all `n` events or none.  On failure the unit is
   /// counted dropped (unless it is meta-traffic: a gap marker's own push
   /// failure must not inflate the lost-unit count) and the ring untouched.
+  /// `taintBits` is the dropped unit's variable footprint (varTaintBit per
+  /// accessed object; ~0 when unknown): it is OR'd into the cumulative
+  /// taint mask BEFORE the unit counter moves, with release/acquire
+  /// pairing on the counter, so any collector that observes a drop count
+  /// of d reads a mask covering at least the first d drops' footprints.
   bool tryPushUnit(const MonitorEvent* events, std::size_t n,
-                   bool countDrop = true) {
+                   bool countDrop = true, std::uint64_t taintBits = ~0ULL) {
     const std::uint64_t tail = tail_.value.load(std::memory_order_relaxed);
     if (capacity_ - (tail - cachedHead_) < n) {
       cachedHead_ = head_.value.load(std::memory_order_acquire);
       if (capacity_ - (tail - cachedHead_) < n) {
         if (countDrop) {
           dropped_.value.fetch_add(n, std::memory_order_relaxed);
-          droppedUnits_.value.fetch_add(1, std::memory_order_relaxed);
+          taint_.value.fetch_or(taintBits, std::memory_order_relaxed);
+          droppedUnits_.value.fetch_add(1, std::memory_order_release);
         }
         return false;
       }
@@ -131,7 +137,16 @@ class EventRing {
     return dropped_.value.load(std::memory_order_relaxed);
   }
   std::uint64_t droppedUnits() const {
-    return droppedUnits_.value.load(std::memory_order_relaxed);
+    return droppedUnits_.value.load(std::memory_order_acquire);
+  }
+  /// Cumulative drop-taint mask (union of every dropped unit's footprint
+  /// since construction; never reset — resetting at marker-push time would
+  /// hide the taint of drops recorded in a pushed-but-unpopped marker).
+  /// Read AFTER droppedUnits(): the producer ORs the mask before bumping
+  /// the counter (release), so count-then-mask yields a mask that covers
+  /// every counted drop.
+  std::uint64_t taintMask() const {
+    return taint_.value.load(std::memory_order_relaxed);
   }
 
  private:
@@ -151,6 +166,7 @@ class EventRing {
   alignas(kCacheLine) PaddedAtomicWord pushed_;
   PaddedAtomicWord dropped_;
   PaddedAtomicWord droppedUnits_;
+  PaddedAtomicWord taint_;
   struct alignas(kCacheLine) {
     std::atomic<std::uint64_t> value{kNoEpoch};
   } flushEpoch_;

@@ -45,7 +45,13 @@ void EventCapture::maybePushGapMarker(ProcessId p) {
   // collector cannot compute that itself (its counter reads may already
   // include drops that happen after whatever unit it is assembling,
   // mis-attributing the gap and leaving its true successor unmarked).
-  const MonitorEvent marker{0, kNoObject, EventKind::kGapMarker,
+  // The marker's ticket field carries the ring's cumulative drop-taint
+  // mask: the counter read above sequences after every footprint OR of
+  // the drops it counts (producer program order), so the snapshot covers
+  // them all.  Cumulative is deliberate — a mask reset here could hide
+  // the taint of drops an earlier pushed-but-unpopped marker accounts
+  // for.
+  const MonitorEvent marker{r.taintMask(), kNoObject, EventKind::kGapMarker,
                             r.droppedUnits()};
   if (r.tryPushUnit(&marker, 1, /*countDrop=*/false)) {
     gapFlags_[p].armed = false;
@@ -69,7 +75,14 @@ void EventCapture::flushUnit(ProcessId p, std::vector<MonitorEvent>& buf,
     if (e.ticket == 0) e.ticket = startTicket;
   }
   buf.push_back({closing, kNoObject, endKind, 0});
-  if (!r.tryPushUnit(buf.data(), buf.size())) gapFlags_[p].armed = true;
+  // The drop-taint footprint is exact here — the unit's events are in
+  // hand — so a full ring taints only the variables this unit touched
+  // instead of blinding every shard.
+  std::uint64_t taintBits = 0;
+  for (const MonitorEvent& e : buf) taintBits |= eventTaintBits(e);
+  if (!r.tryPushUnit(buf.data(), buf.size(), /*countDrop=*/true, taintBits)) {
+    gapFlags_[p].armed = true;
+  }
   r.clearFlush();
   buf.clear();
 }
@@ -80,7 +93,9 @@ void EventCapture::flushSingle(ProcessId p, EventKind kind, ObjectId obj,
   maybePushGapMarker(p);
   const std::uint64_t t = ticket_.fetch_add(1, std::memory_order_seq_cst);
   const MonitorEvent ev{t, obj, kind, value};
-  if (!r.tryPushUnit(&ev, 1)) gapFlags_[p].armed = true;
+  if (!r.tryPushUnit(&ev, 1, /*countDrop=*/true, eventTaintBits(ev))) {
+    gapFlags_[p].armed = true;
+  }
   r.clearFlush();
 }
 

@@ -78,7 +78,8 @@ TmMonitor::TmMonitor(TmRuntime& inner, std::size_t maxProcs,
       tmName_(inner.name()),
       capture_(maxProcs, captureOptsFor(opts, inner.kind())),
       monitored_(makeMonitoredRuntime(inner, capture_)),
-      checker_(streamOptsFor(opts, model_)),
+      checker_(streamOptsFor(opts, model_),
+               opts.shards == 0 ? 1 : opts.shards),
       startedAt_(std::chrono::steady_clock::now()) {
   collector_ = std::thread([this] { collectorLoop(); });
 }
@@ -93,18 +94,23 @@ void TmMonitor::collectorLoop() {
   // Parsed units above the merge frontier, min-heap by epoch.
   std::vector<StreamUnit> pending;
   // Gap bookkeeping (all from the producers' kGapMarker units, which carry
-  // the exact drop count at the gap's ring position — consumer-side
-  // counter reads cannot place a gap, they may already include later
-  // drops).  A popped marker arms `ringGapPending`; the next real unit
-  // from that ring is marked gapBefore and carries the marker's count;
-  // feeding it records the count in `ringDropsCovered`.
+  // the exact drop count at the gap's ring position and the ring's
+  // cumulative drop-taint mask — consumer-side counter reads cannot place
+  // a gap, they may already include later drops).  A popped marker arms
+  // `ringGapPending`; the next real unit from that ring is marked
+  // gapBefore and carries the marker's count + taint; feeding it records
+  // the count in `ringDropsCovered`.
   std::vector<std::uint8_t> ringGapPending(procs, 0);
   std::vector<std::uint64_t> ringPendingCover(procs, 0);
+  std::vector<std::uint64_t> ringPendingTaint(procs, 0);
   std::vector<std::uint64_t> ringDropsCovered(procs, 0);
+  // Per-ring drop counts already announced to the checker (noteDrops with
+  // the ring's taint mask when the counter moves).
+  std::vector<std::uint64_t> ringDropsSeen(procs, 0);
   // Gap-marked units sitting in `pending`; while any exist (or a drop has
-  // no fed gap-marked successor yet) violation verdicts are suppressed.
+  // no fed gap-marked successor yet) violation verdicts are suppressed on
+  // the shards their taint touches.
   std::size_t gapsInFlight = 0;
-  std::uint64_t dropsSeen = 0;
   std::uint64_t idleRounds = 0;
 
   const auto emit = [&] {
@@ -119,16 +125,23 @@ void TmMonitor::collectorLoop() {
     checker_.feed(std::move(u));
   };
 
-  const auto unresolvedDrops = [&] {
-    if (gapsInFlight > 0) return true;
-    for (std::size_t p = 0; p < procs; ++p) {
-      // Drops beyond the covered count have no fed gap unit yet — either
-      // their marker is still in flight, or the ring went quiet right
-      // after the drop and it never gets one.
-      if (ringGapPending[p]) return true;
-      if (capture_.ring(p).droppedUnits() != ringDropsCovered[p]) return true;
+  // Taint union of every drop that has no fed gap-marked successor yet —
+  // either its marker is still in flight (heap or ring side), or the ring
+  // went quiet right after the drop and it never gets one.  Shards whose
+  // variables this union misses may keep convicting (per-variable taint);
+  // reading the drop counter (acquire) before the mask keeps the mask a
+  // superset of the counted drops' footprints.
+  const auto suspectTaint = [&]() -> std::uint64_t {
+    std::uint64_t taint = 0;
+    for (const StreamUnit& u : pending) {
+      if (u.gapBefore) taint |= u.taintMask;
     }
-    return false;
+    for (std::size_t p = 0; p < procs; ++p) {
+      if (ringGapPending[p]) taint |= ringPendingTaint[p];
+      const EventRing& r = capture_.ring(p);
+      if (r.droppedUnits() != ringDropsCovered[p]) taint |= r.taintMask();
+    }
+    return taint;
   };
 
   while (true) {
@@ -149,9 +162,12 @@ void TmMonitor::collectorLoop() {
         if (ev.kind == EventKind::kGapMarker) {
           // Standalone meta-unit: never fed, only remembered.  Markers are
           // pushed between real units, so the assembly must be empty.
+          // The marker's ticket field carries the ring's cumulative taint
+          // mask at push time (instrumented_runtime.cpp).
           JUNGLE_CHECK(assembly[p].empty());
           ringGapPending[p] = 1;
           ringPendingCover[p] = ev.value;
+          ringPendingTaint[p] = ev.ticket;
           continue;
         }
         assembly[p].push_back(ev);
@@ -170,6 +186,7 @@ void TmMonitor::collectorLoop() {
             ringGapPending[p] = 0;
             u.gapBefore = true;
             u.dropsCovered = ringPendingCover[p];
+            u.taintMask = ringPendingTaint[p];
             ++gapsInFlight;
           }
           u.events = std::move(assembly[p]);
@@ -180,16 +197,24 @@ void TmMonitor::collectorLoop() {
       }
     }
     stats_.peakPendingUnits = std::max(stats_.peakPendingUnits, pending.size());
-    const std::uint64_t drops = capture_.totalDroppedUnits();
-    if (drops != dropsSeen) {
-      dropsSeen = drops;
-      checker_.noteDrops();
+    for (std::size_t p = 0; p < procs; ++p) {
+      const EventRing& r = capture_.ring(p);
+      const std::uint64_t drops = r.droppedUnits();  // acquire, before mask
+      if (drops != ringDropsSeen[p]) {
+        ringDropsSeen[p] = drops;
+        checker_.noteDrops(r.taintMask());
+        progress = true;
+      }
     }
-    checker_.setDropSuspect(unresolvedDrops());
+    // Direct per-shard state writes are safe here: the shards are only
+    // active inside pump(), which has not started this round.
+    checker_.setDropSuspect(suspectTaint());
     while (!pending.empty() && pending.front().epoch < frontier) {
       emit();
       progress = true;
     }
+    // Run this round's routed work (one task per touched shard; barrier).
+    checker_.pump();
     if (progress) {
       idleRounds = 0;
       continue;
@@ -237,9 +262,11 @@ void TmMonitor::collectorLoop() {
   // is final, so everything parsed can be emitted in epoch order.
   while (!pending.empty()) emit();
   for (std::size_t p = 0; p < procs; ++p) JUNGLE_CHECK(assembly[p].empty());
+  checker_.pump();
   // Trailing drops with no successor unit stay unresolved forever: the
-  // final escalation must not convict a window that may be missing them.
-  checker_.setDropSuspect(unresolvedDrops());
+  // final escalation must not convict a window on a shard that may be
+  // missing them (untainted shards still publish).
+  checker_.setDropSuspect(suspectTaint());
   checker_.finish();
 }
 
@@ -261,6 +288,7 @@ void TmMonitor::stop() {
                 static_cast<double>(elapsed.count())
           : 0.0;
   stats_.stream = checker_.stats();
+  stats_.shards = checker_.shardStats();
   violations_ = checker_.violations();
   persistViolations();
 }
@@ -317,9 +345,9 @@ WorkloadResult runMonitoredWorkload(TmRuntime& rt, const WorkloadOptions& w) {
           for (PlannedOp& op : plan) {
             op.write = rng.chance(w.writePercent, 100);
             op.x = static_cast<ObjectId>(rng.below(w.numVars));
-            // 16-bit payloads: the versioned-write TM packs value+version
-            // into one word.
-            op.v = rng.below(1u << 16);
+            // Full-width payloads: bit 63 forced so every write exercises
+            // the range the old packed versioned-write encoding rejected.
+            op.v = rng() | (Word{1} << 63);
           }
           const bool doAbort = rng.chance(w.abortPercent, 100);
           const bool ok = rt.transaction(p, [&](TxContext& tx) {
@@ -341,7 +369,7 @@ WorkloadResult runMonitoredWorkload(TmRuntime& rt, const WorkloadOptions& w) {
           ++per[t].ntOps;
           const ObjectId x = static_cast<ObjectId>(rng.below(w.numVars));
           if (rng.chance(w.writePercent, 100)) {
-            rt.ntWrite(p, x, rng.below(1u << 16));
+            rt.ntWrite(p, x, rng() | (Word{1} << 63));
           } else {
             (void)rt.ntRead(p, x);
           }

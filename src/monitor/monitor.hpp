@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "monitor/instrumented_runtime.hpp"
+#include "monitor/sharded_checker.hpp"
 #include "monitor/stream_checker.hpp"
 #include "tm/runtime.hpp"
 
@@ -48,7 +49,14 @@ struct MonitorOptions {
   std::size_t settleUnits = 4;
   std::chrono::milliseconds recheckTimeout{2000};
   std::uint64_t recheckMaxExpansions = 0;
+  /// Engine portfolio width per escalation (SearchLimits.threads): > 1
+  /// runs the escalation's serialization-order branches in parallel.
   unsigned recheckThreads = 1;
+  /// Checker shards (sharded_checker.hpp): variables are partitioned
+  /// v mod shards, each group checked by its own StreamChecker (on a
+  /// thread pool when > 1).  Must divide 64.  1 = the serial checker
+  /// plus per-variable drop taint.
+  std::size_t shards = 1;
   /// Collector sleep when a full round found nothing to do.
   std::chrono::microseconds pollInterval{50};
   /// Directory for violation .hist snapshots; empty disables persistence.
@@ -71,8 +79,11 @@ struct MonitorStats {
   std::size_t peakPendingUnits = 0;
   std::chrono::microseconds monitoredFor{0};
   double eventsPerSec = 0.0;
-  // Checker side (window size, rechecks, GC'd prefix, violations).
+  // Checker side, aggregated across shards (window size, rechecks, GC'd
+  // prefix, violations, escalation latency, taint skips).
   StreamStats stream;
+  /// Per-shard routing + checking telemetry (size = MonitorOptions.shards).
+  std::vector<ShardStats> shards;
 };
 
 /// One monitor per runtime: construction starts the collector; stop()
@@ -113,7 +124,7 @@ class TmMonitor {
   const char* tmName_;
   EventCapture capture_;
   std::unique_ptr<TmRuntime> monitored_;
-  StreamChecker checker_;
+  ShardedStreamChecker checker_;
   std::thread collector_;
   std::atomic<bool> stopRequested_{false};
   bool stopped_ = false;
@@ -126,8 +137,8 @@ class TmMonitor {
 /// shared driver behind examples/monitor_tm, the monitor tests, and the
 /// fuzz harness's monitor leg.  Threads run transactions (reads/writes
 /// with occasional user aborts) and non-transactional accesses over a
-/// small variable set; values fit in 32 bits (the versioned-write TM's
-/// payload limit).
+/// small variable set; written values are full 64-bit (all five TMs now
+/// accept identical workloads).
 struct WorkloadOptions {
   std::size_t threads = 4;
   std::size_t numVars = 12;

@@ -1,0 +1,222 @@
+#include "monitor/sharded_checker.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace jungle::monitor {
+
+std::uint64_t shardTaintBits(std::size_t s, std::size_t k) {
+  std::uint64_t bits = 0;
+  for (std::size_t b = s; b < 64; b += k) bits |= 1ULL << b;
+  return bits;
+}
+
+StreamUnit projectUnit(const StreamUnit& u, std::size_t s, std::size_t k) {
+  StreamUnit out;
+  out.kind = u.kind;
+  out.pid = u.pid;
+  out.epoch = u.epoch;
+  out.gapBefore = u.gapBefore;
+  out.dropsCovered = u.dropsCovered;
+  out.taintMask = u.taintMask;
+  out.events.reserve(u.events.size());
+  for (const MonitorEvent& e : u.events) {
+    if (e.obj == kNoObject || shardOfVar(e.obj, k) == s) {
+      out.events.push_back(e);
+    }
+  }
+  return out;
+}
+
+ShardedStreamChecker::ShardedStreamChecker(const StreamOptions& opts,
+                                           std::size_t shards) {
+  JUNGLE_CHECK(shards >= 1);
+  JUNGLE_CHECK(64 % shards == 0);
+  checkers_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    checkers_.push_back(std::make_unique<StreamChecker>(opts));
+  }
+  queues_.resize(shards);
+  routing_.resize(shards);
+  if (shards > 1) {
+    pool_ = std::make_unique<ThreadPool>(static_cast<unsigned>(shards));
+  }
+}
+
+void ShardedStreamChecker::feed(StreamUnit unit) {
+  const std::size_t k = shards();
+  std::uint64_t footprint = 0;
+  for (const MonitorEvent& e : unit.events) footprint |= eventTaintBits(e);
+  std::size_t touched = 0;
+  for (std::size_t s = 0; s < k; ++s) {
+    if (footprint & shardTaintBits(s, k)) ++touched;
+  }
+  for (std::size_t s = 0; s < k; ++s) {
+    const std::uint64_t bits = shardTaintBits(s, k);
+    // Delimiter-only units (e.g. an empty transaction) touch no shard's
+    // variables and can explain nothing — shard 0 keeps them so the
+    // aggregate unitsChecked still counts every merged unit.
+    const bool routed =
+        (footprint & bits) != 0 || (footprint == 0 && s == 0);
+    const bool tainted =
+        unit.gapBefore && (unit.taintMask & bits) != 0;
+    Cmd c;
+    if (routed) {
+      StreamUnit proj = k == 1 ? unit : projectUnit(unit, s, k);
+      // The gap applies to shard s only when the dropped footprint hits
+      // its variables; an untainted shard's projection arrives gap-free
+      // and its window survives — recorded as a taint skip, the honest
+      // "the old rule would have resynced here" telemetry.
+      proj.gapBefore = tainted;
+      ++routing_[s].unitsRouted;
+      if (touched > 1) ++routing_[s].crossShardJoins;
+      if (tainted) ++routing_[s].gapSignals;
+      if (unit.gapBefore && !tainted) {
+        Cmd skip;
+        skip.kind = Cmd::Kind::kTaintSkip;
+        queues_[s].push_back(std::move(skip));
+      }
+      c.kind = Cmd::Kind::kUnit;
+      c.unit = std::move(proj);
+    } else if (tainted) {
+      // The drop hit this shard's variables but the carrying unit does
+      // not route here: deliver the gap standalone so the shard still
+      // resyncs (position within its stream is the same — right before
+      // whatever next unit routes to it).
+      ++routing_[s].gapSignals;
+      c.kind = Cmd::Kind::kGap;
+    } else if (unit.gapBefore) {
+      c.kind = Cmd::Kind::kTaintSkip;
+    } else {
+      continue;
+    }
+    queues_[s].push_back(std::move(c));
+  }
+}
+
+void ShardedStreamChecker::noteDrops(std::uint64_t taintMask) {
+  enqueueGapSignals(taintMask);
+}
+
+void ShardedStreamChecker::enqueueGapSignals(std::uint64_t taintMask) {
+  const std::size_t k = shards();
+  for (std::size_t s = 0; s < k; ++s) {
+    Cmd c;
+    if (taintMask & shardTaintBits(s, k)) {
+      ++routing_[s].gapSignals;
+      c.kind = Cmd::Kind::kGap;
+    } else {
+      c.kind = Cmd::Kind::kTaintSkip;
+    }
+    queues_[s].push_back(std::move(c));
+  }
+}
+
+void ShardedStreamChecker::drainShard(std::size_t s) {
+  StreamChecker& ck = *checkers_[s];
+  std::deque<Cmd>& q = queues_[s];
+  while (!q.empty()) {
+    Cmd c = std::move(q.front());
+    q.pop_front();
+    switch (c.kind) {
+      case Cmd::Kind::kUnit:
+        ck.feed(std::move(c.unit));
+        break;
+      case Cmd::Kind::kGap:
+        ck.noteDrops();
+        break;
+      case Cmd::Kind::kTaintSkip:
+        ck.noteTaintSkip();
+        break;
+    }
+  }
+}
+
+void ShardedStreamChecker::pump() {
+  const std::size_t k = shards();
+  if (!pool_) {
+    drainShard(0);
+    return;
+  }
+  bool any = false;
+  for (std::size_t s = 0; s < k; ++s) {
+    if (queues_[s].empty()) continue;
+    any = true;
+    pool_->submit([this, s] { drainShard(s); });
+  }
+  if (any) pool_->wait();
+}
+
+void ShardedStreamChecker::setDropSuspect(std::uint64_t suspectMask) {
+  const std::size_t k = shards();
+  for (std::size_t s = 0; s < k; ++s) {
+    checkers_[s]->setDropSuspect((suspectMask & shardTaintBits(s, k)) != 0);
+  }
+}
+
+void ShardedStreamChecker::onQuiescent() {
+  for (auto& ck : checkers_) ck->onQuiescent();
+}
+
+bool ShardedStreamChecker::hasPendingConviction() const {
+  for (const auto& ck : checkers_) {
+    if (ck->hasPendingConviction()) return true;
+  }
+  return false;
+}
+
+void ShardedStreamChecker::onIdle() {
+  if (!pool_) {
+    checkers_[0]->onIdle();
+    return;
+  }
+  for (auto& ck : checkers_) {
+    pool_->submit([c = ck.get()] { c->onIdle(); });
+  }
+  pool_->wait();
+}
+
+void ShardedStreamChecker::finish() {
+  pump();
+  if (!pool_) {
+    checkers_[0]->finish();
+    return;
+  }
+  // Final escalations can each burn a full recheck deadline; run them
+  // side by side and join before returning.
+  for (auto& ck : checkers_) {
+    pool_->submit([c = ck.get()] { c->finish(); });
+  }
+  pool_->wait();
+}
+
+StreamStats ShardedStreamChecker::stats() const {
+  StreamStats agg;
+  for (const auto& ck : checkers_) mergeStreamStats(agg, ck->stats());
+  return agg;
+}
+
+std::vector<ShardStats> ShardedStreamChecker::shardStats() const {
+  std::vector<ShardStats> out = routing_;
+  for (std::size_t s = 0; s < checkers_.size(); ++s) {
+    out[s].stream = checkers_[s]->stats();
+  }
+  return out;
+}
+
+std::vector<MonitorViolation> ShardedStreamChecker::violations() const {
+  std::vector<MonitorViolation> out;
+  for (std::size_t s = 0; s < checkers_.size(); ++s) {
+    for (MonitorViolation v : checkers_[s]->violations()) {
+      if (shards() > 1) {
+        v.description += " [shard " + std::to_string(s) + " of " +
+                         std::to_string(shards()) + "]";
+      }
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace jungle::monitor

@@ -1,0 +1,167 @@
+// Sharded merge-and-check stage: K independent StreamCheckers, each owning
+// the variables v with v mod K == its index, fed the *projection* of every
+// merged unit onto its variable group.
+//
+// Routing is by projection, not whole-unit copy: shard s receives a unit's
+// delimiters plus exactly the command events whose object belongs to s.
+// Because every unit touching a shard-s variable routes a projection to
+// shard s, each shard sees ALL accesses to its variables — its stream is
+// complete for the objects it owns, which is what the StreamChecker's
+// running-state fast path requires.  A unit spanning shards goes to each
+// (a cross-shard join, counted per participating shard).
+//
+// Soundness of per-shard conviction: restricting any witness for the real
+// execution to shard-s variables yields a witness for the shard-s
+// projection — delimiters and real-time order survive, per-object legality
+// is untouched for kept objects, and removing commands only removes
+// constraints under every model the engine parametrizes over.  So if a
+// projection conclusively violates the model, no witness for the full
+// execution can exist either: a shard conviction is a real conviction.
+// The price is completeness, not soundness — an anomaly visible only as a
+// cycle THROUGH variables in different shards can evade every projection
+// (each shard's slice individually explainable).  K = 1 retains the serial
+// checker's full power; the sweep in EXPERIMENTS.md quantifies the
+// tradeoff.
+//
+// Per-variable drop taint replaces the serial "any drop suppresses
+// everything" rule: a gap's taint mask (the ring's cumulative dropped
+// footprint, event.hpp varTaintBit) resyncs and cools down only the shards
+// whose variable bits it intersects; untouched shards keep their windows
+// and may still convict (taintedWindowSkips counts the survivals).  Since
+// the supported shard counts divide 64, a taint bit maps to exactly one
+// shard and the intersection test is exact per shard.
+//
+// The joining stage: per-shard convictions stay pending in their shard and
+// are published only at a GLOBAL quiescent instant (onQuiescent(), driven
+// by the collector's whole-capture barrier) or at finish(), after each
+// shard's own dropSuspect gate.  Quiescence is deliberately not per-shard:
+// an in-flight unit's footprint is unknown until it lands, so no shard can
+// prove the missing explanation isn't headed its way.
+//
+// Threading: feed()/noteDrops() only enqueue onto per-shard command
+// queues; pump() drains every queue — one task per non-empty shard on the
+// shared ThreadPool (inline when K == 1) — and barriers on completion.
+// Outside pump() the shards are quiescent, so the collector may touch
+// per-shard state (setDropSuspect, hasPendingConviction, stats) directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "monitor/stream_checker.hpp"
+
+namespace jungle::monitor {
+
+/// Per-shard routing + checking telemetry (ShardedStreamChecker::shardStats).
+struct ShardStats {
+  /// Non-empty projections fed to this shard's checker.
+  std::uint64_t unitsRouted = 0;
+  /// Routed units that were shared with at least one other shard.
+  std::uint64_t crossShardJoins = 0;
+  /// Gap/drop signals delivered to this shard (its taint bits were hit).
+  std::uint64_t gapSignals = 0;
+  /// The shard checker's own counters (incl. taintedWindowSkips and
+  /// escalation latency min/total/max).
+  StreamStats stream;
+};
+
+/// Shard owning variable x when K shards are configured (K divides 64, so
+/// this agrees with the taint-bit mapping: bit (x & 63) belongs to shard
+/// (x & 63) mod K == x mod K).
+inline std::size_t shardOfVar(ObjectId x, std::size_t k) {
+  return static_cast<std::size_t>(x % k);
+}
+
+/// Union of the taint bits shard s owns under K shards.
+std::uint64_t shardTaintBits(std::size_t s, std::size_t k);
+
+/// Shard-s projection of a unit: delimiters plus the command events whose
+/// object belongs to shard s (exposed for the routing-exactness tests).
+/// gapBefore/taintMask are copied verbatim — the router decides per shard
+/// whether the gap applies.
+StreamUnit projectUnit(const StreamUnit& u, std::size_t s, std::size_t k);
+
+class ShardedStreamChecker {
+ public:
+  /// `shards` must divide 64 (1, 2, 4, 8, ...) so variable taint bits map
+  /// to exactly one shard.  K == 1 degenerates to the serial checker plus
+  /// taint-aware drop handling, with no thread pool.
+  ShardedStreamChecker(const StreamOptions& opts, std::size_t shards);
+
+  ShardedStreamChecker(const ShardedStreamChecker&) = delete;
+  ShardedStreamChecker& operator=(const ShardedStreamChecker&) = delete;
+
+  std::size_t shards() const { return checkers_.size(); }
+
+  /// Routes the unit's projections (and, when gapBefore, its gap signal)
+  /// onto the per-shard queues.  Call pump() to run the queued work.
+  /// Units must arrive in ascending epoch order, as for StreamChecker.
+  void feed(StreamUnit unit);
+
+  /// The capture dropped units with (cumulative) footprint `taintMask`
+  /// before any gap marker could be placed: resync the intersecting
+  /// shards, leave the rest checking (they record a taint skip).
+  void noteDrops(std::uint64_t taintMask);
+
+  /// Drains every shard queue; parallel across shards when K > 1.  On
+  /// return the shards are quiescent and may be inspected directly.
+  void pump();
+
+  /// Per-shard dropSuspect from the collector's unresolved-drop taint
+  /// union: shard s is suspect iff `suspectMask` intersects its bits.
+  /// Call after pump() (shards must be quiescent).
+  void setDropSuspect(std::uint64_t suspectMask);
+
+  /// Global quiescent instant certified by the collector: every shard may
+  /// publish its pending conviction (the joining stage; see file comment).
+  void onQuiescent();
+
+  /// True while any shard holds a confirmed-but-unpublished conviction.
+  bool hasPendingConviction() const;
+
+  /// Stream idle: give every shard with a pending escalation its engine
+  /// run (parallel across shards when K > 1).
+  void onIdle();
+
+  /// Stream fully drained; runs each shard's final escalation (parallel)
+  /// and publishes surviving convictions.  Call exactly once.
+  void finish();
+
+  /// Aggregated stream stats across shards (mergeStreamStats).
+  StreamStats stats() const;
+
+  /// Per-shard telemetry; `stream` fields are snapshotted at call time.
+  std::vector<ShardStats> shardStats() const;
+
+  /// All shards' violations, shard-major; descriptions are annotated with
+  /// the owning shard when K > 1.
+  std::vector<MonitorViolation> violations() const;
+
+  /// Direct access for white-box tests (only meaningful between pumps).
+  const StreamChecker& shard(std::size_t s) const { return *checkers_[s]; }
+
+ private:
+  struct Cmd {
+    enum class Kind : std::uint8_t {
+      kUnit,      // feed `unit` to the shard checker
+      kGap,       // drop hit this shard with no carrying projection: resync
+      kTaintSkip  // drop missed this shard: telemetry only
+    };
+    Kind kind = Kind::kUnit;
+    StreamUnit unit;
+  };
+
+  void enqueueGapSignals(std::uint64_t taintMask);
+  void drainShard(std::size_t s);
+
+  std::vector<std::unique_ptr<StreamChecker>> checkers_;
+  std::vector<std::deque<Cmd>> queues_;
+  std::vector<ShardStats> routing_;  // stream fields filled on snapshot
+  std::unique_ptr<ThreadPool> pool_;  // null when K == 1
+};
+
+}  // namespace jungle::monitor

@@ -29,6 +29,31 @@ std::size_t commandEvents(const StreamUnit& u) {
 
 }  // namespace
 
+void mergeStreamStats(StreamStats& into, const StreamStats& from) {
+  into.unitsChecked += from.unitsChecked;
+  into.opsChecked += from.opsChecked;
+  into.rechecks += from.rechecks;
+  into.inconclusiveRechecks += from.inconclusiveRechecks;
+  into.gcUnits += from.gcUnits;
+  into.resyncs += from.resyncs;
+  into.suppressedVerdicts += from.suppressedVerdicts;
+  into.violations += from.violations;
+  into.windowUnits += from.windowUnits;
+  into.windowEvents += from.windowEvents;
+  into.peakWindowUnits = std::max(into.peakWindowUnits, from.peakWindowUnits);
+  into.peakWindowEvents =
+      std::max(into.peakWindowEvents, from.peakWindowEvents);
+  into.escalationUsTotal += from.escalationUsTotal;
+  into.escalationUsMax = std::max(into.escalationUsMax, from.escalationUsMax);
+  if (from.rechecks > 0) {
+    into.escalationUsMin = into.rechecks == from.rechecks
+                               ? from.escalationUsMin
+                               : std::min(into.escalationUsMin,
+                                          from.escalationUsMin);
+  }
+  into.taintedWindowSkips += from.taintedWindowSkips;
+}
+
 StreamChecker::StreamChecker(const StreamOptions& opts) : opts_(opts) {
   JUNGLE_CHECK(opts_.model != nullptr);
   JUNGLE_CHECK(opts_.gcRetain >= 1);
@@ -211,8 +236,17 @@ void StreamChecker::runEscalation(bool final) {
   limits.maxExpansions = opts_.recheckMaxExpansions;
   limits.timeout = opts_.recheckTimeout;
   limits.threads = opts_.recheckThreads;
+  const auto t0 = std::chrono::steady_clock::now();
   const CheckResult r =
       checkParametrizedOpacity(h, *opts_.model, specs_, limits);
+  const auto us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  stats_.escalationUsTotal += us;
+  stats_.escalationUsMax = std::max(stats_.escalationUsMax, us);
+  stats_.escalationUsMin =
+      stats_.rechecks == 1 ? us : std::min(stats_.escalationUsMin, us);
   if (r.satisfied) {
     collapse(r.witness ? *r.witness : History{});
     return;

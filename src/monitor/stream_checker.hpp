@@ -117,7 +117,20 @@ struct StreamStats {
   std::size_t windowEvents = 0;
   std::size_t peakWindowUnits = 0;
   std::size_t peakWindowEvents = 0;
+  /// Engine-run (escalation) wall latency in microseconds; min is 0 until
+  /// the first escalation runs.  Mean = total / rechecks.
+  std::uint64_t escalationUsTotal = 0;
+  std::uint64_t escalationUsMin = 0;
+  std::uint64_t escalationUsMax = 0;
+  /// Gap markers whose taint footprint missed this checker's variables
+  /// entirely, so the window survived where the pre-taint rule would have
+  /// resynced and suppressed (per-variable drop-taint telemetry).
+  std::uint64_t taintedWindowSkips = 0;
 };
+
+/// Fold `from` into `into` (sharded collectors aggregate per-shard stream
+/// stats; counters add, peaks/extrema combine).
+void mergeStreamStats(StreamStats& into, const StreamStats& from);
 
 class StreamChecker {
  public:
@@ -156,6 +169,11 @@ class StreamChecker {
   /// escalation's verdict is now final (no explaining unit can still be in
   /// flight).  Call exactly once, after the last feed().
   void finish();
+
+  /// A gap marker's taint footprint missed this checker's variables: the
+  /// routing layer kept the window alive instead of resyncing (telemetry
+  /// only; the checker's state is untouched).
+  void noteTaintSkip() { ++stats_.taintedWindowSkips; }
 
   const StreamStats& stats() const { return stats_; }
   const std::vector<MonitorViolation>& violations() const {

@@ -147,8 +147,10 @@ class TxQueue {
 class TxMap {
  public:
   static constexpr Word kEmpty = 0;
-  /// Fits in 32 bits so the map also works on VersionedWriteTm, whose
-  /// packed words cap values at PackedVar::kMaxValue.
+  /// Historical choice from when VersionedWriteTm packed values into 32
+  /// bits; kept (any nonzero reserved word works — every TM now stores
+  /// full 64-bit values) so existing serialized fixtures keep their
+  /// meaning.
   static constexpr Word kTombstone = 0xffffffffULL;
 
   TxMap(TmRuntime& tm, SlotAllocator& slots, std::size_t capacity)

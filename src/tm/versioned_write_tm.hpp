@@ -1,38 +1,65 @@
 // Theorem 5's construction: **constant-time** instrumentation of
-// non-transactional writes (a single wide store of ⟨value, pid, per-process
-// version⟩), **no** instrumentation of non-transactional reads, global-lock
-// transactions with CAS write-back.  Guarantees opacity parametrized by any
-// memory model outside M_rr ∪ M_wr — e.g. Alpha — and, with dependence-
-// aware fencing for data-dependent reads, RMO/Java-class models (§5.2).
+// non-transactional writes, **no** instrumentation of non-transactional
+// reads, global-lock transactions with CAS write-back.  Guarantees opacity
+// parametrized by any memory model outside M_rr ∪ M_wr — e.g. Alpha — and,
+// with dependence-aware fencing for data-dependent reads, RMO/Java-class
+// models (§5.2).
 //
-// Why the version tag: it makes every non-transactional write produce a
-// word the memory has never held, so a transaction's commit-time CAS can
-// never be fooled by an A-B-A pattern of racy writes — a CAS beaten by a
-// tagged write is exactly "the write landed after the transaction", which
+// The paper packs ⟨value, pid, version⟩ into one wide store, which caps
+// values at the leftover bits.  This implementation widens the construction
+// to a *two-word* scheme so values keep the full 64 bits: each variable x
+// owns a value word (address x) and a tag word (address numVars + x), and a
+// non-transactional write stores a fresh tag ⟨pid, version⟩ first, then the
+// value.  The tag plays exactly the role the version field played in the
+// packed word: every non-transactional write makes the tag word hold a
+// value the memory has never held, so a transaction's commit-time tag-CAS
+// can never be fooled by an A-B-A pattern of racy writes — a CAS beaten by
+// a fresh tag is exactly "the write landed after the transaction", which
 // the proof places after T in the witness history.
 //
-// Packing (64-bit word): [ value:32 | pid:8 | version:24 ].  Values are
-// truncated to 32 bits at the API boundary (checked).
+// Commit writes back per variable as: CAS the tag (expected = the tag
+// captured at first access) and, only if that succeeds, CAS the value
+// (expected = the captured value).  Either CAS losing means a racy
+// non-transactional write intervened and the transaction's write is
+// dropped; the witness serializes the racy writer after T (tag-CAS lost:
+// the writer's tag landed after capture) or before T with an equal value
+// (value-CAS "succeeding" against a racing writer's identical value is
+// indistinguishable from T overwriting it — T read that very value, so
+// ordering the writer before T is consistent).
+//
+// Capture order is value THEN tag, and the non-transactional writer's
+// store order is tag THEN value — both mandatory.  Reversing the capture
+// (tag first) admits a lost-write violation: a writer's ⟨tag, value⟩ pair
+// can land between the two capture loads, leaving T holding the OLD tag
+// with the NEW value; T's commit tag-CAS then fails (the writer must
+// serialize after T) even though T read the writer's value (the writer
+// must serialize before T) — a contradiction no witness can satisfy.
+// With value-first capture every interleaving of the two stores and two
+// loads yields a consistent witness (the conformance suite and the
+// schedule explorer check this exhaustively on small programs).
 #pragma once
 
 #include "tm/global_lock_tm.hpp"
 
 namespace jungle {
 
-struct PackedVar {
-  static constexpr unsigned kValueBits = 32;
-  static constexpr unsigned kPidBits = 8;
-  static constexpr unsigned kVersionBits = 24;
-  static constexpr Word kMaxValue = (Word{1} << kValueBits) - 1;
+/// Tag word codec for VersionedWriteTm: ⟨pid:16 | version:48⟩, with the
+/// per-process version pre-incremented before every tagged store so a
+/// written tag is never 0 (0 = "never non-transactionally written", the
+/// initial tag word).
+struct WriteTag {
+  static constexpr unsigned kPidBits = 16;
+  static constexpr unsigned kVersionBits = 48;
 
-  static Word pack(Word value, ProcessId pid, std::uint32_t version) {
-    JUNGLE_DCHECK(value <= kMaxValue);
-    return (value << (kPidBits + kVersionBits)) |
-           (static_cast<Word>(pid & 0xff) << kVersionBits) |
-           (version & ((1u << kVersionBits) - 1));
+  static Word pack(ProcessId pid, std::uint64_t version) {
+    return (static_cast<Word>(pid & 0xffff) << kVersionBits) |
+           (version & ((Word{1} << kVersionBits) - 1));
   }
-  static Word value(Word packed) {
-    return packed >> (kPidBits + kVersionBits);
+  static ProcessId pid(Word tag) {
+    return static_cast<ProcessId>(tag >> kVersionBits);
+  }
+  static std::uint64_t version(Word tag) {
+    return tag & ((Word{1} << kVersionBits) - 1);
   }
 };
 
@@ -43,18 +70,22 @@ class VersionedWriteTm {
   static constexpr bool kInstrumentsNtWrites = true;
   static constexpr const char* kName = "versioned-write";
 
-  static std::size_t memoryWords(std::size_t numVars) { return numVars + 1; }
+  /// Per variable: a value word and a tag word; plus the global lock.
+  static std::size_t memoryWords(std::size_t numVars) {
+    return 2 * numVars + 1;
+  }
 
   VersionedWriteTm(Mem& mem, std::size_t numVars)
-      : mem_(mem), numVars_(numVars), lockAddr_(numVars) {
+      : mem_(mem), numVars_(numVars), lockAddr_(2 * numVars) {
     JUNGLE_CHECK(mem.size() >= memoryWords(numVars));
   }
 
   struct Thread {
     ProcessId pid = 0;
-    VarMap readset;   // original *packed* words
-    VarMap writeset;  // new values (unpacked)
-    std::uint32_t version = 0;  // per-process, thread-local: no memory cost
+    VarMap readset;  // original values (first-access capture)
+    VarMap tagset;   // original tags (same capture)
+    VarMap writeset;  // new values
+    std::uint64_t version = 0;  // per-process, thread-local: no memory cost
     bool inTx = false;
     /// Identifier of this thread's previous operation (for marking
     /// data-dependent reads); meaningful under recording policies.
@@ -91,12 +122,10 @@ class VersionedWriteTm {
   }
 
   void txWrite(Thread& t, ObjectId x, Word v) {
-    JUNGLE_CHECK(t.inTx && x < numVars_ && v <= PackedVar::kMaxValue);
+    JUNGLE_CHECK(t.inTx && x < numVars_);
     const OpId op = mem_.beginOp(t.pid, OpType::kCommand, x, cmdWrite(v));
     mem_.markPoint(t.pid, op);
-    if (t.readset.find(x) == nullptr) {
-      t.readset.put(x, mem_.load(t.pid, x));  // packed original
-    }
+    if (t.readset.find(x) == nullptr) capture(t, x);
     t.writeset.put(x, v);
     mem_.endOp(t.pid, op, OpType::kCommand, x, cmdWrite(v));
   }
@@ -105,11 +134,20 @@ class VersionedWriteTm {
     JUNGLE_CHECK(t.inTx);
     const OpId op = mem_.beginOp(t.pid, OpType::kCommit, kNoObject, {});
     for (const auto& [x, vNew] : t.writeset) {
-      const Word* packedOld = t.readset.find(x);
-      JUNGLE_CHECK(packedOld != nullptr);
+      const Word* origVal = t.readset.find(x);
+      const Word* origTag = t.tagset.find(x);
+      JUNGLE_CHECK(origVal != nullptr && origTag != nullptr);
       ++t.version;
-      mem_.cas(t.pid, x, *packedOld,
-               PackedVar::pack(vNew, t.pid, t.version));
+      // Both CAS outcomes are ignored by design: a lost tag-CAS means a
+      // racy writer's tag landed after capture (the writer serializes
+      // after T, T's write is dropped); a lost value-CAS means the
+      // writer's value already landed (same placement); a value-CAS that
+      // "wins" against a racing writer's equal value orders that writer
+      // before T, which is consistent because T read exactly that value.
+      if (mem_.cas(t.pid, tagAddr(x), *origTag,
+                   WriteTag::pack(t.pid, t.version))) {
+        mem_.cas(t.pid, x, *origVal, vNew);
+      }
     }
     mem_.markPoint(t.pid, op);
     mem_.store(t.pid, lockAddr_, 0);
@@ -127,11 +165,12 @@ class VersionedWriteTm {
     finish(t);
   }
 
-  /// Uninstrumented read: one load (unpacking is local computation).
+  /// Uninstrumented read: one load of the value word (the tag word is
+  /// never touched on the read path).
   Word ntRead(Thread& t, ObjectId x) {
     JUNGLE_CHECK(!t.inTx && x < numVars_);
     const OpId op = mem_.beginOp(t.pid, OpType::kCommand, x, cmdRead(0));
-    const Word v = PackedVar::value(mem_.load(t.pid, x));
+    const Word v = mem_.load(t.pid, x);
     mem_.markPoint(t.pid, op);
     mem_.endOp(t.pid, op, OpType::kCommand, x, cmdRead(v));
     t.lastOp = op;
@@ -152,7 +191,7 @@ class VersionedWriteTm {
                      "dependent read needs a preceding operation");
     const Command announce = cmdDdRead(0, {t.lastOp});
     const OpId op = mem_.beginOp(t.pid, OpType::kCommand, x, announce);
-    const Word v = PackedVar::value(mem_.load(t.pid, x));
+    const Word v = mem_.load(t.pid, x);
     mem_.markPoint(t.pid, op);
     mem_.endOp(t.pid, op, OpType::kCommand, x, cmdDdRead(v, {t.lastOp}));
     t.lastOp = op;
@@ -184,7 +223,7 @@ class VersionedWriteTm {
       if (lg == 0 && mem_.cas(t.pid, lockAddr_, 0, t.pid + 1)) break;
       backoff.pause();
     }
-    const Word v = PackedVar::value(mem_.load(t.pid, x));
+    const Word v = mem_.load(t.pid, x);
     mem_.markPoint(t.pid, op);
     mem_.store(t.pid, lockAddr_, 0);
     mem_.endOp(t.pid, op, OpType::kCommand, x,
@@ -193,29 +232,42 @@ class VersionedWriteTm {
     return v;
   }
 
-  /// Constant-time instrumented write: exactly one store; the version
-  /// increment is thread-local.
+  /// Constant-time instrumented write: two stores (fresh tag, then the
+  /// full 64-bit value); the version increment is thread-local.  Tag
+  /// before value is mandatory — see the file comment.
   void ntWrite(Thread& t, ObjectId x, Word v) {
-    JUNGLE_CHECK(!t.inTx && x < numVars_ && v <= PackedVar::kMaxValue);
+    JUNGLE_CHECK(!t.inTx && x < numVars_);
     const OpId op = mem_.beginOp(t.pid, OpType::kCommand, x, cmdWrite(v));
     ++t.version;
-    mem_.store(t.pid, x, PackedVar::pack(v, t.pid, t.version));
+    mem_.store(t.pid, tagAddr(x), WriteTag::pack(t.pid, t.version));
+    mem_.store(t.pid, x, v);
     mem_.markPoint(t.pid, op);
     mem_.endOp(t.pid, op, OpType::kCommand, x, cmdWrite(v));
     t.lastOp = op;
   }
 
  private:
+  Addr tagAddr(ObjectId x) const { return numVars_ + x; }
+
+  /// First-access capture: value word, THEN tag word (the order the
+  /// write-back CASes depend on; see the file comment).
+  void capture(Thread& t, ObjectId x) {
+    const Word v = mem_.load(t.pid, x);
+    const Word tag = mem_.load(t.pid, tagAddr(x));
+    t.readset.put(x, v);
+    t.tagset.put(x, tag);
+  }
+
   Word readThroughSets(Thread& t, ObjectId x) {
     if (const Word* w = t.writeset.find(x)) return *w;
-    if (const Word* r = t.readset.find(x)) return PackedVar::value(*r);
-    const Word packed = mem_.load(t.pid, x);
-    t.readset.put(x, packed);
-    return PackedVar::value(packed);
+    if (const Word* r = t.readset.find(x)) return *r;
+    capture(t, x);
+    return *t.readset.find(x);
   }
 
   void finish(Thread& t) {
     t.readset.clear();
+    t.tagset.clear();
     t.writeset.clear();
     t.inTx = false;
   }

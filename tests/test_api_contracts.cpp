@@ -50,12 +50,15 @@ TEST(ApiContracts, CommitWithoutStartDies) {
   EXPECT_DEATH((void)tm.txCommit(t), "check failed");
 }
 
-TEST(ApiContracts, VersionedWriteValueRangeEnforced) {
+TEST(ApiContracts, VersionedWriteAcceptsFullWidthValues) {
+  // The old packed encoding rejected values above 2^32 - 1; the two-word
+  // scheme must take any 64-bit word like every other TM.
   using VW = VersionedWriteTm<NativeMemory>;
   NativeMemory mem(VW::memoryWords(2));
   VW tm(mem, 2);
   auto t = tm.makeThread(0);
-  EXPECT_DEATH(tm.ntWrite(t, 0, PackedVar::kMaxValue + 1), "check failed");
+  tm.ntWrite(t, 0, (Word{1} << 32) + 1);
+  EXPECT_EQ(tm.ntRead(t, 0), (Word{1} << 32) + 1);
 }
 
 TEST(ApiContracts, InsufficientMemoryDies) {

@@ -132,6 +132,59 @@ TEST(FuzzDriver, InjectedEngineBugIsCaughtAndShrunk) {
   }
 }
 
+// ------------------------------------------------- traces mode (monitor)
+
+TEST(FuzzDriver, TracesModeMonitorLegRunsShardedAndSerialInAgreement) {
+  // The monitor leg's sharded-vs-serial differential: over enough traces
+  // iterations the shard sampler must actually draw K > 1 runs, every
+  // verdict on a stock TM must be clean, and — the property the
+  // differential exists for — no sharded/serial disagreement may be
+  // recorded.
+  fuzz::FuzzOptions opts;
+  opts.mode = fuzz::FuzzOptions::Mode::kTraces;
+  opts.seed = 11;
+  opts.iterations = 24;  // 6 land on the monitor leg (iter % 4 == 1)
+  const fuzz::FuzzReport report = fuzz::runFuzz(opts);
+  EXPECT_GT(report.monitorRuns, 0u);
+  EXPECT_GT(report.monitorShardedRuns, 0u)
+      << "shard sampler never drew K > 1: the differential leg is dead";
+  EXPECT_EQ(report.monitorViolations, 0u) << fuzz::formatReport(opts, report);
+  EXPECT_EQ(report.disagreements, 0u) << fuzz::formatReport(opts, report);
+}
+
+TEST(FuzzDriver, TracesModeMonitorLegDiversifiesWorkloads) {
+  // Guard for the per-iteration workload diversity: across a modest run
+  // the monitor leg must exercise clearly distinct event volumes (the old
+  // leg's fixed 4..9-var, unpaced shape produced a narrow band).  Distinct
+  // seeds -> distinct per-iteration draws is the cheap observable.
+  fuzz::FuzzOptions opts;
+  opts.mode = fuzz::FuzzOptions::Mode::kTraces;
+  opts.iterations = 12;
+  opts.seed = 21;
+  const fuzz::FuzzReport a = fuzz::runFuzz(opts);
+  opts.seed = 22;
+  const fuzz::FuzzReport b = fuzz::runFuzz(opts);
+  EXPECT_GT(a.monitorEvents, 0u);
+  EXPECT_GT(b.monitorEvents, 0u);
+  EXPECT_NE(a.monitorEvents, b.monitorEvents)
+      << "two seeds produced identical capture volume: diversity draws "
+         "are likely not being consumed";
+}
+
+TEST(FuzzDriver, MonitorShardedRunsCountOnlyShardedIterations) {
+  // Accounting contract: monitorShardedRuns <= monitorRuns, and each
+  // sharded iteration contributes exactly one run to the counter even
+  // though it executes two monitors (sharded + serial replay).
+  fuzz::FuzzOptions opts;
+  opts.mode = fuzz::FuzzOptions::Mode::kTraces;
+  opts.seed = 33;
+  opts.iterations = 32;
+  const fuzz::FuzzReport report = fuzz::runFuzz(opts);
+  EXPECT_LE(report.monitorShardedRuns, report.monitorRuns);
+  // iter % 4 == 1 -> 8 monitor iterations at 32 total.
+  EXPECT_EQ(report.monitorRuns, 8u);
+}
+
 // ----------------------------------------- inconclusive is not a verdict
 
 /// The adversarial family from test_engine_equivalence: a barren

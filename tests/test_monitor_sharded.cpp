@@ -1,0 +1,665 @@
+// The sharded merge-and-check stage (monitor/sharded_checker.hpp) and the
+// per-variable drop-taint machinery behind it, tested at every layer:
+// taint-bit partition exactness, ring-side footprint accumulation and the
+// gap marker's mask snapshot, projection routing (cross-shard units reach
+// every touched shard, nothing else), the taint rules (a drop on one
+// shard's variables leaves the others' windows alive — including the
+// headline property that an untainted shard still convicts while another
+// ring is saturated), the global-quiescence joining stage, serial-vs-
+// sharded verdict equivalence on the shipped history corpus, parallel-
+// escalation determinism across recheckThreads, and an 8-producer/4-shard
+// end-to-end stress (run under TSan by the monitor-smoke CI job).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "litmus/history_parser.hpp"
+#include "memmodel/models.hpp"
+#include "monitor/monitor.hpp"
+#include "monitor/sharded_checker.hpp"
+#include "tm/runtime.hpp"
+
+#ifndef JUNGLE_HISTORIES_DIR
+#error "JUNGLE_HISTORIES_DIR must be defined by the build"
+#endif
+
+namespace jungle::monitor {
+namespace {
+
+// --------------------------------------------------------------- helpers
+
+StreamUnit txUnit(ProcessId pid, std::uint64_t base,
+                  std::vector<MonitorEvent> body,
+                  StreamUnit::Kind kind = StreamUnit::Kind::kCommittedTx) {
+  StreamUnit u;
+  u.kind = kind;
+  u.pid = pid;
+  u.epoch = base;
+  u.events.push_back({base, kNoObject, EventKind::kTxStart, 0});
+  for (MonitorEvent e : body) {
+    e.ticket = base;
+    u.events.push_back(e);
+  }
+  u.events.push_back({base + 1, kNoObject,
+                      kind == StreamUnit::Kind::kAbortedTx
+                          ? EventKind::kTxAbort
+                          : EventKind::kTxCommit,
+                      0});
+  return u;
+}
+
+StreamOptions smallOpts() {
+  StreamOptions so;
+  so.model = &scModel();
+  so.gcRetain = 4;
+  so.settleUnits = 2;
+  so.recheckTimeout = std::chrono::milliseconds(2000);
+  return so;
+}
+
+/// Feeds `c` a stream whose only defect lives on variable `x`: a read of a
+/// value nobody ever wrote, padded with enough clean traffic (also on `x`)
+/// to confirm and settle the conviction.
+void feedImpossibleRead(ShardedStreamChecker& c, ObjectId x) {
+  c.feed(txUnit(0, 10, {{0, x, EventKind::kTxWrite, 1}}));
+  c.feed(txUnit(1, 20, {{0, x, EventKind::kTxRead, 7}}));
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    c.feed(txUnit(0, 30 + 10 * i, {{0, x, EventKind::kTxWrite, 5}}));
+  }
+  c.pump();
+}
+
+std::uint64_t totalViolations(const ShardedStreamChecker& c) {
+  return c.stats().violations;
+}
+
+// --------------------------------------------------- taint-bit partition
+
+TEST(ShardTaintBits, PartitionIsExactAndDisjoint) {
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    std::uint64_t seen = 0;
+    for (std::size_t s = 0; s < k; ++s) {
+      const std::uint64_t bits = shardTaintBits(s, k);
+      EXPECT_EQ(seen & bits, 0u) << "overlap at K=" << k << " s=" << s;
+      seen |= bits;
+    }
+    EXPECT_EQ(seen, ~0ULL) << "bits uncovered at K=" << k;
+  }
+}
+
+TEST(ShardTaintBits, VariableBitLandsInItsOwningShard) {
+  // The whole scheme hinges on this agreement: taint bit (x & 63) must
+  // belong to exactly the shard x mod K, including variables above 63
+  // (which alias bits but — since K divides 64 — alias into the SAME
+  // shard: (x + 64) mod K == x mod K).
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    for (ObjectId x = 0; x < 200; ++x) {
+      const std::size_t owner = shardOfVar(x, k);
+      for (std::size_t s = 0; s < k; ++s) {
+        EXPECT_EQ((shardTaintBits(s, k) & varTaintBit(x)) != 0, s == owner)
+            << "x=" << x << " K=" << k << " s=" << s;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------- ring-side taint
+
+TEST(EventRingTaint, DroppedFootprintsAccumulateAcrossDrops) {
+  EventRing ring(4);
+  const MonitorEvent ev{1, 0, EventKind::kNtWrite, 5};
+  MonitorEvent unit[3] = {ev, ev, ev};
+  ASSERT_TRUE(ring.tryPushUnit(unit, 3, true, varTaintBit(0)));
+  EXPECT_EQ(ring.taintMask(), 0u) << "successful push must not taint";
+  ASSERT_FALSE(ring.tryPushUnit(unit, 3, true, varTaintBit(5)));
+  EXPECT_EQ(ring.taintMask(), varTaintBit(5));
+  ASSERT_FALSE(ring.tryPushUnit(unit, 3, true, varTaintBit(9)));
+  // Cumulative by design: resetting on marker push would hide the taint
+  // of drops counted after a marker was assembled but before it landed.
+  EXPECT_EQ(ring.taintMask(), varTaintBit(5) | varTaintBit(9));
+}
+
+TEST(EventCaptureTaint, GapMarkerSnapshotsCumulativeMaskIntoTicket) {
+  CaptureOptions co;
+  co.ringCapacity = 8;
+  EventCapture cap(1, co);
+  EventRing& ring = cap.ring(0);
+
+  const auto flushTx = [&](ObjectId x) {
+    cap.beginUnit(0);
+    std::vector<MonitorEvent> buf;
+    buf.push_back({cap.claimTicket(), kNoObject, EventKind::kTxStart, 0});
+    buf.push_back({0, x, EventKind::kTxWrite, 9});
+    cap.flushUnit(0, buf, EventKind::kTxCommit);
+  };
+
+  flushTx(3);  // fits
+  flushTx(3);  // fits
+  flushTx(6);  // dropped: taints bit 6
+  flushTx(7);  // dropped: taints bit 7
+  MonitorEvent ev;
+  while (ring.tryPop(ev)) {
+  }
+  flushTx(3);  // pushes the gap marker first
+  ASSERT_TRUE(ring.tryPop(ev));
+  ASSERT_EQ(ev.kind, EventKind::kGapMarker);
+  EXPECT_EQ(ev.value, 2u);
+  EXPECT_EQ(ev.ticket, varTaintBit(6) | varTaintBit(7))
+      << "marker must carry the dropped units' exact footprint";
+}
+
+// ------------------------------------------------------------ projection
+
+TEST(ProjectUnit, KeepsDelimitersAndOwnedCommandsOnly) {
+  const StreamUnit u = txUnit(2, 100,
+                              {{0, 0, EventKind::kTxWrite, 1},
+                               {0, 1, EventKind::kTxRead, 2},
+                               {0, 2, EventKind::kTxWrite, 3},
+                               {0, 5, EventKind::kTxWrite, 4}});
+  for (std::size_t s = 0; s < 4; ++s) {
+    const StreamUnit p = projectUnit(u, s, 4);
+    ASSERT_GE(p.events.size(), 2u);
+    EXPECT_EQ(p.events.front().kind, EventKind::kTxStart);
+    EXPECT_EQ(p.events.back().kind, EventKind::kTxCommit);
+    for (std::size_t i = 1; i + 1 < p.events.size(); ++i) {
+      EXPECT_EQ(shardOfVar(p.events[i].obj, 4), s);
+    }
+  }
+  // Vars 0,1,2 land alone in shards 0,1,2; shard 1 owns both 1 and 5.
+  EXPECT_EQ(projectUnit(u, 0, 4).events.size(), 3u);
+  EXPECT_EQ(projectUnit(u, 1, 4).events.size(), 4u);
+  EXPECT_EQ(projectUnit(u, 2, 4).events.size(), 3u);
+  EXPECT_EQ(projectUnit(u, 3, 4).events.size(), 2u);  // delimiters only
+}
+
+TEST(ProjectUnit, CopiesUnitMetadataVerbatim) {
+  StreamUnit u = txUnit(3, 70, {{0, 1, EventKind::kTxWrite, 1}},
+                        StreamUnit::Kind::kAbortedTx);
+  u.gapBefore = true;
+  u.dropsCovered = 9;
+  u.taintMask = varTaintBit(1) | varTaintBit(2);
+  const StreamUnit p = projectUnit(u, 1, 2);
+  EXPECT_EQ(p.kind, StreamUnit::Kind::kAbortedTx);
+  EXPECT_EQ(p.pid, 3);
+  EXPECT_EQ(p.epoch, 70u);
+  EXPECT_TRUE(p.gapBefore);
+  EXPECT_EQ(p.dropsCovered, 9u);
+  EXPECT_EQ(p.taintMask, u.taintMask);
+}
+
+// --------------------------------------------------------------- routing
+
+TEST(ShardedRouting, CrossShardUnitReachesEveryTouchedShardOnce) {
+  ShardedStreamChecker c(smallOpts(), 2);
+  c.feed(txUnit(0, 10,
+                {{0, 0, EventKind::kTxWrite, 1},
+                 {0, 1, EventKind::kTxWrite, 2}}));
+  c.feed(txUnit(0, 20, {{0, 0, EventKind::kTxWrite, 3}}));
+  c.pump();
+  const auto stats = c.shardStats();
+  EXPECT_EQ(stats[0].unitsRouted, 2u);
+  EXPECT_EQ(stats[1].unitsRouted, 1u);
+  EXPECT_EQ(stats[0].crossShardJoins, 1u);
+  EXPECT_EQ(stats[1].crossShardJoins, 1u);
+  c.finish();
+  EXPECT_EQ(totalViolations(c), 0u);
+}
+
+TEST(ShardedRouting, DelimiterOnlyUnitsRouteToShardZero) {
+  // Zero-footprint transactions (all reads/writes were dropped from the
+  // body, or an empty transaction) still need unitsChecked accounting
+  // somewhere deterministic.
+  ShardedStreamChecker c(smallOpts(), 4);
+  c.feed(txUnit(1, 10, {}));
+  c.pump();
+  const auto stats = c.shardStats();
+  EXPECT_EQ(stats[0].unitsRouted, 1u);
+  for (std::size_t s = 1; s < 4; ++s) {
+    EXPECT_EQ(stats[s].unitsRouted, 0u);
+  }
+  c.finish();
+}
+
+TEST(ShardedRouting, SingleShardMatchesSerialCheckerExactly) {
+  // K = 1 must degenerate to the serial checker: same counters, same
+  // verdict, on both a clean and a violating stream.
+  for (const bool violate : {false, true}) {
+    StreamChecker serial(smallOpts());
+    ShardedStreamChecker sharded(smallOpts(), 1);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      const Word v = violate && i == 5 ? 999 : 1;
+      auto mk = [&] {
+        return txUnit(i % 2, 10 * (i + 1),
+                      {{0, 1,
+                        i % 3 == 0 ? EventKind::kTxRead : EventKind::kTxWrite,
+                        i % 3 == 0 ? v : 1}});
+      };
+      serial.feed(mk());
+      sharded.feed(mk());
+      sharded.pump();
+    }
+    serial.finish();
+    sharded.finish();
+    EXPECT_EQ(serial.stats().unitsChecked, sharded.stats().unitsChecked);
+    EXPECT_EQ(serial.stats().opsChecked, sharded.stats().opsChecked);
+    EXPECT_EQ(serial.stats().violations, sharded.stats().violations);
+    EXPECT_EQ(serial.stats().rechecks, sharded.stats().rechecks);
+  }
+}
+
+// ------------------------------------------------------ per-shard taint
+
+TEST(ShardedTaint, GapOnOtherShardsVariablesLeavesWindowAlive) {
+  ShardedStreamChecker c(smallOpts(), 2);
+  c.feed(txUnit(0, 10, {{0, 0, EventKind::kTxWrite, 1}}));
+  c.pump();
+  // A drop whose footprint is entirely shard 1's variable 1.
+  c.noteDrops(varTaintBit(1));
+  c.pump();
+  const auto stats = c.shardStats();
+  EXPECT_EQ(stats[0].gapSignals, 0u);
+  EXPECT_EQ(stats[1].gapSignals, 1u);
+  EXPECT_GE(stats[0].stream.taintedWindowSkips, 1u)
+      << "shard 0 must record that it kept its window";
+  EXPECT_EQ(stats[0].stream.resyncs, 0u);
+  EXPECT_GE(stats[1].stream.resyncs, 1u);
+  c.finish();
+  EXPECT_EQ(totalViolations(c), 0u);
+}
+
+TEST(ShardedTaint, UntaintedShardConvictsWhileOtherShardSaturated) {
+  // The headline property of per-variable taint: drops confined to shard
+  // 1's variables must not buy shard 0's defect an alibi.  The serial
+  // checker (K = 1) under the same suspect mask suppresses — the contrast
+  // is the point, and the suppression must be counted honestly.
+  ShardedStreamChecker sharded(smallOpts(), 2);
+  feedImpossibleRead(sharded, /*x=*/0);
+  sharded.noteDrops(varTaintBit(1));  // saturation elsewhere
+  sharded.pump();
+  sharded.setDropSuspect(varTaintBit(1));
+  sharded.finish();
+  EXPECT_EQ(totalViolations(sharded), 1u)
+      << "conviction on the untainted shard must survive";
+  EXPECT_EQ(sharded.stats().suppressedVerdicts, 0u);
+
+  ShardedStreamChecker serial(smallOpts(), 1);
+  feedImpossibleRead(serial, /*x=*/0);
+  serial.noteDrops(varTaintBit(1));
+  serial.pump();
+  serial.setDropSuspect(varTaintBit(1));
+  serial.finish();
+  EXPECT_EQ(totalViolations(serial), 0u)
+      << "K=1 owns every variable, so the drop suppresses";
+  EXPECT_GE(serial.stats().suppressedVerdicts, 1u);
+}
+
+TEST(ShardedTaint, TaintOnTheDefectsShardSuppresses) {
+  // Converse guard: when the drop's footprint DOES cover the convicting
+  // shard's variables, the sharded checker must be exactly as conservative
+  // as the serial one.
+  ShardedStreamChecker c(smallOpts(), 2);
+  feedImpossibleRead(c, /*x=*/0);
+  c.noteDrops(varTaintBit(0));
+  c.pump();
+  c.setDropSuspect(varTaintBit(0));
+  c.finish();
+  EXPECT_EQ(totalViolations(c), 0u);
+  EXPECT_GE(c.stats().suppressedVerdicts + c.stats().resyncs, 1u);
+}
+
+TEST(ShardedTaint, GappedUnitResyncsOnlyIntersectedShards) {
+  ShardedStreamChecker c(smallOpts(), 2);
+  c.feed(txUnit(0, 10, {{0, 0, EventKind::kTxWrite, 1}}));
+  c.feed(txUnit(0, 20, {{0, 1, EventKind::kTxWrite, 2}}));
+  c.pump();
+  // A gap-marked cross-shard unit whose taint footprint only covers
+  // variable 1: shard 1 resyncs at the exact unit position, shard 0
+  // checks its projection with the window intact.
+  StreamUnit gapped = txUnit(0, 30,
+                             {{0, 0, EventKind::kTxWrite, 3},
+                              {0, 1, EventKind::kTxWrite, 4}});
+  gapped.gapBefore = true;
+  gapped.dropsCovered = 1;
+  gapped.taintMask = varTaintBit(1);
+  c.feed(std::move(gapped));
+  c.pump();
+  const auto stats = c.shardStats();
+  EXPECT_EQ(stats[0].stream.resyncs, 0u);
+  EXPECT_GE(stats[1].stream.resyncs, 1u);
+  EXPECT_GE(stats[0].stream.taintedWindowSkips, 1u);
+  c.finish();
+  EXPECT_EQ(totalViolations(c), 0u);
+}
+
+// ------------------------------------------------------------- the join
+
+TEST(ShardedJoin, ConvictionPublishesOnlyAtGlobalQuiescence) {
+  ShardedStreamChecker c(smallOpts(), 2);
+  feedImpossibleRead(c, /*x=*/0);
+  ASSERT_TRUE(c.hasPendingConviction());
+  EXPECT_EQ(totalViolations(c), 0u)
+      << "no publication before the collector certifies quiescence";
+  c.onQuiescent();
+  EXPECT_FALSE(c.hasPendingConviction());
+  ASSERT_EQ(totalViolations(c), 1u);
+  const auto vs = c.violations();
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_NE(vs[0].description.find("[shard 0 of 2]"), std::string::npos)
+      << vs[0].description;
+}
+
+// ------------------------------------------- corpus verdict equivalence
+
+History loadCorpus(const std::string& name) {
+  const std::string path = std::string(JUNGLE_HISTORIES_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing corpus file " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto r = litmus::parseHistory(buf.str());
+  EXPECT_TRUE(r) << name << ": " << r.error;
+  return *r.history;
+}
+
+/// History → unit stream adapter for the equivalence regression: each
+/// transaction (or non-transactional access) becomes one StreamUnit whose
+/// start/end tickets are its first/last history positions, so real-time
+/// precedence in the history survives as ticket order.  Returns false when
+/// the history uses commands richer than register reads/writes (the
+/// monitor's capture never produces those).
+bool unitsFromHistory(const History& h, std::vector<StreamUnit>& out) {
+  HistoryAnalysis a(h);
+  if (!a.wellFormed()) return false;
+  for (const OpInstance& op : h) {
+    if (op.isCommand() && op.cmd.kind != CmdKind::kRead &&
+        op.cmd.kind != CmdKind::kWrite) {
+      return false;
+    }
+  }
+  const auto ticketOf = [](std::size_t pos) {
+    return static_cast<std::uint64_t>(pos) + 1;
+  };
+  std::vector<bool> inTx(h.size(), false);
+  for (const Transaction& t : a.transactions()) {
+    StreamUnit u;
+    u.kind = t.aborted ? StreamUnit::Kind::kAbortedTx
+                       : StreamUnit::Kind::kCommittedTx;
+    u.pid = t.pid;
+    u.epoch = ticketOf(t.firstPos());
+    for (std::size_t pos : t.positions) {
+      inTx[pos] = true;
+      const OpInstance& op = h[pos];
+      if (op.isStart()) {
+        u.events.push_back({u.epoch, kNoObject, EventKind::kTxStart, 0});
+      } else if (op.isCommit() || op.isAbort()) {
+        u.events.push_back({ticketOf(pos), kNoObject,
+                            op.isAbort() ? EventKind::kTxAbort
+                                         : EventKind::kTxCommit,
+                            0});
+      } else {
+        u.events.push_back({u.epoch, op.obj,
+                            op.cmd.kind == CmdKind::kRead
+                                ? EventKind::kTxRead
+                                : EventKind::kTxWrite,
+                            op.cmd.value});
+      }
+    }
+    // Open transactions (no delimiter yet at end of history) still need a
+    // closing event for the unit to parse; treat them as aborted-in-flight.
+    if (!t.completed()) {
+      u.kind = StreamUnit::Kind::kAbortedTx;
+      u.events.push_back({ticketOf(t.lastPos()), kNoObject,
+                          EventKind::kTxAbort, 0});
+    }
+    out.push_back(std::move(u));
+  }
+  for (std::size_t pos = 0; pos < h.size(); ++pos) {
+    if (inTx[pos] || !h[pos].isCommand()) continue;
+    StreamUnit u;
+    u.kind = StreamUnit::Kind::kNonTx;
+    u.pid = h[pos].pid;
+    u.epoch = ticketOf(pos);
+    u.events.push_back({u.epoch, h[pos].obj,
+                        h[pos].cmd.kind == CmdKind::kRead
+                            ? EventKind::kNtRead
+                            : EventKind::kNtWrite,
+                        h[pos].cmd.value});
+    out.push_back(std::move(u));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StreamUnit& a, const StreamUnit& b) {
+              return a.epoch < b.epoch;
+            });
+  return true;
+}
+
+const char* kRegisterCorpus[] = {"fig1_tear.hist", "fig3.hist",
+                                 "store_buffer.hist",
+                                 "aborted_observer.hist",
+                                 "sgla_split.hist"};
+
+/// Verdict (violations > 0) of the corpus history replayed through the
+/// checker at K shards, with every variable id mapped by `remap`.
+bool shardedVerdict(const History& h, std::size_t k,
+                    ObjectId (*remap)(ObjectId), bool& adapted) {
+  std::vector<StreamUnit> units;
+  adapted = unitsFromHistory(h, units);
+  if (!adapted) return false;
+  ShardedStreamChecker c(smallOpts(), k);
+  for (StreamUnit u : units) {
+    for (MonitorEvent& e : u.events) {
+      if (e.obj != kNoObject) e.obj = remap(e.obj);
+    }
+    c.feed(std::move(u));
+    c.pump();
+  }
+  c.finish();
+  return c.stats().violations > 0;
+}
+
+TEST(ShardedCorpus, ShardAlignedHistoriesGetIdenticalVerdictsAtEveryK) {
+  // With every variable renamed onto shard 0 (x -> 4x, still distinct,
+  // and 4x mod K == 0 for K in {1,2,4}), one shard sees each unit whole —
+  // so K must not change the verdict on any corpus history.  This is the
+  // serial-vs-sharded regression gate for the routing/join layer itself,
+  // with the projection completeness gap factored out.
+  std::size_t adaptedCount = 0;
+  for (const char* name : kRegisterCorpus) {
+    const History h = loadCorpus(name);
+    bool adapted = false;
+    const auto align = [](ObjectId x) { return static_cast<ObjectId>(4 * x); };
+    const bool serial = shardedVerdict(h, 1, align, adapted);
+    if (!adapted) continue;
+    ++adaptedCount;
+    EXPECT_EQ(shardedVerdict(h, 2, align, adapted), serial)
+        << name << " (K=2)";
+    EXPECT_EQ(shardedVerdict(h, 4, align, adapted), serial)
+        << name << " (K=4)";
+  }
+  EXPECT_GE(adaptedCount, 3u)
+      << "corpus regression lost its register histories";
+}
+
+TEST(ShardedCorpus, ShardedConvictionsAreSoundOnEveryRegressionHistory) {
+  // With the corpus's natural variable ids (which straddle shards), the
+  // one direction that must ALWAYS hold is soundness: a shard conviction
+  // implies the serial checker convicts too.  (The converse can fail by
+  // design — see the characterization test below.)
+  const auto identity = [](ObjectId x) { return x; };
+  for (const char* name : kRegisterCorpus) {
+    const History h = loadCorpus(name);
+    bool adapted = false;
+    const bool serial = shardedVerdict(h, 1, identity, adapted);
+    if (!adapted) continue;
+    for (std::size_t k : {2u, 4u}) {
+      const bool sharded = shardedVerdict(h, k, identity, adapted);
+      EXPECT_TRUE(!sharded || serial)
+          << name << " (K=" << k << "): sharded convicted, serial did not";
+    }
+  }
+}
+
+TEST(ShardedCorpus, CrossShardOnlyCyclesEvadeProjectionsByDesign) {
+  // Characterization of the documented completeness tradeoff
+  // (sharded_checker.hpp): store buffering's anomaly is a cycle THROUGH
+  // x and y, each per-variable slice individually explainable — so once
+  // x and y land in different shards the sharded checker acquits where
+  // the serial one convicts.  K = 1 retains full power; this test pins
+  // the gap so a future routing change that silently closes (or widens)
+  // it shows up.
+  const History h = loadCorpus("store_buffer.hist");
+  bool adapted = false;
+  const auto identity = [](ObjectId x) { return x; };
+  ASSERT_TRUE(shardedVerdict(h, 1, identity, adapted));
+  ASSERT_TRUE(adapted);
+  EXPECT_FALSE(shardedVerdict(h, 2, identity, adapted))
+      << "K=2 closed the cross-shard gap: update the docs and this test";
+}
+
+// --------------------------------------- parallel escalation determinism
+
+TEST(ParallelEscalation, RecheckThreadsNeverChangesTheVerdict) {
+  // The engine portfolio is deterministic modulo thread count: the same
+  // violating stream must convict (exactly once, same shrunk size) at
+  // recheckThreads 1, 2 and 4.
+  std::vector<std::size_t> shrunkSizes;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    StreamOptions so = smallOpts();
+    so.recheckThreads = threads;
+    ShardedStreamChecker c(so, 2);
+    feedImpossibleRead(c, /*x=*/0);
+    c.finish();
+    EXPECT_EQ(totalViolations(c), 1u) << "recheckThreads=" << threads;
+    const auto vs = c.violations();
+    ASSERT_EQ(vs.size(), 1u);
+    shrunkSizes.push_back(vs[0].shrunk.size());
+    EXPECT_GE(c.stats().rechecks, 1u);
+  }
+  EXPECT_EQ(shrunkSizes[0], shrunkSizes[1]);
+  EXPECT_EQ(shrunkSizes[0], shrunkSizes[2]);
+}
+
+TEST(EscalationLatency, StatsAreCoherentAfterRechecks) {
+  ShardedStreamChecker c(smallOpts(), 1);
+  feedImpossibleRead(c, /*x=*/0);
+  c.finish();
+  const StreamStats s = c.stats();
+  ASSERT_GE(s.rechecks, 1u);
+  EXPECT_GE(s.escalationUsMax, s.escalationUsMin);
+  EXPECT_GE(s.escalationUsTotal, s.escalationUsMax);
+  EXPECT_LE(s.escalationUsTotal, s.rechecks * (s.escalationUsMax + 1));
+}
+
+TEST(MergeStreamStats, CountersAddAndExtremaCombine) {
+  StreamStats a;
+  a.rechecks = 2;
+  a.escalationUsTotal = 30;
+  a.escalationUsMin = 10;
+  a.escalationUsMax = 20;
+  a.peakWindowUnits = 5;
+  a.violations = 1;
+  StreamStats b;
+  b.rechecks = 1;
+  b.escalationUsTotal = 4;
+  b.escalationUsMin = 4;
+  b.escalationUsMax = 4;
+  b.peakWindowUnits = 9;
+  b.taintedWindowSkips = 3;
+  StreamStats into;
+  mergeStreamStats(into, a);
+  mergeStreamStats(into, b);
+  EXPECT_EQ(into.rechecks, 3u);
+  EXPECT_EQ(into.escalationUsTotal, 34u);
+  EXPECT_EQ(into.escalationUsMin, 4u);
+  EXPECT_EQ(into.escalationUsMax, 20u);
+  EXPECT_EQ(into.peakWindowUnits, 9u);
+  EXPECT_EQ(into.violations, 1u);
+  EXPECT_EQ(into.taintedWindowSkips, 3u);
+  // Merging a shard that never escalated must not drag the minimum to 0.
+  StreamStats idle;
+  mergeStreamStats(into, idle);
+  EXPECT_EQ(into.escalationUsMin, 4u);
+}
+
+// ------------------------------------------------------------ end-to-end
+
+TEST(ShardedMonitor, CleanRunsAcrossShardCountsForEveryTm) {
+  for (TmKind kind : allTmKinds()) {
+    for (const std::size_t shards : {2u, 4u}) {
+      NativeMemory mem(runtimeMemoryWords(kind, 16));
+      auto tm = makeNativeRuntime(kind, mem, 16, 4);
+      MonitorOptions mo;
+      mo.shards = shards;
+      TmMonitor mon(*tm, 4, mo);
+      WorkloadOptions w;
+      w.threads = 4;
+      w.numVars = 16;
+      w.opsPerThread = 800;
+      w.seed = 42;
+      runMonitoredWorkload(mon.runtime(), w);
+      mon.stop();
+      EXPECT_TRUE(mon.ok())
+          << tmKindName(kind) << " shards=" << shards << ": "
+          << (mon.violations().empty() ? ""
+                                       : mon.violations()[0].description);
+      ASSERT_EQ(mon.stats().shards.size(), shards);
+      std::uint64_t routed = 0;
+      for (const ShardStats& s : mon.stats().shards) routed += s.unitsRouted;
+      EXPECT_GT(routed, 0u) << tmKindName(kind);
+    }
+  }
+}
+
+TEST(ShardedMonitor, InjectedCorruptReadIsCaughtUnderFourShards) {
+  NativeMemory mem(runtimeMemoryWords(TmKind::kGlobalLock, 16));
+  auto tm = makeNativeRuntime(TmKind::kGlobalLock, mem, 16, 4);
+  MonitorOptions mo;
+  mo.capture.injectBug = InjectedBug::kCorruptTxRead;
+  mo.shards = 4;
+  TmMonitor mon(*tm, 4, mo);
+  WorkloadOptions w;
+  w.threads = 4;
+  w.numVars = 16;
+  w.opsPerThread = 1200;
+  w.seed = 7;
+  w.pace = std::chrono::microseconds(5);  // drop-free, so convictable
+  runMonitoredWorkload(mon.runtime(), w);
+  mon.stop();
+  ASSERT_FALSE(mon.ok()) << "sharded monitor missed the injected bug";
+  EXPECT_GT(mon.violations()[0].shrunk.size(), 0u);
+}
+
+// 8 producers into 4 shards with tiny rings at full speed: the TSan leg of
+// the monitor-smoke CI job runs exactly this.  An honest sharded monitor
+// reports drops, per-shard gap signals and (usually) taint skips — never a
+// violation of a stock TM.
+TEST(ShardedMonitor, EightProducerFourShardStressStaysHonestUnderDrops) {
+  NativeMemory mem(runtimeMemoryWords(TmKind::kTl2Weak, 32));
+  auto tm = makeNativeRuntime(TmKind::kTl2Weak, mem, 32, 8);
+  MonitorOptions mo;
+  mo.capture.ringCapacity = 256;
+  mo.shards = 4;
+  mo.recheckTimeout = std::chrono::milliseconds(250);
+  TmMonitor mon(*tm, 8, mo);
+  WorkloadOptions w;
+  w.threads = 8;
+  w.numVars = 32;
+  w.opsPerThread = 10000;
+  w.seed = 0x5eed;
+  runMonitoredWorkload(mon.runtime(), w);
+  mon.stop();
+  EXPECT_TRUE(mon.ok()) << mon.violations()[0].description;
+  EXPECT_GT(mon.stats().unitsDropped, 0u)
+      << "stress too gentle: no drops, the taint machinery went untested";
+  ASSERT_EQ(mon.stats().shards.size(), 4u);
+  std::uint64_t gaps = 0;
+  for (const ShardStats& s : mon.stats().shards) gaps += s.gapSignals;
+  EXPECT_GT(gaps, 0u) << "drops happened but no shard saw a gap signal";
+}
+
+}  // namespace
+}  // namespace jungle::monitor

@@ -207,6 +207,46 @@ TEST(Theorem5, RacyWriteAgainstCommitStaysExplainable) {
   EXPECT_TRUE(checkTracePopacity(r, idealizedModel(), kRegisters).ok);
 }
 
+TEST(Theorem5, FullWidthValuesStayExplainable) {
+  // Regression for the old 32-bit payload cap: the two-word tag scheme
+  // must preserve the Theorem 5 guarantees for values above 2^32,
+  // including the A-B-A schedule the version tag exists to defeat.
+  constexpr std::size_t kVars = 2;
+  constexpr Word kBig = (Word{1} << 32) + 12345;
+  RecordingMemory mem(VersionedWriteTm<RecordingMemory>::memoryWords(kVars));
+  VersionedWriteTm<RecordingMemory> tm(mem, kVars);
+  auto t0 = tm.makeThread(0);
+  auto t1 = tm.makeThread(1);
+
+  tm.ntWrite(t1, 0, kBig);
+  tm.txStart(t0);
+  tm.txWrite(t0, 0, kBig + 1);
+  tm.ntWrite(t1, 0, kBig + 2);
+  tm.ntWrite(t1, 0, kBig);  // restores the snapshot value, fresh tag
+  ASSERT_TRUE(tm.txCommit(t0));
+  ASSERT_EQ(tm.ntRead(t1, 0), kBig);  // the commit's tag-CAS lost
+
+  Trace r = mem.trace();
+  EXPECT_TRUE(checkTracePopacity(r, alphaModel(), kRegisters).ok);
+  EXPECT_TRUE(checkTracePopacity(r, idealizedModel(), kRegisters).ok);
+}
+
+TEST(Conformance, AllTmsAcceptIdenticalSixtyFourBitWorkloads) {
+  // Every kind must take the same full-width workload — versioned-write
+  // used to reject values above 2^32 at the API boundary.
+  constexpr Word kBig = ~Word{0} - 17;
+  for (TmKind kind : allTmKinds()) {
+    NativeMemory mem(runtimeMemoryWords(kind, 2));
+    auto tm = makeNativeRuntime(kind, mem, 2, 2);
+    tm->ntWrite(0, 0, kBig);
+    EXPECT_EQ(tm->ntRead(1, 0), kBig) << tmKindName(kind);
+    const bool ok =
+        tm->transaction(0, [&](TxContext& tx) { tx.write(1, tx.read(0) + 1); });
+    EXPECT_TRUE(ok) << tmKindName(kind);
+    EXPECT_EQ(tm->ntRead(1, 1), kBig + 1) << tmKindName(kind);
+  }
+}
+
 TEST(Theorem4, WriteAsTxHandlesWriteHeavyRaces) {
   StressOptions opts;
   opts.seed = 11;

@@ -35,14 +35,22 @@ TEST(VarMap, PutFindOverwriteClear) {
   EXPECT_TRUE(m.empty());
 }
 
-// ------------------------------------------------------------ PackedVar
+// ------------------------------------------------------------- WriteTag
 
-TEST(PackedVar, RoundTripsValuePidVersion) {
-  const Word p = PackedVar::pack(0xdeadbeef, 37, 12345);
-  EXPECT_EQ(PackedVar::value(p), 0xdeadbeefULL);
-  EXPECT_NE(PackedVar::pack(1, 2, 3), PackedVar::pack(1, 2, 4));
-  EXPECT_NE(PackedVar::pack(1, 2, 3), PackedVar::pack(1, 3, 3));
-  EXPECT_EQ(PackedVar::pack(0, 0, 0), 0u);  // zero-init memory reads as 0
+TEST(WriteTag, RoundTripsPidVersion) {
+  const Word tag = WriteTag::pack(37, 123456789);
+  EXPECT_EQ(WriteTag::pid(tag), 37u);
+  EXPECT_EQ(WriteTag::version(tag), 123456789u);
+  EXPECT_NE(WriteTag::pack(2, 3), WriteTag::pack(2, 4));
+  EXPECT_NE(WriteTag::pack(2, 3), WriteTag::pack(3, 3));
+}
+
+TEST(WriteTag, StoredTagsAreNeverTheInitialZero) {
+  // Versions are pre-incremented before every tagged store, so a written
+  // tag always differs from the zero-initialized tag word — a commit CAS
+  // expecting 0 ("never nt-written") cannot be fooled by a real write.
+  EXPECT_NE(WriteTag::pack(0, 1), 0u);
+  EXPECT_EQ(WriteTag::pack(0, 0), 0u);  // the reserved initial encoding
 }
 
 // ------------------------------------------------ generic TM behaviors
@@ -267,12 +275,16 @@ TEST(VersionedWrite, AbaPatternCannotFoolTheCas) {
   EXPECT_EQ(tm.ntRead(t1, 0), 3u);  // the transaction's CAS failed
 }
 
-TEST(VersionedWrite, ValuesRoundTripThroughPacking) {
+TEST(VersionedWrite, FullWidthValuesRoundTrip) {
+  // The two-word scheme (value word + tag word) keeps values full 64-bit;
+  // the old packed encoding capped them at 32.
   NativeMemory mem(VersionedWriteTm<NativeMemory>::memoryWords(kVars));
   VersionedWriteTm<NativeMemory> tm(mem, kVars);
   auto t0 = tm.makeThread(0);
-  tm.ntWrite(t0, 0, PackedVar::kMaxValue);
-  EXPECT_EQ(tm.ntRead(t0, 0), PackedVar::kMaxValue);
+  tm.ntWrite(t0, 0, ~0ULL);
+  EXPECT_EQ(tm.ntRead(t0, 0), ~0ULL);
+  tm.ntWrite(t0, 1, (1ULL << 32) + 7);
+  EXPECT_EQ(tm.ntRead(t0, 1), (1ULL << 32) + 7);
 }
 
 // ------------------------------------------------------ runtime adapter

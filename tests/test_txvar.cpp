@@ -60,12 +60,12 @@ TEST_P(TxVarTest, VarSpaceTracksNamesAndCapacity) {
   EXPECT_NE(a.slot(), b.slot());
 }
 
-// kVersionedWrite is excluded here: its word packs a (pid, version) tag
-// next to the value, so values are limited to 32 bits (PackedVar) and the
-// 64-bit-pattern types above would not fit.  Its typed use is covered by
-// the dedicated test below.
+// kVersionedWrite now stores full 64-bit values (the (pid, version) tag
+// moved to a separate tag word), so it runs the same 64-bit-pattern suite
+// as the other kinds.
 INSTANTIATE_TEST_SUITE_P(Kinds, TxVarTest,
                          ::testing::Values(TmKind::kGlobalLock,
+                                           TmKind::kVersionedWrite,
                                            TmKind::kStrongAtomicity),
                          [](const auto& info) {
                            std::string n = tmKindName(info.param);
@@ -74,21 +74,21 @@ INSTANTIATE_TEST_SUITE_P(Kinds, TxVarTest,
                            return n;
                          });
 
-TEST(TxVarVersionedWrite, ThirtyTwoBitValuesRoundTrip) {
+TEST(TxVarVersionedWrite, SixtyFourBitValuesRoundTrip) {
   NativeMemory mem(runtimeMemoryWords(TmKind::kVersionedWrite, 8));
   auto tm = makeNativeRuntime(TmKind::kVersionedWrite, mem, 8, 2);
   VarSpace space(*tm, 8);
-  auto count = space.alloc<std::uint32_t>("count");
-  auto ratio = space.alloc<float>("ratio");
+  auto count = space.alloc<std::uint64_t>("count");
+  auto ratio = space.alloc<double>("ratio");
   tm->transaction(0, [&](TxContext& tx) {
-    count.set(tx, 0xfffffffeu);
-    ratio.set(tx, 2.5f);
+    count.set(tx, (std::uint64_t{1} << 52) + 3);
+    ratio.set(tx, 2.5);
   });
-  EXPECT_EQ(count.load(1), 0xfffffffeu);
-  EXPECT_FLOAT_EQ(ratio.load(1), 2.5f);
-  count.store(1, 7);
+  EXPECT_EQ(count.load(1), (std::uint64_t{1} << 52) + 3);
+  EXPECT_DOUBLE_EQ(ratio.load(1), 2.5);
+  count.store(1, ~std::uint64_t{0});
   tm->transaction(0, [&](TxContext& tx) {
-    EXPECT_EQ(count.get(tx), 7u);
+    EXPECT_EQ(count.get(tx), ~std::uint64_t{0});
   });
 }
 
