@@ -33,6 +33,12 @@ const MemoryModel& targetModel(TmKind kind) {
       return scModel();
     case TmKind::kTl2Weak:
       return scModel();  // weak atomicity: violations are the finding
+    case TmKind::kSnapshotIsolation:
+    case TmKind::kSiSsn:
+      // The MVCC kinds claim SI (resp. strict-ser) over SC memory; the
+      // figure programs have no write skew, so their outcomes must also
+      // be SC-opaque — checked as such here.
+      return scModel();
   }
   return scModel();
 }

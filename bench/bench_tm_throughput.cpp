@@ -22,11 +22,18 @@
 // slowest and fastest thread's own throughput over its measured region
 // (min == max for Threads(1)); a wide spread on the lock-based TMs is
 // expected — the lock holder starves the rest.
+//
+// The multi-version kinds (si-mvcc, si-ssn) additionally export their
+// backend telemetry: fcw_aborts / ssn_aborts / too_old_aborts split the
+// abort count by certification cause, and chain_reads / chain_steps (and
+// the derived chain_len_avg) measure version-chain depth per read — the
+// MVCC-specific costs the single-version rows don't have.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <thread>
 
 #include "common/rng.hpp"
@@ -107,6 +114,26 @@ double runLoop(benchmark::State& state, TmRuntime& rt, unsigned writePct) {
              : 0.0;
 }
 
+/// Exports the runtime's backend telemetry as counters: the MVCC kinds
+/// report certification aborts (fcw_aborts, ssn_aborts, too_old_aborts)
+/// and version-chain traversal volume (chain_reads, chain_steps), from
+/// which the derived chain_len_avg — versions inspected per transactional
+/// read — measures how deep the chains grow under this write mix.  The
+/// single-version TMs report nothing.
+void exportTelemetry(benchmark::State& state, const TmRuntime& rt) {
+  double reads = 0.0;
+  double steps = 0.0;
+  for (const TmRuntime::Counter& c : rt.telemetry()) {
+    state.counters[c.name] = static_cast<double>(c.value);
+    if (std::strcmp(c.name, "chain_reads") == 0) {
+      reads = static_cast<double>(c.value);
+    } else if (std::strcmp(c.name, "chain_steps") == 0) {
+      steps = static_cast<double>(c.value);
+    }
+  }
+  if (reads > 0.0) state.counters["chain_len_avg"] = steps / reads;
+}
+
 /// Publishes this thread's ops/s and, on thread 0, waits for every thread
 /// and exports the spread as counters.
 void aggregate(benchmark::State& state, ThreadAgg& agg, double ops) {
@@ -152,6 +179,7 @@ void BM_Transactions(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kTxLen);
   aggregate(state, *agg, ops);
   if (state.thread_index() == 0) {
+    exportTelemetry(state, *env->tm);
     state.SetLabel(std::string(tmKindName(kind)) + "/wr%=" +
                    std::to_string(writePct) +
                    "/aborts=" + std::to_string(env->tm->abortCount()));
@@ -188,6 +216,7 @@ void BM_TransactionsMonitored(benchmark::State& state) {
         static_cast<double>(env->mon->violations().size());
     state.counters["monitor_rechecks"] =
         static_cast<double>(ms.stream.rechecks);
+    exportTelemetry(state, *env->tm);
     state.SetLabel(std::string(tmKindName(kind)) + "/wr%=" +
                    std::to_string(writePct) +
                    "/aborts=" + std::to_string(env->tm->abortCount()) +
@@ -241,6 +270,7 @@ void BM_TransactionsMonitoredSharded(benchmark::State& state) {
                          static_cast<double>(routed)
                    : 0.0;
     state.counters["taint_skips"] = static_cast<double>(taintSkips);
+    exportTelemetry(state, *env->tm);
     state.SetLabel(std::string(tmKindName(kind)) + "/wr%=" +
                    std::to_string(writePct) + "/K=" +
                    std::to_string(shards) +
@@ -254,9 +284,14 @@ void BM_TransactionsMonitoredSharded(benchmark::State& state) {
 
 void registerAll() {
   for (TmKind kind : allTmKinds()) {
+    // The kind name is part of the benchmark name (not just the label) so
+    // that --benchmark_filter can slice one family — run_experiments.sh
+    // uses this to extract the MVCC rows into results/BENCH_mvcc.json.
+    const std::string suffix = std::string("/") + tmKindName(kind);
     for (long writePct : {0, 20, 50, 100}) {
       for (int threads : {1, 2, 4}) {
-        benchmark::RegisterBenchmark("Tx", BM_Transactions)
+        benchmark::RegisterBenchmark(("Tx" + suffix).c_str(),
+                                     BM_Transactions)
             ->Args({static_cast<long>(kind), writePct})
             ->Threads(threads)
             ->UseRealTime();
@@ -267,7 +302,8 @@ void registerAll() {
     // args for the overhead factor.
     for (long writePct : {0, 50}) {
       for (int threads : {1, 2, 4}) {
-        benchmark::RegisterBenchmark("TxMon", BM_TransactionsMonitored)
+        benchmark::RegisterBenchmark(("TxMon" + suffix).c_str(),
+                                     BM_TransactionsMonitored)
             ->Args({static_cast<long>(kind), writePct})
             ->Threads(threads)
             ->UseRealTime();
@@ -279,7 +315,7 @@ void registerAll() {
     // script and the regression suite).
     for (long writePct : {0, 50}) {
       for (long shardCount : {1, 2, 4}) {
-        benchmark::RegisterBenchmark("TxMonShard",
+        benchmark::RegisterBenchmark(("TxMonShard" + suffix).c_str(),
                                      BM_TransactionsMonitoredSharded)
             ->Args({static_cast<long>(kind), writePct, shardCount})
             ->Threads(2)

@@ -2,12 +2,18 @@
 //
 //   build/examples/check_history <file.hist> [--verbose] [--threads=N]
 //                                [--timeout-ms=N] [--stats] [--format json]
+//                                [--condition si|strict-ser|opacity|popacity]
 //   build/examples/check_history --demo
 //
 // Reads a history in the textual format of src/litmus/history_parser.hpp,
 // then reports well-formedness, the transactional structure, the real-time
 // order, and — per memory model — whether the history ensures parametrized
-// opacity, SGLA, and strict serializability.
+// opacity, SGLA, snapshot isolation, and strict serializability.
+//
+//   --condition C   restrict the run to one condition of the spectrum:
+//                   si (snapshot isolation: first-committer-wins plus the
+//                   interval-slack read/write split), strict-ser, opacity
+//                   (the SC instance), or popacity (per memory model)
 //
 //   --threads=N     portfolio workers for the serialization-order search
 //                   (default 1: the exact sequential search)
@@ -24,6 +30,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -53,6 +60,9 @@ struct Options {
   bool verbose = false;
   bool stats = false;
   bool json = false;
+  /// Restrict the run to one condition (--condition
+  /// si|strict-ser|opacity|popacity); nullopt = the full spectrum.
+  std::optional<ConditionKind> condition;
   SearchLimits limits;
 };
 
@@ -166,16 +176,38 @@ int runJson(const std::string& text, const Options& opts) {
   SglaOptions sglaOpts;
   sglaOpts.limits = opts.limits;
   VerdictCounts counts;
-  const auto models = allModels();
-  for (std::size_t i = 0; i < models.size(); ++i) {
-    const MemoryModel* m = models[i];
-    const CheckResult po = checkParametrizedOpacity(h, *m, specs, opts.limits);
-    const CheckResult sg = checkSgla(h, *m, specs, sglaOpts);
-    jsonCheck(m->name(), "parametrized-opacity", po, counts, false);
-    jsonCheck(m->name(), "sgla", sg, counts, false);
+  if (opts.condition.has_value()) {
+    // One condition only.  popacity still fans out across the models; the
+    // SC-based conditions are a single check each.
+    if (*opts.condition == ConditionKind::kParametrizedOpacity) {
+      const auto models = allModels();
+      for (std::size_t i = 0; i < models.size(); ++i) {
+        const CheckResult po =
+            checkParametrizedOpacity(h, *models[i], specs, opts.limits);
+        jsonCheck(models[i]->name(), "parametrized-opacity", po, counts,
+                  i + 1 == models.size());
+      }
+    } else {
+      const CheckResult r = checkCondition(*opts.condition, h, scModel(),
+                                           specs, opts.limits);
+      jsonCheck("committed-only", conditionKindName(*opts.condition), r,
+                counts, true);
+    }
+  } else {
+    const auto models = allModels();
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      const MemoryModel* m = models[i];
+      const CheckResult po =
+          checkParametrizedOpacity(h, *m, specs, opts.limits);
+      const CheckResult sg = checkSgla(h, *m, specs, sglaOpts);
+      jsonCheck(m->name(), "parametrized-opacity", po, counts, false);
+      jsonCheck(m->name(), "sgla", sg, counts, false);
+    }
+    const CheckResult si = checkSnapshotIsolation(h, specs, opts.limits);
+    jsonCheck("committed-only", "snapshot-isolation", si, counts, false);
+    const CheckResult ss = checkStrictSerializability(h, specs, opts.limits);
+    jsonCheck("committed-only", "strict-serializability", ss, counts, true);
   }
-  const CheckResult ss = checkStrictSerializability(h, specs, opts.limits);
-  jsonCheck("committed-only", "strict-serializability", ss, counts, true);
   std::printf(
       "  ],\n  \"summary\": {\"satisfied\": %zu, \"violated\": %zu, "
       "\"inconclusive\": %zu}\n}\n",
@@ -214,29 +246,57 @@ int run(const std::string& text, const Options& opts) {
   SglaOptions sglaOpts;
   sglaOpts.limits = opts.limits;
   VerdictCounts counts;
-  std::printf("\n%-11s %-22s %-12s\n", "model", "parametrized opacity",
-              "SGLA");
-  for (const MemoryModel* m : allModels()) {
-    const CheckResult po = checkParametrizedOpacity(h, *m, specs, opts.limits);
-    const CheckResult sg = checkSgla(h, *m, specs, sglaOpts);
-    std::printf("%-11s %-22s %-12s\n", m->name(), verdict(po, counts),
-                verdict(sg, counts));
-    if (opts.stats) {
-      printStats("popacity", po.stats);
-      printStats("sgla", sg.stats);
+  if (opts.condition.has_value()) {
+    if (*opts.condition == ConditionKind::kParametrizedOpacity) {
+      std::printf("\n%-11s %-22s\n", "model", "parametrized opacity");
+      for (const MemoryModel* m : allModels()) {
+        const CheckResult po =
+            checkParametrizedOpacity(h, *m, specs, opts.limits);
+        std::printf("%-11s %-22s\n", m->name(), verdict(po, counts));
+        if (opts.stats) printStats("popacity", po.stats);
+      }
+    } else {
+      const CheckResult r = checkCondition(*opts.condition, h, scModel(),
+                                           specs, opts.limits);
+      std::printf("\n%s: %s\n", conditionKindName(*opts.condition),
+                  verdict(r, counts));
+      if (opts.stats) printStats(conditionKindName(*opts.condition), r.stats);
+      if (opts.verbose && !r.satisfied && !r.inconclusive) {
+        std::printf("why it fails:\n%s\n", r.explanation.c_str());
+      }
     }
+  } else {
+    std::printf("\n%-11s %-22s %-12s\n", "model", "parametrized opacity",
+                "SGLA");
+    for (const MemoryModel* m : allModels()) {
+      const CheckResult po =
+          checkParametrizedOpacity(h, *m, specs, opts.limits);
+      const CheckResult sg = checkSgla(h, *m, specs, sglaOpts);
+      std::printf("%-11s %-22s %-12s\n", m->name(), verdict(po, counts),
+                  verdict(sg, counts));
+      if (opts.stats) {
+        printStats("popacity", po.stats);
+        printStats("sgla", sg.stats);
+      }
+    }
+    const CheckResult si = checkSnapshotIsolation(h, specs, opts.limits);
+    std::printf("\nsnapshot isolation (committed only): %s\n",
+                verdict(si, counts));
+    if (opts.stats) printStats("si", si.stats);
+    const CheckResult ss = checkStrictSerializability(h, specs, opts.limits);
+    std::printf("strict serializability (committed only): %s\n",
+                verdict(ss, counts));
+    if (opts.stats) printStats("strict-ser", ss.stats);
   }
-  const CheckResult ss = checkStrictSerializability(h, specs, opts.limits);
-  std::printf("\nstrict serializability (committed only): %s\n",
-              verdict(ss, counts));
-  if (opts.stats) printStats("strict-ser", ss.stats);
   std::printf(
       "summary: %zu satisfied, %zu violated, %zu inconclusive "
       "(inconclusive = search stopped on its budget or deadline; "
       "not evidence of a violation)\n",
       counts.satisfied, counts.violated, counts.inconclusive);
 
-  if (opts.verbose) {
+  // The SC witness/explanation epilogue belongs to the full-spectrum view;
+  // a pinned --condition already printed its own explanation above.
+  if (opts.verbose && !opts.condition.has_value()) {
     const CheckResult po =
         checkParametrizedOpacity(h, scModel(), specs, opts.limits);
     if (po.satisfied && po.witness.has_value()) {
@@ -278,6 +338,22 @@ int main(int argc, char** argv) {
       opts.limits.timeout =
           std::chrono::milliseconds(std::strtoll(v, nullptr, 10));
       opts.limits.maxExpansions = 0;  // the deadline is the budget now
+    } else if (const char* v = flagValue(argc, argv, i, "--condition")) {
+      if (std::strcmp(v, "si") == 0) {
+        opts.condition = ConditionKind::kSnapshotIsolation;
+      } else if (std::strcmp(v, "strict-ser") == 0) {
+        opts.condition = ConditionKind::kStrictSerializability;
+      } else if (std::strcmp(v, "opacity") == 0) {
+        opts.condition = ConditionKind::kOpacity;
+      } else if (std::strcmp(v, "popacity") == 0) {
+        opts.condition = ConditionKind::kParametrizedOpacity;
+      } else {
+        std::fprintf(stderr,
+                     "unknown --condition %s "
+                     "(si|strict-ser|opacity|popacity)\n",
+                     v);
+        return 2;
+      }
     } else if (const char* v = flagValue(argc, argv, i, "--format")) {
       if (std::strcmp(v, "json") == 0) {
         opts.json = true;
@@ -294,7 +370,8 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: check_history <file.hist> [--verbose] [--threads=N] "
-                 "[--timeout-ms=N] [--stats] [--format json] | --demo\n");
+                 "[--timeout-ms=N] [--stats] [--format json] "
+                 "[--condition si|strict-ser|opacity|popacity] | --demo\n");
     return 2;
   }
   if (path == "-demo-") {

@@ -19,6 +19,8 @@
 //                               fourth iteration)
 //   --out DIR      write delta-shrunk .hist repros of any failure to DIR
 //                  (e.g. examples/histories/regressions)
+//   --tm KIND      traces mode: pin the TM-claim draws to one kind (e.g.
+//                  si-mvcc or si-ssn) instead of sampling all seven
 //   --inject-bug   mutate the portfolio engine's verdict (harness
 //                  self-test: the run must FAIL and shrink the repro)
 //
@@ -49,7 +51,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: fuzz_jungle [--seed N] [--iters N] [--budget-ms N] "
                "[--mode histories|traces|engine-diff] [--out DIR] "
-               "[--inject-bug]\n");
+               "[--tm KIND] [--inject-bug]\n");
   return 2;
 }
 
@@ -76,6 +78,18 @@ int main(int argc, char** argv) {
         opts.mode = fuzz::FuzzOptions::Mode::kTraces;
       } else {
         return usage();
+      }
+    } else if (const char* v = flagValue(argc, argv, i, "--tm")) {
+      for (TmKind kind : allTmKinds()) {
+        if (std::strcmp(v, tmKindName(kind)) == 0) opts.tmFilter = kind;
+      }
+      if (!opts.tmFilter.has_value()) {
+        std::fprintf(stderr, "unknown --tm %s; kinds:", v);
+        for (TmKind kind : allTmKinds()) {
+          std::fprintf(stderr, " %s", tmKindName(kind));
+        }
+        std::fprintf(stderr, "\n");
+        return 2;
       }
     } else if (std::strcmp(argv[i], "--inject-bug") == 0) {
       opts.mutation = fuzz::Mutation::kAcceptAborted;

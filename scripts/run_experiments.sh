@@ -32,6 +32,13 @@ for b in "$BUILD"/bench/*; do
     # monitor's overhead experiment.
     "$b" --benchmark_out="$OUT/BENCH_monitor.json" \
          --benchmark_out_format=json 2>&1 | tee -a "$OUT/bench_output.txt"
+    # The multi-version slice (Tx/TxMon/TxMonShard rows for si-mvcc and
+    # si-ssn) re-run into its own file: these rows carry the version-chain
+    # (chain_reads/chain_steps/chain_len_avg) and certification-abort
+    # (fcw_aborts/ssn_aborts/too_old_aborts) telemetry counters.
+    "$b" --benchmark_filter='/si-(mvcc|ssn)/' \
+         --benchmark_out="$OUT/BENCH_mvcc.json" \
+         --benchmark_out_format=json 2>&1 | tee -a "$OUT/bench_output.txt"
   elif [ "$(basename "$b")" = "bench_explorer" ]; then
     # Strategy trajectory: schedules explored + wall time for DFS vs DPOR
     # vs frontier-parallel DPOR (the Reference*/Frontier* rows).  Note the

@@ -94,6 +94,15 @@ DiffOutcome diffCheckHistory(const GeneratedInstance& gen,
             referenceStrictSerializability(h, specs, opts.reference));
   }
 
+  // Snapshot isolation (first-committer-wins pre-check + interval-slack
+  // split).  SI is defined over SC snapshots, so no model parameter.
+  {
+    const CheckResult a = checkSnapshotIsolation(h, specs, opts.serial);
+    const CheckResult b = checkSnapshotIsolation(h, specs, opts.parallel);
+    compare(out, "si", a, b, b.satisfied,
+            referenceSnapshotIsolation(h, specs, opts.reference));
+  }
+
   // SGLA under the drawn model (engine-vs-engine only; the brute-force
   // reference implements the opacity family, not lock-based sequentiality).
   {

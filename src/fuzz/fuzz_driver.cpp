@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/check.hpp"
 #include "fuzz/shrinker.hpp"
 #include "litmus/history_parser.hpp"
 #include "memmodel/models.hpp"
@@ -58,22 +59,50 @@ void recordFailure(FuzzReport& report, const FuzzOptions& opts,
 }
 
 /// The theorem each live TM is on the hook for (Theorems 3-5, §6.1); the
-/// Tl2 baseline only claims opacity on purely transactional workloads.
+/// Tl2 baseline only claims opacity on purely transactional workloads,
+/// and the MVCC family claims snapshot isolation (si-mvcc) or strict
+/// serializability (si-ssn) rather than parametrized opacity — the same
+/// table the monitor uses (monitorModelFor).
 struct TmClaim {
   TmKind kind;
   const MemoryModel* model;
   bool pureTxOnly;
+  ConditionKind condition;
 };
 
 const std::vector<TmClaim>& tmClaims() {
-  static const std::vector<TmClaim> claims{
-      {TmKind::kGlobalLock, &idealizedModel(), false},
-      {TmKind::kWriteAsTx, &alphaModel(), false},
-      {TmKind::kVersionedWrite, &alphaModel(), false},
-      {TmKind::kStrongAtomicity, &scModel(), false},
-      {TmKind::kTl2Weak, &scModel(), true},
-  };
+  static const std::vector<TmClaim> claims = [] {
+    std::vector<TmClaim> c{
+        {TmKind::kGlobalLock, &idealizedModel(), false,
+         ConditionKind::kParametrizedOpacity},
+        {TmKind::kWriteAsTx, &alphaModel(), false,
+         ConditionKind::kParametrizedOpacity},
+        {TmKind::kVersionedWrite, &alphaModel(), false,
+         ConditionKind::kParametrizedOpacity},
+        {TmKind::kStrongAtomicity, &scModel(), false,
+         ConditionKind::kParametrizedOpacity},
+        {TmKind::kTl2Weak, &scModel(), true,
+         ConditionKind::kParametrizedOpacity},
+        {TmKind::kSnapshotIsolation, &scModel(), false,
+         ConditionKind::kSnapshotIsolation},
+        {TmKind::kSiSsn, &scModel(), false,
+         ConditionKind::kStrictSerializability},
+    };
+    JUNGLE_CHECK(c.size() == kTmKindCount);  // every kind has a claim
+    return c;
+  }();
   return claims;
+}
+
+/// Uniform claim draw, or the pinned kind when --tm restricts the run.
+const TmClaim& drawClaim(const FuzzOptions& opts, Rng& rng) {
+  const auto& claims = tmClaims();
+  if (opts.tmFilter.has_value()) {
+    for (const TmClaim& c : claims) {
+      if (c.kind == *opts.tmFilter) return c;
+    }
+  }
+  return claims[rng.below(claims.size())];
 }
 
 void runEngineDiffIteration(const FuzzOptions& opts, std::uint64_t iter,
@@ -126,8 +155,7 @@ void runHistoriesIteration(const FuzzOptions& opts, std::uint64_t iter,
 /// every completed trace checked against the TM's claimed model.
 void runTraceSampleIteration(const FuzzOptions& opts, std::uint64_t iter,
                              Rng& rng, FuzzReport& report) {
-  const auto& claims = tmClaims();
-  const TmClaim& claim = claims[rng.below(claims.size())];
+  const TmClaim& claim = drawClaim(opts, rng);
   theorems::StressOptions stress = randomStressOptions(rng, rng());
   if (claim.pureTxOnly) stress.pctTx = 100;
 
@@ -142,7 +170,7 @@ void runTraceSampleIteration(const FuzzOptions& opts, std::uint64_t iter,
   const theorems::ModelCheckReport mc = theorems::modelCheckProgram(
       stress.numProcs, theorems::stressWords(claim.kind, stress),
       theorems::stressProgram(claim.kind, stress), *claim.model, SpecMap{},
-      eopts);
+      eopts, /*maxViolationSamples=*/2, claim.condition);
   report.schedulesExplored += mc.stats.runs;
   report.cutRuns += mc.stats.cutRuns;
   report.dedupHits += mc.stats.dedupHits;
@@ -152,14 +180,17 @@ void runTraceSampleIteration(const FuzzOptions& opts, std::uint64_t iter,
   if (mc.stats.failures == 0) return;
 
   ++report.traceViolations;
-  const std::string desc =
+  std::string desc =
       "mode=traces seed=" + std::to_string(opts.seed) + " iter=" +
       std::to_string(iter) + " tm=" + tmKindName(claim.kind) + " model=" +
-      claim.model->name() + " stress-seed=" + std::to_string(stress.seed) +
-      " explore-seed=" + std::to_string(eopts.seed) +
-      "\nno corresponding history of an explored trace is opaque; the\n"
-      "shrunk canonical corresponding history below still violates the\n"
-      "model (diagnostic repro; replay the seeds for the full schedule)";
+      claim.model->name() + " condition=" +
+      conditionKindName(claim.condition) + " stress-seed=" +
+      std::to_string(stress.seed) + " explore-seed=" +
+      std::to_string(eopts.seed) +
+      "\nno corresponding history of an explored trace satisfies the\n"
+      "claimed condition; the shrunk canonical corresponding history below\n"
+      "still violates it (diagnostic repro; replay the seeds for the full\n"
+      "schedule)";
   if (mc.violations.empty()) {
     FuzzFailure f;
     f.description = desc;
@@ -174,8 +205,15 @@ void runTraceSampleIteration(const FuzzOptions& opts, std::uint64_t iter,
   const SpecMap registers;
   const MemoryModel& m = *claim.model;
   const History& canonical = mc.violations.front().second;
+  // Shrinking keeps only "some condition violation", which can collapse a
+  // subtle anomaly into a vacuous core (e.g. a lone unjustified read once
+  // the writer is dropped) — so the unshrunk canonical history rides along
+  // in the description for triage.
+  desc += "\ncanonical corresponding history (unshrunk):\n" +
+          litmus::formatHistory(canonical);
   auto canonicalFails = [&](const History& cand) {
-    const CheckResult c = checkParametrizedOpacity(cand, m, registers, limits);
+    const CheckResult c =
+        checkCondition(claim.condition, cand, m, registers, limits);
     return !c.satisfied && !c.inconclusive;
   };
   if (canonicalFails(canonical)) {
@@ -269,8 +307,7 @@ bool runMonitorOnce(const FuzzOptions& opts, std::uint64_t iter,
 
 void runMonitorIteration(const FuzzOptions& opts, std::uint64_t iter,
                          Rng& rng, FuzzReport& report) {
-  const auto& claims = tmClaims();
-  const TmClaim& claim = claims[rng.below(claims.size())];
+  const TmClaim& claim = drawClaim(opts, rng);
 
   // Per-iteration workload diversity: the old leg pinned vars to 4..9,
   // the tx mix to 50..94% and never paced or user-aborted — a narrow

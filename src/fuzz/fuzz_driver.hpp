@@ -8,8 +8,11 @@
 //   * traces      — random TM workloads on the live implementations of
 //     src/tm/, driven through the schedule explorer: most iterations
 //     sample schedules of a stress program and check every completed
-//     trace through checkTracePopacity against the memory model its
-//     theorem claims (Theorems 3-5, 7, §6.1); every fourth iteration
+//     trace through checkTraceCondition against the condition and memory
+//     model its theorem claims — parametrized opacity for the
+//     single-version kinds (Theorems 3-5, 7, §6.1), snapshot isolation
+//     for si-mvcc, strict serializability for si-ssn; every fourth
+//     iteration
 //     cross-checks the exploration strategies themselves (exhaustive DFS
 //     vs sleep-set DPOR, serial and frontier-parallel) on a generated
 //     raw-marker workload — the strategies must agree on the verdict and
@@ -27,10 +30,12 @@
 #pragma once
 
 #include <chrono>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "fuzz/differential.hpp"
+#include "tm/runtime.hpp"
 
 namespace jungle::fuzz {
 
@@ -39,6 +44,10 @@ struct FuzzOptions {
   Mode mode = Mode::kEngineDiff;
   std::uint64_t seed = 1;
   std::uint64_t iterations = 100;
+  /// Traces mode: restrict the TM-claim draws (trace-sample and monitor
+  /// legs) to one kind — e.g. hammer just si-mvcc or si-ssn from the CLI.
+  /// nullopt = draw uniformly over all seven kinds.
+  std::optional<TmKind> tmFilter;
   /// Wall-clock budget for the whole run; zero means iterations only.
   std::chrono::milliseconds budget{0};
   /// Where shrunk repros are written (created on demand); empty disables

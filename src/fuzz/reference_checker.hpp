@@ -49,6 +49,14 @@ RefVerdict referenceStrictSerializability(const History& h,
                                           const SpecMap& specs,
                                           const ReferenceLimits& limits = {});
 
+/// Snapshot isolation by enumeration: erase non-committed transactions,
+/// reject first-committer-wins violations, apply the interval-slack
+/// read/write split (opacity/snapshot.hpp), then enumerate serializations
+/// of the split history honoring the R-part ≺ W-part order — independent
+/// of the DecisionEngine's unit-graph search.
+RefVerdict referenceSnapshotIsolation(const History& h, const SpecMap& specs,
+                                      const ReferenceLimits& limits = {});
+
 /// The erasure shared by the strict-serializability reference and the
 /// engine (reimplemented here from the definition; exposed for tests).
 History eraseNonCommittedTransactions(const History& h);

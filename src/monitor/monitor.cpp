@@ -28,6 +28,10 @@ MonitorClaim monitorModelFor(TmKind kind) {
       return {&scModel(), false};
     case TmKind::kTl2Weak:
       return {&scModel(), true};
+    case TmKind::kSnapshotIsolation:
+      return {&scModel(), false, ConditionKind::kSnapshotIsolation};
+    case TmKind::kSiSsn:
+      return {&scModel(), false, ConditionKind::kStrictSerializability};
   }
   return {&scModel(), false};
 }
@@ -40,9 +44,11 @@ CaptureOptions captureOptsFor(const MonitorOptions& o, TmKind kind) {
   return c;
 }
 
-StreamOptions streamOptsFor(const MonitorOptions& o, const MemoryModel* m) {
+StreamOptions streamOptsFor(const MonitorOptions& o, const MemoryModel* m,
+                            ConditionKind condition) {
   StreamOptions s;
   s.model = m;
+  s.condition = condition;
   s.gcRetain = o.gcRetain;
   s.settleUnits = o.settleUnits;
   s.recheckTimeout = o.recheckTimeout;
@@ -78,7 +84,8 @@ TmMonitor::TmMonitor(TmRuntime& inner, std::size_t maxProcs,
       tmName_(inner.name()),
       capture_(maxProcs, captureOptsFor(opts, inner.kind())),
       monitored_(makeMonitoredRuntime(inner, capture_)),
-      checker_(streamOptsFor(opts, model_),
+      checker_(streamOptsFor(opts, model_,
+                             monitorModelFor(inner.kind()).condition),
                opts.shards == 0 ? 1 : opts.shards),
       startedAt_(std::chrono::steady_clock::now()) {
   collector_ = std::thread([this] { collectorLoop(); });

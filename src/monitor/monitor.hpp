@@ -38,6 +38,10 @@ struct MonitorClaim {
   /// The TM only claims correctness of purely transactional workloads
   /// (tl2-weak): the capture skips non-transactional accesses.
   bool pureTxOnly = false;
+  /// Condition the escalation engine checks: the single-version TMs claim
+  /// opacity parametrized by `model`; the MVCC family claims snapshot
+  /// isolation (si-mvcc) or strict serializability (si-ssn).
+  ConditionKind condition = ConditionKind::kParametrizedOpacity;
 };
 
 MonitorClaim monitorModelFor(TmKind kind);
@@ -137,8 +141,8 @@ class TmMonitor {
 /// shared driver behind examples/monitor_tm, the monitor tests, and the
 /// fuzz harness's monitor leg.  Threads run transactions (reads/writes
 /// with occasional user aborts) and non-transactional accesses over a
-/// small variable set; written values are full 64-bit (all five TMs now
-/// accept identical workloads).
+/// small variable set; written values are full 64-bit (every TM kind —
+/// single-version and MVCC alike — accepts identical workloads).
 struct WorkloadOptions {
   std::size_t threads = 4;
   std::size_t numVars = 12;

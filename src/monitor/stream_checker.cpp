@@ -237,8 +237,8 @@ void StreamChecker::runEscalation(bool final) {
   limits.timeout = opts_.recheckTimeout;
   limits.threads = opts_.recheckThreads;
   const auto t0 = std::chrono::steady_clock::now();
-  const CheckResult r =
-      checkParametrizedOpacity(h, *opts_.model, specs_, limits);
+  const CheckResult r = checkCondition(opts_.condition, h, *opts_.model,
+                                       specs_, limits, /*requireFcw=*/false);
   const auto us = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
@@ -278,9 +278,12 @@ void StreamChecker::runEscalation(bool final) {
   // the unit's loss only when the flush fails, arbitrarily later — the
   // explaining writer may be in flight *and doomed* right now, invisible
   // to every counter-based gate (see stream_checker.hpp).
-  std::string desc = "window of " + std::to_string(window_.size()) +
-                     " unit(s) conclusively violates opacity parametrized " +
-                     "by " + opts_.model->name();
+  std::string desc =
+      "window of " + std::to_string(window_.size()) +
+      " unit(s) conclusively violates " +
+      (opts_.condition == ConditionKind::kParametrizedOpacity
+           ? std::string("opacity parametrized by ") + opts_.model->name()
+           : std::string(conditionKindName(opts_.condition)));
   if (final) {
     reportViolation(std::move(h), std::move(desc));
   } else {
@@ -348,8 +351,10 @@ void StreamChecker::reportViolation(History window, std::string description) {
   limits.threads = opts_.recheckThreads;
   const MemoryModel& m = *opts_.model;
   const SpecMap& specs = specs_;
+  const ConditionKind condition = opts_.condition;
   const fuzz::FailurePredicate fails = [&](const History& cand) {
-    const CheckResult r = checkParametrizedOpacity(cand, m, specs, limits);
+    const CheckResult r =
+        checkCondition(condition, cand, m, specs, limits, /*requireFcw=*/false);
     return !r.satisfied && !r.inconclusive;
   };
   MonitorViolation v;

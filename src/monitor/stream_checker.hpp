@@ -77,6 +77,12 @@ namespace jungle::monitor {
 struct StreamOptions {
   /// Memory model the TM claims (monitorModelFor(kind)); required.
   const MemoryModel* model = nullptr;
+  /// Condition the TM claims; escalations and shrink reruns dispatch on it
+  /// (model is consulted only for kParametrizedOpacity).  SI escalations
+  /// run without the first-committer-wins pre-check: apparent intervals
+  /// over-approximate the real ones (epochs are claim order), so an
+  /// interval test could convict real-time-ordered writers as concurrent.
+  ConditionKind condition = ConditionKind::kParametrizedOpacity;
   /// Units kept after the decided prefix is folded away.
   std::size_t gcRetain = 8;
   /// Units buffered after a fast-path mismatch before the engine runs, so

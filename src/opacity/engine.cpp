@@ -14,6 +14,7 @@
 #include "common/hash.hpp"
 #include "common/thread_pool.hpp"
 #include "memmodel/models.hpp"
+#include "opacity/snapshot.hpp"
 
 namespace jungle {
 
@@ -46,6 +47,16 @@ ConditionPolicy ConditionPolicy::sgla(const MemoryModel& m,
   p.model = &m;
   p.txOnlySequential = true;
   p.enforceTxRealTime = enforceTxRealTime;
+  return p;
+}
+
+ConditionPolicy ConditionPolicy::snapshotIsolation(bool requireFcw) {
+  ConditionPolicy p;
+  p.name = "snapshot isolation";
+  p.model = &scModel();
+  p.eraseNonCommitted = true;
+  p.snapshotSplit = true;
+  p.requireFcw = requireFcw;
   return p;
 }
 
@@ -635,6 +646,22 @@ CheckResult DecisionEngine::check(const History& h) const {
   const auto start = std::chrono::steady_clock::now();
 
   History ht = policy_.eraseNonCommitted ? eraseNonCommitted(h) : h;
+  std::vector<std::pair<OpId, OpId>> extraOrder;
+  if (policy_.snapshotSplit) {
+    if (policy_.requireFcw) {
+      if (auto violation = firstCommitterWinsViolation(ht)) {
+        CheckResult result;
+        result.explanation = std::move(*violation);
+        result.stats.elapsed =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start);
+        return result;
+      }
+    }
+    SnapshotSplit split = snapshotSplitHistory(ht);
+    ht = std::move(split.history);
+    extraOrder = std::move(split.orderPairs);
+  }
   ht = policy_.model->transform(ht);
   HistoryAnalysis analysis(ht);
   JUNGLE_CHECK_MSG(analysis.wellFormed(), "ill-formed history");
@@ -644,7 +671,7 @@ CheckResult DecisionEngine::check(const History& h) const {
   if (policy_.txOnlySequential) {
     runTxOnly(ht, analysis, ctx, result);
   } else {
-    runUnitLevel(ht, analysis, ctx, result);
+    runUnitLevel(ht, analysis, extraOrder, ctx, result);
   }
 
   result.stats = ctx.stats();
@@ -653,12 +680,13 @@ CheckResult DecisionEngine::check(const History& h) const {
   return result;
 }
 
-void DecisionEngine::runUnitLevel(const History& ht,
-                                  const HistoryAnalysis& analysis,
-                                  SearchContext& ctx,
-                                  CheckResult& result) const {
+void DecisionEngine::runUnitLevel(
+    const History& ht, const HistoryAnalysis& analysis,
+    const std::vector<std::pair<OpId, OpId>>& extraOrder, SearchContext& ctx,
+    CheckResult& result) const {
   UnitGraph base(ht, analysis);
   base.addViewEdges(requiredViewPairs(*policy_.model, ht, analysis));
+  base.addViewEdges(extraOrder);
   if (base.hasCycle()) {
     // ≺h ∪ v already contradictory: definitely violated, no search needed.
     result.explanation =

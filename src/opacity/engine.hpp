@@ -45,12 +45,21 @@ struct ConditionPolicy {
   bool txOnlySequential = false;
   /// SGLA only: keep real-time order between completed transactions.
   bool enforceTxRealTime = true;
+  /// Snapshot isolation: split every committed transaction into a
+  /// snapshot-read part and a commit-write part (opacity/snapshot.hpp)
+  /// before checking; implies eraseNonCommitted.
+  bool snapshotSplit = false;
+  /// SI only: run the first-committer-wins pre-check.  Off for monitor
+  /// escalations, whose apparent intervals over-approximate the real ones
+  /// and could convict real-time-ordered writers as concurrent.
+  bool requireFcw = true;
 
   static ConditionPolicy parametrizedOpacity(const MemoryModel& m);
   static ConditionPolicy opacity();
   static ConditionPolicy strictSerializability();
   static ConditionPolicy sgla(const MemoryModel& m,
                               bool enforceTxRealTime = true);
+  static ConditionPolicy snapshotIsolation(bool requireFcw = true);
 };
 
 class DecisionEngine {
@@ -64,6 +73,7 @@ class DecisionEngine {
 
  private:
   void runUnitLevel(const History& ht, const HistoryAnalysis& analysis,
+                    const std::vector<std::pair<OpId, OpId>>& extraOrder,
                     SearchContext& ctx, CheckResult& result) const;
   void runTxOnly(const History& ht, const HistoryAnalysis& analysis,
                  SearchContext& ctx, CheckResult& result) const;

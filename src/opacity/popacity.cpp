@@ -1,5 +1,6 @@
 #include "opacity/popacity.hpp"
 
+#include "common/check.hpp"
 #include "opacity/engine.hpp"
 
 namespace jungle {
@@ -21,6 +22,45 @@ CheckResult checkStrictSerializability(const History& h, const SpecMap& specs,
   return DecisionEngine(ConditionPolicy::strictSerializability(), specs,
                         limits)
       .check(h);
+}
+
+CheckResult checkSnapshotIsolation(const History& h, const SpecMap& specs,
+                                   const SearchLimits& limits,
+                                   bool requireFcw) {
+  return DecisionEngine(ConditionPolicy::snapshotIsolation(requireFcw), specs,
+                        limits)
+      .check(h);
+}
+
+const char* conditionKindName(ConditionKind kind) {
+  switch (kind) {
+    case ConditionKind::kParametrizedOpacity:
+      return "popacity";
+    case ConditionKind::kOpacity:
+      return "opacity";
+    case ConditionKind::kStrictSerializability:
+      return "strict-ser";
+    case ConditionKind::kSnapshotIsolation:
+      return "si";
+  }
+  return "?";
+}
+
+CheckResult checkCondition(ConditionKind kind, const History& h,
+                           const MemoryModel& m, const SpecMap& specs,
+                           const SearchLimits& limits, bool requireFcw) {
+  switch (kind) {
+    case ConditionKind::kParametrizedOpacity:
+      return checkParametrizedOpacity(h, m, specs, limits);
+    case ConditionKind::kOpacity:
+      return checkOpacity(h, specs, limits);
+    case ConditionKind::kStrictSerializability:
+      return checkStrictSerializability(h, specs, limits);
+    case ConditionKind::kSnapshotIsolation:
+      return checkSnapshotIsolation(h, specs, limits, requireFcw);
+  }
+  JUNGLE_CHECK_MSG(false, "unknown condition kind");
+  return {};
 }
 
 }  // namespace jungle

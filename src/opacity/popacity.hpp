@@ -54,4 +54,35 @@ CheckResult checkOpacity(const History& h, const SpecMap& specs,
 CheckResult checkStrictSerializability(const History& h, const SpecMap& specs,
                                        const SearchLimits& limits = {});
 
+/// Snapshot isolation: aborted and incomplete transactions are erased,
+/// first-committer-wins is certified (unless requireFcw is false — monitor
+/// escalations, whose apparent intervals over-approximate the real ones),
+/// and each committed transaction is split into a snapshot-read part and a
+/// commit-write part (opacity/snapshot.hpp) before the serialization
+/// search.  Admits write skew; rejects lost update.
+CheckResult checkSnapshotIsolation(const History& h, const SpecMap& specs,
+                                   const SearchLimits& limits = {},
+                                   bool requireFcw = true);
+
+/// The conditions a TM kind can claim, in decreasing strength on the
+/// transactional fragment (popacity additionally depends on the model).
+/// Where a component needs "check the condition this TM claims" — the
+/// monitor's escalation, the trace-conformance verifier, the CLIs — this
+/// enum plus checkCondition() is the dispatch point.
+enum class ConditionKind {
+  kParametrizedOpacity,
+  kOpacity,
+  kStrictSerializability,
+  kSnapshotIsolation,
+};
+
+const char* conditionKindName(ConditionKind kind);
+
+/// Dispatches to the matching checker.  `m` is consulted only for
+/// kParametrizedOpacity; the other conditions are SC-based.
+CheckResult checkCondition(ConditionKind kind, const History& h,
+                           const MemoryModel& m, const SpecMap& specs,
+                           const SearchLimits& limits = {},
+                           bool requireFcw = true);
+
 }  // namespace jungle

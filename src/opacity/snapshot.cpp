@@ -1,0 +1,186 @@
+#include "opacity/snapshot.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace jungle {
+
+namespace {
+
+/// Plan for one transaction of the input history.
+struct TxPlan {
+  bool split = false;     // emit R/W parts instead of the original ops
+  bool hasReads = false;  // R-part is non-empty
+  bool hasWrites = false;
+  ProcessId writePid = 0;  // W-part process (fresh when both parts exist)
+  OpId wStartId = 0;       // synthetic delimiters for a two-part split
+  OpId wCommitId = 0;
+  std::vector<bool> dropRead;  // per tx position: read-own-write, dropped
+};
+
+Command normalized(const Command& c) {
+  if (c.isControlDependent() || c.isDataDependent()) {
+    return c.isReadLike() ? cmdRead(c.value) : cmdWrite(c.value);
+  }
+  return c;
+}
+
+}  // namespace
+
+SnapshotSplit snapshotSplitHistory(const History& h) {
+  HistoryAnalysis analysis(h);
+  JUNGLE_CHECK_MSG(analysis.wellFormed(), "ill-formed history");
+
+  ProcessId nextPid = 0;
+  for (ProcessId p : h.processes()) nextPid = std::max(nextPid, p);
+  ++nextPid;
+  OpId nextId = 0;
+  for (const OpInstance& inst : h) nextId = std::max(nextId, inst.id);
+  ++nextId;
+
+  const auto& txns = analysis.transactions();
+  std::vector<TxPlan> plans(txns.size());
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    const Transaction& tx = txns[i];
+    TxPlan& plan = plans[i];
+    plan.dropRead.assign(tx.positions.size(), false);
+    if (!tx.committed) continue;  // pass through intact
+    bool splittable = true;
+    std::vector<ObjectId> written;
+    for (std::size_t k = 0; k < tx.positions.size(); ++k) {
+      const OpInstance& inst = h[tx.positions[k]];
+      if (!inst.isCommand()) continue;
+      const bool r = inst.cmd.isReadLike();
+      const bool w = inst.cmd.isWriteLike();
+      if (r == w) {  // dequeue-style (or havoc): no read/write split
+        splittable = false;
+        break;
+      }
+      if (r) {
+        if (std::find(written.begin(), written.end(), inst.obj) !=
+            written.end()) {
+          // Read-own-write: observes the buffered value, says nothing
+          // about the snapshot.
+          plan.dropRead[k] = true;
+        } else {
+          plan.hasReads = true;
+        }
+      } else {
+        written.push_back(inst.obj);
+        plan.hasWrites = true;
+      }
+    }
+    if (!splittable || !(plan.hasReads && plan.hasWrites)) {
+      // Read-only and blind-write transactions keep one part on the
+      // original process; nothing to split.
+      plan.hasReads = plan.hasWrites = false;
+      continue;
+    }
+    plan.split = true;
+    plan.writePid = nextPid++;
+    plan.wStartId = nextId++;
+    plan.wCommitId = nextId++;
+  }
+
+  SnapshotSplit out;
+  std::vector<OpInstance> ops;
+  ops.reserve(h.size() + 2 * txns.size());
+  std::vector<std::size_t> posInTx(txns.size(), 0);
+  for (std::size_t pos = 0; pos < h.size(); ++pos) {
+    OpInstance inst = h[pos];
+    const auto txIdx = analysis.transactionOf(pos);
+    if (!txIdx.has_value()) {
+      ops.push_back(std::move(inst));
+      continue;
+    }
+    const TxPlan& plan = plans[*txIdx];
+    const std::size_t k = posInTx[*txIdx]++;
+    if (!plan.split) {
+      ops.push_back(std::move(inst));
+      continue;
+    }
+    switch (inst.type) {
+      case OpType::kStart:
+        ops.push_back(inst);  // R-part keeps the original delimiters
+        ops.push_back(opStart(plan.writePid, plan.wStartId));
+        out.orderPairs.emplace_back(inst.id, plan.wStartId);
+        break;
+      case OpType::kCommit:
+        ops.push_back(inst);
+        ops.push_back(opCommit(plan.writePid, plan.wCommitId));
+        break;
+      case OpType::kAbort:
+        JUNGLE_CHECK_MSG(false, "split transaction cannot abort");
+        break;
+      case OpType::kCommand:
+        if (plan.dropRead[k]) break;
+        inst.cmd = normalized(inst.cmd);
+        if (inst.cmd.isWriteLike()) inst.pid = plan.writePid;
+        ops.push_back(std::move(inst));
+        break;
+    }
+  }
+  out.history = History(std::move(ops));
+  return out;
+}
+
+std::optional<std::string> firstCommitterWinsViolation(const History& h) {
+  HistoryAnalysis analysis(h);
+  JUNGLE_CHECK_MSG(analysis.wellFormed(), "ill-formed history");
+
+  struct Writer {
+    ProcessId pid;
+    std::size_t lo, hi;
+    std::vector<ObjectId> objs;  // sorted
+  };
+  std::vector<Writer> writers;
+  for (const Transaction& tx : analysis.transactions()) {
+    if (!tx.committed) continue;
+    std::vector<ObjectId> objs;
+    for (std::size_t pos : tx.positions) {
+      const OpInstance& inst = h[pos];
+      if (inst.isCommand() && inst.cmd.isWriteLike()) objs.push_back(inst.obj);
+    }
+    if (objs.empty()) continue;
+    std::sort(objs.begin(), objs.end());
+    objs.erase(std::unique(objs.begin(), objs.end()), objs.end());
+    writers.push_back({tx.pid, tx.firstPos(), tx.lastPos(), std::move(objs)});
+  }
+
+  const auto report = [](ProcessId a, ProcessId b, ObjectId x) {
+    std::ostringstream os;
+    os << "first-committer-wins violated: concurrent committed writers of "
+       << "object " << x << " on processes p" << a << " and p" << b;
+    return os.str();
+  };
+
+  for (std::size_t i = 0; i < writers.size(); ++i) {
+    for (std::size_t j = i + 1; j < writers.size(); ++j) {
+      const Writer& a = writers[i];
+      const Writer& b = writers[j];
+      if (a.hi < b.lo || b.hi < a.lo) continue;  // real-time ordered
+      std::vector<ObjectId> common;
+      std::set_intersection(a.objs.begin(), a.objs.end(), b.objs.begin(),
+                            b.objs.end(), std::back_inserter(common));
+      if (!common.empty()) return report(a.pid, b.pid, common.front());
+    }
+  }
+
+  // Non-transactional writes are singleton committed writers.
+  for (std::size_t pos = 0; pos < h.size(); ++pos) {
+    if (analysis.isTransactional(pos)) continue;
+    const OpInstance& inst = h[pos];
+    if (!inst.isCommand() || !inst.cmd.isWriteLike()) continue;
+    for (const Writer& w : writers) {
+      if (w.lo < pos && pos < w.hi &&
+          std::binary_search(w.objs.begin(), w.objs.end(), inst.obj)) {
+        return report(w.pid, inst.pid, inst.obj);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace jungle

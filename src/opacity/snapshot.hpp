@@ -1,0 +1,55 @@
+// Snapshot isolation as a history transformation.
+//
+// SI's defining split — reads execute against a committed snapshot, writes
+// install atomically at commit — becomes a *history* transformation the
+// shared DecisionEngine can check with its existing serialization search:
+// every committed transaction is split into
+//
+//   * an R-part (original process): the transaction's snapshot reads, i.e.
+//     its read-like commands minus reads of variables it had already
+//     written itself, and
+//   * a W-part (a fresh process id): its write-like commands,
+//
+// both spanning the original transaction's real-time interval, plus an
+// explicit serialization constraint R-part ≪ W-part.  A history is then
+// SI iff (a) no two concurrent committed writers intersect on a variable
+// (first-committer-wins), and (b) the split history is strictly
+// serializable under SC.  The interval slack makes the R-part free to
+// serialize at any consistent point before the W-part, which is the
+// generalized-SI reading; the TMs only ever produce begin-timestamp
+// snapshots, a subset.
+//
+// Transactions containing a command that both observes and mutates (FIFO
+// dequeue) have no meaningful read/write split; they pass through intact
+// and are checked as atomic blocks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "history/history.hpp"
+
+namespace jungle {
+
+struct SnapshotSplit {
+  History history;
+  /// Serialization-order constraints (earlier op must precede later op in
+  /// the witness): one R-part ≪ W-part edge per split transaction.
+  std::vector<std::pair<OpId, OpId>> orderPairs;
+};
+
+/// Splits every committed transaction of `h` (non-committed transactions
+/// pass through intact; callers erase them first).  Dependence-annotated
+/// commands are normalized to plain reads/writes — SI is defined over SC.
+SnapshotSplit snapshotSplitHistory(const History& h);
+
+/// First-committer-wins certification over the unsplit history: two
+/// committed transactions whose write sets intersect and whose real-time
+/// intervals overlap cannot both commit under SI; nor can a committed
+/// transaction overlap a non-transactional write to a variable it writes.
+/// Returns a description of the first violating pair, or nullopt.
+std::optional<std::string> firstCommitterWinsViolation(const History& h);
+
+}  // namespace jungle

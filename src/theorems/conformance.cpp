@@ -1,5 +1,7 @@
 #include "theorems/conformance.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 
@@ -48,6 +50,34 @@ ConformanceResult checkTraceSgla(const Trace& r, const MemoryModel& m,
   bool sawInconclusive = canonical.inconclusive;
   EnumerationResult e = forEachCorrespondingHistory(r, [&](const History& h) {
     const CheckResult c = checkSgla(h, m, specs, opts);
+    sawInconclusive |= c.inconclusive;
+    return c.satisfied;
+  });
+  res.ok = e.satisfied;
+  res.inconclusive = !e.satisfied && (e.cappedOut || sawInconclusive);
+  return res;
+}
+
+ConformanceResult checkTraceCondition(const Trace& r, ConditionKind condition,
+                                      const MemoryModel& m,
+                                      const SpecMap& specs,
+                                      const SearchLimits& limits) {
+  if (condition == ConditionKind::kParametrizedOpacity) {
+    // Keep the specialized enumeration path (pruned by the model).
+    return checkTracePopacity(r, m, specs, limits);
+  }
+  ConformanceResult res;
+  res.canonical = canonicalHistory(r);
+  const CheckResult canonical =
+      checkCondition(condition, res.canonical, m, specs, limits);
+  if (canonical.satisfied) {
+    res.ok = true;
+    res.viaCanonical = true;
+    return res;
+  }
+  bool sawInconclusive = canonical.inconclusive;
+  EnumerationResult e = forEachCorrespondingHistory(r, [&](const History& h) {
+    const CheckResult c = checkCondition(condition, h, m, specs, limits);
     sawInconclusive |= c.inconclusive;
     return c.satisfied;
   });
@@ -110,13 +140,14 @@ ModelCheckReport modelCheckProgram(std::size_t numThreads, std::size_t words,
                                    const MemoryModel& model,
                                    const SpecMap& specs,
                                    const ExploreOptions& opts,
-                                   std::size_t maxViolationSamples) {
+                                   std::size_t maxViolationSamples,
+                                   ConditionKind condition) {
   ModelCheckReport report;
   std::mutex mu;  // the explorer may call the verifier concurrently
   report.stats = exploreSchedules(
       numThreads, words, program, opts, [&](const RunOutcome& out) {
         const ConformanceResult res =
-            checkTracePopacity(out.trace, model, specs);
+            checkTraceCondition(out.trace, condition, model, specs);
         if (res.ok) return true;
         std::lock_guard<std::mutex> g(mu);
         if (res.inconclusive) {
@@ -126,6 +157,10 @@ ModelCheckReport modelCheckProgram(std::size_t numThreads, std::size_t words,
         }
         if (report.violations.size() < maxViolationSamples) {
           report.violations.emplace_back(out.schedule, res.canonical);
+          if (std::getenv("JUNGLE_DUMP_TRACE") != nullptr) {
+            std::fprintf(stderr, "=== violating trace ===\n%s=== end trace ===\n",
+                         out.trace.toString().c_str());
+          }
         }
         return false;
       });

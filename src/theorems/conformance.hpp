@@ -47,6 +47,16 @@ ConformanceResult checkTraceSgla(
     const Trace& r, const MemoryModel& m, const SpecMap& specs,
     const SglaOptions& opts = {true, conformanceSearchLimits()});
 
+/// ∃ corresponding history of `r` ensuring `condition` — the dispatching
+/// generalization behind the per-kind conformance legs: the single-version
+/// TMs claim parametrized opacity, the MVCC family snapshot isolation
+/// (si-mvcc) or strict serializability (si-ssn).  `m` is consulted only
+/// for ConditionKind::kParametrizedOpacity.
+ConformanceResult checkTraceCondition(
+    const Trace& r, ConditionKind condition, const MemoryModel& m,
+    const SpecMap& specs,
+    const SearchLimits& limits = conformanceSearchLimits());
+
 /// Randomized concurrent workload on a recording runtime.
 struct StressOptions {
   std::size_t numProcs = 3;
@@ -81,11 +91,11 @@ struct ModelCheckReport {
 
 /// Explores `program` under `opts.strategy` and checks each completed
 /// run.  The verifier is thread-safe: opts.threads > 1 is allowed.
-ModelCheckReport modelCheckProgram(std::size_t numThreads, std::size_t words,
-                                   const Program& program,
-                                   const MemoryModel& model,
-                                   const SpecMap& specs,
-                                   const ExploreOptions& opts,
-                                   std::size_t maxViolationSamples = 2);
+/// `condition` selects the per-run verifier (checkTraceCondition).
+ModelCheckReport modelCheckProgram(
+    std::size_t numThreads, std::size_t words, const Program& program,
+    const MemoryModel& model, const SpecMap& specs, const ExploreOptions& opts,
+    std::size_t maxViolationSamples = 2,
+    ConditionKind condition = ConditionKind::kParametrizedOpacity);
 
 }  // namespace jungle::theorems

@@ -1,0 +1,621 @@
+// Multi-version TM core: a version-chain arena plus two backends —
+// snapshot isolation (SiTm) and SI + SSN certification (SiSsnTm).
+//
+// Unlike the single-version TMs (one value word per variable), every
+// variable here owns a bounded ring of K versions.  Transactions read a
+// begin-timestamp snapshot: the newest version no younger than the clock
+// value sampled at start.  Writers buffer privately and certify at commit
+// under a global commit latch:
+//
+//   * SiTm     — first-committer-wins: abort iff a variable in the write
+//                set was committed past the snapshot.  Guarantees snapshot
+//                isolation (lost update excluded, write skew admitted).
+//   * SiSsnTm  — SI plus SSN exclusion-window certification [Wang et al.,
+//                "The Serial Safety Net"]: per-version pstamp/sstamp
+//                watermarks, abort iff eta(T) <= pi(T).  Excludes write
+//                skew; the commit order extends a serializable order.
+//
+// Layout (memoryWords = 4n + 2 + n*K*S words):
+//   [0, n)        per-variable record: (newest committed ts << 1) | locked
+//   [n, 2n)       per-variable head counter: total versions ever appended
+//   2n            global version clock
+//   2n + 1        global commit latch (0 free, pid+1 held)
+//   [2n+2, 4n+2)  per-variable stamps of the implicit initial version
+//                 (ts 0, value 0): pstamp, then sstamp (SSN only)
+//   4n+2 ...      n * K version slots of S words: ts, value[, pstamp,
+//                 sstamp].  A stored sstamp of 0 encodes "infinity".
+//
+// Readers never block: a seqlock on the record validates each chain scan
+// (writers lock the record before touching slots).  A snapshot older than
+// every surviving version in the ring aborts conservatively ("snapshot too
+// old"), as does an SSN commit whose read version was evicted by ring
+// wrap-around.  Non-transactional operations are instrumented: a read
+// returns the newest committed version; a write appends a version under
+// the latch (a singleton committed transaction).
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/sync.hpp"
+#include "history/op_instance.hpp"
+#include "tm/global_lock_tm.hpp"  // VarMap
+
+namespace jungle {
+
+template <class Mem, std::size_t SlotWords>
+class MvccTmBase {
+ public:
+  /// Ring capacity per variable.  Eight absorbs the write bursts the
+  /// stress workloads generate; older snapshots abort conservatively.
+  static constexpr std::size_t kVersionsPerVar = 8;
+
+  static std::size_t memoryWords(std::size_t numVars) {
+    return 4 * numVars + 2 + numVars * kVersionsPerVar * SlotWords;
+  }
+
+  MvccTmBase(Mem& mem, std::size_t numVars)
+      : mem_(mem),
+        numVars_(numVars),
+        clockAddr_(2 * numVars),
+        latchAddr_(2 * numVars + 1) {
+    JUNGLE_CHECK(mem.size() >= memoryWords(numVars));
+  }
+
+  struct Thread {
+    ProcessId pid = 0;
+    Word rv = 0;      // start-time clock sample (snapshot timestamp)
+    VarMap readset;   // obj -> ts of the snapshot version read
+    VarMap writeset;  // obj -> buffered new value
+    bool inTx = false;
+    std::uint64_t aborts = 0;
+    // Telemetry (surfaced through TmRuntime::telemetry()).
+    std::uint64_t fcwAborts = 0;     // first-committer-wins certification
+    std::uint64_t tooOldAborts = 0;  // snapshot older than the ring
+    std::uint64_t ssnAborts = 0;     // SSN exclusion window or eviction
+    std::uint64_t chainReads = 0;    // completed chain lookups
+    std::uint64_t chainSteps = 0;    // slots inspected across lookups
+  };
+
+  Thread makeThread(ProcessId pid) const {
+    Thread t;
+    t.pid = pid;
+    return t;
+  }
+
+  void txStart(Thread& t) {
+    JUNGLE_CHECK(!t.inTx);
+    const OpId op = mem_.beginOp(t.pid, OpType::kStart, kNoObject, {});
+    t.rv = mem_.load(t.pid, clockAddr_);
+    mem_.markPoint(t.pid, op);
+    mem_.endOp(t.pid, op, OpType::kStart, kNoObject, {});
+    t.inTx = true;
+  }
+
+  /// nullopt => the transaction aborted (snapshot too old, or persistent
+  /// seqlock interference); the read responds as the abort.
+  std::optional<Word> txRead(Thread& t, ObjectId x) {
+    JUNGLE_CHECK(t.inTx && x < numVars_);
+    const OpId op = mem_.beginOp(t.pid, OpType::kCommand, x, cmdRead(0));
+    if (const Word* w = t.writeset.find(x)) {
+      mem_.markPoint(t.pid, op);
+      mem_.endOp(t.pid, op, OpType::kCommand, x, cmdRead(*w));
+      return *w;
+    }
+    const auto r = snapshotRead(t, x, t.rv);
+    if (!r.has_value()) {
+      ++t.tooOldAborts;
+      abortInsideOp(t, op);
+      return std::nullopt;
+    }
+    if (t.readset.find(x) == nullptr) t.readset.put(x, r->second);
+    mem_.markPoint(t.pid, op);
+    mem_.endOp(t.pid, op, OpType::kCommand, x, cmdRead(r->first));
+    return r->first;
+  }
+
+  void txWrite(Thread& t, ObjectId x, Word v) {
+    JUNGLE_CHECK(t.inTx && x < numVars_);
+    const OpId op = mem_.beginOp(t.pid, OpType::kCommand, x, cmdWrite(v));
+    t.writeset.put(x, v);
+    mem_.markPoint(t.pid, op);
+    mem_.endOp(t.pid, op, OpType::kCommand, x, cmdWrite(v));
+  }
+
+  void txAbort(Thread& t) {
+    JUNGLE_CHECK(t.inTx);
+    const OpId op = mem_.beginOp(t.pid, OpType::kAbort, kNoObject, {});
+    mem_.markPoint(t.pid, op);
+    mem_.endOp(t.pid, op, OpType::kAbort, kNoObject, {});
+    finish(t);
+  }
+
+  std::uint64_t abortCount(const Thread& t) const { return t.aborts; }
+
+  /// Per-thread counters, summed by the runtime adapter.  The order and
+  /// names are identical for both backends so bench rows line up.
+  static std::vector<std::pair<const char*, std::uint64_t>> telemetry(
+      const Thread& t) {
+    return {{"fcw_aborts", t.fcwAborts},
+            {"too_old_aborts", t.tooOldAborts},
+            {"ssn_aborts", t.ssnAborts},
+            {"chain_reads", t.chainReads},
+            {"chain_steps", t.chainSteps}};
+  }
+
+  /// Instrumented non-transactional read: the newest committed version
+  /// (a snapshot at "now").  Retries seqlock interference forever — a
+  /// non-transactional operation cannot abort.
+  Word ntRead(Thread& t, ObjectId x) {
+    JUNGLE_CHECK(!t.inTx && x < numVars_);
+    const OpId op = mem_.beginOp(t.pid, OpType::kCommand, x, cmdRead(0));
+    Backoff backoff;
+    std::optional<std::pair<Word, Word>> r;
+    while (!(r = snapshotRead(t, x, ~Word{0})).has_value()) {
+      backoff.pause();
+    }
+    mem_.markPoint(t.pid, op);
+    mem_.endOp(t.pid, op, OpType::kCommand, x, cmdRead(r->first));
+    return r->first;
+  }
+
+ protected:
+  static constexpr std::size_t kK = kVersionsPerVar;
+  // Slot field offsets.
+  static constexpr std::size_t kTs = 0;
+  static constexpr std::size_t kValue = 1;
+  static constexpr std::size_t kPstamp = 2;  // SSN backends only
+  static constexpr std::size_t kSstamp = 3;  // SSN backends only
+  /// Seqlock attempts before a conservative abort in transactions.
+  static constexpr int kReadAttempts = 64;
+
+  Addr recordAddr(ObjectId x) const { return x; }
+  Addr headAddr(ObjectId x) const { return numVars_ + x; }
+  Addr initStampAddr(ObjectId x, std::size_t field) const {
+    JUNGLE_DCHECK(field == kPstamp || field == kSstamp);
+    return 2 * numVars_ + 2 + 2 * x + (field - kPstamp);
+  }
+  Addr slotAddr(ObjectId x, std::size_t slot, std::size_t field) const {
+    JUNGLE_DCHECK(slot < kK && field < SlotWords);
+    return 4 * numVars_ + 2 + (x * kK + slot) * SlotWords + field;
+  }
+
+  /// Finds the newest version of x with ts <= rv and returns (value, ts);
+  /// the implicit initial version is (0, 0).  nullopt when the snapshot
+  /// predates every surviving version (ring wrapped past rv) or when
+  /// kReadAttempts seqlock validations failed in a row.
+  std::optional<std::pair<Word, Word>> snapshotRead(Thread& t, ObjectId x,
+                                                    Word rv) {
+    Backoff backoff;
+    for (int attempt = 0; attempt < kReadAttempts; ++attempt) {
+      const Word r1 = mem_.load(t.pid, recordAddr(x));
+      if ((r1 & 1) != 0) {  // a commit is installing; wait it out
+        backoff.pause();
+        continue;
+      }
+      const Word h = mem_.load(t.pid, headAddr(x));
+      ++t.chainReads;
+      const Word newest = r1 >> 1;
+      Word value = 0;
+      Word ts = 0;
+      bool found = false;
+      bool tooOld = false;
+      if (newest <= rv) {
+        ts = newest;
+        if (newest == 0) {
+          found = true;  // implicit initial version
+        } else {
+          const std::size_t slot = static_cast<std::size_t>((h - 1) % kK);
+          ++t.chainSteps;
+          if (mem_.load(t.pid, slotAddr(x, slot, kTs)) == newest) {
+            value = mem_.load(t.pid, slotAddr(x, slot, kValue));
+            found = true;
+          }
+          // ts mismatch: torn by a concurrent commit; the record check
+          // below fails and we retry.
+        }
+      } else {
+        const std::size_t depth =
+            static_cast<std::size_t>(std::min<Word>(h, kK));
+        for (std::size_t i = 0; i < depth; ++i) {
+          const std::size_t slot = static_cast<std::size_t>((h - 1 - i) % kK);
+          ++t.chainSteps;
+          const Word sts = mem_.load(t.pid, slotAddr(x, slot, kTs));
+          if (sts <= rv) {
+            value = mem_.load(t.pid, slotAddr(x, slot, kValue));
+            ts = sts;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          if (h < kK) {
+            found = true;  // ring never wrapped: initial version reachable
+          } else {
+            tooOld = true;
+          }
+        }
+      }
+      if (mem_.load(t.pid, recordAddr(x)) != r1) continue;  // torn scan
+      if (tooOld) return std::nullopt;
+      JUNGLE_CHECK(found);
+      return std::make_pair(value, ts);
+    }
+    return std::nullopt;  // persistent interference: conservative abort
+  }
+
+  void acquireLatch(Thread& t) {
+    Backoff backoff;
+    while (!mem_.cas(t.pid, latchAddr_, 0,
+                     static_cast<Word>(t.pid) + 1)) {
+      backoff.pause();
+    }
+  }
+
+  void releaseLatch(Thread& t) { mem_.store(t.pid, latchAddr_, 0); }
+
+  /// Write-set variables in ascending order (deterministic install order).
+  std::vector<ObjectId> writeOrder(const Thread& t) const {
+    std::vector<ObjectId> order;
+    for (const auto& [x, v] : t.writeset) order.push_back(x);
+    std::sort(order.begin(), order.end());
+    return order;
+  }
+
+  /// First-committer-wins certification (latch held): a write-set variable
+  /// committed past the snapshot loses.  Returns false on conflict.
+  bool certifyFirstCommitterWins(Thread& t) {
+    for (const auto& [x, v] : t.writeset) {
+      if ((mem_.load(t.pid, recordAddr(x)) >> 1) > t.rv) return false;
+    }
+    return true;
+  }
+
+  /// Appends one version per write-set variable with commit stamp wv and
+  /// publishes the records (latch held).  The commit's logical point is
+  /// marked after the slots are written, before the records flip — the
+  /// same discipline as the TL2 write-back.
+  void installVersions(Thread& t, OpId op, Word wv,
+                       const std::vector<ObjectId>& order) {
+    for (ObjectId x : order) {
+      const Word r = mem_.load(t.pid, recordAddr(x));
+      mem_.store(t.pid, recordAddr(x), r | 1);  // readers now retry
+    }
+    for (const auto& [x, v] : t.writeset) {
+      const Word h = mem_.load(t.pid, headAddr(x));
+      const std::size_t slot = static_cast<std::size_t>(h % kK);
+      mem_.store(t.pid, slotAddr(x, slot, kTs), wv);
+      mem_.store(t.pid, slotAddr(x, slot, kValue), v);
+      if constexpr (SlotWords > kPstamp) {
+        mem_.store(t.pid, slotAddr(x, slot, kPstamp), wv);
+        mem_.store(t.pid, slotAddr(x, slot, kSstamp), 0);  // infinity
+      }
+      mem_.store(t.pid, headAddr(x), h + 1);
+    }
+    mem_.markPoint(t.pid, op);
+    for (ObjectId x : order) {
+      mem_.store(t.pid, recordAddr(x), wv << 1);
+    }
+  }
+
+  /// Ends the open operation as the transaction's abort (response carries
+  /// OpType::kAbort, so extracted histories stay well formed).
+  void abortInsideOp(Thread& t, OpId op) {
+    mem_.markPoint(t.pid, op);
+    mem_.endOp(t.pid, op, OpType::kAbort, kNoObject, {});
+    ++t.aborts;
+    finish(t);
+  }
+
+  void finish(Thread& t) {
+    t.readset.clear();
+    t.writeset.clear();
+    t.inTx = false;
+  }
+
+  Mem& mem_;
+  std::size_t numVars_;
+  Addr clockAddr_;
+  Addr latchAddr_;
+};
+
+/// Snapshot isolation: begin-timestamp snapshot reads, first-committer-wins
+/// write certification.  Admits write skew (the separating litmus in the
+/// condition-matrix tests); excludes lost update.
+template <class Mem>
+class SiTm : public MvccTmBase<Mem, 2> {
+  using Base = MvccTmBase<Mem, 2>;
+
+ public:
+  static constexpr bool kInstrumentsNtReads = true;
+  static constexpr bool kInstrumentsNtWrites = true;
+  static constexpr const char* kName = "si-mvcc";
+
+  using Base::Base;
+  using typename Base::Thread;
+
+  bool txCommit(Thread& t) {
+    JUNGLE_CHECK(t.inTx);
+    const OpId op = this->mem_.beginOp(t.pid, OpType::kCommit, kNoObject, {});
+    if (t.writeset.empty()) {
+      // Read-only: the snapshot was consistent by construction.
+      this->mem_.markPoint(t.pid, op);
+      this->mem_.endOp(t.pid, op, OpType::kCommit, kNoObject, {});
+      this->finish(t);
+      return true;
+    }
+    this->acquireLatch(t);
+    if (!this->certifyFirstCommitterWins(t)) {
+      this->releaseLatch(t);
+      ++t.fcwAborts;
+      this->abortInsideOp(t, op);
+      return false;
+    }
+    const Word wv = this->mem_.load(t.pid, this->clockAddr_) + 1;
+    this->installVersions(t, op, wv, this->writeOrder(t));
+    // The clock is published only after the install: a transaction whose
+    // snapshot rv >= wv must find every wv version in place, or its reads
+    // could race the install and still pass first-committer-wins.
+    this->mem_.store(t.pid, this->clockAddr_, wv);
+    this->releaseLatch(t);
+    this->mem_.endOp(t.pid, op, OpType::kCommit, kNoObject, {});
+    this->finish(t);
+    return true;
+  }
+
+  /// Instrumented write: a singleton committed transaction — append a
+  /// version under the latch.  Always succeeds (no reads to certify).
+  void ntWrite(Thread& t, ObjectId x, Word v) {
+    JUNGLE_CHECK(!t.inTx && x < this->numVars_);
+    const OpId op = this->mem_.beginOp(t.pid, OpType::kCommand, x, cmdWrite(v));
+    this->acquireLatch(t);
+    const Word wv = this->mem_.load(t.pid, this->clockAddr_) + 1;
+    const Word r = this->mem_.load(t.pid, this->recordAddr(x));
+    this->mem_.store(t.pid, this->recordAddr(x), r | 1);
+    const Word h = this->mem_.load(t.pid, this->headAddr(x));
+    const std::size_t slot = static_cast<std::size_t>(h % Base::kK);
+    this->mem_.store(t.pid, this->slotAddr(x, slot, Base::kTs), wv);
+    this->mem_.store(t.pid, this->slotAddr(x, slot, Base::kValue), v);
+    this->mem_.store(t.pid, this->headAddr(x), h + 1);
+    this->mem_.markPoint(t.pid, op);
+    this->mem_.store(t.pid, this->recordAddr(x), wv << 1);
+    this->mem_.store(t.pid, this->clockAddr_, wv);  // publish after install
+    this->releaseLatch(t);
+    this->mem_.endOp(t.pid, op, OpType::kCommand, x, cmdWrite(v));
+  }
+};
+
+/// SI plus the Serial Safety Net: per-version pstamp (high watermark of
+/// committed readers) and sstamp (low watermark of the overwrite) track the
+/// exclusion window
+///
+///   pi(T)  = max(rv, ts of versions read, pstamp of versions overwritten)
+///   eta(T) = min(c(T), sstamp of versions read)
+///
+/// and T aborts iff eta(T) <= pi(T).  On top of first-committer-wins this
+/// closes the write-skew window: the second skewed committer observes the
+/// first one's sstamp and aborts.  A read version evicted by ring
+/// wrap-around before commit aborts conservatively.
+///
+/// Two strengthenings beyond textbook SSN, both required because the claim
+/// here is STRICT serializability, not just serializability:
+///
+///   * pi includes rv — the transaction's real-time floor.  Everything
+///     committed before T began has commit stamp <= rv, so a transaction
+///     forced below that floor (eta <= rv, from reading a version whose
+///     overwriter had to serialize early) cannot be placed after its
+///     real-time predecessors and must abort.
+///   * Read-only transactions and non-transactional reads participate:
+///     they certify their window under the commit latch and raise the
+///     pstamp of every version they read to the commit-time clock.
+///     Skipping them admits the read-only real-time anomaly: p commits a
+///     write (say x2 := 2 at ts 1), then a later read-only transaction on
+///     the SAME process reads x1 = 0; a concurrent writer still on an
+///     older snapshot (rv 0) reads x2 = 0 and commits x1 := 9, and the
+///     serialization needs writer < (x2 := 2) < read-only < writer — a
+///     cycle only the reader's pstamp can expose (regression:
+///     SsnReadOnlyRealTime tests; found by fuzz --tm si-ssn).
+template <class Mem>
+class SiSsnTm : public MvccTmBase<Mem, 4> {
+  using Base = MvccTmBase<Mem, 4>;
+
+ public:
+  static constexpr bool kInstrumentsNtReads = true;
+  static constexpr bool kInstrumentsNtWrites = true;
+  static constexpr const char* kName = "si-ssn";
+
+  using Base::Base;
+  using typename Base::Thread;
+
+  bool txCommit(Thread& t) {
+    JUNGLE_CHECK(t.inTx);
+    const OpId op = this->mem_.beginOp(t.pid, OpType::kCommit, kNoObject, {});
+    if (t.writeset.empty()) return commitReadOnly(t, op);
+    this->acquireLatch(t);
+    if (!this->certifyFirstCommitterWins(t)) {
+      this->releaseLatch(t);
+      ++t.fcwAborts;
+      this->abortInsideOp(t, op);
+      return false;
+    }
+    const Word wv = this->mem_.load(t.pid, this->clockAddr_) + 1;
+
+    // Exclusion-window computation (latch held, stamps are stable).  rv
+    // floors pi: real-time predecessors committed at stamps <= rv.
+    Word pi = t.rv;
+    Word eta = wv;
+    bool evicted = false;
+    std::vector<std::pair<ObjectId, Word>> readStamps;   // pstamp addrs
+    std::vector<Addr> overwrittenSstamps;
+    for (const auto& [x, ts] : t.readset) {
+      pi = std::max(pi, ts);
+      const auto sAddr = versionFieldAddr(t, x, ts, Base::kSstamp);
+      if (!sAddr.has_value()) {
+        evicted = true;
+        break;
+      }
+      const Word s = this->mem_.load(t.pid, *sAddr);
+      if (s != 0) eta = std::min(eta, s);  // 0 encodes infinity
+      readStamps.emplace_back(x, ts);
+    }
+    if (!evicted) {
+      for (const auto& [x, v] : t.writeset) {
+        const Word old = this->mem_.load(t.pid, this->recordAddr(x)) >> 1;
+        const auto pAddr = versionFieldAddr(t, x, old, Base::kPstamp);
+        const auto sAddr = versionFieldAddr(t, x, old, Base::kSstamp);
+        if (!pAddr.has_value() || !sAddr.has_value()) {
+          evicted = true;
+          break;
+        }
+        pi = std::max(pi, this->mem_.load(t.pid, *pAddr));
+        overwrittenSstamps.push_back(*sAddr);
+      }
+    }
+    if (evicted || eta <= pi) {
+      this->releaseLatch(t);
+      ++t.ssnAborts;
+      this->abortInsideOp(t, op);
+      return false;
+    }
+
+    // Commit: propagate the watermarks, then install.
+    for (Addr sAddr : overwrittenSstamps) {
+      const Word s = this->mem_.load(t.pid, sAddr);
+      const Word ns = (s == 0) ? eta : std::min(s, eta);
+      this->mem_.store(t.pid, sAddr, ns);
+    }
+    for (const auto& [x, ts] : readStamps) {
+      // Our own install may evict the version; its pstamp is then moot.
+      const auto pAddr = versionFieldAddr(t, x, ts, Base::kPstamp);
+      if (!pAddr.has_value()) continue;
+      const Word p = this->mem_.load(t.pid, *pAddr);
+      this->mem_.store(t.pid, *pAddr, std::max(p, wv));
+    }
+    this->installVersions(t, op, wv, this->writeOrder(t));
+    // Publish the clock only after the install (see SiTm::txCommit).
+    this->mem_.store(t.pid, this->clockAddr_, wv);
+    this->releaseLatch(t);
+    this->mem_.endOp(t.pid, op, OpType::kCommit, kNoObject, {});
+    this->finish(t);
+    return true;
+  }
+
+  /// Instrumented write: a singleton committed writer.  pi = pstamp of the
+  /// overwritten version < wv and eta = wv, so it always certifies; it
+  /// still seals the overwritten version's sstamp so committed readers of
+  /// that version serialize before it.
+  void ntWrite(Thread& t, ObjectId x, Word v) {
+    JUNGLE_CHECK(!t.inTx && x < this->numVars_);
+    const OpId op = this->mem_.beginOp(t.pid, OpType::kCommand, x, cmdWrite(v));
+    this->acquireLatch(t);
+    const Word wv = this->mem_.load(t.pid, this->clockAddr_) + 1;
+    const Word old = this->mem_.load(t.pid, this->recordAddr(x)) >> 1;
+    if (const auto sAddr = versionFieldAddr(t, x, old, Base::kSstamp)) {
+      const Word s = this->mem_.load(t.pid, *sAddr);
+      const Word ns = (s == 0) ? wv : std::min(s, wv);
+      this->mem_.store(t.pid, *sAddr, ns);
+    }
+    const Word r = this->mem_.load(t.pid, this->recordAddr(x));
+    this->mem_.store(t.pid, this->recordAddr(x), r | 1);
+    const Word h = this->mem_.load(t.pid, this->headAddr(x));
+    const std::size_t slot = static_cast<std::size_t>(h % Base::kK);
+    this->mem_.store(t.pid, this->slotAddr(x, slot, Base::kTs), wv);
+    this->mem_.store(t.pid, this->slotAddr(x, slot, Base::kValue), v);
+    this->mem_.store(t.pid, this->slotAddr(x, slot, Base::kPstamp), wv);
+    this->mem_.store(t.pid, this->slotAddr(x, slot, Base::kSstamp), 0);
+    this->mem_.store(t.pid, this->headAddr(x), h + 1);
+    this->mem_.markPoint(t.pid, op);
+    this->mem_.store(t.pid, this->recordAddr(x), wv << 1);
+    this->mem_.store(t.pid, this->clockAddr_, wv);  // publish after install
+    this->releaseLatch(t);
+    this->mem_.endOp(t.pid, op, OpType::kCommand, x, cmdWrite(v));
+  }
+
+ private:
+  /// Read-only commit: no versions to install, but the transaction still
+  /// certifies and stamps (see the class comment).  Abort iff some version
+  /// read was overwritten with sstamp <= rv — the reader would have to
+  /// serialize below its own real-time floor — or was evicted by ring
+  /// wrap-around (conservative, as in the writer path).
+  bool commitReadOnly(Thread& t, OpId op) {
+    this->acquireLatch(t);
+    const Word cv = this->mem_.load(t.pid, this->clockAddr_);
+    Word eta = ~Word{0};
+    bool evicted = false;
+    for (const auto& [x, ts] : t.readset) {
+      const auto sAddr = versionFieldAddr(t, x, ts, Base::kSstamp);
+      if (!sAddr.has_value()) {
+        evicted = true;
+        break;
+      }
+      const Word s = this->mem_.load(t.pid, *sAddr);
+      if (s != 0) eta = std::min(eta, s);  // 0 encodes infinity
+    }
+    if (evicted || eta <= t.rv) {
+      this->releaseLatch(t);
+      ++t.ssnAborts;
+      this->abortInsideOp(t, op);
+      return false;
+    }
+    // Committed readers serialize no later than the commit-time clock;
+    // raising the pstamps makes a later stale overwriter's pi see them.
+    for (const auto& [x, ts] : t.readset) {
+      const auto pAddr = versionFieldAddr(t, x, ts, Base::kPstamp);
+      if (!pAddr.has_value()) continue;
+      const Word p = this->mem_.load(t.pid, *pAddr);
+      this->mem_.store(t.pid, *pAddr, std::max(p, cv));
+    }
+    this->mem_.markPoint(t.pid, op);
+    this->releaseLatch(t);
+    this->mem_.endOp(t.pid, op, OpType::kCommit, kNoObject, {});
+    this->finish(t);
+    return true;
+  }
+
+ public:
+  /// Instrumented read: a singleton committed read-only transaction, so it
+  /// participates like one — under the latch it reads the newest version
+  /// and raises that version's pstamp to the clock.  The newest version is
+  /// never overwritten while the latch is held, so its sstamp is infinity
+  /// and the exclusion window cannot close: an nt read still cannot abort.
+  Word ntRead(Thread& t, ObjectId x) {
+    JUNGLE_CHECK(!t.inTx && x < this->numVars_);
+    const OpId op = this->mem_.beginOp(t.pid, OpType::kCommand, x, cmdRead(0));
+    this->acquireLatch(t);
+    const Word cv = this->mem_.load(t.pid, this->clockAddr_);
+    const auto r = this->snapshotRead(t, x, ~Word{0});
+    JUNGLE_CHECK(r.has_value());  // latch held: no writer interference
+    if (const auto pAddr = versionFieldAddr(t, x, r->second, Base::kPstamp)) {
+      const Word p = this->mem_.load(t.pid, *pAddr);
+      this->mem_.store(t.pid, *pAddr, std::max(p, cv));
+    }
+    this->mem_.markPoint(t.pid, op);
+    this->releaseLatch(t);
+    this->mem_.endOp(t.pid, op, OpType::kCommand, x, cmdRead(r->first));
+    return r->first;
+  }
+
+ private:
+  /// Address of `field` for version ts of x, or nullopt when the ring
+  /// evicted it.  The implicit initial version's stamps live in the
+  /// dedicated per-variable words.  Latch must be held.
+  std::optional<Addr> versionFieldAddr(Thread& t, ObjectId x, Word ts,
+                                       std::size_t field) {
+    if (ts == 0) return this->initStampAddr(x, field);
+    const Word h = this->mem_.load(t.pid, this->headAddr(x));
+    const std::size_t depth =
+        static_cast<std::size_t>(std::min<Word>(h, Base::kK));
+    for (std::size_t i = 0; i < depth; ++i) {
+      const std::size_t slot = static_cast<std::size_t>((h - 1 - i) % Base::kK);
+      if (this->mem_.load(t.pid, this->slotAddr(x, slot, Base::kTs)) == ts) {
+        return this->slotAddr(x, slot, field);
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace jungle

@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/sync.hpp"
 #include "tm/global_lock_tm.hpp"
+#include "tm/mvcc_store.hpp"
 #include "tm/strong_atomicity_tm.hpp"
 #include "tm/tl2_tm.hpp"
 #include "tm/versioned_write_tm.hpp"
@@ -24,13 +25,22 @@ const char* tmKindName(TmKind kind) {
       return "strong-atomicity";
     case TmKind::kTl2Weak:
       return "tl2-weak";
+    case TmKind::kSnapshotIsolation:
+      return "si-mvcc";
+    case TmKind::kSiSsn:
+      return "si-ssn";
   }
   return "?";
 }
 
 std::vector<TmKind> allTmKinds() {
-  return {TmKind::kGlobalLock, TmKind::kWriteAsTx, TmKind::kVersionedWrite,
-          TmKind::kStrongAtomicity, TmKind::kTl2Weak};
+  std::vector<TmKind> kinds = {
+      TmKind::kGlobalLock,       TmKind::kWriteAsTx,
+      TmKind::kVersionedWrite,   TmKind::kStrongAtomicity,
+      TmKind::kTl2Weak,          TmKind::kSnapshotIsolation,
+      TmKind::kSiSsn};
+  JUNGLE_CHECK(kinds.size() == kTmKindCount);
+  return kinds;
 }
 
 namespace {
@@ -98,6 +108,30 @@ class RuntimeAdapter final : public TmRuntime {
     return aborts_.load(std::memory_order_relaxed);
   }
 
+  std::vector<Counter> telemetry() const override {
+    // TMs exposing per-thread counters (the MVCC family) provide a static
+    // telemetry(Thread); everyone else reports nothing.
+    if constexpr (requires(const Thread& t) { Tm::telemetry(t); }) {
+      std::vector<Counter> total;
+      for (const Thread& t : threads_) {
+        const auto counters = Tm::telemetry(t);
+        if (total.empty()) {
+          for (const auto& [name, value] : counters) {
+            total.push_back({name, value});
+          }
+        } else {
+          JUNGLE_CHECK(counters.size() == total.size());
+          for (std::size_t i = 0; i < counters.size(); ++i) {
+            total[i].value += counters[i].second;
+          }
+        }
+      }
+      return total;
+    } else {
+      return {};
+    }
+  }
+
  private:
   class Ctx final : public TxContext {
    public:
@@ -159,6 +193,12 @@ std::unique_ptr<TmRuntime> makeRuntime(TmKind kind, Mem& mem,
     case TmKind::kTl2Weak:
       return std::make_unique<RuntimeAdapter<Tl2Tm, Mem>>(kind, mem, numVars,
                                                           maxProcs);
+    case TmKind::kSnapshotIsolation:
+      return std::make_unique<RuntimeAdapter<SiTm, Mem>>(kind, mem, numVars,
+                                                         maxProcs);
+    case TmKind::kSiSsn:
+      return std::make_unique<RuntimeAdapter<SiSsnTm, Mem>>(kind, mem,
+                                                            numVars, maxProcs);
   }
   JUNGLE_CHECK_MSG(false, "unknown TM kind");
   return nullptr;
@@ -176,6 +216,10 @@ std::size_t runtimeMemoryWords(TmKind kind, std::size_t numVars) {
     case TmKind::kStrongAtomicity:
     case TmKind::kTl2Weak:
       return VersionedClockTmBase<NativeMemory>::memoryWords(numVars);
+    case TmKind::kSnapshotIsolation:
+      return SiTm<NativeMemory>::memoryWords(numVars);
+    case TmKind::kSiSsn:
+      return SiSsnTm<NativeMemory>::memoryWords(numVars);
   }
   JUNGLE_CHECK_MSG(false, "unknown TM kind");
   return 0;

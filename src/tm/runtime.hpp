@@ -27,12 +27,21 @@
 namespace jungle {
 
 enum class TmKind {
-  kGlobalLock,       // Figure 6 / Theorem 3 (and Theorem 7's SGLA object)
-  kWriteAsTx,        // Theorem 4
-  kVersionedWrite,   // Theorem 5
-  kStrongAtomicity,  // §6.1 (Shpeisman-style), SC-parametrized
-  kTl2Weak,          // opacity-only baseline, weak atomicity
+  kGlobalLock,          // Figure 6 / Theorem 3 (and Theorem 7's SGLA object)
+  kWriteAsTx,           // Theorem 4
+  kVersionedWrite,      // Theorem 5
+  kStrongAtomicity,     // §6.1 (Shpeisman-style), SC-parametrized
+  kTl2Weak,             // opacity-only baseline, weak atomicity
+  kSnapshotIsolation,   // MVCC, snapshot isolation (first-committer-wins)
+  kSiSsn,               // MVCC, SI + SSN certification (strict-ser)
 };
+
+/// Number of TmKind enumerators.  Every `switch (TmKind)` site is written
+/// without a default and the tm target compiles with -Werror=switch-enum,
+/// so adding a kind breaks the build at each site instead of silently
+/// falling through; this count backs the static_asserts on the tables
+/// (allTmKinds, tmClaims, …) the warning cannot see.
+inline constexpr std::size_t kTmKindCount = 7;
 
 const char* tmKindName(TmKind kind);
 std::vector<TmKind> allTmKinds();
@@ -66,6 +75,14 @@ class TmRuntime {
 
   /// Conflict-aborts observed so far (explicit aborts not counted).
   virtual std::uint64_t abortCount() const = 0;
+
+  /// Implementation-specific counters (certification aborts, version-chain
+  /// scan depth, …), summed across threads.  Empty for TMs with none.
+  struct Counter {
+    const char* name;
+    std::uint64_t value;
+  };
+  virtual std::vector<Counter> telemetry() const { return {}; }
 };
 
 /// Memory footprint (in words) a TM kind needs for `numVars` variables.

@@ -1,0 +1,253 @@
+// The machine-checked condition matrix (DESIGN.md §10): for each of the
+// seven TM kinds, which of {opacity, popacity, SI, strict-ser} its traces
+// satisfy, plus the deterministic litmus schedules that separate the MVCC
+// family from the next-stronger condition:
+//
+//   si-mvcc → snapshot isolation only: the write-skew schedule commits on
+//             both sides, and no serializable explanation exists, but the
+//             interval-slack SI split accepts it.
+//   si-ssn  → strict serializability: the same schedule's second committer
+//             trips the SSN exclusion window and aborts.
+//
+// The single-version kinds keep their parametrized-opacity claims from
+// test_tm_conformance.cpp; here every kind is driven through the one
+// dispatching checker (checkTraceCondition) with its claimed condition.
+#include <gtest/gtest.h>
+
+#include "memmodel/models.hpp"
+#include "opacity/popacity.hpp"
+#include "sim/memory_policy.hpp"
+#include "theorems/conformance.hpp"
+#include "tm/mvcc_store.hpp"
+
+namespace jungle {
+namespace {
+
+using theorems::checkTraceCondition;
+using theorems::runStressWorkload;
+using theorems::StressOptions;
+
+SpecMap kRegisters;
+
+// ------------------------------------------------- separating schedules
+
+/// Drives the classic write-skew schedule on an MVCC backend: T0 and T1
+/// read {x, y} off the same (initial) snapshot, then T0 writes y while T1
+/// writes x — disjoint write sets, so first-committer-wins lets both pass.
+/// Returns the recorded trace and each transaction's commit verdict.
+template <template <class> class Tm>
+std::tuple<Trace, bool, bool> runWriteSkew() {
+  constexpr std::size_t kVars = 2;
+  RecordingMemory mem(Tm<RecordingMemory>::memoryWords(kVars));
+  Tm<RecordingMemory> tm(mem, kVars);
+  auto t0 = tm.makeThread(0);
+  auto t1 = tm.makeThread(1);
+
+  tm.txStart(t0);
+  tm.txStart(t1);
+  EXPECT_EQ(tm.txRead(t0, 0).value_or(99), 0u);
+  EXPECT_EQ(tm.txRead(t0, 1).value_or(99), 0u);
+  EXPECT_EQ(tm.txRead(t1, 0).value_or(99), 0u);
+  EXPECT_EQ(tm.txRead(t1, 1).value_or(99), 0u);
+  tm.txWrite(t0, 1, 1);  // T0: if x + y == 0 then y := 1
+  tm.txWrite(t1, 0, 1);  // T1: if x + y == 0 then x := 1
+  const bool c0 = tm.txCommit(t0);
+  const bool c1 = tm.txCommit(t1);
+  return {mem.trace(), c0, c1};
+}
+
+TEST(ConditionMatrix, SiTmAdmitsWriteSkewAndOnlySnapshotIsolationExplainsIt) {
+  const auto [r, c0, c1] = runWriteSkew<SiTm>();
+  ASSERT_TRUE(c0);
+  ASSERT_TRUE(c1);  // snapshot isolation: disjoint write sets both commit
+
+  const auto si = checkTraceCondition(r, ConditionKind::kSnapshotIsolation,
+                                      scModel(), kRegisters);
+  EXPECT_TRUE(si.ok) << si.canonical.toString();
+
+  // ...but no corresponding history is strictly serializable, let alone
+  // opaque: write skew is the separating litmus for the whole serializable
+  // side of the spectrum.
+  const auto strict = checkTraceCondition(
+      r, ConditionKind::kStrictSerializability, scModel(), kRegisters);
+  EXPECT_FALSE(strict.ok);
+  EXPECT_FALSE(strict.inconclusive);
+  const auto opa =
+      checkTraceCondition(r, ConditionKind::kOpacity, scModel(), kRegisters);
+  EXPECT_FALSE(opa.ok);
+  EXPECT_FALSE(opa.inconclusive);
+}
+
+TEST(ConditionMatrix, SiSsnAbortsTheSecondWriteSkewCommitter) {
+  const auto [r, c0, c1] = runWriteSkew<SiSsnTm>();
+  EXPECT_TRUE(c0);
+  EXPECT_FALSE(c1);  // eta <= pi: the SSN exclusion window closes
+
+  // With the offender aborted the trace is strictly serializable (and a
+  // fortiori snapshot-isolated).
+  const auto strict = checkTraceCondition(
+      r, ConditionKind::kStrictSerializability, scModel(), kRegisters);
+  EXPECT_TRUE(strict.ok) << strict.canonical.toString();
+  const auto si = checkTraceCondition(r, ConditionKind::kSnapshotIsolation,
+                                      scModel(), kRegisters);
+  EXPECT_TRUE(si.ok);
+}
+
+TEST(ConditionMatrix, BothMvccBackendsExcludeLostUpdate) {
+  // Two concurrent read-modify-writes of the same variable: the second
+  // committer must lose first-committer-wins under both backends.
+  const auto drive = [](auto& tm, auto& t0, auto& t1) {
+    tm.txStart(t0);
+    tm.txStart(t1);
+    EXPECT_EQ(tm.txRead(t0, 0).value_or(99), 0u);
+    EXPECT_EQ(tm.txRead(t1, 0).value_or(99), 0u);
+    tm.txWrite(t0, 0, 1);
+    tm.txWrite(t1, 0, 2);
+    EXPECT_TRUE(tm.txCommit(t0));
+    EXPECT_FALSE(tm.txCommit(t1));
+  };
+  {
+    RecordingMemory mem(SiTm<RecordingMemory>::memoryWords(1));
+    SiTm<RecordingMemory> tm(mem, 1);
+    auto t0 = tm.makeThread(0);
+    auto t1 = tm.makeThread(1);
+    drive(tm, t0, t1);
+    const auto si = checkTraceCondition(
+        mem.trace(), ConditionKind::kSnapshotIsolation, scModel(), kRegisters);
+    EXPECT_TRUE(si.ok) << si.canonical.toString();
+  }
+  {
+    RecordingMemory mem(SiSsnTm<RecordingMemory>::memoryWords(1));
+    SiSsnTm<RecordingMemory> tm(mem, 1);
+    auto t0 = tm.makeThread(0);
+    auto t1 = tm.makeThread(1);
+    drive(tm, t0, t1);
+    const auto strict =
+        checkTraceCondition(mem.trace(), ConditionKind::kStrictSerializability,
+                            scModel(), kRegisters);
+    EXPECT_TRUE(strict.ok) << strict.canonical.toString();
+  }
+}
+
+// ------------------------------------------------- per-kind conformance
+
+/// Every kind's claimed cell in the matrix — the same table as the fuzz
+/// harness's tmClaims() and the monitor's monitorModelFor().
+struct MatrixRow {
+  TmKind kind;
+  ConditionKind condition;
+  const MemoryModel* model;  // consulted only for popacity
+  bool pureTxOnly;
+};
+
+const std::vector<MatrixRow>& matrixRows() {
+  static const std::vector<MatrixRow> rows{
+      {TmKind::kGlobalLock, ConditionKind::kParametrizedOpacity,
+       &idealizedModel(), false},
+      {TmKind::kWriteAsTx, ConditionKind::kParametrizedOpacity, &alphaModel(),
+       false},
+      {TmKind::kVersionedWrite, ConditionKind::kParametrizedOpacity,
+       &alphaModel(), false},
+      {TmKind::kStrongAtomicity, ConditionKind::kParametrizedOpacity,
+       &scModel(), false},
+      {TmKind::kTl2Weak, ConditionKind::kParametrizedOpacity, &scModel(),
+       true},
+      {TmKind::kSnapshotIsolation, ConditionKind::kSnapshotIsolation,
+       &scModel(), false},
+      {TmKind::kSiSsn, ConditionKind::kStrictSerializability, &scModel(),
+       false},
+  };
+  return rows;
+}
+
+TEST(ConditionMatrix, CoversEveryTmKindExactlyOnce) {
+  ASSERT_EQ(matrixRows().size(), kTmKindCount);
+  ASSERT_EQ(allTmKinds().size(), kTmKindCount);
+  for (TmKind kind : allTmKinds()) {
+    std::size_t hits = 0;
+    for (const MatrixRow& row : matrixRows()) {
+      if (row.kind == kind) ++hits;
+    }
+    EXPECT_EQ(hits, 1u) << tmKindName(kind);
+  }
+}
+
+class MatrixConformanceTest : public ::testing::TestWithParam<MatrixRow> {};
+
+TEST_P(MatrixConformanceTest, StressTracesSatisfyTheClaimedCondition) {
+  const MatrixRow& row = GetParam();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    StressOptions opts;
+    opts.seed = seed;
+    opts.numProcs = 3;
+    opts.numVars = 3;
+    opts.actionsPerProc = 3;
+    if (row.pureTxOnly) opts.pctTx = 100;
+    RecordingMemory mem(runtimeMemoryWords(row.kind, opts.numVars));
+    auto tm = makeRecordingRuntime(row.kind, mem, opts.numVars, opts.numProcs);
+    Trace r = runStressWorkload(*tm, mem, opts);
+    ASSERT_TRUE(traceWellFormed(r));
+    const auto res =
+        checkTraceCondition(r, row.condition, *row.model, kRegisters);
+    EXPECT_FALSE(res.inconclusive) << "seed " << seed;
+    EXPECT_TRUE(res.ok) << tmKindName(row.kind) << " vs "
+                        << conditionKindName(row.condition) << " seed " << seed
+                        << "\ncanonical:\n"
+                        << res.canonical.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, MatrixConformanceTest,
+                         ::testing::ValuesIn(matrixRows()),
+                         [](const auto& info) {
+                           std::string n =
+                               std::string(tmKindName(info.param.kind)) + "_" +
+                               conditionKindName(info.param.condition);
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+// The SI backend's traces additionally stay snapshot-isolated when its
+// serializable sibling runs the identical workload, and si-ssn traces are
+// in particular snapshot-isolated too (strict-ser sits above SI except for
+// first-committer-wins, which the backend enforces natively).
+TEST(ConditionMatrix, SiSsnStressTracesAreAlsoSnapshotIsolated) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    StressOptions opts;
+    opts.seed = seed;
+    opts.numProcs = 3;
+    opts.numVars = 3;
+    opts.actionsPerProc = 3;
+    RecordingMemory mem(runtimeMemoryWords(TmKind::kSiSsn, opts.numVars));
+    auto tm =
+        makeRecordingRuntime(TmKind::kSiSsn, mem, opts.numVars, opts.numProcs);
+    Trace r = runStressWorkload(*tm, mem, opts);
+    const auto si = checkTraceCondition(r, ConditionKind::kSnapshotIsolation,
+                                        scModel(), kRegisters);
+    EXPECT_TRUE(si.ok) << "seed " << seed;
+  }
+}
+
+// --------------------------------------------------------- telemetry
+
+TEST(Telemetry, MvccRuntimesExposeChainAndCertificationCounters) {
+  for (TmKind kind : {TmKind::kSnapshotIsolation, TmKind::kSiSsn}) {
+    NativeMemory mem(runtimeMemoryWords(kind, 2));
+    auto tm = makeNativeRuntime(kind, mem, 2, 2);
+    ASSERT_TRUE(tm->transaction(
+        0, [](TxContext& tx) { tx.write(0, tx.read(0) + 1); }));
+    const auto counters = tm->telemetry();
+    ASSERT_EQ(counters.size(), 5u) << tmKindName(kind);
+    EXPECT_STREQ(counters[0].name, "fcw_aborts");
+    EXPECT_STREQ(counters[3].name, "chain_reads");
+    EXPECT_GE(counters[3].value, 1u);  // the read walked the chain
+  }
+  // Single-version kinds report no counters.
+  NativeMemory mem(runtimeMemoryWords(TmKind::kGlobalLock, 2));
+  auto tm = makeNativeRuntime(TmKind::kGlobalLock, mem, 2, 2);
+  EXPECT_TRUE(tm->telemetry().empty());
+}
+
+}  // namespace
+}  // namespace jungle

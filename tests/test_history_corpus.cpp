@@ -110,11 +110,73 @@ TEST(Corpus, DependentMp) {
       checkParametrizedOpacity(h, alphaModel(), kRegisters).satisfied);
 }
 
+// ---------------------------------------------- SI / strict-ser spectrum
+//
+// The four MVCC litmus files pin down the snapshot-isolation cell of the
+// condition matrix: write skew and the read-only anomaly separate SI from
+// strict serializability in one direction, the first-committer-wins rule
+// separates it in the other, and lost update is excluded by every
+// condition.
+
+TEST(Corpus, WriteSkewSeparatesSiFromStrictSerializability) {
+  History h = load("write_skew.hist");
+  EXPECT_TRUE(checkSnapshotIsolation(h, kRegisters).satisfied);
+  EXPECT_FALSE(checkStrictSerializability(h, kRegisters).satisfied);
+  EXPECT_FALSE(checkOpacity(h, kRegisters).satisfied);
+}
+
+TEST(Corpus, LostUpdateViolatesEveryCondition) {
+  History h = load("lost_update.hist");
+  const CheckResult si = checkSnapshotIsolation(h, kRegisters);
+  EXPECT_FALSE(si.satisfied);
+  // The rejection comes from the first-committer-wins pre-check, not a
+  // failed serialization search.
+  EXPECT_NE(si.explanation.find("first-committer-wins"), std::string::npos)
+      << si.explanation;
+  EXPECT_FALSE(checkStrictSerializability(h, kRegisters).satisfied);
+  EXPECT_FALSE(checkOpacity(h, kRegisters).satisfied);
+}
+
+TEST(Corpus, ReadOnlyAnomalyIsSnapshotIsolatedButNotSerializable) {
+  History h = load("read_only_anomaly.hist");
+  EXPECT_TRUE(checkSnapshotIsolation(h, kRegisters).satisfied);
+  EXPECT_FALSE(checkStrictSerializability(h, kRegisters).satisfied);
+}
+
+TEST(Corpus, FcwRejectsWhatSerializabilityAccepts) {
+  // The incomparability's other direction: SI is not a superset of
+  // strict serializability.
+  History h = load("fcw_nt_write.hist");
+  EXPECT_FALSE(checkSnapshotIsolation(h, kRegisters).satisfied);
+  EXPECT_TRUE(checkStrictSerializability(h, kRegisters).satisfied);
+  EXPECT_TRUE(checkOpacity(h, kRegisters).satisfied);
+}
+
+TEST(Corpus, ConditionDispatcherAgreesWithTheDirectCheckers) {
+  for (const char* name : {"write_skew.hist", "lost_update.hist",
+                           "read_only_anomaly.hist", "fcw_nt_write.hist"}) {
+    History h = load(name);
+    EXPECT_EQ(
+        checkCondition(ConditionKind::kSnapshotIsolation, h, scModel(),
+                       kRegisters)
+            .satisfied,
+        checkSnapshotIsolation(h, kRegisters).satisfied)
+        << name;
+    EXPECT_EQ(
+        checkCondition(ConditionKind::kStrictSerializability, h, scModel(),
+                       kRegisters)
+            .satisfied,
+        checkStrictSerializability(h, kRegisters).satisfied)
+        << name;
+  }
+}
+
 TEST(Corpus, EveryFileRoundTrips) {
   for (const char* name :
        {"fig1_tear.hist", "fig3.hist", "aborted_observer.hist",
         "store_buffer.hist", "sgla_split.hist", "counter.hist",
-        "dependent_mp.hist"}) {
+        "dependent_mp.hist", "write_skew.hist", "lost_update.hist",
+        "read_only_anomaly.hist", "fcw_nt_write.hist"}) {
     History h = load(name);
     auto r = litmus::parseHistory(litmus::formatHistory(h));
     ASSERT_TRUE(r) << name;

@@ -8,6 +8,7 @@
 
 #include "sim/memory_policy.hpp"
 #include "tm/global_lock_tm.hpp"
+#include "tm/mvcc_store.hpp"
 #include "tm/runtime.hpp"
 #include "tm/strong_atomicity_tm.hpp"
 #include "tm/tl2_tm.hpp"
@@ -83,7 +84,8 @@ class TmFixture : public ::testing::Test {
 using AllTms =
     ::testing::Types<GlobalLockTm<NativeMemory>, WriteAsTxTm<NativeMemory>,
                      VersionedWriteTm<NativeMemory>, Tl2Tm<NativeMemory>,
-                     StrongAtomicityTm<NativeMemory>>;
+                     StrongAtomicityTm<NativeMemory>, SiTm<NativeMemory>,
+                     SiSsnTm<NativeMemory>>;
 
 TYPED_TEST_SUITE(TmFixture, AllTms);
 
@@ -287,6 +289,77 @@ TEST(VersionedWrite, FullWidthValuesRoundTrip) {
   EXPECT_EQ(tm.ntRead(t0, 1), (1ULL << 32) + 7);
 }
 
+// ------------------------------------- SSN read-only real-time anomaly
+//
+// Fuzz-found (traces mode, --tm si-ssn): a process commits a write, then
+// a later read-only transaction on the same process reads a version that
+// a concurrent stale-snapshot writer is about to overwrite.  The
+// serialization needs  writer < committed-write < read-only < writer — a
+// cycle — so one of the two transactions that close it must abort.
+// Before the fix, read-only transactions and nt reads skipped SSN
+// certification entirely and the cycle committed.
+
+class SsnReadOnlyRealTime : public ::testing::Test {
+ protected:
+  SsnReadOnlyRealTime()
+      : mem_(SiSsnTm<NativeMemory>::memoryWords(kVars)),
+        tm_(mem_, kVars),
+        writer_(tm_.makeThread(0)),
+        other_(tm_.makeThread(1)) {}
+
+  NativeMemory mem_;
+  SiSsnTm<NativeMemory> tm_;
+  SiSsnTm<NativeMemory>::Thread writer_;
+  SiSsnTm<NativeMemory>::Thread other_;
+};
+
+TEST_F(SsnReadOnlyRealTime, ReaderCommitsFirstWriterAborts) {
+  tm_.txStart(writer_);                       // rv = 0
+  EXPECT_EQ(*tm_.txRead(writer_, 2), 0u);     // stale once x2 commits
+  tm_.ntWrite(other_, 2, 2);                  // x2 := 2 at ts 1
+  tm_.txStart(other_);                        // read-only, rv = 1
+  EXPECT_EQ(*tm_.txRead(other_, 1), 0u);
+  EXPECT_TRUE(tm_.txCommit(other_));          // raises pstamp(x1@0) to 1
+  tm_.txWrite(writer_, 1, 9);
+  EXPECT_FALSE(tm_.txCommit(writer_));        // pi = 1 >= eta = 1
+  EXPECT_EQ(writer_.ssnAborts, 1u);
+}
+
+TEST_F(SsnReadOnlyRealTime, WriterCommitsFirstReaderAborts) {
+  tm_.txStart(writer_);                       // rv = 0
+  EXPECT_EQ(*tm_.txRead(writer_, 2), 0u);
+  tm_.ntWrite(other_, 2, 2);                  // x2 := 2 at ts 1
+  tm_.txStart(other_);                        // read-only, rv = 1
+  EXPECT_EQ(*tm_.txRead(other_, 1), 0u);
+  tm_.txWrite(writer_, 1, 9);
+  EXPECT_TRUE(tm_.txCommit(writer_));         // seals sstamp(x1@0) = 1
+  EXPECT_FALSE(tm_.txCommit(other_));         // sstamp 1 <= rv 1
+  EXPECT_EQ(other_.ssnAborts, 1u);
+}
+
+TEST_F(SsnReadOnlyRealTime, NtReadStampsTheVersion) {
+  tm_.txStart(writer_);                       // rv = 0
+  EXPECT_EQ(*tm_.txRead(writer_, 2), 0u);
+  tm_.ntWrite(other_, 2, 2);                  // x2 := 2 at ts 1
+  EXPECT_EQ(tm_.ntRead(other_, 1), 0u);       // raises pstamp(x1@0) to 1
+  tm_.txWrite(writer_, 1, 9);
+  EXPECT_FALSE(tm_.txCommit(writer_));
+  EXPECT_EQ(writer_.ssnAborts, 1u);
+}
+
+TEST_F(SsnReadOnlyRealTime, OverwrittenReadAboveTheFloorStillCommits) {
+  // A read-only transaction whose version was overwritten by a FRESH
+  // writer serializes before that writer — no real-time edge forces it
+  // above the overwrite, so certification must not spuriously abort.
+  tm_.txStart(other_);                        // read-only, rv = 0
+  EXPECT_EQ(*tm_.txRead(other_, 1), 0u);
+  tm_.txStart(writer_);                       // rv = 0
+  tm_.txWrite(writer_, 1, 5);
+  EXPECT_TRUE(tm_.txCommit(writer_));         // seals sstamp(x1@0) = 1
+  EXPECT_TRUE(tm_.txCommit(other_));          // sstamp 1 > rv 0: fits
+  EXPECT_EQ(other_.ssnAborts, 0u);
+}
+
 // ------------------------------------------------------ runtime adapter
 
 class RuntimeTest : public ::testing::TestWithParam<TmKind> {};
@@ -339,6 +412,8 @@ TEST_P(RuntimeTest, InstrumentationFlagsMatchTheDesign) {
       EXPECT_TRUE(tm->instrumentsNtWrites());
       break;
     case TmKind::kStrongAtomicity:
+    case TmKind::kSnapshotIsolation:
+    case TmKind::kSiSsn:
       EXPECT_TRUE(tm->instrumentsNtReads());
       EXPECT_TRUE(tm->instrumentsNtWrites());
       break;
