@@ -1,0 +1,132 @@
+// E5e — aggregate throughput of the sharded KV service (src/serve/), and
+// the cost of sampled runtime verification at service level.
+//
+// Each iteration stands up a full JungleServe (shards, clients, rings,
+// thread pool), drives the built-in load generator for a fixed op budget,
+// and shuts down gracefully; the measured time is the load generator's own
+// wall clock (manual time), so construction and drain are excluded.
+//
+// Row families (label = Serve/<tm>/shards=S/p=P):
+//   * p=0    — bare service, no monitor anywhere;
+//   * p=10   — 1% of total traffic duty-cycled through the instrumented
+//     runtime into the sharded stream checker.  p=10 vs p=0 at equal args
+//     is the sampling overhead the acceptance bar caps at 10%;
+//   * p=100  — 10% sampling, to show the cost curve's slope.
+//
+// Counters: ops_s (aggregate committed+failed acks per second),
+// committed, failed, tm_aborts, monitored_epochs, resync_txs, and
+// mon_drop_pct (events the sampled monitors dropped — 0 keeps the
+// overhead comparison honest).  violations must always read 0 here; a
+// nonzero value means a stock TM was convicted and the row is invalid.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "serve/load_gen.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace jungle;
+using namespace jungle::serve;
+
+constexpr TmKind kKinds[] = {TmKind::kTl2Weak, TmKind::kSnapshotIsolation};
+
+void BM_Serve(benchmark::State& state) {
+  const TmKind kind = kKinds[state.range(0)];
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  const auto permille = static_cast<unsigned>(state.range(2));
+
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t tmAborts = 0;
+  std::uint64_t monitoredEpochs = 0;
+  std::uint64_t monitoredCmds = 0;
+  std::uint64_t commands = 0;
+  std::uint64_t resyncTxs = 0;
+  std::uint64_t captured = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t violations = 0;
+  double acked = 0;
+
+  for (auto _ : state) {
+    ServeOptions o;
+    o.kind = kind;
+    o.shards = shards;
+    o.clients = 2;
+    o.numKeys = 1 << 13;
+    o.samplePermille = permille;
+    JungleServe sv(o);
+
+    LoadOptions lo;
+    lo.opsPerClient = 100000;
+    lo.readPct = 80;
+    lo.rmwPct = 10;
+    lo.txnPct = 5;
+    lo.seed = 42;
+    const LoadReport r = runLoad(sv, lo);
+    sv.shutdown();
+
+    state.SetIterationTime(r.seconds);
+    acked += static_cast<double>(r.acked);
+    committed += r.committed;
+    failed += r.failed;
+    const ServeStats& st = sv.stats();
+    tmAborts += st.totalTmAborts();
+    violations += st.totalViolations();
+    for (const auto& sh : st.shards) {
+      monitoredEpochs += sh.monitoredEpochs;
+      monitoredCmds += sh.monitoredCommands;
+      commands += sh.commands;
+      resyncTxs += sh.resyncTxs;
+      captured += sh.monitor.eventsCaptured;
+      dropped += sh.monitor.eventsDropped;
+    }
+  }
+
+  state.counters["ops_s"] =
+      benchmark::Counter(acked, benchmark::Counter::kIsRate);
+  state.counters["committed"] = static_cast<double>(committed);
+  state.counters["failed"] = static_cast<double>(failed);
+  state.counters["tm_aborts"] = static_cast<double>(tmAborts);
+  state.counters["monitored_epochs"] = static_cast<double>(monitoredEpochs);
+  state.counters["sampled_cmd_pct"] =
+      commands == 0 ? 0.0
+                    : 100.0 * static_cast<double>(monitoredCmds) /
+                          static_cast<double>(commands);
+  state.counters["resync_txs"] = static_cast<double>(resyncTxs);
+  state.counters["mon_drop_pct"] =
+      captured + dropped == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(dropped) /
+                static_cast<double>(captured + dropped);
+  state.counters["violations"] = static_cast<double>(violations);
+  state.SetLabel(std::string("Serve/") + tmKindName(kind) +
+                 "/shards=" + std::to_string(shards) +
+                 "/p=" + std::to_string(permille));
+}
+
+void registerRows() {
+  for (int k = 0; k < 2; ++k) {
+    for (std::int64_t shards : {1, 4}) {
+      for (std::int64_t permille : {0, 10, 100}) {
+        benchmark::RegisterBenchmark("Serve", BM_Serve)
+            ->Args({k, shards, permille})
+            ->UseManualTime()
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  registerRows();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -37,6 +37,7 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "common/zipf.hpp"
 #include "monitor/monitor.hpp"
 #include "tm/runtime.hpp"
 
@@ -89,15 +90,19 @@ void atomicMax(std::atomic<double>& a, double v) {
 }
 
 /// The shared benchmark body: one iteration = one committed transaction of
-/// kTxLen accesses against `rt`.  Returns this thread's own ops/s.
-double runLoop(benchmark::State& state, TmRuntime& rt, unsigned writePct) {
+/// kTxLen accesses against `rt`.  Returns this thread's own ops/s.  A
+/// non-null `zipf` draws keys skewed (common/zipf.hpp) instead of uniform
+/// — the contended regime where aborts and version chains actually form.
+double runLoop(benchmark::State& state, TmRuntime& rt, unsigned writePct,
+               const Zipfian* zipf = nullptr) {
   Rng rng(0x1234 + state.thread_index());
   const auto pid = static_cast<ProcessId>(state.thread_index());
   const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
     rt.transaction(pid, [&](TxContext& tx) {
       for (std::size_t i = 0; i < kTxLen; ++i) {
-        const auto x = static_cast<ObjectId>(rng.below(kVars));
+        const auto x = static_cast<ObjectId>(zipf ? zipf->next(rng)
+                                                  : rng.below(kVars));
         if (rng.chance(writePct, 100)) {
           tx.write(x, rng() | (Word{1} << 63));
         } else {
@@ -183,6 +188,37 @@ void BM_Transactions(benchmark::State& state) {
     state.SetLabel(std::string(tmKindName(kind)) + "/wr%=" +
                    std::to_string(writePct) +
                    "/aborts=" + std::to_string(env->tm->abortCount()));
+    envSlot.store(nullptr, std::memory_order_release);
+    aggSlot.store(nullptr, std::memory_order_release);
+    delete env;
+    delete agg;
+  }
+}
+
+void BM_TransactionsZipf(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  const auto writePct = static_cast<unsigned>(state.range(1));
+  const auto thetaPermille = static_cast<unsigned>(state.range(2));
+  static std::atomic<Env*> envSlot{nullptr};
+  static std::atomic<ThreadAgg*> aggSlot{nullptr};
+  if (state.thread_index() == 0) {
+    aggSlot.store(new ThreadAgg, std::memory_order_release);
+    envSlot.store(new Env(kind), std::memory_order_release);
+  }
+  Env* env = awaitFixture(envSlot);
+  ThreadAgg* agg = awaitFixture(aggSlot);
+  // Per-thread sampler: construction is O(kVars), trivial next to the
+  // measured loop, and it keeps the fixture hand-off unchanged.
+  const Zipfian zipf(kVars, static_cast<double>(thetaPermille) / 1000.0);
+  const double ops = runLoop(state, *env->tm, writePct, &zipf);
+  state.SetItemsProcessed(state.iterations() * kTxLen);
+  aggregate(state, *agg, ops);
+  if (state.thread_index() == 0) {
+    exportTelemetry(state, *env->tm);
+    state.SetLabel(std::string(tmKindName(kind)) + "/wr%=" +
+                   std::to_string(writePct) + "/theta=" +
+                   std::to_string(thetaPermille) +
+                   "m/aborts=" + std::to_string(env->tm->abortCount()));
     envSlot.store(nullptr, std::memory_order_release);
     aggSlot.store(nullptr, std::memory_order_release);
     delete env;
@@ -293,6 +329,19 @@ void registerAll() {
         benchmark::RegisterBenchmark(("Tx" + suffix).c_str(),
                                      BM_Transactions)
             ->Args({static_cast<long>(kind), writePct})
+            ->Threads(threads)
+            ->UseRealTime();
+      }
+    }
+    // Skewed-key contention sweep: theta in permille (900 = YCSB's 0.9).
+    // Compare against the uniform Tx row at equal writePct/threads for the
+    // contention tax; on the MVCC kinds watch chain_len_avg climb with
+    // theta — hot keys grow version chains that uniform draws never do.
+    for (long thetaPermille : {900, 990}) {
+      for (int threads : {1, 2, 4}) {
+        benchmark::RegisterBenchmark(("TxZipf" + suffix).c_str(),
+                                     BM_TransactionsZipf)
+            ->Args({static_cast<long>(kind), 50, thetaPermille})
             ->Threads(threads)
             ->UseRealTime();
       }

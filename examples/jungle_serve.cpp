@@ -1,0 +1,265 @@
+// jungle_serve: the sharded transactional KV service, end to end.
+//
+//   build/examples/jungle_serve [--tm NAME] [--shards N] [--executors N]
+//                               [--clients N] [--keys N] [--ops N]
+//                               [--duration SECONDS] [--zipf-theta T]
+//                               [--read-pct P] [--rmw-pct P] [--txn-pct P]
+//                               [--txn-keys K] [--queue-capacity N]
+//                               [--batch N] [--max-tx-attempts N]
+//                               [--max-retries N] [--sample-permille P]
+//                               [--window-epochs N] [--checker-shards K]
+//                               [--ring-capacity N] [--seed N]
+//                               [--snapshot-dir DIR] [--inject-bug] [--json]
+//
+// Composes the whole library: N worker shards (src/serve/) each owning a
+// TmRuntime of --tm kind, epoch-batched SPSC ingestion from --clients
+// load-generator threads (zipfian keys, YCSB-style mix), and sampled
+// runtime verification — --sample-permille of traffic replayed through
+// the instrumented wrapper into the sharded stream checker.
+//
+// Exit status (the CI serve-smoke contract):
+//   * default: 0 iff the monitors report no violation;
+//   * --inject-bug: self-test — a corrupted transactional read is spliced
+//     into the sampled capture stream, and the tool exits 0 iff the
+//     monitor convicts it.  Implies sampling (forced to 250 permille when
+//     --sample-permille is 0, so the first shard is always monitored).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/load_gen.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace jungle;
+using namespace jungle::serve;
+
+struct Options {
+  std::string tm = "tl2-weak";
+  ServeOptions serve;
+  LoadOptions load;
+  bool injectBug = false;
+  bool json = false;
+};
+
+const char* flagValue(int argc, char** argv, int& i, const char* flag) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(argv[i], flag, len) != 0) return nullptr;
+  if (argv[i][len] == '=') return argv[i] + len + 1;
+  if (argv[i][len] == '\0' && i + 1 < argc) return argv[++i];
+  return nullptr;
+}
+
+void printText(const Options& o, const JungleServe& sv,
+               const LoadReport& r) {
+  const ServeStats& st = sv.stats();
+  std::printf(
+      "jungle_serve: tm=%s shards=%zu executors=%zu clients=%zu keys=%zu "
+      "theta=%.2f mix=%u/%u/%u/%u (get/rmw/txn/put)\n",
+      o.tm.c_str(), o.serve.shards, o.serve.executorsPerShard,
+      o.serve.clients, o.serve.numKeys, o.load.zipfTheta, o.load.readPct,
+      o.load.rmwPct, o.load.txnPct,
+      100 - o.load.readPct - o.load.rmwPct - o.load.txnPct);
+  std::printf(
+      "  %llu commands in %.3f s -> %.0f ops/s (committed=%llu failed=%llu "
+      "svc-retries=%llu tm-aborts=%llu backpressure=%llu)\n",
+      static_cast<unsigned long long>(r.acked), r.seconds, r.opsPerSec,
+      static_cast<unsigned long long>(st.totalCommitted()),
+      static_cast<unsigned long long>(st.totalFailed()),
+      static_cast<unsigned long long>([&] {
+        std::uint64_t n = 0;
+        for (const auto& s : st.shards) n += s.serviceRetries;
+        return n;
+      }()),
+      static_cast<unsigned long long>(st.totalTmAborts()),
+      static_cast<unsigned long long>(r.fullRetries));
+  for (std::size_t s = 0; s < st.shards.size(); ++s) {
+    const ShardServeStats& sh = st.shards[s];
+    std::printf(
+        "  shard %zu: epochs=%llu cmds=%llu committed=%llu failed=%llu%s",
+        s, static_cast<unsigned long long>(sh.epochs),
+        static_cast<unsigned long long>(sh.commands),
+        static_cast<unsigned long long>(sh.committed),
+        static_cast<unsigned long long>(sh.failed),
+        sh.sampled ? "" : "\n");
+    if (sh.sampled) {
+      std::printf(
+          " | sampled: epochs=%llu cmds=%llu resync-txs=%llu events=%llu "
+          "drops=%llu violations=%zu\n",
+          static_cast<unsigned long long>(sh.monitoredEpochs),
+          static_cast<unsigned long long>(sh.monitoredCommands),
+          static_cast<unsigned long long>(sh.resyncTxs),
+          static_cast<unsigned long long>(sh.monitor.eventsCaptured),
+          static_cast<unsigned long long>(sh.monitor.eventsDropped),
+          sh.violations);
+      for (const monitor::MonitorViolation& v : sv.violations(s)) {
+        std::printf("    VIOLATION: %s\n", v.description.c_str());
+      }
+    }
+  }
+  if (sv.sampledShards() > 0) {
+    std::printf(
+        "  sampling: %u permille of traffic via %zu shard(s) at %u "
+        "permille duty\n",
+        o.serve.samplePermille, sv.sampledShards(), sv.dutyPermille());
+  }
+}
+
+void printJson(const Options& o, const JungleServe& sv, const LoadReport& r,
+               bool ok) {
+  const ServeStats& st = sv.stats();
+  std::uint64_t monitoredEpochs = 0;
+  std::uint64_t monitoredCmds = 0;
+  std::uint64_t events = 0;
+  std::uint64_t drops = 0;
+  for (const auto& sh : st.shards) {
+    if (!sh.sampled) continue;
+    events += sh.monitor.eventsCaptured;
+    drops += sh.monitor.eventsDropped;
+    monitoredEpochs += sh.monitoredEpochs;
+    monitoredCmds += sh.monitoredCommands;
+  }
+  std::printf(
+      "{\"ok\": %s, \"tm\": \"%s\", \"shards\": %zu, \"executors\": %zu, "
+      "\"clients\": %zu, \"keys\": %zu, \"zipfTheta\": %.3f, "
+      "\"samplePermille\": %u, \"sampledShards\": %zu, "
+      "\"dutyPermille\": %u, \"acked\": %llu, \"opsPerSec\": %.1f, "
+      "\"seconds\": %.4f, \"committed\": %llu, \"failed\": %llu, "
+      "\"tmAborts\": %llu, \"backpressure\": %llu, "
+      "\"monitoredEpochs\": %llu, \"monitoredCommands\": %llu, "
+      "\"monitorEvents\": %llu, "
+      "\"monitorDrops\": %llu, \"violations\": %zu}\n",
+      ok ? "true" : "false", o.tm.c_str(), o.serve.shards,
+      o.serve.executorsPerShard, o.serve.clients, o.serve.numKeys,
+      o.load.zipfTheta, o.serve.samplePermille, sv.sampledShards(),
+      sv.dutyPermille(), static_cast<unsigned long long>(r.acked),
+      r.opsPerSec, r.seconds,
+      static_cast<unsigned long long>(st.totalCommitted()),
+      static_cast<unsigned long long>(st.totalFailed()),
+      static_cast<unsigned long long>(st.totalTmAborts()),
+      static_cast<unsigned long long>(r.fullRetries),
+      static_cast<unsigned long long>(monitoredEpochs),
+      static_cast<unsigned long long>(monitoredCmds),
+      static_cast<unsigned long long>(events),
+      static_cast<unsigned long long>(drops), sv.totalViolations());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  o.load.readPct = 80;
+  o.load.rmwPct = 10;
+  o.load.txnPct = 5;
+  o.load.opsPerClient = 50000;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = flagValue(argc, argv, i, "--tm")) {
+      o.tm = v;
+    } else if (const char* v = flagValue(argc, argv, i, "--shards")) {
+      o.serve.shards = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--executors")) {
+      o.serve.executorsPerShard = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--clients")) {
+      o.serve.clients = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--keys")) {
+      o.serve.numKeys = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--ops")) {
+      o.load.opsPerClient = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--duration")) {
+      o.load.durationSeconds = std::strtod(v, nullptr);
+      o.load.opsPerClient = 0;
+    } else if (const char* v = flagValue(argc, argv, i, "--zipf-theta")) {
+      o.load.zipfTheta = std::strtod(v, nullptr);
+    } else if (const char* v = flagValue(argc, argv, i, "--read-pct")) {
+      o.load.readPct = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = flagValue(argc, argv, i, "--rmw-pct")) {
+      o.load.rmwPct = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = flagValue(argc, argv, i, "--txn-pct")) {
+      o.load.txnPct = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = flagValue(argc, argv, i, "--txn-keys")) {
+      o.load.txnKeys = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--queue-capacity")) {
+      o.serve.queueCapacity = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--batch")) {
+      o.serve.epochBatchLimit = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--max-tx-attempts")) {
+      o.serve.maxTxAttempts = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = flagValue(argc, argv, i, "--max-retries")) {
+      o.serve.maxCommandRetries =
+          static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = flagValue(argc, argv, i, "--sample-permille")) {
+      o.serve.samplePermille =
+          static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = flagValue(argc, argv, i, "--window-epochs")) {
+      o.serve.sampleWindowEpochs = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--checker-shards")) {
+      o.serve.checkerShards = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--ring-capacity")) {
+      o.serve.monitorRingCapacity = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--seed")) {
+      o.load.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--snapshot-dir")) {
+      o.serve.snapshotDir = v;
+    } else if (std::strcmp(argv[i], "--inject-bug") == 0) {
+      o.injectBug = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      o.json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: jungle_serve [--tm NAME] [--shards N] "
+                   "[--executors N] [--clients N] [--keys N] [--ops N] "
+                   "[--duration S] [--zipf-theta T] [--read-pct P] "
+                   "[--rmw-pct P] [--txn-pct P] [--txn-keys K] "
+                   "[--queue-capacity N] [--batch N] [--max-tx-attempts N] "
+                   "[--max-retries N] [--sample-permille P] "
+                   "[--window-epochs N] [--checker-shards K] "
+                   "[--ring-capacity N] [--seed N] [--snapshot-dir DIR] "
+                   "[--inject-bug] [--json]\n");
+      return 2;
+    }
+  }
+
+  TmKind kind = TmKind::kTl2Weak;
+  bool found = false;
+  for (TmKind k : allTmKinds()) {
+    if (o.tm == tmKindName(k)) {
+      kind = k;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown --tm %s\n", o.tm.c_str());
+    return 2;
+  }
+  o.serve.kind = kind;
+  if (o.load.readPct + o.load.rmwPct + o.load.txnPct > 100) {
+    std::fprintf(stderr, "mix percentages exceed 100\n");
+    return 2;
+  }
+  if (o.injectBug) {
+    o.serve.injectBug = monitor::InjectedBug::kCorruptTxRead;
+    // The self-test needs monitored traffic: default to keeping the first
+    // shard fully monitored when sampling was left off.
+    if (o.serve.samplePermille == 0) o.serve.samplePermille = 250;
+  }
+
+  JungleServe sv(o.serve);
+  const LoadReport r = runLoad(sv, o.load);
+  sv.shutdown();
+
+  bool ok;
+  if (o.injectBug) {
+    ok = sv.totalViolations() > 0;
+    if (!o.json) {
+      std::printf("self-test: injected bug %s\n",
+                  ok ? "CAUGHT" : "MISSED (this is a monitor failure)");
+    }
+  } else {
+    ok = sv.totalViolations() == 0;
+  }
+  if (!o.json) printText(o, sv, r);
+  if (o.json) printJson(o, sv, r, ok);
+  return ok ? 0 : 1;
+}

@@ -39,6 +39,14 @@ for b in "$BUILD"/bench/*; do
     "$b" --benchmark_filter='/si-(mvcc|ssn)/' \
          --benchmark_out="$OUT/BENCH_mvcc.json" \
          --benchmark_out_format=json 2>&1 | tee -a "$OUT/bench_output.txt"
+  elif [ "$(basename "$b")" = "bench_serve" ]; then
+    # EXPERIMENTS.md §5e: aggregate service throughput and the cost of
+    # sampled verification.  Medians over 5 repetitions; the p=10 vs p=0
+    # pair at shards=4 is the "1% sampling costs < 10%" acceptance row.
+    "$b" --benchmark_out="$OUT/BENCH_serve.json" \
+         --benchmark_out_format=json --benchmark_repetitions=5 \
+         --benchmark_enable_random_interleaving=true \
+         2>&1 | tee -a "$OUT/bench_output.txt"
   elif [ "$(basename "$b")" = "bench_explorer" ]; then
     # Strategy trajectory: schedules explored + wall time for DFS vs DPOR
     # vs frontier-parallel DPOR (the Reference*/Frontier* rows).  Note the
@@ -81,5 +89,18 @@ done
   --inject-bug | tee "$OUT/monitor_tm_shards_selftest.txt"
 "$BUILD/examples/check_history" --demo --format json \
   | tee "$OUT/check_history_demo.json"
+
+echo "== sharded KV service =="
+# EXPERIMENTS.md §5e: a sampled service run per headline TM kind (JSON
+# includes the monitored command share and monitor drop counters), plus
+# the service-level injected-bug self-test.
+for tm in tl2-weak si-mvcc; do
+  "$BUILD/examples/jungle_serve" --tm "$tm" --shards 4 --clients 2 \
+    --keys 8192 --ops 100000 --sample-permille 10 --seed 7 --json \
+    | tee "$OUT/serve_$tm.json"
+done
+"$BUILD/examples/jungle_serve" --tm tl2-weak --shards 2 --clients 2 \
+  --keys 1024 --ops 5000 --inject-bug --seed 7 \
+  | tee "$OUT/serve_selftest.txt"
 
 echo "all outputs in $OUT"

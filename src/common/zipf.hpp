@@ -1,0 +1,75 @@
+// Zipfian key sampler (YCSB-style; Gray et al., "Quickly Generating
+// Billion-Record Synthetic Databases").
+//
+// Draws ranks in [0, n) with P(k) proportional to 1/(k+1)^theta.  Rank 0 is
+// the hottest key; consecutive ranks map to consecutive key ids, so callers
+// that stripe keys across shards (key mod shards) automatically spread the
+// hot set over all shards.  theta = 0 degenerates to the uniform
+// distribution and skips the zeta precomputation entirely; theta in
+// [0.9, 0.99] is the classic "contended" YCSB range.
+//
+// Construction is O(n) (one zeta sum); next() is O(1) and touches only
+// immutable state, so one sampler instance may be shared by any number of
+// threads, each with its own Rng.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace jungle {
+
+class Zipfian {
+ public:
+  Zipfian() : Zipfian(1, 0.0) {}
+
+  Zipfian(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    JUNGLE_CHECK(n >= 1);
+    // theta == 1 makes the eta denominator vanish; the YCSB formulation is
+    // only defined below it.  n == 1 always yields rank 0 — treat it as
+    // uniform so the zeta terms never divide by zero.
+    JUNGLE_CHECK(theta >= 0.0 && theta < 1.0);
+    if (theta_ == 0.0 || n_ == 1) {
+      theta_ = 0.0;
+      return;
+    }
+    zetan_ = zeta(n_, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta(2, theta_) / zetan_);
+  }
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Next rank in [0, n).  Deterministic given the Rng stream.
+  std::uint64_t next(Rng& rng) const {
+    if (theta_ == 0.0) return rng.below(n_);
+    const double u = rng.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto k = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return k >= n_ ? n_ - 1 : k;
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace jungle

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/zipf.hpp"
 #include "memmodel/models.hpp"
 #include "spec/counter_spec.hpp"
 
@@ -11,6 +12,7 @@ namespace jungle::fuzz {
 
 GeneratedInstance randomHistory(Rng& rng, const GenOptions& opts) {
   GeneratedInstance out;
+  const Zipfian objDraw(opts.numObjects, opts.zipfTheta);
 
   // Counter objects are drawn once per instance; the SpecMap must agree
   // with the commands the generator emits on them.
@@ -32,7 +34,7 @@ GeneratedInstance randomHistory(Rng& rng, const GenOptions& opts) {
   HistoryBuilder b;
   for (std::size_t i = 0; i < opts.numOps; ++i) {
     const auto p = static_cast<ProcessId>(rng.below(opts.numProcs));
-    const auto x = static_cast<ObjectId>(rng.below(opts.numObjects));
+    const auto x = static_cast<ObjectId>(objDraw.next(rng));
     switch (rng.below(6)) {
       case 0:
         if (!inTx[p]) {
@@ -88,6 +90,9 @@ GenOptions randomGenOptions(Rng& rng) {
   opts.pctAbort = static_cast<unsigned>(rng.below(50));
   opts.pctWrite = 30 + static_cast<unsigned>(rng.below(40));
   opts.pctConsistent = 40 + static_cast<unsigned>(rng.below(55));
+  // A third of the instances hammer a hot object (YCSB-style skew); the
+  // rest stay uniform so sparse-conflict corners keep getting coverage.
+  opts.zipfTheta = rng.chance(1, 3) ? 0.9 : 0.0;
   return opts;
 }
 
@@ -100,6 +105,7 @@ theorems::StressOptions randomStressOptions(Rng& rng, std::uint64_t seed) {
   opts.txLen = 1 + rng.below(3);          // 1-3
   opts.pctTx = 30 + static_cast<unsigned>(rng.below(70));
   opts.pctWrite = 30 + static_cast<unsigned>(rng.below(50));
+  opts.zipfTheta = rng.chance(1, 3) ? 0.9 : 0.0;
   return opts;
 }
 

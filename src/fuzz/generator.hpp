@@ -39,6 +39,10 @@ struct GenOptions {
   /// values lean satisfiable, low values lean violating — the differential
   /// oracle needs a healthy mix of both verdicts.
   unsigned pctConsistent = 60;
+  /// Zipfian skew of the object draws (common/zipf.hpp); 0 = uniform.
+  /// Skewed draws concentrate the history on a hot object, the regime
+  /// where write-write conflicts and version chains actually form.
+  double zipfTheta = 0.0;
 };
 
 /// A generated instance: the history plus the specification map its

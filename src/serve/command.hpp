@@ -1,0 +1,66 @@
+// Client-facing command vocabulary of the jungle_serve KV service.
+//
+// A Command is a fixed-size POD so the SPSC ingestion rings move it with a
+// raw copy; a CommandResult is the acknowledgment the owning shard pushes
+// back on the client's response ring once the command's transaction has
+// committed (or conclusively failed its retry budget).  Multi-key
+// transactions are single-shard by design — like hash-slot-constrained
+// multi-key operations in production sharded stores — so every key of a
+// kTxn command must map to the same shard (the load generator aligns its
+// draws; Client::trySubmit checks the invariant).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace jungle::serve {
+
+/// Maximum keys one kTxn command may touch (fixed so Command stays POD and
+/// ring slots stay cache-friendly).
+inline constexpr std::size_t kMaxTxnKeys = 4;
+
+enum class CmdKind : std::uint8_t {
+  kGet,  // value = read(keys[0])
+  kPut,  // write(keys[0], vals[0]); value = vals[0]
+  kRmw,  // v = read(keys[0]); write(keys[0], v + vals[0]); value = v
+  kTxn,  // for i < nKeys: v_i = read(keys[i]); write(keys[i], v_i + vals[i]);
+         // value = sum of the v_i (one atomic multi-key read-modify-write)
+};
+
+struct Command {
+  CmdKind kind = CmdKind::kGet;
+  std::uint8_t nKeys = 1;
+  ObjectId keys[kMaxTxnKeys] = {0, 0, 0, 0};
+  Word vals[kMaxTxnKeys] = {0, 0, 0, 0};
+};
+
+enum class CmdStatus : std::uint8_t {
+  kOk,      // committed; value carries the command's result
+  kFailed,  // bounded retry-on-abort budget exhausted; nothing committed
+};
+
+/// Acknowledgment.  `seq` is the command's position in its (client, shard)
+/// queue — submission order, which the shard consumes FIFO — so a client
+/// can match responses to requests without carrying ids in the Command.
+struct CommandResult {
+  std::uint64_t seq = 0;
+  Word value = 0;
+  CmdStatus status = CmdStatus::kOk;
+};
+
+inline const char* cmdKindName(CmdKind k) {
+  switch (k) {
+    case CmdKind::kGet:
+      return "get";
+    case CmdKind::kPut:
+      return "put";
+    case CmdKind::kRmw:
+      return "rmw";
+    case CmdKind::kTxn:
+      return "txn";
+  }
+  return "?";
+}
+
+}  // namespace jungle::serve

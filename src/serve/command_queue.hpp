@@ -1,0 +1,106 @@
+// Bounded lock-free SPSC ring for service ingestion and acknowledgment,
+// modeled on monitor/event_ring.hpp: power-of-two capacity, head and tail
+// on their own cache lines, and each side caching the other's index so the
+// hot path touches a shared line only when its cached view runs out.
+//
+// Unlike the event ring there is no drop path: a full command ring simply
+// refuses the push and the client backs off (commands are request traffic,
+// not telemetry — losing one silently would break the acknowledgment
+// contract).  Capacity bounds are what make the service's credit scheme
+// work: a client may have at most `capacity` commands outstanding per
+// shard, so the response ring (same capacity) can never overflow and the
+// shard's ack push is wait-free.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/sync.hpp"
+
+namespace jungle::serve {
+
+template <class T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(roundUpPow2(capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<T[]>(capacity_)) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Producer: false when the ring is full (caller backs off and retries).
+  bool tryPush(const T& v) {
+    const std::uint64_t tail = tail_.value.load(std::memory_order_relaxed);
+    if (capacity_ - (tail - cachedHead_) < 1) {
+      cachedHead_ = head_.value.load(std::memory_order_acquire);
+      if (capacity_ - (tail - cachedHead_) < 1) return false;
+    }
+    slots_[tail & mask_] = v;
+    tail_.value.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: pops one item; false when empty.
+  bool tryPop(T& out) {
+    const std::uint64_t head = head_.value.load(std::memory_order_relaxed);
+    if (head == cachedTail_) {
+      cachedTail_ = tail_.value.load(std::memory_order_acquire);
+      if (head == cachedTail_) return false;
+    }
+    out = slots_[head & mask_];
+    head_.value.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: pops up to `max` items into `out`; returns the count.  One
+  /// tail load covers the whole batch — the amortization the epoch drain
+  /// relies on.
+  std::size_t tryPopBatch(T* out, std::size_t max) {
+    const std::uint64_t head = head_.value.load(std::memory_order_relaxed);
+    std::uint64_t avail = cachedTail_ - head;
+    if (avail == 0) {
+      cachedTail_ = tail_.value.load(std::memory_order_acquire);
+      avail = cachedTail_ - head;
+      if (avail == 0) return 0;
+    }
+    const std::size_t n =
+        static_cast<std::size_t>(avail < max ? avail : max);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = slots_[(head + i) & mask_];
+    }
+    head_.value.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Fresh-read emptiness (shutdown drain check; must not trust caches).
+  bool empty() const {
+    return head_.value.load(std::memory_order_relaxed) ==
+           tail_.value.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t roundUpPow2(std::size_t n) {
+    JUNGLE_CHECK(n >= 2);
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<T[]> slots_;
+
+  alignas(kCacheLine) PaddedAtomicWord head_;  // consumer-owned
+  alignas(kCacheLine) PaddedAtomicWord tail_;  // producer-owned
+  alignas(kCacheLine) std::uint64_t cachedHead_ = 0;  // producer-owned
+  alignas(kCacheLine) std::uint64_t cachedTail_ = 0;  // consumer-owned
+};
+
+}  // namespace jungle::serve

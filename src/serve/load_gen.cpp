@@ -1,0 +1,184 @@
+#include "serve/load_gen.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/sync.hpp"
+#include "common/zipf.hpp"
+
+namespace jungle::serve {
+namespace {
+
+struct ClientTally {
+  std::uint64_t submitted = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t fullRetries = 0;
+};
+
+class ClientDriver {
+ public:
+  ClientDriver(JungleServe& serve, JungleServe::Client& client,
+               const LoadOptions& opts, const Zipfian& zipf,
+               std::uint64_t seed)
+      : serve_(serve),
+        client_(client),
+        opts_(opts),
+        zipf_(zipf),
+        rng_(seed),
+        numKeys_(serve.options().numKeys),
+        shards_(serve.options().shards) {
+    resp_.reserve(256);
+  }
+
+  ClientTally run() {
+    const bool timed = opts_.opsPerClient == 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(opts_.durationSeconds));
+    for (std::uint64_t op = 0; !timed || !expired_;) {
+      if (!timed && op >= opts_.opsPerClient) break;
+      // Check the clock only occasionally; it is serializing.
+      if (timed && (op & 1023) == 0 &&
+          std::chrono::steady_clock::now() >= deadline) {
+        expired_ = true;
+        break;
+      }
+      submitWithBackoff(makeCommand());
+      ++op;
+      if ((op % opts_.drainEvery) == 0) drain();
+    }
+    settle();
+    return tally_;
+  }
+
+ private:
+  Command makeCommand() {
+    Command c;
+    const auto pick = static_cast<unsigned>(rng_.below(100));
+    if (pick < opts_.readPct) {
+      c.kind = CmdKind::kGet;
+    } else if (pick < opts_.readPct + opts_.rmwPct) {
+      c.kind = CmdKind::kRmw;
+    } else if (pick < opts_.readPct + opts_.rmwPct + opts_.txnPct) {
+      c.kind = CmdKind::kTxn;
+    } else {
+      c.kind = CmdKind::kPut;
+    }
+    c.keys[0] = static_cast<ObjectId>(zipf_.next(rng_));
+    c.vals[0] = 1 + rng_.below(64);
+    if (c.kind == CmdKind::kTxn) {
+      std::size_t want = opts_.txnKeys;
+      if (want < 1) want = 1;
+      if (want > kMaxTxnKeys) want = kMaxTxnKeys;
+      c.nKeys = static_cast<std::uint8_t>(want);
+      const std::uint64_t shard = c.keys[0] % shards_;
+      for (std::size_t i = 1; i < want; ++i) {
+        // Align each extra draw to the first key's shard (hash-slot
+        // constraint) while keeping the zipfian popularity profile.
+        std::uint64_t k = zipf_.next(rng_);
+        k = k - (k % shards_) + shard;
+        if (k >= numKeys_) k -= shards_;
+        c.keys[i] = static_cast<ObjectId>(k);
+        c.vals[i] = 1 + rng_.below(64);
+      }
+    }
+    return c;
+  }
+
+  void submitWithBackoff(const Command& c) {
+    Backoff backoff;
+    while (!client_.trySubmit(c)) {
+      ++tally_.fullRetries;
+      drain();
+      backoff.pause();
+    }
+    ++tally_.submitted;
+  }
+
+  void drain() {
+    resp_.clear();
+    client_.drainResponses(resp_);
+    for (const CommandResult& r : resp_) {
+      if (r.status == CmdStatus::kOk) {
+        ++tally_.committed;
+      } else {
+        ++tally_.failed;
+      }
+    }
+  }
+
+  void settle() {
+    Backoff backoff;
+    while (client_.acked() < client_.submitted()) {
+      const std::size_t got = [&] {
+        resp_.clear();
+        std::size_t n = client_.drainResponses(resp_);
+        for (const CommandResult& r : resp_) {
+          if (r.status == CmdStatus::kOk) {
+            ++tally_.committed;
+          } else {
+            ++tally_.failed;
+          }
+        }
+        return n;
+      }();
+      if (got == 0) backoff.pause();
+    }
+  }
+
+  JungleServe& serve_;
+  JungleServe::Client& client_;
+  const LoadOptions& opts_;
+  const Zipfian& zipf_;
+  Rng rng_;
+  std::uint64_t numKeys_;
+  std::uint64_t shards_;
+  std::vector<CommandResult> resp_;
+  ClientTally tally_;
+  bool expired_ = false;
+};
+
+}  // namespace
+
+LoadReport runLoad(JungleServe& serve, const LoadOptions& opts) {
+  JUNGLE_CHECK(opts.readPct + opts.rmwPct + opts.txnPct <= 100);
+  JUNGLE_CHECK(opts.opsPerClient > 0 || opts.durationSeconds > 0.0);
+  const std::size_t clients = serve.options().clients;
+  const Zipfian zipf(serve.options().numKeys, opts.zipfTheta);
+
+  std::vector<ClientTally> tallies(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientDriver driver(serve, serve.client(c), opts, zipf,
+                          opts.seed * 0x9e3779b97f4a7c15ULL + c + 1);
+      tallies[c] = driver.run();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto ended = std::chrono::steady_clock::now();
+
+  LoadReport report;
+  for (const ClientTally& t : tallies) {
+    report.submitted += t.submitted;
+    report.committed += t.committed;
+    report.failed += t.failed;
+    report.fullRetries += t.fullRetries;
+  }
+  report.acked = report.committed + report.failed;
+  report.seconds = std::chrono::duration<double>(ended - start).count();
+  report.opsPerSec =
+      report.seconds > 0.0
+          ? static_cast<double>(report.acked) / report.seconds
+          : 0.0;
+  return report;
+}
+
+}  // namespace jungle::serve

@@ -1,0 +1,54 @@
+// Built-in load generator for jungle_serve: a YCSB-flavored open-loop
+// driver with one thread per client, a shared zipfian key sampler
+// (common/zipf.hpp), and a configurable get/put/rmw/txn mix.
+//
+// Multi-key transactions draw their first key freely and align the rest to
+// the same shard's residue class (key mod shards), honoring the service's
+// single-shard transaction constraint while still following the skewed key
+// popularity.  Submission is credit-limited: when a lane refuses a
+// command, the client drains responses and backs off (counted in
+// fullRetries — the bench's queue-pressure gauge).  After the op budget or
+// duration expires, each client settles: drains until acked == submitted,
+// so a LoadReport always describes a fully-acknowledged run.
+#pragma once
+
+#include <cstdint>
+
+#include "serve/service.hpp"
+
+namespace jungle::serve {
+
+struct LoadOptions {
+  /// Zipfian skew over the key space; 0 = uniform.
+  double zipfTheta = 0.0;
+  /// Operation mix in percent; the remainder after gets + rmws + txns is
+  /// blind puts.
+  unsigned readPct = 95;
+  unsigned rmwPct = 0;
+  unsigned txnPct = 0;
+  std::size_t txnKeys = 2;
+  /// Per-client op budget; 0 = run until `durationSeconds` elapses.
+  std::uint64_t opsPerClient = 100000;
+  double durationSeconds = 0.0;
+  std::uint64_t seed = 1;
+  /// Drain responses every this many submissions (amortizes the pops).
+  std::uint64_t drainEvery = 64;
+};
+
+struct LoadReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;
+  /// Submissions refused by a full lane or exhausted credit.
+  std::uint64_t fullRetries = 0;
+  double seconds = 0.0;
+  double opsPerSec = 0.0;
+};
+
+/// Drives every client of `serve` from its own thread until the budget is
+/// spent, then settles all acknowledgments.  Does not shut the service
+/// down — callers can run several loads back to back.
+LoadReport runLoad(JungleServe& serve, const LoadOptions& opts);
+
+}  // namespace jungle::serve

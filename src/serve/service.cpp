@@ -1,0 +1,164 @@
+#include "serve/service.hpp"
+
+#include "common/check.hpp"
+
+namespace jungle::serve {
+
+JungleServe::JungleServe(const ServeOptions& opts) : opts_(opts) {
+  JUNGLE_CHECK(opts_.shards >= 1);
+  JUNGLE_CHECK(opts_.clients >= 1);
+  JUNGLE_CHECK(opts_.numKeys >= opts_.shards);
+  if (opts_.executorsPerShard == 0) opts_.executorsPerShard = 1;
+
+  // Sampling plan: concentrate the service-wide budget on the fewest
+  // shards whose full duty could carry it, then duty-cycle each.  E.g.
+  // permille=10 (1%) over 4 shards -> 1 sampled shard at 40 permille of
+  // its epochs; permille=500 -> 2 shards at full duty.
+  if (opts_.samplePermille > 0) {
+    const std::uint64_t p = opts_.samplePermille;
+    const std::uint64_t s = opts_.shards;
+    sampledShards_ = static_cast<std::size_t>((p * s + 999) / 1000);
+    if (sampledShards_ > opts_.shards) sampledShards_ = opts_.shards;
+    std::uint64_t duty = p * s / sampledShards_;
+    if (duty > 1000) duty = 1000;
+    if (duty == 0) duty = 1;
+    dutyPermille_ = static_cast<unsigned>(duty);
+  }
+
+  lanes_.resize(opts_.shards);
+  for (std::size_t s = 0; s < opts_.shards; ++s) {
+    lanes_[s].reserve(opts_.clients);
+    for (std::size_t c = 0; c < opts_.clients; ++c) {
+      lanes_[s].push_back(std::make_unique<ClientLane>(opts_.queueCapacity));
+    }
+  }
+
+  shards_.reserve(opts_.shards);
+  for (std::size_t s = 0; s < opts_.shards; ++s) {
+    ShardOptions so;
+    so.kind = opts_.kind;
+    so.index = s;
+    so.numShards = opts_.shards;
+    so.numKeys = opts_.numKeys;
+    so.executors = opts_.executorsPerShard;
+    so.epochBatchLimit = opts_.epochBatchLimit;
+    so.maxTxAttempts = opts_.maxTxAttempts;
+    so.maxCommandRetries = opts_.maxCommandRetries;
+    so.idlePoll = opts_.idlePoll;
+    if (s < sampledShards_) {
+      so.dutyPermille = dutyPermille_;
+      so.windowEpochs = opts_.sampleWindowEpochs;
+      so.monitoredEpochCommands = opts_.sampleEpochCommands;
+      so.checkerShards = opts_.checkerShards;
+      so.monitorRingCapacity = opts_.monitorRingCapacity;
+      so.monitorPoll = opts_.monitorPoll;
+      so.snapshotDir = opts_.snapshotDir;
+      // The injected capture defect goes to exactly one monitor so the
+      // self-test's conviction count is deterministic.
+      if (s == 0) so.injectBug = opts_.injectBug;
+    }
+    std::vector<ClientLane*> shardLanes;
+    shardLanes.reserve(opts_.clients);
+    for (auto& lane : lanes_[s]) shardLanes.push_back(lane.get());
+    shards_.push_back(std::make_unique<Shard>(so, std::move(shardLanes)));
+  }
+
+  clients_.resize(opts_.clients);
+  for (std::size_t c = 0; c < opts_.clients; ++c) {
+    Client& cl = clients_[c];
+    cl.serve_ = this;
+    cl.lanes_.reserve(opts_.shards);
+    for (std::size_t s = 0; s < opts_.shards; ++s) {
+      cl.lanes_.push_back(lanes_[s][c].get());
+    }
+    cl.inFlight_.assign(opts_.shards, 0);
+  }
+
+  startedAt_ = std::chrono::steady_clock::now();
+  pool_ = std::make_unique<ThreadPool>(
+      static_cast<unsigned>(opts_.shards * opts_.executorsPerShard));
+  for (std::size_t s = 0; s < opts_.shards; ++s) {
+    Shard* shard = shards_[s].get();
+    pool_->submit([shard] { shard->drainerLoop(); });
+    for (std::size_t lane = 1; lane < opts_.executorsPerShard; ++lane) {
+      pool_->submit([shard, lane] { shard->executorLoop(lane); });
+    }
+  }
+}
+
+JungleServe::~JungleServe() { shutdown(); }
+
+JungleServe::Client& JungleServe::client(std::size_t i) {
+  JUNGLE_CHECK(i < clients_.size());
+  return clients_[i];
+}
+
+bool JungleServe::Client::trySubmit(const Command& c) {
+  JUNGLE_CHECK(c.nKeys >= 1 && c.nKeys <= kMaxTxnKeys);
+  JungleServe& sv = *serve_;
+  const std::size_t shard = sv.shardOf(c.keys[0]);
+  for (std::size_t i = 0; i < c.nKeys; ++i) {
+    JUNGLE_CHECK(c.keys[i] < sv.opts_.numKeys);
+    // Single-shard transactions only (hash-slot constraint).
+    JUNGLE_CHECK(sv.shardOf(c.keys[i]) == shard);
+  }
+  if (sv.stopped_.load(std::memory_order_acquire)) return false;
+  ClientLane& lane = *lanes_[shard];
+  // Credit: responses we have not popped yet occupy response-ring slots,
+  // so cap outstanding-per-lane at the ring capacity and the shard's ack
+  // push can never find the ring full.
+  if (inFlight_[shard] >= lane.resp.capacity()) return false;
+  if (!lane.cmd.tryPush(c)) return false;
+  ++inFlight_[shard];
+  ++submitted_;
+  return true;
+}
+
+std::size_t JungleServe::Client::drainResponses(std::vector<CommandResult>& out) {
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < lanes_.size(); ++s) {
+    CommandResult r;
+    while (lanes_[s]->resp.tryPop(r)) {
+      out.push_back(r);
+      JUNGLE_CHECK(inFlight_[s] > 0);
+      --inFlight_[s];
+      ++acked_;
+      ++n;
+    }
+  }
+  return n;
+}
+
+void JungleServe::shutdown() {
+  if (finalized_) return;
+  stopped_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) shard->requestStop();
+  pool_->wait();
+  const auto ended = std::chrono::steady_clock::now();
+  for (auto& shard : shards_) shard->finalize();
+  stats_.shards.clear();
+  stats_.shards.reserve(shards_.size());
+  for (auto& shard : shards_) stats_.shards.push_back(shard->stats());
+  stats_.wallSeconds =
+      std::chrono::duration<double>(ended - startedAt_).count();
+  finalized_ = true;
+}
+
+const std::vector<monitor::MonitorViolation>& JungleServe::violations(
+    std::size_t shard) const {
+  JUNGLE_CHECK(shard < shards_.size());
+  return shards_[shard]->violations();
+}
+
+std::size_t JungleServe::totalViolations() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->violations().size();
+  return n;
+}
+
+Word JungleServe::finalValue(ObjectId key) const {
+  JUNGLE_CHECK(finalized_);
+  return shards_[shardOf(key)]->value(key);
+}
+
+}  // namespace jungle::serve

@@ -1,0 +1,141 @@
+// JungleServe: a sharded transactional KV service over the library's TM
+// runtimes — the "production-scale" composition ROADMAP.md points at.
+//
+// N shards stripe the keyspace (key mod shards), each with a private
+// TmRuntime of the configured kind and an epoch-batched execution engine
+// (shard.hpp).  Clients talk to shards through per-(client, shard) SPSC
+// command/response rings with a credit scheme: a client may have at most
+// ring-capacity commands outstanding per shard, which makes the shard's
+// acknowledgment push wait-free and bounds memory.  All threads come from
+// one common/thread_pool.hpp pool (shards * executorsPerShard workers).
+//
+// Sampled runtime verification: samplePermille of total service traffic is
+// replayed through monitor/instrumented_runtime.hpp into the sharded
+// stream checker.  The service concentrates the sampling budget on
+// ceil(permille * shards / 1000) shards and duty-cycles whole epochs on
+// each (see shard.hpp for why whole epochs + blind-write resync keep
+// convictions sound).  `injectBug` arms the first sampled shard's monitor
+// with a deterministic capture defect for the end-to-end self-test.
+//
+// Shutdown contract: stop submitting, then shutdown().  Every command
+// whose trySubmit returned true is executed and acknowledged before
+// shutdown() returns — graceful drain loses nothing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "serve/command.hpp"
+#include "serve/shard.hpp"
+#include "serve/stats.hpp"
+
+namespace jungle::serve {
+
+struct ServeOptions {
+  TmKind kind = TmKind::kTl2Weak;
+  std::size_t shards = 4;
+  /// Executor lanes per shard.  1 keeps each shard single-threaded (no
+  /// intra-shard conflicts; the right choice on few cores); > 1 slices
+  /// each epoch across lanes, exercising the TM under real contention.
+  std::size_t executorsPerShard = 1;
+  std::size_t clients = 2;
+  std::size_t numKeys = 1 << 13;
+  /// Per-(client, shard) ring capacity = per-lane credit limit.
+  std::size_t queueCapacity = 1 << 12;
+  std::size_t epochBatchLimit = 1024;
+  int maxTxAttempts = 8;
+  int maxCommandRetries = 4;
+  std::chrono::microseconds idlePoll{50};
+  /// Permille of total service traffic to verify (10 = 1%); 0 = off.
+  unsigned samplePermille = 0;
+  std::size_t sampleWindowEpochs = 16;
+  /// Batch cap for monitored epochs (see shard.hpp).
+  std::size_t sampleEpochCommands = 128;
+  std::size_t checkerShards = 2;
+  std::size_t monitorRingCapacity = 1 << 15;
+  /// Collector poll interval of the sampled monitors (see shard.hpp).
+  std::chrono::microseconds monitorPoll{1000};
+  monitor::InjectedBug injectBug = monitor::InjectedBug::kNone;
+  std::string snapshotDir;
+};
+
+class JungleServe {
+ public:
+  explicit JungleServe(const ServeOptions& opts);
+  ~JungleServe();
+
+  JungleServe(const JungleServe&) = delete;
+  JungleServe& operator=(const JungleServe&) = delete;
+
+  const ServeOptions& options() const { return opts_; }
+  std::size_t shardOf(ObjectId key) const { return key % opts_.shards; }
+
+  /// One client handle; each handle must be driven by one thread at a
+  /// time.  Handles stay usable for drainResponses after shutdown().
+  class Client {
+   public:
+    /// Routes by keys[0]; kTxn commands must keep every key on one shard
+    /// (checked).  False when the lane is out of credit or the service is
+    /// shutting down — back off and retry, or drain responses.
+    bool trySubmit(const Command& c);
+
+    /// Pops every pending acknowledgment (all shards) into `out`.
+    std::size_t drainResponses(std::vector<CommandResult>& out);
+
+    std::uint64_t submitted() const { return submitted_; }
+    std::uint64_t acked() const { return acked_; }
+    std::uint64_t outstanding() const { return submitted_ - acked_; }
+
+   private:
+    friend class JungleServe;
+    JungleServe* serve_ = nullptr;
+    std::vector<ClientLane*> lanes_;       // per shard
+    std::vector<std::uint64_t> inFlight_;  // per shard; credit bookkeeping
+    std::uint64_t submitted_ = 0;
+    std::uint64_t acked_ = 0;
+  };
+
+  Client& client(std::size_t i);
+
+  /// Graceful drain: every accepted command is executed and acknowledged,
+  /// monitors are stopped, stats frozen.  Idempotent; also run by the
+  /// destructor.  Callers must have stopped submitting first.
+  void shutdown();
+
+  /// Valid after shutdown().
+  const ServeStats& stats() const { return stats_; }
+  const std::vector<monitor::MonitorViolation>& violations(
+      std::size_t shard) const;
+  std::size_t totalViolations() const;
+
+  /// Committed value of `key`, read from the owning shard's runtime.
+  /// Only meaningful after shutdown().
+  Word finalValue(ObjectId key) const;
+
+  /// The shard a key routes to (tests poke schedule/stats directly).
+  const Shard& shard(std::size_t i) const { return *shards_[i]; }
+
+  /// Sampling plan actually in force (derived from samplePermille).
+  std::size_t sampledShards() const { return sampledShards_; }
+  unsigned dutyPermille() const { return dutyPermille_; }
+
+ private:
+  ServeOptions opts_;
+  std::size_t sampledShards_ = 0;
+  unsigned dutyPermille_ = 0;
+  // lanes_[shard][client]; shards and clients hold raw pointers into this.
+  std::vector<std::vector<std::unique_ptr<ClientLane>>> lanes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Client> clients_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> stopped_{false};
+  bool finalized_ = false;
+  std::chrono::steady_clock::time_point startedAt_;
+  ServeStats stats_;
+};
+
+}  // namespace jungle::serve

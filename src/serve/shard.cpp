@@ -1,0 +1,317 @@
+#include "serve/shard.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace jungle::serve {
+
+Shard::Shard(const ShardOptions& opts, std::vector<ClientLane*> lanes)
+    : opts_(opts),
+      index_(opts.index),
+      numShards_(opts.numShards),
+      numKeys_(opts.numKeys),
+      executors_(opts.executors == 0 ? 1 : opts.executors),
+      localVars_((opts.numKeys + opts.numShards - 1) / opts.numShards),
+      mem_(runtimeMemoryWords(opts.kind, localVars_)),
+      lanes_(std::move(lanes)),
+      popped_(lanes_.size(), 0),
+      batch_(opts.epochBatchLimit),
+      results_(opts.epochBatchLimit),
+      laneCounters_(executors_) {
+  JUNGLE_CHECK(numShards_ >= 1 && index_ < numShards_);
+  JUNGLE_CHECK(numKeys_ >= numShards_);
+  JUNGLE_CHECK(opts_.epochBatchLimit >= 1);
+  JUNGLE_CHECK(!lanes_.empty());
+  segs_.reserve(lanes_.size());
+  inner_ = makeNativeRuntime(opts_.kind, mem_, localVars_, executors_);
+  if (opts_.dutyPermille > 0) {
+    monitor::MonitorOptions mo;
+    mo.capture.ringCapacity = opts_.monitorRingCapacity;
+    mo.capture.injectBug = opts_.injectBug;
+    mo.shards = opts_.checkerShards;
+    mo.snapshotDir = opts_.snapshotDir;
+    mo.pollInterval = opts_.monitorPoll;
+    mon_ = std::make_unique<monitor::TmMonitor>(*inner_, executors_, mo);
+    stats_.sampled = true;
+  }
+}
+
+void Shard::drainerLoop() {
+  Backoff idle;
+  std::uint32_t idleRounds = 0;
+  for (;;) {
+    const bool stopping = stop_.load(std::memory_order_acquire);
+    std::size_t limit = opts_.epochBatchLimit;
+    if (nextEpochMonitored()) {
+      limit = std::min(limit, std::max<std::size_t>(
+                                  opts_.monitoredEpochCommands, 1));
+    }
+    const std::size_t n = drainBatch(limit);
+    if (n == 0) {
+      if (stopping && allQueuesEmpty()) break;
+      if (++idleRounds > 64) {
+        std::this_thread::sleep_for(opts_.idlePoll);
+      } else {
+        idle.pause();
+      }
+      continue;
+    }
+    idleRounds = 0;
+    idle.reset();
+    runEpoch(n);
+  }
+  releaseExecutors();
+}
+
+bool Shard::nextEpochMonitored() const {
+  const unsigned duty = opts_.dutyPermille;
+  if (!mon_ || duty == 0) return false;
+  if (duty >= 1000) return true;
+  if (monitoredLive_) return windowLeft_ > 0;
+  return attachDue(stats_.monitoredCommands, cmdsSeen_, duty);
+}
+
+std::size_t Shard::drainBatch(std::size_t limit) {
+  segs_.clear();
+  std::size_t filled = 0;
+  const std::size_t clients = lanes_.size();
+  // Rotate the starting client each epoch so a saturated client cannot
+  // permanently crowd the tail clients out of the batch.
+  const std::size_t start = static_cast<std::size_t>(stats_.epochs % clients);
+  for (std::size_t k = 0; k < clients && filled < limit; ++k) {
+    const std::size_t c = (start + k) % clients;
+    const std::size_t got =
+        lanes_[c]->cmd.tryPopBatch(batch_.data() + filled, limit - filled);
+    if (got == 0) continue;
+    segs_.push_back(Segment{c, filled, got, popped_[c]});
+    popped_[c] += got;
+    filled += got;
+  }
+  return filled;
+}
+
+bool Shard::allQueuesEmpty() const {
+  for (const ClientLane* lane : lanes_) {
+    if (!lane->cmd.empty()) return false;
+  }
+  return true;
+}
+
+void Shard::runEpoch(std::size_t n) {
+  ++stats_.epochs;
+  // Whole-window attach, command-budget detach: run windowEpochs epochs
+  // monitored, then stay detached until the monitored share of executed
+  // commands decays back to the duty target (attachDue).  The one-epoch
+  // detached gap between windows is deliberate — it forces a resync per
+  // window even at duty >= the achievable share.
+  const bool monitored = nextEpochMonitored();
+  if (monitored) {
+    if (monitoredLive_) {
+      if (windowLeft_ > 0) --windowLeft_;
+    } else {
+      windowLeft_ = opts_.windowEpochs == 0 ? 0 : opts_.windowEpochs - 1;
+      resync();
+    }
+    ++stats_.monitoredEpochs;
+    stats_.monitoredCommands += n;
+  }
+  monitoredLive_ = monitored;
+  cmdsSeen_ += n;
+  TmRuntime& rt = monitored ? mon_->runtime() : *inner_;
+
+  if (executors_ == 1) {
+    executeRange(rt, 0, 0, n);
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++epochGen_;
+      remaining_ = executors_ - 1;
+      epochSize_ = n;
+      epochRt_ = &rt;
+    }
+    work_.notify_all();
+    executeRange(rt, 0, 0, n / executors_);
+    std::unique_lock<std::mutex> lk(mu_);
+    done_.wait(lk, [this] { return remaining_ == 0; });
+  }
+  pushResponses(n);
+}
+
+void Shard::executorLoop(std::size_t lane) {
+  JUNGLE_CHECK(lane >= 1 && lane < executors_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::size_t n = 0;
+    TmRuntime* rt = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_.wait(lk, [&] { return executorsReleased_ || epochGen_ != seen; });
+      if (executorsReleased_ && epochGen_ == seen) return;
+      seen = epochGen_;
+      n = epochSize_;
+      rt = epochRt_;
+    }
+    executeRange(*rt, lane, lane * n / executors_, (lane + 1) * n / executors_);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--remaining_ == 0) done_.notify_one();
+    }
+  }
+}
+
+void Shard::executeRange(TmRuntime& rt, std::size_t lane, std::size_t lo,
+                         std::size_t hi) {
+  LaneCounters& lc = laneCounters_[lane];
+  const auto pid = static_cast<ProcessId>(lane);
+  for (std::size_t i = lo; i < hi; ++i) {
+    results_[i] = executeOne(rt, pid, batch_[i], lc);
+  }
+}
+
+Word Shard::runBody(TxContext& tx, const Command& c) const {
+  switch (c.kind) {
+    case CmdKind::kGet:
+      return tx.read(static_cast<ObjectId>(localVar(c.keys[0])));
+    case CmdKind::kPut:
+      tx.write(static_cast<ObjectId>(localVar(c.keys[0])), c.vals[0]);
+      return c.vals[0];
+    case CmdKind::kRmw: {
+      const auto x = static_cast<ObjectId>(localVar(c.keys[0]));
+      const Word v = tx.read(x);
+      tx.write(x, v + c.vals[0]);
+      return v;
+    }
+    case CmdKind::kTxn: {
+      Word sum = 0;
+      for (std::size_t i = 0; i < c.nKeys; ++i) {
+        const auto x = static_cast<ObjectId>(localVar(c.keys[i]));
+        const Word v = tx.read(x);
+        tx.write(x, v + c.vals[i]);
+        sum += v;
+      }
+      return sum;
+    }
+  }
+  return 0;  // unreachable; switch is exhaustive (-Werror=switch)
+}
+
+CommandResult Shard::executeOne(TmRuntime& rt, ProcessId pid, const Command& c,
+                                LaneCounters& lc) {
+  CommandResult r;
+  Backoff backoff;
+  for (int attempt = 0;; ++attempt) {
+    int bodyRuns = 0;
+    Word value = 0;
+    const bool committed = rt.transaction(pid, [&](TxContext& tx) {
+      // Bounded retry-on-abort: the runtime retries conflict aborts
+      // internally without limit; cap the body invocations per service
+      // attempt so a contention storm degrades to kFailed instead of
+      // stalling the epoch.
+      if (++bodyRuns > opts_.maxTxAttempts) tx.abort();
+      value = runBody(tx, c);
+    });
+    if (committed) {
+      r.value = value;
+      r.status = CmdStatus::kOk;
+      return r;
+    }
+    if (attempt + 1 >= opts_.maxCommandRetries) {
+      r.status = CmdStatus::kFailed;
+      return r;
+    }
+    ++lc.serviceRetries;
+    backoff.pause();
+  }
+}
+
+void Shard::resync() {
+  // The shard is quiesced at an epoch boundary, so the inner runtime's
+  // committed state is stable; read it bare, then replay it into the
+  // monitored stream as chunked blind-write transactions.  Blind writes
+  // only: a monitored *read* here would show the checker a value it never
+  // saw written and convict a correct TM.
+  resyncVals_.resize(localVars_);
+  for (std::size_t v = 0; v < localVars_; ++v) {
+    resyncVals_[v] = inner_->ntRead(0, static_cast<ObjectId>(v));
+  }
+  TmRuntime& rt = mon_->runtime();
+  const std::size_t chunk = opts_.resyncChunk == 0 ? 32 : opts_.resyncChunk;
+  for (std::size_t base = 0; base < localVars_; base += chunk) {
+    const std::size_t end =
+        base + chunk < localVars_ ? base + chunk : localVars_;
+    const bool committed = rt.transaction(0, [&](TxContext& tx) {
+      for (std::size_t v = base; v < end; ++v) {
+        tx.write(static_cast<ObjectId>(v), resyncVals_[v]);
+      }
+    });
+    JUNGLE_CHECK(committed);
+    ++stats_.resyncTxs;
+  }
+}
+
+void Shard::pushResponses(std::size_t n) {
+  std::size_t covered = 0;
+  for (const Segment& seg : segs_) {
+    for (std::size_t j = 0; j < seg.count; ++j) {
+      const std::size_t i = seg.first + j;
+      CommandResult r = results_[i];
+      r.seq = seg.seqBase + j;
+      // Never full: the client's credit scheme caps outstanding commands
+      // per lane at the ring capacity.
+      JUNGLE_CHECK(lanes_[seg.client]->resp.tryPush(r));
+      const Command& c = batch_[i];
+      ++stats_.commands;
+      switch (c.kind) {
+        case CmdKind::kGet:
+          ++stats_.gets;
+          break;
+        case CmdKind::kPut:
+          ++stats_.puts;
+          break;
+        case CmdKind::kRmw:
+          ++stats_.rmws;
+          break;
+        case CmdKind::kTxn:
+          ++stats_.txns;
+          break;
+      }
+      if (r.status == CmdStatus::kOk) {
+        ++stats_.committed;
+      } else {
+        ++stats_.failed;
+      }
+    }
+    covered += seg.count;
+  }
+  JUNGLE_CHECK(covered == n);
+}
+
+void Shard::releaseExecutors() {
+  std::lock_guard<std::mutex> lk(mu_);
+  executorsReleased_ = true;
+  work_.notify_all();
+}
+
+void Shard::finalize() {
+  for (const LaneCounters& lc : laneCounters_) {
+    stats_.serviceRetries += lc.serviceRetries;
+  }
+  stats_.tmAborts = inner_->abortCount();
+  if (mon_) {
+    mon_->stop();
+    stats_.monitor = mon_->stats();
+    stats_.violations = mon_->violations().size();
+  }
+}
+
+const std::vector<monitor::MonitorViolation>& Shard::violations() const {
+  return mon_ ? mon_->violations() : noViolations_;
+}
+
+Word Shard::value(ObjectId key) const {
+  return inner_->ntRead(0, static_cast<ObjectId>(localVar(key)));
+}
+
+}  // namespace jungle::serve

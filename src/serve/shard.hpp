@@ -1,0 +1,210 @@
+// One shard of the jungle_serve KV service: a slice of the keyspace, its
+// own TmRuntime, and an epoch-batched execution engine.
+//
+// Keys are striped across shards (key mod numShards); the shard stores key
+// k at local variable k / numShards of its private runtime, so consecutive
+// zipfian hot keys land on distinct shards.  A drainer lane pops commands
+// from every client's SPSC queue into an epoch batch, executes the batch
+// (inline, or sliced across executor lanes for intra-shard contention),
+// then pushes acknowledgments — FIFO per (client, shard) queue.
+//
+// Bounded retry-on-abort: each command's transaction body aborts itself
+// once it has been invoked maxTxAttempts times (turning the runtime's
+// unbounded internal retry into a bounded one), and the shard re-runs the
+// whole command with backoff up to maxCommandRetries before acknowledging
+// kFailed.  A kFailed command committed nothing — kTxn stays atomic.
+//
+// Sampled verification: a shard given a nonzero dutyPermille owns a
+// TmMonitor and runs whole epochs through the monitored wrapper in
+// windows, paced by a command budget (attachDue) so the monitored share
+// of *commands* tracks the duty.  At every attach the drainer first emits
+// the current value of every local key as blind writes through the wrapper
+// (chunked transactions) — values changed while detached, and a monitored
+// read of a value the checker never saw written would otherwise convict a
+// correct TM.  Whole-epoch granularity keeps the sampled sub-history
+// closed: within a window every access to this shard's keys is recorded,
+// so a conviction is sound; violations on unsampled epochs (or shards) are
+// invisible by construction — the sampling caveat DESIGN.md §11 documents.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "monitor/monitor.hpp"
+#include "serve/command.hpp"
+#include "serve/command_queue.hpp"
+#include "serve/stats.hpp"
+#include "sim/memory_policy.hpp"
+#include "tm/runtime.hpp"
+
+namespace jungle::serve {
+
+/// The pair of SPSC rings connecting one client to one shard.  The client
+/// side produces commands and consumes results; the shard side is the
+/// single consumer/producer on the other ends.
+struct ClientLane {
+  explicit ClientLane(std::size_t capacity) : cmd(capacity), resp(capacity) {}
+  SpscRing<Command> cmd;
+  SpscRing<CommandResult> resp;
+};
+
+struct ShardOptions {
+  TmKind kind = TmKind::kTl2Weak;
+  std::size_t index = 0;
+  std::size_t numShards = 1;
+  std::size_t numKeys = 1024;
+  std::size_t executors = 1;
+  std::size_t epochBatchLimit = 1024;
+  int maxTxAttempts = 8;
+  int maxCommandRetries = 4;
+  std::chrono::microseconds idlePoll{50};
+  /// Monitored-epoch duty cycle in permille of this shard's epochs; 0
+  /// disables sampling (no TmMonitor is constructed at all).
+  unsigned dutyPermille = 0;
+  std::size_t windowEpochs = 16;
+  /// Batch-size cap for monitored epochs.  Monitored epochs run slower,
+  /// so client queues back up under them and uncapped epochs balloon to
+  /// epochBatchLimit — making every window windowEpochs * epochBatchLimit
+  /// commands regardless of duty.  The cap bounds a window's command cost
+  /// so the attachDue regulator can actually hit the duty target.
+  std::size_t monitoredEpochCommands = 128;
+  /// Checker shards of the attached monitor (sharded_checker.hpp).
+  std::size_t checkerShards = 2;
+  std::size_t monitorRingCapacity = 1 << 15;
+  /// Collector poll interval of the attached monitor.  Service epochs are
+  /// batched, so conviction latency is epoch-grained anyway; a coarse poll
+  /// keeps the (always-running) collector thread off the executors' cores
+  /// during detached windows.  The capture rings are sized to absorb a
+  /// whole monitored window between polls.
+  std::chrono::microseconds monitorPoll{1000};
+  std::size_t resyncChunk = 32;
+  monitor::InjectedBug injectBug = monitor::InjectedBug::kNone;
+  std::string snapshotDir;
+};
+
+class Shard {
+ public:
+  /// `lanes[c]` is the lane of client c; pointers must outlive the shard.
+  Shard(const ShardOptions& opts, std::vector<ClientLane*> lanes);
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Lane entry points, each run on its own pool worker.  Lane 0 is the
+  /// drainer (and executor of slice 0); lanes 1..executors-1 wait for
+  /// epoch slices.
+  void drainerLoop();
+  void executorLoop(std::size_t lane);
+
+  /// Begin graceful drain: the drainer keeps running epochs until every
+  /// client queue is empty, then exits (and releases the executor lanes).
+  void requestStop() { stop_.store(true, std::memory_order_release); }
+
+  /// After the lane tasks have returned: stops the monitor (if any) and
+  /// freezes stats()/violations().
+  void finalize();
+
+  const ShardServeStats& stats() const { return stats_; }
+  const std::vector<monitor::MonitorViolation>& violations() const;
+
+  /// Current committed value of `key` (which must belong to this shard).
+  /// Only meaningful while the shard is quiescent (after finalize, or
+  /// before the loops start).
+  Word value(ObjectId key) const;
+
+  std::size_t localVars() const { return localVars_; }
+  bool sampled() const { return mon_ != nullptr; }
+
+  /// Attach regulator: a detached shard re-attaches the monitor once the
+  /// monitored share of executed commands has decayed to the duty target.
+  /// Budgeting by commands (not epochs) matters because epochs are
+  /// dynamically sized — monitored epochs run slower, queues back up, and
+  /// an epoch-counted duty cycle would oversample by whatever factor the
+  /// monitored epochs balloon.  Pure; exposed for tests.
+  static bool attachDue(std::uint64_t monitoredCmds, std::uint64_t totalCmds,
+                        unsigned dutyPermille) {
+    return monitoredCmds * 1000 <=
+           static_cast<std::uint64_t>(dutyPermille) * totalCmds;
+  }
+
+ private:
+  struct Segment {
+    std::size_t client;
+    std::size_t first;
+    std::size_t count;
+    std::uint64_t seqBase;
+  };
+
+  /// Per-executor-lane counters, padded so concurrent lanes don't share a
+  /// line; folded into stats_ at finalize.
+  struct alignas(kCacheLine) LaneCounters {
+    std::uint64_t serviceRetries = 0;
+  };
+
+  std::size_t localVar(ObjectId key) const {
+    JUNGLE_DCHECK(key % numShards_ == index_ && key < numKeys_);
+    return key / numShards_;
+  }
+
+  std::size_t drainBatch(std::size_t limit);
+  /// Pure read of the regulator state: would the next (nonempty) epoch run
+  /// monitored?  The drainer calls this before draining to size the batch;
+  /// runEpoch re-derives it and commits the state transition.
+  bool nextEpochMonitored() const;
+  bool allQueuesEmpty() const;
+  void runEpoch(std::size_t n);
+  void executeRange(TmRuntime& rt, std::size_t lane, std::size_t lo,
+                    std::size_t hi);
+  CommandResult executeOne(TmRuntime& rt, ProcessId pid, const Command& c,
+                           LaneCounters& lc);
+  Word runBody(TxContext& tx, const Command& c) const;
+  void resync();
+  void pushResponses(std::size_t n);
+  void releaseExecutors();
+
+  ShardOptions opts_;
+  std::size_t index_;
+  std::size_t numShards_;
+  std::size_t numKeys_;
+  std::size_t executors_;
+  std::size_t localVars_;
+
+  NativeMemory mem_;
+  std::unique_ptr<TmRuntime> inner_;
+  std::unique_ptr<monitor::TmMonitor> mon_;  // null unless sampled
+
+  std::vector<ClientLane*> lanes_;
+  std::vector<std::uint64_t> popped_;  // per client; drainer-owned
+
+  std::vector<Command> batch_;
+  std::vector<CommandResult> results_;
+  std::vector<Segment> segs_;
+  std::vector<Word> resyncVals_;
+  std::vector<LaneCounters> laneCounters_;
+
+  // Epoch hand-off to executor lanes (unused when executors == 1).
+  std::mutex mu_;
+  std::condition_variable work_;
+  std::condition_variable done_;
+  std::uint64_t epochGen_ = 0;
+  std::size_t remaining_ = 0;
+  std::size_t epochSize_ = 0;
+  TmRuntime* epochRt_ = nullptr;
+  bool executorsReleased_ = false;
+
+  std::atomic<bool> stop_{false};
+  bool monitoredLive_ = false;
+  std::uint64_t windowLeft_ = 0;  // monitored epochs left in this window
+  std::uint64_t cmdsSeen_ = 0;    // commands executed (all epochs)
+  ShardServeStats stats_;
+  std::vector<monitor::MonitorViolation> noViolations_;
+};
+
+}  // namespace jungle::serve

@@ -1,0 +1,77 @@
+// Telemetry for the jungle_serve service: per-shard execution counters
+// plus (for sampled shards) the attached monitor's own statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "monitor/monitor.hpp"
+
+namespace jungle::serve {
+
+struct ShardServeStats {
+  // Epoch engine.
+  std::uint64_t epochs = 0;
+  std::uint64_t monitoredEpochs = 0;
+  /// Commands executed through the monitored wrapper (the honest sampled
+  /// coverage: epochs are dynamically sized, so the epoch-level duty cycle
+  /// alone does not determine the command-level fraction).
+  std::uint64_t monitoredCommands = 0;
+  /// Blind-write resynchronization transactions emitted at monitor-window
+  /// attach (see service.hpp: they re-establish every key's current value
+  /// in the sampled stream so the checker never sees an unexplainable
+  /// read).
+  std::uint64_t resyncTxs = 0;
+  // Commands, by kind and outcome.
+  std::uint64_t commands = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t rmws = 0;
+  std::uint64_t txns = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;  // retry budget exhausted, acked kFailed
+  /// Service-level re-runs after a transaction exhausted its in-TM attempt
+  /// budget (each re-run backs off before re-entering the TM).
+  std::uint64_t serviceRetries = 0;
+  /// Conflict aborts reported by the shard's runtime (includes the
+  /// attempt-budget aborts the service itself injects).
+  std::uint64_t tmAborts = 0;
+  // Sampled verification.
+  bool sampled = false;
+  std::size_t violations = 0;
+  /// Valid only when `sampled` (zeroed otherwise).
+  monitor::MonitorStats monitor;
+};
+
+struct ServeStats {
+  std::vector<ShardServeStats> shards;
+  double wallSeconds = 0.0;
+
+  std::uint64_t totalCommands() const {
+    std::uint64_t n = 0;
+    for (const auto& s : shards) n += s.commands;
+    return n;
+  }
+  std::uint64_t totalCommitted() const {
+    std::uint64_t n = 0;
+    for (const auto& s : shards) n += s.committed;
+    return n;
+  }
+  std::uint64_t totalFailed() const {
+    std::uint64_t n = 0;
+    for (const auto& s : shards) n += s.failed;
+    return n;
+  }
+  std::uint64_t totalTmAborts() const {
+    std::uint64_t n = 0;
+    for (const auto& s : shards) n += s.tmAborts;
+    return n;
+  }
+  std::size_t totalViolations() const {
+    std::size_t n = 0;
+    for (const auto& s : shards) n += s.violations;
+    return n;
+  }
+};
+
+}  // namespace jungle::serve

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "common/zipf.hpp"
 
 namespace jungle::theorems {
 
@@ -88,6 +89,7 @@ ConformanceResult checkTraceCondition(const Trace& r, ConditionKind condition,
 
 Trace runStressWorkload(TmRuntime& tm, RecordingMemory& mem,
                         const StressOptions& opts) {
+  const Zipfian varDraw(opts.numVars, opts.zipfTheta);
   auto worker = [&](ProcessId pid) {
     Rng rng(opts.seed * 0x9e3779b97f4a7c15ULL + pid + 1);
     for (std::size_t a = 0; a < opts.actionsPerProc; ++a) {
@@ -103,7 +105,7 @@ Trace runStressWorkload(TmRuntime& tm, RecordingMemory& mem,
         std::vector<Access> accesses;
         for (std::size_t i = 0; i < len; ++i) {
           accesses.push_back({rng.chance(opts.pctWrite, 100),
-                              static_cast<ObjectId>(rng.below(opts.numVars)),
+                              static_cast<ObjectId>(varDraw.next(rng)),
                               1 + rng.below(9)});
         }
         tm.transaction(pid, [&](TxContext& ctx) {
@@ -116,7 +118,7 @@ Trace runStressWorkload(TmRuntime& tm, RecordingMemory& mem,
           }
         });
       } else {
-        const ObjectId obj = static_cast<ObjectId>(rng.below(opts.numVars));
+        const ObjectId obj = static_cast<ObjectId>(varDraw.next(rng));
         if (rng.chance(opts.pctWrite, 100)) {
           tm.ntWrite(pid, obj, 1 + rng.below(9));
         } else {

@@ -69,6 +69,8 @@ struct StressOptions {
   unsigned pctTx = 50;
   /// Percent of accesses that are writes.
   unsigned pctWrite = 50;
+  /// Zipfian skew of the variable draws (common/zipf.hpp); 0 = uniform.
+  double zipfTheta = 0.0;
   std::uint64_t seed = 1;
 };
 

@@ -53,6 +53,18 @@ class MvccTmBase {
   /// stress workloads generate; older snapshots abort conservatively.
   static constexpr std::size_t kVersionsPerVar = 8;
 
+  /// Hard ceiling on the version clock.  Two encodings in this layout
+  /// steal high bits from a timestamp: the per-variable record packs
+  /// (ts << 1) | locked, and a stored sstamp of 0 means infinity — so a
+  /// clock anywhere near 2^63 would silently alias locked records, and a
+  /// wrapped clock of 0 would turn every new version's sstamp into
+  /// "never overwritten".  2^62 commits cannot be counted to in a process
+  /// lifetime; reaching the ceiling therefore means corruption (or a
+  /// future clock-warp feature forgetting this invariant), and the
+  /// nextCommitStamp guard convicts it at the stamping site instead of
+  /// letting stale snapshots read wrapped versions.
+  static constexpr Word kClockCeiling = Word{1} << 62;
+
   static std::size_t memoryWords(std::size_t numVars) {
     return 4 * numVars + 2 + numVars * kVersionsPerVar * SlotWords;
   }
@@ -316,6 +328,15 @@ class MvccTmBase {
     t.inTx = false;
   }
 
+  /// The next commit stamp, guarded against wraparound (kClockCeiling);
+  /// every path that advances the clock (tx commit and instrumented
+  /// write, in both backends) must mint its stamp here.
+  Word nextCommitStamp(Thread& t) {
+    const Word wv = mem_.load(t.pid, clockAddr_) + 1;
+    JUNGLE_CHECK(wv < kClockCeiling && wv != 0);
+    return wv;
+  }
+
   Mem& mem_;
   std::size_t numVars_;
   Addr clockAddr_;
@@ -354,7 +375,7 @@ class SiTm : public MvccTmBase<Mem, 2> {
       this->abortInsideOp(t, op);
       return false;
     }
-    const Word wv = this->mem_.load(t.pid, this->clockAddr_) + 1;
+    const Word wv = this->nextCommitStamp(t);
     this->installVersions(t, op, wv, this->writeOrder(t));
     // The clock is published only after the install: a transaction whose
     // snapshot rv >= wv must find every wv version in place, or its reads
@@ -372,7 +393,7 @@ class SiTm : public MvccTmBase<Mem, 2> {
     JUNGLE_CHECK(!t.inTx && x < this->numVars_);
     const OpId op = this->mem_.beginOp(t.pid, OpType::kCommand, x, cmdWrite(v));
     this->acquireLatch(t);
-    const Word wv = this->mem_.load(t.pid, this->clockAddr_) + 1;
+    const Word wv = this->nextCommitStamp(t);
     const Word r = this->mem_.load(t.pid, this->recordAddr(x));
     this->mem_.store(t.pid, this->recordAddr(x), r | 1);
     const Word h = this->mem_.load(t.pid, this->headAddr(x));
@@ -441,7 +462,7 @@ class SiSsnTm : public MvccTmBase<Mem, 4> {
       this->abortInsideOp(t, op);
       return false;
     }
-    const Word wv = this->mem_.load(t.pid, this->clockAddr_) + 1;
+    const Word wv = this->nextCommitStamp(t);
 
     // Exclusion-window computation (latch held, stamps are stable).  rv
     // floors pi: real-time predecessors committed at stamps <= rv.
@@ -511,7 +532,7 @@ class SiSsnTm : public MvccTmBase<Mem, 4> {
     JUNGLE_CHECK(!t.inTx && x < this->numVars_);
     const OpId op = this->mem_.beginOp(t.pid, OpType::kCommand, x, cmdWrite(v));
     this->acquireLatch(t);
-    const Word wv = this->mem_.load(t.pid, this->clockAddr_) + 1;
+    const Word wv = this->nextCommitStamp(t);
     const Word old = this->mem_.load(t.pid, this->recordAddr(x)) >> 1;
     if (const auto sAddr = versionFieldAddr(t, x, old, Base::kSstamp)) {
       const Word s = this->mem_.load(t.pid, *sAddr);

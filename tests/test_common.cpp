@@ -9,6 +9,7 @@
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/sync.hpp"
+#include "common/zipf.hpp"
 
 namespace jungle {
 namespace {
@@ -142,6 +143,65 @@ TEST(Backoff, PauseAndResetDoNotBlock) {
   b.reset();
   b.pause();
   SUCCEED();
+}
+
+// --------------------------------------------------------------- Zipfian
+
+TEST(Zipfian, DrawsStayInRangeAndAreDeterministic) {
+  const Zipfian z(100, 0.9);
+  Rng a(11), b(11);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = z.next(a);
+    EXPECT_LT(v, 100u);
+    EXPECT_EQ(v, z.next(b));  // same Rng stream, same draw
+  }
+}
+
+TEST(Zipfian, ThetaZeroDegeneratesToUniform) {
+  const Zipfian z(8, 0.0);
+  Rng zr(21), ur(21);
+  for (int i = 0; i < 500; ++i) {
+    // Must consume the Rng stream exactly like the uniform path.
+    EXPECT_EQ(z.next(zr), ur.below(8));
+  }
+}
+
+TEST(Zipfian, SkewConcentratesMassOnTheHotRanks) {
+  constexpr std::uint64_t kN = 1000;
+  constexpr int kDraws = 20000;
+  const Zipfian skewed(kN, 0.99);
+  const Zipfian uniform(kN, 0.0);
+  Rng rs(5), ru(5);
+  int hotSkewed = 0;
+  int hotUniform = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    hotSkewed += skewed.next(rs) < 10 ? 1 : 0;
+    hotUniform += uniform.next(ru) < 10 ? 1 : 0;
+  }
+  // theta=0.99 puts >30% of the mass on the 10 hottest of 1000 ranks
+  // (analytically ~40%); uniform puts ~1% there.
+  EXPECT_GT(hotSkewed, kDraws * 30 / 100);
+  EXPECT_LT(hotUniform, kDraws * 5 / 100);
+}
+
+TEST(Zipfian, RankZeroIsTheHottestKey) {
+  const Zipfian z(64, 0.9);
+  Rng r(3);
+  std::vector<int> counts(64, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.next(r)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], counts[63] * 4);
+}
+
+TEST(Zipfian, SingleKeyAlwaysDrawsZero) {
+  const Zipfian z(1, 0.9);
+  Rng r(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(z.next(r), 0u);
+}
+
+TEST(ZipfianDeathTest, ThetaOneIsRejected) {
+  // The YCSB eta denominator vanishes at theta == 1.
+  EXPECT_DEATH((Zipfian(10, 1.0)), "check failed");
 }
 
 }  // namespace

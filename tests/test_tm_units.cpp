@@ -6,6 +6,11 @@
 // schedules without real concurrency.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
 #include "sim/memory_policy.hpp"
 #include "tm/global_lock_tm.hpp"
 #include "tm/mvcc_store.hpp"
@@ -429,6 +434,160 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, RuntimeTest,
                              if (c == '-') c = '_';
                            return n;
                          });
+
+// -------------------------------------------- version-chain depth (zipf)
+
+std::uint64_t counter(const TmRuntime& rt, const char* name) {
+  for (const TmRuntime::Counter& c : rt.telemetry()) {
+    if (std::string(c.name) == name) return c.value;
+  }
+  return 0;
+}
+
+/// Deterministic interleaved driver: one OS thread drives two ProcessIds,
+/// so an outer snapshot transaction on pid 0 observes exactly the nested
+/// commits pid 1 makes between its reads — no scheduler involved.  Returns
+/// (chain_reads, chain_steps) after the outer transaction re-reads the hot
+/// key through the version chain the nested writers grew on top of it.
+std::pair<std::uint64_t, std::uint64_t> chainDepthUnder(double theta,
+                                                        TmKind kind) {
+  constexpr std::size_t kN = 8;
+  constexpr int kNestedWrites = 12;
+  NativeMemory mem(runtimeMemoryWords(kind, kN));
+  auto tm = makeNativeRuntime(kind, mem, kN, 2);
+  const Zipfian zipf(kN, theta);
+  int outerRuns = 0;
+  tm->transaction(0, [&](TxContext& tx) {
+    // Read-only SI transactions cannot conflict-abort here (the ring is
+    // deep enough that the snapshot never goes "too old"); the guard
+    // documents that the nested writes run exactly once.
+    EXPECT_EQ(++outerRuns, 1);
+    (void)tx.read(0);  // pin the snapshot's view of the hot key
+    Rng rng(1234);
+    for (int i = 0; i < kNestedWrites; ++i) {
+      const auto x = static_cast<ObjectId>(zipf.next(rng));
+      tm->transaction(1, [&](TxContext& inner) {
+        inner.write(x, static_cast<Word>(i) + 100);
+      });
+    }
+    // The re-read must walk past every nested version of the hot key that
+    // is newer than this snapshot.
+    (void)tx.read(0);
+  });
+  return {counter(*tm, "chain_reads"), counter(*tm, "chain_steps")};
+}
+
+class MvccChainDepth : public ::testing::TestWithParam<TmKind> {};
+
+TEST_P(MvccChainDepth, ZipfianHotKeysGrowChainsPastOne) {
+  const auto [reads, steps] = chainDepthUnder(0.9, GetParam());
+  ASSERT_GT(reads, 0u);
+  // The satellite regression: under theta >= 0.9 the hot key accumulates
+  // versions, so the average chain walk exceeds one slot per read.
+  EXPECT_GT(static_cast<double>(steps) / static_cast<double>(reads), 1.0);
+}
+
+TEST_P(MvccChainDepth, SkewWalksDeeperChainsThanUniform) {
+  const auto [ur, us] = chainDepthUnder(0.0, GetParam());
+  const auto [zr, zs] = chainDepthUnder(0.99, GetParam());
+  ASSERT_GT(ur, 0u);
+  ASSERT_GT(zr, 0u);
+  // Same driver, same seed: skewed draws pile versions onto the key the
+  // snapshot re-reads, uniform draws scatter them across the ring.
+  EXPECT_GT(zs, us);
+}
+
+INSTANTIATE_TEST_SUITE_P(MvccKinds, MvccChainDepth,
+                         ::testing::Values(TmKind::kSnapshotIsolation,
+                                           TmKind::kSiSsn),
+                         [](const auto& info) {
+                           std::string n = tmKindName(info.param);
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+// ------------------------------------------------ commit-stamp ceiling
+
+/// The version clock lives at word 2n of the MVCC layout (see
+/// mvcc_store.hpp); poking it simulates a lifetime of commits without
+/// counting there.
+template <class Tm>
+void pokeClock(NativeMemory& mem, std::size_t numVars, Word value) {
+  mem.store(0, static_cast<Addr>(2 * numVars), value);
+}
+
+TEST(MvccClockCeiling, NearCeilingStampsStillCommitAndRead) {
+  NativeMemory mem(SiTm<NativeMemory>::memoryWords(kVars));
+  SiTm<NativeMemory> tm(mem, kVars);
+  auto t = tm.makeThread(0);
+  pokeClock<SiTm<NativeMemory>>(mem, kVars, SiTm<NativeMemory>::kClockCeiling - 8);
+  tm.txStart(t);
+  tm.txWrite(t, 1, 77);
+  EXPECT_TRUE(tm.txCommit(t));
+  tm.txStart(t);
+  EXPECT_EQ(*tm.txRead(t, 1), 77u);  // (ts << 1) packing survives
+  EXPECT_TRUE(tm.txCommit(t));
+  EXPECT_EQ(tm.ntRead(t, 1), 77u);
+}
+
+TEST(MvccClockCeiling, SsnWriteSkewVerdictUnchangedNearCeiling) {
+  // The write-skew exclusion window must behave identically whether the
+  // clock is fresh or one lifetime of commits old — pstamp/sstamp
+  // arithmetic has no wraparound slack below the ceiling.
+  auto runSkew = [](Word clockBase) {
+    NativeMemory mem(SiSsnTm<NativeMemory>::memoryWords(kVars));
+    SiSsnTm<NativeMemory> tm(mem, kVars);
+    if (clockBase != 0) pokeClock<SiSsnTm<NativeMemory>>(mem, kVars, clockBase);
+    auto a = tm.makeThread(0);
+    auto b = tm.makeThread(1);
+    tm.txStart(a);
+    tm.txStart(b);
+    (void)*tm.txRead(a, 0);
+    (void)*tm.txRead(b, 1);
+    tm.txWrite(a, 1, 1);
+    tm.txWrite(b, 0, 1);
+    const bool aOk = tm.txCommit(a);
+    const bool bOk = tm.txCommit(b);
+    return std::make_pair(aOk, bOk);
+  };
+  const auto fresh = runSkew(0);
+  const auto aged = runSkew(SiSsnTm<NativeMemory>::kClockCeiling - 100);
+  EXPECT_EQ(fresh, aged);
+  EXPECT_TRUE(fresh.first);
+  EXPECT_FALSE(fresh.second);  // SSN closes the skew either way
+}
+
+TEST(MvccClockCeilingDeathTest, CommitAtCeilingIsConvictedSi) {
+  NativeMemory mem(SiTm<NativeMemory>::memoryWords(kVars));
+  SiTm<NativeMemory> tm(mem, kVars);
+  auto t = tm.makeThread(0);
+  pokeClock<SiTm<NativeMemory>>(mem, kVars,
+                                SiTm<NativeMemory>::kClockCeiling - 1);
+  tm.txStart(t);
+  tm.txWrite(t, 0, 1);
+  EXPECT_DEATH((void)tm.txCommit(t), "check failed");
+}
+
+TEST(MvccClockCeilingDeathTest, CommitAtCeilingIsConvictedSsn) {
+  NativeMemory mem(SiSsnTm<NativeMemory>::memoryWords(kVars));
+  SiSsnTm<NativeMemory> tm(mem, kVars);
+  auto t = tm.makeThread(0);
+  pokeClock<SiSsnTm<NativeMemory>>(mem, kVars,
+                                   SiSsnTm<NativeMemory>::kClockCeiling - 1);
+  tm.txStart(t);
+  tm.txWrite(t, 0, 1);
+  EXPECT_DEATH((void)tm.txCommit(t), "check failed");
+}
+
+TEST(MvccClockCeilingDeathTest, NtWriteAtCeilingIsConvicted) {
+  NativeMemory mem(SiSsnTm<NativeMemory>::memoryWords(kVars));
+  SiSsnTm<NativeMemory> tm(mem, kVars);
+  auto t = tm.makeThread(0);
+  pokeClock<SiSsnTm<NativeMemory>>(mem, kVars,
+                                   SiSsnTm<NativeMemory>::kClockCeiling - 1);
+  EXPECT_DEATH(tm.ntWrite(t, 0, 1), "check failed");
+}
 
 }  // namespace
 }  // namespace jungle
