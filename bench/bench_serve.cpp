@@ -18,11 +18,16 @@
 // mon_drop_pct (events the sampled monitors dropped — 0 keeps the
 // overhead comparison honest).  violations must always read 0 here; a
 // nonzero value means a stock TM was convicted and the row is invalid.
+// Per-command-type end-to-end latency percentiles (<kind>_p50/p95/p99_us,
+// from the load generator's log2 histograms) quantify what sampling does
+// to tail latency, not just to throughput.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdint>
 #include <string>
 
+#include "common/histogram.hpp"
 #include "serve/load_gen.hpp"
 #include "serve/service.hpp"
 
@@ -49,6 +54,7 @@ void BM_Serve(benchmark::State& state) {
   std::uint64_t dropped = 0;
   std::uint64_t violations = 0;
   double acked = 0;
+  std::array<Log2Histogram, 4> latency;
 
   for (auto _ : state) {
     ServeOptions o;
@@ -70,6 +76,9 @@ void BM_Serve(benchmark::State& state) {
 
     state.SetIterationTime(r.seconds);
     acked += static_cast<double>(r.acked);
+    for (std::size_t i = 0; i < latency.size(); ++i) {
+      latency[i].merge(r.latencyUs[i]);
+    }
     committed += r.committed;
     failed += r.failed;
     const ServeStats& st = sv.stats();
@@ -102,6 +111,19 @@ void BM_Serve(benchmark::State& state) {
           : 100.0 * static_cast<double>(dropped) /
                 static_cast<double>(captured + dropped);
   state.counters["violations"] = static_cast<double>(violations);
+  // End-to-end ack latency per command type (open-loop client view;
+  // load_gen.hpp), merged across clients and iterations.
+  for (std::size_t i = 0; i < latency.size(); ++i) {
+    const Log2Histogram& h = latency[i];
+    if (h.count() == 0) continue;
+    const std::string kindName = cmdKindName(static_cast<jungle::serve::CmdKind>(i));
+    state.counters[kindName + "_p50_us"] =
+        static_cast<double>(h.percentile(0.50));
+    state.counters[kindName + "_p95_us"] =
+        static_cast<double>(h.percentile(0.95));
+    state.counters[kindName + "_p99_us"] =
+        static_cast<double>(h.percentile(0.99));
+  }
   state.SetLabel(std::string("Serve/") + tmKindName(kind) +
                  "/shards=" + std::to_string(shards) +
                  "/p=" + std::to_string(permille));

@@ -57,13 +57,18 @@ struct Env {
 };
 
 struct MonEnv : Env {
-  explicit MonEnv(TmKind kind, std::size_t shards = 1) : Env(kind) {
+  explicit MonEnv(TmKind kind, std::size_t shards = 1,
+                  unsigned collectorThreads = 1,
+                  std::size_t placementWindow = 4096)
+      : Env(kind) {
     monitor::MonitorOptions mo;
     // Bound collector stalls: an escalation that cannot decide quickly is
     // inconclusive (counted, never a violation) instead of wedging the
     // consumer for the default two seconds.
     mo.recheckTimeout = std::chrono::milliseconds(250);
     mo.shards = shards;
+    mo.collectorThreads = collectorThreads;
+    mo.placementWindow = placementWindow;
     mon = std::make_unique<monitor::TmMonitor>(*tm, 16, mo);
   }
   std::unique_ptr<monitor::TmMonitor> mon;
@@ -318,6 +323,106 @@ void BM_TransactionsMonitoredSharded(benchmark::State& state) {
   }
 }
 
+/// Like runLoop, but with a thread-affine key sampler: thread t draws
+/// variables whose taint bit (v mod 64) lies in its own 16-bit band
+/// [16t, 16t+16), across all kVars/64 bit-blocks.  Each transaction's
+/// footprint clusters inside one band — the structured-workload shape
+/// footprint placement is built for: mod-K stripes every band across all
+/// shards (each unit a K-way join), clustering co-locates each band.
+double runLoopAffine(benchmark::State& state, TmRuntime& rt,
+                     unsigned writePct) {
+  Rng rng(0x1234 + state.thread_index());
+  const auto pid = static_cast<ProcessId>(state.thread_index());
+  const std::size_t band =
+      16 * (static_cast<std::size_t>(state.thread_index()) % 4);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    rt.transaction(pid, [&](TxContext& tx) {
+      for (std::size_t i = 0; i < kTxLen; ++i) {
+        const auto x = static_cast<ObjectId>(64 * rng.below(kVars / 64) +
+                                             band + rng.below(16));
+        if (rng.chance(writePct, 100)) {
+          tx.write(x, rng() | (Word{1} << 63));
+        } else {
+          benchmark::DoNotOptimize(tx.read(x));
+        }
+      }
+    });
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return secs > 0.0
+             ? static_cast<double>(state.iterations() * kTxLen) / secs
+             : 0.0;
+}
+
+/// TxMonPlace — the placement experiment: the thread-affine workload
+/// above through the tree-merge collector (4 groups) and the K-sharded
+/// checker, with the bit→shard map either static mod-K (place=mod,
+/// placementWindow 0) or footprint-clustered (place=fc, the production
+/// default window).  cross_shard_join_pct mod vs fc at equal K is the
+/// routing win; placement_rebuilds/moves confirm the clustering engaged.
+void BM_TransactionsMonitoredPlaced(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  const bool clustered = state.range(2) != 0;
+  constexpr unsigned kWritePct = 50;
+  static std::atomic<MonEnv*> envSlot{nullptr};
+  static std::atomic<ThreadAgg*> aggSlot{nullptr};
+  if (state.thread_index() == 0) {
+    aggSlot.store(new ThreadAgg, std::memory_order_release);
+    envSlot.store(new MonEnv(kind, shards, /*collectorThreads=*/4,
+                             /*placementWindow=*/clustered ? 4096 : 0),
+                  std::memory_order_release);
+  }
+  MonEnv* env = awaitFixture(envSlot);
+  ThreadAgg* agg = awaitFixture(aggSlot);
+  const double ops = runLoopAffine(state, env->mon->runtime(), kWritePct);
+  state.SetItemsProcessed(state.iterations() * kTxLen);
+  aggregate(state, *agg, ops);
+  if (state.thread_index() == 0) {
+    env->mon->stop();
+    const monitor::MonitorStats& ms = env->mon->stats();
+    const double total =
+        static_cast<double>(ms.eventsCaptured + ms.eventsDropped);
+    state.counters["ring_drop_pct"] =
+        total > 0.0 ? 100.0 * static_cast<double>(ms.eventsDropped) / total
+                    : 0.0;
+    state.counters["monitor_violations"] =
+        static_cast<double>(env->mon->violations().size());
+    std::uint64_t routed = 0;
+    std::uint64_t joins = 0;
+    std::uint64_t taintSkips = 0;
+    for (const monitor::ShardStats& sh : ms.shards) {
+      routed += sh.unitsRouted;
+      joins += sh.crossShardJoins;
+      taintSkips += sh.stream.taintedWindowSkips;
+    }
+    state.counters["cross_shard_join_pct"] =
+        routed > 0 ? 100.0 * static_cast<double>(joins) /
+                         static_cast<double>(routed)
+                   : 0.0;
+    state.counters["taint_skips"] = static_cast<double>(taintSkips);
+    state.counters["placement_rebuilds"] =
+        static_cast<double>(ms.joiner.placementRebuilds);
+    state.counters["placement_moves"] =
+        static_cast<double>(ms.joiner.placementMoves);
+    state.counters["joiner_units"] =
+        static_cast<double>(ms.joiner.unitsRouted);
+    exportTelemetry(state, *env->tm);
+    state.SetLabel(std::string(tmKindName(kind)) + "/wr%=" +
+                   std::to_string(kWritePct) + "/K=" +
+                   std::to_string(shards) + "/place=" +
+                   (clustered ? "fc" : "mod") +
+                   "/dropped=" + std::to_string(ms.eventsDropped));
+    envSlot.store(nullptr, std::memory_order_release);
+    aggSlot.store(nullptr, std::memory_order_release);
+    delete env;
+    delete agg;
+  }
+}
+
 void registerAll() {
   for (TmKind kind : allTmKinds()) {
     // The kind name is part of the benchmark name (not just the label) so
@@ -368,6 +473,23 @@ void registerAll() {
                                      BM_TransactionsMonitoredSharded)
             ->Args({static_cast<long>(kind), writePct, shardCount})
             ->Threads(2)
+            ->UseRealTime();
+      }
+    }
+  }
+  // Placement sweep (EXPERIMENTS.md §5c): 4 producer threads with
+  // thread-affine key bands under the tree-merge collector; mod vs fc at
+  // each K compares static striping to footprint clustering on the same
+  // workload.  Two representative kinds keep the family small — the
+  // routing-layer comparison is TM-independent.
+  for (TmKind kind : {TmKind::kTl2Weak, TmKind::kSiSsn}) {
+    const std::string suffix = std::string("/") + tmKindName(kind);
+    for (long shardCount : {1, 2, 4}) {
+      for (long clustered : {0, 1}) {
+        benchmark::RegisterBenchmark(("TxMonPlace" + suffix).c_str(),
+                                     BM_TransactionsMonitoredPlaced)
+            ->Args({static_cast<long>(kind), shardCount, clustered})
+            ->Threads(4)
             ->UseRealTime();
       }
     }

@@ -8,6 +8,7 @@
 //                               [--batch N] [--max-tx-attempts N]
 //                               [--max-retries N] [--sample-permille P]
 //                               [--window-epochs N] [--checker-shards K]
+//                               [--collector-threads N]
 //                               [--ring-capacity N] [--seed N]
 //                               [--snapshot-dir DIR] [--inject-bug] [--json]
 //
@@ -105,6 +106,17 @@ void printText(const Options& o, const JungleServe& sv,
         "permille duty\n",
         o.serve.samplePermille, sv.sampledShards(), sv.dutyPermille());
   }
+  for (std::size_t k = 0; k < r.latencyUs.size(); ++k) {
+    const Log2Histogram& h = r.latencyUs[k];
+    if (h.count() == 0) continue;
+    std::printf(
+        "  latency %-3s: n=%llu p50=%lluus p95=%lluus p99=%lluus\n",
+        cmdKindName(static_cast<jungle::serve::CmdKind>(k)),
+        static_cast<unsigned long long>(h.count()),
+        static_cast<unsigned long long>(h.percentile(0.50)),
+        static_cast<unsigned long long>(h.percentile(0.95)),
+        static_cast<unsigned long long>(h.percentile(0.99)));
+  }
 }
 
 void printJson(const Options& o, const JungleServe& sv, const LoadReport& r,
@@ -130,7 +142,7 @@ void printJson(const Options& o, const JungleServe& sv, const LoadReport& r,
       "\"tmAborts\": %llu, \"backpressure\": %llu, "
       "\"monitoredEpochs\": %llu, \"monitoredCommands\": %llu, "
       "\"monitorEvents\": %llu, "
-      "\"monitorDrops\": %llu, \"violations\": %zu}\n",
+      "\"monitorDrops\": %llu, \"violations\": %zu, \"latencyUs\": {",
       ok ? "true" : "false", o.tm.c_str(), o.serve.shards,
       o.serve.executorsPerShard, o.serve.clients, o.serve.numKeys,
       o.load.zipfTheta, o.serve.samplePermille, sv.sampledShards(),
@@ -144,6 +156,21 @@ void printJson(const Options& o, const JungleServe& sv, const LoadReport& r,
       static_cast<unsigned long long>(monitoredCmds),
       static_cast<unsigned long long>(events),
       static_cast<unsigned long long>(drops), sv.totalViolations());
+  bool first = true;
+  for (std::size_t k = 0; k < r.latencyUs.size(); ++k) {
+    const Log2Histogram& h = r.latencyUs[k];
+    if (h.count() == 0) continue;
+    std::printf(
+        "%s\"%s\": {\"count\": %llu, \"p50\": %llu, \"p95\": %llu, "
+        "\"p99\": %llu}",
+        first ? "" : ", ", cmdKindName(static_cast<jungle::serve::CmdKind>(k)),
+        static_cast<unsigned long long>(h.count()),
+        static_cast<unsigned long long>(h.percentile(0.50)),
+        static_cast<unsigned long long>(h.percentile(0.95)),
+        static_cast<unsigned long long>(h.percentile(0.99)));
+    first = false;
+  }
+  std::printf("}}\n");
 }
 
 }  // namespace
@@ -196,6 +223,10 @@ int main(int argc, char** argv) {
       o.serve.sampleWindowEpochs = std::strtoul(v, nullptr, 10);
     } else if (const char* v = flagValue(argc, argv, i, "--checker-shards")) {
       o.serve.checkerShards = std::strtoul(v, nullptr, 10);
+    } else if (const char* v =
+                   flagValue(argc, argv, i, "--collector-threads")) {
+      o.serve.collectorThreads =
+          static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = flagValue(argc, argv, i, "--ring-capacity")) {
       o.serve.monitorRingCapacity = std::strtoul(v, nullptr, 10);
     } else if (const char* v = flagValue(argc, argv, i, "--seed")) {
@@ -215,6 +246,7 @@ int main(int argc, char** argv) {
                    "[--queue-capacity N] [--batch N] [--max-tx-attempts N] "
                    "[--max-retries N] [--sample-permille P] "
                    "[--window-epochs N] [--checker-shards K] "
+                   "[--collector-threads N] "
                    "[--ring-capacity N] [--seed N] [--snapshot-dir DIR] "
                    "[--inject-bug] [--json]\n");
       return 2;

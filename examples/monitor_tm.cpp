@@ -4,14 +4,20 @@
 //                             [--vars N] [--seed N] [--tx-pct P]
 //                             [--pace-us N] [--ring-capacity N]
 //                             [--gc-retain N] [--shards K]
+//                             [--collector-threads N]
+//                             [--placement-window N]
 //                             [--recheck-threads N] [--max-drop-pct P]
 //                             [--snapshot-dir DIR] [--inject-bug] [--json]
 //
-// --shards K checks the stream on K per-variable-group sub-checkers
-// (sharded_checker.hpp; K must divide 64); --recheck-threads N runs each
-// escalation's engine portfolio on N threads.  --json reports per-shard
-// telemetry (units routed, cross-shard joins, taint skips, escalation
-// latency) alongside the aggregate counters.
+// --shards K checks the stream on K per-variable-group sub-checkers plus
+// a cross-shard joiner (sharded_checker.hpp; K must divide 64);
+// --collector-threads N merges the rings through an N-worker two-level
+// tree (monitor.hpp); --placement-window N re-clusters variables onto
+// shards by observed co-access every N merged units (0 = static mod-K);
+// --recheck-threads N runs each escalation's engine portfolio on N
+// threads.  --json reports per-shard telemetry (units routed, cross-shard
+// joins, taint skips, escalation latency) plus the joiner/placement
+// counters alongside the aggregates.
 //
 // For each selected TM kind the tool attaches a TmMonitor (src/monitor/),
 // runs a random mixed workload on the instrumented wrapper, and reports the
@@ -60,6 +66,8 @@ struct Options {
   std::size_t ringCapacity = 1 << 14;
   std::size_t gcRetain = 8;
   std::size_t shards = 1;
+  unsigned collectorThreads = 1;
+  std::size_t placementWindow = 4096;
   unsigned recheckThreads = 1;
   double maxDropPct = 100.0;
   std::string snapshotDir;
@@ -83,6 +91,8 @@ RunRow runOne(TmKind kind, const Options& o) {
   mo.capture.ringCapacity = o.ringCapacity;
   mo.gcRetain = o.gcRetain;
   mo.shards = o.shards;
+  mo.collectorThreads = o.collectorThreads;
+  mo.placementWindow = o.placementWindow;
   mo.recheckThreads = o.recheckThreads;
   mo.snapshotDir = o.snapshotDir;
   if (o.injectBug) mo.capture.injectBug = InjectedBug::kCorruptTxRead;
@@ -153,6 +163,19 @@ void printText(const RunRow& r) {
           static_cast<unsigned long long>(sh.stream.suppressedVerdicts),
           static_cast<unsigned long long>(sh.stream.violations));
     }
+    const JoinerStats& j = s.joiner;
+    std::printf(
+        "  joiner: routed=%llu gaps=%llu restarts=%llu crossBits=%llu "
+        "rechecks=%llu violations=%llu | placement rebuilds=%llu "
+        "moves=%llu\n",
+        static_cast<unsigned long long>(j.unitsRouted),
+        static_cast<unsigned long long>(j.gapSignals),
+        static_cast<unsigned long long>(j.restarts),
+        static_cast<unsigned long long>(j.crossBits),
+        static_cast<unsigned long long>(j.stream.rechecks),
+        static_cast<unsigned long long>(j.stream.violations),
+        static_cast<unsigned long long>(j.placementRebuilds),
+        static_cast<unsigned long long>(j.placementMoves));
   }
 }
 
@@ -212,7 +235,22 @@ void printJson(const std::vector<RunRow>& rows, bool ok) {
           static_cast<unsigned long long>(sh.stream.escalationUsMax),
           static_cast<unsigned long long>(sh.stream.violations));
     }
-    std::printf("]}%s\n", i + 1 < rows.size() ? "," : "");
+    const JoinerStats& j = s.joiner;
+    std::printf(
+        "],\n     \"joiner\": {\"unitsRouted\": %llu, \"gapSignals\": "
+        "%llu, \"restarts\": %llu, \"crossBits\": %llu, \"rechecks\": "
+        "%llu, \"suppressedVerdicts\": %llu, \"violations\": %llu, "
+        "\"placementRebuilds\": %llu, \"placementMoves\": %llu}}%s\n",
+        static_cast<unsigned long long>(j.unitsRouted),
+        static_cast<unsigned long long>(j.gapSignals),
+        static_cast<unsigned long long>(j.restarts),
+        static_cast<unsigned long long>(j.crossBits),
+        static_cast<unsigned long long>(j.stream.rechecks),
+        static_cast<unsigned long long>(j.stream.suppressedVerdicts),
+        static_cast<unsigned long long>(j.stream.violations),
+        static_cast<unsigned long long>(j.placementRebuilds),
+        static_cast<unsigned long long>(j.placementMoves),
+        i + 1 < rows.size() ? "," : "");
   }
   std::printf("  ]\n}\n");
 }
@@ -251,6 +289,13 @@ int main(int argc, char** argv) {
       o.gcRetain = std::strtoul(v, nullptr, 10);
     } else if (const char* v = flagValue(argc, argv, i, "--shards")) {
       o.shards = std::strtoul(v, nullptr, 10);
+    } else if (const char* v =
+                   flagValue(argc, argv, i, "--collector-threads")) {
+      o.collectorThreads =
+          static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v =
+                   flagValue(argc, argv, i, "--placement-window")) {
+      o.placementWindow = std::strtoul(v, nullptr, 10);
     } else if (const char* v = flagValue(argc, argv, i, "--recheck-threads")) {
       o.recheckThreads =
           static_cast<unsigned>(std::strtoul(v, nullptr, 10));
@@ -268,6 +313,7 @@ int main(int argc, char** argv) {
           "usage: monitor_tm [--tm NAME|all] [--threads N] [--ops N] "
           "[--vars N] [--seed N] [--tx-pct P] [--pace-us N] "
           "[--ring-capacity N] [--gc-retain N] [--shards K] "
+          "[--collector-threads N] [--placement-window N] "
           "[--recheck-threads N] [--max-drop-pct P] "
           "[--snapshot-dir DIR] [--inject-bug] [--json]\n");
       return 2;
@@ -278,6 +324,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--shards must divide 64 (got %zu)\n", o.shards);
     return 2;
   }
+  if (o.collectorThreads < 1) o.collectorThreads = 1;
   if (o.recheckThreads < 1) o.recheckThreads = 1;
   if (o.injectBug && !o.paceSet) {
     // Self-test default: stay drop-free so a conviction is honestly

@@ -1,0 +1,68 @@
+// Fixed-bucket log2 latency histogram: 64 buckets, bucket b counting
+// samples v with bit_width(v) == b (bucket 0 holds v == 0), so the range
+// [1, 2^63) is covered with one increment per record and no allocation.
+// Percentile queries interpolate linearly inside the winning bucket's
+// [2^(b-1), 2^b) span — a bounded-relative-error estimate that is plenty
+// for p50/p95/p99 reporting (values are microseconds in the serve bench).
+// Single-writer; merge() folds per-client histograms into a report.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace jungle {
+
+class Log2Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t v) {
+    // bit_width is 64 for v >= 2^63; clamp those into the top bucket.
+    const std::size_t b = std::bit_width(v);
+    ++buckets_[b < kBuckets ? b : kBuckets - 1];
+    ++count_;
+  }
+
+  void merge(const Log2Histogram& other) {
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t bucket(std::size_t b) const { return buckets_[b]; }
+
+  /// Smallest value estimate at or above fraction `p` (0 < p <= 1) of the
+  /// recorded samples; 0 when empty.  Rank walk over the buckets, linear
+  /// interpolation within the winning bucket's value span.
+  std::uint64_t percentile(double p) const {
+    if (count_ == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    // Rank of the target sample, 1-based, at least 1.
+    auto rank = static_cast<std::uint64_t>(p * static_cast<double>(count_));
+    if (rank == 0) rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      if (seen + buckets_[b] < rank) {
+        seen += buckets_[b];
+        continue;
+      }
+      if (b == 0) return 0;
+      const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+      const std::uint64_t span = lo;  // bucket covers [lo, 2*lo)
+      const double within = static_cast<double>(rank - seen) /
+                            static_cast<double>(buckets_[b]);
+      return lo + static_cast<std::uint64_t>(within *
+                                             static_cast<double>(span - 1));
+    }
+    return std::uint64_t{1} << (kBuckets - 1);
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace jungle

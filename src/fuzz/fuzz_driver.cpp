@@ -267,12 +267,15 @@ void runScheduleDiffIteration(const FuzzOptions& opts, std::uint64_t iter,
 /// monitor convicted and a failure was recorded.
 bool runMonitorOnce(const FuzzOptions& opts, std::uint64_t iter,
                     const TmClaim& claim, const monitor::WorkloadOptions& w,
-                    std::size_t shards, FuzzReport& report) {
+                    std::size_t shards, unsigned collectorThreads,
+                    std::size_t placementWindow, FuzzReport& report) {
   NativeMemory mem(runtimeMemoryWords(claim.kind, w.numVars));
   const auto tm = makeNativeRuntime(claim.kind, mem, w.numVars, w.threads);
   monitor::MonitorOptions mo;
   mo.recheckTimeout = opts.traceCheckTimeout;
   mo.shards = shards;
+  mo.collectorThreads = collectorThreads;
+  mo.placementWindow = placementWindow;
   monitor::TmMonitor mon(*tm, w.threads, mo);
   monitor::runMonitoredWorkload(mon.runtime(), w);
   mon.stop();
@@ -330,15 +333,23 @@ void runMonitorIteration(const FuzzOptions& opts, std::uint64_t iter,
   // a sharded conviction without a serial one (or vice versa) is a bug
   // in the routing/taint/join layer itself.
   const std::size_t shards = rng.below(2) == 0 ? 1 : (rng.below(2) == 0 ? 2 : 4);
+  // Collector tree width and placement cadence ride along: half the runs
+  // use the grouped tree merge, and a deliberately small rebuild window
+  // exercises mid-stream placement moves (the serial reference leg below
+  // stays single-collector mod-K — it is the baseline being compared to).
+  const unsigned collectorThreads =
+      rng.below(2) == 0 ? 1u : static_cast<unsigned>(2 + 2 * rng.below(2));
+  const std::size_t placementWindow = rng.below(2) == 0 ? 0 : 64;
 
   ++report.monitorRuns;
-  const bool shardedConvicted =
-      runMonitorOnce(opts, iter, claim, w, shards, report);
+  const bool shardedConvicted = runMonitorOnce(
+      opts, iter, claim, w, shards, collectorThreads, placementWindow, report);
   if (shards == 1) return;
 
   ++report.monitorShardedRuns;
   const bool serialConvicted =
-      runMonitorOnce(opts, iter, claim, w, /*shards=*/1, report);
+      runMonitorOnce(opts, iter, claim, w, /*shards=*/1,
+                     /*collectorThreads=*/1, /*placementWindow=*/0, report);
   if (shardedConvicted == serialConvicted) return;
 
   // Verdict disagreement between the sharded and serial checkers on the

@@ -86,7 +86,7 @@ TmMonitor::TmMonitor(TmRuntime& inner, std::size_t maxProcs,
       monitored_(makeMonitoredRuntime(inner, capture_)),
       checker_(streamOptsFor(opts, model_,
                              monitorModelFor(inner.kind()).condition),
-               opts.shards == 0 ? 1 : opts.shards),
+               opts.shards == 0 ? 1 : opts.shards, opts.placementWindow),
       startedAt_(std::chrono::steady_clock::now()) {
   collector_ = std::thread([this] { collectorLoop(); });
 }
@@ -95,18 +95,30 @@ TmMonitor::~TmMonitor() { stop(); }
 
 void TmMonitor::collectorLoop() {
   const std::size_t procs = capture_.procs();
+  // Two-level merge tree: rings are split into `groups` leaf groups (ring
+  // p belongs to group p % groups, a fixed assignment), each drained and
+  // leaf-merged into a group-local epoch min-heap by a worker task; the
+  // collector thread then runs the root merge — repeatedly emitting the
+  // globally smallest group head below the frontier — so the stream the
+  // checker sees is byte-identical to the single-thread collector's.
+  // groups == 1 degenerates to exactly the old single-heap code, inline.
+  const std::size_t groups = std::max<std::size_t>(
+      1, std::min<std::size_t>(opts_.collectorThreads, procs));
+  std::unique_ptr<ThreadPool> pool;
+  if (groups > 1) pool = std::make_unique<ThreadPool>(groups);
   // Per-producer unit assembly (units are ring-aligned: pushes are
   // all-or-nothing, so an assembly is only ever partial mid-drain).
   std::vector<std::vector<MonitorEvent>> assembly(procs);
-  // Parsed units above the merge frontier, min-heap by epoch.
-  std::vector<StreamUnit> pending;
+  // Parsed units above the merge frontier: per-group min-heaps by epoch.
+  std::vector<std::vector<StreamUnit>> pending(groups);
   // Gap bookkeeping (all from the producers' kGapMarker units, which carry
   // the exact drop count at the gap's ring position and the ring's
   // cumulative drop-taint mask — consumer-side counter reads cannot place
   // a gap, they may already include later drops).  A popped marker arms
   // `ringGapPending`; the next real unit from that ring is marked
   // gapBefore and carries the marker's count + taint; feeding it records
-  // the count in `ringDropsCovered`.
+  // the count in `ringDropsCovered`.  All per-RING state is only touched
+  // by the ring's (fixed) owning group, so workers never contend.
   std::vector<std::uint8_t> ringGapPending(procs, 0);
   std::vector<std::uint64_t> ringPendingCover(procs, 0);
   std::vector<std::uint64_t> ringPendingTaint(procs, 0);
@@ -114,58 +126,26 @@ void TmMonitor::collectorLoop() {
   // Per-ring drop counts already announced to the checker (noteDrops with
   // the ring's taint mask when the counter moves).
   std::vector<std::uint64_t> ringDropsSeen(procs, 0);
-  // Gap-marked units sitting in `pending`; while any exist (or a drop has
+  // Per-group round results, read by the root after the barrier: gap-
+  // marked units pushed, and whether the group made any progress.
+  std::vector<std::size_t> groupGapsAdded(groups, 0);
+  std::vector<std::uint8_t> groupProgress(groups, 0);
+  // Gap-marked units sitting in the heaps; while any exist (or a drop has
   // no fed gap-marked successor yet) violation verdicts are suppressed on
   // the shards their taint touches.
   std::size_t gapsInFlight = 0;
   std::uint64_t idleRounds = 0;
 
-  const auto emit = [&] {
-    std::pop_heap(pending.begin(), pending.end(), EpochAfter{});
-    StreamUnit u = std::move(pending.back());
-    pending.pop_back();
-    if (u.gapBefore) {
-      --gapsInFlight;
-      ringDropsCovered[u.pid] = u.dropsCovered;
-    }
-    ++stats_.unitsMerged;
-    checker_.feed(std::move(u));
-  };
-
-  // Taint union of every drop that has no fed gap-marked successor yet —
-  // either its marker is still in flight (heap or ring side), or the ring
-  // went quiet right after the drop and it never gets one.  Shards whose
-  // variables this union misses may keep convicting (per-variable taint);
-  // reading the drop counter (acquire) before the mask keeps the mask a
-  // superset of the counted drops' footprints.
-  const auto suspectTaint = [&]() -> std::uint64_t {
-    std::uint64_t taint = 0;
-    for (const StreamUnit& u : pending) {
-      if (u.gapBefore) taint |= u.taintMask;
-    }
-    for (std::size_t p = 0; p < procs; ++p) {
-      if (ringGapPending[p]) taint |= ringPendingTaint[p];
-      const EventRing& r = capture_.ring(p);
-      if (r.droppedUnits() != ringDropsCovered[p]) taint |= r.taintMask();
-    }
-    return taint;
-  };
-
-  while (true) {
-    // Protocol order matters (event_ring.hpp): counter snapshot, then the
-    // announcements, then the drain — any unit invisible to this round's
-    // drain has an epoch >= this frontier.
-    std::uint64_t frontier = capture_.ticketWatermark();
-    for (std::size_t p = 0; p < procs; ++p) {
-      const std::uint64_t a = capture_.ring(p).flushEpoch();
-      if (a != kNoEpoch && a < frontier) frontier = a;
-    }
-    bool progress = false;
-    for (std::size_t p = 0; p < procs; ++p) {
+  // Leaf merge: drain every ring of group g into its heap.  Consecutive
+  // rounds may run a group's task on different pool threads; the pool's
+  // submit/wait synchronization orders round r's pops before round r+1's,
+  // so each SPSC ring still has one consumer at a time.
+  const auto drainGroup = [&](std::size_t g) {
+    for (std::size_t p = g; p < procs; p += groups) {
       EventRing& ring = capture_.ring(p);
       MonitorEvent ev;
       while (ring.tryPop(ev)) {
-        progress = true;
+        groupProgress[g] = 1;
         if (ev.kind == EventKind::kGapMarker) {
           // Standalone meta-unit: never fed, only remembered.  Markers are
           // pushed between real units, so the assembly must be empty.
@@ -194,16 +174,92 @@ void TmMonitor::collectorLoop() {
             u.gapBefore = true;
             u.dropsCovered = ringPendingCover[p];
             u.taintMask = ringPendingTaint[p];
-            ++gapsInFlight;
+            ++groupGapsAdded[g];
           }
           u.events = std::move(assembly[p]);
           assembly[p].clear();
-          pending.push_back(std::move(u));
-          std::push_heap(pending.begin(), pending.end(), EpochAfter{});
+          pending[g].push_back(std::move(u));
+          std::push_heap(pending[g].begin(), pending[g].end(), EpochAfter{});
         }
       }
     }
-    stats_.peakPendingUnits = std::max(stats_.peakPendingUnits, pending.size());
+  };
+
+  // Root merge step: emit the globally smallest pending unit.  Each
+  // group's heap front is its minimum; the cross-group minimum is the
+  // global one, so emission preserves ascending start-ticket order.
+  const auto minGroup = [&]() -> std::size_t {
+    std::size_t best = groups;
+    for (std::size_t g = 0; g < groups; ++g) {
+      if (pending[g].empty()) continue;
+      if (best == groups ||
+          pending[g].front().epoch < pending[best].front().epoch) {
+        best = g;
+      }
+    }
+    return best;  // == groups when every heap is empty
+  };
+  const auto emitFrom = [&](std::size_t g) {
+    std::pop_heap(pending[g].begin(), pending[g].end(), EpochAfter{});
+    StreamUnit u = std::move(pending[g].back());
+    pending[g].pop_back();
+    if (u.gapBefore) {
+      --gapsInFlight;
+      ringDropsCovered[u.pid] = u.dropsCovered;
+    }
+    ++stats_.unitsMerged;
+    checker_.feed(std::move(u));
+  };
+
+  // Taint union of every drop that has no fed gap-marked successor yet —
+  // either its marker is still in flight (heap or ring side), or the ring
+  // went quiet right after the drop and it never gets one.  Shards whose
+  // variables this union misses may keep convicting (per-variable taint);
+  // reading the drop counter (acquire) before the mask keeps the mask a
+  // superset of the counted drops' footprints.
+  const auto suspectTaint = [&]() -> std::uint64_t {
+    std::uint64_t taint = 0;
+    for (const std::vector<StreamUnit>& heap : pending) {
+      for (const StreamUnit& u : heap) {
+        if (u.gapBefore) taint |= u.taintMask;
+      }
+    }
+    for (std::size_t p = 0; p < procs; ++p) {
+      if (ringGapPending[p]) taint |= ringPendingTaint[p];
+      const EventRing& r = capture_.ring(p);
+      if (r.droppedUnits() != ringDropsCovered[p]) taint |= r.taintMask();
+    }
+    return taint;
+  };
+
+  while (true) {
+    // Protocol order matters (event_ring.hpp): counter snapshot, then the
+    // announcements, then the drain — any unit invisible to this round's
+    // drain has an epoch >= this frontier.
+    std::uint64_t frontier = capture_.ticketWatermark();
+    for (std::size_t p = 0; p < procs; ++p) {
+      const std::uint64_t a = capture_.ring(p).flushEpoch();
+      if (a != kNoEpoch && a < frontier) frontier = a;
+    }
+    // Fork the leaf merges, barrier, then fold the per-group results.
+    if (pool) {
+      for (std::size_t g = 0; g < groups; ++g) {
+        pool->submit([&drainGroup, g] { drainGroup(g); });
+      }
+      pool->wait();
+    } else {
+      drainGroup(0);
+    }
+    bool progress = false;
+    std::size_t pendingTotal = 0;
+    for (std::size_t g = 0; g < groups; ++g) {
+      if (groupProgress[g]) progress = true;
+      groupProgress[g] = 0;
+      gapsInFlight += groupGapsAdded[g];
+      groupGapsAdded[g] = 0;
+      pendingTotal += pending[g].size();
+    }
+    stats_.peakPendingUnits = std::max(stats_.peakPendingUnits, pendingTotal);
     for (std::size_t p = 0; p < procs; ++p) {
       const EventRing& r = capture_.ring(p);
       const std::uint64_t drops = r.droppedUnits();  // acquire, before mask
@@ -216,8 +272,9 @@ void TmMonitor::collectorLoop() {
     // Direct per-shard state writes are safe here: the shards are only
     // active inside pump(), which has not started this round.
     checker_.setDropSuspect(suspectTaint());
-    while (!pending.empty() && pending.front().epoch < frontier) {
-      emit();
+    for (std::size_t g = minGroup();
+         g != groups && pending[g].front().epoch < frontier; g = minGroup()) {
+      emitFrom(g);
       progress = true;
     }
     // Run this round's routed work (one task per touched shard; barrier).
@@ -229,7 +286,7 @@ void TmMonitor::collectorLoop() {
     if (stopRequested_.load(std::memory_order_acquire)) break;
     ++idleRounds;
     // A confirmed conviction is only published at a quiescent instant:
-    // merge heap empty, every assembly empty, no gap uncovered, no flush
+    // merge heaps empty, every assembly empty, no gap uncovered, no flush
     // announcement active, and — re-checked *after* the announcement
     // reads, so a push racing the drain is caught either by its still-set
     // announcement or by the ring no longer being empty — every ring still
@@ -239,7 +296,10 @@ void TmMonitor::collectorLoop() {
     // drop (the hole counter-based gating cannot see, stream_checker.hpp).
     if (checker_.hasPendingConviction()) {
       const auto quiescent = [&] {
-        if (!pending.empty() || gapsInFlight > 0) return false;
+        if (gapsInFlight > 0) return false;
+        for (const std::vector<StreamUnit>& heap : pending) {
+          if (!heap.empty()) return false;
+        }
         for (std::size_t p = 0; p < procs; ++p) {
           if (!assembly[p].empty() || ringGapPending[p]) return false;
         }
@@ -267,7 +327,7 @@ void TmMonitor::collectorLoop() {
 
   // Producers are quiescent: no announcement is in flight and the counter
   // is final, so everything parsed can be emitted in epoch order.
-  while (!pending.empty()) emit();
+  for (std::size_t g = minGroup(); g != groups; g = minGroup()) emitFrom(g);
   for (std::size_t p = 0; p < procs; ++p) JUNGLE_CHECK(assembly[p].empty());
   checker_.pump();
   // Trailing drops with no successor unit stay unresolved forever: the
@@ -296,6 +356,7 @@ void TmMonitor::stop() {
           : 0.0;
   stats_.stream = checker_.stats();
   stats_.shards = checker_.shardStats();
+  stats_.joiner = checker_.joinerStats();
   violations_ = checker_.violations();
   persistViolations();
 }

@@ -1,10 +1,12 @@
 // TmMonitor: always-on runtime verification for live TM runtimes.
 //
 // Attach a monitor to any TmRuntime and drive the monitored wrapper it
-// hands back; while the workload runs, a collector thread merges the
-// per-thread event rings into one epoch-ordered stream and an incremental
-// checker (stream_checker.hpp) verifies it against the model the TM kind
-// claims — the same claims the fuzz harness and the conformance theorems
+// hands back; while the workload runs, the collector merges the
+// per-thread event rings into one epoch-ordered stream — single-threaded
+// by default, or as a two-level merge tree (ring groups leaf-merged by
+// collectorThreads workers, root merge preserving the global start-ticket
+// order) — and an incremental checker (stream_checker.hpp) verifies it
+// against the model the TM kind claims — the same claims the fuzz harness and the conformance theorems
 // use (Theorems 3-5, §6.1).  On a conclusive violation the window is
 // delta-shrunk and persisted as a .hist repro that check_history and the
 // litmus tooling can replay.
@@ -57,10 +59,19 @@ struct MonitorOptions {
   /// runs the escalation's serialization-order branches in parallel.
   unsigned recheckThreads = 1;
   /// Checker shards (sharded_checker.hpp): variables are partitioned
-  /// v mod shards, each group checked by its own StreamChecker (on a
-  /// thread pool when > 1).  Must divide 64.  1 = the serial checker
-  /// plus per-variable drop taint.
+  /// across shards (footprint-clustered placement, mod-K fallback), each
+  /// group checked by its own StreamChecker (on a thread pool when > 1).
+  /// Must divide 64.  1 = the serial checker plus per-variable drop taint.
   std::size_t shards = 1;
+  /// Placement rebuild cadence in merged units (sharded_checker.hpp):
+  /// every this many units the router re-clusters variables by observed
+  /// co-access so co-accessed variables share a shard.  0 = static mod-K.
+  std::size_t placementWindow = 4096;
+  /// Collector ingest workers: rings are split into this many groups,
+  /// each drained and leaf-merged by a worker, with the collector thread
+  /// running the root merge (two-level tree).  1 = the single-thread
+  /// collector.  Clamped to the producer count.
+  unsigned collectorThreads = 1;
   /// Collector sleep when a full round found nothing to do.
   std::chrono::microseconds pollInterval{50};
   /// Directory for violation .hist snapshots; empty disables persistence.
@@ -88,6 +99,8 @@ struct MonitorStats {
   StreamStats stream;
   /// Per-shard routing + checking telemetry (size = MonitorOptions.shards).
   std::vector<ShardStats> shards;
+  /// Cross-shard joiner + placement telemetry (inert when shards == 1).
+  JoinerStats joiner;
 };
 
 /// One monitor per runtime: construction starts the collector; stop()

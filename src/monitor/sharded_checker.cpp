@@ -1,5 +1,7 @@
 #include "monitor/sharded_checker.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "common/check.hpp"
@@ -12,7 +14,7 @@ std::uint64_t shardTaintBits(std::size_t s, std::size_t k) {
   return bits;
 }
 
-StreamUnit projectUnit(const StreamUnit& u, std::size_t s, std::size_t k) {
+StreamUnit projectUnitOntoBits(const StreamUnit& u, std::uint64_t bits) {
   StreamUnit out;
   out.kind = u.kind;
   out.pid = u.pid;
@@ -22,15 +24,153 @@ StreamUnit projectUnit(const StreamUnit& u, std::size_t s, std::size_t k) {
   out.taintMask = u.taintMask;
   out.events.reserve(u.events.size());
   for (const MonitorEvent& e : u.events) {
-    if (e.obj == kNoObject || shardOfVar(e.obj, k) == s) {
+    if (e.obj == kNoObject || (eventTaintBits(e) & bits) != 0) {
       out.events.push_back(e);
     }
   }
   return out;
 }
 
+StreamUnit projectUnit(const StreamUnit& u, std::size_t s, std::size_t k) {
+  return projectUnitOntoBits(u, shardTaintBits(s, k));
+}
+
+// ------------------------------------------------- FootprintPlacement
+
+FootprintPlacement::FootprintPlacement(std::size_t shards,
+                                       std::size_t rebuildWindow)
+    : shards_(shards), window_(rebuildWindow), bits_(shards, 0) {
+  for (std::size_t b = 0; b < 64; ++b) {
+    owner_[b] = static_cast<std::uint8_t>(b % shards_);
+    parent_[b] = static_cast<std::uint8_t>(b);
+    clusterBits_[b] = 1;
+    bits_[owner_[b]] |= 1ULL << b;
+  }
+}
+
+std::size_t FootprintPlacement::find(std::size_t b) {
+  while (parent_[b] != b) {
+    parent_[b] = parent_[parent_[b]];  // path halving
+    b = parent_[b];
+  }
+  return b;
+}
+
+void FootprintPlacement::observe(std::uint64_t footprint) {
+  if (window_ == 0) return;
+  ++observed_;
+  if (footprint == 0) return;
+  // Cap clusters at the per-shard bit budget so a balanced assignment
+  // always exists; a rejected union just leaves the bits in separate
+  // clusters (occasional cross-cluster accesses stay cross-shard joins
+  // instead of collapsing everything into one mega-cluster).
+  const std::size_t cap = 64 / shards_;
+  std::size_t first = 64;
+  for (std::size_t b = 0; b < 64; ++b) {
+    if (((footprint >> b) & 1) == 0) continue;
+    ++weight_[b];
+    if (first == 64) {
+      first = b;
+      continue;
+    }
+    const std::size_t ra = find(first);
+    const std::size_t rb = find(b);
+    if (ra == rb) continue;
+    if (clusterBits_[ra] + clusterBits_[rb] > cap) continue;
+    parent_[rb] = static_cast<std::uint8_t>(ra);
+    clusterBits_[ra] =
+        static_cast<std::uint8_t>(clusterBits_[ra] + clusterBits_[rb]);
+  }
+}
+
+std::size_t FootprintPlacement::rebuild() {
+  ++rebuilds_;
+  observed_ = 0;
+  // Gather this window's clusters.
+  std::array<std::uint64_t, 64> cbits{};
+  std::array<std::uint64_t, 64> cweight{};
+  for (std::size_t b = 0; b < 64; ++b) {
+    const std::size_t r = find(b);
+    cbits[r] |= 1ULL << b;
+    cweight[r] += weight_[b];
+  }
+  std::array<std::uint8_t, 64> next{};
+  std::vector<std::uint64_t> load(shards_, 0);
+  // Estimated per-bit traffic this window, used to charge unobserved bits
+  // below: an absent producer (drop-starved for a whole window) will
+  // likely come back, so its parked bits must count as load or a fresh
+  // cluster lands on top of them and evicts them next window.
+  std::uint64_t totalW = 0;
+  std::size_t observedBits = 0;
+  for (std::size_t b = 0; b < 64; ++b) {
+    totalW += weight_[b];
+    if (weight_[b] > 0) ++observedBits;
+  }
+  const std::uint64_t perBit = observedBits > 0 ? totalW / observedBits : 0;
+  // Singletons observed this window with no surviving co-access go to the
+  // mod-K home — with no co-access at all the placement is exactly mod-K.
+  // Singletons NOT observed this window keep their current owner: a burst-
+  // heavy window says nothing about an absent bit, and bouncing it home
+  // and back would churn the shard checkers with resyncs every rebuild.
+  std::vector<std::pair<std::uint64_t, std::size_t>> clusters;
+  for (std::size_t r = 0; r < 64; ++r) {
+    if (cbits[r] == 0) continue;
+    if (std::popcount(cbits[r]) == 1) {
+      const bool seen = weight_[r] > 0;
+      const auto home =
+          seen ? static_cast<std::uint8_t>(r % shards_) : owner_[r];
+      next[r] = home;
+      load[home] += seen ? cweight[r] : perBit;
+    } else {
+      clusters.emplace_back(cweight[r], r);
+    }
+  }
+  // Heaviest clusters first onto the least-loaded shard; ties prefer the
+  // shard already owning most of the cluster's bits (placement stability),
+  // then the lowest index (determinism).
+  std::sort(clusters.begin(), clusters.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  for (const auto& [w, r] : clusters) {
+    std::size_t best = 0;
+    int bestOverlap = -1;
+    for (std::size_t s = 0; s < shards_; ++s) {
+      const int overlap = std::popcount(cbits[r] & bits_[s]);
+      if (s == 0 || load[s] < load[best] ||
+          (load[s] == load[best] && overlap > bestOverlap)) {
+        best = s;
+        bestOverlap = overlap;
+      }
+    }
+    for (std::size_t b = 0; b < 64; ++b) {
+      if ((cbits[r] >> b) & 1) next[b] = static_cast<std::uint8_t>(best);
+    }
+    load[best] += w;
+  }
+  std::size_t moved = 0;
+  for (std::size_t b = 0; b < 64; ++b) {
+    if (next[b] != owner_[b]) ++moved;
+  }
+  moves_ += moved;
+  owner_ = next;
+  std::fill(bits_.begin(), bits_.end(), 0);
+  for (std::size_t b = 0; b < 64; ++b) {
+    bits_[owner_[b]] |= 1ULL << b;
+    parent_[b] = static_cast<std::uint8_t>(b);
+    clusterBits_[b] = 1;
+    weight_[b] = 0;
+  }
+  return moved;
+}
+
+// ---------------------------------------------- ShardedStreamChecker
+
 ShardedStreamChecker::ShardedStreamChecker(const StreamOptions& opts,
-                                           std::size_t shards) {
+                                           std::size_t shards,
+                                           std::size_t placementWindow)
+    : opts_(opts), placement_(shards, shards > 1 ? placementWindow : 0) {
   JUNGLE_CHECK(shards >= 1);
   JUNGLE_CHECK(64 % shards == 0);
   checkers_.reserve(shards);
@@ -39,8 +179,84 @@ ShardedStreamChecker::ShardedStreamChecker(const StreamOptions& opts,
   }
   queues_.resize(shards);
   routing_.resize(shards);
+  placementBits_.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    placementBits_[s] = placement_.ownedBits(s);
+  }
   if (shards > 1) {
     pool_ = std::make_unique<ThreadPool>(static_cast<unsigned>(shards));
+    // The joiner checks a suffix of the execution from each (re)start, so
+    // it must adopt unknown state from first reads rather than assume the
+    // initial zeros it never witnessed.
+    StreamOptions jo = opts_;
+    jo.startUnknown = true;
+    joiner_ = std::make_unique<StreamChecker>(jo);
+  }
+}
+
+std::uint64_t ShardedStreamChecker::shardMaskOf(std::uint64_t footprint) const {
+  std::uint64_t mask = 0;
+  for (std::size_t s = 0; s < placementBits_.size(); ++s) {
+    if (footprint & placementBits_[s]) mask |= 1ULL << s;
+  }
+  return mask;
+}
+
+std::size_t ShardedStreamChecker::backlogCap() const {
+  // Matches the escalation reach of a serial window (cooldownSpan): any
+  // cross-shard cycle young enough that a serial checker's window could
+  // still hold it survives a joiner restart via the replay.
+  return opts_.gcRetain + 2 * opts_.settleUnits + 1;
+}
+
+void ShardedStreamChecker::enqueueJoinerProjection(const StreamUnit& u) {
+  const bool tainted = u.gapBefore && (u.taintMask & crossBits_) != 0;
+  StreamUnit proj = projectUnitOntoBits(u, crossBits_);
+  proj.gapBefore = tainted;
+  ++joinerTelemetry_.unitsRouted;
+  if (tainted) {
+    ++joinerTelemetry_.gapSignals;
+  } else if (u.gapBefore) {
+    Cmd skip;
+    skip.kind = Cmd::Kind::kTaintSkip;
+    joinerQueue_.push_back(std::move(skip));
+  }
+  Cmd c;
+  c.kind = Cmd::Kind::kUnit;
+  c.unit = std::move(proj);
+  joinerQueue_.push_back(std::move(c));
+}
+
+void ShardedStreamChecker::growJoiner(std::uint64_t bits) {
+  crossBits_ |= bits;
+  ++joinerTelemetry_.restarts;
+  // Restarting abandons the old joiner's in-flight window (its variable
+  // set is stale); its published violations and counters are harvested.
+  mergeStreamStats(joinerStatsAcc_, joiner_->stats());
+  for (const MonitorViolation& v : joiner_->violations()) {
+    joinerViolations_.push_back(v);
+  }
+  StreamOptions jo = opts_;
+  jo.startUnknown = true;
+  joiner_ = std::make_unique<StreamChecker>(jo);
+  // Undrained queue entries are projections onto the old bit set; the
+  // backlog replay below re-delivers those same units (a contiguous
+  // suffix of the stream) projected onto the grown set.
+  joinerQueue_.clear();
+  for (const BacklogEntry& e : backlog_) {
+    if (e.dropMaskBefore & crossBits_) {
+      ++joinerTelemetry_.gapSignals;
+      Cmd g;
+      g.kind = Cmd::Kind::kGap;
+      joinerQueue_.push_back(std::move(g));
+    }
+    if (e.footprint & crossBits_) enqueueJoinerProjection(e.unit);
+  }
+  if (pendingBacklogDropMask_ & crossBits_) {
+    ++joinerTelemetry_.gapSignals;
+    Cmd g;
+    g.kind = Cmd::Kind::kGap;
+    joinerQueue_.push_back(std::move(g));
   }
 }
 
@@ -48,12 +264,61 @@ void ShardedStreamChecker::feed(StreamUnit unit) {
   const std::size_t k = shards();
   std::uint64_t footprint = 0;
   for (const MonitorEvent& e : unit.events) footprint |= eventTaintBits(e);
-  std::size_t touched = 0;
-  for (std::size_t s = 0; s < k; ++s) {
-    if (footprint & shardTaintBits(s, k)) ++touched;
+
+  if (k > 1) {
+    placement_.observe(footprint);
+    if (placement_.rebuildDue() && placement_.rebuild() > 0) {
+      // Ownership moved: every shard's per-object stream restarts under
+      // the new map.  A gap signal per shard resyncs and cools down the
+      // checkers (post-resync adoption re-learns state), and the per-pid
+      // shard-switch tracking restarts so the transition cannot fake
+      // joiner growth.
+      for (std::size_t s = 0; s < k; ++s) {
+        Cmd g;
+        g.kind = Cmd::Kind::kGap;
+        queues_[s].push_back(std::move(g));
+      }
+      for (std::size_t s = 0; s < k; ++s) {
+        placementBits_[s] = placement_.ownedBits(s);
+      }
+      std::fill(lastShardMask_.begin(), lastShardMask_.end(), 0);
+    }
   }
+
+  const std::uint64_t shardMask = shardMaskOf(footprint);
+  const int touched = std::popcount(shardMask);
+
+  if (joiner_) {
+    // Cross-bit growth triggers: a footprint spanning shards, or a
+    // process whose consecutive units land on different shards (the
+    // program-order edge a store-buffer cycle crosses shards on).
+    std::uint64_t grow = 0;
+    if (touched > 1) grow = footprint;
+    if (footprint != 0) {
+      if (lastShardMask_.size() <= unit.pid) {
+        lastShardMask_.resize(unit.pid + 1, 0);
+        lastFootprint_.resize(unit.pid + 1, 0);
+      }
+      const std::uint64_t prev = lastShardMask_[unit.pid];
+      if (prev != 0 && prev != shardMask) {
+        grow |= footprint | lastFootprint_[unit.pid];
+      }
+      lastShardMask_[unit.pid] = shardMask;
+      lastFootprint_[unit.pid] = footprint;
+    }
+    if ((grow & ~crossBits_) != 0) growJoiner(grow);
+    if ((footprint & crossBits_) != 0) {
+      enqueueJoinerProjection(unit);
+    } else if (unit.gapBefore && (unit.taintMask & crossBits_) != 0) {
+      ++joinerTelemetry_.gapSignals;
+      Cmd g;
+      g.kind = Cmd::Kind::kGap;
+      joinerQueue_.push_back(std::move(g));
+    }
+  }
+
   for (std::size_t s = 0; s < k; ++s) {
-    const std::uint64_t bits = shardTaintBits(s, k);
+    const std::uint64_t bits = placementBits_[s];
     // Delimiter-only units (e.g. an empty transaction) touch no shard's
     // variables and can explain nothing — shard 0 keeps them so the
     // aggregate unitsChecked still counts every merged unit.
@@ -63,7 +328,7 @@ void ShardedStreamChecker::feed(StreamUnit unit) {
         unit.gapBefore && (unit.taintMask & bits) != 0;
     Cmd c;
     if (routed) {
-      StreamUnit proj = k == 1 ? unit : projectUnit(unit, s, k);
+      StreamUnit proj = k == 1 ? unit : projectUnitOntoBits(unit, bits);
       // The gap applies to shard s only when the dropped footprint hits
       // its variables; an untainted shard's projection arrives gap-free
       // and its window survives — recorded as a taint skip, the honest
@@ -93,17 +358,40 @@ void ShardedStreamChecker::feed(StreamUnit unit) {
     }
     queues_[s].push_back(std::move(c));
   }
+
+  if (joiner_ && footprint != 0) {
+    BacklogEntry e;
+    e.footprint = footprint;
+    e.dropMaskBefore = pendingBacklogDropMask_;
+    e.unit = std::move(unit);
+    pendingBacklogDropMask_ = 0;
+    backlog_.push_back(std::move(e));
+    while (backlog_.size() > backlogCap()) backlog_.pop_front();
+  }
 }
 
 void ShardedStreamChecker::noteDrops(std::uint64_t taintMask) {
   enqueueGapSignals(taintMask);
+  if (joiner_) {
+    pendingBacklogDropMask_ |= taintMask;
+    if ((taintMask & crossBits_) != 0) {
+      ++joinerTelemetry_.gapSignals;
+      Cmd g;
+      g.kind = Cmd::Kind::kGap;
+      joinerQueue_.push_back(std::move(g));
+    } else if (crossBits_ != 0) {
+      Cmd skip;
+      skip.kind = Cmd::Kind::kTaintSkip;
+      joinerQueue_.push_back(std::move(skip));
+    }
+  }
 }
 
 void ShardedStreamChecker::enqueueGapSignals(std::uint64_t taintMask) {
   const std::size_t k = shards();
   for (std::size_t s = 0; s < k; ++s) {
     Cmd c;
-    if (taintMask & shardTaintBits(s, k)) {
+    if (taintMask & placementBits_[s]) {
       ++routing_[s].gapSignals;
       c.kind = Cmd::Kind::kGap;
     } else {
@@ -133,6 +421,25 @@ void ShardedStreamChecker::drainShard(std::size_t s) {
   }
 }
 
+void ShardedStreamChecker::drainJoiner() {
+  StreamChecker& ck = *joiner_;
+  while (!joinerQueue_.empty()) {
+    Cmd c = std::move(joinerQueue_.front());
+    joinerQueue_.pop_front();
+    switch (c.kind) {
+      case Cmd::Kind::kUnit:
+        ck.feed(std::move(c.unit));
+        break;
+      case Cmd::Kind::kGap:
+        ck.noteDrops();
+        break;
+      case Cmd::Kind::kTaintSkip:
+        ck.noteTaintSkip();
+        break;
+    }
+  }
+}
+
 void ShardedStreamChecker::pump() {
   const std::size_t k = shards();
   if (!pool_) {
@@ -145,25 +452,31 @@ void ShardedStreamChecker::pump() {
     any = true;
     pool_->submit([this, s] { drainShard(s); });
   }
+  if (joiner_ && !joinerQueue_.empty()) {
+    any = true;
+    pool_->submit([this] { drainJoiner(); });
+  }
   if (any) pool_->wait();
 }
 
 void ShardedStreamChecker::setDropSuspect(std::uint64_t suspectMask) {
   const std::size_t k = shards();
   for (std::size_t s = 0; s < k; ++s) {
-    checkers_[s]->setDropSuspect((suspectMask & shardTaintBits(s, k)) != 0);
+    checkers_[s]->setDropSuspect((suspectMask & placementBits_[s]) != 0);
   }
+  if (joiner_) joiner_->setDropSuspect((suspectMask & crossBits_) != 0);
 }
 
 void ShardedStreamChecker::onQuiescent() {
   for (auto& ck : checkers_) ck->onQuiescent();
+  if (joiner_) joiner_->onQuiescent();
 }
 
 bool ShardedStreamChecker::hasPendingConviction() const {
   for (const auto& ck : checkers_) {
     if (ck->hasPendingConviction()) return true;
   }
-  return false;
+  return joiner_ && joiner_->hasPendingConviction();
 }
 
 void ShardedStreamChecker::onIdle() {
@@ -174,6 +487,7 @@ void ShardedStreamChecker::onIdle() {
   for (auto& ck : checkers_) {
     pool_->submit([c = ck.get()] { c->onIdle(); });
   }
+  pool_->submit([c = joiner_.get()] { c->onIdle(); });
   pool_->wait();
 }
 
@@ -188,6 +502,7 @@ void ShardedStreamChecker::finish() {
   for (auto& ck : checkers_) {
     pool_->submit([c = ck.get()] { c->finish(); });
   }
+  pool_->submit([c = joiner_.get()] { c->finish(); });
   pool_->wait();
 }
 
@@ -205,6 +520,24 @@ std::vector<ShardStats> ShardedStreamChecker::shardStats() const {
   return out;
 }
 
+JoinerStats ShardedStreamChecker::joinerStats() const {
+  JoinerStats out = joinerTelemetry_;
+  out.crossBits = crossBits_;
+  out.placementRebuilds = placement_.rebuilds();
+  out.placementMoves = placement_.moves();
+  out.stream = joinerStatsAcc_;
+  if (joiner_) mergeStreamStats(out.stream, joiner_->stats());
+  return out;
+}
+
+std::size_t ShardedStreamChecker::placementOf(std::size_t bit) const {
+  return placement_.ownerOf(bit);
+}
+
+std::uint64_t ShardedStreamChecker::placementBits(std::size_t s) const {
+  return placementBits_[s];
+}
+
 std::vector<MonitorViolation> ShardedStreamChecker::violations() const {
   std::vector<MonitorViolation> out;
   for (std::size_t s = 0; s < checkers_.size(); ++s) {
@@ -215,6 +548,15 @@ std::vector<MonitorViolation> ShardedStreamChecker::violations() const {
       }
       out.push_back(std::move(v));
     }
+  }
+  auto addJoiner = [&](const MonitorViolation& v) {
+    MonitorViolation j = v;
+    j.description += " [cross-shard joiner]";
+    out.push_back(std::move(j));
+  };
+  for (const MonitorViolation& v : joinerViolations_) addJoiner(v);
+  if (joiner_) {
+    for (const MonitorViolation& v : joiner_->violations()) addJoiner(v);
   }
   return out;
 }

@@ -1,6 +1,7 @@
 // Sharded merge-and-check stage: K independent StreamCheckers, each owning
-// the variables v with v mod K == its index, fed the *projection* of every
-// merged unit onto its variable group.
+// a set of variable taint bits, fed the *projection* of every merged unit
+// onto its variable group — plus a cross-shard joiner that closes the
+// projection completeness gap for cross-shard cycles.
 //
 // Routing is by projection, not whole-unit copy: shard s receives a unit's
 // delimiters plus exactly the command events whose object belongs to s.
@@ -10,6 +11,20 @@
 // running-state fast path requires.  A unit spanning shards goes to each
 // (a cross-shard join, counted per participating shard).
 //
+// Placement: the default bit→shard map is `bit mod K` (the free functions
+// below), but when a rebuild window is configured the router learns a
+// footprint-clustered placement instead: a union-find over the taint bits
+// co-accessed within one unit (cluster size capped at 64/K bits so a
+// balanced assignment always exists), rebuilt every placementWindow units
+// from that window's co-access counts.  Co-accessed bits land on one
+// shard, so structured workloads stop paying the ~always-cross-shard join
+// tax of blind mod-K striping; singleton bits with no observed co-access
+// keep their mod-K home, making the learned placement equal to mod-K when
+// no co-access is observed.  A rebuild that actually moves bits resyncs
+// every shard checker (their per-object streams restart under the new
+// ownership; the usual post-resync adoption and gap cooldown keep
+// convictions honest across the transition).
+//
 // Soundness of per-shard conviction: restricting any witness for the real
 // execution to shard-s variables yields a witness for the shard-s
 // projection — delimiters and real-time order survive, per-object legality
@@ -17,19 +32,35 @@
 // constraints under every model the engine parametrizes over.  So if a
 // projection conclusively violates the model, no witness for the full
 // execution can exist either: a shard conviction is a real conviction.
-// The price is completeness, not soundness — an anomaly visible only as a
-// cycle THROUGH variables in different shards can evade every projection
-// (each shard's slice individually explainable).  K = 1 retains the serial
-// checker's full power; the sweep in EXPERIMENTS.md quantifies the
-// tradeoff.
+//
+// The cross-shard joiner closes the projection completeness gap for the
+// store-buffer family: an anomaly whose only evidence is a cycle THROUGH
+// variables in different shards (per-process program order crossing
+// shards, or a multi-shard footprint) evades every per-shard projection.
+// The router tracks the set of "cross" taint bits — grown whenever a
+// unit's footprint spans shards, or a process's consecutive units land on
+// different shards — and feeds one extra StreamChecker the projection of
+// every unit onto that bit set.  The joiner's stream is complete for its
+// bits from its (re)start point on; it starts in the post-resync adopt-on-
+// first-read posture (StreamOptions::startUnknown) because everything
+// before that point is unseen history.  When the cross set grows, the
+// joiner restarts and replays a bounded backlog of recent whole units
+// (projected onto the new set, with recorded drop positions re-signalled),
+// so a cycle already in flight — store_buffer's is only 4 units — is still
+// assembled.  The same witness-restriction argument applies to the joiner
+// projection, so its convictions are sound; cycles bridged purely by
+// real-time edges between shard-confined processes remain out of reach
+// (no unit ever links the shards), the now-much-narrower residual gap
+// DESIGN.md §9 documents.
 //
 // Per-variable drop taint replaces the serial "any drop suppresses
 // everything" rule: a gap's taint mask (the ring's cumulative dropped
 // footprint, event.hpp varTaintBit) resyncs and cools down only the shards
 // whose variable bits it intersects; untouched shards keep their windows
-// and may still convict (taintedWindowSkips counts the survivals).  Since
-// the supported shard counts divide 64, a taint bit maps to exactly one
-// shard and the intersection test is exact per shard.
+// and may still convict (taintedWindowSkips counts the survivals).  A
+// taint bit maps to exactly one shard under either placement, so the
+// intersection test is exact per shard; the joiner participates with its
+// cross-bit set.
 //
 // The joining stage: per-shard convictions stay pending in their shard and
 // are published only at a GLOBAL quiescent instant (onQuiescent(), driven
@@ -38,13 +69,15 @@
 // an in-flight unit's footprint is unknown until it lands, so no shard can
 // prove the missing explanation isn't headed its way.
 //
-// Threading: feed()/noteDrops() only enqueue onto per-shard command
-// queues; pump() drains every queue — one task per non-empty shard on the
-// shared ThreadPool (inline when K == 1) — and barriers on completion.
-// Outside pump() the shards are quiescent, so the collector may touch
-// per-shard state (setDropSuspect, hasPendingConviction, stats) directly.
+// Threading: feed()/noteDrops() only enqueue onto per-shard (and joiner)
+// command queues; pump() drains every queue — one task per non-empty queue
+// on the shared ThreadPool (inline when K == 1) — and barriers on
+// completion.  Outside pump() the shards are quiescent, so the collector
+// may touch per-shard state (setDropSuspect, hasPendingConviction, stats)
+// directly.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -69,28 +102,107 @@ struct ShardStats {
   StreamStats stream;
 };
 
-/// Shard owning variable x when K shards are configured (K divides 64, so
-/// this agrees with the taint-bit mapping: bit (x & 63) belongs to shard
-/// (x & 63) mod K == x mod K).
+/// Cross-shard joiner + placement telemetry (zero/inert when K == 1).
+struct JoinerStats {
+  /// Units projected onto the cross-bit set and fed to the joiner.
+  std::uint64_t unitsRouted = 0;
+  /// Gap/drop signals whose taint intersected the cross-bit set.
+  std::uint64_t gapSignals = 0;
+  /// Cross-set growths, each restarting the joiner with a backlog replay.
+  std::uint64_t restarts = 0;
+  /// Current cross-bit set (bit v & 63 of every variable the joiner owns).
+  std::uint64_t crossBits = 0;
+  /// Placement rebuilds run, and taint bits whose owner changed across all
+  /// rebuilds (0/0 when the rebuild window is off or never reached).
+  std::uint64_t placementRebuilds = 0;
+  std::uint64_t placementMoves = 0;
+  /// The joiner checker's own counters, cumulative across restarts.
+  StreamStats stream;
+};
+
+/// Default (mod-K) shard of variable x under K shards: bit (x & 63)
+/// belongs to shard (x & 63) mod K == x mod K.  The learned placement can
+/// override this per bit; these free functions describe the static map
+/// (and stay the single source of truth for the no-co-access fallback).
 inline std::size_t shardOfVar(ObjectId x, std::size_t k) {
   return static_cast<std::size_t>(x % k);
 }
 
-/// Union of the taint bits shard s owns under K shards.
+/// Union of the taint bits shard s owns under the default mod-K placement.
 std::uint64_t shardTaintBits(std::size_t s, std::size_t k);
 
-/// Shard-s projection of a unit: delimiters plus the command events whose
-/// object belongs to shard s (exposed for the routing-exactness tests).
-/// gapBefore/taintMask are copied verbatim — the router decides per shard
-/// whether the gap applies.
+/// Shard-s projection of a unit under the default mod-K placement:
+/// delimiters plus the command events whose object belongs to shard s
+/// (exposed for the routing-exactness tests).  gapBefore/taintMask are
+/// copied verbatim — the router decides per shard whether the gap applies.
 StreamUnit projectUnit(const StreamUnit& u, std::size_t s, std::size_t k);
+
+/// Projection of a unit onto an arbitrary taint-bit set: delimiters plus
+/// the command events whose bit is in `bits` (the placement-aware and
+/// joiner routing primitive).
+StreamUnit projectUnitOntoBits(const StreamUnit& u, std::uint64_t bits);
+
+/// Footprint-clustered bit→shard placement: a union-find over the 64
+/// variable taint bits, merged along observed intra-unit co-access and
+/// rebuilt on a unit-count cadence.  Clusters are capped at 64/K bits (a
+/// balanced assignment always exists) and assigned greedily by co-access
+/// weight to the least-loaded shard; bits observed without any co-access
+/// return to their mod-K home, while bits not observed at all during the
+/// window keep their current owner (an absence of evidence — often a
+/// drop-starved producer — must not bounce placements around).  So with
+/// no co-access ever observed the placement is exactly mod-K.  Observation
+/// state resets at each rebuild; the placement tracks the current window's
+/// access pattern and converges (no further moves) under a stable
+/// workload, even when ring drops starve whole producers per window.
+class FootprintPlacement {
+ public:
+  FootprintPlacement(std::size_t shards, std::size_t rebuildWindow);
+
+  /// Record one unit's footprint (union its bits, bump their weights).
+  void observe(std::uint64_t footprint);
+
+  /// True once rebuildWindow units have been observed since the last
+  /// rebuild (always false when the window is 0 = static mod-K).
+  bool rebuildDue() const {
+    return window_ != 0 && observed_ >= window_;
+  }
+
+  /// Re-cluster from the window's observations; returns the number of
+  /// bits whose owner changed.  Resets the observation window.
+  std::size_t rebuild();
+
+  std::size_t ownerOf(std::size_t bit) const { return owner_[bit]; }
+  /// Union of the taint bits shard s currently owns.
+  std::uint64_t ownedBits(std::size_t s) const { return bits_[s]; }
+  std::uint64_t rebuilds() const { return rebuilds_; }
+  std::uint64_t moves() const { return moves_; }
+
+ private:
+  std::size_t find(std::size_t b);
+
+  std::size_t shards_;
+  std::size_t window_;
+  std::size_t observed_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t moves_ = 0;
+  std::array<std::uint8_t, 64> owner_{};
+  std::vector<std::uint64_t> bits_;  // per shard, cached from owner_
+  // Per-window union-find + co-access weights (reset at rebuild).
+  std::array<std::uint8_t, 64> parent_{};
+  std::array<std::uint8_t, 64> clusterBits_{};  // bits in the root's cluster
+  std::array<std::uint64_t, 64> weight_{};
+};
 
 class ShardedStreamChecker {
  public:
   /// `shards` must divide 64 (1, 2, 4, 8, ...) so variable taint bits map
   /// to exactly one shard.  K == 1 degenerates to the serial checker plus
-  /// taint-aware drop handling, with no thread pool.
-  ShardedStreamChecker(const StreamOptions& opts, std::size_t shards);
+  /// taint-aware drop handling, with no thread pool and no joiner.
+  /// `placementWindow` > 0 enables footprint-clustered placement rebuilt
+  /// every that many fed units; 0 keeps the static mod-K map (the default,
+  /// so short unit streams behave exactly as before).
+  ShardedStreamChecker(const StreamOptions& opts, std::size_t shards,
+                       std::size_t placementWindow = 0);
 
   ShardedStreamChecker(const ShardedStreamChecker&) = delete;
   ShardedStreamChecker& operator=(const ShardedStreamChecker&) = delete;
@@ -98,17 +210,20 @@ class ShardedStreamChecker {
   std::size_t shards() const { return checkers_.size(); }
 
   /// Routes the unit's projections (and, when gapBefore, its gap signal)
-  /// onto the per-shard queues.  Call pump() to run the queued work.
-  /// Units must arrive in ascending epoch order, as for StreamChecker.
+  /// onto the per-shard queues, maintains the cross-bit set and joiner
+  /// backlog, and applies due placement rebuilds.  Call pump() to run the
+  /// queued work.  Units must arrive in ascending epoch order, as for
+  /// StreamChecker.
   void feed(StreamUnit unit);
 
   /// The capture dropped units with (cumulative) footprint `taintMask`
   /// before any gap marker could be placed: resync the intersecting
-  /// shards, leave the rest checking (they record a taint skip).
+  /// shards (and the joiner when its bits are hit), leave the rest
+  /// checking (they record a taint skip).
   void noteDrops(std::uint64_t taintMask);
 
-  /// Drains every shard queue; parallel across shards when K > 1.  On
-  /// return the shards are quiescent and may be inspected directly.
+  /// Drains every shard (and joiner) queue; parallel when K > 1.  On
+  /// return the checkers are quiescent and may be inspected directly.
   void pump();
 
   /// Per-shard dropSuspect from the collector's unresolved-drop taint
@@ -120,29 +235,38 @@ class ShardedStreamChecker {
   /// publish its pending conviction (the joining stage; see file comment).
   void onQuiescent();
 
-  /// True while any shard holds a confirmed-but-unpublished conviction.
+  /// True while any shard (or the joiner) holds a confirmed-but-
+  /// unpublished conviction.
   bool hasPendingConviction() const;
 
-  /// Stream idle: give every shard with a pending escalation its engine
+  /// Stream idle: give every checker with a pending escalation its engine
   /// run (parallel across shards when K > 1).
   void onIdle();
 
-  /// Stream fully drained; runs each shard's final escalation (parallel)
+  /// Stream fully drained; runs each checker's final escalation (parallel)
   /// and publishes surviving convictions.  Call exactly once.
   void finish();
 
-  /// Aggregated stream stats across shards (mergeStreamStats).
+  /// Aggregated stream stats across the K shards (mergeStreamStats).  The
+  /// joiner's counters are reported separately (joinerStats) — its units
+  /// are re-projections of units the shards already count.
   StreamStats stats() const;
 
   /// Per-shard telemetry; `stream` fields are snapshotted at call time.
   std::vector<ShardStats> shardStats() const;
 
-  /// All shards' violations, shard-major; descriptions are annotated with
-  /// the owning shard when K > 1.
+  /// Joiner + placement telemetry (all-zero when K == 1).
+  JoinerStats joinerStats() const;
+
+  /// All shards' violations (annotated with the owning shard when K > 1)
+  /// followed by the joiner's (annotated "[cross-shard joiner]").
   std::vector<MonitorViolation> violations() const;
 
   /// Direct access for white-box tests (only meaningful between pumps).
   const StreamChecker& shard(std::size_t s) const { return *checkers_[s]; }
+  /// Current bit→shard placement (mod-K until a rebuild moves bits).
+  std::size_t placementOf(std::size_t bit) const;
+  std::uint64_t placementBits(std::size_t s) const;
 
  private:
   struct Cmd {
@@ -155,13 +279,49 @@ class ShardedStreamChecker {
     StreamUnit unit;
   };
 
+  /// Joiner backlog entry: a whole recent unit plus the cumulative taint
+  /// of drops noted between the previous entry and this one (re-signalled
+  /// on replay so a restarted joiner cannot read a dropped write as an
+  /// unexplainable value).
+  struct BacklogEntry {
+    StreamUnit unit;
+    std::uint64_t footprint = 0;
+    std::uint64_t dropMaskBefore = 0;
+  };
+
   void enqueueGapSignals(std::uint64_t taintMask);
   void drainShard(std::size_t s);
+  void drainJoiner();
+  /// Shard-index mask of the shards a footprint touches.
+  std::uint64_t shardMaskOf(std::uint64_t footprint) const;
+  /// Grow the cross-bit set, restart the joiner, replay the backlog.
+  void growJoiner(std::uint64_t bits);
+  void enqueueJoinerProjection(const StreamUnit& u);
+  std::size_t backlogCap() const;
 
+  StreamOptions opts_;
   std::vector<std::unique_ptr<StreamChecker>> checkers_;
   std::vector<std::deque<Cmd>> queues_;
   std::vector<ShardStats> routing_;  // stream fields filled on snapshot
   std::unique_ptr<ThreadPool> pool_;  // null when K == 1
+
+  // Footprint-clustered placement (bits_ mirrors mod-K until a rebuild).
+  FootprintPlacement placement_;
+  std::vector<std::uint64_t> placementBits_;  // per shard, cached
+
+  // Cross-shard joiner state (all unused when K == 1).
+  std::unique_ptr<StreamChecker> joiner_;  // null when K == 1
+  std::deque<Cmd> joinerQueue_;
+  std::deque<BacklogEntry> backlog_;
+  std::uint64_t crossBits_ = 0;
+  std::uint64_t pendingBacklogDropMask_ = 0;
+  /// Last routed footprint + shard mask per process (program-order shard
+  /// switches are the store-buffer-family trigger).
+  std::vector<std::uint64_t> lastShardMask_;  // indexed by pid
+  std::vector<std::uint64_t> lastFootprint_;
+  JoinerStats joinerTelemetry_;         // stream merged on snapshot
+  StreamStats joinerStatsAcc_;          // harvested across restarts
+  std::vector<MonitorViolation> joinerViolations_;  // harvested
 };
 
 }  // namespace jungle::monitor

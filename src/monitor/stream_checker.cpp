@@ -58,6 +58,7 @@ StreamChecker::StreamChecker(const StreamOptions& opts) : opts_(opts) {
   JUNGLE_CHECK(opts_.model != nullptr);
   JUNGLE_CHECK(opts_.gcRetain >= 1);
   JUNGLE_CHECK(opts_.settleUnits >= 1);
+  if (opts_.startUnknown) allKnown_ = false;
 }
 
 void StreamChecker::feed(StreamUnit unit) {

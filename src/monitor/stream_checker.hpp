@@ -94,6 +94,11 @@ struct StreamOptions {
   /// to bound checking cost per window; an exhausted run is inconclusive.
   std::uint64_t recheckMaxExpansions = 0;
   unsigned recheckThreads = 1;
+  /// Start in the post-resync posture: objects are unknown until first
+  /// read (adopted) instead of implicitly zero.  For checkers attached
+  /// mid-stream — the cross-shard joiner sees only a suffix of the
+  /// execution, so a nonzero first read must adopt, not convict.
+  bool startUnknown = false;
 };
 
 struct MonitorViolation {

@@ -33,6 +33,10 @@ struct Command {
   std::uint8_t nKeys = 1;
   ObjectId keys[kMaxTxnKeys] = {0, 0, 0, 0};
   Word vals[kMaxTxnKeys] = {0, 0, 0, 0};
+  /// Opaque client cookie echoed verbatim in the CommandResult; the load
+  /// generator packs a submit timestamp here to measure end-to-end
+  /// latency without a client-side in-flight table.
+  std::uint64_t tag = 0;
 };
 
 enum class CmdStatus : std::uint8_t {
@@ -46,6 +50,8 @@ enum class CmdStatus : std::uint8_t {
 struct CommandResult {
   std::uint64_t seq = 0;
   Word value = 0;
+  /// The command's tag, echoed verbatim.
+  std::uint64_t tag = 0;
   CmdStatus status = CmdStatus::kOk;
 };
 

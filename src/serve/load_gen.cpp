@@ -1,5 +1,6 @@
 #include "serve/load_gen.hpp"
 
+#include <array>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -17,6 +18,7 @@ struct ClientTally {
   std::uint64_t committed = 0;
   std::uint64_t failed = 0;
   std::uint64_t fullRetries = 0;
+  std::array<Log2Histogram, 4> latencyUs;  // indexed by CmdKind
 };
 
 class ClientDriver {
@@ -30,7 +32,8 @@ class ClientDriver {
         zipf_(zipf),
         rng_(seed),
         numKeys_(serve.options().numKeys),
-        shards_(serve.options().shards) {
+        shards_(serve.options().shards),
+        epoch_(std::chrono::steady_clock::now()) {
     resp_.reserve(256);
   }
 
@@ -69,6 +72,15 @@ class ClientDriver {
     } else {
       c.kind = CmdKind::kPut;
     }
+    // Tag: submit timestamp (us since this driver started) in the high
+    // bits, command kind in the low two — echoed in the ack, so latency
+    // needs no client-side in-flight table.  Stamped on a 1-in-8 sample:
+    // a clock read costs ~90 ns here, comparable to the whole per-command
+    // pipeline budget, so stamping every command measurably depresses the
+    // throughput it is meant to characterize.  tag = 0 marks "unstamped".
+    c.tag = (seq_++ & 7) == 0
+                ? (nowUs() << 2) | static_cast<std::uint64_t>(c.kind)
+                : 0;
     c.keys[0] = static_cast<ObjectId>(zipf_.next(rng_));
     c.vals[0] = 1 + rng_.below(64);
     if (c.kind == CmdKind::kTxn) {
@@ -102,33 +114,48 @@ class ClientDriver {
 
   void drain() {
     resp_.clear();
-    client_.drainResponses(resp_);
+    if (client_.drainResponses(resp_) == 0) return;
+    const std::uint64_t now = nowUs();
     for (const CommandResult& r : resp_) {
       if (r.status == CmdStatus::kOk) {
         ++tally_.committed;
       } else {
         ++tally_.failed;
       }
+      if (r.tag == 0) continue;  // unstamped (latency sampling)
+      const std::uint64_t sent = r.tag >> 2;
+      tally_.latencyUs[r.tag & 3].record(now > sent ? now - sent : 0);
     }
   }
 
   void settle() {
     Backoff backoff;
     while (client_.acked() < client_.submitted()) {
-      const std::size_t got = [&] {
-        resp_.clear();
-        std::size_t n = client_.drainResponses(resp_);
-        for (const CommandResult& r : resp_) {
-          if (r.status == CmdStatus::kOk) {
-            ++tally_.committed;
-          } else {
-            ++tally_.failed;
-          }
+      resp_.clear();
+      const std::size_t got = client_.drainResponses(resp_);
+      if (got == 0) {
+        backoff.pause();
+        continue;
+      }
+      const std::uint64_t now = nowUs();
+      for (const CommandResult& r : resp_) {
+        if (r.status == CmdStatus::kOk) {
+          ++tally_.committed;
+        } else {
+          ++tally_.failed;
         }
-        return n;
-      }();
-      if (got == 0) backoff.pause();
+        if (r.tag == 0) continue;  // unstamped (latency sampling)
+        const std::uint64_t sent = r.tag >> 2;
+        tally_.latencyUs[r.tag & 3].record(now > sent ? now - sent : 0);
+      }
     }
+  }
+
+  std::uint64_t nowUs() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
   }
 
   JungleServe& serve_;
@@ -138,7 +165,9 @@ class ClientDriver {
   Rng rng_;
   std::uint64_t numKeys_;
   std::uint64_t shards_;
+  std::chrono::steady_clock::time_point epoch_;
   std::vector<CommandResult> resp_;
+  std::uint64_t seq_ = 0;
   ClientTally tally_;
   bool expired_ = false;
 };
@@ -171,6 +200,9 @@ LoadReport runLoad(JungleServe& serve, const LoadOptions& opts) {
     report.committed += t.committed;
     report.failed += t.failed;
     report.fullRetries += t.fullRetries;
+    for (std::size_t k = 0; k < report.latencyUs.size(); ++k) {
+      report.latencyUs[k].merge(t.latencyUs[k]);
+    }
   }
   report.acked = report.committed + report.failed;
   report.seconds = std::chrono::duration<double>(ended - start).count();

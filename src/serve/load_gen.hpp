@@ -12,8 +12,10 @@
 // so a LoadReport always describes a fully-acknowledged run.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
+#include "common/histogram.hpp"
 #include "serve/service.hpp"
 
 namespace jungle::serve {
@@ -44,6 +46,15 @@ struct LoadReport {
   std::uint64_t fullRetries = 0;
   double seconds = 0.0;
   double opsPerSec = 0.0;
+  /// End-to-end command latency (submit to drained ack, microseconds) per
+  /// command type, indexed by CmdKind — log2 buckets merged across all
+  /// clients; query p50/p95/p99 via Log2Histogram::percentile.  Latency
+  /// is measured through the client's batched drain cadence
+  /// (LoadOptions::drainEvery), which it deliberately includes: it is the
+  /// latency an open-loop client actually observes.  Stamped on a 1-in-8
+  /// command sample — a clock read rivals the per-command pipeline cost,
+  /// so exhaustive stamping would depress the measured throughput.
+  std::array<Log2Histogram, 4> latencyUs;
 };
 
 /// Drives every client of `serve` from its own thread until the budget is

@@ -50,6 +50,7 @@ JungleServe::JungleServe(const ServeOptions& opts) : opts_(opts) {
       so.windowEpochs = opts_.sampleWindowEpochs;
       so.monitoredEpochCommands = opts_.sampleEpochCommands;
       so.checkerShards = opts_.checkerShards;
+      so.collectorThreads = opts_.collectorThreads;
       so.monitorRingCapacity = opts_.monitorRingCapacity;
       so.monitorPoll = opts_.monitorPoll;
       so.snapshotDir = opts_.snapshotDir;

@@ -55,7 +55,11 @@ struct ServeOptions {
   std::size_t sampleWindowEpochs = 16;
   /// Batch cap for monitored epochs (see shard.hpp).
   std::size_t sampleEpochCommands = 128;
-  std::size_t checkerShards = 2;
+  /// Checker shards per sampled monitor (see shard.hpp for why the
+  /// default is the complete, serial K = 1).
+  std::size_t checkerShards = 1;
+  /// Collector ingest workers per sampled monitor (see shard.hpp).
+  unsigned collectorThreads = 1;
   std::size_t monitorRingCapacity = 1 << 15;
   /// Collector poll interval of the sampled monitors (see shard.hpp).
   std::chrono::microseconds monitorPoll{1000};

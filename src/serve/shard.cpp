@@ -31,6 +31,7 @@ Shard::Shard(const ShardOptions& opts, std::vector<ClientLane*> lanes)
     mo.capture.ringCapacity = opts_.monitorRingCapacity;
     mo.capture.injectBug = opts_.injectBug;
     mo.shards = opts_.checkerShards;
+    mo.collectorThreads = opts_.collectorThreads;
     mo.snapshotDir = opts_.snapshotDir;
     mo.pollInterval = opts_.monitorPoll;
     mon_ = std::make_unique<monitor::TmMonitor>(*inner_, executors_, mo);
@@ -258,6 +259,7 @@ void Shard::pushResponses(std::size_t n) {
       const std::size_t i = seg.first + j;
       CommandResult r = results_[i];
       r.seq = seg.seqBase + j;
+      r.tag = batch_[i].tag;
       // Never full: the client's credit scheme caps outstanding commands
       // per lane at the ring capacity.
       JUNGLE_CHECK(lanes_[seg.client]->resp.tryPush(r));

@@ -76,7 +76,15 @@ struct ShardOptions {
   /// so the attachDue regulator can actually hit the duty target.
   std::size_t monitoredEpochCommands = 128;
   /// Checker shards of the attached monitor (sharded_checker.hpp).
-  std::size_t checkerShards = 2;
+  /// Default 1: the service already partitions the keyspace, and within
+  /// one service shard at percent-level duty a single stream checker
+  /// keeps up while staying complete — K > 1 re-introduces cross-shard
+  /// projection (and joiner/placement volume) for ingest parallelism
+  /// this sampled path does not need.
+  std::size_t checkerShards = 1;
+  /// Collector ingest workers of the attached monitor (tree merge when
+  /// > 1; monitor.hpp).
+  unsigned collectorThreads = 1;
   std::size_t monitorRingCapacity = 1 << 15;
   /// Collector poll interval of the attached monitor.  Service epochs are
   /// batched, so conviction latency is epoch-grained anyway; a coarse poll

@@ -502,10 +502,17 @@ class SiSsnTm : public MvccTmBase<Mem, 4> {
       return false;
     }
 
-    // Commit: propagate the watermarks, then install.
+    // Commit: propagate the watermarks, then install.  Every stamp
+    // stored below mirrors the nextCommitStamp ceiling guard: a sealed
+    // sstamp must stay a real stamp (nonzero — 0 would flip it back to
+    // "never overwritten" — and below kClockCeiling), and an advanced
+    // pstamp must stay below the ceiling; a violation at the stamping
+    // site means clock corruption, convicted here rather than surfacing
+    // as a wrong SSN verdict arbitrarily later.
     for (Addr sAddr : overwrittenSstamps) {
       const Word s = this->mem_.load(t.pid, sAddr);
       const Word ns = (s == 0) ? eta : std::min(s, eta);
+      JUNGLE_CHECK(ns != 0 && ns < Base::kClockCeiling);
       this->mem_.store(t.pid, sAddr, ns);
     }
     for (const auto& [x, ts] : readStamps) {
@@ -513,7 +520,9 @@ class SiSsnTm : public MvccTmBase<Mem, 4> {
       const auto pAddr = versionFieldAddr(t, x, ts, Base::kPstamp);
       if (!pAddr.has_value()) continue;
       const Word p = this->mem_.load(t.pid, *pAddr);
-      this->mem_.store(t.pid, *pAddr, std::max(p, wv));
+      const Word np = std::max(p, wv);
+      JUNGLE_CHECK(np < Base::kClockCeiling);
+      this->mem_.store(t.pid, *pAddr, np);
     }
     this->installVersions(t, op, wv, this->writeOrder(t));
     // Publish the clock only after the install (see SiTm::txCommit).
@@ -537,6 +546,9 @@ class SiSsnTm : public MvccTmBase<Mem, 4> {
     if (const auto sAddr = versionFieldAddr(t, x, old, Base::kSstamp)) {
       const Word s = this->mem_.load(t.pid, *sAddr);
       const Word ns = (s == 0) ? wv : std::min(s, wv);
+      // Seal guard (see txCommit): 0 would re-encode infinity, and a
+      // stamp at the ceiling means the clock wrapped or was corrupted.
+      JUNGLE_CHECK(ns != 0 && ns < Base::kClockCeiling);
       this->mem_.store(t.pid, *sAddr, ns);
     }
     const Word r = this->mem_.load(t.pid, this->recordAddr(x));
@@ -587,7 +599,11 @@ class SiSsnTm : public MvccTmBase<Mem, 4> {
       const auto pAddr = versionFieldAddr(t, x, ts, Base::kPstamp);
       if (!pAddr.has_value()) continue;
       const Word p = this->mem_.load(t.pid, *pAddr);
-      this->mem_.store(t.pid, *pAddr, std::max(p, cv));
+      const Word np = std::max(p, cv);
+      // Advance guard (see txCommit); np may legitimately be 0 here —
+      // the clock has not ticked yet and no reader stamped the version.
+      JUNGLE_CHECK(np < Base::kClockCeiling);
+      this->mem_.store(t.pid, *pAddr, np);
     }
     this->mem_.markPoint(t.pid, op);
     this->releaseLatch(t);
@@ -611,7 +627,10 @@ class SiSsnTm : public MvccTmBase<Mem, 4> {
     JUNGLE_CHECK(r.has_value());  // latch held: no writer interference
     if (const auto pAddr = versionFieldAddr(t, x, r->second, Base::kPstamp)) {
       const Word p = this->mem_.load(t.pid, *pAddr);
-      this->mem_.store(t.pid, *pAddr, std::max(p, cv));
+      const Word np = std::max(p, cv);
+      // Advance guard (see txCommit); 0 is legal before the first tick.
+      JUNGLE_CHECK(np < Base::kClockCeiling);
+      this->mem_.store(t.pid, *pAddr, np);
     }
     this->mem_.markPoint(t.pid, op);
     this->releaseLatch(t);

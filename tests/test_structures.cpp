@@ -7,6 +7,7 @@
 #include <set>
 #include <thread>
 
+#include "common/histogram.hpp"
 #include "common/rng.hpp"
 
 #include "tm/structures.hpp"
@@ -359,6 +360,69 @@ TEST_P(StructuresTest, SortedListConcurrentDisjointInserts) {
     EXPECT_EQ(keys.size(), 60u);
     EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
   });
+}
+
+// ----------------------------------------------------- log2 histogram
+
+TEST(Log2Histogram, EmptyReportsZeroEverywhere) {
+  Log2Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.50), 0u);
+  EXPECT_EQ(h.percentile(0.99), 0u);
+}
+
+TEST(Log2Histogram, BucketsByBitWidthWithZeroInBucketZero) {
+  Log2Histogram h;
+  h.record(0);
+  h.record(1);    // bit_width 1
+  h.record(2);    // bit_width 2
+  h.record(3);    // bit_width 2
+  h.record(700);  // bit_width 10
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(10), 1u);
+}
+
+TEST(Log2Histogram, PercentileLandsInTheWinningBucketSpan) {
+  Log2Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(1000);  // bucket 10: [512, 1024)
+  for (double p : {0.01, 0.50, 0.99, 1.0}) {
+    const std::uint64_t v = h.percentile(p);
+    EXPECT_GE(v, 512u) << "p=" << p;
+    EXPECT_LT(v, 1024u) << "p=" << p;
+  }
+  // Monotone in p.
+  EXPECT_LE(h.percentile(0.50), h.percentile(0.99));
+}
+
+TEST(Log2Histogram, TailPercentilePicksTheTailBucket) {
+  Log2Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(10);  // bucket 4: [8, 16)
+  h.record(5000);                             // bucket 13: [4096, 8192)
+  EXPECT_LT(h.percentile(0.50), 16u);
+  EXPECT_GE(h.percentile(1.0), 4096u);
+}
+
+TEST(Log2Histogram, MergeAddsCountsAndBuckets) {
+  Log2Histogram a;
+  Log2Histogram b;
+  for (int i = 0; i < 10; ++i) a.record(10);
+  for (int i = 0; i < 10; ++i) b.record(5000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 20u);
+  EXPECT_EQ(a.bucket(4), 10u);
+  EXPECT_EQ(a.bucket(13), 10u);
+  EXPECT_LT(a.percentile(0.25), 16u);
+  EXPECT_GE(a.percentile(0.99), 4096u);
+}
+
+TEST(Log2Histogram, HugeValuesClampIntoTheTopBucket) {
+  Log2Histogram h;
+  h.record(~std::uint64_t{0});  // bit_width 64: must clamp, not overflow
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket(Log2Histogram::kBuckets - 1), 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTms, StructuresTest,

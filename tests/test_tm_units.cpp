@@ -558,6 +558,52 @@ TEST(MvccClockCeiling, SsnWriteSkewVerdictUnchangedNearCeiling) {
   EXPECT_FALSE(fresh.second);  // SSN closes the skew either way
 }
 
+TEST(MvccClockCeiling, SsnStampSitesAdvanceCleanlyNearCeiling) {
+  // Every pstamp-advance and sstamp-seal site (txCommit, commitReadOnly,
+  // ntRead, ntWrite) runs its floor/ceiling guard; one lifetime of
+  // commits below the ceiling must pass all of them.
+  NativeMemory mem(SiSsnTm<NativeMemory>::memoryWords(kVars));
+  SiSsnTm<NativeMemory> tm(mem, kVars);
+  auto t = tm.makeThread(0);
+  pokeClock<SiSsnTm<NativeMemory>>(mem, kVars,
+                                   SiSsnTm<NativeMemory>::kClockCeiling - 16);
+  tm.txStart(t);  // read-write commit: seals sstamps, raises pstamps
+  (void)*tm.txRead(t, 0);
+  tm.txWrite(t, 1, 5);
+  EXPECT_TRUE(tm.txCommit(t));
+  tm.txStart(t);  // read-only commit: pstamp raise via the clock
+  EXPECT_EQ(*tm.txRead(t, 1), 5u);
+  EXPECT_TRUE(tm.txCommit(t));
+  EXPECT_EQ(tm.ntRead(t, 1), 5u);  // nt read: pstamp raise
+  tm.ntWrite(t, 0, 9);             // nt write: sstamp seal
+  EXPECT_EQ(tm.ntRead(t, 0), 9u);
+}
+
+TEST(MvccClockCeilingDeathTest, CorruptPstampIsConvictedOnTxAdvance) {
+  // A pstamp at the ceiling cannot come from the guarded clock — it means
+  // corruption; the advance site (txCommit's read-stamp raise) must
+  // convict instead of propagating it into SSN verdicts.
+  NativeMemory mem(SiSsnTm<NativeMemory>::memoryWords(kVars));
+  SiSsnTm<NativeMemory> tm(mem, kVars);
+  auto t = tm.makeThread(0);
+  // Initial version's pstamp of var 0 (layout: word 2n+2+2x).
+  mem.store(0, static_cast<Addr>(2 * kVars + 2),
+            SiSsnTm<NativeMemory>::kClockCeiling);
+  tm.txStart(t);
+  (void)*tm.txRead(t, 0);
+  tm.txWrite(t, 1, 1);
+  EXPECT_DEATH((void)tm.txCommit(t), "check failed");
+}
+
+TEST(MvccClockCeilingDeathTest, CorruptPstampIsConvictedOnNtRead) {
+  NativeMemory mem(SiSsnTm<NativeMemory>::memoryWords(kVars));
+  SiSsnTm<NativeMemory> tm(mem, kVars);
+  auto t = tm.makeThread(0);
+  mem.store(0, static_cast<Addr>(2 * kVars + 2),
+            SiSsnTm<NativeMemory>::kClockCeiling);
+  EXPECT_DEATH((void)tm.ntRead(t, 0), "check failed");
+}
+
 TEST(MvccClockCeilingDeathTest, CommitAtCeilingIsConvictedSi) {
   NativeMemory mem(SiTm<NativeMemory>::memoryWords(kVars));
   SiTm<NativeMemory> tm(mem, kVars);
