@@ -21,6 +21,14 @@
 // Per-command-type end-to-end latency percentiles (<kind>_p50/p95/p99_us,
 // from the load generator's log2 histograms) quantify what sampling does
 // to tail latency, not just to throughput.
+//
+// TxnX family (label = ServeTxnX/<tm>/shards=4/x=X): the cross-shard 2PC
+// path.  The mix holds txnPct at 20% and issues {0, 25, 100}% of those
+// transactions as cross-shard kTxnX, i.e. {0, 5, 20}% of TOTAL traffic
+// rides the coordinator.  x=0 must match the base family within noise
+// (no coordinator work happens); the x>0 rows price the 2PC commit
+// latency honestly — txnx_p50/p95/p99_us against txn_*_us is the
+// cross-shard latency tax, and x_retries counts abort-and-retry rounds.
 #include <benchmark/benchmark.h>
 
 #include <array>
@@ -54,7 +62,7 @@ void BM_Serve(benchmark::State& state) {
   std::uint64_t dropped = 0;
   std::uint64_t violations = 0;
   double acked = 0;
-  std::array<Log2Histogram, 4> latency;
+  std::array<Log2Histogram, kCmdKindCount> latency;
 
   for (auto _ : state) {
     ServeOptions o;
@@ -129,6 +137,80 @@ void BM_Serve(benchmark::State& state) {
                  "/p=" + std::to_string(permille));
 }
 
+void BM_ServeTxnX(benchmark::State& state) {
+  const TmKind kind = kKinds[state.range(0)];
+  const auto crossPct = static_cast<unsigned>(state.range(1));
+  constexpr std::size_t kShards = 4;
+
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t tmAborts = 0;
+  std::uint64_t xTxns = 0;
+  std::uint64_t xRetries = 0;
+  std::uint64_t xVoteNo = 0;
+  std::uint64_t violations = 0;
+  double acked = 0;
+  std::array<Log2Histogram, kCmdKindCount> latency;
+
+  for (auto _ : state) {
+    ServeOptions o;
+    o.kind = kind;
+    o.shards = kShards;
+    o.clients = 2;
+    o.numKeys = 1 << 13;
+    JungleServe sv(o);
+
+    LoadOptions lo;
+    lo.opsPerClient = 100000;
+    lo.readPct = 70;
+    lo.rmwPct = 5;
+    lo.txnPct = 20;
+    lo.crossShardPct = crossPct;
+    lo.seed = 42;
+    const LoadReport r = runLoad(sv, lo);
+    sv.shutdown();
+
+    state.SetIterationTime(r.seconds);
+    acked += static_cast<double>(r.acked);
+    for (std::size_t i = 0; i < latency.size(); ++i) {
+      latency[i].merge(r.latencyUs[i]);
+    }
+    committed += r.committed;
+    failed += r.failed;
+    const ServeStats& st = sv.stats();
+    tmAborts += st.totalTmAborts();
+    violations += st.totalViolations();
+    xTxns += st.coordinator.txns;
+    xRetries += st.coordinator.retries;
+    xVoteNo += st.coordinator.voteNo;
+  }
+
+  state.counters["ops_s"] =
+      benchmark::Counter(acked, benchmark::Counter::kIsRate);
+  state.counters["committed"] = static_cast<double>(committed);
+  state.counters["failed"] = static_cast<double>(failed);
+  state.counters["tm_aborts"] = static_cast<double>(tmAborts);
+  state.counters["x_txns"] = static_cast<double>(xTxns);
+  state.counters["x_retries"] = static_cast<double>(xRetries);
+  state.counters["x_vote_no"] = static_cast<double>(xVoteNo);
+  state.counters["violations"] = static_cast<double>(violations);
+  for (std::size_t i = 0; i < latency.size(); ++i) {
+    const Log2Histogram& h = latency[i];
+    if (h.count() == 0) continue;
+    const std::string kindName =
+        cmdKindName(static_cast<jungle::serve::CmdKind>(i));
+    state.counters[kindName + "_p50_us"] =
+        static_cast<double>(h.percentile(0.50));
+    state.counters[kindName + "_p95_us"] =
+        static_cast<double>(h.percentile(0.95));
+    state.counters[kindName + "_p99_us"] =
+        static_cast<double>(h.percentile(0.99));
+  }
+  // x = cross-shard share of TOTAL traffic (txnPct is 20%).
+  state.SetLabel(std::string("ServeTxnX/") + tmKindName(kind) +
+                 "/shards=4/x=" + std::to_string(crossPct / 5));
+}
+
 void registerRows() {
   for (int k = 0; k < 2; ++k) {
     for (std::int64_t shards : {1, 4}) {
@@ -138,6 +220,14 @@ void registerRows() {
             ->UseManualTime()
             ->Unit(benchmark::kMillisecond);
       }
+    }
+    // Cross-shard fractions of the txn mix; at txnPct=20 these put
+    // {0, 5, 20}% of total traffic on the 2PC coordinator.
+    for (std::int64_t crossPct : {0, 25, 100}) {
+      benchmark::RegisterBenchmark("ServeTxnX", BM_ServeTxnX)
+          ->Args({k, crossPct})
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
     }
   }
 }

@@ -4,13 +4,15 @@
 //                               [--clients N] [--keys N] [--ops N]
 //                               [--duration SECONDS] [--zipf-theta T]
 //                               [--read-pct P] [--rmw-pct P] [--txn-pct P]
-//                               [--txn-keys K] [--queue-capacity N]
+//                               [--txn-keys K] [--cross-shard-pct P]
+//                               [--queue-capacity N]
 //                               [--batch N] [--max-tx-attempts N]
 //                               [--max-retries N] [--sample-permille P]
 //                               [--window-epochs N] [--checker-shards K]
 //                               [--collector-threads N]
 //                               [--ring-capacity N] [--seed N]
-//                               [--snapshot-dir DIR] [--inject-bug] [--json]
+//                               [--snapshot-dir DIR] [--inject-bug]
+//                               [--inject-bug-xshard] [--json]
 //
 // Composes the whole library: N worker shards (src/serve/) each owning a
 // TmRuntime of --tm kind, epoch-batched SPSC ingestion from --clients
@@ -23,7 +25,13 @@
 //   * --inject-bug: self-test — a corrupted transactional read is spliced
 //     into the sampled capture stream, and the tool exits 0 iff the
 //     monitor convicts it.  Implies sampling (forced to 250 permille when
-//     --sample-permille is 0, so the first shard is always monitored).
+//     --sample-permille is 0, so the first shard is always monitored);
+//   * --inject-bug-xshard: self-test of the cross-shard path — the first
+//     sampled shard silently drops its slice of one committed kTxnX (2PC
+//     atomicity defect), and the tool exits 0 iff the sampled stack
+//     convicts it.  Implies sampling (500 permille when unset, so shard 0
+//     runs at full duty) and cross-shard traffic (--cross-shard-pct 100
+//     when unset).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +50,7 @@ struct Options {
   ServeOptions serve;
   LoadOptions load;
   bool injectBug = false;
+  bool injectBugXShard = false;
   bool json = false;
 };
 
@@ -100,6 +109,18 @@ void printText(const Options& o, const JungleServe& sv,
       }
     }
   }
+  if (st.coordinator.txns > 0) {
+    const CoordinatorStats& co = st.coordinator;
+    std::printf(
+        "  coordinator: txns=%llu committed=%llu failed=%llu retries=%llu "
+        "prepares=%llu vote-no=%llu\n",
+        static_cast<unsigned long long>(co.txns),
+        static_cast<unsigned long long>(co.committed),
+        static_cast<unsigned long long>(co.failed),
+        static_cast<unsigned long long>(co.retries),
+        static_cast<unsigned long long>(co.prepares),
+        static_cast<unsigned long long>(co.voteNo));
+  }
   if (sv.sampledShards() > 0) {
     std::printf(
         "  sampling: %u permille of traffic via %zu shard(s) at %u "
@@ -142,7 +163,10 @@ void printJson(const Options& o, const JungleServe& sv, const LoadReport& r,
       "\"tmAborts\": %llu, \"backpressure\": %llu, "
       "\"monitoredEpochs\": %llu, \"monitoredCommands\": %llu, "
       "\"monitorEvents\": %llu, "
-      "\"monitorDrops\": %llu, \"violations\": %zu, \"latencyUs\": {",
+      "\"monitorDrops\": %llu, \"violations\": %zu, "
+      "\"crossShardPct\": %u, \"coordinator\": {\"txns\": %llu, "
+      "\"committed\": %llu, \"failed\": %llu, \"retries\": %llu, "
+      "\"prepares\": %llu, \"voteNo\": %llu}, \"latencyUs\": {",
       ok ? "true" : "false", o.tm.c_str(), o.serve.shards,
       o.serve.executorsPerShard, o.serve.clients, o.serve.numKeys,
       o.load.zipfTheta, o.serve.samplePermille, sv.sampledShards(),
@@ -155,7 +179,14 @@ void printJson(const Options& o, const JungleServe& sv, const LoadReport& r,
       static_cast<unsigned long long>(monitoredEpochs),
       static_cast<unsigned long long>(monitoredCmds),
       static_cast<unsigned long long>(events),
-      static_cast<unsigned long long>(drops), sv.totalViolations());
+      static_cast<unsigned long long>(drops), sv.totalViolations(),
+      o.load.crossShardPct,
+      static_cast<unsigned long long>(st.coordinator.txns),
+      static_cast<unsigned long long>(st.coordinator.committed),
+      static_cast<unsigned long long>(st.coordinator.failed),
+      static_cast<unsigned long long>(st.coordinator.retries),
+      static_cast<unsigned long long>(st.coordinator.prepares),
+      static_cast<unsigned long long>(st.coordinator.voteNo));
   bool first = true;
   for (std::size_t k = 0; k < r.latencyUs.size(); ++k) {
     const Log2Histogram& h = r.latencyUs[k];
@@ -207,6 +238,9 @@ int main(int argc, char** argv) {
       o.load.txnPct = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = flagValue(argc, argv, i, "--txn-keys")) {
       o.load.txnKeys = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = flagValue(argc, argv, i, "--cross-shard-pct")) {
+      o.load.crossShardPct =
+          static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = flagValue(argc, argv, i, "--queue-capacity")) {
       o.serve.queueCapacity = std::strtoul(v, nullptr, 10);
     } else if (const char* v = flagValue(argc, argv, i, "--batch")) {
@@ -235,6 +269,8 @@ int main(int argc, char** argv) {
       o.serve.snapshotDir = v;
     } else if (std::strcmp(argv[i], "--inject-bug") == 0) {
       o.injectBug = true;
+    } else if (std::strcmp(argv[i], "--inject-bug-xshard") == 0) {
+      o.injectBugXShard = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       o.json = true;
     } else {
@@ -243,12 +279,13 @@ int main(int argc, char** argv) {
                    "[--executors N] [--clients N] [--keys N] [--ops N] "
                    "[--duration S] [--zipf-theta T] [--read-pct P] "
                    "[--rmw-pct P] [--txn-pct P] [--txn-keys K] "
+                   "[--cross-shard-pct P] "
                    "[--queue-capacity N] [--batch N] [--max-tx-attempts N] "
                    "[--max-retries N] [--sample-permille P] "
                    "[--window-epochs N] [--checker-shards K] "
                    "[--collector-threads N] "
                    "[--ring-capacity N] [--seed N] [--snapshot-dir DIR] "
-                   "[--inject-bug] [--json]\n");
+                   "[--inject-bug] [--inject-bug-xshard] [--json]\n");
       return 2;
     }
   }
@@ -276,13 +313,22 @@ int main(int argc, char** argv) {
     // shard fully monitored when sampling was left off.
     if (o.serve.samplePermille == 0) o.serve.samplePermille = 250;
   }
+  if (o.injectBugXShard) {
+    o.serve.injectCrossShardBug = true;
+    // The 2PC defect fires only on a monitored commit-apply, and the
+    // conviction needs later monitored traffic on the dropped keys: keep
+    // shard 0 at full duty and make every txn cross-shard by default.
+    if (o.serve.samplePermille == 0) o.serve.samplePermille = 500;
+    if (o.load.crossShardPct == 0) o.load.crossShardPct = 100;
+    if (o.load.txnPct == 0) o.load.txnPct = 5;
+  }
 
   JungleServe sv(o.serve);
   const LoadReport r = runLoad(sv, o.load);
   sv.shutdown();
 
   bool ok;
-  if (o.injectBug) {
+  if (o.injectBug || o.injectBugXShard) {
     ok = sv.totalViolations() > 0;
     if (!o.json) {
       std::printf("self-test: injected bug %s\n",

@@ -53,6 +53,8 @@ for b in "$BUILD"/bench/*; do
     # EXPERIMENTS.md §5e: aggregate service throughput and the cost of
     # sampled verification.  Medians over 5 repetitions; the p=10 vs p=0
     # pair at shards=4 is the "1% sampling costs < 10%" acceptance row.
+    # The unfiltered run also emits the ServeTxnX/<tm>/shards=4/x=X rows
+    # (cross-shard 2PC latency tax at x = 0/5/20% of total traffic).
     "$b" --benchmark_out="$OUT/BENCH_serve.json" \
          --benchmark_out_format=json --benchmark_repetitions=5 \
          --benchmark_enable_random_interleaving=true \
@@ -120,5 +122,17 @@ done
 "$BUILD/examples/jungle_serve" --tm tl2-weak --shards 2 --clients 2 \
   --keys 1024 --ops 5000 --inject-bug --seed 7 \
   | tee "$OUT/serve_selftest.txt"
+# Cross-shard 2PC: sampled, violation-free runs with 20% of the txn mix
+# spanning shards, plus the cross-shard atomicity-bug self-test (the
+# sampled monitor must convict a commit-on-A/drop-on-B defect).
+for tm in tl2-weak si-mvcc; do
+  "$BUILD/examples/jungle_serve" --tm "$tm" --shards 4 --clients 2 \
+    --keys 8192 --ops 100000 --txn-pct 10 --cross-shard-pct 20 \
+    --sample-permille 10 --seed 7 --json \
+    | tee "$OUT/serve_xshard_$tm.json"
+done
+"$BUILD/examples/jungle_serve" --tm tl2-weak --shards 2 --clients 2 \
+  --keys 64 --ops 30000 --inject-bug-xshard --zipf-theta 0.9 --seed 7 \
+  | tee "$OUT/serve_xshard_selftest.txt"
 
 echo "all outputs in $OUT"

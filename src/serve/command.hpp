@@ -1,13 +1,16 @@
 // Client-facing command vocabulary of the jungle_serve KV service.
 //
 // A Command is a fixed-size POD so the SPSC ingestion rings move it with a
-// raw copy; a CommandResult is the acknowledgment the owning shard pushes
-// back on the client's response ring once the command's transaction has
-// committed (or conclusively failed its retry budget).  Multi-key
-// transactions are single-shard by design — like hash-slot-constrained
-// multi-key operations in production sharded stores — so every key of a
-// kTxn command must map to the same shard (the load generator aligns its
-// draws; Client::trySubmit checks the invariant).
+// raw copy; a CommandResult is the acknowledgment pushed back on the
+// client's response ring once the command's transaction has committed (or
+// conclusively failed its retry budget).  Multi-key transactions come in
+// two flavors: kTxn is hash-slot-constrained to a single shard (every key
+// must map to the same shard; the owning shard executes it as one local TM
+// transaction), while kTxnX may span shards — the service routes it to the
+// two-phase-commit coordinator (serve/coordinator.hpp), which runs a
+// deferred-update 2PC over the participant shards.  A kTxnX whose keys all
+// happen to share a shard is demoted to kTxn at submit and takes the fast
+// local path.
 #pragma once
 
 #include <cstdint>
@@ -16,17 +19,24 @@
 
 namespace jungle::serve {
 
-/// Maximum keys one kTxn command may touch (fixed so Command stays POD and
-/// ring slots stay cache-friendly).
+/// Maximum keys one kTxn/kTxnX command may touch (fixed so Command stays
+/// POD and ring slots stay cache-friendly).
 inline constexpr std::size_t kMaxTxnKeys = 4;
 
 enum class CmdKind : std::uint8_t {
-  kGet,  // value = read(keys[0])
-  kPut,  // write(keys[0], vals[0]); value = vals[0]
-  kRmw,  // v = read(keys[0]); write(keys[0], v + vals[0]); value = v
-  kTxn,  // for i < nKeys: v_i = read(keys[i]); write(keys[i], v_i + vals[i]);
-         // value = sum of the v_i (one atomic multi-key read-modify-write)
+  kGet,   // value = read(keys[0])
+  kPut,   // write(keys[0], vals[0]); value = vals[0]
+  kRmw,   // v = read(keys[0]); write(keys[0], v + vals[0]); value = v
+  kTxn,   // for i < nKeys: v_i = read(keys[i]); write(keys[i], v_i + vals[i]);
+          // value = sum of the v_i (one atomic multi-key read-modify-write;
+          // all keys on one shard)
+  kTxnX,  // same semantics as kTxn, but the keys may span shards; executed
+          // atomically across shards via the 2PC coordinator
 };
+
+/// Number of CmdKind enumerators (latency histograms and per-kind stat
+/// tables are sized by this; the command tag reserves 3 bits for it).
+inline constexpr std::size_t kCmdKindCount = 5;
 
 struct Command {
   CmdKind kind = CmdKind::kGet;
@@ -44,9 +54,12 @@ enum class CmdStatus : std::uint8_t {
   kFailed,  // bounded retry-on-abort budget exhausted; nothing committed
 };
 
-/// Acknowledgment.  `seq` is the command's position in its (client, shard)
-/// queue — submission order, which the shard consumes FIFO — so a client
-/// can match responses to requests without carrying ids in the Command.
+/// Acknowledgment.  `seq` is the command's position in its (client, lane)
+/// queue — submission order per shard lane (which the shard consumes FIFO)
+/// or per coordinator lane — so a client can match responses to requests
+/// without carrying ids in the Command.  Coordinator acknowledgments may
+/// arrive out of submission order (independent transactions decide
+/// independently); `seq` is what keeps them attributable.
 struct CommandResult {
   std::uint64_t seq = 0;
   Word value = 0;
@@ -65,6 +78,8 @@ inline const char* cmdKindName(CmdKind k) {
       return "rmw";
     case CmdKind::kTxn:
       return "txn";
+    case CmdKind::kTxnX:
+      return "txnx";
   }
   return "?";
 }

@@ -1,0 +1,217 @@
+#include "serve/coordinator.hpp"
+
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/sync.hpp"
+#include "serve/shard.hpp"
+
+namespace jungle::serve {
+
+Coordinator::Coordinator(const CoordinatorOptions& opts,
+                         std::vector<ClientLane*> lanes)
+    : opts_(opts), lanes_(std::move(lanes)), popped_(lanes_.size(), 0) {
+  JUNGLE_CHECK(opts_.shards >= 1);
+  JUNGLE_CHECK(opts_.maxInFlight >= 1);
+  JUNGLE_CHECK(!lanes_.empty());
+  // Per transaction per shard at most one protocol message is in flight in
+  // each direction (prepare is popped before the vote exists, the vote is
+  // popped before the decide exists, ...), so rings sized to the in-flight
+  // cap make every push below infallible; 2x is headroom, not necessity.
+  channels_.reserve(opts_.shards);
+  for (std::size_t s = 0; s < opts_.shards; ++s) {
+    channels_.push_back(std::make_unique<XChannel>(2 * opts_.maxInFlight));
+  }
+  txns_.resize(opts_.maxInFlight);
+  freeSlots_.reserve(opts_.maxInFlight);
+  for (std::size_t i = opts_.maxInFlight; i > 0; --i) {
+    freeSlots_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+}
+
+bool Coordinator::clientLanesEmpty() const {
+  for (const ClientLane* lane : lanes_) {
+    if (!lane->cmd.empty()) return false;
+  }
+  return true;
+}
+
+bool Coordinator::intake() {
+  bool progress = false;
+  while (!freeSlots_.empty()) {
+    bool any = false;
+    for (std::size_t c = 0; c < lanes_.size() && !freeSlots_.empty(); ++c) {
+      Command cmd;
+      if (!lanes_[c]->cmd.tryPop(cmd)) continue;
+      any = progress = true;
+      // The service demotes single-shard kTxnX to kTxn at submit; only
+      // genuinely cross-shard transactions reach this lane.
+      JUNGLE_CHECK(cmd.kind == CmdKind::kTxnX);
+      const std::uint32_t slot = freeSlots_.back();
+      freeSlots_.pop_back();
+      XTxn& t = txns_[slot];
+      t.live = true;
+      t.client = c;
+      t.seq = popped_[c]++;
+      t.tag = cmd.tag;
+      t.cmd = cmd;
+      t.attempt = 0;
+      t.nParticipants = 0;
+      for (std::size_t i = 0; i < cmd.nKeys; ++i) {
+        const auto s = static_cast<std::uint32_t>(cmd.keys[i] % opts_.shards);
+        std::size_t j = 0;
+        while (j < t.nParticipants && t.participants[j] != s) ++j;
+        if (j == t.nParticipants) t.participants[t.nParticipants++] = s;
+      }
+      ++liveTxns_;
+      sendPrepares(slot);
+    }
+    if (!any) break;
+  }
+  return progress;
+}
+
+void Coordinator::sendPrepares(std::uint32_t slot) {
+  XTxn& t = txns_[slot];
+  t.votesPending = t.nParticipants;
+  t.donesPending = 0;
+  t.anyNo = false;
+  t.sum = 0;
+  for (std::size_t p = 0; p < t.nParticipants; ++p) {
+    t.voteYes[p] = false;
+    XMsg m;
+    m.kind = XMsg::Kind::kPrepare;
+    m.txn = slot;
+    m.nKeys = 0;
+    for (std::size_t i = 0; i < t.cmd.nKeys; ++i) {
+      if (t.cmd.keys[i] % opts_.shards != t.participants[p]) continue;
+      m.keys[m.nKeys] = t.cmd.keys[i];
+      m.deltas[m.nKeys] = t.cmd.vals[i];
+      ++m.nKeys;
+    }
+    JUNGLE_CHECK(m.nKeys >= 1);
+    JUNGLE_CHECK(channels_[t.participants[p]]->toShard.tryPush(m));
+    ++stats_.prepares;
+  }
+}
+
+bool Coordinator::pump() {
+  bool progress = false;
+  for (std::size_t s = 0; s < channels_.size(); ++s) {
+    XMsg m;
+    while (channels_[s]->toCoord.tryPop(m)) {
+      progress = true;
+      XTxn& t = txns_[m.txn];
+      JUNGLE_CHECK(t.live);
+      std::size_t p = 0;
+      while (p < t.nParticipants && t.participants[p] != s) ++p;
+      JUNGLE_CHECK(p < t.nParticipants);
+      if (m.kind == XMsg::Kind::kVote) {
+        JUNGLE_CHECK(t.votesPending > 0);
+        --t.votesPending;
+        if (m.flag) {
+          t.voteYes[p] = true;
+          t.sum += m.sum;
+        } else {
+          t.anyNo = true;
+          ++stats_.voteNo;
+        }
+        if (t.votesPending == 0) decide(m.txn);
+      } else {
+        JUNGLE_CHECK(m.kind == XMsg::Kind::kDone);
+        JUNGLE_CHECK(t.donesPending > 0);
+        --t.donesPending;
+        if (t.donesPending == 0) settle(m.txn);
+      }
+    }
+  }
+  return progress;
+}
+
+void Coordinator::decide(std::uint32_t slot) {
+  XTxn& t = txns_[slot];
+  const bool commit = !t.anyNo;
+  // Commit goes to every participant (all voted YES); abort only to the
+  // YES voters — a NO voter reserved nothing and is already out.
+  for (std::size_t p = 0; p < t.nParticipants; ++p) {
+    if (!t.voteYes[p]) continue;
+    XMsg m;
+    m.kind = XMsg::Kind::kDecide;
+    m.txn = slot;
+    m.flag = commit;
+    JUNGLE_CHECK(channels_[t.participants[p]]->toShard.tryPush(m));
+    ++t.donesPending;
+  }
+  if (t.donesPending == 0) settle(slot);  // every participant voted NO
+}
+
+void Coordinator::settle(std::uint32_t slot) {
+  XTxn& t = txns_[slot];
+  if (!t.anyNo) {
+    ack(slot, CmdStatus::kOk, t.sum);
+    return;
+  }
+  // Aborted round: bounded retry, mirroring the shards' command budget.
+  // No explicit backoff — the next prepare lands at the participants'
+  // *next* epoch boundaries, so a full epoch of other work spaces the
+  // rounds apart naturally.
+  if (t.attempt + 1 >= opts_.maxCommandRetries) {
+    ack(slot, CmdStatus::kFailed, 0);
+    return;
+  }
+  ++t.attempt;
+  ++stats_.retries;
+  sendPrepares(slot);
+}
+
+void Coordinator::ack(std::uint32_t slot, CmdStatus status, Word value) {
+  XTxn& t = txns_[slot];
+  CommandResult r;
+  r.seq = t.seq;
+  r.value = value;
+  r.tag = t.tag;
+  r.status = status;
+  // Never full: the client's credit scheme caps outstanding commands per
+  // coordinator lane at the ring capacity.
+  JUNGLE_CHECK(lanes_[t.client]->resp.tryPush(r));
+  ++stats_.txns;
+  if (status == CmdStatus::kOk) {
+    ++stats_.committed;
+  } else {
+    ++stats_.failed;
+  }
+  t.live = false;
+  freeSlots_.push_back(slot);
+  JUNGLE_CHECK(liveTxns_ > 0);
+  --liveTxns_;
+}
+
+void Coordinator::run() {
+  Backoff idle;
+  std::uint32_t idleRounds = 0;
+  for (;;) {
+    bool progress = intake();
+    progress = pump() || progress;
+    if (!progress) {
+      if (stop_.load(std::memory_order_acquire) && liveTxns_ == 0 &&
+          clientLanesEmpty()) {
+        break;
+      }
+      if (++idleRounds > 64) {
+        std::this_thread::sleep_for(opts_.idlePoll);
+      } else {
+        idle.pause();
+      }
+      continue;
+    }
+    idleRounds = 0;
+    idle.reset();
+  }
+  // No further message will ever be pushed: let the shards' drainers
+  // retire (shard exit is gated on this close + an empty channel).
+  for (auto& ch : channels_) {
+    ch->closed.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace jungle::serve

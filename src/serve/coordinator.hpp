@@ -1,0 +1,171 @@
+// Two-phase-commit coordinator for cross-shard transactions (kTxnX).
+//
+// The service routes every multi-shard kTxnX to this coordinator, which
+// runs deferred-update 2PC over the participant shards:
+//
+//   PREPARE  The coordinator splits the command's (key, delta) list into
+//            per-shard slices and pushes one XMsg::kPrepare per
+//            participant onto that shard's coordinator channel.  The
+//            shard services its channel at epoch boundaries — the points
+//            where it is quiescent (executor lanes parked, no command
+//            mid-flight) — executes the slice's reads in a local TM
+//            transaction, BUFFERS the writes (deferred update: nothing
+//            becomes visible), reserves the slice's keys, and votes.  A
+//            shard votes NO only on real conflict (a key already reserved
+//            by an undecided transaction) or an exhausted maxTxAttempts
+//            budget — commit stays progressive.
+//
+//   DECIDE   Once every vote is in, the coordinator broadcasts
+//            kDecide(commit) iff all votes were YES, else kDecide(abort)
+//            to the YES voters (NO voters reserved nothing).  On commit
+//            the shard applies its buffered writes as one blind-write TM
+//            transaction and releases the reservation; on abort it just
+//            releases.  Either way it acknowledges with kDone, and when
+//            every kDone is in the coordinator acks the client: kOk with
+//            the summed prepare-time reads, or — after `maxCommandRetries`
+//            abort-and-retry rounds — kFailed with nothing committed
+//            anywhere.  An acked kTxnX is therefore all-or-nothing across
+//            shards.
+//
+// Between its YES vote and the decision a shard runs no epochs (it keeps
+// servicing its channel, voting on further prepares), so reserved keys
+// are never touched by concurrent commands: the transaction holds all its
+// reservations from prepare to post-decision apply on every participant —
+// two-phase locking at epoch granularity, hence serializable.  The scheme
+// is deadlock-free because votes never wait on other transactions
+// (conflicting prepares vote NO immediately) and the coordinator decides
+// each transaction as soon as its own votes arrive; a blocked shard's
+// decision therefore needs nothing further from that shard.  DESIGN.md
+// §11 documents the protocol and the epoch-boundary alignment choice.
+//
+// Channel discipline mirrors the client lanes: per-shard SPSC ring pairs
+// sized to the coordinator's in-flight cap, so every protocol push is
+// infallible (checked, not handled).  Shutdown: requestStop() lets the
+// coordinator finish every accepted transaction — shards stay alive until
+// the coordinator closes their channels — so graceful drain loses no
+// acknowledgment and leaves no prepared-undecided slice behind.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/command.hpp"
+#include "serve/command_queue.hpp"
+#include "serve/stats.hpp"
+
+namespace jungle::serve {
+
+struct ClientLane;
+
+/// One message of the coordinator <-> shard protocol.  POD, fixed size,
+/// moved by raw copy through the SPSC channel rings.
+struct XMsg {
+  enum class Kind : std::uint8_t {
+    kPrepare,  // coordinator -> shard: read + buffer + reserve, then vote
+    kVote,     // shard -> coordinator: yes + partial sum, or no
+    kDecide,   // coordinator -> shard: commit (apply buffer) or abort
+    kDone,     // shard -> coordinator: decision applied, reservation freed
+  };
+  Kind kind = Kind::kPrepare;
+  /// kVote: YES; kDecide: commit.
+  bool flag = false;
+  std::uint8_t nKeys = 0;
+  /// Coordinator transaction slot id (stable across retry rounds).
+  std::uint32_t txn = 0;
+  ObjectId keys[kMaxTxnKeys] = {0, 0, 0, 0};
+  Word deltas[kMaxTxnKeys] = {0, 0, 0, 0};
+  /// kVote(YES): sum of the slice's prepare-time reads.
+  Word sum = 0;
+};
+
+/// The SPSC ring pair connecting the coordinator to one shard's drainer.
+struct XChannel {
+  explicit XChannel(std::size_t capacity)
+      : toShard(capacity), toCoord(capacity) {}
+  SpscRing<XMsg> toShard;  // producer: coordinator; consumer: drainer
+  SpscRing<XMsg> toCoord;  // producer: drainer; consumer: coordinator
+  /// Set (release) by the coordinator after its last push, once it will
+  /// never message this shard again; the drainer may exit only when this
+  /// is set and toShard is drained.
+  std::atomic<bool> closed{false};
+};
+
+struct CoordinatorOptions {
+  std::size_t shards = 1;
+  /// Concurrent kTxnX transactions in some 2PC phase; also sizes the
+  /// channel rings so protocol pushes cannot meet a full ring.
+  std::size_t maxInFlight = 256;
+  /// Abort-and-retry rounds before acking kFailed (same knob and
+  /// semantics as the shards' command retry budget).
+  int maxCommandRetries = 4;
+  std::chrono::microseconds idlePoll{50};
+};
+
+class Coordinator {
+ public:
+  /// `lanes[c]` is client c's coordinator lane; pointers must outlive the
+  /// coordinator.  Channels are created here, one per shard, and handed
+  /// to the shards by the service.
+  Coordinator(const CoordinatorOptions& opts, std::vector<ClientLane*> lanes);
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  XChannel& channel(std::size_t shard) { return *channels_[shard]; }
+
+  /// The coordinator loop; runs on its own pool worker until stopped and
+  /// fully drained, then closes every shard channel and returns.
+  void run();
+
+  /// Begin graceful drain: finish every accepted transaction (the client
+  /// lanes are drained to empty first), ack it, then exit.  Callers must
+  /// have stopped submitting.
+  void requestStop() { stop_.store(true, std::memory_order_release); }
+
+  /// Valid after run() has returned.
+  const CoordinatorStats& stats() const { return stats_; }
+
+ private:
+  /// One in-flight cross-shard transaction (a slot; `live` gates reuse).
+  struct XTxn {
+    bool live = false;
+    std::size_t client = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t tag = 0;
+    Command cmd;
+    int attempt = 0;
+    /// Participant shards, derived from cmd's keys (deduplicated).
+    std::uint32_t participants[kMaxTxnKeys];
+    /// Per participant: voted YES this round (holds a reservation, so it
+    /// must see the decision; NO voters are already out).
+    bool voteYes[kMaxTxnKeys] = {false, false, false, false};
+    std::uint8_t nParticipants = 0;
+    std::uint8_t votesPending = 0;
+    std::uint8_t donesPending = 0;
+    bool anyNo = false;
+    Word sum = 0;
+  };
+
+  bool intake();
+  bool pump();
+  void sendPrepares(std::uint32_t slot);
+  void decide(std::uint32_t slot);
+  void settle(std::uint32_t slot);
+  void ack(std::uint32_t slot, CmdStatus status, Word value);
+  bool clientLanesEmpty() const;
+
+  CoordinatorOptions opts_;
+  std::vector<ClientLane*> lanes_;              // per client
+  std::vector<std::uint64_t> popped_;           // per client; seq numbering
+  std::vector<std::unique_ptr<XChannel>> channels_;  // per shard
+  std::vector<XTxn> txns_;                      // maxInFlight slots
+  std::vector<std::uint32_t> freeSlots_;
+  std::size_t liveTxns_ = 0;
+  std::atomic<bool> stop_{false};
+  CoordinatorStats stats_;
+};
+
+}  // namespace jungle::serve

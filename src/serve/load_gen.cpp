@@ -18,7 +18,7 @@ struct ClientTally {
   std::uint64_t committed = 0;
   std::uint64_t failed = 0;
   std::uint64_t fullRetries = 0;
-  std::array<Log2Histogram, 4> latencyUs;  // indexed by CmdKind
+  std::array<Log2Histogram, kCmdKindCount> latencyUs;  // indexed by CmdKind
 };
 
 class ClientDriver {
@@ -68,33 +68,45 @@ class ClientDriver {
     } else if (pick < opts_.readPct + opts_.rmwPct) {
       c.kind = CmdKind::kRmw;
     } else if (pick < opts_.readPct + opts_.rmwPct + opts_.txnPct) {
-      c.kind = CmdKind::kTxn;
+      // Cross-shard draw only when enabled, so at crossShardPct = 0 the
+      // RNG consumption — and hence the whole generated stream — is
+      // byte-identical to a run without the coordinator path.
+      c.kind = (opts_.crossShardPct > 0 &&
+                rng_.below(100) < opts_.crossShardPct)
+                   ? CmdKind::kTxnX
+                   : CmdKind::kTxn;
     } else {
       c.kind = CmdKind::kPut;
     }
     // Tag: submit timestamp (us since this driver started) in the high
-    // bits, command kind in the low two — echoed in the ack, so latency
+    // bits, command kind in the low three — echoed in the ack, so latency
     // needs no client-side in-flight table.  Stamped on a 1-in-8 sample:
     // a clock read costs ~90 ns here, comparable to the whole per-command
     // pipeline budget, so stamping every command measurably depresses the
     // throughput it is meant to characterize.  tag = 0 marks "unstamped".
     c.tag = (seq_++ & 7) == 0
-                ? (nowUs() << 2) | static_cast<std::uint64_t>(c.kind)
+                ? (nowUs() << 3) | static_cast<std::uint64_t>(c.kind)
                 : 0;
     c.keys[0] = static_cast<ObjectId>(zipf_.next(rng_));
     c.vals[0] = 1 + rng_.below(64);
-    if (c.kind == CmdKind::kTxn) {
+    if (c.kind == CmdKind::kTxn || c.kind == CmdKind::kTxnX) {
       std::size_t want = opts_.txnKeys;
       if (want < 1) want = 1;
       if (want > kMaxTxnKeys) want = kMaxTxnKeys;
       c.nKeys = static_cast<std::uint8_t>(want);
       const std::uint64_t shard = c.keys[0] % shards_;
       for (std::size_t i = 1; i < want; ++i) {
-        // Align each extra draw to the first key's shard (hash-slot
-        // constraint) while keeping the zipfian popularity profile.
         std::uint64_t k = zipf_.next(rng_);
-        k = k - (k % shards_) + shard;
-        if (k >= numKeys_) k -= shards_;
+        if (c.kind == CmdKind::kTxn) {
+          // Align each extra draw to the first key's shard (hash-slot
+          // constraint) while keeping the zipfian popularity profile.
+          k = k - (k % shards_) + shard;
+          if (k >= numKeys_) k -= shards_;
+        } else if (i == 1 && shards_ > 1) {
+          // Guarantee the transaction actually spans shards: force the
+          // second key off the first key's shard (later keys draw free).
+          while (k % shards_ == shard) k = (k + 1) % numKeys_;
+        }
         c.keys[i] = static_cast<ObjectId>(k);
         c.vals[i] = 1 + rng_.below(64);
       }
@@ -123,8 +135,8 @@ class ClientDriver {
         ++tally_.failed;
       }
       if (r.tag == 0) continue;  // unstamped (latency sampling)
-      const std::uint64_t sent = r.tag >> 2;
-      tally_.latencyUs[r.tag & 3].record(now > sent ? now - sent : 0);
+      const std::uint64_t sent = r.tag >> 3;
+      tally_.latencyUs[r.tag & 7].record(now > sent ? now - sent : 0);
     }
   }
 
@@ -145,8 +157,8 @@ class ClientDriver {
           ++tally_.failed;
         }
         if (r.tag == 0) continue;  // unstamped (latency sampling)
-        const std::uint64_t sent = r.tag >> 2;
-        tally_.latencyUs[r.tag & 3].record(now > sent ? now - sent : 0);
+        const std::uint64_t sent = r.tag >> 3;
+        tally_.latencyUs[r.tag & 7].record(now > sent ? now - sent : 0);
       }
     }
   }
@@ -176,6 +188,7 @@ class ClientDriver {
 
 LoadReport runLoad(JungleServe& serve, const LoadOptions& opts) {
   JUNGLE_CHECK(opts.readPct + opts.rmwPct + opts.txnPct <= 100);
+  JUNGLE_CHECK(opts.crossShardPct <= 100);
   JUNGLE_CHECK(opts.opsPerClient > 0 || opts.durationSeconds > 0.0);
   const std::size_t clients = serve.options().clients;
   const Zipfian zipf(serve.options().numKeys, opts.zipfTheta);

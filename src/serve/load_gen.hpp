@@ -3,9 +3,11 @@
 // (common/zipf.hpp), and a configurable get/put/rmw/txn mix.
 //
 // Multi-key transactions draw their first key freely and align the rest to
-// the same shard's residue class (key mod shards), honoring the service's
-// single-shard transaction constraint while still following the skewed key
-// popularity.  Submission is credit-limited: when a lane refuses a
+// the same shard's residue class (key mod shards), honoring the fast local
+// path's hash-slot constraint while still following the skewed key
+// popularity — except that a `crossShardPct` fraction of them is issued as
+// kTxnX with the second key forced onto a different shard, exercising the
+// 2PC coordinator.  Submission is credit-limited: when a lane refuses a
 // command, the client drains responses and backs off (counted in
 // fullRetries — the bench's queue-pressure gauge).  After the op budget or
 // duration expires, each client settles: drains until acked == submitted,
@@ -29,6 +31,11 @@ struct LoadOptions {
   unsigned rmwPct = 0;
   unsigned txnPct = 0;
   std::size_t txnKeys = 2;
+  /// Percent of the txn mix issued as cross-shard kTxnX (keys drawn from
+  /// >= 2 shards, routed through the 2PC coordinator).  0 keeps the
+  /// generated command stream byte-identical to a build without the
+  /// coordinator path — no extra RNG draws happen.
+  unsigned crossShardPct = 0;
   /// Per-client op budget; 0 = run until `durationSeconds` elapses.
   std::uint64_t opsPerClient = 100000;
   double durationSeconds = 0.0;
@@ -54,7 +61,7 @@ struct LoadReport {
   /// latency an open-loop client actually observes.  Stamped on a 1-in-8
   /// command sample — a clock read rivals the per-command pipeline cost,
   /// so exhaustive stamping would depress the measured throughput.
-  std::array<Log2Histogram, 4> latencyUs;
+  std::array<Log2Histogram, kCmdKindCount> latencyUs;
 };
 
 /// Drives every client of `serve` from its own thread until the budget is

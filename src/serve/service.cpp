@@ -33,6 +33,23 @@ JungleServe::JungleServe(const ServeOptions& opts) : opts_(opts) {
     }
   }
 
+  // The 2PC coordinator: one kTxnX lane per client (same credit scheme as
+  // the shard lanes) plus a protocol channel per shard, created by the
+  // coordinator and handed to the shards below.
+  coordLanes_.reserve(opts_.clients);
+  std::vector<ClientLane*> coordLanePtrs;
+  coordLanePtrs.reserve(opts_.clients);
+  for (std::size_t c = 0; c < opts_.clients; ++c) {
+    coordLanes_.push_back(std::make_unique<ClientLane>(opts_.queueCapacity));
+    coordLanePtrs.push_back(coordLanes_.back().get());
+  }
+  CoordinatorOptions co;
+  co.shards = opts_.shards;
+  co.maxInFlight = opts_.coordinatorInFlight == 0 ? 1 : opts_.coordinatorInFlight;
+  co.maxCommandRetries = opts_.maxCommandRetries;
+  co.idlePoll = opts_.idlePoll;
+  coordinator_ = std::make_unique<Coordinator>(co, std::move(coordLanePtrs));
+
   shards_.reserve(opts_.shards);
   for (std::size_t s = 0; s < opts_.shards; ++s) {
     ShardOptions so;
@@ -45,6 +62,7 @@ JungleServe::JungleServe(const ServeOptions& opts) : opts_(opts) {
     so.maxTxAttempts = opts_.maxTxAttempts;
     so.maxCommandRetries = opts_.maxCommandRetries;
     so.idlePoll = opts_.idlePoll;
+    so.coordChannel = &coordinator_->channel(s);
     if (s < sampledShards_) {
       so.dutyPermille = dutyPermille_;
       so.windowEpochs = opts_.sampleWindowEpochs;
@@ -54,9 +72,12 @@ JungleServe::JungleServe(const ServeOptions& opts) : opts_(opts) {
       so.monitorRingCapacity = opts_.monitorRingCapacity;
       so.monitorPoll = opts_.monitorPoll;
       so.snapshotDir = opts_.snapshotDir;
-      // The injected capture defect goes to exactly one monitor so the
-      // self-test's conviction count is deterministic.
-      if (s == 0) so.injectBug = opts_.injectBug;
+      // The injected defects go to exactly one (sampled) shard so the
+      // self-tests' conviction counts are deterministic.
+      if (s == 0) {
+        so.injectBug = opts_.injectBug;
+        so.injectXShardBug = opts_.injectCrossShardBug;
+      }
     }
     std::vector<ClientLane*> shardLanes;
     shardLanes.reserve(opts_.clients);
@@ -68,16 +89,17 @@ JungleServe::JungleServe(const ServeOptions& opts) : opts_(opts) {
   for (std::size_t c = 0; c < opts_.clients; ++c) {
     Client& cl = clients_[c];
     cl.serve_ = this;
-    cl.lanes_.reserve(opts_.shards);
+    cl.lanes_.reserve(opts_.shards + 1);
     for (std::size_t s = 0; s < opts_.shards; ++s) {
       cl.lanes_.push_back(lanes_[s][c].get());
     }
-    cl.inFlight_.assign(opts_.shards, 0);
+    cl.lanes_.push_back(coordLanes_[c].get());  // index opts_.shards
+    cl.inFlight_.assign(opts_.shards + 1, 0);
   }
 
   startedAt_ = std::chrono::steady_clock::now();
   pool_ = std::make_unique<ThreadPool>(
-      static_cast<unsigned>(opts_.shards * opts_.executorsPerShard));
+      static_cast<unsigned>(opts_.shards * opts_.executorsPerShard + 1));
   for (std::size_t s = 0; s < opts_.shards; ++s) {
     Shard* shard = shards_[s].get();
     pool_->submit([shard] { shard->drainerLoop(); });
@@ -85,6 +107,8 @@ JungleServe::JungleServe(const ServeOptions& opts) : opts_(opts) {
       pool_->submit([shard, lane] { shard->executorLoop(lane); });
     }
   }
+  Coordinator* coord = coordinator_.get();
+  pool_->submit([coord] { coord->run(); });
 }
 
 JungleServe::~JungleServe() { shutdown(); }
@@ -98,19 +122,36 @@ bool JungleServe::Client::trySubmit(const Command& c) {
   JUNGLE_CHECK(c.nKeys >= 1 && c.nKeys <= kMaxTxnKeys);
   JungleServe& sv = *serve_;
   const std::size_t shard = sv.shardOf(c.keys[0]);
+  bool cross = false;
   for (std::size_t i = 0; i < c.nKeys; ++i) {
     JUNGLE_CHECK(c.keys[i] < sv.opts_.numKeys);
-    // Single-shard transactions only (hash-slot constraint).
-    JUNGLE_CHECK(sv.shardOf(c.keys[i]) == shard);
+    if (sv.shardOf(c.keys[i]) != shard) cross = true;
+  }
+  const Command* toPush = &c;
+  Command demoted;
+  std::size_t laneIdx = shard;
+  if (c.kind == CmdKind::kTxnX) {
+    if (cross) {
+      laneIdx = sv.opts_.shards;  // the coordinator lane
+    } else {
+      // Every key on one shard: demote to kTxn, fast local path — no 2PC,
+      // byte-identical to submitting kTxn directly.
+      demoted = c;
+      demoted.kind = CmdKind::kTxn;
+      toPush = &demoted;
+    }
+  } else {
+    // Only kTxnX may span shards (hash-slot constraint).
+    JUNGLE_CHECK(!cross);
   }
   if (sv.stopped_.load(std::memory_order_acquire)) return false;
-  ClientLane& lane = *lanes_[shard];
+  ClientLane& lane = *lanes_[laneIdx];
   // Credit: responses we have not popped yet occupy response-ring slots,
-  // so cap outstanding-per-lane at the ring capacity and the shard's ack
-  // push can never find the ring full.
-  if (inFlight_[shard] >= lane.resp.capacity()) return false;
-  if (!lane.cmd.tryPush(c)) return false;
-  ++inFlight_[shard];
+  // so cap outstanding-per-lane at the ring capacity and the executor's
+  // ack push can never find the ring full.
+  if (inFlight_[laneIdx] >= lane.resp.capacity()) return false;
+  if (!lane.cmd.tryPush(*toPush)) return false;
+  ++inFlight_[laneIdx];
   ++submitted_;
   return true;
 }
@@ -133,13 +174,19 @@ std::size_t JungleServe::Client::drainResponses(std::vector<CommandResult>& out)
 void JungleServe::shutdown() {
   if (finalized_) return;
   stopped_.store(true, std::memory_order_release);
+  // Drain order: shards' exits are gated on the coordinator closing their
+  // channels, and the coordinator finishes (and acks) every accepted
+  // kTxnX before closing — so stopping everything at once is safe and no
+  // accepted command is lost, even mid-2PC.
   for (auto& shard : shards_) shard->requestStop();
+  coordinator_->requestStop();
   pool_->wait();
   const auto ended = std::chrono::steady_clock::now();
   for (auto& shard : shards_) shard->finalize();
   stats_.shards.clear();
   stats_.shards.reserve(shards_.size());
   for (auto& shard : shards_) stats_.shards.push_back(shard->stats());
+  stats_.coordinator = coordinator_->stats();
   stats_.wallSeconds =
       std::chrono::duration<double>(ended - startedAt_).count();
   finalized_ = true;

@@ -7,7 +7,15 @@
 // command/response rings with a credit scheme: a client may have at most
 // ring-capacity commands outstanding per shard, which makes the shard's
 // acknowledgment push wait-free and bounds memory.  All threads come from
-// one common/thread_pool.hpp pool (shards * executorsPerShard workers).
+// one common/thread_pool.hpp pool (shards * executorsPerShard workers,
+// plus one for the 2PC coordinator).
+//
+// Cross-shard transactions: kTxnX commands whose keys span shards route to
+// a per-service coordinator lane (one extra lane per client, same credit
+// scheme) and run deferred-update 2PC over the participant shards
+// (coordinator.hpp); a kTxnX whose keys share a shard is demoted to kTxn
+// at submit and takes the fast local path.  An acked kTxnX is atomic
+// across shards, and graceful drain still loses nothing.
 //
 // Sampled runtime verification: samplePermille of total service traffic is
 // replayed through monitor/instrumented_runtime.hpp into the sharded
@@ -30,6 +38,7 @@
 
 #include "common/thread_pool.hpp"
 #include "serve/command.hpp"
+#include "serve/coordinator.hpp"
 #include "serve/shard.hpp"
 #include "serve/stats.hpp"
 
@@ -64,7 +73,13 @@ struct ServeOptions {
   /// Collector poll interval of the sampled monitors (see shard.hpp).
   std::chrono::microseconds monitorPoll{1000};
   monitor::InjectedBug injectBug = monitor::InjectedBug::kNone;
+  /// Plant the cross-shard atomicity defect on the first sampled shard
+  /// (shard.hpp: injectXShardBug) for the 2PC conviction self-test.
+  bool injectCrossShardBug = false;
   std::string snapshotDir;
+  /// Concurrent kTxnX transactions the 2PC coordinator admits
+  /// (coordinator.hpp); also sizes its protocol channels.
+  std::size_t coordinatorInFlight = 256;
 };
 
 class JungleServe {
@@ -82,9 +97,12 @@ class JungleServe {
   /// time.  Handles stay usable for drainResponses after shutdown().
   class Client {
    public:
-    /// Routes by keys[0]; kTxn commands must keep every key on one shard
-    /// (checked).  False when the lane is out of credit or the service is
-    /// shutting down — back off and retry, or drain responses.
+    /// Routes by keys[0].  kTxn (and single-key kinds) must keep every
+    /// key on one shard (checked); kTxnX may span shards — a multi-shard
+    /// kTxnX routes to the coordinator lane, a single-shard one is
+    /// demoted to kTxn and takes the fast local path.  False when the
+    /// target lane is out of credit or the service is shutting down —
+    /// back off and retry, or drain responses.
     bool trySubmit(const Command& c);
 
     /// Pops every pending acknowledgment (all shards) into `out`.
@@ -97,8 +115,9 @@ class JungleServe {
    private:
     friend class JungleServe;
     JungleServe* serve_ = nullptr;
-    std::vector<ClientLane*> lanes_;       // per shard
-    std::vector<std::uint64_t> inFlight_;  // per shard; credit bookkeeping
+    /// Per shard, plus the coordinator lane at index `shards`.
+    std::vector<ClientLane*> lanes_;
+    std::vector<std::uint64_t> inFlight_;  // per lane; credit bookkeeping
     std::uint64_t submitted_ = 0;
     std::uint64_t acked_ = 0;
   };
@@ -133,6 +152,9 @@ class JungleServe {
   unsigned dutyPermille_ = 0;
   // lanes_[shard][client]; shards and clients hold raw pointers into this.
   std::vector<std::vector<std::unique_ptr<ClientLane>>> lanes_;
+  // coordLanes_[client]: the kTxnX lane to the 2PC coordinator.
+  std::vector<std::unique_ptr<ClientLane>> coordLanes_;
+  std::unique_ptr<Coordinator> coordinator_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<Client> clients_;
   std::unique_ptr<ThreadPool> pool_;

@@ -44,6 +44,10 @@ void Shard::drainerLoop() {
   std::uint32_t idleRounds = 0;
   for (;;) {
     const bool stopping = stop_.load(std::memory_order_acquire);
+    // Epoch boundary: the shard is quiescent here, so this is where 2PC
+    // slices are prepared and decided (coordinator.hpp).  Returns with no
+    // slice left undecided.
+    serviceCoordinator();
     std::size_t limit = opts_.epochBatchLimit;
     if (nextEpochMonitored()) {
       limit = std::min(limit, std::max<std::size_t>(
@@ -51,7 +55,7 @@ void Shard::drainerLoop() {
     }
     const std::size_t n = drainBatch(limit);
     if (n == 0) {
-      if (stopping && allQueuesEmpty()) break;
+      if (stopping && allQueuesEmpty() && coordinatorDrained()) break;
       if (++idleRounds > 64) {
         std::this_thread::sleep_for(opts_.idlePoll);
       } else {
@@ -184,7 +188,10 @@ Word Shard::runBody(TxContext& tx, const Command& c) const {
       tx.write(x, v + c.vals[0]);
       return v;
     }
-    case CmdKind::kTxn: {
+    case CmdKind::kTxn:
+    case CmdKind::kTxnX: {
+      // kTxnX reaches a shard lane only when every key is local (the
+      // service demotes it to kTxn at submit); same body either way.
       Word sum = 0;
       for (std::size_t i = 0; i < c.nKeys; ++i) {
         const auto x = static_cast<ObjectId>(localVar(c.keys[i]));
@@ -252,6 +259,173 @@ void Shard::resync() {
   }
 }
 
+bool Shard::boundaryMonitored() const {
+  // Mid-window, boundary 2PC work must be recorded or a later monitored
+  // read of a slice's key would be unexplainable to the checker.  Between
+  // windows it must NOT be recorded — the detached-state drift is exactly
+  // what the next attach's blind-write resync re-establishes.
+  return mon_ != nullptr && monitoredLive_ && nextEpochMonitored();
+}
+
+TmRuntime& Shard::boundaryRuntime() {
+  return boundaryMonitored() ? mon_->runtime() : *inner_;
+}
+
+bool Shard::coordinatorDrained() const {
+  const XChannel* ch = opts_.coordChannel;
+  return ch == nullptr || (ch->closed.load(std::memory_order_acquire) &&
+                           ch->toShard.empty());
+}
+
+void Shard::serviceCoordinator() {
+  XChannel* ch = opts_.coordChannel;
+  if (ch == nullptr) return;
+  Backoff wait;
+  std::uint32_t idleRounds = 0;
+  for (;;) {
+    XMsg m;
+    bool got = false;
+    while (ch->toShard.tryPop(m)) {
+      got = true;
+      switch (m.kind) {
+        case XMsg::Kind::kPrepare:
+          handlePrepare(m);
+          break;
+        case XMsg::Kind::kDecide:
+          handleDecide(m);
+          break;
+        case XMsg::Kind::kVote:
+        case XMsg::Kind::kDone:
+          JUNGLE_CHECK(false);  // coordinator-bound kinds
+      }
+    }
+    // Decided-at-epoch-boundary alignment: while any slice is undecided
+    // this shard runs no epochs (its reservations must not be touched),
+    // but it keeps voting on new prepares — so a blocked shard never
+    // delays another transaction's votes, and no decision ever waits on
+    // a decision (deadlock-free; see coordinator.hpp).
+    if (prepared_.empty()) return;
+    if (got) {
+      wait.reset();
+      idleRounds = 0;
+      continue;
+    }
+    if (++idleRounds > 64) {
+      std::this_thread::sleep_for(opts_.idlePoll);
+    } else {
+      wait.pause();
+    }
+  }
+}
+
+void Shard::handlePrepare(const XMsg& m) {
+  ++stats_.xPrepares;
+  XMsg vote;
+  vote.kind = XMsg::Kind::kVote;
+  vote.txn = m.txn;
+  // Certification against the reservations held by undecided slices; a
+  // conflict votes NO immediately (never waits), keeping commit
+  // progressive: an isolated kTxnX cannot be refused.
+  bool conflict = false;
+  for (std::size_t i = 0; i < m.nKeys && !conflict; ++i) {
+    const std::size_t var = localVar(m.keys[i]);
+    for (const PreparedSlice& s : prepared_) {
+      for (std::size_t j = 0; j < s.nKeys; ++j) {
+        if (s.vars[j] == var) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) break;
+    }
+  }
+  PreparedSlice s;
+  s.txn = m.txn;
+  Word sum = 0;
+  bool ok = false;
+  if (!conflict) {
+    // Deferred update: a read-only committed TM transaction computes the
+    // slice; writes stay buffered in the slice until the commit decision.
+    // Duplicate keys keep kTxn's sequential semantics — a later read of a
+    // key this command already updated sees the buffered value.
+    TmRuntime& rt = boundaryRuntime();
+    int bodyRuns = 0;
+    ok = rt.transaction(0, [&](TxContext& tx) {
+      if (++bodyRuns > opts_.maxTxAttempts) tx.abort();
+      s.nKeys = 0;
+      sum = 0;
+      for (std::size_t i = 0; i < m.nKeys; ++i) {
+        const std::size_t var = localVar(m.keys[i]);
+        std::size_t j = 0;
+        while (j < s.nKeys && s.vars[j] != var) ++j;
+        Word v;
+        if (j < s.nKeys) {
+          v = s.newVals[j];
+        } else {
+          v = tx.read(static_cast<ObjectId>(var));
+          s.vars[j] = var;
+          s.oldVals[j] = v;
+          ++s.nKeys;
+        }
+        sum += v;
+        s.newVals[j] = v + m.deltas[i];
+      }
+    });
+  }
+  if (ok) {
+    prepared_.push_back(s);
+    vote.flag = true;
+    vote.sum = sum;
+  } else {
+    ++stats_.xVoteNo;
+    vote.flag = false;
+  }
+  JUNGLE_CHECK(opts_.coordChannel->toCoord.tryPush(vote));
+}
+
+void Shard::handleDecide(const XMsg& m) {
+  std::size_t idx = 0;
+  while (idx < prepared_.size() && prepared_[idx].txn != m.txn) ++idx;
+  JUNGLE_CHECK(idx < prepared_.size());
+  const PreparedSlice s = prepared_[idx];
+  prepared_.erase(prepared_.begin() + idx);
+  if (m.flag) {
+    // Commit: apply the buffer as one blind-write transaction.  Blind
+    // writes at a quiescent boundary cannot conflict, and the same rules
+    // that keep the attach resync sound apply here — the checker sees
+    // writes of values it will later see read, never the reverse.
+    TmRuntime& rt = boundaryRuntime();
+    const bool committed = rt.transaction(0, [&](TxContext& tx) {
+      for (std::size_t j = 0; j < s.nKeys; ++j) {
+        tx.write(static_cast<ObjectId>(s.vars[j]), s.newVals[j]);
+      }
+    });
+    JUNGLE_CHECK(committed);
+    ++stats_.xCommits;
+    if (opts_.injectXShardBug && !xBugFired_ && boundaryMonitored()) {
+      // Planted cross-shard atomicity defect: the transaction commits on
+      // the other participants but this shard silently drops its slice —
+      // reverted beneath the capture layer, so the sampled stream claims
+      // the write happened while the real state disagrees.  A later
+      // monitored access of these keys convicts (stale read under tl2,
+      // snapshot/first-committer violation under si-mvcc).
+      for (std::size_t j = 0; j < s.nKeys; ++j) {
+        inner_->ntWrite(0, static_cast<ObjectId>(s.vars[j]), s.oldVals[j]);
+      }
+      xBugFired_ = true;
+      ++stats_.xBugDrops;
+    }
+  } else {
+    // Abort: the buffer is simply discarded — deferred update wrote
+    // nothing, so there is nothing to undo anywhere.
+    ++stats_.xAborts;
+  }
+  XMsg done;
+  done.kind = XMsg::Kind::kDone;
+  done.txn = m.txn;
+  JUNGLE_CHECK(opts_.coordChannel->toCoord.tryPush(done));
+}
+
 void Shard::pushResponses(std::size_t n) {
   std::size_t covered = 0;
   for (const Segment& seg : segs_) {
@@ -276,6 +450,7 @@ void Shard::pushResponses(std::size_t n) {
           ++stats_.rmws;
           break;
         case CmdKind::kTxn:
+        case CmdKind::kTxnX:
           ++stats_.txns;
           break;
       }

@@ -40,6 +40,7 @@
 #include "monitor/monitor.hpp"
 #include "serve/command.hpp"
 #include "serve/command_queue.hpp"
+#include "serve/coordinator.hpp"
 #include "serve/stats.hpp"
 #include "sim/memory_policy.hpp"
 #include "tm/runtime.hpp"
@@ -94,7 +95,16 @@ struct ShardOptions {
   std::chrono::microseconds monitorPoll{1000};
   std::size_t resyncChunk = 32;
   monitor::InjectedBug injectBug = monitor::InjectedBug::kNone;
+  /// Plant the cross-shard atomicity defect: the first commit-decision
+  /// this shard applies while boundary-monitored is silently reverted
+  /// beneath the capture layer (commit on shard A, drop on shard B) so
+  /// the sampled stack can prove it convicts broken 2PC.  Self-test only.
+  bool injectXShardBug = false;
   std::string snapshotDir;
+  /// Cross-shard 2PC channel to the coordinator; null when the service
+  /// runs without one.  The drainer services it at epoch boundaries and
+  /// will not exit until the coordinator closes it.
+  XChannel* coordChannel = nullptr;
 };
 
 class Shard {
@@ -161,7 +171,33 @@ class Shard {
     return key / numShards_;
   }
 
+  /// One participant slice of an undecided cross-shard transaction: the
+  /// deferred-update buffer (writes not yet visible) plus the key
+  /// reservation that holds from the YES vote to the decision.
+  struct PreparedSlice {
+    std::uint32_t txn = 0;   // coordinator slot id
+    std::uint8_t nKeys = 0;  // distinct local vars touched
+    std::size_t vars[kMaxTxnKeys] = {0, 0, 0, 0};
+    Word oldVals[kMaxTxnKeys] = {0, 0, 0, 0};  // prepare-time reads
+    Word newVals[kMaxTxnKeys] = {0, 0, 0, 0};  // buffered writes
+  };
+
   std::size_t drainBatch(std::size_t limit);
+  /// Epoch-boundary 2PC servicing (coordinator.hpp): drain the channel,
+  /// vote on prepares, apply/release decisions; returns only when no
+  /// prepared slice is left undecided (blocking further epochs while it
+  /// waits — the reservation discipline that makes kTxnX serializable).
+  void serviceCoordinator();
+  void handlePrepare(const XMsg& m);
+  void handleDecide(const XMsg& m);
+  /// Boundary 2PC work must flow through the monitored wrapper exactly
+  /// when an epoch would: same attach-window rules as nextEpochMonitored,
+  /// so the sampled sub-history stays closed over this shard's slices.
+  bool boundaryMonitored() const;
+  TmRuntime& boundaryRuntime();
+  /// Drainer exit gate: the coordinator has closed our channel and every
+  /// message in it has been consumed (no channel counts as drained).
+  bool coordinatorDrained() const;
   /// Pure read of the regulator state: would the next (nonempty) epoch run
   /// monitored?  The drainer calls this before draining to size the batch;
   /// runEpoch re-derives it and commits the state transition.
@@ -206,6 +242,11 @@ class Shard {
   std::size_t epochSize_ = 0;
   TmRuntime* epochRt_ = nullptr;
   bool executorsReleased_ = false;
+
+  // Undecided cross-shard slices (drainer-owned; tiny — bounded by the
+  // coordinator's in-flight cap, typically 0 or 1).
+  std::vector<PreparedSlice> prepared_;
+  bool xBugFired_ = false;
 
   std::atomic<bool> stop_{false};
   bool monitoredLive_ = false;

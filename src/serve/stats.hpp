@@ -36,6 +36,15 @@ struct ShardServeStats {
   /// Conflict aborts reported by the shard's runtime (includes the
   /// attempt-budget aborts the service itself injects).
   std::uint64_t tmAborts = 0;
+  // Cross-shard (kTxnX) participation: the 2PC slices this shard served
+  // at its epoch boundaries (serve/coordinator.hpp).
+  std::uint64_t xPrepares = 0;  // prepare requests received
+  std::uint64_t xVoteNo = 0;    // refused: key conflict or attempt budget
+  std::uint64_t xCommits = 0;   // commit decisions applied
+  std::uint64_t xAborts = 0;    // abort decisions released
+  /// Slices silently un-applied by the planted cross-shard atomicity
+  /// defect (the --inject-bug-xshard self-test; 0 in any honest run).
+  std::uint64_t xBugDrops = 0;
   // Sampled verification.
   bool sampled = false;
   std::size_t violations = 0;
@@ -43,22 +52,37 @@ struct ShardServeStats {
   monitor::MonitorStats monitor;
 };
 
+/// Telemetry of the 2PC coordinator (serve/coordinator.hpp).  A kTxnX
+/// acked by the coordinator is counted here, not in any shard's command
+/// counters (the shards count only the protocol slices they served).
+struct CoordinatorStats {
+  std::uint64_t txns = 0;  // kTxnX commands acked (committed + failed)
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;  // retry budget exhausted, acked kFailed
+  /// Abort-and-retry rounds (a transaction some participant voted NO on,
+  /// re-prepared from scratch).
+  std::uint64_t retries = 0;
+  std::uint64_t prepares = 0;  // prepare messages sent, all rounds
+  std::uint64_t voteNo = 0;    // NO votes received
+};
+
 struct ServeStats {
   std::vector<ShardServeStats> shards;
+  CoordinatorStats coordinator;
   double wallSeconds = 0.0;
 
   std::uint64_t totalCommands() const {
-    std::uint64_t n = 0;
+    std::uint64_t n = coordinator.txns;
     for (const auto& s : shards) n += s.commands;
     return n;
   }
   std::uint64_t totalCommitted() const {
-    std::uint64_t n = 0;
+    std::uint64_t n = coordinator.committed;
     for (const auto& s : shards) n += s.committed;
     return n;
   }
   std::uint64_t totalFailed() const {
-    std::uint64_t n = 0;
+    std::uint64_t n = coordinator.failed;
     for (const auto& s : shards) n += s.failed;
     return n;
   }

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -53,6 +54,12 @@ Command txn(std::initializer_list<std::pair<ObjectId, Word>> kvs) {
     c.vals[c.nKeys] = v;
     ++c.nKeys;
   }
+  return c;
+}
+
+Command txnx(std::initializer_list<std::pair<ObjectId, Word>> kvs) {
+  Command c = txn(kvs);
+  c.kind = CmdKind::kTxnX;
   return c;
 }
 
@@ -123,17 +130,94 @@ TEST(Routing, KeysStripeAcrossShardsByResidue) {
   sv.shutdown();
 }
 
-TEST(RoutingDeathTest, CrossShardTxnIsRejected) {
+TEST(RoutingDeathTest, CrossShardPlainTxnIsStillRejected) {
   ServeOptions o;
   o.shards = 2;
   o.clients = 1;
   o.numKeys = 16;
   JungleServe sv(o);
-  // Keys 0 and 1 live on different shards: the hash-slot constraint
-  // convicts the submit before anything is enqueued.
+  // kTxn keeps the hash-slot constraint — only kTxnX may span shards.
+  // Keys 0 and 1 live on different shards: the constraint convicts the
+  // submit before anything is enqueued.
   EXPECT_DEATH((void)sv.client(0).trySubmit(txn({{0, 1}, {1, 1}})),
                "check failed");
   sv.shutdown();
+}
+
+TEST(Routing, CrossShardTxnXRoutesToTheCoordinator) {
+  ServeOptions o;
+  o.shards = 2;
+  o.clients = 1;
+  o.numKeys = 16;
+  JungleServe sv(o);
+  runAll(sv, 0, {put(0, 5), put(1, 7)});  // settled before the kTxnX
+  const auto acks = runAll(sv, 0, {txnx({{0, 2}, {1, 3}})});
+  sv.shutdown();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].status, CmdStatus::kOk);
+  EXPECT_EQ(acks[0].value, 12u);  // 5 + 7 read atomically across shards
+  EXPECT_EQ(sv.finalValue(0), 7u);
+  EXPECT_EQ(sv.finalValue(1), 10u);
+  const ServeStats& st = sv.stats();
+  EXPECT_EQ(st.coordinator.txns, 1u);
+  EXPECT_EQ(st.coordinator.committed, 1u);
+  EXPECT_EQ(st.shards[0].xPrepares, 1u);
+  EXPECT_EQ(st.shards[1].xPrepares, 1u);
+  EXPECT_EQ(st.shards[0].xCommits, 1u);
+  EXPECT_EQ(st.shards[1].xCommits, 1u);
+}
+
+TEST(Routing, SingleShardTxnXDemotesToTheFastLocalPath) {
+  ServeOptions o;
+  o.shards = 2;
+  o.clients = 1;
+  o.numKeys = 16;
+  JungleServe sv(o);
+  // Keys 0, 2, 4 all live on shard 0: no 2PC — the command is demoted to
+  // kTxn at submit and the coordinator never hears about it.
+  const auto acks = runAll(sv, 0, {txnx({{0, 1}, {2, 1}, {4, 1}})});
+  sv.shutdown();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].status, CmdStatus::kOk);
+  EXPECT_EQ(acks[0].value, 0u);
+  EXPECT_EQ(sv.finalValue(0), 1u);
+  EXPECT_EQ(sv.finalValue(2), 1u);
+  const ServeStats& st = sv.stats();
+  EXPECT_EQ(st.coordinator.txns, 0u);
+  EXPECT_EQ(st.coordinator.prepares, 0u);
+  EXPECT_EQ(st.shards[0].txns, 1u);  // executed as a local kTxn
+  EXPECT_EQ(st.shards[0].xPrepares, 0u);
+}
+
+TEST(Routing, CrossShardPctZeroKeepsTheCoordinatorIdle) {
+  // At --cross-shard-pct 0 the generator draws no extra randomness and
+  // emits no kTxnX, so behavior is byte-identical to the pre-coordinator
+  // service: same deterministic final state (one client, per-shard FIFO,
+  // disjoint keyspaces commute) and a completely idle coordinator.
+  auto run = [] {
+    ServeOptions o;
+    o.shards = 2;
+    o.clients = 1;
+    o.numKeys = 64;
+    JungleServe sv(o);
+    LoadOptions lo;
+    lo.opsPerClient = 4000;
+    lo.readPct = 40;
+    lo.rmwPct = 30;
+    lo.txnPct = 20;
+    lo.crossShardPct = 0;
+    lo.zipfTheta = 0.9;
+    lo.seed = 7;
+    const LoadReport r = runLoad(sv, lo);
+    sv.shutdown();
+    EXPECT_EQ(r.acked, r.submitted);
+    EXPECT_EQ(sv.stats().coordinator.txns, 0u);
+    EXPECT_EQ(sv.stats().coordinator.prepares, 0u);
+    std::vector<Word> vals;
+    for (ObjectId k = 0; k < 64; ++k) vals.push_back(sv.finalValue(k));
+    return vals;
+  };
+  EXPECT_EQ(run(), run());
 }
 
 // -------------------------------------------------- command semantics
@@ -476,6 +560,205 @@ TEST(Sampling, InjectedBugIsInvisibleWithoutSampling) {
   sv.shutdown();
   EXPECT_EQ(sv.totalViolations(), 0u);
 }
+
+// ------------------------------------------- cross-shard transactions
+
+TEST(XShard, DuplicateKeysKeepSequentialReadWriteSemantics) {
+  // kTxn reads a key it already wrote through its own write; the 2PC
+  // prepare emulates that with its deferred-update buffer.  Key 0 appears
+  // twice: read 5 write 6, then read 6 write 8 — sum 5 + 0 + 6.
+  ServeOptions o;
+  o.shards = 2;
+  o.clients = 1;
+  o.numKeys = 16;
+  JungleServe sv(o);
+  runAll(sv, 0, {put(0, 5)});
+  const auto acks = runAll(sv, 0, {txnx({{0, 1}, {1, 10}, {0, 2}})});
+  sv.shutdown();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].status, CmdStatus::kOk);
+  EXPECT_EQ(acks[0].value, 11u);
+  EXPECT_EQ(sv.finalValue(0), 8u);
+  EXPECT_EQ(sv.finalValue(1), 10u);
+}
+
+TEST(XShard, TransferWorkloadConservesTheTotalAcrossShards) {
+  // Zero-sum transfers (+d on one key, -d on another, usually on distinct
+  // shards) under concurrent multi-client load: if any acked kTxnX were
+  // torn — one slice applied, the other dropped — the keyspace total
+  // would drift.  Unsigned wraparound cancels exactly, so the invariant
+  // is exact, schedule-independent, and holds for committed and failed
+  // (nothing-committed) outcomes alike.
+  for (TmKind kind : {TmKind::kTl2Weak, TmKind::kSnapshotIsolation}) {
+    ServeOptions o;
+    o.kind = kind;
+    o.shards = 4;
+    o.clients = 3;
+    o.numKeys = 64;
+    JungleServe sv(o);
+    std::vector<Command> init;
+    for (ObjectId k = 0; k < 64; ++k) init.push_back(put(k, 100));
+    runAll(sv, 0, init);
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < 3; ++c) {
+      threads.emplace_back([&sv, c] {
+        Rng rng(1000 + c);
+        std::vector<Command> cmds;
+        for (int i = 0; i < 2500; ++i) {
+          const auto a = static_cast<ObjectId>(rng.below(64));
+          if (rng.below(4) == 0) {
+            cmds.push_back(get(a));
+            continue;
+          }
+          const auto b = static_cast<ObjectId>(rng.below(64));
+          const Word d = 1 + rng.below(9);
+          cmds.push_back(txnx({{a, d}, {b, 0 - d}}));
+        }
+        runAll(sv, c, cmds);
+      });
+    }
+    for (auto& t : threads) t.join();
+    sv.shutdown();
+    Word total = 0;
+    for (ObjectId k = 0; k < 64; ++k) total += sv.finalValue(k);
+    EXPECT_EQ(total, 64u * 100u) << tmKindName(kind);
+    EXPECT_GT(sv.stats().coordinator.committed, 0u);
+    EXPECT_EQ(sv.totalViolations(), 0u);
+  }
+}
+
+TEST(XShard, ExhaustedAttemptBudgetFailsDeterministicallyAndAtomically) {
+  // maxTxAttempts = 0 makes every prepare vote NO on its first body run,
+  // so every kTxnX burns its retry budget and is acked kFailed with
+  // nothing committed on ANY shard — the all-or-nothing guarantee holds
+  // for the failure path too.
+  ServeOptions o;
+  o.shards = 2;
+  o.clients = 1;
+  o.numKeys = 16;
+  o.maxTxAttempts = 0;
+  o.maxCommandRetries = 2;
+  JungleServe sv(o);
+  const auto acks =
+      runAll(sv, 0, {txnx({{0, 1}, {1, 1}}), txnx({{2, 1}, {3, 1}})});
+  sv.shutdown();
+  ASSERT_EQ(acks.size(), 2u);
+  for (const auto& a : acks) EXPECT_EQ(a.status, CmdStatus::kFailed);
+  for (ObjectId k = 0; k < 4; ++k) EXPECT_EQ(sv.finalValue(k), 0u);
+  const ServeStats& st = sv.stats();
+  EXPECT_EQ(st.coordinator.txns, 2u);
+  EXPECT_EQ(st.coordinator.failed, 2u);
+  EXPECT_EQ(st.coordinator.committed, 0u);
+  // Each transaction used its one abort-and-retry round before failing.
+  EXPECT_EQ(st.coordinator.retries, 2u);
+  EXPECT_EQ(st.shards[0].xCommits + st.shards[1].xCommits, 0u);
+  EXPECT_GT(st.coordinator.voteNo, 0u);
+}
+
+TEST(XShard, GracefulDrainWithInFlightPreparesConservesTheSum) {
+  // Submit a burst of transfers and shut down while they are still in
+  // flight (possibly mid-2PC): every accepted command must still be
+  // decided and acked, and the keyspace total must be intact.
+  ServeOptions o;
+  o.shards = 2;
+  o.clients = 1;
+  o.numKeys = 16;
+  JungleServe sv(o);
+  std::vector<Command> init;
+  for (ObjectId k = 0; k < 16; ++k) init.push_back(put(k, 10));
+  runAll(sv, 0, init);
+  auto& cl = sv.client(0);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<ObjectId>(rng.below(16));
+    const auto b = static_cast<ObjectId>(rng.below(16));
+    const Word d = 1 + rng.below(5);
+    ASSERT_TRUE(cl.trySubmit(txnx({{a, d}, {b, 0 - d}})));  // within credit
+  }
+  sv.shutdown();  // drains with prepares in flight
+  std::vector<CommandResult> acks;
+  cl.drainResponses(acks);
+  EXPECT_EQ(cl.acked(), cl.submitted());
+  EXPECT_EQ(cl.acked(), 16u + 200u);
+  Word total = 0;
+  for (ObjectId k = 0; k < 16; ++k) total += sv.finalValue(k);
+  EXPECT_EQ(total, 16u * 10u);
+  const CoordinatorStats& co = sv.stats().coordinator;
+  EXPECT_EQ(co.committed + co.failed, co.txns);
+}
+
+TEST(XShard, MonitoredCrossShardTrafficConvictsNothing) {
+  // Soundness of the monitor integration: 2PC slices on a sampled shard
+  // flow through the monitored wrapper under the same attach-window rules
+  // as epochs (boundaryMonitored), so heavy cross-shard traffic — with
+  // attach/detach churn and resyncs — must never convict a correct TM.
+  for (TmKind kind : {TmKind::kTl2Weak, TmKind::kSnapshotIsolation,
+                      TmKind::kSiSsn}) {
+    ServeOptions o;
+    o.kind = kind;
+    o.shards = 2;
+    o.clients = 2;
+    o.numKeys = 64;
+    o.epochBatchLimit = 64;
+    o.samplePermille = 250;  // shard 0 at 50% duty: many transitions
+    o.sampleWindowEpochs = 2;
+    JungleServe sv(o);
+    LoadOptions lo;
+    lo.opsPerClient = 4000;
+    lo.readPct = 40;
+    lo.rmwPct = 30;
+    lo.txnPct = 20;
+    lo.crossShardPct = 50;
+    lo.zipfTheta = 0.9;
+    const LoadReport r = runLoad(sv, lo);
+    sv.shutdown();
+    EXPECT_EQ(r.acked, r.submitted);
+    EXPECT_GT(sv.stats().coordinator.committed, 0u);
+    EXPECT_GT(sv.stats().shards[0].xPrepares, 0u);
+    EXPECT_EQ(sv.totalViolations(), 0u) << tmKindName(kind);
+  }
+}
+
+class XShardConviction : public ::testing::TestWithParam<TmKind> {};
+
+TEST_P(XShardConviction, PlantedCrossShardAtomicityBugIsConvicted) {
+  // End-to-end: shard 0 (sampled, full duty) silently drops its slice of
+  // one committed kTxnX.  The capture stream claims the slice committed
+  // while the real state disagrees, so a later monitored access convicts
+  // — a stale read under tl2, a snapshot/first-committer-wins violation
+  // under si-mvcc.
+  ServeOptions o;
+  o.kind = GetParam();
+  o.shards = 2;
+  o.clients = 2;
+  o.numKeys = 64;
+  o.samplePermille = 500;  // shard 0 at full duty
+  o.injectCrossShardBug = true;
+  JungleServe sv(o);
+  LoadOptions lo;
+  lo.opsPerClient = 30000;
+  lo.readPct = 40;
+  lo.rmwPct = 30;
+  lo.txnPct = 20;
+  lo.crossShardPct = 100;
+  lo.zipfTheta = 0.9;
+  const LoadReport r = runLoad(sv, lo);
+  sv.shutdown();
+  EXPECT_EQ(r.acked, r.submitted);  // the service itself is unaffected
+  EXPECT_EQ(sv.stats().shards[0].xBugDrops, 1u);  // the defect fired once
+  EXPECT_GE(sv.totalViolations(), 1u);
+  EXPECT_GE(sv.violations(0).size(), 1u);  // the armed shard convicted
+}
+
+INSTANTIATE_TEST_SUITE_P(Tl2AndSiMvcc, XShardConviction,
+                         ::testing::Values(TmKind::kTl2Weak,
+                                           TmKind::kSnapshotIsolation),
+                         [](const auto& info) {
+                           std::string n = tmKindName(info.param);
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
 
 // --------------------------------------------------- stats & all kinds
 
