@@ -16,7 +16,14 @@
 //   * TxMonShard — TxMon with the checker sharded K ways (third arg;
 //     sharded_checker.hpp).  TxMonShard/K=1 vs TxMon is the routing tax;
 //     K=2,4 vs K=1 is the shard win.  cross_shard_join_pct reports how
-//     many merged units touched more than one shard at this workload.
+//     many merged units touched more than one shard at this workload;
+//   * TxMonTms — the claim-inversion workload (paced oversubscribed
+//     threads on a hot key range, drop-free rings) with the TMS2
+//     incremental certifier pinned on (…/cert_on) or off (…/cert_off) in
+//     the same run: the §5b before/after pair, with per-path unit
+//     counters (fast_path/certified/escalated/discarded) proving where
+//     each unit was decided and escalation_us/monitor_rechecks measuring
+//     the engine work the certifier absorbs.
 //
 // Every row also reports per-thread fairness: thread_min/max_ops_s are the
 // slowest and fastest thread's own throughput over its measured region
@@ -59,7 +66,7 @@ struct Env {
 struct MonEnv : Env {
   explicit MonEnv(TmKind kind, std::size_t shards = 1,
                   unsigned collectorThreads = 1,
-                  std::size_t placementWindow = 4096)
+                  std::size_t placementWindow = 4096, bool certifier = true)
       : Env(kind) {
     monitor::MonitorOptions mo;
     // Bound collector stalls: an escalation that cannot decide quickly is
@@ -69,6 +76,7 @@ struct MonEnv : Env {
     mo.shards = shards;
     mo.collectorThreads = collectorThreads;
     mo.placementWindow = placementWindow;
+    mo.certifier = certifier;
     mon = std::make_unique<monitor::TmMonitor>(*tm, 16, mo);
   }
   std::unique_ptr<monitor::TmMonitor> mon;
@@ -323,6 +331,107 @@ void BM_TransactionsMonitoredSharded(benchmark::State& state) {
   }
 }
 
+/// Claim-inversion regime for the certifier rows: paced, oversubscribed
+/// producers hammering a tiny hot key range.  The per-transaction sleep
+/// ends in a syscall, so the scheduler routinely preempts a thread in the
+/// gap between its commit linearizing and its ticket being claimed at
+/// flush — exactly the stale-but-legal feed reordering the certifier
+/// exists for — while keeping the rings drop-free (unpaced producers at
+/// ring saturation drop 80–95% of units, and a post-gap stale read can
+/// always be a dropped writer's doing, which no sound certifier may
+/// absorb: in that regime every escalation is a gap artifact and the
+/// certified path measures zero by construction).
+double runLoopInversion(benchmark::State& state, TmRuntime& rt,
+                        unsigned writePct) {
+  constexpr std::size_t kHotVars = 8;
+  constexpr auto kPace = std::chrono::microseconds(3);
+  Rng rng(0x1234 + state.thread_index());
+  const auto pid = static_cast<ProcessId>(state.thread_index());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    rt.transaction(pid, [&](TxContext& tx) {
+      for (std::size_t i = 0; i < kTxLen; ++i) {
+        const auto x = static_cast<ObjectId>(rng.below(kHotVars));
+        if (rng.chance(writePct, 100)) {
+          tx.write(x, rng() | (Word{1} << 63));
+        } else {
+          benchmark::DoNotOptimize(tx.read(x));
+        }
+      }
+    });
+    std::this_thread::sleep_for(kPace);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return secs > 0.0
+             ? static_cast<double>(state.iterations() * kTxLen) / secs
+             : 0.0;
+}
+
+/// TxMonTms — the TMS2-certifier experiment (EXPERIMENTS.md §5b): the
+/// claim-inversion workload (runLoopInversion above) with the incremental
+/// certifier pinned on (…/cert_on) or off (…/cert_off), same run, same
+/// host.  cert_on vs cert_off at equal args is the certifier win; the
+/// per-path counters (fast_path/certified/escalated/discarded units,
+/// certifier_us) show where each unit was decided, and monitor_rechecks /
+/// escalation_us dropping between the pair is the engine work the
+/// automaton absorbed.
+void BM_TransactionsMonitoredCertifier(benchmark::State& state) {
+  const auto kind = static_cast<TmKind>(state.range(0));
+  const auto writePct = static_cast<unsigned>(state.range(1));
+  const bool certifier = state.range(2) != 0;
+  static std::atomic<MonEnv*> envSlot{nullptr};
+  static std::atomic<ThreadAgg*> aggSlot{nullptr};
+  if (state.thread_index() == 0) {
+    aggSlot.store(new ThreadAgg, std::memory_order_release);
+    envSlot.store(new MonEnv(kind, /*shards=*/1, /*collectorThreads=*/1,
+                             /*placementWindow=*/4096, certifier),
+                  std::memory_order_release);
+  }
+  MonEnv* env = awaitFixture(envSlot);
+  ThreadAgg* agg = awaitFixture(aggSlot);
+  const double ops = runLoopInversion(state, env->mon->runtime(), writePct);
+  state.SetItemsProcessed(state.iterations() * kTxLen);
+  aggregate(state, *agg, ops);
+  if (state.thread_index() == 0) {
+    env->mon->stop();
+    const monitor::MonitorStats& ms = env->mon->stats();
+    const double total =
+        static_cast<double>(ms.eventsCaptured + ms.eventsDropped);
+    state.counters["ring_drop_pct"] =
+        total > 0.0 ? 100.0 * static_cast<double>(ms.eventsDropped) / total
+                    : 0.0;
+    state.counters["monitor_violations"] =
+        static_cast<double>(env->mon->violations().size());
+    state.counters["monitor_rechecks"] =
+        static_cast<double>(ms.stream.rechecks);
+    state.counters["fast_path_units"] =
+        static_cast<double>(ms.stream.fastPathUnits);
+    state.counters["certified_units"] =
+        static_cast<double>(ms.stream.certifiedUnits);
+    state.counters["escalated_units"] =
+        static_cast<double>(ms.stream.escalatedUnits);
+    state.counters["discarded_units"] =
+        static_cast<double>(ms.stream.discardedUnits);
+    state.counters["certifier_attempts"] =
+        static_cast<double>(ms.stream.certifierAttempts);
+    state.counters["certifier_us"] =
+        static_cast<double>(ms.stream.certifierUsTotal);
+    state.counters["escalation_us"] =
+        static_cast<double>(ms.stream.escalationUsTotal);
+    exportTelemetry(state, *env->tm);
+    state.SetLabel(std::string(tmKindName(kind)) + "/wr%=" +
+                   std::to_string(writePct) + "/cert=" +
+                   (certifier ? "on" : "off") +
+                   "/dropped=" + std::to_string(ms.eventsDropped));
+    envSlot.store(nullptr, std::memory_order_release);
+    aggSlot.store(nullptr, std::memory_order_release);
+    delete env;
+    delete agg;
+  }
+}
+
 /// Like runLoop, but with a thread-affine key sampler: thread t draws
 /// variables whose taint bit (v mod 64) lies in its own 16-bit band
 /// [16t, 16t+16), across all kVars/64 bit-blocks.  Each transaction's
@@ -462,6 +571,23 @@ void registerAll() {
             ->Threads(threads)
             ->UseRealTime();
       }
+    }
+    // Certifier pair (EXPERIMENTS.md §5b): the claim-inversion workload
+    // with the TMS2 certifier pinned on and off, in the same run on the
+    // same host — cert state is in the NAME so run_experiments.sh can
+    // slice the cert_off rows into results/BENCH_monitor_pre.json.
+    // Eight paced threads (oversubscribed on purpose — preemption inside
+    // the commit-to-flush gap is what creates claim inversions) and a
+    // write-heavy mix; the read-only point has no inversions to certify,
+    // so a single mixed point keeps the family honest and cheap.
+    for (long certOn : {1, 0}) {
+      benchmark::RegisterBenchmark(
+          ("TxMonTms" + suffix + (certOn ? "/cert_on" : "/cert_off"))
+              .c_str(),
+          BM_TransactionsMonitoredCertifier)
+          ->Args({static_cast<long>(kind), 50, certOn})
+          ->Threads(8)
+          ->UseRealTime();
     }
     // Shard sweep at a fixed producer count: K=1 isolates the routing
     // layer's cost, K=2/4 the parallel-checking win (serial-vs-sharded

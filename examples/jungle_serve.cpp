@@ -9,7 +9,7 @@
 //                               [--batch N] [--max-tx-attempts N]
 //                               [--max-retries N] [--sample-permille P]
 //                               [--window-epochs N] [--checker-shards K]
-//                               [--collector-threads N]
+//                               [--collector-threads N] [--no-certifier]
 //                               [--ring-capacity N] [--seed N]
 //                               [--snapshot-dir DIR] [--inject-bug]
 //                               [--inject-bug-xshard] [--json]
@@ -261,6 +261,8 @@ int main(int argc, char** argv) {
                    flagValue(argc, argv, i, "--collector-threads")) {
       o.serve.collectorThreads =
           static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--no-certifier") == 0) {
+      o.serve.monitorCertifier = false;
     } else if (const char* v = flagValue(argc, argv, i, "--ring-capacity")) {
       o.serve.monitorRingCapacity = std::strtoul(v, nullptr, 10);
     } else if (const char* v = flagValue(argc, argv, i, "--seed")) {
@@ -283,7 +285,7 @@ int main(int argc, char** argv) {
                    "[--queue-capacity N] [--batch N] [--max-tx-attempts N] "
                    "[--max-retries N] [--sample-permille P] "
                    "[--window-epochs N] [--checker-shards K] "
-                   "[--collector-threads N] "
+                   "[--collector-threads N] [--no-certifier] "
                    "[--ring-capacity N] [--seed N] [--snapshot-dir DIR] "
                    "[--inject-bug] [--inject-bug-xshard] [--json]\n");
       return 2;

@@ -7,6 +7,7 @@
 //                             [--collector-threads N]
 //                             [--placement-window N]
 //                             [--recheck-threads N] [--max-drop-pct P]
+//                             [--no-certifier] [--certifier-depth N]
 //                             [--snapshot-dir DIR] [--inject-bug] [--json]
 //
 // --shards K checks the stream on K per-variable-group sub-checkers plus
@@ -15,9 +16,13 @@
 // tree (monitor.hpp); --placement-window N re-clusters variables onto
 // shards by observed co-access every N merged units (0 = static mod-K);
 // --recheck-threads N runs each escalation's engine portfolio on N
-// threads.  --json reports per-shard telemetry (units routed, cross-shard
-// joins, taint skips, escalation latency) plus the joiner/placement
-// counters alongside the aggregates.
+// threads.  The TMS2 incremental certifier (tms2_certifier.hpp) is on by
+// default — --no-certifier pins the engine-only escalation path (the
+// differential baseline), --certifier-depth N sets its snapshot retention
+// (0 = gc-retain).  --json reports per-shard telemetry (units routed,
+// cross-shard joins, taint skips, escalation latency) plus the per-path
+// decision split (fastPath/certified/escalated/discarded) and the
+// joiner/placement counters alongside the aggregates.
 //
 // For each selected TM kind the tool attaches a TmMonitor (src/monitor/),
 // runs a random mixed workload on the instrumented wrapper, and reports the
@@ -69,6 +74,8 @@ struct Options {
   unsigned collectorThreads = 1;
   std::size_t placementWindow = 4096;
   unsigned recheckThreads = 1;
+  bool certifier = true;
+  std::size_t certifierDepth = 0;
   double maxDropPct = 100.0;
   std::string snapshotDir;
   bool injectBug = false;
@@ -94,6 +101,8 @@ RunRow runOne(TmKind kind, const Options& o) {
   mo.collectorThreads = o.collectorThreads;
   mo.placementWindow = o.placementWindow;
   mo.recheckThreads = o.recheckThreads;
+  mo.certifier = o.certifier;
+  mo.certifierDepth = o.certifierDepth;
   mo.snapshotDir = o.snapshotDir;
   if (o.injectBug) mo.capture.injectBug = InjectedBug::kCorruptTxRead;
 
@@ -134,6 +143,7 @@ void printText(const RunRow& r) {
   std::printf(
       "%-17s model=%-10s commits=%llu aborts=%llu nt=%llu | events=%llu "
       "(%.0f/s) drops=%llu (%.2f%%) lag(peak)=%zu | window(peak)=%zu "
+      "paths=%llu/%llu/%llu/%llu (fast/cert/esc/disc) "
       "rechecks=%llu (inconclusive=%llu suppressed=%llu) gc=%llu "
       "resyncs=%llu | violations=%zu\n",
       r.tm, r.model, static_cast<unsigned long long>(r.work.commits),
@@ -142,6 +152,10 @@ void printText(const RunRow& r) {
       static_cast<unsigned long long>(s.eventsCaptured), s.eventsPerSec,
       static_cast<unsigned long long>(s.eventsDropped), dropPct(s),
       s.peakPendingUnits, s.stream.peakWindowUnits,
+      static_cast<unsigned long long>(s.stream.fastPathUnits),
+      static_cast<unsigned long long>(s.stream.certifiedUnits),
+      static_cast<unsigned long long>(s.stream.escalatedUnits),
+      static_cast<unsigned long long>(s.stream.discardedUnits),
       static_cast<unsigned long long>(s.stream.rechecks),
       static_cast<unsigned long long>(s.stream.inconclusiveRechecks),
       static_cast<unsigned long long>(s.stream.suppressedVerdicts),
@@ -189,7 +203,11 @@ void printJson(const std::vector<RunRow>& rows, bool ok) {
         "\"userAborts\": %llu, \"ntOps\": %llu, \"events\": %llu, "
         "\"eventsPerSec\": %.1f, \"eventsDropped\": %llu, \"dropPct\": %.3f, "
         "\"unitsMerged\": %llu, \"peakPendingUnits\": %zu, "
-        "\"unitsChecked\": %llu, \"opsChecked\": %llu, \"rechecks\": %llu, "
+        "\"unitsChecked\": %llu, \"opsChecked\": %llu, "
+        "\"fastPathUnits\": %llu, \"certifiedUnits\": %llu, "
+        "\"escalatedUnits\": %llu, \"discardedUnits\": %llu, "
+        "\"certifierAttempts\": %llu, \"certifierUsTotal\": %llu, "
+        "\"rechecks\": %llu, "
         "\"inconclusiveRechecks\": %llu, \"suppressedVerdicts\": %llu, "
         "\"gcUnits\": %llu, "
         "\"resyncs\": %llu, \"peakWindowUnits\": %zu, "
@@ -205,6 +223,12 @@ void printJson(const std::vector<RunRow>& rows, bool ok) {
         static_cast<unsigned long long>(s.unitsMerged), s.peakPendingUnits,
         static_cast<unsigned long long>(s.stream.unitsChecked),
         static_cast<unsigned long long>(s.stream.opsChecked),
+        static_cast<unsigned long long>(s.stream.fastPathUnits),
+        static_cast<unsigned long long>(s.stream.certifiedUnits),
+        static_cast<unsigned long long>(s.stream.escalatedUnits),
+        static_cast<unsigned long long>(s.stream.discardedUnits),
+        static_cast<unsigned long long>(s.stream.certifierAttempts),
+        static_cast<unsigned long long>(s.stream.certifierUsTotal),
         static_cast<unsigned long long>(s.stream.rechecks),
         static_cast<unsigned long long>(s.stream.inconclusiveRechecks),
         static_cast<unsigned long long>(s.stream.suppressedVerdicts),
@@ -301,6 +325,13 @@ int main(int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = flagValue(argc, argv, i, "--max-drop-pct")) {
       o.maxDropPct = std::strtod(v, nullptr);
+    } else if (std::strcmp(argv[i], "--no-certifier") == 0) {
+      o.certifier = false;
+    } else if (std::strcmp(argv[i], "--certifier") == 0) {
+      o.certifier = true;
+    } else if (const char* v =
+                   flagValue(argc, argv, i, "--certifier-depth")) {
+      o.certifierDepth = std::strtoul(v, nullptr, 10);
     } else if (const char* v = flagValue(argc, argv, i, "--snapshot-dir")) {
       o.snapshotDir = v;
     } else if (std::strcmp(argv[i], "--inject-bug") == 0) {
@@ -315,6 +346,7 @@ int main(int argc, char** argv) {
           "[--ring-capacity N] [--gc-retain N] [--shards K] "
           "[--collector-threads N] [--placement-window N] "
           "[--recheck-threads N] [--max-drop-pct P] "
+          "[--no-certifier] [--certifier-depth N] "
           "[--snapshot-dir DIR] [--inject-bug] [--json]\n");
       return 2;
     }

@@ -32,6 +32,22 @@ for b in "$BUILD"/bench/*; do
     # monitor's overhead experiment.
     "$b" --benchmark_out="$OUT/BENCH_monitor.json" \
          --benchmark_out_format=json 2>&1 | tee -a "$OUT/bench_output.txt"
+    # The certifier-off baseline (EXPERIMENTS.md §5b) is NOT a separate
+    # run: the TxMonTms family pins the certifier on/off in the benchmark
+    # name, so the cert_off slice of the run above IS the baseline —
+    # extracted here so the before/after pair always comes from one run
+    # on one host.
+    python3 - "$OUT/BENCH_monitor.json" "$OUT/BENCH_monitor_pre.json" <<'EOF'
+import json, sys
+src, dst = sys.argv[1], sys.argv[2]
+with open(src) as f:
+    data = json.load(f)
+data["benchmarks"] = [b for b in data.get("benchmarks", [])
+                      if "/cert_off" in b.get("name", "")]
+with open(dst, "w") as f:
+    json.dump(data, f, indent=1)
+    f.write("\n")
+EOF
     # The multi-version slice (Tx/TxMon/TxMonShard rows for si-mvcc and
     # si-ssn) re-run into its own file: these rows carry the version-chain
     # (chain_reads/chain_steps/chain_len_avg) and certification-abort
@@ -107,6 +123,16 @@ done
 "$BUILD/examples/monitor_tm" --tm global-lock --ops 2000 --shards 4 \
   --collector-threads 4 --inject-bug \
   | tee "$OUT/monitor_tm_treemerge_selftest.txt"
+# TMS2 certifier pair (EXPERIMENTS.md §5b): the same paced workload with
+# the incremental certifier pinned off, for the per-kind escalation/
+# certified-unit telemetry diff against monitor_tm.json (certifier on by
+# default there), plus the certifier-enabled injected-bug self-test —
+# the accept-only certifier must not mask the conviction.
+"$BUILD/examples/monitor_tm" --tm all --threads 4 --ops 400 --pace-us 40 \
+  --max-drop-pct 0 --no-certifier --json \
+  | tee "$OUT/monitor_tm_nocert.json"
+"$BUILD/examples/monitor_tm" --tm global-lock --ops 2000 \
+  --inject-bug | tee "$OUT/monitor_tm_certifier_selftest.txt"
 "$BUILD/examples/check_history" --demo --format json \
   | tee "$OUT/check_history_demo.json"
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "fuzz/reference_checker.hpp"
 #include "fuzz/shrinker.hpp"
 #include "litmus/history_parser.hpp"
 #include "memmodel/models.hpp"
@@ -263,12 +264,30 @@ void runScheduleDiffIteration(const FuzzOptions& opts, std::uint64_t iter,
 /// concurrent executions, so the verdicts must agree: any conclusive
 /// monitor violation of a stock TM is a bug in the TM or in the monitor,
 /// and its already-shrunk window is the repro.
+/// Reference-checker voice for the monitor's claimed condition — the
+/// third leg of the certifier/engine/reference differential.
+RefVerdict referenceForCondition(ConditionKind cond, const History& h,
+                                 const MemoryModel& m) {
+  switch (cond) {
+    case ConditionKind::kParametrizedOpacity:
+      return referencePopacity(h, m, SpecMap{});
+    case ConditionKind::kOpacity:
+      return referenceOpacity(h, SpecMap{});
+    case ConditionKind::kStrictSerializability:
+      return referenceStrictSerializability(h, SpecMap{});
+    case ConditionKind::kSnapshotIsolation:
+      return referenceSnapshotIsolation(h, SpecMap{});
+  }
+  return RefVerdict::kTooLarge;
+}
+
 /// One monitored run at a given shard count; returns true when the
 /// monitor convicted and a failure was recorded.
 bool runMonitorOnce(const FuzzOptions& opts, std::uint64_t iter,
                     const TmClaim& claim, const monitor::WorkloadOptions& w,
                     std::size_t shards, unsigned collectorThreads,
-                    std::size_t placementWindow, FuzzReport& report) {
+                    std::size_t placementWindow, bool certifier,
+                    FuzzReport& report) {
   NativeMemory mem(runtimeMemoryWords(claim.kind, w.numVars));
   const auto tm = makeNativeRuntime(claim.kind, mem, w.numVars, w.threads);
   monitor::MonitorOptions mo;
@@ -276,6 +295,7 @@ bool runMonitorOnce(const FuzzOptions& opts, std::uint64_t iter,
   mo.shards = shards;
   mo.collectorThreads = collectorThreads;
   mo.placementWindow = placementWindow;
+  mo.certifier = certifier;
   monitor::TmMonitor mon(*tm, w.threads, mo);
   monitor::runMonitoredWorkload(mon.runtime(), w);
   mon.stop();
@@ -294,7 +314,8 @@ bool runMonitorOnce(const FuzzOptions& opts, std::uint64_t iter,
                   tmKindName(claim.kind) + " model=" +
                   mon.model().name() + " workload-seed=" +
                   std::to_string(w.seed) + " shards=" +
-                  std::to_string(shards) + " (monitor leg)\n" +
+                  std::to_string(shards) + " certifier=" +
+                  (certifier ? "on" : "off") + " (monitor leg)\n" +
                   v.description;
   f.shrunk = v.shrunk;
   if (!opts.reproDir.empty()) {
@@ -305,6 +326,32 @@ bool runMonitorOnce(const FuzzOptions& opts, std::uint64_t iter,
     f.file = persistRepro(opts.reproDir, stem, f.shrunk, f.description);
   }
   report.failures.push_back(std::move(f));
+
+  // Third voice on small windows: a certifier-enabled conviction came
+  // from the engine (the certifier is accept-only), so on windows within
+  // the enumeration caps (≤ 4 transactions) the brute-force reference
+  // must convict too.  An acquittal is a certifier/engine/reference
+  // 3-way disagreement, the strongest possible signal that the
+  // incremental path corrupted the checker's state.
+  if (certifier) {
+    const RefVerdict rv = referenceForCondition(
+        monitor::monitorModelFor(claim.kind).condition, v.shrunk,
+        mon.model());
+    if (rv != RefVerdict::kTooLarge) {
+      ++report.tms2ReferenceChecks;
+      if (rv == RefVerdict::kSatisfied) {
+        ++report.tms2Disagreements;
+        FuzzFailure rf;
+        rf.description =
+            "mode=traces seed=" + std::to_string(opts.seed) + " iter=" +
+            std::to_string(iter) + " tm=" + tmKindName(claim.kind) +
+            " (tms2 3-way disagreement: certifier-on monitor convicted, "
+            "reference checker satisfied)";
+        rf.shrunk = v.shrunk;
+        report.failures.push_back(std::move(rf));
+      }
+    }
+  }
   return true;
 }
 
@@ -340,16 +387,47 @@ void runMonitorIteration(const FuzzOptions& opts, std::uint64_t iter,
   const unsigned collectorThreads =
       rng.below(2) == 0 ? 1u : static_cast<unsigned>(2 + 2 * rng.below(2));
   const std::size_t placementWindow = rng.below(2) == 0 ? 0 : 64;
+  // Certifier sampling: the primary run draws the TMS2 certifier on or
+  // off, so both dispatch paths stay in the corpus.
+  const bool certify = rng.below(2) == 0;
 
   ++report.monitorRuns;
-  const bool shardedConvicted = runMonitorOnce(
-      opts, iter, claim, w, shards, collectorThreads, placementWindow, report);
-  if (shards == 1) return;
+  const bool shardedConvicted =
+      runMonitorOnce(opts, iter, claim, w, shards, collectorThreads,
+                     placementWindow, certify, report);
+  if (shards == 1) {
+    // Serial runs double as the certifier differential: the same workload
+    // with the certifier toggled must reach the same verdict.  (As with
+    // the sharded-vs-serial leg, the two runs observe different real
+    // interleavings — for stock TMs both must be clean, so a mismatch is
+    // still a recorded disagreement.)
+    ++report.tms2DifferentialRuns;
+    const bool flippedConvicted =
+        runMonitorOnce(opts, iter, claim, w, /*shards=*/1,
+                       /*collectorThreads=*/1, /*placementWindow=*/0,
+                       !certify, report);
+    if (flippedConvicted != shardedConvicted) {
+      ++report.tms2Disagreements;
+      FuzzFailure f;
+      f.description =
+          "mode=traces seed=" + std::to_string(opts.seed) + " iter=" +
+          std::to_string(iter) + " tm=" + tmKindName(claim.kind) +
+          " workload-seed=" + std::to_string(w.seed) +
+          " (tms2 certifier on/off disagreement: certifier-" +
+          (certify ? "on" : "off") + " convicted=" +
+          (shardedConvicted ? "yes" : "no") + ", certifier-" +
+          (certify ? "off" : "on") + " convicted=" +
+          (flippedConvicted ? "yes" : "no") + ")";
+      report.failures.push_back(std::move(f));
+    }
+    return;
+  }
 
   ++report.monitorShardedRuns;
   const bool serialConvicted =
       runMonitorOnce(opts, iter, claim, w, /*shards=*/1,
-                     /*collectorThreads=*/1, /*placementWindow=*/0, report);
+                     /*collectorThreads=*/1, /*placementWindow=*/0, certify,
+                     report);
   if (shardedConvicted == serialConvicted) return;
 
   // Verdict disagreement between the sharded and serial checkers on the
@@ -450,7 +528,11 @@ std::string formatReport(const FuzzOptions& opts, const FuzzReport& report) {
       << "\n  monitor runs: " << report.monitorRuns << " ("
       << report.monitorEvents << " events, " << report.monitorViolations
       << " violations, " << report.monitorShardedRuns
-      << " sharded-vs-serial)\n";
+      << " sharded-vs-serial)"
+      << "\n  tms2 differential: " << report.tms2DifferentialRuns
+      << " on/off pairs, " << report.tms2ReferenceChecks
+      << " reference checks, " << report.tms2Disagreements
+      << " disagreements\n";
   for (const FuzzFailure& f : report.failures) {
     out << "\nFAILURE: " << f.description << "\n";
     if (!f.file.empty()) out << "repro written to " << f.file << "\n";

@@ -93,6 +93,15 @@ struct FuzzReport {
   /// Monitor-leg runs that drew shards > 1 and therefore also exercised
   /// the sharded routing/join path against the serial verdict.
   std::uint64_t monitorShardedRuns = 0;
+  /// TMS2-certifier differential: serial monitor runs replayed with the
+  /// certifier toggled (on-vs-off verdict pairs), plus reference-checker
+  /// confirmations of small certifier-on conviction windows.  A
+  /// disagreement — verdict pair mismatch, or a reference acquittal of a
+  /// window the certifier-enabled monitor convicted — breaks the
+  /// accept-only contract and counts as a failure.
+  std::uint64_t tms2DifferentialRuns = 0;
+  std::uint64_t tms2ReferenceChecks = 0;
+  std::uint64_t tms2Disagreements = 0;
   /// Instances voided by a resource-limited verdict — tracked, never
   /// counted as (or persisted like) violations.
   std::uint64_t inconclusive = 0;
@@ -101,7 +110,7 @@ struct FuzzReport {
 
   std::uint64_t failureCount() const {
     return disagreements + propertyViolations + traceViolations +
-           monitorViolations;
+           monitorViolations + tms2Disagreements;
   }
 };
 

@@ -62,6 +62,12 @@ class MemoryModel {
   /// (and hence transactional context) of the instance it expands.
   virtual History transform(const History& h) const { return h; }
 
+  /// Whether transform() is the identity.  Models that insert operations
+  /// must override alongside transform(): incremental certification (the
+  /// monitor's TMS2 fast path) is only sound when the checked history is
+  /// the captured one, so a non-identity τ disables it.
+  virtual bool identityTransform() const { return true; }
+
   /// Required-view predicate.  Preconditions (checked by callers): the
   /// instances at posA and posB are non-transactional commands of the same
   /// process and posA < posB.  Returns true iff every view in R(h) must

@@ -67,6 +67,7 @@ class JunkScModel final : public MemoryModel {
  public:
   const char* name() const override { return "Junk-SC"; }
   History transform(const History& h) const override;
+  bool identityTransform() const override { return false; }
   bool requiresOrder(const History& h, std::size_t a,
                      std::size_t b) const override;
   Classification classification() const override;

@@ -54,6 +54,8 @@ StreamOptions streamOptsFor(const MonitorOptions& o, const MemoryModel* m,
   s.recheckTimeout = o.recheckTimeout;
   s.recheckMaxExpansions = o.recheckMaxExpansions;
   s.recheckThreads = o.recheckThreads;
+  s.certify = o.certifier;
+  s.certifierDepth = o.certifierDepth;
   return s;
 }
 

@@ -58,6 +58,12 @@ struct MonitorOptions {
   /// Engine portfolio width per escalation (SearchLimits.threads): > 1
   /// runs the escalation's serialization-order branches in parallel.
   unsigned recheckThreads = 1;
+  /// TMS2 incremental certifier (stream_checker.hpp StreamOptions):
+  /// certifies fast-path misses in O(conflicts) before escalating; accept-
+  /// only, so verdicts match the engine-only configuration.
+  bool certifier = true;
+  /// Certifier snapshot retention (0 = gcRetain).
+  std::size_t certifierDepth = 0;
   /// Checker shards (sharded_checker.hpp): variables are partitioned
   /// across shards (footprint-clustered placement, mod-K fallback), each
   /// group checked by its own StreamChecker (on a thread pool when > 1).

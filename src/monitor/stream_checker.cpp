@@ -32,6 +32,12 @@ std::size_t commandEvents(const StreamUnit& u) {
 void mergeStreamStats(StreamStats& into, const StreamStats& from) {
   into.unitsChecked += from.unitsChecked;
   into.opsChecked += from.opsChecked;
+  into.fastPathUnits += from.fastPathUnits;
+  into.certifiedUnits += from.certifiedUnits;
+  into.escalatedUnits += from.escalatedUnits;
+  into.discardedUnits += from.discardedUnits;
+  into.certifierAttempts += from.certifierAttempts;
+  into.certifierUsTotal += from.certifierUsTotal;
   into.rechecks += from.rechecks;
   into.inconclusiveRechecks += from.inconclusiveRechecks;
   into.gcUnits += from.gcUnits;
@@ -59,6 +65,16 @@ StreamChecker::StreamChecker(const StreamOptions& opts) : opts_(opts) {
   JUNGLE_CHECK(opts_.gcRetain >= 1);
   JUNGLE_CHECK(opts_.settleUnits >= 1);
   if (opts_.startUnknown) allKnown_ = false;
+  // The certifier's acceptance is a serialization witness for every
+  // condition the monitor dispatches on (opacity, parametrized opacity,
+  // strict serializability, SI — escalations run with requireFcw=false),
+  // but only when the claimed model's τ is the identity: a transforming
+  // model checks a history the automaton never saw.
+  if (opts_.certify && opts_.model->identityTransform()) {
+    certifier_ = std::make_unique<Tms2Certifier>(
+        opts_.certifierDepth != 0 ? opts_.certifierDepth : opts_.gcRetain,
+        opts_.startUnknown);
+  }
 }
 
 void StreamChecker::feed(StreamUnit unit) {
@@ -71,6 +87,7 @@ void StreamChecker::feed(StreamUnit unit) {
     // (a dropped write stays the TM's current value until overwritten, and
     // a neighbour that linearized across the gap is indistinguishable from
     // a corrupt read).
+    stats_.discardedUnits += undecided_.size();
     resync();
     convictionCooldown_ = cooldownSpan();
     discardPending();
@@ -78,18 +95,34 @@ void StreamChecker::feed(StreamUnit unit) {
   if (convictionCooldown_ > 0) --convictionCooldown_;
   ++stats_.unitsChecked;
   if (mode_ == Mode::kBuffering) {
-    // Fast path is suspended until the pending escalation decides the
-    // window; the engine run covers these units too, so nothing is skipped.
+    // Fast path is suspended until the buffered suffix is decided; an
+    // engine run covers these units too, so nothing is skipped.
     windowEvents_ += unit.events.size();
-    window_.push_back(std::move(unit));
+    undecided_.push_back(std::move(unit));
     notePeaks();
+    if (certifier_ && drainUndecided()) {
+      // The certifier linearized the whole suffix — window decided, no
+      // engine run needed (the claim-inverted writer/reader case).
+      mode_ = Mode::kFast;
+      settleLeft_ = 0;
+      confirming_ = false;
+      gc();
+      notePeaks();
+      return;
+    }
     if (settleLeft_ > 0) --settleLeft_;
     if (settleLeft_ == 0) runEscalation(false);
     return;
   }
   if (fastPathAccepts(unit)) {
+    ++stats_.fastPathUnits;
     stats_.opsChecked += commandEvents(unit);
+    if (certifier_) certifier_->noteAdmitted(unit);
     admit(std::move(unit));
+    return;
+  }
+  if (certifier_ && tryCertify(unit)) {
+    if (Tms2Certifier::updatesMemory(unit)) admit(std::move(unit));
     return;
   }
   // Mismatch: the unit joins the window undecided and the running state is
@@ -97,16 +130,98 @@ void StreamChecker::feed(StreamUnit unit) {
   // a competitor that linearized early but claimed its epoch late can
   // arrive (see the file comment of stream_checker.hpp).
   windowEvents_ += unit.events.size();
-  window_.push_back(std::move(unit));
+  undecided_.push_back(std::move(unit));
   notePeaks();
   mode_ = Mode::kBuffering;
   settleLeft_ = opts_.settleUnits;
   confirming_ = false;
 }
 
+bool StreamChecker::tryCertify(const StreamUnit& u) {
+  ++stats_.certifierAttempts;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::pair<ObjectId, Word>> adopted;
+  const bool ok = Tms2Certifier::updatesMemory(u)
+                      ? certifier_->tryCertifyUpdater(u, &adopted)
+                      : certifier_->tryCertifyReader(u, &adopted);
+  stats_.certifierUsTotal += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  if (!ok) return false;
+  ++stats_.certifiedUnits;
+  stats_.opsChecked += commandEvents(u);
+  // Mirror the certifier's unknown-object adoptions so the running state
+  // and a later escalation's initializer agree (the certifier only adopts
+  // objects no retained snapshot writes, so base == latest for them).
+  for (const auto& [obj, val] : adopted) {
+    state_.emplace(obj, val);
+    prefixState_.emplace(obj, val);
+  }
+  // Retention is the caller's job: a certified READER is dropped (omitting
+  // a read-only unit only removes constraints from future engine windows);
+  // a certified UPDATER must be admitted — its writes reach the latest
+  // memory unshadowed (insertion guarantees no slot above writes them) and
+  // future windows need it as escalation context.
+  return true;
+}
+
+bool StreamChecker::drainUndecided() {
+  bool progress = true;
+  while (progress && !undecided_.empty()) {
+    progress = false;
+    for (std::size_t i = 0; i < undecided_.size(); ++i) {
+      const StreamUnit& u = undecided_[i];
+      // A remaining undecided unit that ended before this one began must
+      // serialize first; until it is placed, this one cannot be.  Ties
+      // count as precedence, matching the stable windowHistory interleave
+      // (and the certifier's floor rule).
+      bool mustWait = false;
+      for (std::size_t j = 0; j < undecided_.size(); ++j) {
+        if (j != i && Tms2Certifier::endTicket(undecided_[j]) <= u.epoch) {
+          mustWait = true;
+          break;
+        }
+      }
+      if (mustWait) continue;
+      const std::size_t ops = commandEvents(u);
+      if (fastPathAccepts(u)) {
+        // Sees the latest memory: admit it as the next serialization step
+        // (gc deferred until the suffix fully drains — an escalation may
+        // still need the full window).
+        certifier_->noteAdmitted(u);
+        applyWrites(u, state_);
+        window_.push_back(std::move(undecided_[i]));
+      } else if (tryCertify(undecided_[i])) {
+        if (Tms2Certifier::updatesMemory(undecided_[i])) {
+          // Certified by insertion: admit like the fast-path branch (its
+          // writes reach the latest memory unshadowed), keep it as
+          // escalation context.
+          applyWrites(undecided_[i], state_);
+          window_.push_back(std::move(undecided_[i]));
+        } else {
+          windowEvents_ -= undecided_[i].events.size();
+        }
+        undecided_.erase(undecided_.begin() + static_cast<std::ptrdiff_t>(i));
+        progress = true;
+        break;
+      } else {
+        continue;
+      }
+      ++stats_.certifiedUnits;
+      stats_.opsChecked += ops;
+      undecided_.erase(undecided_.begin() + static_cast<std::ptrdiff_t>(i));
+      progress = true;
+      break;
+    }
+  }
+  return undecided_.empty();
+}
+
 void StreamChecker::noteDrops() {
   // Units are missing: neither the running state nor a pending escalation
   // window can be trusted any more.
+  stats_.discardedUnits += undecided_.size();
   resync();
   convictionCooldown_ = cooldownSpan();
   discardPending();
@@ -221,16 +336,20 @@ void StreamChecker::runEscalation(bool final) {
     // claim order), and the engine's real-time edges already separate that
     // benign inversion (units overlap, witness exists) from a genuinely
     // stale read (real-time-separated, still convicts).
-    for (const StreamUnit& u : window_) {
-      std::unordered_set<ObjectId> own;
-      for (const MonitorEvent& e : u.events) {
-        if (isWriteEvent(e.kind)) {
-          own.insert(e.obj);
-        } else if (isReadEvent(e.kind) && !own.contains(e.obj)) {
-          prefixState_.emplace(e.obj, e.value);
+    const auto adoptFirstReads = [this](const std::deque<StreamUnit>& units) {
+      for (const StreamUnit& u : units) {
+        std::unordered_set<ObjectId> own;
+        for (const MonitorEvent& e : u.events) {
+          if (isWriteEvent(e.kind)) {
+            own.insert(e.obj);
+          } else if (isReadEvent(e.kind) && !own.contains(e.obj)) {
+            prefixState_.emplace(e.obj, e.value);
+          }
         }
       }
-    }
+    };
+    adoptFirstReads(window_);
+    adoptFirstReads(undecided_);
   }
   History h = windowHistory(nullptr);
   SearchLimits limits;
@@ -249,12 +368,14 @@ void StreamChecker::runEscalation(bool final) {
   stats_.escalationUsMin =
       stats_.rechecks == 1 ? us : std::min(stats_.escalationUsMin, us);
   if (r.satisfied) {
+    stats_.escalatedUnits += undecided_.size();
     collapse(r.witness ? *r.witness : History{});
     return;
   }
   if (r.inconclusive) {
     // Honesty rule: a deadline is never evidence.  Start over.
     ++stats_.inconclusiveRechecks;
+    stats_.escalatedUnits += undecided_.size();
     resync();
     return;
   }
@@ -263,6 +384,7 @@ void StreamChecker::runEscalation(bool final) {
     // within a gap's claim-inversion reach: the unit that explains this
     // window may be the one that was dropped.  Discard the verdict.
     ++stats_.suppressedVerdicts;
+    stats_.escalatedUnits += undecided_.size();
     resync();
     return;
   }
@@ -279,8 +401,9 @@ void StreamChecker::runEscalation(bool final) {
   // the unit's loss only when the flush fails, arbitrarily later — the
   // explaining writer may be in flight *and doomed* right now, invisible
   // to every counter-based gate (see stream_checker.hpp).
+  stats_.escalatedUnits += undecided_.size();
   std::string desc =
-      "window of " + std::to_string(window_.size()) +
+      "window of " + std::to_string(window_.size() + undecided_.size()) +
       " unit(s) conclusively violates " +
       (opts_.condition == ConditionKind::kParametrizedOpacity
            ? std::string("opacity parametrized by ") + opts_.model->name()
@@ -303,6 +426,7 @@ void StreamChecker::collapse(const History& witness) {
   std::unordered_map<ObjectId, Word> st = prefixState_;
   if (witness.empty()) {
     for (const StreamUnit& u : window_) applyWrites(u, st);
+    for (const StreamUnit& u : undecided_) applyWrites(u, st);
   } else {
     HistoryAnalysis wa(witness);
     bool sawHavoc = false;
@@ -320,11 +444,13 @@ void StreamChecker::collapse(const History& witness) {
     }
     if (sawHavoc) allKnown_ = false;
   }
-  stats_.gcUnits += window_.size();
+  stats_.gcUnits += window_.size() + undecided_.size();
   window_.clear();
+  undecided_.clear();
   windowEvents_ = 0;
   prefixState_ = std::move(st);
   state_ = prefixState_;
+  if (certifier_) certifier_->rebuild(prefixState_, allKnown_);
   mode_ = Mode::kFast;
   settleLeft_ = 0;
   confirming_ = false;
@@ -334,10 +460,12 @@ void StreamChecker::collapse(const History& witness) {
 void StreamChecker::resync() {
   ++stats_.resyncs;
   window_.clear();
+  undecided_.clear();
   windowEvents_ = 0;
   prefixState_.clear();
   state_.clear();
   allKnown_ = false;
+  if (certifier_) certifier_->reset();
   mode_ = Mode::kFast;
   settleLeft_ = 0;
   confirming_ = false;
@@ -373,6 +501,9 @@ History StreamChecker::windowHistory(const StreamUnit* extra) const {
   std::vector<Ref> evs;
   evs.reserve(windowEvents_ + (extra ? extra->events.size() : 0));
   for (const StreamUnit& u : window_) {
+    for (const MonitorEvent& e : u.events) evs.push_back({&e, u.pid});
+  }
+  for (const StreamUnit& u : undecided_) {
     for (const MonitorEvent& e : u.events) evs.push_back({&e, u.pid});
   }
   if (extra) {
@@ -436,9 +567,10 @@ History StreamChecker::windowHistory(const StreamUnit* extra) const {
 }
 
 void StreamChecker::notePeaks() {
-  stats_.windowUnits = window_.size();
+  stats_.windowUnits = window_.size() + undecided_.size();
   stats_.windowEvents = windowEvents_;
-  stats_.peakWindowUnits = std::max(stats_.peakWindowUnits, window_.size());
+  stats_.peakWindowUnits =
+      std::max(stats_.peakWindowUnits, window_.size() + undecided_.size());
   stats_.peakWindowEvents = std::max(stats_.peakWindowEvents, windowEvents_);
 }
 

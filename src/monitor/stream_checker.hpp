@@ -1,7 +1,7 @@
 // Streaming incremental opacity checker: the consumer half of the monitor.
 //
 // The collector feeds StreamUnits in ascending merge-epoch (start-ticket)
-// order.  Two tiers keep the cost proportional to the event rate:
+// order.  Three tiers keep the cost proportional to the event rate:
 //
 //   * Fast path — replay the unit against the running object state (the
 //     state after the window's units in epoch order).  A committed or
@@ -9,7 +9,14 @@
 //     writes); a non-transactional read must see it exactly.  One hash-map
 //     lookup per operation.
 //
-//   * Escalation — on any fast-path mismatch, materialize the retained
+//   * TMS2 certifier (tms2_certifier.hpp) — on a fast-path miss, try to
+//     certify the unit incrementally against the retained memory-snapshot
+//     sequence (read-only units at an older snapshot; buffered suffixes by
+//     greedy linearization).  Accept-only: success is a serialization
+//     witness, failure falls through to escalation, so verdicts match the
+//     engine's by construction.
+//
+//   * Escalation — on any certifier miss, materialize the retained
 //     window as a real concurrent history (events interleaved by capture
 //     ticket, prefix state installed by a synthetic initializer
 //     transaction) and ask the existing DecisionEngine whether the TM's
@@ -63,6 +70,7 @@
 
 #include <chrono>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -70,6 +78,7 @@
 
 #include "memmodel/memory_model.hpp"
 #include "monitor/event.hpp"
+#include "monitor/tms2_certifier.hpp"
 #include "opacity/popacity.hpp"
 
 namespace jungle::monitor {
@@ -99,6 +108,18 @@ struct StreamOptions {
   /// mid-stream — the cross-shard joiner sees only a suffix of the
   /// execution, so a nonzero first read must adopt, not convict.
   bool startUnknown = false;
+  /// Enable the TMS2 incremental certifier (monitor/tms2_certifier.hpp):
+  /// a third path between the read-set fast path and the engine that
+  /// certifies benign reorderings (old-snapshot readers, claim-inverted
+  /// writer/reader pairs) in O(conflicts) instead of by search.  Accept-
+  /// only — convictions still go through the engine — so verdicts are
+  /// unchanged; only escalation counts drop.  Auto-disabled when the
+  /// claimed model's transform is not the identity (the certified history
+  /// would not be the checked one).
+  bool certify = true;
+  /// Memory snapshots the certifier retains (0 = gcRetain).  A reader that
+  /// would need an older snapshot cannot be decided and escalates.
+  std::size_t certifierDepth = 0;
 };
 
 struct MonitorViolation {
@@ -114,6 +135,20 @@ struct MonitorViolation {
 struct StreamStats {
   std::uint64_t unitsChecked = 0;
   std::uint64_t opsChecked = 0;
+  /// Per-path decision accounting; the four buckets partition
+  /// unitsChecked: accepted by the plain read-set fast path, accepted by
+  /// the TMS2 certifier (old-snapshot readers + buffered-drain
+  /// linearizations), consumed by an engine escalation verdict, or
+  /// discarded undecided by a drop-triggered resync.
+  std::uint64_t fastPathUnits = 0;
+  std::uint64_t certifiedUnits = 0;
+  std::uint64_t escalatedUnits = 0;
+  std::uint64_t discardedUnits = 0;
+  /// Certifier-path latency: attempts (fast-path misses offered to the
+  /// automaton, successful or not) and their total wall time.  Mean =
+  /// total / attempts; the plain fast path is untimed (it is the baseline).
+  std::uint64_t certifierAttempts = 0;
+  std::uint64_t certifierUsTotal = 0;
   std::uint64_t rechecks = 0;
   std::uint64_t inconclusiveRechecks = 0;
   /// Committed-prefix units folded into the GC summary.
@@ -209,6 +244,15 @@ class StreamChecker {
   void applyWrites(const StreamUnit& u,
                    std::unordered_map<ObjectId, Word>& state) const;
   void admit(StreamUnit unit);
+  /// Certifier path for a fast-path miss in kFast mode: a read-only unit
+  /// serialized at an older retained memory.  Counts the attempt either way.
+  bool tryCertify(const StreamUnit& u);
+  /// Greedy TMS2 linearization of the undecided buffered suffix: repeatedly
+  /// certify any unit all of whose real-time predecessors among the
+  /// remaining undecided are gone (committers must see the latest memory,
+  /// readers any feasible one).  True when the suffix fully drained — the
+  /// window is decided without an engine run.
+  bool drainUndecided();
   void gc();
   /// Runs the engine over the whole window.  `final` means the stream is
   /// drained, so a violated verdict needs no confirmation run.
@@ -227,7 +271,13 @@ class StreamChecker {
 
   StreamOptions opts_;
   SpecMap specs_;
+  /// Null when disabled (option off, or non-identity model transform).
+  std::unique_ptr<Tms2Certifier> certifier_;
+  /// Decided units retained as escalation context (epoch/decision order).
   std::deque<StreamUnit> window_;
+  /// Buffered units not yet decided (kBuffering mode); escalation windows
+  /// cover window_ + undecided_.
+  std::deque<StreamUnit> undecided_;
   /// State before the window (the GC summary) and after it (epoch order).
   std::unordered_map<ObjectId, Word> prefixState_;
   std::unordered_map<ObjectId, Word> state_;

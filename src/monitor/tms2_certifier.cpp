@@ -1,0 +1,331 @@
+#include "monitor/tms2_certifier.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace jungle::monitor {
+
+namespace {
+
+bool isReadEvent(EventKind k) {
+  return k == EventKind::kTxRead || k == EventKind::kNtRead;
+}
+
+bool isWriteEvent(EventKind k) {
+  return k == EventKind::kTxWrite || k == EventKind::kNtWrite;
+}
+
+/// Own-write overlay: the latest same-unit write to `e.obj` before index
+/// `i`, if any (transactional reads see it instead of shared memory).
+bool ownWriteBefore(const StreamUnit& u, std::size_t i, Word& out) {
+  for (std::size_t j = i; j-- > 0;) {
+    const MonitorEvent& w = u.events[j];
+    if (isWriteEvent(w.kind) && w.obj == u.events[i].obj) {
+      out = w.value;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Tms2Certifier::Tms2Certifier(std::size_t depth, bool startUnknown)
+    : depth_(depth), known_(!startUnknown) {
+  JUNGLE_CHECK(depth_ >= 1);
+}
+
+bool Tms2Certifier::updatesMemory(const StreamUnit& u) {
+  if (u.kind == StreamUnit::Kind::kAbortedTx) return false;
+  for (const MonitorEvent& e : u.events) {
+    if (isWriteEvent(e.kind)) return true;
+  }
+  return false;
+}
+
+std::uint64_t Tms2Certifier::endTicket(const StreamUnit& u) {
+  return u.events.empty() ? u.epoch : u.events.back().ticket;
+}
+
+bool Tms2Certifier::anySlotWrites(ObjectId obj) const {
+  for (const Slot& s : slots_) {
+    for (const auto& [o, v] : s.writes) {
+      if (o == obj) return true;
+    }
+  }
+  return false;
+}
+
+bool Tms2Certifier::valueAt(std::size_t p, ObjectId obj, Word& out) const {
+  // Newest-first scan from slot p down: the last write at or before p wins.
+  if (p != kBase) {
+    for (std::size_t s = p + 1; s-- > 0;) {
+      const Slot& slot = slots_[s];
+      for (std::size_t w = slot.writes.size(); w-- > 0;) {
+        if (slot.writes[w].first == obj) {
+          out = slot.writes[w].second;
+          return true;
+        }
+      }
+    }
+  }
+  auto it = base_.find(obj);
+  if (it != base_.end()) {
+    out = it->second;
+    return true;
+  }
+  if (known_) {
+    // Never written since the runtime started: initial value.
+    out = 0;
+    return true;
+  }
+  return false;
+}
+
+bool Tms2Certifier::externalReads(
+    const StreamUnit& u, std::vector<std::pair<ObjectId, Word>>* out) {
+  for (std::size_t i = 0; i < u.events.size(); ++i) {
+    const MonitorEvent& e = u.events[i];
+    if (!isReadEvent(e.kind)) continue;
+    Word own;
+    if (e.kind == EventKind::kTxRead && ownWriteBefore(u, i, own)) {
+      if (own != e.value) return false;
+      continue;
+    }
+    out->emplace_back(e.obj, e.value);
+  }
+  return true;
+}
+
+void Tms2Certifier::trackReads(
+    std::size_t p, const std::vector<std::pair<ObjectId, Word>>& reads) {
+  std::vector<ObjectId>& objs = slots_[p].readObjs;
+  for (const auto& [obj, val] : reads) {
+    if (std::find(objs.begin(), objs.end(), obj) == objs.end()) {
+      objs.push_back(obj);
+    }
+  }
+}
+
+bool Tms2Certifier::readsMatchAt(
+    std::size_t p, const std::vector<std::pair<ObjectId, Word>>& reads,
+    std::vector<std::pair<ObjectId, Word>>* adopt) const {
+  adopt->clear();
+  for (const auto& [obj, val] : reads) {
+    Word have;
+    if (valueAt(p, obj, have)) {
+      if (have != val) return false;
+      continue;
+    }
+    // Unknown object: adoptable only when NO retained snapshot writes it
+    // (then base == every memory for it, and the checker's running state
+    // can adopt the same value consistently).
+    if (anySlotWrites(obj)) return false;
+    bool clash = false;
+    bool seen = false;
+    for (const auto& [o, v] : *adopt) {
+      if (o == obj) {
+        seen = true;
+        clash = v != val;
+        break;
+      }
+    }
+    if (clash) return false;
+    if (!seen) adopt->emplace_back(obj, val);
+  }
+  return true;
+}
+
+void Tms2Certifier::adoptUnknownReads(const StreamUnit& u) {
+  if (known_) return;
+  for (std::size_t i = 0; i < u.events.size(); ++i) {
+    const MonitorEvent& e = u.events[i];
+    if (!isReadEvent(e.kind)) continue;
+    Word own;
+    if (e.kind == EventKind::kTxRead && ownWriteBefore(u, i, own)) continue;
+    if (base_.contains(e.obj) || anySlotWrites(e.obj)) continue;
+    // The fast path validated this read against the checker's running
+    // state, so adopting it as the base value stays in lockstep (no
+    // retained snapshot writes the object, so base == latest for it).
+    base_.emplace(e.obj, e.value);
+  }
+}
+
+void Tms2Certifier::noteAdmitted(const StreamUnit& u) {
+  adoptUnknownReads(u);
+  std::vector<std::pair<ObjectId, Word>> reads;
+  const bool readsOk = externalReads(u, &reads);
+  if (updatesMemory(u)) {
+    std::vector<std::pair<ObjectId, Word>> writes;
+    for (const MonitorEvent& e : u.events) {
+      if (isWriteEvent(e.kind)) writes.emplace_back(e.obj, e.value);
+    }
+    // The committer's reads saw the LATEST memory, so appending is always
+    // a valid serialization — but when its footprint is disjoint from the
+    // retained suffix, so is any lower insertion point, and serializing it
+    // as early as possible keeps its close ticket from flooring a later
+    // stale reader above a concurrent late-closing writer.  Same
+    // feasibility scan as the stale-updater path; append is the fallback
+    // when the reads cannot be reconstructed.
+    std::size_t p = slots_.size();
+    if (readsOk) {
+      std::size_t low;
+      if (lowestFeasibleInsertion(u, reads, writes, &low)) p = low;
+    }
+    insertUpdater(p, u, readsOk ? reads
+                                : std::vector<std::pair<ObjectId, Word>>{},
+                  std::move(writes));
+    return;
+  }
+  // Read-only unit serialized at the latest memory.  With no retained
+  // snapshot it reads the base, which is after every folded unit — later
+  // units are automatically after it, nothing to track.
+  if (!slots_.empty()) {
+    slots_.back().minEnd = std::min(slots_.back().minEnd, endTicket(u));
+    if (readsOk) trackReads(slots_.size() - 1, reads);
+  }
+}
+
+bool Tms2Certifier::tryCertifyReader(
+    const StreamUnit& u, std::vector<std::pair<ObjectId, Word>>* adopted) {
+  if (updatesMemory(u)) return false;
+  // Effective external reads after the own-write overlay (an aborted
+  // transaction's writes are own-only, so it reduces to a reader too).
+  std::vector<std::pair<ObjectId, Word>> reads;
+  if (!externalReads(u, &reads)) return false;
+  // Real-time floor: a slot whose minEnd precedes this unit's start holds
+  // a unit that ended before this one began — serializing below it would
+  // invert real time.  A TIE (minEnd == start) also separates: the window
+  // history interleaves events by ticket with a stable sort, so the
+  // earlier-fed unit's close event lands before this unit's start event
+  // and the engine sees real-time precedence.
+  std::size_t floor = kBase;
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].minEnd <= u.epoch) floor = s;
+  }
+  // Oldest feasible memory first: certifying low keeps future floors low.
+  std::vector<std::pair<ObjectId, Word>> adopt;
+  for (std::size_t p = floor;; p = (p == kBase ? 0 : p + 1)) {
+    if (p != kBase && p >= slots_.size()) break;
+    if (!readsMatchAt(p, reads, &adopt)) continue;
+    // Feasible at p: serialize here.
+    for (const auto& [o, v] : adopt) base_.emplace(o, v);
+    if (adopted) *adopted = std::move(adopt);
+    if (p != kBase) {
+      slots_[p].minEnd = std::min(slots_[p].minEnd, endTicket(u));
+      trackReads(p, reads);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool Tms2Certifier::lowestFeasibleInsertion(
+    const StreamUnit& u, const std::vector<std::pair<ObjectId, Word>>& reads,
+    const std::vector<std::pair<ObjectId, Word>>& writes,
+    std::size_t* pos) const {
+  // Real-time floor as in the reader path (ties separate): the insertion
+  // index must leave every slot whose minEnd reaches this unit's start
+  // below it.
+  std::size_t floor = kBase;
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].minEnd <= u.epoch) floor = s;
+  }
+  const std::size_t lo = floor == kBase ? 0 : floor + 1;
+  // Scan insertion points from the latest down, keeping the LOWEST
+  // feasible one — serializing a committer as early as possible keeps
+  // its (possibly early) close ticket from flooring later stale readers
+  // above concurrent late-closing writers.  Walking the boundary down
+  // past a slot adds it to the set serialized ABOVE the unit; the moment
+  // any such slot writes or reads one of the unit's written objects,
+  // every lower insertion point is infeasible too (the conflict only
+  // accumulates), so the scan stops for good.
+  bool found = false;
+  std::vector<std::pair<ObjectId, Word>> adopt;
+  for (std::size_t p = slots_.size();; --p) {
+    const std::size_t below = p == 0 ? kBase : p - 1;
+    if (readsMatchAt(below, reads, &adopt)) {
+      *pos = p;
+      found = true;
+    }
+    if (p == lo) break;
+    // Crossing slot p-1: it will now be serialized above the unit.
+    const Slot& above = slots_[p - 1];
+    bool conflict = false;
+    for (const auto& [obj, val] : writes) {
+      for (const auto& [o, v] : above.writes) {
+        if (o == obj) {
+          conflict = true;
+          break;
+        }
+      }
+      if (!conflict &&
+          std::find(above.readObjs.begin(), above.readObjs.end(), obj) !=
+              above.readObjs.end()) {
+        conflict = true;
+      }
+      if (conflict) break;
+    }
+    if (conflict) break;
+  }
+  return found;
+}
+
+void Tms2Certifier::insertUpdater(
+    std::size_t p, const StreamUnit& u,
+    const std::vector<std::pair<ObjectId, Word>>& reads,
+    std::vector<std::pair<ObjectId, Word>>&& writes) {
+  Slot s;
+  s.minEnd = endTicket(u);
+  s.writes = std::move(writes);
+  slots_.insert(slots_.begin() + static_cast<std::ptrdiff_t>(p),
+                std::move(s));
+  trackReads(p, reads);
+  trim();
+}
+
+bool Tms2Certifier::tryCertifyUpdater(
+    const StreamUnit& u, std::vector<std::pair<ObjectId, Word>>* adopted) {
+  if (!updatesMemory(u)) return false;
+  std::vector<std::pair<ObjectId, Word>> reads;
+  if (!externalReads(u, &reads)) return false;
+  std::vector<std::pair<ObjectId, Word>> writes;
+  for (const MonitorEvent& e : u.events) {
+    if (isWriteEvent(e.kind)) writes.emplace_back(e.obj, e.value);
+  }
+  std::size_t p;
+  if (!lowestFeasibleInsertion(u, reads, writes, &p)) return false;
+  // Feasible at p: the unit's snapshot becomes position p.  Nobody above
+  // reads or writes its objects, so its writes reach the latest memory
+  // unshadowed (the caller applies them to the running state) and every
+  // already-validated read above stays untouched.
+  std::vector<std::pair<ObjectId, Word>> adopt;
+  JUNGLE_CHECK(readsMatchAt(p == 0 ? kBase : p - 1, reads, &adopt));
+  for (const auto& [o, v] : adopt) base_.emplace(o, v);
+  if (adopted) *adopted = std::move(adopt);
+  insertUpdater(p, u, reads, std::move(writes));
+  return true;
+}
+
+void Tms2Certifier::trim() {
+  while (slots_.size() > depth_) {
+    for (const auto& [o, v] : slots_.front().writes) base_[o] = v;
+    slots_.pop_front();
+  }
+}
+
+void Tms2Certifier::reset() {
+  base_.clear();
+  slots_.clear();
+  known_ = false;
+}
+
+void Tms2Certifier::rebuild(const std::unordered_map<ObjectId, Word>& state,
+                            bool known) {
+  base_ = state;
+  slots_.clear();
+  known_ = known;
+}
+
+}  // namespace jungle::monitor

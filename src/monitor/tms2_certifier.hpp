@@ -1,0 +1,192 @@
+// TMS2 incremental certifier: the monitor's middle tier between the
+// read-set fast path and the DecisionEngine escalation.
+//
+// Armstrong/Dongol/Doherty ("Reducing Opacity to Linearizability: A Sound
+// and Complete Method") show that a history is opaque iff it linearizes
+// against the TMS2 automaton, whose shared state is a *sequence of memory
+// snapshots*: an updating transaction commits by validating its reads
+// against the LATEST memory and appending a new one; a read-only (or
+// aborted, or non-transactional-read) unit commits by validating against
+// ANY memory no older than its real-time floor.  This class simulates
+// exactly that automaton over the monitor's unit stream:
+//
+//   * base_   — the memory before the oldest retained snapshot (folded,
+//               like the stream checker's prefix summary),
+//   * slots_  — the retained snapshot suffix as per-committer write
+//               deltas; slot i is the memory created by the i-th retained
+//               updating unit,
+//   * minEnd  — per slot, the smallest close ticket over the committer
+//               and every reader serialized at that slot: a later unit
+//               whose start ticket reaches some slot's minEnd is
+//               real-time-after a unit serialized there, so its own
+//               serialization point must not precede that slot.  Ticket
+//               TIES separate (floor uses <=): the window history's
+//               stable per-ticket interleave puts the earlier-fed unit's
+//               close event before the later unit's start event, so the
+//               engine would see real-time precedence there.
+//
+// The certifier is ACCEPT-ONLY: success constructs a genuine
+// serialization witness (so the unit is certified under every condition
+// the monitor checks — ticket intervals over-approximate program order
+// per process, and the monitored models all have identity transforms);
+// any failure means "cannot decide here" and the caller falls back to the
+// existing buffering + escalation path, which keeps the engine as the
+// single source of convictions.  Certifier-on and certifier-off monitors
+// therefore agree on verdicts by construction; the corpus/fuzz
+// differential harness (tests/test_tms2_certifier.cpp, fuzz_jungle's
+// tms2Disagreements leg) checks that empirically.
+//
+// Readers may certify at any retained slot at or above their floor; the
+// oldest feasible slot is chosen because it constrains future floors the
+// least.  Reading at base_ is always real-time-safe with respect to
+// folded units (base_ sits after all of them), so only retained slots
+// contribute floors.
+//
+// Updating units whose reads saw the latest memory APPEND (TMS2's
+// doCommit) — that is the checker's plain fast path.  A committer whose
+// reads are STALE (the dominant real escalation: a writer that
+// linearized before a competitor but was fed after it) can still be
+// certified by INSERTING its snapshot below the slots it did not see,
+// provided the insertion disturbs nobody already serialized above it:
+// its reads must match the memory at the insertion point, every slot
+// above must keep its real-time floor (minEnd > the unit's start), and
+// — the load-bearing condition — no slot at or above the insertion
+// point may have WRITTEN or READ any object the unit writes (each slot
+// tracks the read set of its committer and of every reader serialized
+// there for exactly this check).  The read-intersection guard is what
+// keeps genuinely cyclic windows escalating: in store buffering each
+// writer's read of the other's variable blocks the other's insertion,
+// so the engine still decides — and convicts — that family.
+//
+// EVERY committer — fast-path-admitted ones included — is serialized at
+// the LOWEST feasible insertion point, not appended blindly.  Feed order
+// between two concurrent disjoint-footprint committers is arbitrary
+// (tickets are claimed at flush), and appending pins the order the
+// collector happened to see: when the early-closing one is fed second it
+// sits above the late-closing one and its close ticket floors every
+// later stale reader too high to reach the snapshot that explains its
+// reads.  Sinking committers low keeps those floors low; the engine
+// explores both orders, so the automaton must not pin the wrong one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "monitor/event.hpp"
+
+namespace jungle::monitor {
+
+class Tms2Certifier {
+ public:
+  /// `depth`: retained memory snapshots (older ones fold into the base
+  /// summary; a reader that would need an older memory cannot be decided
+  /// here and escalates).  `startUnknown` mirrors StreamOptions: objects
+  /// absent from the base are unknown-adopt-on-first-read rather than
+  /// implicitly zero.
+  Tms2Certifier(std::size_t depth, bool startUnknown);
+
+  /// Mirror a unit the stream checker's plain fast path admitted (its
+  /// reads saw the latest memory): an updating unit appends a snapshot, a
+  /// read-only unit is serialized at the latest one.  Keeps the automaton
+  /// in lockstep with the checker's running state, including unknown-read
+  /// adoption.
+  void noteAdmitted(const StreamUnit& u);
+
+  /// Try to certify a NON-updating unit whose reads did not all see the
+  /// latest memory.  On success the unit is serialized at the oldest
+  /// feasible retained memory, its close ticket tightens that slot's
+  /// minEnd, its reads join that slot's tracked read set, and any
+  /// unknown-object adoptions are committed into the base and returned in
+  /// `adopted` so the caller can mirror them.  False = cannot decide.
+  bool tryCertifyReader(const StreamUnit& u,
+                        std::vector<std::pair<ObjectId, Word>>* adopted);
+
+  /// Try to certify an UPDATING unit whose reads did not all see the
+  /// latest memory, by inserting its snapshot below the slots it did not
+  /// see (see the file comment).  On success the caller must treat the
+  /// unit as admitted: apply its writes to the running state (sound
+  /// because no slot above the insertion point writes any of its
+  /// objects, so its writes reach the latest memory unshadowed) and
+  /// retain it as escalation context.  False = cannot decide.
+  bool tryCertifyUpdater(const StreamUnit& u,
+                         std::vector<std::pair<ObjectId, Word>>* adopted);
+
+  /// Ring drop / inconclusive escalation: everything is unknown again.
+  void reset();
+
+  /// Escalation collapse: the engine decided the whole window and the
+  /// checker's prefix summary became `state` — restart the automaton from
+  /// that memory as the sole snapshot.
+  void rebuild(const std::unordered_map<ObjectId, Word>& state, bool known);
+
+  /// Does the unit append a memory snapshot when certified?  (Committed
+  /// transactional writes and non-transactional writes do; aborted
+  /// transactions' writes are own-only.)
+  static bool updatesMemory(const StreamUnit& u);
+
+  /// Close ticket of the unit (the flush-claimed end of its real-time
+  /// interval); start is `u.epoch`.
+  static std::uint64_t endTicket(const StreamUnit& u);
+
+  std::size_t retainedSlots() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    /// The committer's writes in program order (value at this slot for an
+    /// object = its last write here, else the newest older slot's, else
+    /// base).
+    std::vector<std::pair<ObjectId, Word>> writes;
+    /// Objects read (externally) by the committer and by every reader
+    /// serialized at this slot: an updater inserting below this slot must
+    /// not write any of them (its snapshot would sit inside their
+    /// validated memories).
+    std::vector<ObjectId> readObjs;
+    /// Min close ticket over the committer and every reader serialized at
+    /// this slot: floors later units that started after it.
+    std::uint64_t minEnd = 0;
+  };
+
+  static constexpr std::size_t kBase = static_cast<std::size_t>(-1);
+
+  /// Value of `obj` in the memory at slot `p` (kBase = before all retained
+  /// slots).  Returns false when the object is unknown there.
+  bool valueAt(std::size_t p, ObjectId obj, Word& out) const;
+  bool anySlotWrites(ObjectId obj) const;
+  /// External reads of the unit after the own-write overlay; false when an
+  /// own-read disagrees with the unit's own prior write (cannot certify).
+  static bool externalReads(const StreamUnit& u,
+                            std::vector<std::pair<ObjectId, Word>>* out);
+  /// Record `reads` in slot `p`'s tracked read set (dedup by object).
+  void trackReads(std::size_t p,
+                  const std::vector<std::pair<ObjectId, Word>>& reads);
+  /// Validate `reads` against the memory at slot `p`, collecting
+  /// unknown-object adoptions (allowed only when no retained slot writes
+  /// the object) into `adopt`.  False when any read disagrees.
+  bool readsMatchAt(std::size_t p,
+                    const std::vector<std::pair<ObjectId, Word>>& reads,
+                    std::vector<std::pair<ObjectId, Word>>* adopt) const;
+  /// Mirror of the fast path's unknown-read adoption for admitted units.
+  void adoptUnknownReads(const StreamUnit& u);
+  /// Lowest insertion index for an updating unit that satisfies the three
+  /// insertion conditions (reads match the memory below, real-time floor,
+  /// no write/read conflict with any slot above).  False = none.
+  bool lowestFeasibleInsertion(
+      const StreamUnit& u, const std::vector<std::pair<ObjectId, Word>>& reads,
+      const std::vector<std::pair<ObjectId, Word>>& writes,
+      std::size_t* pos) const;
+  /// Materialize the unit's snapshot at index `p` and track its reads.
+  void insertUpdater(std::size_t p, const StreamUnit& u,
+                     const std::vector<std::pair<ObjectId, Word>>& reads,
+                     std::vector<std::pair<ObjectId, Word>>&& writes);
+  void trim();
+
+  std::size_t depth_;
+  bool known_;
+  std::unordered_map<ObjectId, Word> base_;
+  std::deque<Slot> slots_;
+};
+
+}  // namespace jungle::monitor

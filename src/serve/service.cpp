@@ -69,6 +69,7 @@ JungleServe::JungleServe(const ServeOptions& opts) : opts_(opts) {
       so.monitoredEpochCommands = opts_.sampleEpochCommands;
       so.checkerShards = opts_.checkerShards;
       so.collectorThreads = opts_.collectorThreads;
+      so.monitorCertifier = opts_.monitorCertifier;
       so.monitorRingCapacity = opts_.monitorRingCapacity;
       so.monitorPoll = opts_.monitorPoll;
       so.snapshotDir = opts_.snapshotDir;

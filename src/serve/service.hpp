@@ -69,6 +69,9 @@ struct ServeOptions {
   std::size_t checkerShards = 1;
   /// Collector ingest workers per sampled monitor (see shard.hpp).
   unsigned collectorThreads = 1;
+  /// TMS2 incremental certifier in the sampled monitors (monitor.hpp);
+  /// off = engine-only escalation baseline.
+  bool monitorCertifier = true;
   std::size_t monitorRingCapacity = 1 << 15;
   /// Collector poll interval of the sampled monitors (see shard.hpp).
   std::chrono::microseconds monitorPoll{1000};

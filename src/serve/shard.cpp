@@ -32,6 +32,7 @@ Shard::Shard(const ShardOptions& opts, std::vector<ClientLane*> lanes)
     mo.capture.injectBug = opts_.injectBug;
     mo.shards = opts_.checkerShards;
     mo.collectorThreads = opts_.collectorThreads;
+    mo.certifier = opts_.monitorCertifier;
     mo.snapshotDir = opts_.snapshotDir;
     mo.pollInterval = opts_.monitorPoll;
     mon_ = std::make_unique<monitor::TmMonitor>(*inner_, executors_, mo);

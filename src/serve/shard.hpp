@@ -86,6 +86,8 @@ struct ShardOptions {
   /// Collector ingest workers of the attached monitor (tree merge when
   /// > 1; monitor.hpp).
   unsigned collectorThreads = 1;
+  /// TMS2 incremental certifier of the attached monitor (monitor.hpp).
+  bool monitorCertifier = true;
   std::size_t monitorRingCapacity = 1 << 15;
   /// Collector poll interval of the attached monitor.  Service epochs are
   /// batched, so conviction latency is epoch-grained anyway; a coarse poll

@@ -1,0 +1,633 @@
+// The TMS2 incremental certifier (monitor/tms2_certifier.hpp) tested at
+// every layer: the automaton's white-box contracts (old-snapshot reader
+// placement, stale-read updater insertion with its write/read-
+// intersection guards, lowest-feasible committer placement, the rt-floor
+// that blocks real-time-separated stale reads, own-write overlays,
+// unknown-object adoption), the stream checker's
+// three-tier dispatch (certified units avoid the engine entirely, the
+// buffered drain resolves claim-inverted writer/reader pairs without an
+// escalation, the four per-path buckets partition unitsChecked), the
+// corpus-wide differential — every shipped .hist replayed through
+// certifier-on and certifier-off checkers must get the identical verdict,
+// with store_buffer.hist pinned as a history that MUST fall back to
+// escalation — and the end-to-end gate: the injected-bug self-test still
+// convicts every TM kind with the certifier enabled.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "litmus/history_parser.hpp"
+#include "memmodel/models.hpp"
+#include "monitor/monitor.hpp"
+#include "monitor/tms2_certifier.hpp"
+#include "sim/memory_policy.hpp"
+#include "tm/runtime.hpp"
+
+#ifndef JUNGLE_HISTORIES_DIR
+#error "JUNGLE_HISTORIES_DIR must be defined by the build"
+#endif
+
+namespace jungle::monitor {
+namespace {
+
+// --------------------------------------------------------------- helpers
+
+StreamUnit txUnit(ProcessId pid, std::uint64_t base,
+                  std::vector<MonitorEvent> body,
+                  StreamUnit::Kind kind = StreamUnit::Kind::kCommittedTx) {
+  StreamUnit u;
+  u.kind = kind;
+  u.pid = pid;
+  u.epoch = base;
+  u.events.push_back({base, kNoObject, EventKind::kTxStart, 0});
+  for (MonitorEvent e : body) {
+    e.ticket = base;
+    u.events.push_back(e);
+  }
+  u.events.push_back({base + 1, kNoObject,
+                      kind == StreamUnit::Kind::kAbortedTx
+                          ? EventKind::kTxAbort
+                          : EventKind::kTxCommit,
+                      0});
+  return u;
+}
+
+StreamOptions smallOpts() {
+  StreamOptions so;
+  so.model = &scModel();
+  so.gcRetain = 4;
+  so.settleUnits = 2;
+  so.recheckTimeout = std::chrono::milliseconds(2000);
+  return so;
+}
+
+MonitorEvent rd(ObjectId x, Word v) { return {0, x, EventKind::kTxRead, v}; }
+MonitorEvent wr(ObjectId x, Word v) { return {0, x, EventKind::kTxWrite, v}; }
+
+/// Stretch a unit's claim window: the close ticket is flush-claimed and
+/// can be arbitrarily later than the start, which is what makes
+/// certifiable overlap possible at all.  (Ticket ties are real-time
+/// precedence, not overlap — see the floor rule — so overlap tests need
+/// genuinely spanning windows.)
+StreamUnit withEnd(StreamUnit u, std::uint64_t end) {
+  u.events.back().ticket = end;
+  return u;
+}
+
+// ------------------------------------------------- automaton white-box
+
+TEST(Tms2Certifier, ReaderPathRefusesUpdaters) {
+  // The reader path serializes at an existing memory and must not create
+  // one: updating units are the insertion path's job (tryCertifyUpdater),
+  // never this one's.
+  Tms2Certifier c(4, false);
+  std::vector<std::pair<ObjectId, Word>> adopted;
+  EXPECT_FALSE(c.tryCertifyReader(txUnit(0, 10, {wr(1, 5)}), &adopted));
+  EXPECT_FALSE(
+      c.tryCertifyReader(txUnit(0, 10, {rd(1, 0), wr(1, 5)}), &adopted));
+  // An aborted transaction's writes are own-only: it does not update
+  // memory, so its reads CAN be certified here — and the updater path
+  // symmetrically refuses it.
+  EXPECT_TRUE(c.tryCertifyReader(
+      txUnit(0, 10, {wr(1, 5), rd(1, 5)}, StreamUnit::Kind::kAbortedTx),
+      &adopted));
+  EXPECT_FALSE(c.tryCertifyUpdater(
+      txUnit(0, 11, {wr(1, 5), rd(1, 5)}, StreamUnit::Kind::kAbortedTx),
+      &adopted));
+}
+
+TEST(Tms2Certifier, StaleReadUpdaterCertifiesByInsertion) {
+  // W1 publishes x=1 (close 11); W2 publishes x=2 with a claim window
+  // spanning [20, 30].  U starts at 21 (overlapping W2), read the
+  // pre-W2 x=1 and writes a DISJOINT object: TMS2 serializes U between
+  // W1 and W2 — its snapshot inserts below W2, whose memory it does not
+  // disturb (W2 neither wrote nor read object 9).
+  Tms2Certifier c(4, false);
+  c.noteAdmitted(txUnit(0, 10, {wr(7, 1)}));
+  c.noteAdmitted(withEnd(txUnit(0, 20, {wr(7, 2)}), 30));
+  ASSERT_EQ(c.retainedSlots(), 2u);
+  std::vector<std::pair<ObjectId, Word>> adopted;
+  EXPECT_TRUE(
+      c.tryCertifyUpdater(txUnit(1, 21, {rd(7, 1), wr(9, 5)}), &adopted));
+  EXPECT_EQ(c.retainedSlots(), 3u);
+  // Its writes reached the latest memory unshadowed: a fresh reader of
+  // {x=2, 9=5} is the plain latest-memory view.
+  EXPECT_TRUE(
+      c.tryCertifyReader(txUnit(2, 40, {rd(7, 2), rd(9, 5)}), &adopted));
+}
+
+TEST(Tms2Certifier, InsertionRefusedWhenAnUpperSlotWroteTheObject) {
+  // Same shape, but U writes the SAME object W2 wrote: inserting below W2
+  // would shadow U's write and rewrite the memory W2's readers saw — the
+  // write-intersection guard refuses, and the appended position is
+  // infeasible too (U's read of x is stale there).
+  Tms2Certifier c(4, false);
+  c.noteAdmitted(txUnit(0, 10, {wr(7, 1)}));
+  c.noteAdmitted(withEnd(txUnit(0, 20, {wr(7, 2)}), 30));
+  std::vector<std::pair<ObjectId, Word>> adopted;
+  EXPECT_FALSE(
+      c.tryCertifyUpdater(txUnit(1, 21, {rd(7, 1), wr(7, 9)}), &adopted));
+}
+
+TEST(Tms2Certifier, InsertionRefusedWhenAnUpperSlotReadTheObject) {
+  // W2 read object 9 when it committed (tracked in its slot's read set):
+  // U's write of 9 below W2 would sit inside W2's validated memory, so
+  // the read-intersection guard refuses — this is the exact condition
+  // that keeps store-buffer cycles escalating.
+  Tms2Certifier c(4, false);
+  c.noteAdmitted(txUnit(0, 10, {wr(7, 1)}));
+  c.noteAdmitted(withEnd(txUnit(0, 20, {rd(9, 0), wr(7, 2)}), 30));
+  std::vector<std::pair<ObjectId, Word>> adopted;
+  EXPECT_FALSE(
+      c.tryCertifyUpdater(txUnit(1, 21, {rd(7, 1), wr(9, 5)}), &adopted));
+}
+
+TEST(Tms2Certifier, AdmittedCommitterSinksBelowConcurrentLateCloser) {
+  // Feed order between concurrent disjoint committers is arbitrary: W1
+  // (late closer, [10, 100]) is fed first, W2 (early closer, [20, 21])
+  // second.  Blind appending would pin W2 above W1 and its close ticket
+  // would floor the stale reader R (start 22) above W1's snapshot;
+  // lowest-feasible placement sinks W2 below W1, so R certifies at the
+  // memory where x is still unwritten and y is W2's — the serialization
+  // W2, R, W1 the engine would also have found.
+  Tms2Certifier c(4, false);
+  c.noteAdmitted(withEnd(txUnit(0, 10, {wr(7, 1)}), 100));
+  c.noteAdmitted(withEnd(txUnit(1, 20, {wr(8, 2)}), 21));
+  std::vector<std::pair<ObjectId, Word>> adopted;
+  EXPECT_TRUE(
+      c.tryCertifyReader(txUnit(2, 22, {rd(7, 0), rd(8, 2)}), &adopted));
+}
+
+TEST(Tms2Certifier, OldSnapshotReaderCertifiedWithinRtFloor) {
+  // W1 publishes x=1 (close 11), W2 publishes x=2 with a claim window
+  // spanning [20, 25].  A reader starting at 21 overlaps W2, so TMS2 lets
+  // it validate against the pre-W2 memory and read the stale x=1.
+  Tms2Certifier c(4, false);
+  c.noteAdmitted(txUnit(0, 10, {wr(7, 1)}));
+  c.noteAdmitted(withEnd(txUnit(0, 20, {wr(7, 2)}), 25));
+  ASSERT_EQ(c.retainedSlots(), 2u);
+  std::vector<std::pair<ObjectId, Word>> adopted;
+  EXPECT_TRUE(c.tryCertifyReader(txUnit(1, 21, {rd(7, 1)}), &adopted));
+  EXPECT_TRUE(adopted.empty());
+  // The latest value always certifies too.
+  EXPECT_TRUE(c.tryCertifyReader(txUnit(1, 22, {rd(7, 2)}), &adopted));
+}
+
+TEST(Tms2Certifier, RtFloorBlocksRtSeparatedStaleReader) {
+  // Same writers, but the reader starts after W2's close ticket 25.  Real
+  // time forces it at or past W2's memory, where x=2; reading x=1 cannot
+  // be certified (and is in fact a violation the engine will confirm —
+  // see the stream-level twin below).  A TIE with the close ticket is
+  // precedence too: the window history's stable per-ticket interleave
+  // puts the earlier unit's close before the later unit's start.
+  Tms2Certifier c(4, false);
+  c.noteAdmitted(txUnit(0, 10, {wr(7, 1)}));
+  c.noteAdmitted(withEnd(txUnit(0, 20, {wr(7, 2)}), 25));
+  std::vector<std::pair<ObjectId, Word>> adopted;
+  EXPECT_FALSE(c.tryCertifyReader(txUnit(1, 30, {rd(7, 1)}), &adopted));
+  EXPECT_FALSE(c.tryCertifyReader(txUnit(1, 25, {rd(7, 1)}), &adopted));
+}
+
+TEST(Tms2Certifier, FastPathReadersTightenTheLatestSlotsMinEnd) {
+  // A stale read starting at 23 certifies while every unit serialized at
+  // the latest memory is still open; once a fast-path reader of the
+  // latest value CLOSES at 25 (noteAdmitted lowers the slot's minEnd),
+  // a stale read starting after that close is rt-after it and must
+  // escalate.
+  Tms2Certifier c(4, false);
+  c.noteAdmitted(txUnit(0, 10, {wr(7, 1)}));
+  c.noteAdmitted(withEnd(txUnit(0, 20, {wr(7, 2)}), 30));
+  std::vector<std::pair<ObjectId, Word>> adopted;
+  ASSERT_TRUE(c.tryCertifyReader(txUnit(1, 23, {rd(7, 1)}), &adopted));
+  c.noteAdmitted(withEnd(txUnit(2, 24, {rd(7, 2)}), 25));
+  EXPECT_FALSE(c.tryCertifyReader(txUnit(3, 26, {rd(7, 1)}), &adopted));
+}
+
+TEST(Tms2Certifier, OwnWriteOverlayShadowsMemory) {
+  Tms2Certifier c(4, false);
+  c.noteAdmitted(txUnit(0, 10, {wr(3, 1)}));
+  std::vector<std::pair<ObjectId, Word>> adopted;
+  // An aborted transaction reads its own buffered write, not memory...
+  EXPECT_TRUE(c.tryCertifyReader(
+      txUnit(1, 20, {wr(3, 9), rd(3, 9)}, StreamUnit::Kind::kAbortedTx),
+      &adopted));
+  // ...and a read that contradicts its own earlier write can never be
+  // explained by any snapshot.
+  EXPECT_FALSE(c.tryCertifyReader(
+      txUnit(1, 21, {wr(3, 9), rd(3, 1)}, StreamUnit::Kind::kAbortedTx),
+      &adopted));
+}
+
+TEST(Tms2Certifier, UnknownObjectAdoptionIsConsistentAndOneShot) {
+  // Post-resync posture: the first read of an unwritten object defines its
+  // value (mirroring the checker's adopt-on-first-read); a later read of a
+  // DIFFERENT value for the same object must escalate, and a unit reading
+  // two clashing values of one unknown object can never certify.
+  Tms2Certifier c(4, true);
+  std::vector<std::pair<ObjectId, Word>> adopted;
+  ASSERT_TRUE(c.tryCertifyReader(txUnit(0, 10, {rd(5, 42)}), &adopted));
+  ASSERT_EQ(adopted.size(), 1u);
+  EXPECT_EQ(adopted[0].first, 5u);
+  EXPECT_EQ(adopted[0].second, 42u);
+  adopted.clear();
+  EXPECT_TRUE(c.tryCertifyReader(txUnit(1, 20, {rd(5, 42)}), &adopted));
+  EXPECT_TRUE(adopted.empty()) << "second read of an adopted object";
+  EXPECT_FALSE(c.tryCertifyReader(txUnit(1, 21, {rd(5, 7)}), &adopted));
+  EXPECT_FALSE(
+      c.tryCertifyReader(txUnit(2, 22, {rd(6, 1), rd(6, 2)}), &adopted));
+}
+
+TEST(Tms2Certifier, NoAdoptionForObjectsAnyRetainedSlotWrites) {
+  // Once a retained snapshot writes x, "x is unknown in the base" no
+  // longer implies "x is unknown in the latest memory" — adoption must
+  // refuse, even when startUnknown holds.
+  Tms2Certifier c(4, true);
+  c.noteAdmitted(txUnit(0, 10, {wr(5, 1)}));
+  std::vector<std::pair<ObjectId, Word>> adopted;
+  EXPECT_FALSE(c.tryCertifyReader(txUnit(1, 20, {rd(5, 42)}), &adopted));
+  EXPECT_TRUE(c.tryCertifyReader(txUnit(1, 21, {rd(5, 1)}), &adopted));
+}
+
+TEST(Tms2Certifier, DepthBoundFoldsOldSnapshotsAway) {
+  // depth=1: only the newest snapshot is retained; older memories fold
+  // into the base.  The base still serves the immediately-pre-latest
+  // memory (x=2), but the two-generations-old x=1 no longer exists
+  // anywhere and its reader is undecidable here.
+  Tms2Certifier c(1, false);
+  c.noteAdmitted(txUnit(0, 10, {wr(7, 1)}));
+  c.noteAdmitted(txUnit(0, 20, {wr(7, 2)}));
+  c.noteAdmitted(withEnd(txUnit(0, 30, {wr(7, 3)}), 40));
+  EXPECT_EQ(c.retainedSlots(), 1u);
+  std::vector<std::pair<ObjectId, Word>> adopted;
+  EXPECT_FALSE(c.tryCertifyReader(txUnit(1, 31, {rd(7, 1)}), &adopted));
+  EXPECT_TRUE(c.tryCertifyReader(txUnit(1, 32, {rd(7, 2)}), &adopted));
+  EXPECT_TRUE(c.tryCertifyReader(txUnit(1, 33, {rd(7, 3)}), &adopted));
+}
+
+TEST(Tms2Certifier, ResetForgetsAndRebuildRestarts) {
+  Tms2Certifier c(4, false);
+  c.noteAdmitted(txUnit(0, 10, {wr(7, 1)}));
+  std::vector<std::pair<ObjectId, Word>> adopted;
+  ASSERT_TRUE(c.tryCertifyReader(txUnit(1, 20, {rd(7, 1)}), &adopted));
+  c.reset();
+  EXPECT_EQ(c.retainedSlots(), 0u);
+  // Post-reset everything is unknown: a read adopts rather than matches.
+  adopted.clear();
+  EXPECT_TRUE(c.tryCertifyReader(txUnit(1, 30, {rd(7, 9)}), &adopted));
+  EXPECT_EQ(adopted.size(), 1u);
+  // Rebuild from an engine-collapsed state: the summary is the sole
+  // (known) memory, so reads must match it again.
+  std::unordered_map<ObjectId, Word> state{{7, 5}};
+  c.rebuild(state, true);
+  adopted.clear();
+  EXPECT_TRUE(c.tryCertifyReader(txUnit(1, 40, {rd(7, 5)}), &adopted));
+  EXPECT_FALSE(c.tryCertifyReader(txUnit(1, 41, {rd(7, 1)}), &adopted));
+}
+
+// ------------------------------------------- stream three-tier dispatch
+
+TEST(CertifierStream, OldSnapshotReaderNeverReachesTheEngine) {
+  StreamChecker c(smallOpts());
+  c.feed(txUnit(0, 10, {wr(7, 1)}));
+  c.feed(withEnd(txUnit(0, 20, {wr(7, 2)}), 25));
+  c.feed(txUnit(1, 21, {rd(7, 1)}));  // stale but claim-overlapping
+  c.finish();
+  const StreamStats& s = c.stats();
+  EXPECT_EQ(s.violations, 0u);
+  EXPECT_EQ(s.rechecks, 0u) << "certifier missed: engine ran";
+  EXPECT_EQ(s.fastPathUnits, 2u);
+  EXPECT_EQ(s.certifiedUnits, 1u);
+  EXPECT_EQ(s.escalatedUnits, 0u);
+  EXPECT_GE(s.certifierAttempts, 1u);
+  // Escalation latency telemetry untouched on a fully certified run.
+  EXPECT_EQ(s.escalationUsTotal, 0u);
+  EXPECT_EQ(s.escalationUsMin, 0u);
+  EXPECT_EQ(s.escalationUsMax, 0u);
+}
+
+TEST(CertifierStream, RtSeparatedStaleReadEscalatesAndStillConvicts) {
+  // The rt-floor twin: reader starts strictly after the newer writer's
+  // close, so the certifier refuses and the engine convicts — with and
+  // without the certifier, identically.
+  for (bool certify : {true, false}) {
+    StreamOptions so = smallOpts();
+    so.certify = certify;
+    StreamChecker c(so);
+    c.feed(txUnit(0, 10, {wr(7, 1)}));
+    c.feed(txUnit(0, 20, {wr(7, 2)}));
+    c.feed(txUnit(1, 30, {rd(7, 1)}));
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      c.feed(txUnit(0, 40 + 10 * i, {wr(9, 5)}));
+    }
+    c.finish();
+    const StreamStats& s = c.stats();
+    EXPECT_GE(s.violations, 1u) << "certify=" << certify;
+    EXPECT_GE(s.rechecks, 1u) << "certify=" << certify;
+    if (certify) {
+      EXPECT_GE(s.escalatedUnits, 1u);
+    }
+  }
+}
+
+TEST(CertifierStream, DrainResolvesClaimInvertedWriterReaderPair) {
+  // The reader of x=7 is fed BEFORE the writer that explains it (the
+  // writer linearized first but claimed its epoch later).  Pre-certifier
+  // this cost a full engine escalation; the buffered drain now admits the
+  // writer, replays the reader, and returns to fast mode engine-free.
+  StreamChecker c(smallOpts());
+  c.feed(txUnit(0, 10, {wr(3, 1)}));
+  // Reader spans [20, 23], writer [21, 22]: genuinely concurrent.
+  c.feed(withEnd(txUnit(1, 20, {rd(3, 7)}), 23));  // inexplicable: buffers
+  c.feed(txUnit(0, 21, {wr(3, 7)}));  // the late-claiming explainer
+  c.feed(txUnit(1, 30, {rd(3, 7)}));  // fast again after the drain
+  c.finish();
+  const StreamStats& s = c.stats();
+  EXPECT_EQ(s.violations, 0u);
+  EXPECT_EQ(s.rechecks, 0u) << "drain failed: engine ran";
+  EXPECT_EQ(s.certifiedUnits, 2u);  // the buffered pair, drain-decided
+  EXPECT_EQ(s.fastPathUnits, 2u);
+  EXPECT_EQ(s.unitsChecked, 4u);
+}
+
+TEST(CertifierStream, StaleReadUpdaterNeverReachesTheEngine) {
+  // The dominant real escalation pre-insertion: a committer that
+  // linearized before a competitor but was fed after it (its read is one
+  // snapshot stale).  The certifier inserts its snapshot below the
+  // competitor's; its writes land in the running state, so a later
+  // fast-path reader sees them without any engine run.
+  StreamChecker c(smallOpts());
+  c.feed(txUnit(0, 10, {wr(7, 1)}));
+  c.feed(withEnd(txUnit(0, 20, {wr(7, 2)}), 30));
+  c.feed(txUnit(1, 21, {rd(7, 1), wr(9, 5)}));  // stale read, certified
+  c.feed(txUnit(2, 40, {rd(7, 2), rd(9, 5)}));  // fast: writes landed
+  c.finish();
+  const StreamStats& s = c.stats();
+  EXPECT_EQ(s.violations, 0u);
+  EXPECT_EQ(s.rechecks, 0u) << "insertion missed: engine ran";
+  EXPECT_EQ(s.certifiedUnits, 1u);
+  EXPECT_EQ(s.fastPathUnits, 3u);
+  EXPECT_EQ(s.escalatedUnits, 0u);
+}
+
+TEST(CertifierStream, PathBucketsPartitionUnitsChecked) {
+  // A run that exercises all four paths: fast writes, a certified stale
+  // read, an escalated conviction, and units discarded by a drop resync.
+  StreamChecker c(smallOpts());
+  c.feed(txUnit(0, 10, {wr(7, 1)}));
+  c.feed(withEnd(txUnit(0, 20, {wr(7, 2)}), 25));
+  c.feed(txUnit(1, 21, {rd(7, 1)}));  // certified
+  c.feed(txUnit(1, 30, {rd(7, 1)}));  // escalates
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    c.feed(txUnit(0, 40 + 10 * i, {wr(9, 5)}));
+  }
+  c.feed(txUnit(1, 130, {rd(9, 77)}));  // buffers, then discarded:
+  c.noteDrops();                        // drop resync while undecided
+  c.feed(txUnit(0, 140, {wr(9, 6)}));
+  c.finish();
+  const StreamStats& s = c.stats();
+  EXPECT_EQ(
+      s.fastPathUnits + s.certifiedUnits + s.escalatedUnits + s.discardedUnits,
+      s.unitsChecked)
+      << "fast=" << s.fastPathUnits << " cert=" << s.certifiedUnits
+      << " esc=" << s.escalatedUnits << " disc=" << s.discardedUnits;
+  EXPECT_GE(s.certifiedUnits, 1u);
+  EXPECT_GE(s.escalatedUnits, 1u);
+  EXPECT_GE(s.discardedUnits, 1u);
+}
+
+TEST(CertifierStream, NonIdentityModelDisablesTheCertifier) {
+  // Junk-SC's τ rewrites values, so the certified history would not be the
+  // checked one: the constructor must refuse to build the automaton even
+  // with certify=true, and every fast-path miss goes to the engine.
+  StreamOptions so = smallOpts();
+  so.model = &junkScModel();
+  StreamChecker c(so);
+  c.feed(txUnit(0, 10, {wr(7, 1)}));
+  c.feed(withEnd(txUnit(0, 20, {wr(7, 2)}), 25));
+  c.feed(txUnit(1, 21, {rd(7, 1)}));
+  c.finish();
+  EXPECT_EQ(c.stats().certifierAttempts, 0u);
+  EXPECT_EQ(c.stats().certifiedUnits, 0u);
+}
+
+TEST(CertifierStream, DisabledCertifierMatchesOnTheBenignScenario) {
+  // certify=false on the old-snapshot scenario: same verdict, reached by
+  // escalation instead (the overhead the certifier exists to remove).
+  StreamOptions so = smallOpts();
+  so.certify = false;
+  StreamChecker c(so);
+  c.feed(txUnit(0, 10, {wr(7, 1)}));
+  c.feed(withEnd(txUnit(0, 20, {wr(7, 2)}), 25));
+  c.feed(txUnit(1, 21, {rd(7, 1)}));
+  c.finish();
+  EXPECT_EQ(c.stats().violations, 0u);
+  EXPECT_GE(c.stats().rechecks, 1u);
+  EXPECT_EQ(c.stats().certifierAttempts, 0u);
+}
+
+// --------------------------------------------- corpus-wide differential
+
+History loadHistoryFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing corpus file " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto r = litmus::parseHistory(buf.str());
+  EXPECT_TRUE(r) << path << ": " << r.error;
+  return *r.history;
+}
+
+/// History → unit stream adapter (the same reduction the sharded-corpus
+/// regression uses): each transaction or non-transactional access becomes
+/// one StreamUnit whose start/end tickets are its first/last history
+/// positions, so real-time precedence survives as ticket order.  False
+/// when the history uses commands richer than register reads/writes.
+bool unitsFromHistory(const History& h, std::vector<StreamUnit>& out) {
+  HistoryAnalysis a(h);
+  if (!a.wellFormed()) return false;
+  for (const OpInstance& op : h) {
+    if (op.isCommand() && op.cmd.kind != CmdKind::kRead &&
+        op.cmd.kind != CmdKind::kWrite) {
+      return false;
+    }
+  }
+  const auto ticketOf = [](std::size_t pos) {
+    return static_cast<std::uint64_t>(pos) + 1;
+  };
+  std::vector<bool> inTx(h.size(), false);
+  for (const Transaction& t : a.transactions()) {
+    StreamUnit u;
+    u.kind = t.aborted ? StreamUnit::Kind::kAbortedTx
+                       : StreamUnit::Kind::kCommittedTx;
+    u.pid = t.pid;
+    u.epoch = ticketOf(t.firstPos());
+    for (std::size_t pos : t.positions) {
+      inTx[pos] = true;
+      const OpInstance& op = h[pos];
+      if (op.isStart()) {
+        u.events.push_back({u.epoch, kNoObject, EventKind::kTxStart, 0});
+      } else if (op.isCommit() || op.isAbort()) {
+        u.events.push_back({ticketOf(pos), kNoObject,
+                            op.isAbort() ? EventKind::kTxAbort
+                                         : EventKind::kTxCommit,
+                            0});
+      } else {
+        u.events.push_back({u.epoch, op.obj,
+                            op.cmd.kind == CmdKind::kRead
+                                ? EventKind::kTxRead
+                                : EventKind::kTxWrite,
+                            op.cmd.value});
+      }
+    }
+    if (!t.completed()) {
+      u.kind = StreamUnit::Kind::kAbortedTx;
+      u.events.push_back({ticketOf(t.lastPos()), kNoObject,
+                          EventKind::kTxAbort, 0});
+    }
+    out.push_back(std::move(u));
+  }
+  for (std::size_t pos = 0; pos < h.size(); ++pos) {
+    if (inTx[pos] || !h[pos].isCommand()) continue;
+    StreamUnit u;
+    u.kind = StreamUnit::Kind::kNonTx;
+    u.pid = h[pos].pid;
+    u.epoch = ticketOf(pos);
+    u.events.push_back({u.epoch, h[pos].obj,
+                        h[pos].cmd.kind == CmdKind::kRead
+                            ? EventKind::kNtRead
+                            : EventKind::kNtWrite,
+                        h[pos].cmd.value});
+    out.push_back(std::move(u));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StreamUnit& a, const StreamUnit& b) {
+              return a.epoch < b.epoch;
+            });
+  return true;
+}
+
+struct ReplayResult {
+  bool convicted = false;
+  StreamStats stats;
+};
+
+ReplayResult replay(const std::vector<StreamUnit>& units, bool certify,
+                    ConditionKind condition) {
+  StreamOptions so = smallOpts();
+  so.certify = certify;
+  so.condition = condition;
+  StreamChecker c(so);
+  for (const StreamUnit& u : units) c.feed(u);
+  c.finish();
+  return {!c.violations().empty(), c.stats()};
+}
+
+TEST(CertifierCorpus, DifferentialVerdictsMatchOnEveryHistoryFile) {
+  // Every shipped .hist (including regressions/) that adapts to register
+  // units, replayed certifier-on vs certifier-off under both conditions
+  // the monitor dispatches most: the verdicts must be identical, file by
+  // file.  This is the accept-only contract made empirical.
+  const ConditionKind kConditions[] = {
+      ConditionKind::kParametrizedOpacity,
+      ConditionKind::kStrictSerializability,
+  };
+  std::size_t adapted = 0;
+  bool sawRegression = false;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(
+           JUNGLE_HISTORIES_DIR)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".hist") {
+      continue;
+    }
+    const History h = loadHistoryFile(entry.path());
+    std::vector<StreamUnit> units;
+    if (!unitsFromHistory(h, units)) continue;
+    ++adapted;
+    if (entry.path().filename() == "ssn_ro_realtime.hist") {
+      sawRegression = true;
+    }
+    for (ConditionKind cond : kConditions) {
+      const ReplayResult on = replay(units, true, cond);
+      const ReplayResult off = replay(units, false, cond);
+      EXPECT_EQ(on.convicted, off.convicted)
+          << entry.path().filename() << " under " << conditionKindName(cond);
+      EXPECT_EQ(on.stats.violations, off.stats.violations)
+          << entry.path().filename() << " under " << conditionKindName(cond);
+      // Certifier-on must never report MORE engine runs than off: the
+      // third tier only ever removes escalations.
+      EXPECT_LE(on.stats.rechecks, off.stats.rechecks)
+          << entry.path().filename() << " under " << conditionKindName(cond);
+    }
+  }
+  EXPECT_GE(adapted, 5u) << "corpus differential lost its histories";
+  EXPECT_TRUE(sawRegression)
+      << "regressions/ssn_ro_realtime.hist missing from the sweep";
+}
+
+TEST(CertifierCorpus, StoreBufferIsPinnedAsAMustEscalateHistory) {
+  // Store buffering's cycle cannot be expressed as any single-unit
+  // certification — the certifier must refuse and the engine must run
+  // (and convict), proving the fallback edge stays exercised forever.
+  const History h = loadHistoryFile(
+      std::filesystem::path(JUNGLE_HISTORIES_DIR) / "store_buffer.hist");
+  std::vector<StreamUnit> units;
+  ASSERT_TRUE(unitsFromHistory(h, units));
+  const ReplayResult on =
+      replay(units, true, ConditionKind::kParametrizedOpacity);
+  EXPECT_TRUE(on.convicted);
+  EXPECT_GE(on.stats.rechecks, 1u)
+      << "store_buffer no longer reaches the escalation tier";
+  EXPECT_GE(on.stats.escalatedUnits, 1u);
+}
+
+// ------------------------------------------------------------ end-to-end
+
+TEST(CertifierEndToEnd, CleanRunCertifiesWithHonestBuckets) {
+  NativeMemory mem(runtimeMemoryWords(TmKind::kTl2Weak, 16));
+  auto tm = makeNativeRuntime(TmKind::kTl2Weak, mem, 16, 4);
+  TmMonitor mon(*tm, 4);  // certifier on by default
+  WorkloadOptions w;
+  w.threads = 4;
+  w.numVars = 16;
+  w.opsPerThread = 1500;
+  w.seed = 99;
+  runMonitoredWorkload(mon.runtime(), w);
+  mon.stop();
+  EXPECT_TRUE(mon.ok()) << mon.violations()[0].description;
+  const StreamStats& s = mon.stats().stream;
+  EXPECT_EQ(
+      s.fastPathUnits + s.certifiedUnits + s.escalatedUnits + s.discardedUnits,
+      s.unitsChecked);
+}
+
+TEST(CertifierEndToEnd, InjectedBugConvictsEveryTmKindWithCertifierOn) {
+  // The conviction e2e gate, per TM kind, with the certifier enabled: the
+  // accept-only tier must never absorb the planted corrupt read.  Paced,
+  // as in the original self-test, so conviction is honestly possible.
+  for (TmKind kind : allTmKinds()) {
+    NativeMemory mem(runtimeMemoryWords(kind, 16));
+    auto tm = makeNativeRuntime(kind, mem, 16, 4);
+    MonitorOptions mo;
+    mo.capture.injectBug = InjectedBug::kCorruptTxRead;
+    ASSERT_TRUE(mo.certifier);
+    TmMonitor mon(*tm, 4, mo);
+    WorkloadOptions w;
+    w.threads = 4;
+    w.numVars = 16;
+    w.opsPerThread = 1200;
+    w.seed = 7;
+    w.pace = std::chrono::microseconds(5);
+    runMonitoredWorkload(mon.runtime(), w);
+    mon.stop();
+    EXPECT_FALSE(mon.ok()) << tmKindName(kind)
+                           << ": certifier absorbed the injected bug";
+  }
+}
+
+}  // namespace
+}  // namespace jungle::monitor
